@@ -1,0 +1,186 @@
+// Package sud_test holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTCPStream*    — Figure 8 row 1 (TCP receive throughput)
+//	BenchmarkUDPStreamTX*  — Figure 8 row 2 (64-byte transmit rate)
+//	BenchmarkUDPStreamRX*  — Figure 8 row 3 (64-byte receive rate)
+//	BenchmarkUDPRR*        — Figure 8 row 4 (request/response rate)
+//	BenchmarkFig5LoC       — Figure 5 (component line counts)
+//	BenchmarkFig9Mappings  — Figure 9 (IO page directory walk)
+//	BenchmarkAttack*       — §5.2 security matrix rows
+//	BenchmarkAblation*     — §3.1.2/§4.2 design-choice ablations
+//
+// Throughput and CPU are virtual-time measurements reported as custom
+// metrics (Mbit/s, Kpkt/s, tx/s, cpu%); ns/op reflects host simulation
+// speed, not the modelled system.
+package sud_test
+
+import (
+	"testing"
+
+	"sud/internal/attack"
+	"sud/internal/hw"
+	"sud/internal/netperf"
+	"sud/internal/proxy/ethproxy"
+	"sud/internal/report"
+	"sud/internal/sim"
+)
+
+// benchOpt keeps virtual windows small enough for b.N iterations.
+func benchOpt() netperf.Options {
+	return netperf.Options{
+		Warmup:        10 * sim.Millisecond,
+		Window:        50 * sim.Millisecond,
+		MinWindows:    3,
+		MaxWindows:    4,
+		HalfWidthFrac: 0.05,
+	}
+}
+
+// runNet executes one Figure 8 cell per benchmark iteration and reports the
+// modelled throughput and CPU as metrics.
+func runNet(b *testing.B, mode netperf.Mode,
+	bench func(*netperf.Testbed, netperf.Options) (netperf.Result, error),
+	tweak func(*netperf.Testbed)) {
+	b.Helper()
+	var last netperf.Result
+	for i := 0; i < b.N; i++ {
+		tb, err := netperf.NewTestbed(mode, hw.DefaultPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tweak != nil {
+			tweak(tb)
+		}
+		res, err := bench(tb, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Value, last.Unit)
+	b.ReportMetric(last.CPU*100, "cpu%")
+}
+
+func BenchmarkTCPStreamKernel(b *testing.B) { runNet(b, netperf.ModeKernel, netperf.TCPStream, nil) }
+func BenchmarkTCPStreamSUD(b *testing.B)    { runNet(b, netperf.ModeSUD, netperf.TCPStream, nil) }
+
+func BenchmarkUDPStreamTXKernel(b *testing.B) {
+	runNet(b, netperf.ModeKernel, netperf.UDPStreamTX, nil)
+}
+func BenchmarkUDPStreamTXSUD(b *testing.B) { runNet(b, netperf.ModeSUD, netperf.UDPStreamTX, nil) }
+
+func BenchmarkUDPStreamRXKernel(b *testing.B) {
+	runNet(b, netperf.ModeKernel, netperf.UDPStreamRX, nil)
+}
+func BenchmarkUDPStreamRXSUD(b *testing.B) { runNet(b, netperf.ModeSUD, netperf.UDPStreamRX, nil) }
+
+func BenchmarkUDPRRKernel(b *testing.B) { runNet(b, netperf.ModeKernel, netperf.UDPRR, nil) }
+func BenchmarkUDPRRSUD(b *testing.B)    { runNet(b, netperf.ModeSUD, netperf.UDPRR, nil) }
+
+// --- Figure 5 / Figure 9 -------------------------------------------------------
+
+func BenchmarkFig5LoC(b *testing.B) {
+	root, err := report.ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int
+	for i := 0; i < b.N; i++ {
+		comps, err := report.RunFig5(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, c := range comps {
+			total += c.LoC
+		}
+	}
+	b.ReportMetric(float64(total), "sud-loc")
+}
+
+func BenchmarkFig9Mappings(b *testing.B) {
+	var entries int
+	for i := 0; i < b.N; i++ {
+		es, err := report.RunFig9(hw.DefaultPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(es)
+	}
+	b.ReportMetric(float64(entries), "mappings")
+}
+
+// --- §5.2 security matrix -------------------------------------------------------
+
+func runAttack(b *testing.B, f func(attack.Config) (attack.Outcome, error), cfg attack.Config, wantCompromised bool) {
+	b.Helper()
+	var compromised int
+	for i := 0; i < b.N; i++ {
+		o, err := f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Compromised != wantCompromised {
+			b.Fatalf("unexpected outcome: %s", o)
+		}
+		if o.Compromised {
+			compromised++
+		}
+	}
+	b.ReportMetric(float64(compromised)/float64(b.N), "compromised")
+}
+
+func sudCfg() attack.Config {
+	return attack.Config{Name: "SUD", Mode: attack.UnderSUD, Platform: hw.DefaultPlatform()}
+}
+
+func kernelCfg() attack.Config {
+	return attack.Config{Name: "kernel", Mode: attack.InKernel, Platform: hw.DefaultPlatform()}
+}
+
+func BenchmarkAttackDMAWriteBaseline(b *testing.B) { runAttack(b, attack.DMAWrite, kernelCfg(), true) }
+func BenchmarkAttackDMAWriteSUD(b *testing.B)      { runAttack(b, attack.DMAWrite, sudCfg(), false) }
+func BenchmarkAttackDMAReadSUD(b *testing.B)       { runAttack(b, attack.DMARead, sudCfg(), false) }
+func BenchmarkAttackP2PSUD(b *testing.B)           { runAttack(b, attack.P2PDMA, sudCfg(), false) }
+func BenchmarkAttackIRQFloodSUD(b *testing.B)      { runAttack(b, attack.DeviceIRQFlood, sudCfg(), false) }
+func BenchmarkAttackMSIStormPaperHW(b *testing.B)  { runAttack(b, attack.MSIForgeStorm, sudCfg(), true) }
+func BenchmarkAttackMSIStormRemapHW(b *testing.B) {
+	runAttack(b, attack.MSIForgeStorm,
+		attack.Config{Name: "remap", Mode: attack.UnderSUD, Platform: hw.SecurePlatform()}, false)
+}
+
+// --- Ablations (§3.1.2, §4.2 design choices) --------------------------------------
+
+// BenchmarkAblationGuardFused/Separate/ReadonlyIOTLB compare the TOCTOU
+// guard strategies on the SUD receive path. The paper chose the fused
+// checksum+copy; the read-only-page-table alternative pays an IOTLB
+// invalidation per buffer, which it found prohibitively expensive.
+func ablationGuard(b *testing.B, mode int) {
+	runNet(b, netperf.ModeSUD, netperf.UDPStreamRX, func(tb *netperf.Testbed) {
+		tb.Proc.Eth.GuardMode = mode
+	})
+}
+
+func BenchmarkAblationGuardFused(b *testing.B)    { ablationGuard(b, ethproxy.GuardFused) }
+func BenchmarkAblationGuardSeparate(b *testing.B) { ablationGuard(b, ethproxy.GuardSeparate) }
+func BenchmarkAblationGuardReadonlyIOTLB(b *testing.B) {
+	ablationGuard(b, ethproxy.GuardReadonlyIOTLB)
+}
+
+// BenchmarkAblationNoBatching disables downcall batching: every netif_rx
+// pays a doorbell (§3.1.2 batching optimisation reversed).
+func BenchmarkAblationNoBatching(b *testing.B) {
+	runNet(b, netperf.ModeSUD, netperf.UDPStreamRX, func(tb *netperf.Testbed) {
+		tb.Proc.Chan.NoBatch = true
+	})
+}
+
+// BenchmarkAblationNoPolling disables the UML idle thread's polling window:
+// every follow-up upcall pays a full sleep/wake cycle (§4.2 optimisation
+// reversed); UDP_RR suffers most.
+func BenchmarkAblationNoPolling(b *testing.B) {
+	runNet(b, netperf.ModeSUD, netperf.UDPRR, func(tb *netperf.Testbed) {
+		tb.Proc.Chan.NoPoll = true
+	})
+}

@@ -1,0 +1,83 @@
+// Command sudbench regenerates the paper's evaluation artifacts:
+//
+//	sudbench -experiment fig5      # Figure 5: lines of code per component
+//	sudbench -experiment fig8      # Figure 8: netperf table, kernel vs SUD
+//	sudbench -experiment fig9      # Figure 9: e1000e IO virtual memory map
+//	sudbench -experiment security  # §5.2 attack matrix
+//	sudbench -experiment all       # everything
+//
+// Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sud/internal/hw"
+	"sud/internal/netperf"
+	"sud/internal/report"
+	"sud/internal/sim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | all")
+	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		switch *exp {
+		case "all", name:
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "sudbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("fig5", func() error {
+		root, err := report.ModuleRoot(".")
+		if err != nil {
+			return err
+		}
+		comps, err := report.RunFig5(root)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatFig5(comps))
+		return nil
+	})
+
+	run("fig8", func() error {
+		opt := netperf.DefaultOptions()
+		opt.Window = sim.Duration(*window) * sim.Millisecond
+		rows, err := report.RunFig8(hw.DefaultPlatform(), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatFig8(rows))
+		return nil
+	})
+
+	run("fig9", func() error {
+		entries, err := report.RunFig9(hw.DefaultPlatform())
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatFig9(entries))
+		return nil
+	})
+
+	run("security", func() error {
+		outcomes, err := report.RunSecurity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatSecurity(outcomes))
+		fmt.Println()
+		fmt.Print(report.SecuritySummary(outcomes))
+		return nil
+	})
+}

@@ -1,0 +1,104 @@
+// Command sudctl demonstrates the administrator's view of SUD (§4.1): it
+// boots a machine, starts an untrusted driver process for the e1000e,
+// inspects its state (device files, IOMMU mappings, uchan statistics), then
+// kills and restarts it — the kill -9 / restart workflow the paper
+// describes — and shows the system surviving a hung driver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sud/internal/drivers/api"
+	"sud/internal/drivers/e1000e"
+	"sud/internal/hw"
+	"sud/internal/kernel/netstack"
+	"sud/internal/netperf"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+func main() {
+	flag.Parse()
+
+	tb, err := netperf.NewTestbed(netperf.ModeSUD, hw.DefaultPlatform())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== driver process ==")
+	fmt.Printf("name: %s  uid: %d  runtime memory: %d MB\n",
+		tb.Proc.Name, tb.Proc.UID, sudml.RuntimeMemoryBytes>>20)
+	fmt.Printf("interrupt vector: %#x\n", tb.Proc.DF.Vector())
+
+	fmt.Println("\n== IOMMU domain (the device can DMA here and nowhere else) ==")
+	for _, a := range tb.Proc.DF.Allocs() {
+		fmt.Printf("  %-22s iova %#x  %4d pages\n", a.Label, uint64(a.IOVA), a.Pages)
+	}
+
+	// netserver-style echo application for the traffic checks.
+	echo := func(ifc *netstack.Iface) {
+		tb.K.Net.UDPClose(netperf.PortRR)
+		if _, err := tb.K.Net.UDPBind(netperf.PortRR, func(p []byte, srcIP netstack.IP, srcPort uint16) {
+			_ = tb.K.Net.UDPSendTo(ifc, netperf.RemoteMAC, srcIP, netperf.PortRR, srcPort, p)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	echo(tb.Ifc)
+
+	fmt.Println("\n== traffic check ==")
+	tb.Remote.StartRR(64)
+	tb.M.Loop.RunFor(50 * sim.Millisecond)
+	tb.Remote.StopRR()
+	fmt.Printf("  %d request/response transactions completed\n", tb.Remote.RRCount)
+	st := tb.Proc.Chan.Stats()
+	fmt.Printf("  uchan: %d upcalls, %d downcalls, %d wakeups, %d spin pickups\n",
+		st.Upcalls, st.Downcalls, st.Wakeups, st.SpinPickups)
+
+	fmt.Println("\n== hang the driver (infinite loop) ==")
+	tb.Proc.Hang()
+	if _, err := tb.Ifc.Ioctl(api.IoctlGetMIIStatus, nil); err != nil {
+		fmt.Printf("  ioctl interrupted cleanly: %v\n", err)
+	}
+	fmt.Println("  kernel still responsive; administrator decides to kill -9")
+	tb.Proc.Kill()
+
+	fmt.Println("\n== restart (a fresh process binds the same device) ==")
+	proc2, err := sudml.Start(tb.K, tb.NIC, e1000e.New(), "e1000e", 1002)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sudctl: restart: %v\n", err)
+		os.Exit(1)
+	}
+	ifc, err := tb.K.Net.Iface("eth0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ifc.Up(netperf.DUTIP); err != nil {
+		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
+		os.Exit(1)
+	}
+	echo(ifc)
+	tb.Remote.StartRR(64)
+	before := tb.Remote.RRCount
+	tb.M.Loop.RunFor(50 * sim.Millisecond)
+	tb.Remote.StopRR()
+	fmt.Printf("  new process %q (uid %d) serving traffic: %d transactions after restart\n",
+		proc2.Name, proc2.UID, tb.Remote.RRCount-before)
+	fmt.Println("\nkernel log tail:")
+	log := tb.K.Log()
+	for i := max(0, len(log)-6); i < len(log); i++ {
+		fmt.Printf("  %s\n", log[i])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+// Quickstart: boot a simulated machine, run the unmodified e1000e driver in
+// an untrusted SUD process, bring the interface up, and exchange UDP
+// packets with a peer — the smallest end-to-end tour of the system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sud/internal/hw"
+	"sud/internal/kernel/netstack"
+	"sud/internal/netperf"
+	"sud/internal/sim"
+)
+
+func main() {
+	// The testbed assembles the paper's setup: DUT machine (Intel VT-d,
+	// PCIe with ACS), e1000 NIC, Gigabit link, wire-level peer — with
+	// the driver in an untrusted user-space process.
+	tb, err := netperf.NewTestbed(netperf.ModeSUD, hw.DefaultPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("driver process %q running under uid %d\n", tb.Proc.Name, tb.Proc.UID)
+	fmt.Printf("interface eth0 is up with IP %v\n", netperf.DUTIP)
+
+	// Bind a UDP socket and count echo replies (the peer echoes port 7).
+	replies := 0
+	if _, err := tb.K.Net.UDPBind(5000, func(p []byte, src netstack.IP, sport uint16) {
+		replies++
+		fmt.Printf("  reply %d: %q from %v:%d\n", replies, p, src, sport)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	tb.Remote.Turnaround = 20 * sim.Microsecond
+	for i := 0; i < 3; i++ {
+		msg := fmt.Sprintf("ping #%d", i+1)
+		if err := tb.K.Net.UDPSendTo(tb.Ifc, netperf.RemoteMAC, netperf.RemoteIP,
+			5000, netperf.PortRR, []byte(msg)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// RR echo needs the remote loop; run some virtual time.
+	tb.M.Loop.RunFor(5 * sim.Millisecond)
+
+	fmt.Printf("\n%d/3 packets echoed through the untrusted driver\n", replies)
+	st := tb.Proc.Chan.Stats()
+	fmt.Printf("uchan traffic: %d upcalls, %d downcalls, %d wakeups\n",
+		st.Upcalls, st.Downcalls, st.Wakeups)
+	fmt.Printf("IOMMU confinement: %d pages mapped for the device, %d faults\n",
+		tb.Proc.DF.Dom.Pages(), len(tb.M.IOMMU.Faults()))
+}

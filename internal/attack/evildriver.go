@@ -1,0 +1,199 @@
+// Package attack reproduces the paper's security evaluation (§5.2): a
+// malicious device driver — running either as a trusted in-kernel driver
+// (the Linux baseline) or as an untrusted SUD process — attempts DMA
+// attacks, peer-to-peer DMA, MSI forgery/storms, liveness attacks and
+// confinement escapes, against machines configured like §5.2's (Intel
+// without interrupt remapping), §6's (interrupt remapping enabled, AMD), and
+// a legacy PCI bus.
+//
+// Each attack reports whether the system was compromised; the matrix of
+// outcomes is the reproduction of the paper's security claims.
+package attack
+
+import (
+	"fmt"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/drivers/api"
+	"sud/internal/mem"
+)
+
+// EvilDriver is a malicious device driver for the e1000 NIC. It probes like
+// the real e1000e (so either host will load it), then misuses its hardware
+// access on command: pointing DMA descriptors at memory it does not own,
+// directing device writes at the MSI window, and ignoring every protocol
+// the kernel expects of it.
+type EvilDriver struct {
+	// inst is filled at probe.
+	inst *EvilInstance
+}
+
+// NewEvil returns the malicious driver module.
+func NewEvil() *EvilDriver { return &EvilDriver{} }
+
+// Name implements api.Driver (it lies, of course).
+func (d *EvilDriver) Name() string { return "e1000e" }
+
+// Match implements api.Driver.
+func (d *EvilDriver) Match(vendor, device uint16) bool {
+	return vendor == 0x8086 && device == 0x10D3
+}
+
+// Probe implements api.Driver: look like a well-behaved driver long enough
+// to be granted the device.
+func (d *EvilDriver) Probe(env api.Env) (api.Instance, error) {
+	inst := &EvilInstance{env: env}
+	if err := env.EnableDevice(); err != nil {
+		return nil, err
+	}
+	if err := env.SetMaster(); err != nil {
+		return nil, err
+	}
+	m, err := env.IORemap(0)
+	if err != nil {
+		return nil, err
+	}
+	inst.mmio = m
+	m.Write32(e1000.RegCTRL, e1000.CtrlSLU)
+	// A small descriptor ring for the attacks.
+	ring, err := env.AllocCoherent(64 * e1000.DescSize)
+	if err != nil {
+		return nil, err
+	}
+	inst.ring = ring
+	d.inst = inst
+	return inst, nil
+}
+
+// Instance returns the probed instance.
+func (d *EvilDriver) Instance() *EvilInstance { return d.inst }
+
+// EvilInstance is the live malicious driver.
+type EvilInstance struct {
+	env  api.Env
+	mmio api.MMIO
+	ring api.DMABuf
+
+	// Interrupts counts upcalls/interrupts the driver received.
+	Interrupts int
+}
+
+// Remove implements api.Instance.
+func (e *EvilInstance) Remove() {}
+
+// writeDesc writes one 16-byte descriptor into the attack ring.
+func (e *EvilInstance) writeDesc(i int, bufAddr mem.Addr, length int, cmd byte) error {
+	var d [e1000.DescSize]byte
+	for b := 0; b < 8; b++ {
+		d[b] = byte(uint64(bufAddr) >> (8 * b))
+	}
+	d[8] = byte(length)
+	d[9] = byte(length >> 8)
+	d[11] = cmd
+	return e.ring.Write(i*e1000.DescSize, d[:])
+}
+
+// ArmRxAt points `count` RX descriptors at consecutive targets starting at
+// target and enables the receiver: every arriving frame is DMA-written over
+// the target — the arbitrary-DMA-write attack. stride 0 reuses the same
+// address.
+func (e *EvilInstance) ArmRxAt(target mem.Addr, count int, stride int) error {
+	if count > 63 {
+		return fmt.Errorf("attack: ring too small for %d descriptors", count)
+	}
+	for i := 0; i < count; i++ {
+		if err := e.writeDesc(i, target+mem.Addr(i*stride), 0, 0); err != nil {
+			return err
+		}
+	}
+	m := e.mmio
+	m.Write32(e1000.RegRDBAL, uint32(e.ring.BusAddr()))
+	m.Write32(e1000.RegRDBAH, uint32(uint64(e.ring.BusAddr())>>32))
+	m.Write32(e1000.RegRDLEN, 64*e1000.DescSize)
+	m.Write32(e1000.RegRDH, 0)
+	m.Write32(e1000.RegRDT, uint32(count))
+	m.Write32(e1000.RegRCTL, e1000.RctlEN)
+	return nil
+}
+
+// RearmRx resets the RX ring head/tail so the storm can continue (a live
+// malicious driver keeps re-arming).
+func (e *EvilInstance) RearmRx(count int) {
+	e.mmio.Write32(e1000.RegRDH, 0)
+	e.mmio.Write32(e1000.RegRDT, uint32(count))
+}
+
+// QueueTxFrom points a TX descriptor at target and triggers transmission:
+// the device reads `length` bytes of (hopefully secret) memory and puts
+// them on the wire — the DMA-read exfiltration attack.
+func (e *EvilInstance) QueueTxFrom(target mem.Addr, length int) error {
+	if err := e.writeDesc(32, target, length, e1000.TxCmdEOP|e1000.TxCmdRS); err != nil {
+		return err
+	}
+	m := e.mmio
+	m.Write32(e1000.RegTDBAL, uint32(e.ring.BusAddr()+32*e1000.DescSize))
+	m.Write32(e1000.RegTDBAH, uint32(uint64(e.ring.BusAddr())>>32))
+	m.Write32(e1000.RegTDLEN, 16*e1000.DescSize)
+	m.Write32(e1000.RegTDH, 0)
+	m.Write32(e1000.RegTDT, 0)
+	m.Write32(e1000.RegTCTL, e1000.TctlEN)
+	m.Write32(e1000.RegTDT, 1)
+	return nil
+}
+
+// EnableIRQStorm requests the interrupt and unmasks every cause but never
+// acknowledges anything — combined with traffic, the device interrupts as
+// fast as the throttle allows while the "handler" does no work.
+func (e *EvilInstance) EnableIRQStorm() error {
+	if err := e.env.RequestIRQ(func() {
+		e.Interrupts++
+		// Maliciously: no ICR read, no ack — and under SUD, no IRQAck
+		// downcall.
+	}); err != nil {
+		return err
+	}
+	e.mmio.Write32(e1000.RegITR, 0) // no throttling
+	e.mmio.Write32(e1000.RegIMS, 0xFFFFFFFF)
+	return nil
+}
+
+// TryConfigAttack attempts the §3.2.1 configuration-space escapes: moving
+// BAR0 over another device and hijacking the MSI address. It returns the
+// number of writes that took effect (0 under SUD).
+func (e *EvilInstance) TryConfigAttack(newBAR uint32, newMSIAddr uint32) int {
+	took := 0
+	// Remember, then try to move, BAR0.
+	before, _ := e.env.ConfigRead(0x10, 4)
+	if err := e.env.ConfigWrite(0x10, 4, newBAR); err == nil {
+		after, _ := e.env.ConfigRead(0x10, 4)
+		if after != before {
+			took++
+		}
+	}
+	// Redirect MSI to an arbitrary address.
+	if capOff := e.env.FindCapability(0x05); capOff != 0 {
+		beforeMSI, _ := e.env.ConfigRead(capOff+4, 4)
+		if err := e.env.ConfigWrite(capOff+4, 4, newMSIAddr); err == nil {
+			afterMSI, _ := e.env.ConfigRead(capOff+4, 4)
+			if afterMSI != beforeMSI && afterMSI == newMSIAddr {
+				took++
+			}
+		}
+	}
+	return took
+}
+
+// HoardDMA allocates DMA memory until the kernel refuses — the resource
+// exhaustion attack bounded by rlimits (§4.1). It returns the number of
+// pages obtained.
+func (e *EvilInstance) HoardDMA(maxAllocs int) int {
+	pages := 0
+	for i := 0; i < maxAllocs; i++ {
+		buf, err := e.env.AllocCaching(16 * 4096)
+		if err != nil {
+			break
+		}
+		pages += buf.Size() / 4096
+	}
+	return pages
+}

@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"sud/internal/drivers/e1000e"
+	"sud/internal/ethlink"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
+	"sud/internal/proxy/ethproxy"
+	"sud/internal/sudml"
+	"sud/internal/uchan"
+
+	e1000dev "sud/internal/devices/e1000"
+	pcipkg "sud/internal/pci"
+)
+
+// TOCTOU runs the paper's §3.1.2 shared-buffer attack: a malicious driver
+// submits a packet that passes the firewall, then rewrites the shared buffer
+// so the kernel consumes different bytes. With SUD's fused guard copy the
+// attack fails; with the insecure zero-copy variant (guardMode
+// ethproxy.GuardNone) it succeeds — which is exactly why the copy exists.
+func TOCTOU(guardMode int) (Outcome, error) {
+	m := hw.NewMachine(hw.DefaultPlatform())
+	k := kernel.New(m)
+	nic := e1000dev.New(m.Loop, pcipkg.MakeBDF(1, 0, 0), 0xFEB00000,
+		[6]byte{2, 0, 0, 0, 0, 1}, e1000dev.DefaultParams())
+	m.AttachDevice(nic)
+	link := ethlink.NewGigabit(m.Loop, 300)
+	link.Connect(nic, nopEnd{})
+	nic.AttachLink(link, 0)
+
+	// A well-behaved driver process hosts the device; the "malicious
+	// driver" behaviour is injected at the uchan level below.
+	proc, err := sudml.Start(k, nic, e1000e.New(), "e1000e", 1001)
+	if err != nil {
+		return Outcome{}, err
+	}
+	proc.Eth.GuardMode = guardMode
+	ifc, err := k.Net.Iface("eth0")
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := ifc.Up(netstack.IP{10, 0, 0, 1}); err != nil {
+		return Outcome{}, err
+	}
+
+	// Firewall: allow only destination port 80.
+	k.Net.Firewall = func(frame []byte) bool {
+		_, ipPkt, err := netstack.ParseEth(frame)
+		if err != nil {
+			return false
+		}
+		ih, l4, err := netstack.ParseIPv4(ipPkt)
+		if err != nil || ih.Proto != netstack.ProtoUDP {
+			return false
+		}
+		uh, _, err := netstack.ParseUDP(ih.Src, ih.Dst, l4, false)
+		return err == nil && uh.DstPort == 80
+	}
+	var deliveredTo []uint16
+	for _, port := range []uint16{80, 6666} {
+		port := port
+		if _, err := k.Net.UDPBind(port, func([]byte, netstack.IP, uint16) {
+			deliveredTo = append(deliveredTo, port)
+		}); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	// The malicious driver stages an innocuous-looking frame (dst port
+	// 80) in its own DMA memory and downcalls netif_rx with a reference.
+	innocent := netstack.BuildUDPFrame(
+		netstack.MAC{2, 0, 0, 0, 0, 2}, ifc.MAC,
+		netstack.IP{10, 0, 0, 2}, netstack.IP{10, 0, 0, 1}, 1234, 80, []byte("GET /"))
+	// Evil twin: identical except the destination port targets the
+	// firewalled service (checksum fixed up by rebuilding).
+	evil := netstack.BuildUDPFrame(
+		netstack.MAC{2, 0, 0, 0, 0, 2}, ifc.MAC,
+		netstack.IP{10, 0, 0, 2}, netstack.IP{10, 0, 0, 1}, 1234, 6666, []byte("GET /"))
+
+	alloc := proc.DF.Allocs()[0] // the shared TX pool doubles as scratch
+	bufIOVA := alloc.IOVA
+	bufPhys := alloc.Phys
+	m.Mem.MustWrite(bufPhys, innocent)
+
+	// The downcall is queued, and the buffer is rewritten *after* the
+	// proxy handler runs for the no-guard case to matter; with no guard
+	// the stack holds a live view, so any later read sees evil bytes.
+	// Model the race by swapping the buffer between the firewall check
+	// (inside Flush) and the socket consuming the payload: we swap
+	// immediately after Flush returns, then deliverables are inspected.
+	// To make the race visible even though our Flush is synchronous, the
+	// firewall records approval and the app defers its read:
+	var firewallApproved int
+	innerFirewall := k.Net.Firewall
+	k.Net.Firewall = func(frame []byte) bool {
+		ok := innerFirewall(frame)
+		if ok {
+			firewallApproved++
+			// The instant the firewall approves, the malicious driver
+			// rewrites the shared buffer (it runs concurrently on
+			// another core).
+			m.Mem.MustWrite(bufPhys, evil)
+		}
+		return ok
+	}
+
+	if err := proc.Chan.Down(uchan.Msg{
+		Op:   ethproxy.OpNetifRx,
+		Args: [6]uint64{uint64(bufIOVA), uint64(len(innocent))},
+	}); err != nil {
+		return Outcome{}, err
+	}
+	proc.Chan.Flush()
+
+	compromised := false
+	detail := "guard copy held: payload immutable after firewall approval"
+	for _, p := range deliveredTo {
+		if p == 6666 {
+			compromised = true
+			detail = "firewall bypassed: swapped packet reached the blocked service"
+		}
+	}
+	if firewallApproved == 0 {
+		detail = "firewall never approved the innocent packet"
+	}
+	name := "TOCTOU via shared buffer"
+	cfg := "SUD (fused guard copy)"
+	if guardMode == ethproxy.GuardNone {
+		cfg = "SUD without guard copy (insecure)"
+	}
+	return Outcome{Attack: name, Config: cfg, Compromised: compromised, Detail: detail}, nil
+}
+
+// TOCTOUAttack adapts the TOCTOU scenario to the matrix. A trusted in-kernel
+// driver needs no race — it reads and writes kernel memory at will — so the
+// baseline is compromised by construction; under SUD the fused guard copy
+// defends.
+func TOCTOUAttack(cfg Config) (Outcome, error) {
+	if cfg.Mode == InKernel {
+		return Outcome{
+			Attack:      "TOCTOU via shared buffer",
+			Config:      cfg.Name,
+			Compromised: true,
+			Detail:      "trusted driver owns kernel memory; no race needed",
+		}, nil
+	}
+	o, err := TOCTOU(ethproxy.GuardFused)
+	if err != nil {
+		return Outcome{}, err
+	}
+	o.Config = cfg.Name
+	return o, nil
+}
+
+type nopEnd struct{}
+
+func (nopEnd) LinkDeliver([]byte) {}

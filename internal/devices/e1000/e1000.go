@@ -1,0 +1,521 @@
+// Package e1000 models an Intel 8254x/e1000e-class Gigabit Ethernet
+// controller at register level: legacy 16-byte TX/RX descriptor rings fetched
+// and written back via DMA, EEPROM-backed MAC address, interrupt throttling
+// (ITR), and MSI signalling. The e1000e driver in internal/drivers/e1000e
+// programs it exactly as the Linux driver programs real silicon: through BAR0
+// registers and in-memory descriptor rings — so a driver bug (or attack)
+// that programs a bad DMA address produces a real IOMMU fault.
+package e1000
+
+import (
+	"sud/internal/ethlink"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// Register offsets in BAR0 (subset of the 8254x map).
+const (
+	RegCTRL   = 0x0000
+	RegSTATUS = 0x0008
+	RegEERD   = 0x0014
+	RegICR    = 0x00C0
+	RegITR    = 0x00C4
+	RegIMS    = 0x00D0
+	RegIMC    = 0x00D8
+	RegRCTL   = 0x0100
+	RegTCTL   = 0x0400
+	RegRDBAL  = 0x2800
+	RegRDBAH  = 0x2804
+	RegRDLEN  = 0x2808
+	RegRDH    = 0x2810
+	RegRDT    = 0x2818
+	RegTDBAL  = 0x3800
+	RegTDBAH  = 0x3804
+	RegTDLEN  = 0x3808
+	RegTDH    = 0x3810
+	RegTDT    = 0x3818
+	RegRAL    = 0x5400
+	RegRAH    = 0x5404
+
+	// BARSize is the size of BAR0 (128 KiB, as on real parts).
+	BARSize = 0x20000
+)
+
+// CTRL bits.
+const (
+	CtrlSLU = 1 << 6  // set link up
+	CtrlRST = 1 << 26 // device reset
+)
+
+// STATUS bits.
+const (
+	StatusLU = 1 << 1 // link up
+)
+
+// Interrupt cause bits (ICR/IMS/IMC).
+const (
+	IntTXDW  = 1 << 0 // transmit descriptor written back
+	IntLSC   = 1 << 2 // link status change
+	IntRXDMT = 1 << 4 // rx descriptors minimum threshold
+	IntRXO   = 1 << 6 // receiver overrun
+	IntRXT0  = 1 << 7 // receiver timer (frame received)
+)
+
+// RCTL/TCTL enable bits.
+const (
+	RctlEN = 1 << 1
+	TctlEN = 1 << 1
+)
+
+// EERD bits: write addr<<8 | Start; poll Done; data in bits 16..31.
+const (
+	EerdStart = 1 << 0
+	EerdDone  = 1 << 4
+)
+
+// Descriptor layout: both TX and RX descriptors are 16 bytes.
+const DescSize = 16
+
+// TX descriptor command/status bits.
+const (
+	TxCmdEOP = 1 << 0 // end of packet
+	TxCmdRS  = 1 << 3 // report status (request DD writeback)
+	TxStaDD  = 1 << 0 // descriptor done
+)
+
+// RX descriptor status bits.
+const (
+	RxStaDD  = 1 << 0
+	RxStaEOP = 1 << 1
+)
+
+// Params tunes the device's internal engine. Defaults reproduce the
+// small-packet forwarding limits of e1000e-class NICs (a few hundred
+// kpackets/s), which is what caps UDP_STREAM in Figure 8; large frames are
+// wire-limited instead.
+type Params struct {
+	// TxPerPacket / RxPerPacket are the fixed per-packet engine costs
+	// (descriptor scheduling, writeback posting), on top of modelled DMA
+	// transfer time.
+	TxPerPacket sim.Duration
+	RxPerPacket sim.Duration
+}
+
+// DefaultParams matches the calibration in internal/sim/costs.go.
+func DefaultParams() Params {
+	return Params{
+		TxPerPacket: 2500 * sim.Nanosecond,
+		RxPerPacket: 3300 * sim.Nanosecond,
+	}
+}
+
+// NIC is one e1000 device instance.
+type NIC struct {
+	pci.FuncBase
+
+	loop   *sim.Loop
+	params Params
+
+	link *ethlink.Link
+	side int
+
+	mac    [6]byte
+	eeprom [64]uint16
+
+	regs map[uint64]uint32
+
+	// TX engine state.
+	txActive    bool
+	txBusyUntil sim.Time
+
+	// RX engine state.
+	rxQueue     [][]byte // frames awaiting ring placement
+	rxActive    bool
+	rxBusyUntil sim.Time
+
+	// Interrupt moderation.
+	lastIntAt  sim.Time
+	intPending bool
+
+	// Counters.
+	TxPackets, RxPackets   uint64
+	TxBytes, RxBytes       uint64
+	RxDropsNoDesc          uint64
+	DMAFaults              uint64
+	InterruptsRaised       uint64
+	InterruptsSuppressedBy uint64 // suppressed by masked/disabled MSI
+}
+
+// New creates an e1000 NIC with the given identity, MAC and BAR0 base. It
+// must then be attached to a link with AttachLink and to the fabric via
+// Machine.AttachDevice.
+func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, macAddr [6]byte, p Params) *NIC {
+	n := &NIC{
+		loop:   loop,
+		params: p,
+		mac:    macAddr,
+		regs:   make(map[uint64]uint32),
+	}
+	cfg := pci.NewConfigSpace(0x8086, 0x10D3, 0x02) // 82574L, class = network
+	cfg.SetBAR(0, barBase, BARSize, false)
+	cfg.AddMSICapability()
+	n.InitFunc(bdf, cfg)
+	// EEPROM words 0..2 hold the MAC address.
+	n.eeprom[0] = uint16(macAddr[0]) | uint16(macAddr[1])<<8
+	n.eeprom[1] = uint16(macAddr[2]) | uint16(macAddr[3])<<8
+	n.eeprom[2] = uint16(macAddr[4]) | uint16(macAddr[5])<<8
+	// Per-vector MSI masking is level-sensitive on unmask: if causes are
+	// pending when the mask clears, the message fires (SUD's interrupt
+	// ack path relies on this, §3.2.2).
+	cfg.OnMSIChange = func() {
+		if !cfg.MSI().Masked {
+			n.maybeInterrupt()
+		}
+	}
+	n.reset()
+	return n
+}
+
+// AttachLink connects the NIC's PHY to side `side` of link.
+func (n *NIC) AttachLink(link *ethlink.Link, side int) {
+	n.link = link
+	n.side = side
+}
+
+// MAC returns the burned-in address.
+func (n *NIC) MAC() [6]byte { return n.mac }
+
+func (n *NIC) reset() {
+	for k := range n.regs {
+		delete(n.regs, k)
+	}
+	n.regs[RegITR] = 0
+	n.rxQueue = nil
+	n.intPending = false
+	// RAL/RAH from EEPROM, as hardware autoloads.
+	n.regs[RegRAL] = uint32(n.mac[0]) | uint32(n.mac[1])<<8 | uint32(n.mac[2])<<16 | uint32(n.mac[3])<<24
+	n.regs[RegRAH] = uint32(n.mac[4]) | uint32(n.mac[5])<<8 | 1<<31
+}
+
+func (n *NIC) linkUp() bool {
+	return n.link != nil && n.link.Carrier() && n.regs[RegCTRL]&CtrlSLU != 0
+}
+
+// MMIORead implements pci.Device.
+func (n *NIC) MMIORead(bar int, off uint64, size int) uint64 {
+	if bar != 0 {
+		return ^uint64(0)
+	}
+	switch off {
+	case RegSTATUS:
+		var v uint32
+		if n.linkUp() {
+			v |= StatusLU
+		}
+		return uint64(v)
+	case RegICR:
+		// Read-to-clear.
+		v := n.regs[RegICR]
+		n.regs[RegICR] = 0
+		return uint64(v)
+	default:
+		return uint64(n.regs[off])
+	}
+}
+
+// MMIOWrite implements pci.Device.
+func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
+	if bar != 0 {
+		return
+	}
+	val := uint32(v)
+	switch off {
+	case RegCTRL:
+		if val&CtrlRST != 0 {
+			n.reset()
+			return
+		}
+		n.regs[RegCTRL] = val
+	case RegEERD:
+		if val&EerdStart != 0 {
+			addr := (val >> 8) & 0xFF
+			data := uint32(0xFFFF)
+			if int(addr) < len(n.eeprom) {
+				data = uint32(n.eeprom[addr])
+			}
+			n.regs[RegEERD] = EerdDone | data<<16
+		}
+	case RegIMS:
+		n.regs[RegIMS] |= val
+		n.maybeInterrupt()
+	case RegIMC:
+		n.regs[RegIMS] &^= val
+	case RegICR:
+		n.regs[RegICR] &^= val // write-one-to-clear
+	case RegTDT:
+		n.regs[RegTDT] = val % n.txRingLen()
+		n.kickTx()
+	case RegRDT:
+		n.regs[RegRDT] = val % n.rxRingLen()
+		n.kickRx()
+	case RegTDH:
+		n.regs[RegTDH] = val % n.txRingLen()
+	case RegRDH:
+		n.regs[RegRDH] = val % n.rxRingLen()
+	default:
+		n.regs[off] = val
+	}
+}
+
+// IORead/IOWrite: the e1000 has no IO BAR in our model.
+func (n *NIC) IORead(bar int, off uint64, size int) uint32     { return 0xFFFFFFFF }
+func (n *NIC) IOWrite(bar int, off uint64, size int, v uint32) {}
+
+func (n *NIC) txRingLen() uint32 {
+	l := n.regs[RegTDLEN] / DescSize
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+func (n *NIC) rxRingLen() uint32 {
+	l := n.regs[RegRDLEN] / DescSize
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+func (n *NIC) txBase() mem.Addr {
+	return mem.Addr(uint64(n.regs[RegTDBAH])<<32 | uint64(n.regs[RegTDBAL]))
+}
+
+func (n *NIC) rxBase() mem.Addr {
+	return mem.Addr(uint64(n.regs[RegRDBAH])<<32 | uint64(n.regs[RegRDBAL]))
+}
+
+// --- Interrupts -----------------------------------------------------------
+
+// itrInterval returns the minimum gap between interrupts (ITR register is in
+// 256 ns units, as on hardware).
+func (n *NIC) itrInterval() sim.Duration {
+	return sim.Duration(n.regs[RegITR]) * 256
+}
+
+// assertCause latches an interrupt cause and raises an interrupt subject to
+// masking and throttling.
+func (n *NIC) assertCause(bits uint32) {
+	n.regs[RegICR] |= bits
+	n.maybeInterrupt()
+}
+
+func (n *NIC) maybeInterrupt() {
+	if n.regs[RegICR]&n.regs[RegIMS] == 0 {
+		return
+	}
+	now := n.loop.Now()
+	gap := n.itrInterval()
+	if gap > 0 && now-n.lastIntAt < gap {
+		if !n.intPending {
+			n.intPending = true
+			n.loop.At(n.lastIntAt+gap, func() {
+				n.intPending = false
+				n.maybeInterrupt()
+			})
+		}
+		return
+	}
+	n.lastIntAt = now
+	if n.RaiseMSI() {
+		n.InterruptsRaised++
+	} else {
+		n.InterruptsSuppressedBy++
+	}
+}
+
+// --- TX engine ------------------------------------------------------------
+
+func (n *NIC) kickTx() {
+	if n.txActive || n.regs[RegTCTL]&TctlEN == 0 {
+		return
+	}
+	if n.regs[RegTDH] == n.regs[RegTDT] {
+		return
+	}
+	n.txActive = true
+	start := n.txBusyUntil
+	if now := n.loop.Now(); start < now {
+		start = now
+	}
+	n.loop.At(start, n.txStep)
+}
+
+// txStep processes one TX descriptor, then reschedules itself after the
+// engine's per-packet time.
+func (n *NIC) txStep() {
+	n.txActive = false
+	head := n.regs[RegTDH]
+	if head == n.regs[RegTDT] || n.regs[RegTCTL]&TctlEN == 0 {
+		return
+	}
+	descAddr := n.txBase() + mem.Addr(head*DescSize)
+	engine := n.params.TxPerPacket
+
+	desc, err := n.DMARead(descAddr, DescSize)
+	engine += sim.DMA(DescSize)
+	if err != nil {
+		n.DMAFaults++
+		n.advanceTxHead(engine)
+		return
+	}
+	bufAddr := mem.Addr(le64(desc[0:8]))
+	length := int(le16(desc[8:10]))
+	cmd := desc[11]
+
+	if length > 0 && length <= ethlink.MaxFrame {
+		payload, err := n.DMARead(bufAddr, length)
+		engine += sim.DMA(length)
+		if err != nil {
+			n.DMAFaults++
+		} else if n.linkUp() {
+			if n.link.Send(n.side, payload) == nil {
+				n.TxPackets++
+				n.TxBytes += uint64(length)
+			}
+		}
+	}
+
+	// Status writeback if requested.
+	if cmd&TxCmdRS != 0 {
+		desc[12] |= TxStaDD
+		if err := n.DMAWrite(descAddr, desc); err != nil {
+			n.DMAFaults++
+		}
+		engine += sim.DMA(DescSize)
+	}
+	n.assertCause(IntTXDW)
+	n.advanceTxHead(engine)
+}
+
+func (n *NIC) advanceTxHead(engine sim.Duration) {
+	n.regs[RegTDH] = (n.regs[RegTDH] + 1) % n.txRingLen()
+	now := n.loop.Now()
+	if n.txBusyUntil < now {
+		n.txBusyUntil = now
+	}
+	n.txBusyUntil += engine
+	if n.regs[RegTDH] != n.regs[RegTDT] {
+		n.txActive = true
+		n.loop.At(n.txBusyUntil, n.txStep)
+	}
+}
+
+// --- RX path --------------------------------------------------------------
+
+// LinkDeliver implements ethlink.Endpoint: a frame arrived from the wire.
+func (n *NIC) LinkDeliver(frame []byte) {
+	if n.regs[RegRCTL]&RctlEN == 0 || !n.linkUp() {
+		return
+	}
+	// Hardware FIFO: bounded; beyond it the receiver overruns.
+	if len(n.rxQueue) >= 256 {
+		n.RxDropsNoDesc++
+		n.assertCause(IntRXO)
+		return
+	}
+	n.rxQueue = append(n.rxQueue, frame)
+	n.kickRx()
+}
+
+func (n *NIC) kickRx() {
+	if n.rxActive || len(n.rxQueue) == 0 {
+		return
+	}
+	n.rxActive = true
+	start := n.rxBusyUntil
+	if now := n.loop.Now(); start < now {
+		start = now
+	}
+	n.loop.At(start, n.rxStep)
+}
+
+func (n *NIC) rxStep() {
+	n.rxActive = false
+	if len(n.rxQueue) == 0 {
+		return
+	}
+	// Hardware owns descriptors in [RDH, RDT); RDH == RDT means software
+	// has not replenished the ring.
+	head := n.regs[RegRDH]
+	if head == n.regs[RegRDT] {
+		// No free descriptors: drop.
+		n.RxDropsNoDesc++
+		n.rxQueue = n.rxQueue[1:]
+		n.assertCause(IntRXO)
+		n.kickRx()
+		return
+	}
+	frame := n.rxQueue[0]
+	n.rxQueue = n.rxQueue[1:]
+
+	engine := n.params.RxPerPacket
+	descAddr := n.rxBase() + mem.Addr(head*DescSize)
+	desc, err := n.DMARead(descAddr, DescSize)
+	engine += sim.DMA(DescSize)
+	if err != nil {
+		n.DMAFaults++
+		n.finishRx(engine)
+		return
+	}
+	bufAddr := mem.Addr(le64(desc[0:8]))
+	if err := n.DMAWrite(bufAddr, frame); err != nil {
+		n.DMAFaults++
+		n.finishRx(engine)
+		return
+	}
+	engine += sim.DMA(len(frame))
+
+	// Write back length + DD|EOP status.
+	putLE16(desc[8:10], uint16(len(frame)))
+	desc[12] = RxStaDD | RxStaEOP
+	if err := n.DMAWrite(descAddr, desc); err != nil {
+		n.DMAFaults++
+		n.finishRx(engine)
+		return
+	}
+	engine += sim.DMA(DescSize)
+
+	n.regs[RegRDH] = (head + 1) % n.rxRingLen()
+	n.RxPackets++
+	n.RxBytes += uint64(len(frame))
+	n.assertCause(IntRXT0)
+	n.finishRx(engine)
+}
+
+func (n *NIC) finishRx(engine sim.Duration) {
+	now := n.loop.Now()
+	if n.rxBusyUntil < now {
+		n.rxBusyUntil = now
+	}
+	n.rxBusyUntil += engine
+	if len(n.rxQueue) > 0 {
+		n.rxActive = true
+		n.loop.At(n.rxBusyUntil, n.rxStep)
+	}
+}
+
+// --- little-endian helpers -------------------------------------------------
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLE16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }

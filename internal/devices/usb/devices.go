@@ -1,0 +1,184 @@
+package usb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device classes in our device descriptors.
+const (
+	ClassHID     = 0x03
+	ClassStorage = 0x08
+)
+
+// deviceDescriptor builds a standard 18-byte device descriptor.
+func deviceDescriptor(vid, pid uint16, class uint8) []byte {
+	return []byte{
+		18, DescDevice, 0, 2, // length, type, bcdUSB 2.0
+		class, 0, 0, 64, // class, subclass, protocol, maxpacket
+		byte(vid), byte(vid >> 8),
+		byte(pid), byte(pid >> 8),
+		0, 1, // bcdDevice
+		0, 0, 0, // string indexes
+		1, // one configuration
+	}
+}
+
+// Keyboard is a HID keyboard: key presses queue 8-byte boot-protocol
+// reports, drained through interrupt endpoint 1.
+type Keyboard struct {
+	mu      sync.Mutex
+	reports [][]byte
+	config  uint8
+
+	// Counters.
+	Polls uint64
+}
+
+// NewKeyboard returns an idle keyboard.
+func NewKeyboard() *Keyboard { return &Keyboard{} }
+
+// PressKey queues press and release reports for a HID usage code.
+func (k *Keyboard) PressKey(code uint8) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	press := make([]byte, 8)
+	press[2] = code
+	k.reports = append(k.reports, press, make([]byte, 8))
+}
+
+// Control implements Device.
+func (k *Keyboard) Control(s SetupPacket, data []byte) ([]byte, error) {
+	switch s.Request {
+	case ReqGetDescriptor:
+		if s.Value>>8 == DescDevice {
+			return deviceDescriptor(0x413C, 0x2107, ClassHID), nil
+		}
+		return nil, fmt.Errorf("usb: keyboard: unknown descriptor %#x", s.Value)
+	case ReqSetConfiguration:
+		k.config = uint8(s.Value)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("usb: keyboard: unsupported request %d", s.Request)
+	}
+}
+
+// In implements Device: endpoint 1 is the interrupt report pipe.
+func (k *Keyboard) In(ep, maxLen int) ([]byte, error) {
+	if ep != 1 {
+		return nil, fmt.Errorf("usb: keyboard: no IN endpoint %d", ep)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.Polls++
+	if len(k.reports) == 0 {
+		return nil, nil // NAK
+	}
+	r := k.reports[0]
+	k.reports = k.reports[1:]
+	return r, nil
+}
+
+// Out implements Device (LED reports are accepted and ignored).
+func (k *Keyboard) Out(ep int, data []byte) error { return nil }
+
+// Disk is a bulk-storage device speaking a minimal block protocol:
+// a 16-byte command block on OUT endpoint 2 ({op, lba[4], count[2]}), data
+// on IN endpoint 1 (reads) or appended to the command (writes).
+const (
+	// BlockSize is the disk sector size.
+	BlockSize = 512
+
+	// Disk protocol opcodes.
+	DiskOpRead  = 1
+	DiskOpWrite = 2
+)
+
+// Disk is the storage device.
+type Disk struct {
+	image  []byte
+	config uint8
+
+	pending []byte // staged read data for the IN endpoint
+
+	// Counters.
+	Reads, Writes uint64
+}
+
+// NewDisk creates a disk with the given number of blocks.
+func NewDisk(blocks int) *Disk {
+	return &Disk{image: make([]byte, blocks*BlockSize)}
+}
+
+// Blocks returns capacity.
+func (d *Disk) Blocks() int { return len(d.image) / BlockSize }
+
+// Peek reads the raw image (tests).
+func (d *Disk) Peek(lba, count int) []byte {
+	return d.image[lba*BlockSize : (lba+count)*BlockSize]
+}
+
+// Control implements Device.
+func (d *Disk) Control(s SetupPacket, data []byte) ([]byte, error) {
+	switch s.Request {
+	case ReqGetDescriptor:
+		if s.Value>>8 == DescDevice {
+			return deviceDescriptor(0x0781, 0x5567, ClassStorage), nil
+		}
+		return nil, fmt.Errorf("usb: disk: unknown descriptor %#x", s.Value)
+	case ReqSetConfiguration:
+		d.config = uint8(s.Value)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("usb: disk: unsupported request %d", s.Request)
+	}
+}
+
+// Out implements Device: endpoint 2 receives command blocks (+ write data).
+func (d *Disk) Out(ep int, data []byte) error {
+	if ep != 2 {
+		return fmt.Errorf("usb: disk: no OUT endpoint %d", ep)
+	}
+	if len(data) < 16 {
+		return fmt.Errorf("usb: disk: short command block")
+	}
+	op := data[0]
+	lba := int(data[1]) | int(data[2])<<8 | int(data[3])<<16 | int(data[4])<<24
+	count := int(data[5]) | int(data[6])<<8
+	if lba < 0 || count <= 0 || (lba+count)*BlockSize > len(d.image) {
+		return fmt.Errorf("usb: disk: access beyond capacity (lba %d count %d)", lba, count)
+	}
+	switch op {
+	case DiskOpRead:
+		d.Reads++
+		d.pending = append(d.pending[:0], d.image[lba*BlockSize:(lba+count)*BlockSize]...)
+		return nil
+	case DiskOpWrite:
+		payload := data[16:]
+		if len(payload) != count*BlockSize {
+			return fmt.Errorf("usb: disk: write payload %d bytes, want %d", len(payload), count*BlockSize)
+		}
+		d.Writes++
+		copy(d.image[lba*BlockSize:], payload)
+		return nil
+	default:
+		return fmt.Errorf("usb: disk: unknown op %d", op)
+	}
+}
+
+// In implements Device: endpoint 1 streams staged read data.
+func (d *Disk) In(ep, maxLen int) ([]byte, error) {
+	if ep != 1 {
+		return nil, fmt.Errorf("usb: disk: no IN endpoint %d", ep)
+	}
+	if len(d.pending) == 0 {
+		return nil, nil // NAK
+	}
+	n := maxLen
+	if n > len(d.pending) {
+		n = len(d.pending)
+	}
+	out := d.pending[:n]
+	d.pending = d.pending[n:]
+	return out, nil
+}

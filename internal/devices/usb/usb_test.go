@@ -1,0 +1,237 @@
+package usb
+
+import (
+	"bytes"
+	"testing"
+
+	"sud/internal/hw"
+	"sud/internal/mem"
+	"sud/internal/pci"
+)
+
+func rig(t *testing.T) (*hw.Machine, *HostController) {
+	t.Helper()
+	m := hw.NewMachine(hw.DefaultPlatform())
+	h := New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000)
+	h.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
+	m.AttachDevice(h)
+	dom := m.IOMMU.NewDomain()
+	dom.Passthrough = true
+	m.IOMMU.Attach(h.BDF(), dom)
+	return m, h
+}
+
+// execTD builds a TD in DRAM and rings the doorbell; returns status+actual.
+func execTD(t *testing.T, m *hw.Machine, h *HostController, devAddr uint8, ep, dir, length int,
+	buf mem.Addr, setup *SetupPacket) (int, int) {
+	t.Helper()
+	tdAddr, _ := m.Alloc.AllocPages(1)
+	var td [TDSize]byte
+	td[0] = devAddr
+	td[1] = byte(ep)
+	td[2] = byte(dir)
+	td[4] = byte(length)
+	td[5] = byte(length >> 8)
+	for i := 0; i < 8; i++ {
+		td[8+i] = byte(uint64(buf) >> (8 * i))
+	}
+	if setup != nil {
+		sp := setup.Marshal()
+		copy(td[16:24], sp[:])
+	}
+	m.Mem.MustWrite(tdAddr, td[:])
+	h.MMIOWrite(0, RegUSBCmd, 4, 1)
+	h.MMIOWrite(0, RegTDAddr, 4, uint64(uint32(tdAddr)))
+	h.MMIOWrite(0, RegDoorbell, 4, 1)
+	back := make([]byte, TDSize)
+	m.Mem.MustRead(tdAddr, back)
+	return int(back[3]), int(back[6]) | int(back[7])<<8
+}
+
+func TestPortStatusAndReset(t *testing.T) {
+	m, h := rig(t)
+	_ = m
+	kbd := NewKeyboard()
+	if err := h.AttachUSB(0, kbd); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AttachUSB(9, kbd); err == nil {
+		t.Fatal("attached beyond root hub")
+	}
+	if uint32(h.MMIORead(0, RegPortBase, 4))&PortConnected == 0 {
+		t.Fatal("connected port reads disconnected")
+	}
+	if uint32(h.MMIORead(0, RegPortBase+4, 4))&PortConnected != 0 {
+		t.Fatal("empty port reads connected")
+	}
+	h.MMIOWrite(0, RegPortBase, 4, PortReset)
+	if uint32(h.MMIORead(0, RegPortBase, 4))&PortEnabled == 0 {
+		t.Fatal("port not enabled after reset")
+	}
+}
+
+func TestSetupGetDescriptor(t *testing.T) {
+	m, h := rig(t)
+	kbd := NewKeyboard()
+	if err := h.AttachUSB(0, kbd); err != nil {
+		t.Fatal(err)
+	}
+	h.MMIOWrite(0, RegPortBase, 4, PortReset)
+	buf, _ := m.Alloc.AllocPages(1)
+	status, actual := execTD(t, m, h, 0, 0, DirSetup, 18, buf, &SetupPacket{
+		RequestType: 0x80, Request: ReqGetDescriptor, Value: DescDevice << 8, Length: 18,
+	})
+	if status != TDOK || actual != 18 {
+		t.Fatalf("status=%d actual=%d", status, actual)
+	}
+	desc := make([]byte, 18)
+	m.Mem.MustRead(buf, desc)
+	if desc[0] != 18 || desc[1] != DescDevice || desc[4] != ClassHID {
+		t.Fatalf("descriptor % x", desc)
+	}
+}
+
+func TestAddressAssignmentFlow(t *testing.T) {
+	m, h := rig(t)
+	kbd := NewKeyboard()
+	disk := NewDisk(8)
+	if err := h.AttachUSB(0, kbd); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AttachUSB(1, disk); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := m.Alloc.AllocPages(1)
+
+	h.MMIOWrite(0, RegPortBase, 4, PortReset)
+	if st, _ := execTD(t, m, h, 0, 0, DirSetup, 0, buf, &SetupPacket{Request: ReqSetAddress, Value: 1}); st != TDOK {
+		t.Fatal("SET_ADDRESS failed")
+	}
+	// Address 0 no longer answers; address 1 does.
+	if st, _ := execTD(t, m, h, 0, 0, DirSetup, 18, buf, &SetupPacket{
+		RequestType: 0x80, Request: ReqGetDescriptor, Value: DescDevice << 8, Length: 18}); st != TDStall {
+		t.Fatal("default address still answering after SET_ADDRESS")
+	}
+	if st, _ := execTD(t, m, h, 1, 0, DirSetup, 18, buf, &SetupPacket{
+		RequestType: 0x80, Request: ReqGetDescriptor, Value: DescDevice << 8, Length: 18}); st != TDOK {
+		t.Fatal("assigned address not answering")
+	}
+	// Second port gets address 2 independently.
+	h.MMIOWrite(0, RegPortBase+4, 4, PortReset)
+	if st, _ := execTD(t, m, h, 0, 0, DirSetup, 0, buf, &SetupPacket{Request: ReqSetAddress, Value: 2}); st != TDOK {
+		t.Fatal("second SET_ADDRESS failed")
+	}
+	desc := make([]byte, 18)
+	if st, _ := execTD(t, m, h, 2, 0, DirSetup, 18, buf, &SetupPacket{
+		RequestType: 0x80, Request: ReqGetDescriptor, Value: DescDevice << 8, Length: 18}); st != TDOK {
+		t.Fatal("disk not answering at address 2")
+	}
+	m.Mem.MustRead(buf, desc)
+	if desc[4] != ClassStorage {
+		t.Fatal("address 2 is not the disk")
+	}
+}
+
+func TestInterruptNakAndData(t *testing.T) {
+	m, h := rig(t)
+	kbd := NewKeyboard()
+	if err := h.AttachUSB(0, kbd); err != nil {
+		t.Fatal(err)
+	}
+	h.MMIOWrite(0, RegPortBase, 4, PortReset)
+	buf, _ := m.Alloc.AllocPages(1)
+	if st, _ := execTD(t, m, h, 0, 1, DirIn, 8, buf, nil); st != TDNak {
+		t.Fatal("idle keyboard did not NAK")
+	}
+	kbd.PressKey(0x1D)
+	st, actual := execTD(t, m, h, 0, 1, DirIn, 8, buf, nil)
+	if st != TDOK || actual != 8 {
+		t.Fatalf("report: st=%d actual=%d", st, actual)
+	}
+	rep := make([]byte, 8)
+	m.Mem.MustRead(buf, rep)
+	if rep[2] != 0x1D {
+		t.Fatalf("report % x", rep)
+	}
+}
+
+func TestStallOnBadEndpointAndMissingDevice(t *testing.T) {
+	m, h := rig(t)
+	kbd := NewKeyboard()
+	if err := h.AttachUSB(0, kbd); err != nil {
+		t.Fatal(err)
+	}
+	h.MMIOWrite(0, RegPortBase, 4, PortReset)
+	buf, _ := m.Alloc.AllocPages(1)
+	if st, _ := execTD(t, m, h, 0, 5, DirIn, 8, buf, nil); st != TDStall {
+		t.Fatal("bad endpoint did not stall")
+	}
+	if st, _ := execTD(t, m, h, 7, 1, DirIn, 8, buf, nil); st != TDStall {
+		t.Fatal("missing device did not stall")
+	}
+}
+
+func TestControllerStoppedIgnoresDoorbell(t *testing.T) {
+	m, h := rig(t)
+	h.MMIOWrite(0, RegUSBCmd, 4, 0)
+	h.MMIOWrite(0, RegDoorbell, 4, 1)
+	if h.Transfers != 0 {
+		t.Fatal("stopped controller executed a TD")
+	}
+	_ = m
+}
+
+func TestDiskProtocolDirect(t *testing.T) {
+	d := NewDisk(4)
+	if d.Blocks() != 4 {
+		t.Fatalf("blocks = %d", d.Blocks())
+	}
+	// Write command with payload.
+	cmd := make([]byte, 16, 16+BlockSize)
+	cmd[0] = DiskOpWrite
+	cmd[1] = 1 // lba
+	cmd[5] = 1 // count
+	payload := bytes.Repeat([]byte{0xAB}, BlockSize)
+	if err := d.Out(2, append(cmd, payload...)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Peek(1, 1), payload) {
+		t.Fatal("write missed")
+	}
+	// Read command then drain ep1.
+	rcmd := make([]byte, 16)
+	rcmd[0] = DiskOpRead
+	rcmd[1] = 1
+	rcmd[5] = 1
+	if err := d.Out(2, rcmd); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for {
+		chunk, err := d.In(1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		got = append(got, chunk...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read-back mismatch")
+	}
+	// Bounds.
+	bad := make([]byte, 16)
+	bad[0] = DiskOpRead
+	bad[1] = 100
+	bad[5] = 1
+	if err := d.Out(2, bad); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := d.Out(2, []byte{1, 2}); err == nil {
+		t.Fatal("short command accepted")
+	}
+	if err := d.Out(5, bad); err == nil {
+		t.Fatal("wrong endpoint accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package api defines the Linux-like kernel/driver interface this repository's
+// "unmodified" drivers are written against. It is the Go rendition of the
+// kernel facilities in the paper's Figure 2 example: pci_enable_device,
+// ioremap, dma_alloc_coherent, request_irq, register_netdev, netif_rx and
+// friends.
+//
+// The point of the package is the SUD property: the same driver code runs in
+// two hosts without modification —
+//
+//   - the trusted in-kernel host (internal/kernel), where every call is a
+//     direct, fast kernel operation; and
+//   - SUD-UML (internal/sudml), where the same calls are serviced in an
+//     untrusted user-space process via downcalls to the safe PCI access
+//     module and the uchan RPC layer.
+//
+// Drivers import only this package; they cannot tell which host they run in.
+package api
+
+import "sud/internal/mem"
+
+// MMIO is a mapped view of one memory BAR (the result of ioremap).
+type MMIO interface {
+	// Read32 reads the 32-bit register at byte offset off.
+	Read32(off uint64) uint32
+	// Write32 writes the 32-bit register at byte offset off.
+	Write32(off uint64, v uint32)
+}
+
+// PortIO is an IO-space BAR claimed with RequestRegion (legacy devices).
+type PortIO interface {
+	// In8/Out8 access one byte-wide port at the given offset.
+	In8(off uint64) uint8
+	Out8(off uint64, v uint8)
+	// In16/Out16 access a word-wide port.
+	In16(off uint64) uint16
+	Out16(off uint64, v uint16)
+}
+
+// DMABuf is DMA-capable memory (dma_alloc_coherent / the dma_caching pool).
+// BusAddr is what the driver programs into device descriptors: in the
+// in-kernel host it is a physical address; under SUD it is the IO virtual
+// address mapped by the device's IOMMU page table (and, per §4.1, equal to
+// the driver process's own virtual address for the buffer).
+type DMABuf interface {
+	BusAddr() mem.Addr
+	Size() int
+	// Read/Write access the buffer from the CPU side.
+	Read(off int, p []byte) error
+	Write(off int, p []byte) error
+	// Slice returns a zero-copy view of [off, off+n) when the host can
+	// map the range directly (it can, for ranges within one page); ok
+	// reports success. Writes through the view are visible to DMA.
+	Slice(off, n int) ([]byte, bool)
+}
+
+// NetDevice is the driver's half of the netdev contract — the
+// net_device_ops table from Figure 2.
+type NetDevice interface {
+	// Open prepares the device for operation (ndo_open: ifconfig up).
+	Open() error
+	// Stop quiesces the device (ndo_stop).
+	Stop() error
+	// StartXmit transmits one Ethernet frame (ndo_start_xmit). The
+	// callee owns the slice.
+	StartXmit(frame []byte) error
+	// DoIoctl handles device-private ioctls (ndo_do_ioctl), e.g.
+	// SIOCGMIIREG in the paper's example.
+	DoIoctl(cmd uint32, arg []byte) ([]byte, error)
+}
+
+// Well-known ioctl commands.
+const (
+	// IoctlGetMIIStatus returns MII media status, the paper's
+	// synchronous-upcall example.
+	IoctlGetMIIStatus uint32 = 0x8948 // SIOCGMIIREG
+)
+
+// NetKernel is the kernel's half of the netdev contract: the calls a driver
+// makes into the network core.
+type NetKernel interface {
+	// NetifRx submits a received frame to the kernel's network stack.
+	// The callee owns the slice.
+	NetifRx(frame []byte)
+	// CarrierOn/CarrierOff report link state changes (the shared-memory
+	// state the SUD proxy mirrors, §3.3).
+	CarrierOn()
+	CarrierOff()
+	// WakeQueue re-enables transmission after the driver stopped the
+	// queue (ring full).
+	WakeQueue()
+}
+
+// Env is the kernel environment a driver instance runs in: one bound PCI
+// device plus the kernel services the driver may use.
+type Env interface {
+	// --- PCI configuration (filtered under SUD, §3.2.1) ---
+
+	ConfigRead(off, size int) (uint32, error)
+	ConfigWrite(off, size int, v uint32) error
+	// EnableDevice enables memory/IO decoding (pci_enable_device).
+	EnableDevice() error
+	// SetMaster enables bus mastering (pci_set_master).
+	SetMaster() error
+	// FindCapability returns the config offset of the capability, or 0
+	// (pci_find_capability — a paper Figure 7 downcall).
+	FindCapability(id uint8) int
+
+	// --- Device memory ---
+
+	// IORemap maps memory BAR bar (ioremap).
+	IORemap(bar int) (MMIO, error)
+	// RequestRegion claims IO-space BAR bar (request_region); under SUD
+	// this populates the process's IO permission bitmap (§3.2.1).
+	RequestRegion(bar int) (PortIO, error)
+
+	// --- DMA memory (§4.1 device files dma_coherent / dma_caching) ---
+
+	// AllocCoherent allocates uncached DMA memory for descriptor rings.
+	AllocCoherent(size int) (DMABuf, error)
+	// AllocCaching allocates cached DMA memory for packet buffers.
+	AllocCaching(size int) (DMABuf, error)
+	// FreeDMA releases a DMA allocation.
+	FreeDMA(DMABuf) error
+
+	// --- Interrupts ---
+
+	// RequestIRQ wires the device's MSI to handler (request_irq).
+	RequestIRQ(handler func()) error
+	// FreeIRQ unwires it (free_irq).
+	FreeIRQ() error
+	// IRQAck signals the driver has finished processing an interrupt;
+	// under SUD this is the interrupt_ack downcall that unmasks the MSI
+	// if SUD masked it (§3.2.2).
+	IRQAck()
+
+	// --- Kernel services ---
+
+	// RegisterNetDev registers an Ethernet device (register_netdev) and
+	// returns the kernel's half of the contract.
+	RegisterNetDev(name string, macAddr [6]byte, dev NetDevice) (NetKernel, error)
+	// Jiffies returns the kernel tick counter.
+	Jiffies() uint64
+	// Timer schedules fn to run once, delayJiffies ticks from now
+	// (add_timer); drivers use it for watchdogs and scan timeouts.
+	Timer(delayJiffies uint64, fn func())
+	// Logf emits a kernel log line (printk).
+	Logf(format string, args ...any)
+}
+
+// Driver is a device driver module: identity, match rule, probe entry point.
+type Driver interface {
+	// Name is the module name ("e1000e", "ne2k-pci", ...).
+	Name() string
+	// Match reports whether the driver claims the PCI ID.
+	Match(vendor, device uint16) bool
+	// Probe binds the driver to the device exposed through env.
+	Probe(env Env) (Instance, error)
+}
+
+// Instance is one bound driver instance.
+type Instance interface {
+	// Remove unbinds the driver (module unload / device removal).
+	Remove()
+}

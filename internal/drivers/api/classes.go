@@ -1,0 +1,102 @@
+package api
+
+// This file defines the additional driver-class contracts beyond Ethernet:
+// 802.11 wireless, audio (PCM), and the generic control surface used by
+// driver processes whose class needs no dedicated proxy (the paper's USB
+// host class, Figure 5: "USB host proxy driver — 0 lines").
+
+// BSS describes one 802.11 network found in a scan.
+type BSS struct {
+	SSID    string
+	BSSID   [6]byte
+	Channel int
+	// Signal is RSSI in dBm (negative).
+	Signal int
+}
+
+// WifiDevice is the driver's half of the wireless contract (a condensed
+// cfg80211 ops table).
+type WifiDevice interface {
+	// Open/Stop manage the interface like a netdev.
+	Open() error
+	Stop() error
+	// StartScan begins an asynchronous scan; results arrive via
+	// WifiKernel.ScanDone.
+	StartScan() error
+	// Associate joins the given SSID (must have appeared in a scan);
+	// completion arrives via WifiKernel.Associated.
+	Associate(ssid string) error
+	// Disassociate leaves the current network.
+	Disassociate() error
+	// StartXmit transmits one data frame.
+	StartXmit(frame []byte) error
+	// Features returns the static capability set the kernel mirrors
+	// (§3.1.1: queried from a non-preemptable context, so the proxy
+	// must answer from mirrored state, never by upcall).
+	Features() uint32
+}
+
+// Wifi feature bits.
+const (
+	WifiFeatShortPreamble uint32 = 1 << 0
+	WifiFeat11g           uint32 = 1 << 1
+	WifiFeat11n           uint32 = 1 << 2
+	WifiFeatPowersave     uint32 = 1 << 3
+)
+
+// WifiKernel is the kernel's half: notifications from the driver.
+type WifiKernel interface {
+	// NetifRx submits a received data frame.
+	NetifRx(frame []byte)
+	// ScanDone reports scan results (the bss_change upcall family of
+	// Figure 7 flows the other way: this is the driver informing the
+	// kernel, mirrored into kernel state).
+	ScanDone(results []BSS)
+	// Associated reports a successful association; the kernel mirrors
+	// link state.
+	Associated(ssid string)
+	// Disassociated reports link loss.
+	Disassociated()
+}
+
+// AudioDevice is the driver's half of the PCM contract (a condensed ALSA
+// ops table).
+type AudioDevice interface {
+	// PrepareStream configures a playback stream: sample rate in Hz,
+	// bytes per period, and the number of periods in the ring.
+	PrepareStream(rateHz, periodBytes, periods int) error
+	// WritePeriod copies one period of samples into the stream ring at
+	// the given period index.
+	WritePeriod(idx int, samples []byte) error
+	// Trigger starts or stops the stream.
+	Trigger(start bool) error
+	// Pointer returns the hardware playback position in bytes.
+	Pointer() (int, error)
+}
+
+// AudioKernel is the kernel's half of the PCM contract.
+type AudioKernel interface {
+	// PeriodElapsed reports that the device consumed one period — the
+	// kernel's cue to refill (and the latency-critical path that makes
+	// real-time scheduling matter, §4.1).
+	PeriodElapsed()
+	// XRun reports an underrun.
+	XRun()
+}
+
+// CtlHandler is an optional interface for driver instances that expose a
+// control surface directly through the SUD ctl channel, without a
+// class-specific proxy — how USB host drivers need zero proxy code.
+type CtlHandler interface {
+	Ctl(cmd uint32, arg []byte) ([]byte, error)
+}
+
+// EnvWifi is implemented by hosts that support wireless drivers.
+type EnvWifi interface {
+	RegisterWifiDev(name string, mac [6]byte, dev WifiDevice) (WifiKernel, error)
+}
+
+// EnvAudio is implemented by hosts that support audio drivers.
+type EnvAudio interface {
+	RegisterSoundDev(name string, dev AudioDevice) (AudioKernel, error)
+}

@@ -1,0 +1,442 @@
+// Package e1000e is the Gigabit Ethernet driver for the e1000 device model,
+// written exclusively against the Linux-like API in internal/drivers/api —
+// the repository's rendition of the paper's unmodified e1000e driver. The
+// identical code runs as a trusted in-kernel driver (the Figure 8 baseline)
+// and inside an untrusted SUD-UML process; it cannot tell the difference.
+//
+// The driver is a scaled-down but structurally faithful Linux NIC driver:
+// EEPROM MAC read at probe, coherent descriptor rings, NAPI-style ring
+// polling from the interrupt handler, interrupt throttling via ITR, TX
+// descriptor reclaim with queue stop/wake backpressure, and a watchdog timer
+// mirroring link state to the stack.
+package e1000e
+
+import (
+	"fmt"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/drivers/api"
+)
+
+// Ring and buffer geometry, as the Linux driver configures it (§4.2 notes
+// the e1000e allocates 256 buffers for each ring).
+const (
+	RingSize = 256
+	BufSize  = 2048
+
+	// itrBulk programs ~8000 interrupts/s for bulk traffic (ITR units
+	// are 256 ns); itrLatency disables throttling for latency-sensitive
+	// traffic. The driver switches between them like the Linux e1000e's
+	// dynamic InterruptThrottleRate mode.
+	itrBulk    = 488
+	itrLatency = 0
+
+	// watchdogJiffies is the link watchdog period (2 s at HZ=250... the
+	// Linux driver also uses 2 s).
+	watchdogJiffies = 500
+)
+
+// Driver is the module object.
+type Driver struct{}
+
+// New returns the driver module.
+func New() api.Driver { return Driver{} }
+
+// Name implements api.Driver.
+func (Driver) Name() string { return "e1000e" }
+
+// Match implements api.Driver: claim Intel 82574L.
+func (Driver) Match(vendor, device uint16) bool {
+	return vendor == 0x8086 && device == 0x10D3
+}
+
+// Probe implements api.Driver.
+func (Driver) Probe(env api.Env) (api.Instance, error) {
+	n := &nic{env: env}
+	if err := n.probe(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type nic struct {
+	env  api.Env
+	mmio api.MMIO
+	net  api.NetKernel
+	mac  [6]byte
+
+	txRing, rxRing api.DMABuf
+	txBufs, rxBufs api.DMABuf
+
+	txTail     int // next descriptor to fill
+	txReclaim  int // next descriptor to reclaim
+	txInFlight int
+	rxNext     int // next descriptor to poll
+
+	opened       bool
+	removed      bool
+	queueStopped bool
+	carrier      bool
+
+	// Dynamic ITR state.
+	itrCur    uint32
+	lowStreak int
+
+	// Counters (visible to tests and the stats ioctl).
+	TxPkts, RxPkts, TxDrops uint64
+	Interrupts              uint64
+}
+
+var _ api.NetDevice = (*nic)(nil)
+var _ api.Instance = (*nic)(nil)
+
+func (n *nic) probe() error {
+	env := n.env
+	if err := env.EnableDevice(); err != nil {
+		return err
+	}
+	if err := env.SetMaster(); err != nil {
+		return err
+	}
+	m, err := env.IORemap(0)
+	if err != nil {
+		return err
+	}
+	n.mmio = m
+
+	// Reset the function, then bring the MAC out of reset.
+	m.Write32(e1000.RegCTRL, e1000.CtrlRST)
+	m.Write32(e1000.RegCTRL, e1000.CtrlSLU)
+
+	// Read the MAC address from EEPROM words 0..2.
+	for w := 0; w < 3; w++ {
+		m.Write32(e1000.RegEERD, uint32(w)<<8|e1000.EerdStart)
+		v := m.Read32(e1000.RegEERD)
+		if v&e1000.EerdDone == 0 {
+			return fmt.Errorf("e1000e: EEPROM read timeout (word %d)", w)
+		}
+		n.mac[2*w] = byte(v >> 16)
+		n.mac[2*w+1] = byte(v >> 24)
+	}
+
+	nk, err := env.RegisterNetDev("eth0", n.mac, n)
+	if err != nil {
+		return err
+	}
+	n.net = nk
+	env.Logf("e1000e: probed, MAC %02x:%02x:%02x:%02x:%02x:%02x",
+		n.mac[0], n.mac[1], n.mac[2], n.mac[3], n.mac[4], n.mac[5])
+	return nil
+}
+
+// Remove implements api.Instance.
+func (n *nic) Remove() {
+	if n.opened {
+		_ = n.Stop()
+	}
+	n.removed = true
+}
+
+// --- api.NetDevice ----------------------------------------------------------
+
+// Open implements ndo_open: allocate rings, program the device, request the
+// interrupt, enable TX/RX.
+func (n *nic) Open() error {
+	if n.opened {
+		return nil
+	}
+	env := n.env
+	var err error
+	if n.txRing, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+		return err
+	}
+	if n.rxRing, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+		return err
+	}
+	if n.txBufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+		return err
+	}
+	if n.rxBufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+		return err
+	}
+
+	m := n.mmio
+	m.Write32(e1000.RegTDBAL, uint32(n.txRing.BusAddr()))
+	m.Write32(e1000.RegTDBAH, uint32(uint64(n.txRing.BusAddr())>>32))
+	m.Write32(e1000.RegTDLEN, RingSize*e1000.DescSize)
+	m.Write32(e1000.RegTDH, 0)
+	m.Write32(e1000.RegTDT, 0)
+
+	m.Write32(e1000.RegRDBAL, uint32(n.rxRing.BusAddr()))
+	m.Write32(e1000.RegRDBAH, uint32(uint64(n.rxRing.BusAddr())>>32))
+	m.Write32(e1000.RegRDLEN, RingSize*e1000.DescSize)
+	m.Write32(e1000.RegRDH, 0)
+
+	// Arm every RX descriptor with a buffer; leave one slot to
+	// distinguish full from empty.
+	for i := 0; i < RingSize; i++ {
+		n.armRxDesc(i)
+	}
+	m.Write32(e1000.RegRDT, RingSize-1)
+	n.rxNext = 0
+	n.txTail, n.txReclaim, n.txInFlight = 0, 0, 0
+
+	if err := env.RequestIRQ(n.irq); err != nil {
+		return err
+	}
+	n.itrCur = itrBulk
+	m.Write32(e1000.RegITR, itrBulk)
+	m.Write32(e1000.RegIMS, e1000.IntTXDW|e1000.IntRXT0|e1000.IntRXO|e1000.IntLSC)
+	m.Write32(e1000.RegTCTL, e1000.TctlEN)
+	m.Write32(e1000.RegRCTL, e1000.RctlEN)
+
+	n.opened = true
+	n.watchdog()
+	return nil
+}
+
+// Stop implements ndo_stop.
+func (n *nic) Stop() error {
+	if !n.opened {
+		return nil
+	}
+	n.opened = false
+	m := n.mmio
+	m.Write32(e1000.RegIMC, 0xFFFFFFFF)
+	m.Write32(e1000.RegTCTL, 0)
+	m.Write32(e1000.RegRCTL, 0)
+	if err := n.env.FreeIRQ(); err != nil {
+		return err
+	}
+	for _, b := range []api.DMABuf{n.txRing, n.rxRing, n.txBufs, n.rxBufs} {
+		if b != nil {
+			if err := n.env.FreeDMA(b); err != nil {
+				return err
+			}
+		}
+	}
+	n.txRing, n.rxRing, n.txBufs, n.rxBufs = nil, nil, nil, nil
+	if n.carrier {
+		n.carrier = false
+		n.net.CarrierOff()
+	}
+	return nil
+}
+
+// StartXmit implements ndo_start_xmit.
+func (n *nic) StartXmit(frame []byte) error {
+	if !n.opened {
+		return fmt.Errorf("e1000e: device closed")
+	}
+	if len(frame) > BufSize {
+		n.TxDrops++
+		return fmt.Errorf("e1000e: frame too large (%d bytes)", len(frame))
+	}
+	if n.txInFlight >= RingSize-1 {
+		// Ring full: reclaim completed descriptors inline, then give up
+		// and stop the queue (the stack retries after WakeQueue).
+		n.reclaimTx()
+		if n.txInFlight >= RingSize-1 {
+			n.queueStopped = true
+			return fmt.Errorf("e1000e: TX ring full")
+		}
+	}
+	slot := n.txTail
+	bufOff := slot * BufSize
+	// Copy the frame into the slot's DMA buffer. (The zero-copy view is
+	// used when available; Write charges the same per-byte cost.)
+	if view, ok := n.txBufs.Slice(bufOff, len(frame)); ok {
+		copy(view, frame)
+	} else if err := n.txBufs.Write(bufOff, frame); err != nil {
+		return err
+	}
+	// Build the legacy TX descriptor.
+	var desc [e1000.DescSize]byte
+	putLE64(desc[0:8], uint64(n.txBufs.BusAddr())+uint64(bufOff))
+	putLE16(desc[8:10], uint16(len(frame)))
+	desc[11] = e1000.TxCmdEOP | e1000.TxCmdRS
+	if err := n.writeDesc(n.txRing, slot, desc[:]); err != nil {
+		return err
+	}
+	n.txTail = (n.txTail + 1) % RingSize
+	n.txInFlight++
+	n.mmio.Write32(e1000.RegTDT, uint32(n.txTail))
+	n.TxPkts++
+	return nil
+}
+
+// DoIoctl implements ndo_do_ioctl; SIOCGMIIREG reports link status, the
+// paper's example of a synchronous upcall.
+func (n *nic) DoIoctl(cmd uint32, arg []byte) ([]byte, error) {
+	switch cmd {
+	case api.IoctlGetMIIStatus:
+		status := n.mmio.Read32(e1000.RegSTATUS)
+		return []byte{byte(status & e1000.StatusLU)}, nil
+	default:
+		return nil, fmt.Errorf("e1000e: unsupported ioctl %#x", cmd)
+	}
+}
+
+// --- interrupt path ---------------------------------------------------------
+
+func (n *nic) irq() {
+	if !n.opened {
+		return
+	}
+	n.Interrupts++
+	work := 0
+	icr := n.mmio.Read32(e1000.RegICR) // read clears
+	if icr&e1000.IntLSC != 0 {
+		n.checkLink()
+	}
+	if icr&e1000.IntTXDW != 0 {
+		work += n.reclaimTx()
+	}
+	if icr&(e1000.IntRXT0|e1000.IntRXO) != 0 {
+		work += n.pollRx()
+	}
+	n.tuneITR(work)
+	n.env.IRQAck()
+}
+
+// tuneITR is the dynamic interrupt moderation policy: sparse per-interrupt
+// work means latency-bound traffic (drop throttling); deep batches mean bulk
+// streams (throttle to ~8000/s).
+func (n *nic) tuneITR(work int) {
+	switch {
+	case work <= 2:
+		n.lowStreak++
+		if n.lowStreak >= 3 && n.itrCur != itrLatency {
+			n.itrCur = itrLatency
+			n.mmio.Write32(e1000.RegITR, itrLatency)
+		}
+	case work >= 8:
+		n.lowStreak = 0
+		if n.itrCur != itrBulk {
+			n.itrCur = itrBulk
+			n.mmio.Write32(e1000.RegITR, itrBulk)
+		}
+	default:
+		n.lowStreak = 0
+	}
+}
+
+// reclaimTx frees completed TX descriptors and wakes the queue if it was
+// stopped for lack of space. It returns the number of descriptors freed.
+func (n *nic) reclaimTx() int {
+	freed := 0
+	for n.txInFlight > 0 {
+		desc, err := n.readDesc(n.txRing, n.txReclaim)
+		if err != nil || desc[12]&e1000.TxStaDD == 0 {
+			break
+		}
+		n.txReclaim = (n.txReclaim + 1) % RingSize
+		n.txInFlight--
+		freed++
+	}
+	if freed > 0 && n.queueStopped {
+		n.queueStopped = false
+		n.net.WakeQueue()
+	}
+	return freed
+}
+
+// pollRx drains the RX ring NAPI-style: process every completed descriptor,
+// hand frames to the stack, re-arm and return descriptors to the hardware.
+// It returns the number of frames processed.
+func (n *nic) pollRx() int {
+	processed := 0
+	for {
+		desc, err := n.readDesc(n.rxRing, n.rxNext)
+		if err != nil || desc[12]&e1000.RxStaDD == 0 {
+			break
+		}
+		length := int(le16(desc[8:10]))
+		bufOff := n.rxNext * BufSize
+		if length > 0 && length <= BufSize {
+			var frame []byte
+			if view, ok := n.rxBufs.Slice(bufOff, length); ok {
+				frame = view // zero-copy into the stack, like an skb
+			} else {
+				frame = make([]byte, length)
+				if err := n.rxBufs.Read(bufOff, frame); err != nil {
+					break
+				}
+			}
+			n.RxPkts++
+			n.net.NetifRx(frame)
+		}
+		n.armRxDesc(n.rxNext)
+		n.mmio.Write32(e1000.RegRDT, uint32(n.rxNext))
+		n.rxNext = (n.rxNext + 1) % RingSize
+		processed++
+		if processed >= RingSize {
+			break // bounded work per interrupt, as NAPI budgets
+		}
+	}
+	return processed
+}
+
+// armRxDesc points descriptor i at its buffer with a cleared status.
+func (n *nic) armRxDesc(i int) {
+	var desc [e1000.DescSize]byte
+	putLE64(desc[0:8], uint64(n.rxBufs.BusAddr())+uint64(i*BufSize))
+	if err := n.writeDesc(n.rxRing, i, desc[:]); err != nil {
+		n.env.Logf("e1000e: arm rx desc %d: %v", i, err)
+	}
+}
+
+// --- link watchdog ----------------------------------------------------------
+
+func (n *nic) watchdog() {
+	if !n.opened || n.removed {
+		return
+	}
+	n.checkLink()
+	n.env.Timer(watchdogJiffies, n.watchdog)
+}
+
+func (n *nic) checkLink() {
+	up := n.mmio.Read32(e1000.RegSTATUS)&e1000.StatusLU != 0
+	if up && !n.carrier {
+		n.carrier = true
+		n.net.CarrierOn()
+		n.env.Logf("e1000e: link up")
+	} else if !up && n.carrier {
+		n.carrier = false
+		n.net.CarrierOff()
+		n.env.Logf("e1000e: link down")
+	}
+}
+
+// --- descriptor access ------------------------------------------------------
+
+func (n *nic) writeDesc(ring api.DMABuf, i int, desc []byte) error {
+	if view, ok := ring.Slice(i*e1000.DescSize, e1000.DescSize); ok {
+		copy(view, desc)
+		return nil
+	}
+	return ring.Write(i*e1000.DescSize, desc)
+}
+
+func (n *nic) readDesc(ring api.DMABuf, i int) ([]byte, error) {
+	if view, ok := ring.Slice(i*e1000.DescSize, e1000.DescSize); ok {
+		return view, nil
+	}
+	desc := make([]byte, e1000.DescSize)
+	err := ring.Read(i*e1000.DescSize, desc)
+	return desc, err
+}
+
+// MAC returns the address read from EEPROM (tests).
+func (n *nic) MAC() [6]byte { return n.mac }
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func putLE16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

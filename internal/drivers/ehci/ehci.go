@@ -1,0 +1,295 @@
+// Package ehci is the USB host controller driver — the repository's EHCI
+// stand-in (§4). It implements the usbcore HCD contract over the transfer-
+// descriptor mailbox of the usb device model, and exposes enumeration plus
+// the HID/storage class operations through the generic SUD ctl surface
+// (api.CtlHandler): the USB host class needs no proxy driver of its own
+// (Figure 5). Same code runs in-kernel and under SUD.
+package ehci
+
+import (
+	"fmt"
+
+	"sud/internal/devices/usb"
+	"sud/internal/drivers/api"
+	"sud/internal/drivers/usbcore"
+)
+
+// Ctl commands on the SUD ctl surface.
+const (
+	// CtlEnumerate scans the bus; reply: one byte count, then 6 bytes per
+	// device {addr, port, vid16, pid16... } (see marshalDevices).
+	CtlEnumerate uint32 = 1
+	// CtlHIDPoll polls the keyboard at Args-encoded address (arg[0]);
+	// reply: 8-byte report or empty.
+	CtlHIDPoll uint32 = 2
+	// CtlDiskRead reads blocks: arg = {addr, lba[4], count[2]}.
+	CtlDiskRead uint32 = 3
+	// CtlDiskWrite writes blocks: arg = {addr, lba[4], count[2], data...}.
+	CtlDiskWrite uint32 = 4
+)
+
+// Driver is the module object.
+type Driver struct{}
+
+// New returns the driver module.
+func New() api.Driver { return Driver{} }
+
+// Name implements api.Driver.
+func (Driver) Name() string { return "ehci-hcd" }
+
+// Match implements api.Driver (ICH9 EHCI).
+func (Driver) Match(vendor, device uint16) bool {
+	return vendor == 0x8086 && device == 0x293A
+}
+
+// Probe implements api.Driver.
+func (Driver) Probe(env api.Env) (api.Instance, error) {
+	h := &hcd{env: env}
+	if err := env.EnableDevice(); err != nil {
+		return nil, err
+	}
+	if err := env.SetMaster(); err != nil {
+		return nil, err
+	}
+	m, err := env.IORemap(0)
+	if err != nil {
+		return nil, err
+	}
+	h.mmio = m
+	// One page of DMA memory: TD at offset 0, data buffer after it.
+	buf, err := env.AllocCoherent(4096)
+	if err != nil {
+		return nil, err
+	}
+	h.dma = buf
+	m.Write32(usb.RegUSBIntr, usb.StsXferDone|usb.StsPortChange)
+	m.Write32(usb.RegUSBCmd, 1) // RUN
+	h.core = usbcore.New(h)
+	env.Logf("ehci-hcd: probed, %d root ports", h.Ports())
+	return h, nil
+}
+
+// hcd is the live driver; it implements usbcore.HCD and api.CtlHandler.
+type hcd struct {
+	env  api.Env
+	mmio api.MMIO
+	dma  api.DMABuf
+	core *usbcore.Core
+
+	// Counters.
+	Transfers uint64
+}
+
+var _ usbcore.HCD = (*hcd)(nil)
+var _ api.CtlHandler = (*hcd)(nil)
+var _ api.Instance = (*hcd)(nil)
+
+// Remove implements api.Instance.
+func (h *hcd) Remove() {
+	if h.mmio != nil {
+		h.mmio.Write32(usb.RegUSBCmd, 0)
+	}
+	if h.dma != nil {
+		_ = h.env.FreeDMA(h.dma)
+		h.dma = nil
+	}
+}
+
+// dataOff is where transfer payloads live inside the DMA page.
+const dataOff = usb.TDSize
+
+// submit writes a TD, rings the doorbell, and reads back the completion.
+func (h *hcd) submit(devAddr uint8, ep, dir, length int, setup *usb.SetupPacket) (status, actual int, err error) {
+	if length > 4096-dataOff {
+		return 0, 0, fmt.Errorf("ehci: transfer too large")
+	}
+	var td [usb.TDSize]byte
+	td[0] = devAddr
+	td[1] = byte(ep)
+	td[2] = byte(dir)
+	td[4] = byte(length)
+	td[5] = byte(length >> 8)
+	bufAddr := uint64(h.dma.BusAddr()) + dataOff
+	for i := 0; i < 8; i++ {
+		td[8+i] = byte(bufAddr >> (8 * i))
+	}
+	if setup != nil {
+		sp := setup.Marshal()
+		copy(td[16:24], sp[:])
+	}
+	if err := h.dma.Write(0, td[:]); err != nil {
+		return 0, 0, err
+	}
+	h.mmio.Write32(usb.RegTDAddr, uint32(h.dma.BusAddr()))
+	h.mmio.Write32(usb.RegDoorbell, 1)
+	h.Transfers++
+	// Busy-wait on completion (short transfers finish in-frame; the
+	// status read also clears USBSTS).
+	_ = h.mmio.Read32(usb.RegUSBSts)
+	back := make([]byte, usb.TDSize)
+	if err := h.dma.Read(0, back); err != nil {
+		return 0, 0, err
+	}
+	return int(back[3]), int(back[6]) | int(back[7])<<8, nil
+}
+
+// --- usbcore.HCD -------------------------------------------------------------
+
+// Ports implements usbcore.HCD.
+func (h *hcd) Ports() int { return usb.NumPorts }
+
+// PortConnected implements usbcore.HCD.
+func (h *hcd) PortConnected(p int) bool {
+	v := h.mmio.Read32(usb.RegPortBase + uint64(4*p))
+	return v&usb.PortConnected != 0
+}
+
+// ResetPort implements usbcore.HCD.
+func (h *hcd) ResetPort(p int) error {
+	h.mmio.Write32(usb.RegPortBase+uint64(4*p), usb.PortReset)
+	return nil
+}
+
+// ControlTransfer implements usbcore.HCD.
+func (h *hcd) ControlTransfer(addr uint8, setup usb.SetupPacket, data []byte) ([]byte, error) {
+	length := int(setup.Length)
+	if setup.RequestType&0x80 == 0 && data != nil {
+		if err := h.dma.Write(dataOff, data); err != nil {
+			return nil, err
+		}
+		length = len(data)
+	}
+	status, actual, err := h.submit(addr, 0, usb.DirSetup, length, &setup)
+	if err != nil {
+		return nil, err
+	}
+	if status != usb.TDOK {
+		return nil, fmt.Errorf("ehci: control transfer stalled")
+	}
+	if setup.RequestType&0x80 != 0 && actual > 0 {
+		out := make([]byte, actual)
+		if err := h.dma.Read(dataOff, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+// BulkIn implements usbcore.HCD.
+func (h *hcd) BulkIn(addr uint8, ep, maxLen int) ([]byte, error) {
+	status, actual, err := h.submit(addr, ep, usb.DirIn, maxLen, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case usb.TDNak:
+		return nil, nil
+	case usb.TDOK:
+		out := make([]byte, actual)
+		if err := h.dma.Read(dataOff, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ehci: bulk IN stalled")
+	}
+}
+
+// BulkOut implements usbcore.HCD.
+func (h *hcd) BulkOut(addr uint8, ep int, data []byte) error {
+	if err := h.dma.Write(dataOff, data); err != nil {
+		return err
+	}
+	status, _, err := h.submit(addr, ep, usb.DirOut, len(data), nil)
+	if err != nil {
+		return err
+	}
+	if status != usb.TDOK {
+		return fmt.Errorf("ehci: bulk OUT stalled")
+	}
+	return nil
+}
+
+// InterruptIn implements usbcore.HCD (same mechanics as bulk in this model).
+func (h *hcd) InterruptIn(addr uint8, ep, maxLen int) ([]byte, error) {
+	return h.BulkIn(addr, ep, maxLen)
+}
+
+// --- api.CtlHandler ------------------------------------------------------------
+
+// Ctl implements the generic SUD control surface.
+func (h *hcd) Ctl(cmd uint32, arg []byte) ([]byte, error) {
+	switch cmd {
+	case CtlEnumerate:
+		if err := h.core.Enumerate(); err != nil {
+			return nil, err
+		}
+		return marshalDevices(h.core.Devices()), nil
+	case CtlHIDPoll:
+		if len(arg) < 1 {
+			return nil, fmt.Errorf("ehci: HID poll needs an address")
+		}
+		return h.core.HIDPoll(arg[0])
+	case CtlDiskRead:
+		if len(arg) < 7 {
+			return nil, fmt.Errorf("ehci: short disk read request")
+		}
+		addr, lba, count := parseDiskArgs(arg)
+		return h.core.DiskRead(addr, lba, count)
+	case CtlDiskWrite:
+		if len(arg) < 7 {
+			return nil, fmt.Errorf("ehci: short disk write request")
+		}
+		addr, lba, _ := parseDiskArgs(arg)
+		return nil, h.core.DiskWrite(addr, lba, arg[7:])
+	default:
+		return nil, fmt.Errorf("ehci: unknown ctl %d", cmd)
+	}
+}
+
+func parseDiskArgs(arg []byte) (addr uint8, lba, count int) {
+	addr = arg[0]
+	lba = int(arg[1]) | int(arg[2])<<8 | int(arg[3])<<16 | int(arg[4])<<24
+	count = int(arg[5]) | int(arg[6])<<8
+	return
+}
+
+// DiskArgs marshals a disk request header.
+func DiskArgs(addr uint8, lba, count int) []byte {
+	return []byte{addr, byte(lba), byte(lba >> 8), byte(lba >> 16), byte(lba >> 24), byte(count), byte(count >> 8)}
+}
+
+func marshalDevices(devs []usbcore.DeviceInfo) []byte {
+	out := []byte{byte(len(devs))}
+	for _, d := range devs {
+		out = append(out, d.Address, byte(d.Port),
+			byte(d.VendorID), byte(d.VendorID>>8),
+			byte(d.DeviceID), byte(d.DeviceID>>8),
+			d.Class)
+	}
+	return out
+}
+
+// ParseDevices unmarshals a CtlEnumerate reply.
+func ParseDevices(data []byte) ([]usbcore.DeviceInfo, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("ehci: empty device list")
+	}
+	n := int(data[0])
+	if len(data) != 1+7*n {
+		return nil, fmt.Errorf("ehci: malformed device list")
+	}
+	out := make([]usbcore.DeviceInfo, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[1+7*i:]
+		out = append(out, usbcore.DeviceInfo{
+			Address:  b[0],
+			Port:     int(b[1]),
+			VendorID: uint16(b[2]) | uint16(b[3])<<8,
+			DeviceID: uint16(b[4]) | uint16(b[5])<<8,
+			Class:    b[6],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package iwl is the 802.11 driver for the wifi device model — the
+// repository's stand-in for the iwlagn5000 driver the paper ran unmodified
+// under SUD (§4). Like the e1000e driver, it is written only against
+// internal/drivers/api and runs identically in-kernel and in an untrusted
+// SUD process.
+package iwl
+
+import (
+	"fmt"
+
+	"sud/internal/devices/wifi"
+	"sud/internal/drivers/api"
+)
+
+// Driver is the module object.
+type Driver struct{}
+
+// New returns the driver module.
+func New() api.Driver { return Driver{} }
+
+// Name implements api.Driver.
+func (Driver) Name() string { return "iwlagn" }
+
+// Match implements api.Driver: Intel WiFi Link 5000 series.
+func (Driver) Match(vendor, device uint16) bool {
+	return vendor == 0x8086 && device == 0x4232
+}
+
+// Probe implements api.Driver.
+func (Driver) Probe(env api.Env) (api.Instance, error) {
+	we, ok := env.(api.EnvWifi)
+	if !ok {
+		return nil, fmt.Errorf("iwl: host does not support wireless devices")
+	}
+	n := &card{env: env}
+	if err := env.EnableDevice(); err != nil {
+		return nil, err
+	}
+	if err := env.SetMaster(); err != nil {
+		return nil, err
+	}
+	m, err := env.IORemap(0)
+	if err != nil {
+		return nil, err
+	}
+	n.mmio = m
+	lo := m.Read32(wifi.RegMACLo)
+	hi := m.Read32(wifi.RegMACHi)
+	n.mac = [6]byte{byte(lo), byte(lo >> 8), byte(lo >> 16), byte(lo >> 24), byte(hi), byte(hi >> 8)}
+	wk, err := we.RegisterWifiDev("wlan0", n.mac, n)
+	if err != nil {
+		return nil, err
+	}
+	n.wk = wk
+	env.Logf("iwlagn: probed, MAC %02x:%02x:%02x:%02x:%02x:%02x",
+		n.mac[0], n.mac[1], n.mac[2], n.mac[3], n.mac[4], n.mac[5])
+	return n, nil
+}
+
+type card struct {
+	env  api.Env
+	mmio api.MMIO
+	wk   api.WifiKernel
+	mac  [6]byte
+
+	scanBuf api.DMABuf
+	txBuf   api.DMABuf
+	rxBuf   api.DMABuf
+	rxAck   uint32
+
+	lastScan  []api.BSS
+	pendSSID  string
+	assocSSID string
+	opened    bool
+
+	// Counters.
+	Scans, TxFrames, RxFrames uint64
+}
+
+var _ api.WifiDevice = (*card)(nil)
+var _ api.Instance = (*card)(nil)
+
+// Remove implements api.Instance.
+func (c *card) Remove() {
+	if c.opened {
+		_ = c.Stop()
+	}
+}
+
+// Open implements api.WifiDevice.
+func (c *card) Open() error {
+	if c.opened {
+		return nil
+	}
+	var err error
+	if c.scanBuf, err = c.env.AllocCoherent(64 * wifi.BSSEntrySize); err != nil {
+		return err
+	}
+	if c.txBuf, err = c.env.AllocCaching(2048); err != nil {
+		return err
+	}
+	if c.rxBuf, err = c.env.AllocCaching(wifi.RxSlots * wifi.RxSlotSize); err != nil {
+		return err
+	}
+	if err := c.env.RequestIRQ(c.irq); err != nil {
+		return err
+	}
+	m := c.mmio
+	m.Write32(wifi.RegScanBufLo, uint32(c.scanBuf.BusAddr()))
+	m.Write32(wifi.RegScanBufHi, uint32(uint64(c.scanBuf.BusAddr())>>32))
+	m.Write32(wifi.RegTxBufLo, uint32(c.txBuf.BusAddr()))
+	m.Write32(wifi.RegTxBufHi, uint32(uint64(c.txBuf.BusAddr())>>32))
+	m.Write32(wifi.RegRxBufLo, uint32(c.rxBuf.BusAddr()))
+	m.Write32(wifi.RegRxBufHi, uint32(uint64(c.rxBuf.BusAddr())>>32))
+	m.Write32(wifi.RegRxCtl, 1)
+	m.Write32(wifi.RegIntMask, 0xFFFFFFFF)
+	c.opened = true
+	return nil
+}
+
+// Stop implements api.WifiDevice.
+func (c *card) Stop() error {
+	if !c.opened {
+		return nil
+	}
+	c.opened = false
+	c.mmio.Write32(wifi.RegIntMask, 0)
+	c.mmio.Write32(wifi.RegRxCtl, 0)
+	if err := c.env.FreeIRQ(); err != nil {
+		return err
+	}
+	for _, b := range []api.DMABuf{c.scanBuf, c.txBuf, c.rxBuf} {
+		if b != nil {
+			if err := c.env.FreeDMA(b); err != nil {
+				return err
+			}
+		}
+	}
+	c.scanBuf, c.txBuf, c.rxBuf = nil, nil, nil
+	return nil
+}
+
+// StartScan implements api.WifiDevice.
+func (c *card) StartScan() error {
+	if !c.opened {
+		return fmt.Errorf("iwl: interface down")
+	}
+	c.Scans++
+	c.mmio.Write32(wifi.RegCmd, wifi.CmdScan)
+	return nil
+}
+
+// Associate implements api.WifiDevice.
+func (c *card) Associate(ssid string) error {
+	for i, b := range c.lastScan {
+		if b.SSID == ssid {
+			c.pendSSID = ssid
+			c.mmio.Write32(wifi.RegAssocIdx, uint32(i))
+			c.mmio.Write32(wifi.RegCmd, wifi.CmdAssoc)
+			return nil
+		}
+	}
+	return fmt.Errorf("iwl: SSID %q not in last scan", ssid)
+}
+
+// Disassociate implements api.WifiDevice.
+func (c *card) Disassociate() error {
+	c.mmio.Write32(wifi.RegCmd, wifi.CmdDisassoc)
+	return nil
+}
+
+// StartXmit implements api.WifiDevice (single-slot TX keeps this class
+// simple; throughput is benchmarked on Ethernet).
+func (c *card) StartXmit(frame []byte) error {
+	if !c.opened {
+		return fmt.Errorf("iwl: interface down")
+	}
+	if len(frame) > 2048 {
+		return fmt.Errorf("iwl: frame too large")
+	}
+	if view, ok := c.txBuf.Slice(0, len(frame)); ok {
+		copy(view, frame)
+	} else if err := c.txBuf.Write(0, frame); err != nil {
+		return err
+	}
+	c.TxFrames++
+	c.mmio.Write32(wifi.RegTxLen, uint32(len(frame)))
+	return nil
+}
+
+// Features implements api.WifiDevice: the static set the proxy mirrors.
+func (c *card) Features() uint32 {
+	return api.WifiFeatShortPreamble | api.WifiFeat11g | api.WifiFeat11n
+}
+
+func (c *card) irq() {
+	if !c.opened {
+		return
+	}
+	cause := c.mmio.Read32(wifi.RegIntCause)
+	if cause&wifi.IntScanDone != 0 {
+		c.readScanResults()
+	}
+	if cause&wifi.IntAssocOK != 0 {
+		c.assocSSID = c.pendSSID
+		c.wk.Associated(c.assocSSID)
+	}
+	if cause&wifi.IntAssocErr != 0 {
+		c.wk.Disassociated()
+	}
+	if cause&wifi.IntDisassoc != 0 {
+		c.assocSSID = ""
+		c.wk.Disassociated()
+	}
+	if cause&wifi.IntRx != 0 {
+		c.pollRx()
+	}
+	c.env.IRQAck()
+}
+
+func (c *card) readScanResults() {
+	count := int(c.mmio.Read32(wifi.RegScanCount))
+	c.lastScan = c.lastScan[:0]
+	for i := 0; i < count; i++ {
+		rec := make([]byte, wifi.BSSEntrySize)
+		if err := c.scanBuf.Read(i*wifi.BSSEntrySize, rec); err != nil {
+			break
+		}
+		ssidLen := 0
+		for ssidLen < 32 && rec[ssidLen] != 0 {
+			ssidLen++
+		}
+		b := api.BSS{
+			SSID:    string(rec[:ssidLen]),
+			Channel: int(rec[40]) | int(rec[41])<<8,
+			Signal:  int(rec[42]) - 128,
+		}
+		copy(b.BSSID[:], rec[32:38])
+		c.lastScan = append(c.lastScan, b)
+	}
+	c.wk.ScanDone(append([]api.BSS(nil), c.lastScan...))
+}
+
+func (c *card) pollRx() {
+	head := c.mmio.Read32(wifi.RegRxHead)
+	for c.rxAck != head {
+		off := int(c.rxAck) * wifi.RxSlotSize
+		var hdr [4]byte
+		if err := c.rxBuf.Read(off, hdr[:]); err != nil {
+			break
+		}
+		length := int(hdr[0]) | int(hdr[1])<<8
+		if length > 0 && length <= wifi.RxSlotSize-4 {
+			var frame []byte
+			if view, ok := c.rxBuf.Slice(off+4, length); ok {
+				frame = view
+			} else {
+				frame = make([]byte, length)
+				if err := c.rxBuf.Read(off+4, frame); err != nil {
+					break
+				}
+			}
+			c.RxFrames++
+			c.wk.NetifRx(frame)
+		}
+		c.rxAck = (c.rxAck + 1) % wifi.RxSlots
+		c.mmio.Write32(wifi.RegRxAck, c.rxAck)
+	}
+}

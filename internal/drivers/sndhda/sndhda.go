@@ -1,0 +1,157 @@
+// Package sndhda is the sound driver for the HDA codec model — the
+// repository's stand-in for snd_hda_intel (§4). Written only against
+// internal/drivers/api; identical code runs in-kernel and under SUD.
+package sndhda
+
+import (
+	"fmt"
+
+	"sud/internal/devices/hda"
+	"sud/internal/drivers/api"
+)
+
+// Driver is the module object.
+type Driver struct{}
+
+// New returns the driver module.
+func New() api.Driver { return Driver{} }
+
+// Name implements api.Driver.
+func (Driver) Name() string { return "snd-hda-intel" }
+
+// Match implements api.Driver (ICH9 HD Audio).
+func (Driver) Match(vendor, device uint16) bool {
+	return vendor == 0x8086 && device == 0x293E
+}
+
+// Probe implements api.Driver.
+func (Driver) Probe(env api.Env) (api.Instance, error) {
+	ae, ok := env.(api.EnvAudio)
+	if !ok {
+		return nil, fmt.Errorf("sndhda: host does not support audio devices")
+	}
+	c := &codec{env: env}
+	if err := env.EnableDevice(); err != nil {
+		return nil, err
+	}
+	if err := env.SetMaster(); err != nil {
+		return nil, err
+	}
+	m, err := env.IORemap(0)
+	if err != nil {
+		return nil, err
+	}
+	c.mmio = m
+	ak, err := ae.RegisterSoundDev("hda0", c)
+	if err != nil {
+		return nil, err
+	}
+	c.ak = ak
+	env.Logf("snd-hda-intel: probed")
+	return c, nil
+}
+
+type codec struct {
+	env  api.Env
+	mmio api.MMIO
+	ak   api.AudioKernel
+
+	ring        api.DMABuf
+	periodBytes int
+	periods     int
+	irqSet      bool
+
+	// Counters.
+	PeriodIRQs uint64
+}
+
+var _ api.AudioDevice = (*codec)(nil)
+var _ api.Instance = (*codec)(nil)
+
+// Remove implements api.Instance.
+func (c *codec) Remove() {
+	_ = c.Trigger(false)
+	if c.irqSet {
+		_ = c.env.FreeIRQ()
+		c.irqSet = false
+	}
+	if c.ring != nil {
+		_ = c.env.FreeDMA(c.ring)
+		c.ring = nil
+	}
+}
+
+// PrepareStream implements api.AudioDevice.
+func (c *codec) PrepareStream(rateHz, periodBytes, periods int) error {
+	if c.ring != nil {
+		if err := c.env.FreeDMA(c.ring); err != nil {
+			return err
+		}
+		c.ring = nil
+	}
+	ring, err := c.env.AllocCaching(periodBytes * periods)
+	if err != nil {
+		return err
+	}
+	c.ring = ring
+	c.periodBytes, c.periods = periodBytes, periods
+	if !c.irqSet {
+		if err := c.env.RequestIRQ(c.irq); err != nil {
+			return err
+		}
+		c.irqSet = true
+	}
+	m := c.mmio
+	m.Write32(hda.RegBufLo, uint32(ring.BusAddr()))
+	m.Write32(hda.RegBufHi, uint32(uint64(ring.BusAddr())>>32))
+	m.Write32(hda.RegBufLen, uint32(periodBytes*periods))
+	m.Write32(hda.RegPeriodBytes, uint32(periodBytes))
+	m.Write32(hda.RegRate, uint32(rateHz))
+	return nil
+}
+
+// WritePeriod implements api.AudioDevice.
+func (c *codec) WritePeriod(idx int, samples []byte) error {
+	if c.ring == nil {
+		return fmt.Errorf("sndhda: not prepared")
+	}
+	if idx < 0 || idx >= c.periods || len(samples) != c.periodBytes {
+		return fmt.Errorf("sndhda: bad period write")
+	}
+	off := idx * c.periodBytes
+	if view, ok := c.ring.Slice(off, len(samples)); ok {
+		copy(view, samples)
+		return nil
+	}
+	return c.ring.Write(off, samples)
+}
+
+// Trigger implements api.AudioDevice.
+func (c *codec) Trigger(start bool) error {
+	if c.mmio == nil {
+		return fmt.Errorf("sndhda: not probed")
+	}
+	if start {
+		c.mmio.Write32(hda.RegCtl, hda.CtlRun|hda.CtlIE)
+	} else {
+		c.mmio.Write32(hda.RegCtl, 0)
+	}
+	return nil
+}
+
+// Pointer implements api.AudioDevice.
+func (c *codec) Pointer() (int, error) {
+	if c.mmio == nil {
+		return 0, fmt.Errorf("sndhda: not probed")
+	}
+	return int(c.mmio.Read32(hda.RegPos)), nil
+}
+
+func (c *codec) irq() {
+	status := c.mmio.Read32(hda.RegIntStatus)
+	if status&hda.IntPeriod != 0 {
+		c.PeriodIRQs++
+		c.ak.PeriodElapsed()
+	}
+	c.env.IRQAck()
+}

@@ -1,0 +1,154 @@
+// Package usbcore is the driver-side USB core: device enumeration and the
+// HID/storage class logic, layered over any host controller driver (HCD).
+// It runs wherever the host controller driver runs — in the kernel for the
+// trusted baseline, inside the untrusted SUD process otherwise — which is
+// how the paper's USB host class needs no proxy code of its own (Figure 5).
+package usbcore
+
+import (
+	"fmt"
+
+	"sud/internal/devices/usb"
+)
+
+// HCD is the contract a host controller driver provides to the core.
+type HCD interface {
+	Ports() int
+	PortConnected(p int) bool
+	ResetPort(p int) error
+	ControlTransfer(addr uint8, setup usb.SetupPacket, data []byte) ([]byte, error)
+	BulkIn(addr uint8, ep, maxLen int) ([]byte, error)
+	BulkOut(addr uint8, ep int, data []byte) error
+	InterruptIn(addr uint8, ep, maxLen int) ([]byte, error)
+}
+
+// DeviceInfo describes one enumerated device.
+type DeviceInfo struct {
+	Address  uint8
+	Port     int
+	VendorID uint16
+	DeviceID uint16
+	Class    uint8
+}
+
+// Core is the enumerator + class-driver layer.
+type Core struct {
+	hcd     HCD
+	devices []DeviceInfo
+	nextAdr uint8
+}
+
+// New wraps an HCD.
+func New(hcd HCD) *Core { return &Core{hcd: hcd, nextAdr: 1} }
+
+// Devices returns the enumerated devices.
+func (c *Core) Devices() []DeviceInfo { return c.devices }
+
+// Enumerate resets every connected port, assigns addresses, and reads device
+// descriptors — the standard USB bring-up dance.
+func (c *Core) Enumerate() error {
+	c.devices = c.devices[:0]
+	for p := 0; p < c.hcd.Ports(); p++ {
+		if !c.hcd.PortConnected(p) {
+			continue
+		}
+		if err := c.hcd.ResetPort(p); err != nil {
+			return fmt.Errorf("usbcore: reset port %d: %w", p, err)
+		}
+		addr := c.nextAdr
+		c.nextAdr++
+		// SET_ADDRESS to the default-addressed device.
+		if _, err := c.hcd.ControlTransfer(0, usb.SetupPacket{
+			Request: usb.ReqSetAddress, Value: uint16(addr),
+		}, nil); err != nil {
+			return fmt.Errorf("usbcore: set address on port %d: %w", p, err)
+		}
+		// GET_DESCRIPTOR at the new address.
+		desc, err := c.hcd.ControlTransfer(addr, usb.SetupPacket{
+			RequestType: 0x80, Request: usb.ReqGetDescriptor,
+			Value: usb.DescDevice << 8, Length: 18,
+		}, nil)
+		if err != nil {
+			return fmt.Errorf("usbcore: descriptor on port %d: %w", p, err)
+		}
+		if len(desc) < 18 {
+			return fmt.Errorf("usbcore: short descriptor (%d bytes)", len(desc))
+		}
+		// SET_CONFIGURATION 1.
+		if _, err := c.hcd.ControlTransfer(addr, usb.SetupPacket{
+			Request: usb.ReqSetConfiguration, Value: 1,
+		}, nil); err != nil {
+			return fmt.Errorf("usbcore: configure port %d: %w", p, err)
+		}
+		c.devices = append(c.devices, DeviceInfo{
+			Address:  addr,
+			Port:     p,
+			VendorID: uint16(desc[8]) | uint16(desc[9])<<8,
+			DeviceID: uint16(desc[10]) | uint16(desc[11])<<8,
+			Class:    desc[4],
+		})
+	}
+	return nil
+}
+
+// FindClass returns the first device of the given class.
+func (c *Core) FindClass(class uint8) (DeviceInfo, bool) {
+	for _, d := range c.devices {
+		if d.Class == class {
+			return d, true
+		}
+	}
+	return DeviceInfo{}, false
+}
+
+// --- HID class driver ---------------------------------------------------------
+
+// HIDPoll reads one boot-protocol keyboard report; nil means no input.
+func (c *Core) HIDPoll(addr uint8) ([]byte, error) {
+	return c.hcd.InterruptIn(addr, 1, 8)
+}
+
+// --- Storage class driver -------------------------------------------------------
+
+// DiskRead reads count blocks starting at lba.
+func (c *Core) DiskRead(addr uint8, lba, count int) ([]byte, error) {
+	cmd := make([]byte, 16)
+	cmd[0] = usb.DiskOpRead
+	putLBA(cmd, lba, count)
+	if err := c.hcd.BulkOut(addr, 2, cmd); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, count*usb.BlockSize)
+	for len(out) < count*usb.BlockSize {
+		chunk, err := c.hcd.BulkIn(addr, 1, 512)
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			return nil, fmt.Errorf("usbcore: disk NAKed mid-read")
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// DiskWrite writes count blocks starting at lba.
+func (c *Core) DiskWrite(addr uint8, lba int, data []byte) error {
+	if len(data)%usb.BlockSize != 0 {
+		return fmt.Errorf("usbcore: write must be block-aligned")
+	}
+	count := len(data) / usb.BlockSize
+	cmd := make([]byte, 16, 16+len(data))
+	cmd[0] = usb.DiskOpWrite
+	putLBA(cmd, lba, count)
+	return c.hcd.BulkOut(addr, 2, append(cmd, data...))
+}
+
+func putLBA(cmd []byte, lba, count int) {
+	cmd[1] = byte(lba)
+	cmd[2] = byte(lba >> 8)
+	cmd[3] = byte(lba >> 16)
+	cmd[4] = byte(lba >> 24)
+	cmd[5] = byte(count)
+	cmd[6] = byte(count >> 8)
+}

@@ -1,0 +1,163 @@
+package usbcore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sud/internal/devices/usb"
+)
+
+// fakeHCD emulates a 2-port bus with a keyboard and a disk, without any
+// hardware model — pure protocol-level testing of the core.
+type fakeHCD struct {
+	kbd  *usb.Keyboard
+	disk *usb.Disk
+
+	byAddr map[uint8]usb.Device
+	dflt   usb.Device
+
+	failReset bool
+}
+
+func newFakeHCD() *fakeHCD {
+	return &fakeHCD{
+		kbd:    usb.NewKeyboard(),
+		disk:   usb.NewDisk(16),
+		byAddr: map[uint8]usb.Device{},
+	}
+}
+
+func (h *fakeHCD) Ports() int { return 4 }
+func (h *fakeHCD) PortConnected(p int) bool {
+	return p == 0 || p == 2
+}
+func (h *fakeHCD) ResetPort(p int) error {
+	if h.failReset {
+		return fmt.Errorf("reset failed")
+	}
+	switch p {
+	case 0:
+		h.dflt = h.kbd
+	case 2:
+		h.dflt = h.disk
+	}
+	return nil
+}
+
+func (h *fakeHCD) dev(addr uint8) usb.Device {
+	if addr == 0 {
+		return h.dflt
+	}
+	return h.byAddr[addr]
+}
+
+func (h *fakeHCD) ControlTransfer(addr uint8, setup usb.SetupPacket, data []byte) ([]byte, error) {
+	d := h.dev(addr)
+	if d == nil {
+		return nil, fmt.Errorf("no device at %d", addr)
+	}
+	if setup.Request == usb.ReqSetAddress && setup.RequestType == 0 {
+		h.byAddr[uint8(setup.Value)] = d
+		h.dflt = nil
+		return nil, nil
+	}
+	return d.Control(setup, data)
+}
+
+func (h *fakeHCD) BulkIn(addr uint8, ep, maxLen int) ([]byte, error) {
+	d := h.dev(addr)
+	if d == nil {
+		return nil, fmt.Errorf("no device")
+	}
+	return d.In(ep, maxLen)
+}
+
+func (h *fakeHCD) BulkOut(addr uint8, ep int, data []byte) error {
+	d := h.dev(addr)
+	if d == nil {
+		return fmt.Errorf("no device")
+	}
+	return d.Out(ep, data)
+}
+
+func (h *fakeHCD) InterruptIn(addr uint8, ep, maxLen int) ([]byte, error) {
+	return h.BulkIn(addr, ep, maxLen)
+}
+
+var _ HCD = (*fakeHCD)(nil)
+
+func TestEnumerateAssignsAddressesAndClasses(t *testing.T) {
+	h := newFakeHCD()
+	c := New(h)
+	if err := c.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	devs := c.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("%d devices", len(devs))
+	}
+	if devs[0].Address == devs[1].Address || devs[0].Address == 0 {
+		t.Fatalf("bad addresses: %+v", devs)
+	}
+	kbd, ok := c.FindClass(usb.ClassHID)
+	if !ok || kbd.Port != 0 {
+		t.Fatalf("HID: %+v %v", kbd, ok)
+	}
+	disk, ok := c.FindClass(usb.ClassStorage)
+	if !ok || disk.Port != 2 {
+		t.Fatalf("storage: %+v %v", disk, ok)
+	}
+	if _, ok := c.FindClass(0x77); ok {
+		t.Fatal("phantom class found")
+	}
+}
+
+func TestEnumerateResetFailure(t *testing.T) {
+	h := newFakeHCD()
+	h.failReset = true
+	if err := New(h).Enumerate(); err == nil {
+		t.Fatal("reset failure not propagated")
+	}
+}
+
+func TestHIDPollThroughCore(t *testing.T) {
+	h := newFakeHCD()
+	c := New(h)
+	if err := c.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	kbd, _ := c.FindClass(usb.ClassHID)
+	rep, err := c.HIDPoll(kbd.Address)
+	if err != nil || rep != nil {
+		t.Fatalf("idle poll: %v %v", rep, err)
+	}
+	h.kbd.PressKey(0x2C)
+	rep, err = c.HIDPoll(kbd.Address)
+	if err != nil || len(rep) != 8 || rep[2] != 0x2C {
+		t.Fatalf("report: % x %v", rep, err)
+	}
+}
+
+func TestDiskReadWriteThroughCore(t *testing.T) {
+	h := newFakeHCD()
+	c := New(h)
+	if err := c.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	disk, _ := c.FindClass(usb.ClassStorage)
+	data := bytes.Repeat([]byte{0xD7}, 3*usb.BlockSize)
+	if err := c.DiskWrite(disk.Address, 2, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DiskRead(disk.Address, 2, 3)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+	if err := c.DiskWrite(disk.Address, 0, []byte{1, 2, 3}); err == nil {
+		t.Fatal("unaligned write accepted")
+	}
+	if _, err := c.DiskRead(disk.Address, 100, 1); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}

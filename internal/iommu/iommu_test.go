@@ -1,0 +1,318 @@
+package iommu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+var devA = pci.MakeBDF(1, 0, 0)
+var devB = pci.MakeBDF(1, 1, 0)
+
+func newUnit(cfg Config) *Unit {
+	return New(cfg, &sim.Clock{})
+}
+
+func TestDomainMapUnmap(t *testing.T) {
+	d := NewDomain(1)
+	if err := d.Map(0x42430000, 0x800000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pages() != 1 {
+		t.Fatalf("pages = %d", d.Pages())
+	}
+	if err := d.Map(0x42430000, 0x900000, PermRW); err == nil {
+		t.Fatal("double map succeeded")
+	}
+	if !d.Unmap(0x42430000) {
+		t.Fatal("unmap of mapped page returned false")
+	}
+	if d.Unmap(0x42430000) {
+		t.Fatal("unmap of unmapped page returned true")
+	}
+}
+
+func TestDomainRejectsUnaligned(t *testing.T) {
+	d := NewDomain(1)
+	if err := d.Map(0x1001, 0x2000, PermRW); err == nil {
+		t.Fatal("unaligned IOVA accepted")
+	}
+	if err := d.Map(0x1000, 0x2001, PermRW); err == nil {
+		t.Fatal("unaligned phys accepted")
+	}
+	if err := d.Map(0x1000, 0x2000, 0); err == nil {
+		t.Fatal("permission-less mapping accepted")
+	}
+}
+
+func TestTranslateNoDomainFaults(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	_, _, err := u.Translate(devA, 0x1000, false)
+	if err == nil {
+		t.Fatal("translation without domain succeeded")
+	}
+	if len(u.Faults()) != 1 {
+		t.Fatalf("fault log has %d entries, want 1", len(u.Faults()))
+	}
+}
+
+func TestTranslateMappedPage(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	if err := d.MapRange(0x42430000, 0x800000, 3*mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, d)
+	phys, lat, err := u.Translate(devA, 0x42431234, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys != 0x801234 {
+		t.Fatalf("translated to %#x, want 0x801234", uint64(phys))
+	}
+	if lat != sim.CostIOMMUWalk {
+		t.Fatalf("first translation latency %v, want walk cost", lat)
+	}
+	// Second access to the same page hits the IOTLB: no walk latency.
+	_, lat, err = u.Translate(devA, 0x42431000, false)
+	if err != nil || lat != 0 {
+		t.Fatalf("IOTLB hit: lat=%v err=%v", lat, err)
+	}
+	hits, misses := u.TLBStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("tlb stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestTranslatePermissions(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	if err := d.Map(0x10000, 0x20000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, d)
+	if _, _, err := u.Translate(devA, 0x10000, false); err != nil {
+		t.Fatal("read of readable page faulted:", err)
+	}
+	if _, _, err := u.Translate(devA, 0x10000, true); err == nil {
+		t.Fatal("write to read-only mapping succeeded")
+	}
+	// The same denial must hold on an IOTLB hit path.
+	if _, _, err := u.Translate(devA, 0x10000, true); err == nil {
+		t.Fatal("write to read-only mapping succeeded via IOTLB")
+	}
+}
+
+func TestDomainIsolationBetweenDevices(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	dA := u.NewDomain()
+	if err := dA.Map(0x10000, 0x20000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, dA)
+	u.Attach(devB, u.NewDomain())
+	if _, _, err := u.Translate(devB, 0x10000, true); err == nil {
+		t.Fatal("device B translated through device A's domain")
+	}
+}
+
+func TestIntelImplicitMSIMapping(t *testing.T) {
+	// §5.2: "Intel VT-d always includes an implicit identity mapping for
+	// the MSI address in every page table" — even an empty domain
+	// translates MSI-window writes.
+	u := newUnit(Config{Vendor: VendorIntel})
+	u.Attach(devA, u.NewDomain())
+	phys, _, err := u.Translate(devA, MSIBase+0x123, true)
+	if err != nil {
+		t.Fatal("Intel MSI-window DMA faulted; paper says it cannot be prevented:", err)
+	}
+	if phys != MSIBase+0x123 {
+		t.Fatalf("implicit MSI mapping not identity: %#x", uint64(phys))
+	}
+}
+
+func TestAMDNoImplicitMSIMapping(t *testing.T) {
+	// §6: on AMD "we could simply unmap the MSI address ... to prevent
+	// further interrupts from a device".
+	u := newUnit(Config{Vendor: VendorAMD})
+	d := u.NewDomain()
+	u.Attach(devA, d)
+	if _, _, err := u.Translate(devA, MSIBase, true); err == nil {
+		t.Fatal("AMD MSI-window DMA succeeded without a mapping")
+	}
+	// Once mapped (the normal configuration), it works...
+	if err := d.MapRange(MSIBase, MSIBase, uint64(MSILimit-MSIBase), PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Translate(devA, MSIBase, true); err != nil {
+		t.Fatal("mapped AMD MSI write faulted:", err)
+	}
+	// ...and unmapping it (the storm response) stops it again.
+	d.UnmapRange(MSIBase, uint64(MSILimit-MSIBase))
+	u.InvalidateDevice(devA)
+	if _, _, err := u.Translate(devA, MSIBase, true); err == nil {
+		t.Fatal("AMD MSI write succeeded after unmap")
+	}
+}
+
+func TestInvalidateSinglePage(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	if err := d.Map(0x10000, 0x20000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, d)
+	if _, _, err := u.Translate(devA, 0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	// Change the mapping underneath the IOTLB; stale entry must go away
+	// only after Invalidate.
+	d.Unmap(0x10000)
+	if _, _, err := u.Translate(devA, 0x10000, true); err != nil {
+		t.Fatal("expected stale IOTLB hit to still translate") // hardware behaviour
+	}
+	u.Invalidate(devA, 0x10000)
+	if _, _, err := u.Translate(devA, 0x10000, true); err == nil {
+		t.Fatal("translation survived IOTLB invalidation and unmap")
+	}
+}
+
+func TestIOTLBEviction(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	u.Attach(devA, d)
+	for i := 0; i < iotlbSize+8; i++ {
+		iova := mem.Addr(0x100000 + i*mem.PageSize)
+		if err := d.Map(iova, iova, PermRW); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := u.Translate(devA, iova, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first page was evicted: translating it again is a miss.
+	_, before := u.TLBStats()
+	if _, _, err := u.Translate(devA, 0x100000, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := u.TLBStats(); after != before+1 {
+		t.Fatal("expected FIFO eviction to force a miss on the oldest page")
+	}
+}
+
+func TestMappingsWalkMergesRuns(t *testing.T) {
+	d := NewDomain(1)
+	// TX ring: one page; RX ring: two pages; TX buffers: 8 pages.
+	check := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(d.MapRange(0x42430000, 0x800000, mem.PageSize, PermRW))
+	check(d.MapRange(0x42431000, 0x801000, 2*mem.PageSize, PermRW))
+	check(d.MapRange(0x42433000, 0x900000, 8*mem.PageSize, PermRW))
+	ms := d.Mappings()
+	// First two runs are physically contiguous and same-perm, so they
+	// merge; the third starts a new physical run.
+	if len(ms) != 2 {
+		t.Fatalf("got %d mappings %v, want 2", len(ms), ms)
+	}
+	if ms[0].IOVA != 0x42430000 || ms[0].End != 0x42433000 {
+		t.Fatalf("first mapping %v", ms[0])
+	}
+	if ms[1].IOVA != 0x42433000 || ms[1].End != 0x42433000+8*mem.PageSize {
+		t.Fatalf("second mapping %v", ms[1])
+	}
+	if ms[0].String() == "" {
+		t.Fatal("empty mapping string")
+	}
+}
+
+func TestFaultCallbackAndError(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	u.Attach(devA, u.NewDomain())
+	var got []Fault
+	u.OnFault = func(f Fault) { got = append(got, f) }
+	_, _, err := u.Translate(devA, 0xDEAD0000, true)
+	if err == nil || len(got) != 1 {
+		t.Fatalf("err=%v callbacks=%d", err, len(got))
+	}
+	f, ok := err.(Fault)
+	if !ok || !f.Write || f.BDF != devA {
+		t.Fatalf("fault error = %#v", err)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestDetachRestoresFaulting(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	if err := d.Map(0x10000, 0x10000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, d)
+	if _, _, err := u.Translate(devA, 0x10000, false); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, nil)
+	if _, _, err := u.Translate(devA, 0x10000, false); err == nil {
+		t.Fatal("translation after detach succeeded")
+	}
+}
+
+// Property: Map then walk-based Mappings always contains the mapped page
+// with correct physical address; Unmap removes it.
+func TestMapUnmapProperty(t *testing.T) {
+	f := func(iovaPage, physPage uint16, wr bool) bool {
+		d := NewDomain(1)
+		iova := mem.Addr(iovaPage) << mem.PageShift
+		phys := mem.Addr(physPage) << mem.PageShift
+		perm := PermRead
+		if wr {
+			perm = PermRW
+		}
+		if err := d.Map(iova, phys, perm); err != nil {
+			return false
+		}
+		found := false
+		for _, m := range d.Mappings() {
+			if iova >= m.IOVA && iova < m.End {
+				if m.Phys+(iova-m.IOVA) != phys || m.Perm != perm {
+					return false
+				}
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		d.Unmap(iova)
+		return len(d.Mappings()) == 0 && d.Pages() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translation of any mapped address preserves the page offset.
+func TestTranslateOffsetProperty(t *testing.T) {
+	u := newUnit(Config{Vendor: VendorIntel})
+	d := u.NewDomain()
+	if err := d.MapRange(0x40000000, 0x1000000, 64*mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	u.Attach(devA, d)
+	f := func(off uint32) bool {
+		o := mem.Addr(off % (64 * mem.PageSize))
+		phys, _, err := u.Translate(devA, 0x40000000+o, false)
+		return err == nil && phys == 0x1000000+o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package iommu
+
+import (
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// iotlbEntry caches one translation.
+type iotlbEntry struct {
+	bdf  pci.BDF
+	iova mem.Addr
+	pte  pte
+}
+
+// iotlbSize is the modelled IOTLB capacity in 4-KiB translations; evicted
+// FIFO. Real VT-d IOTLBs are of this order.
+const iotlbSize = 64
+
+// Unit is the DMA-remapping hardware unit at the root complex. All upstream
+// TLPs pass through Translate before touching DRAM or the MSI window.
+type Unit struct {
+	Cfg   Config
+	clock *sim.Clock
+
+	domains map[pci.BDF]*Domain
+	nextID  int
+
+	tlb     []iotlbEntry
+	tlbHit  uint64
+	tlbMiss uint64
+
+	faults []Fault
+	// OnFault, if set, is called for every rejected translation (the
+	// kernel's fault handler; SUD uses it to flag misbehaving drivers).
+	OnFault func(Fault)
+
+	walks uint64
+}
+
+// New returns a unit with no domains: DMA from a device without a domain is
+// rejected (the safe default SUD needs; the trusted kernel attaches a
+// pass-through domain for devices it drives itself).
+func New(cfg Config, clock *sim.Clock) *Unit {
+	return &Unit{Cfg: cfg, clock: clock, domains: make(map[pci.BDF]*Domain)}
+}
+
+// NewDomain allocates a fresh, empty domain.
+func (u *Unit) NewDomain() *Domain {
+	u.nextID++
+	return NewDomain(u.nextID)
+}
+
+// Attach routes DMA from bdf through dom. Passing nil detaches the device,
+// after which its DMA faults.
+func (u *Unit) Attach(bdf pci.BDF, dom *Domain) {
+	if dom == nil {
+		delete(u.domains, bdf)
+	} else {
+		u.domains[bdf] = dom
+	}
+	u.InvalidateDevice(bdf)
+}
+
+// Domain returns the domain currently attached to bdf, or nil.
+func (u *Unit) Domain(bdf pci.BDF) *Domain { return u.domains[bdf] }
+
+// Translate maps (bdf, iova) to a physical address, enforcing permissions.
+// The returned latency is device-side DMA engine time (IOTLB miss walk), not
+// CPU time. A rejected translation is logged and reported to OnFault.
+func (u *Unit) Translate(bdf pci.BDF, iova mem.Addr, write bool) (mem.Addr, sim.Duration, error) {
+	dom, ok := u.domains[bdf]
+	if !ok {
+		return 0, 0, u.fault(bdf, iova, write, "no domain attached")
+	}
+
+	// Intel VT-d: implicit identity mapping for the MSI window in every
+	// page table — it is "not possible to prevent this type of attack"
+	// on hardware without interrupt remapping (§5.2).
+	if u.Cfg.Vendor == VendorIntel && InMSIWindow(iova) {
+		return iova, 0, nil
+	}
+
+	pageIOVA := mem.PageAlign(iova)
+	// IOTLB lookup.
+	for _, e := range u.tlb {
+		if e.bdf == bdf && e.iova == pageIOVA {
+			u.tlbHit++
+			if err := checkPerm(e.pte.perm, write); err != "" {
+				return 0, 0, u.fault(bdf, iova, write, err)
+			}
+			return e.pte.phys + mem.Addr(mem.PageOffset(iova)), 0, nil
+		}
+	}
+	u.tlbMiss++
+	u.walks++
+	entry, present := dom.walk(iova)
+	if !present {
+		return 0, sim.CostIOMMUWalk, u.fault(bdf, iova, write, "not present in IO page table")
+	}
+	if err := checkPerm(entry.perm, write); err != "" {
+		return 0, sim.CostIOMMUWalk, u.fault(bdf, iova, write, err)
+	}
+	// Insert into the IOTLB, FIFO eviction.
+	if len(u.tlb) >= iotlbSize {
+		u.tlb = u.tlb[1:]
+	}
+	u.tlb = append(u.tlb, iotlbEntry{bdf: bdf, iova: pageIOVA, pte: entry})
+	return entry.phys + mem.Addr(mem.PageOffset(iova)), sim.CostIOMMUWalk, nil
+}
+
+func checkPerm(p Perm, write bool) string {
+	if write && p&PermWrite == 0 {
+		return "write to read-only mapping"
+	}
+	if !write && p&PermRead == 0 {
+		return "read of write-only mapping"
+	}
+	return ""
+}
+
+func (u *Unit) fault(bdf pci.BDF, iova mem.Addr, write bool, reason string) error {
+	f := Fault{When: u.clock.Now(), BDF: bdf, Addr: iova, Write: write, Reason: reason}
+	u.faults = append(u.faults, f)
+	if u.OnFault != nil {
+		u.OnFault(f)
+	}
+	return f
+}
+
+// Invalidate drops the cached translation for one page of one device.
+// The caller charges sim.CostIOTLBInvalidate; the paper found per-buffer
+// invalidation "prohibitively expensive" (§3.1.2).
+func (u *Unit) Invalidate(bdf pci.BDF, iova mem.Addr) {
+	pageIOVA := mem.PageAlign(iova)
+	out := u.tlb[:0]
+	for _, e := range u.tlb {
+		if !(e.bdf == bdf && e.iova == pageIOVA) {
+			out = append(out, e)
+		}
+	}
+	u.tlb = out
+}
+
+// InvalidateDevice drops all cached translations for a device (domain
+// switch, driver restart).
+func (u *Unit) InvalidateDevice(bdf pci.BDF) {
+	out := u.tlb[:0]
+	for _, e := range u.tlb {
+		if e.bdf != bdf {
+			out = append(out, e)
+		}
+	}
+	u.tlb = out
+}
+
+// Faults returns the fault log.
+func (u *Unit) Faults() []Fault { return u.faults }
+
+// TLBStats returns IOTLB hit/miss counters.
+func (u *Unit) TLBStats() (hits, misses uint64) { return u.tlbHit, u.tlbMiss }
+
+// Walks returns the number of page-table walks performed.
+func (u *Unit) Walks() uint64 { return u.walks }

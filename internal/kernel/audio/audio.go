@@ -1,0 +1,153 @@
+// Package audio is the kernel's PCM subsystem (a condensed ALSA core): it
+// tracks registered sound devices and gives applications a period-driven
+// playback API with underrun accounting. Under SUD the latency of the
+// period-elapsed path is what makes real-time scheduling of the driver
+// process interesting (§4.1).
+package audio
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+// Manager owns the sound devices of one kernel.
+type Manager struct {
+	Loop *sim.Loop
+	Acct *sim.CPUAccount
+
+	pcms map[string]*PCM
+}
+
+// New returns an empty manager.
+func New(loop *sim.Loop, acct *sim.CPUAccount) *Manager {
+	return &Manager{Loop: loop, Acct: acct, pcms: make(map[string]*PCM)}
+}
+
+// PCM is one playback stream. It implements api.AudioKernel.
+type PCM struct {
+	Name string
+
+	mgr *Manager
+	dev api.AudioDevice
+
+	rate        int
+	periodBytes int
+	periods     int
+	prepared    bool
+	running     bool
+
+	// appWritten tracks how many periods the application has queued;
+	// hwConsumed how many the hardware reported. Falling behind is an
+	// underrun.
+	appWritten int
+	hwConsumed int
+
+	// OnPeriod runs on every period-elapsed notification (application
+	// refill callback).
+	OnPeriod func()
+
+	// Counters.
+	PeriodsElapsed uint64
+	XRuns          uint64
+}
+
+var _ api.AudioKernel = (*PCM)(nil)
+
+// Register adds a sound device.
+func (m *Manager) Register(name string, dev api.AudioDevice) (*PCM, error) {
+	if _, dup := m.pcms[name]; dup {
+		return nil, fmt.Errorf("audio: device %q already registered", name)
+	}
+	p := &PCM{Name: name, mgr: m, dev: dev}
+	m.pcms[name] = p
+	return p, nil
+}
+
+// Unregister removes a sound device.
+func (m *Manager) Unregister(name string) { delete(m.pcms, name) }
+
+// PCMDev looks up a stream.
+func (m *Manager) PCMDev(name string) (*PCM, error) {
+	p, ok := m.pcms[name]
+	if !ok {
+		return nil, fmt.Errorf("audio: no device %q", name)
+	}
+	return p, nil
+}
+
+// Prepare configures the stream.
+func (p *PCM) Prepare(rateHz, periodBytes, periods int) error {
+	if rateHz <= 0 || periodBytes <= 0 || periods < 2 {
+		return fmt.Errorf("audio: bad stream geometry")
+	}
+	if err := p.dev.PrepareStream(rateHz, periodBytes, periods); err != nil {
+		return err
+	}
+	p.rate, p.periodBytes, p.periods = rateHz, periodBytes, periods
+	p.prepared = true
+	p.appWritten, p.hwConsumed = 0, 0
+	return nil
+}
+
+// WritePeriod queues one period of samples.
+func (p *PCM) WritePeriod(samples []byte) error {
+	if !p.prepared {
+		return fmt.Errorf("audio: stream not prepared")
+	}
+	if len(samples) != p.periodBytes {
+		return fmt.Errorf("audio: period must be %d bytes", p.periodBytes)
+	}
+	if p.appWritten-p.hwConsumed >= p.periods {
+		return fmt.Errorf("audio: ring full")
+	}
+	p.mgr.Acct.Charge(sim.Copy(len(samples)))
+	idx := p.appWritten % p.periods
+	if err := p.dev.WritePeriod(idx, samples); err != nil {
+		return err
+	}
+	p.appWritten++
+	return nil
+}
+
+// Start begins playback.
+func (p *PCM) Start() error {
+	if !p.prepared {
+		return fmt.Errorf("audio: stream not prepared")
+	}
+	if err := p.dev.Trigger(true); err != nil {
+		return err
+	}
+	p.running = true
+	return nil
+}
+
+// Stop halts playback.
+func (p *PCM) Stop() error {
+	p.running = false
+	return p.dev.Trigger(false)
+}
+
+// QueuedPeriods reports how many periods are buffered ahead of hardware.
+func (p *PCM) QueuedPeriods() int { return p.appWritten - p.hwConsumed }
+
+// --- api.AudioKernel ---------------------------------------------------------
+
+// PeriodElapsed implements api.AudioKernel.
+func (p *PCM) PeriodElapsed() {
+	p.PeriodsElapsed++
+	// Underrun: the hardware needed a period the application never
+	// queued (checked before accounting the consumption — draining the
+	// last queued period is not yet an underrun).
+	if p.running && p.appWritten <= p.hwConsumed {
+		p.XRuns++
+	}
+	p.hwConsumed++
+	if p.OnPeriod != nil {
+		p.OnPeriod()
+	}
+}
+
+// XRun implements api.AudioKernel.
+func (p *PCM) XRun() { p.XRuns++ }

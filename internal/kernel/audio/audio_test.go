@@ -1,0 +1,158 @@
+package audio
+
+import (
+	"fmt"
+	"testing"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+// fakeDev records PCM ops.
+type fakeDev struct {
+	rate, pb, np int
+	writes       map[int][]byte
+	running      bool
+	failPrepare  bool
+}
+
+func (d *fakeDev) PrepareStream(r, pb, np int) error {
+	if d.failPrepare {
+		return fmt.Errorf("nope")
+	}
+	d.rate, d.pb, d.np = r, pb, np
+	d.writes = map[int][]byte{}
+	return nil
+}
+func (d *fakeDev) WritePeriod(idx int, s []byte) error {
+	d.writes[idx] = append([]byte(nil), s...)
+	return nil
+}
+func (d *fakeDev) Trigger(start bool) error { d.running = start; return nil }
+func (d *fakeDev) Pointer() (int, error)    { return 42, nil }
+
+func newPCM(t *testing.T) (*Manager, *PCM, *fakeDev) {
+	t.Helper()
+	stats := sim.NewCPUStats(2)
+	m := New(sim.NewLoop(), stats.Account("kernel"))
+	dev := &fakeDev{}
+	pcm, err := m.Register("hda0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pcm, dev
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	m, pcm, _ := newPCM(t)
+	if _, err := m.Register("hda0", &fakeDev{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	got, err := m.PCMDev("hda0")
+	if err != nil || got != pcm {
+		t.Fatal("lookup failed")
+	}
+	if _, err := m.PCMDev("nope"); err == nil {
+		t.Fatal("phantom device found")
+	}
+	m.Unregister("hda0")
+	if _, err := m.PCMDev("hda0"); err == nil {
+		t.Fatal("unregistered device still found")
+	}
+}
+
+func TestPrepareValidatesGeometry(t *testing.T) {
+	_, pcm, dev := newPCM(t)
+	for _, bad := range [][3]int{{0, 100, 2}, {48000, 0, 2}, {48000, 100, 1}} {
+		if err := pcm.Prepare(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("geometry %v accepted", bad)
+		}
+	}
+	dev.failPrepare = true
+	if err := pcm.Prepare(48000, 100, 4); err == nil {
+		t.Fatal("device failure not propagated")
+	}
+	dev.failPrepare = false
+	if err := pcm.Prepare(48000, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRingAccounting(t *testing.T) {
+	_, pcm, dev := newPCM(t)
+	if err := pcm.WritePeriod(make([]byte, 8)); err == nil {
+		t.Fatal("write before prepare accepted")
+	}
+	if err := pcm.Prepare(48000, 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pcm.WritePeriod(make([]byte, 8)); err == nil {
+		t.Fatal("wrong-size period accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if err := pcm.WritePeriod(make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pcm.QueuedPeriods() != 3 {
+		t.Fatalf("queued = %d", pcm.QueuedPeriods())
+	}
+	if err := pcm.WritePeriod(make([]byte, 16)); err == nil {
+		t.Fatal("write into a full ring accepted")
+	}
+	// Hardware consumes one period; the slot is reusable and indices
+	// wrap.
+	pcm.PeriodElapsed()
+	if pcm.QueuedPeriods() != 2 {
+		t.Fatalf("queued after consume = %d", pcm.QueuedPeriods())
+	}
+	if err := pcm.WritePeriod(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.writes) != 3 { // indices 0,1,2 used; wrap reused 0
+		t.Fatalf("device saw %d distinct slots", len(dev.writes))
+	}
+}
+
+func TestUnderrunAccounting(t *testing.T) {
+	_, pcm, _ := newPCM(t)
+	if err := pcm.Prepare(48000, 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pcm.WritePeriod(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pcm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pcm.PeriodElapsed() // consumed the only queued period
+	pcm.PeriodElapsed() // nothing queued: underrun
+	if pcm.XRuns != 1 {
+		t.Fatalf("xruns = %d", pcm.XRuns)
+	}
+	pcm.XRun()
+	if pcm.XRuns != 2 {
+		t.Fatal("explicit XRun not counted")
+	}
+	if err := pcm.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRequiresPrepare(t *testing.T) {
+	_, pcm, dev := newPCM(t)
+	if err := pcm.Start(); err == nil {
+		t.Fatal("start before prepare accepted")
+	}
+	if dev.running {
+		t.Fatal("device triggered")
+	}
+	var periods int
+	pcm.OnPeriod = func() { periods++ }
+	pcm.PeriodElapsed()
+	if periods != 1 {
+		t.Fatal("OnPeriod not invoked")
+	}
+}
+
+var _ api.AudioDevice = (*fakeDev)(nil)

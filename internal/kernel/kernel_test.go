@@ -1,0 +1,266 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/drivers/api"
+	"sud/internal/hw"
+	"sud/internal/irq"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// probeDriver is a configurable test driver.
+type probeDriver struct {
+	name    string
+	match   func(v, d uint16) bool
+	onProbe func(env api.Env) error
+	env     api.Env
+}
+
+type stubInstance struct{ removed *bool }
+
+func (s stubInstance) Remove() { *s.removed = true }
+
+func (p *probeDriver) Name() string { return p.name }
+func (p *probeDriver) Match(v, d uint16) bool {
+	if p.match != nil {
+		return p.match(v, d)
+	}
+	return true
+}
+func (p *probeDriver) Probe(env api.Env) (api.Instance, error) {
+	p.env = env
+	removed := false
+	if p.onProbe != nil {
+		if err := p.onProbe(env); err != nil {
+			return nil, err
+		}
+	}
+	return stubInstance{removed: &removed}, nil
+}
+
+func newWorld(t *testing.T) (*hw.Machine, *Kernel, *e1000.NIC) {
+	t.Helper()
+	m := hw.NewMachine(hw.DefaultPlatform())
+	k := New(m)
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000,
+		[6]byte{2, 0, 0, 0, 0, 1}, e1000.DefaultParams())
+	m.AttachDevice(nic)
+	return m, k, nic
+}
+
+func TestJiffies(t *testing.T) {
+	m, k, _ := newWorld(t)
+	if k.Jiffies() != 0 {
+		t.Fatal("jiffies nonzero at boot")
+	}
+	m.Loop.RunFor(sim.Second)
+	if k.Jiffies() != HZ {
+		t.Fatalf("jiffies after 1s = %d, want %d", k.Jiffies(), HZ)
+	}
+}
+
+func TestBindMatchRejection(t *testing.T) {
+	_, k, nic := newWorld(t)
+	d := &probeDriver{name: "wrong", match: func(v, _ uint16) bool { return v == 0x1234 }}
+	if _, err := k.BindInKernel(d, nic); err == nil {
+		t.Fatal("mismatched driver bound")
+	}
+}
+
+func TestBindProbeFailureDetachesDomain(t *testing.T) {
+	m, k, nic := newWorld(t)
+	d := &probeDriver{name: "failing", onProbe: func(api.Env) error { return fmt.Errorf("no hardware") }}
+	if _, err := k.BindInKernel(d, nic); err == nil {
+		t.Fatal("failing probe bound")
+	}
+	if m.IOMMU.Domain(nic.BDF()) != nil {
+		t.Fatal("domain left attached after failed probe")
+	}
+}
+
+func TestBindDuplicateRejected(t *testing.T) {
+	_, k, nic := newWorld(t)
+	if _, err := k.BindInKernel(&probeDriver{name: "a"}, nic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.BindInKernel(&probeDriver{name: "b"}, nic); err == nil {
+		t.Fatal("second bind on the same device succeeded")
+	}
+}
+
+func TestUnbindRemovesAndDetaches(t *testing.T) {
+	m, k, nic := newWorld(t)
+	if _, err := k.BindInKernel(&probeDriver{name: "a"}, nic); err != nil {
+		t.Fatal(err)
+	}
+	if m.IOMMU.Domain(nic.BDF()) == nil {
+		t.Fatal("no domain after bind")
+	}
+	k.Unbind(nic)
+	if m.IOMMU.Domain(nic.BDF()) != nil {
+		t.Fatal("domain survives unbind")
+	}
+	// Rebind works after unbind.
+	if _, err := k.BindInKernel(&probeDriver{name: "c"}, nic); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassthroughDomainIdentity(t *testing.T) {
+	m, k, nic := newWorld(t)
+	if _, err := k.BindInKernel(&probeDriver{name: "a", onProbe: func(env api.Env) error {
+		return env.SetMaster()
+	}}, nic); err != nil {
+		t.Fatal(err)
+	}
+	// Trusted drivers get passthrough DMA: anywhere in DRAM works.
+	if err := nic.DMAWrite(hw.DRAMBase+12345, []byte{1, 2}); err != nil {
+		t.Fatal("passthrough DMA failed:", err)
+	}
+	b := make([]byte, 2)
+	m.Mem.MustRead(hw.DRAMBase+12345, b)
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("DMA data wrong")
+	}
+	if k.PassthroughDomain() != k.PassthroughDomain() {
+		t.Fatal("passthrough domain not shared")
+	}
+}
+
+func TestKernelEnvSurface(t *testing.T) {
+	m, k, nic := newWorld(t)
+	var env api.Env
+	d := &probeDriver{name: "surface", onProbe: func(e api.Env) error {
+		env = e
+		return nil
+	}}
+	if _, err := k.BindInKernel(d, nic); err != nil {
+		t.Fatal(err)
+	}
+
+	// Config + capability walk.
+	if v, _ := env.ConfigRead(pci.CfgVendorID, 2); v != 0x8086 {
+		t.Fatalf("vendor = %#x", v)
+	}
+	if env.FindCapability(pci.CapIDMSI) == 0 {
+		t.Fatal("MSI capability not found")
+	}
+	if env.FindCapability(0x99) != 0 {
+		t.Fatal("phantom capability found")
+	}
+	if err := env.EnableDevice(); err != nil {
+		t.Fatal(err)
+	}
+
+	// MMIO.
+	mm, err := env.IORemap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Write32(e1000.RegITR, 77)
+	if mm.Read32(e1000.RegITR) != 77 {
+		t.Fatal("MMIO round trip failed")
+	}
+	if _, err := env.IORemap(3); err == nil {
+		t.Fatal("remapped a missing BAR")
+	}
+	if _, err := env.RequestRegion(0); err == nil {
+		t.Fatal("IO region on memory BAR granted")
+	}
+
+	// DMA buffers.
+	buf, err := env.AllocCoherent(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Size() != 5000 {
+		t.Fatalf("size = %d", buf.Size())
+	}
+	if err := buf.Write(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := buf.Read(0, got); err != nil || string(got) != "hello" {
+		t.Fatalf("DMA buf round trip: %q %v", got, err)
+	}
+	if view, ok := buf.Slice(0, 5); !ok || string(view) != "hello" {
+		t.Fatal("Slice view wrong")
+	}
+	if _, ok := buf.Slice(4999, 2); ok {
+		t.Fatal("out-of-bounds slice granted")
+	}
+	if err := buf.Write(4999, []byte{1, 2}); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := env.FreeDMA(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.FreeDMA(buf); err == nil {
+		t.Fatal("double free accepted")
+	}
+
+	// IRQ.
+	fired := 0
+	if err := env.RequestIRQ(func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RequestIRQ(func() {}); err == nil {
+		t.Fatal("double IRQ request accepted")
+	}
+	msi := nic.Config().MSI()
+	if !msi.Enabled {
+		t.Fatal("MSI not programmed by RequestIRQ")
+	}
+	m.IRQ.Inject(irq.Vector(msi.Data))
+	m.Loop.Run()
+	if fired != 1 {
+		t.Fatalf("handler fired %d times", fired)
+	}
+	env.IRQAck() // no-op for trusted drivers
+	if err := env.FreeIRQ(); err != nil {
+		t.Fatal(err)
+	}
+	if nic.Config().MSI().Enabled {
+		t.Fatal("MSI still enabled after FreeIRQ")
+	}
+
+	// Timer.
+	var at uint64
+	env.Timer(10, func() { at = env.Jiffies() })
+	m.Loop.RunFor(sim.Second)
+	if at != 10 {
+		t.Fatalf("timer fired at jiffy %d, want 10", at)
+	}
+
+	// Log.
+	env.Logf("test message %d", 42)
+	found := false
+	for _, l := range k.Log() {
+		if l == "[surface] test message 42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log line missing: %v", k.Log())
+	}
+}
+
+func TestStormHandlerRegistry(t *testing.T) {
+	m, k, _ := newWorld(t)
+	var got int
+	k.RegisterStormHandler(0x50, func(rate int) { got = rate })
+	if err := m.IRQ.Register(0x50, func(irq.Vector) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.IRQ.StormThreshold; i++ {
+		m.IRQ.Inject(0x50)
+	}
+	if got < m.IRQ.StormThreshold {
+		t.Fatalf("storm handler saw rate %d", got)
+	}
+	k.RegisterStormHandler(0x50, nil) // removal is safe
+}

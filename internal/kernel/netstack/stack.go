@@ -1,0 +1,249 @@
+package netstack
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+// Path costs of the stack itself, per packet, excluding per-byte checksum
+// and copy work (see internal/sim/costs.go for the calibration rationale).
+const (
+	// CostRxPath is IP/transport demux, skb bookkeeping and socket
+	// queueing on receive.
+	CostRxPath sim.Duration = 900
+	// CostTxPath is skb alloc, header construction and queueing on send.
+	CostTxPath sim.Duration = 1100
+	// CostSockDeliver is waking/running the receiving application
+	// (amortised recv syscall).
+	CostSockDeliver sim.Duration = 400
+)
+
+// Stack is the kernel network core.
+type Stack struct {
+	Loop *sim.Loop
+	Acct *sim.CPUAccount // the kernel CPU account
+
+	ifaces map[string]*Iface
+	udp    map[uint16]*UDPSock
+	tcp    map[uint16]*TCPReceiver
+
+	// Firewall, if set, inspects every received frame; returning false
+	// drops it. It runs before payload delivery, like a netfilter hook.
+	Firewall func(frame []byte) bool
+
+	// Counters.
+	RxFrames, RxDrops  uint64
+	TxFrames, TxErrors uint64
+	FirewallDrops      uint64
+}
+
+// New returns an empty stack charging CPU to acct.
+func New(loop *sim.Loop, acct *sim.CPUAccount) *Stack {
+	return &Stack{
+		Loop:   loop,
+		Acct:   acct,
+		ifaces: make(map[string]*Iface),
+		udp:    make(map[uint16]*UDPSock),
+		tcp:    make(map[uint16]*TCPReceiver),
+	}
+}
+
+// Iface is one registered network interface. It implements api.NetKernel —
+// it is what RegisterNetDev hands back to the driver.
+type Iface struct {
+	Name string
+	MAC  MAC
+	IP   IP
+
+	stack *Stack
+	dev   api.NetDevice
+	up    bool
+
+	carrier      bool
+	queueStopped bool
+
+	// OnWake, if set, runs when the driver calls WakeQueue (backpressure
+	// release for the TX benchmark loop).
+	OnWake func()
+}
+
+var _ api.NetKernel = (*Iface)(nil)
+
+// Register adds an interface for a driver's netdev. Names must be unique.
+func (s *Stack) Register(name string, macAddr [6]byte, dev api.NetDevice) (*Iface, error) {
+	if _, dup := s.ifaces[name]; dup {
+		return nil, fmt.Errorf("netstack: interface %q already registered", name)
+	}
+	ifc := &Iface{Name: name, MAC: MAC(macAddr), stack: s, dev: dev}
+	s.ifaces[name] = ifc
+	return ifc, nil
+}
+
+// Unregister removes an interface (driver removal).
+func (s *Stack) Unregister(name string) { delete(s.ifaces, name) }
+
+// Iface looks up an interface by name.
+func (s *Stack) Iface(name string) (*Iface, error) {
+	ifc, ok := s.ifaces[name]
+	if !ok {
+		return nil, fmt.Errorf("netstack: no interface %q", name)
+	}
+	return ifc, nil
+}
+
+// Up brings the interface up (ifconfig up → ndo_open).
+func (ifc *Iface) Up(addr IP) error {
+	if ifc.up {
+		return nil
+	}
+	ifc.IP = addr
+	if err := ifc.dev.Open(); err != nil {
+		return fmt.Errorf("netstack: open %s: %w", ifc.Name, err)
+	}
+	ifc.up = true
+	return nil
+}
+
+// Down brings the interface down (→ ndo_stop).
+func (ifc *Iface) Down() error {
+	if !ifc.up {
+		return nil
+	}
+	ifc.up = false
+	return ifc.dev.Stop()
+}
+
+// IsUp reports admin state.
+func (ifc *Iface) IsUp() bool { return ifc.up }
+
+// Carrier reports the mirrored link state.
+func (ifc *Iface) Carrier() bool { return ifc.carrier }
+
+// Ioctl forwards a device-private ioctl to the driver (a synchronous
+// operation: under SUD this is the blocking-upcall path).
+func (ifc *Iface) Ioctl(cmd uint32, arg []byte) ([]byte, error) {
+	return ifc.dev.DoIoctl(cmd, arg)
+}
+
+// --- api.NetKernel (driver → kernel) ---------------------------------------
+
+// NetifRx is the trusted-path packet input: the in-kernel driver hands a
+// frame it fully owns; the stack verifies transport checksums itself.
+func (ifc *Iface) NetifRx(frame []byte) {
+	ifc.stack.deliver(ifc, frame, false)
+}
+
+// NetifRxVerified is the proxy-driver input path: the frame was already
+// guard-copied out of shared memory with its checksum verified in the same
+// pass (§3.1.2), so the stack must not checksum it again.
+func (ifc *Iface) NetifRxVerified(frame []byte) {
+	ifc.stack.deliver(ifc, frame, true)
+}
+
+// CarrierOn implements api.NetKernel.
+func (ifc *Iface) CarrierOn() { ifc.carrier = true }
+
+// CarrierOff implements api.NetKernel.
+func (ifc *Iface) CarrierOff() { ifc.carrier = false }
+
+// WakeQueue implements api.NetKernel.
+func (ifc *Iface) WakeQueue() {
+	ifc.queueStopped = false
+	if ifc.OnWake != nil {
+		ifc.OnWake()
+	}
+}
+
+// --- Receive path -----------------------------------------------------------
+
+func (s *Stack) deliver(ifc *Iface, frame []byte, verified bool) {
+	s.RxFrames++
+	s.Acct.Charge(CostRxPath)
+
+	if s.Firewall != nil && !s.Firewall(frame) {
+		s.FirewallDrops++
+		return
+	}
+
+	eh, ipPkt, err := ParseEth(frame)
+	if err != nil || eh.EtherType != EtherTypeIPv4 {
+		s.RxDrops++
+		return
+	}
+	ih, l4, err := ParseIPv4(ipPkt)
+	if err != nil {
+		s.RxDrops++
+		return
+	}
+	// Transport checksum: charged per byte unless the proxy already
+	// fused it with its guard copy.
+	if !verified {
+		s.Acct.Charge(sim.Checksum(len(l4)))
+	}
+	switch ih.Proto {
+	case ProtoUDP:
+		uh, payload, err := ParseUDP(ih.Src, ih.Dst, l4, true)
+		if err != nil {
+			s.RxDrops++
+			return
+		}
+		sock, ok := s.udp[uh.DstPort]
+		if !ok {
+			s.RxDrops++
+			return
+		}
+		s.Acct.Charge(CostSockDeliver)
+		sock.deliver(payload, ih.Src, uh.SrcPort)
+	case ProtoTCP:
+		th, payload, err := ParseTCP(ih.Src, ih.Dst, l4, true)
+		if err != nil {
+			s.RxDrops++
+			return
+		}
+		r, ok := s.tcp[th.DstPort]
+		if !ok {
+			s.RxDrops++
+			return
+		}
+		r.segment(ifc, eh, ih, th, payload)
+	default:
+		s.RxDrops++
+	}
+}
+
+// --- Transmit path ----------------------------------------------------------
+
+// ErrQueueStopped is returned when the driver has stopped the TX queue.
+var ErrQueueStopped = fmt.Errorf("netstack: transmit queue stopped")
+
+// xmit pushes a fully built frame to the driver, charging TX path cost.
+func (s *Stack) xmit(ifc *Iface, frame []byte) error {
+	if !ifc.up {
+		return fmt.Errorf("netstack: %s is down", ifc.Name)
+	}
+	if ifc.queueStopped {
+		s.TxErrors++
+		return ErrQueueStopped
+	}
+	s.Acct.Charge(CostTxPath)
+	if err := ifc.dev.StartXmit(frame); err != nil {
+		// Driver signals ring-full backpressure by error; the queue
+		// stays stopped until WakeQueue.
+		ifc.queueStopped = true
+		s.TxErrors++
+		return fmt.Errorf("%w: %v", ErrQueueStopped, err)
+	}
+	s.TxFrames++
+	return nil
+}
+
+// UDPSendTo builds and transmits a UDP datagram. dstMAC stands in for ARP
+// resolution (the benchmark LAN has static neighbours).
+func (s *Stack) UDPSendTo(ifc *Iface, dstMAC MAC, dstIP IP, sport, dport uint16, payload []byte) error {
+	// Header construction + payload checksum+copy into the skb.
+	s.Acct.Charge(sim.ChecksumCopy(len(payload)))
+	frame := BuildUDPFrame(ifc.MAC, dstMAC, ifc.IP, dstIP, sport, dport, payload)
+	return s.xmit(ifc, frame)
+}

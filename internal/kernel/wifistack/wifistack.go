@@ -1,0 +1,170 @@
+// Package wifistack is the kernel's 802.11 management layer (a condensed
+// cfg80211/mac80211): it tracks registered wireless interfaces, their
+// mirrored capability sets, scan results and association state, and routes
+// data frames. The §3.1.1 subtlety lives here: the kernel queries features
+// from a non-preemptable context, so feature state is mirrored at
+// registration and never fetched by upcall.
+package wifistack
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+// Manager owns all wireless interfaces of one kernel.
+type Manager struct {
+	Loop *sim.Loop
+	Acct *sim.CPUAccount
+
+	ifaces map[string]*Iface
+}
+
+// New returns an empty manager.
+func New(loop *sim.Loop, acct *sim.CPUAccount) *Manager {
+	return &Manager{Loop: loop, Acct: acct, ifaces: make(map[string]*Iface)}
+}
+
+// Iface is one wireless interface. It implements api.WifiKernel — the
+// object handed back to in-kernel drivers at registration.
+type Iface struct {
+	Name string
+	MAC  [6]byte
+
+	// Features is the mirrored static capability set (§3.1.1); reading
+	// it never calls into the driver.
+	Features uint32
+
+	mgr *Manager
+	dev api.WifiDevice
+	up  bool
+
+	LastScan  []api.BSS
+	AssocSSID string
+	Carrier   bool
+
+	// Callbacks for applications (wpa_supplicant stand-ins).
+	OnScanDone func([]api.BSS)
+	OnAssoc    func(ssid string)
+	OnDisassoc func()
+	OnRxFrame  func(frame []byte)
+
+	// Counters.
+	RxFrames, TxFrames uint64
+	ScansCompleted     uint64
+}
+
+var _ api.WifiKernel = (*Iface)(nil)
+
+// Register adds a wireless interface. features is mirrored from the driver
+// once, at registration time.
+func (m *Manager) Register(name string, mac [6]byte, dev api.WifiDevice, features uint32) (*Iface, error) {
+	if _, dup := m.ifaces[name]; dup {
+		return nil, fmt.Errorf("wifistack: interface %q already registered", name)
+	}
+	ifc := &Iface{Name: name, MAC: mac, Features: features, mgr: m, dev: dev}
+	m.ifaces[name] = ifc
+	return ifc, nil
+}
+
+// Unregister removes an interface.
+func (m *Manager) Unregister(name string) { delete(m.ifaces, name) }
+
+// Iface looks up an interface.
+func (m *Manager) Iface(name string) (*Iface, error) {
+	ifc, ok := m.ifaces[name]
+	if !ok {
+		return nil, fmt.Errorf("wifistack: no interface %q", name)
+	}
+	return ifc, nil
+}
+
+// Up opens the interface.
+func (ifc *Iface) Up() error {
+	if ifc.up {
+		return nil
+	}
+	if err := ifc.dev.Open(); err != nil {
+		return err
+	}
+	ifc.up = true
+	return nil
+}
+
+// Down closes it.
+func (ifc *Iface) Down() error {
+	if !ifc.up {
+		return nil
+	}
+	ifc.up = false
+	return ifc.dev.Stop()
+}
+
+// Scan starts an asynchronous scan; OnScanDone fires on completion.
+func (ifc *Iface) Scan() error {
+	if !ifc.up {
+		return fmt.Errorf("wifistack: %s is down", ifc.Name)
+	}
+	return ifc.dev.StartScan()
+}
+
+// Associate joins ssid; OnAssoc fires on completion.
+func (ifc *Iface) Associate(ssid string) error {
+	if !ifc.up {
+		return fmt.Errorf("wifistack: %s is down", ifc.Name)
+	}
+	return ifc.dev.Associate(ssid)
+}
+
+// Disassociate leaves the network.
+func (ifc *Iface) Disassociate() error { return ifc.dev.Disassociate() }
+
+// SendFrame transmits a data frame.
+func (ifc *Iface) SendFrame(frame []byte) error {
+	if !ifc.up || !ifc.Carrier {
+		return fmt.Errorf("wifistack: %s not associated", ifc.Name)
+	}
+	ifc.TxFrames++
+	ifc.mgr.Acct.Charge(sim.Copy(len(frame)))
+	return ifc.dev.StartXmit(frame)
+}
+
+// --- api.WifiKernel (driver → kernel) ---------------------------------------
+
+// NetifRx implements api.WifiKernel.
+func (ifc *Iface) NetifRx(frame []byte) {
+	ifc.RxFrames++
+	ifc.mgr.Acct.Charge(sim.Checksum(len(frame)))
+	if ifc.OnRxFrame != nil {
+		ifc.OnRxFrame(frame)
+	}
+}
+
+// ScanDone implements api.WifiKernel: results are mirrored into kernel
+// state before applications see them.
+func (ifc *Iface) ScanDone(results []api.BSS) {
+	ifc.ScansCompleted++
+	ifc.LastScan = results
+	if ifc.OnScanDone != nil {
+		ifc.OnScanDone(results)
+	}
+}
+
+// Associated implements api.WifiKernel.
+func (ifc *Iface) Associated(ssid string) {
+	ifc.AssocSSID = ssid
+	ifc.Carrier = true
+	if ifc.OnAssoc != nil {
+		ifc.OnAssoc(ssid)
+	}
+}
+
+// Disassociated implements api.WifiKernel.
+func (ifc *Iface) Disassociated() {
+	ifc.AssocSSID = ""
+	ifc.Carrier = false
+	if ifc.OnDisassoc != nil {
+		ifc.OnDisassoc()
+	}
+}

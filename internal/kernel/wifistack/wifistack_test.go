@@ -1,0 +1,136 @@
+package wifistack
+
+import (
+	"fmt"
+	"testing"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+type fakeCard struct {
+	open, scanning bool
+	assocReq       string
+	sent           [][]byte
+	failOpen       bool
+}
+
+func (c *fakeCard) Open() error {
+	if c.failOpen {
+		return fmt.Errorf("no radio")
+	}
+	c.open = true
+	return nil
+}
+func (c *fakeCard) Stop() error                 { c.open = false; return nil }
+func (c *fakeCard) StartScan() error            { c.scanning = true; return nil }
+func (c *fakeCard) Associate(ssid string) error { c.assocReq = ssid; return nil }
+func (c *fakeCard) Disassociate() error         { c.assocReq = ""; return nil }
+func (c *fakeCard) StartXmit(f []byte) error    { c.sent = append(c.sent, f); return nil }
+func (c *fakeCard) Features() uint32            { return api.WifiFeat11g }
+
+var _ api.WifiDevice = (*fakeCard)(nil)
+
+func newIface(t *testing.T) (*Manager, *Iface, *fakeCard) {
+	t.Helper()
+	stats := sim.NewCPUStats(2)
+	m := New(sim.NewLoop(), stats.Account("kernel"))
+	card := &fakeCard{}
+	ifc, err := m.Register("wlan0", [6]byte{1, 2, 3, 4, 5, 6}, card, card.Features())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ifc, card
+}
+
+func TestRegisterDuplicateAndLookup(t *testing.T) {
+	m, ifc, _ := newIface(t)
+	if _, err := m.Register("wlan0", [6]byte{}, &fakeCard{}, 0); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	got, err := m.Iface("wlan0")
+	if err != nil || got != ifc {
+		t.Fatal("lookup failed")
+	}
+	m.Unregister("wlan0")
+	if _, err := m.Iface("wlan0"); err == nil {
+		t.Fatal("unregistered iface found")
+	}
+}
+
+func TestLifecycleGating(t *testing.T) {
+	_, ifc, card := newIface(t)
+	// Down: operational calls are refused.
+	if err := ifc.Scan(); err == nil {
+		t.Fatal("scan while down accepted")
+	}
+	if err := ifc.Associate("x"); err == nil {
+		t.Fatal("associate while down accepted")
+	}
+	if err := ifc.SendFrame([]byte{1}); err == nil {
+		t.Fatal("send while down accepted")
+	}
+	if err := ifc.Up(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ifc.Up(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !card.open {
+		t.Fatal("device not opened")
+	}
+	// Up but no carrier: sends still refused.
+	if err := ifc.SendFrame([]byte{1}); err == nil {
+		t.Fatal("send without association accepted")
+	}
+	ifc.Associated("net")
+	if err := ifc.SendFrame([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(card.sent) != 1 || ifc.TxFrames != 1 {
+		t.Fatal("send not forwarded")
+	}
+	if err := ifc.Down(); err != nil || card.open {
+		t.Fatal("down did not stop device")
+	}
+}
+
+func TestOpenFailurePropagates(t *testing.T) {
+	_, ifc, card := newIface(t)
+	card.failOpen = true
+	if err := ifc.Up(); err == nil {
+		t.Fatal("failed open not propagated")
+	}
+	if ifc.up {
+		t.Fatal("iface marked up after failed open")
+	}
+}
+
+func TestMirroredStateAndCallbacks(t *testing.T) {
+	_, ifc, _ := newIface(t)
+	if ifc.Features != api.WifiFeat11g {
+		t.Fatal("features not mirrored at registration")
+	}
+	var scans, assocs, disassocs, frames int
+	ifc.OnScanDone = func(r []api.BSS) { scans = len(r) }
+	ifc.OnAssoc = func(string) { assocs++ }
+	ifc.OnDisassoc = func() { disassocs++ }
+	ifc.OnRxFrame = func([]byte) { frames++ }
+
+	ifc.ScanDone([]api.BSS{{SSID: "a"}, {SSID: "b"}})
+	if scans != 2 || len(ifc.LastScan) != 2 || ifc.ScansCompleted != 1 {
+		t.Fatal("scan results not mirrored")
+	}
+	ifc.Associated("a")
+	if !ifc.Carrier || ifc.AssocSSID != "a" || assocs != 1 {
+		t.Fatal("association not mirrored")
+	}
+	ifc.NetifRx([]byte{1, 2, 3})
+	if frames != 1 || ifc.RxFrames != 1 {
+		t.Fatal("rx not delivered")
+	}
+	ifc.Disassociated()
+	if ifc.Carrier || ifc.AssocSSID != "" || disassocs != 1 {
+		t.Fatal("disassociation not mirrored")
+	}
+}

@@ -1,0 +1,85 @@
+package netperf
+
+import (
+	"fmt"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/drivers/e1000e"
+	"sud/internal/ethlink"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+// Mode selects the driver configuration under test (the two rows of each
+// Figure 8 benchmark).
+type Mode int
+
+const (
+	// ModeKernel runs the e1000e as a trusted in-kernel driver.
+	ModeKernel Mode = iota
+	// ModeSUD runs the identical driver in an untrusted SUD process.
+	ModeSUD
+)
+
+func (m Mode) String() string {
+	if m == ModeSUD {
+		return "Untrusted driver"
+	}
+	return "Kernel driver"
+}
+
+// Testbed is the paper's two-machine setup: the DUT (Thinkpad X301 model)
+// connected to a fast wire-level peer (Optiplex model) by a Gigabit link.
+type Testbed struct {
+	Mode   Mode
+	M      *hw.Machine
+	K      *kernel.Kernel
+	NIC    *e1000.NIC
+	Link   *ethlink.Link
+	Remote *RemoteHost
+	Ifc    *netstack.Iface
+	Proc   *sudml.Process // nil in ModeKernel
+}
+
+// NewTestbed builds and boots a testbed; the interface is up and carrier is
+// established.
+func NewTestbed(mode Mode, plat hw.Platform) (*Testbed, error) {
+	m := hw.NewMachine(plat)
+	k := kernel.New(m)
+	dev := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000, [6]byte(DUTMAC), e1000.DefaultParams())
+	m.AttachDevice(dev)
+	link := ethlink.NewGigabit(m.Loop, 300)
+	remote := NewRemote(m.Loop, link, 1)
+	link.Connect(dev, remote)
+	dev.AttachLink(link, 0)
+
+	tb := &Testbed{Mode: mode, M: m, K: k, NIC: dev, Link: link, Remote: remote}
+	switch mode {
+	case ModeKernel:
+		if _, err := k.BindInKernel(e1000e.New(), dev); err != nil {
+			return nil, err
+		}
+	case ModeSUD:
+		proc, err := sudml.Start(k, dev, e1000e.New(), "e1000e", 1001)
+		if err != nil {
+			return nil, err
+		}
+		tb.Proc = proc
+	default:
+		return nil, fmt.Errorf("netperf: unknown mode %d", mode)
+	}
+	ifc, err := k.Net.Iface("eth0")
+	if err != nil {
+		return nil, err
+	}
+	if err := ifc.Up(DUTIP); err != nil {
+		return nil, err
+	}
+	tb.Ifc = ifc
+	m.Loop.RunFor(100 * sim.Microsecond)
+	return tb, nil
+}

@@ -1,0 +1,105 @@
+package pci
+
+import "sud/internal/mem"
+
+// Device is a PCI function attached to the fabric. Device models in
+// internal/devices implement this; the kernel and the SUD safe-access module
+// talk to devices only through it.
+type Device interface {
+	// BDF returns the function's bus/device/function address.
+	BDF() BDF
+
+	// Config returns the function's configuration space.
+	Config() *ConfigSpace
+
+	// MMIORead/MMIOWrite access a memory BAR at the given byte offset.
+	// size is 1, 2, 4 or 8. Device register side effects happen here.
+	MMIORead(bar int, off uint64, size int) uint64
+	MMIOWrite(bar int, off uint64, size int, v uint64)
+
+	// IORead/IOWrite access an IO-space BAR (legacy devices such as
+	// ne2k-pci). Devices without IO BARs return all-ones / ignore.
+	IORead(bar int, off uint64, size int) uint32
+	IOWrite(bar int, off uint64, size int, v uint32)
+
+	// Attach gives the device its upstream port; called by the topology
+	// when the device is plugged in.
+	Attach(port Port)
+}
+
+// FuncBase provides the boilerplate half of Device: identity, config space
+// and the upstream port, plus DMA and MSI helpers. Device models embed it.
+type FuncBase struct {
+	bdf  BDF
+	cfg  *ConfigSpace
+	port Port
+}
+
+// InitFunc initialises the embedded base.
+func (f *FuncBase) InitFunc(bdf BDF, cfg *ConfigSpace) {
+	f.bdf = bdf
+	f.cfg = cfg
+}
+
+// BDF implements Device.
+func (f *FuncBase) BDF() BDF { return f.bdf }
+
+// Config implements Device.
+func (f *FuncBase) Config() *ConfigSpace { return f.cfg }
+
+// Attach implements Device.
+func (f *FuncBase) Attach(port Port) { f.port = port }
+
+// Attached reports whether the device has an upstream port.
+func (f *FuncBase) Attached() bool { return f.port != nil }
+
+// DMARead issues a memory read TLP for n bytes at bus address addr. It fails
+// if bus mastering is disabled (the command register gates DMA on real
+// hardware too).
+func (f *FuncBase) DMARead(addr mem.Addr, n int) ([]byte, error) {
+	if f.port == nil {
+		return nil, &RouteError{Reason: "device not attached"}
+	}
+	if !f.cfg.BusMasterEnabled() {
+		return nil, &RouteError{
+			TLP:    TLP{Type: MemRead, Requester: f.bdf, Addr: addr, Len: n},
+			Reason: "bus mastering disabled",
+		}
+	}
+	c := f.port.Upstream(TLP{Type: MemRead, Requester: f.bdf, Addr: addr, Len: n})
+	return c.Data, c.Err
+}
+
+// DMAWrite issues a memory write TLP.
+func (f *FuncBase) DMAWrite(addr mem.Addr, data []byte) error {
+	if f.port == nil {
+		return &RouteError{Reason: "device not attached"}
+	}
+	if !f.cfg.BusMasterEnabled() {
+		return &RouteError{
+			TLP:    TLP{Type: MemWrite, Requester: f.bdf, Addr: addr, Data: data},
+			Reason: "bus mastering disabled",
+		}
+	}
+	c := f.port.Upstream(TLP{Type: MemWrite, Requester: f.bdf, Addr: addr, Data: data})
+	return c.Err
+}
+
+// RaiseMSI signals the function's MSI, if enabled and unmasked: a memory
+// write of the message data to the message address, travelling the same
+// fabric path as any other DMA (§3.2.2). It reports whether a message was
+// actually sent.
+func (f *FuncBase) RaiseMSI() bool {
+	msi := f.cfg.MSI()
+	if !msi.Present || !msi.Enabled || msi.Masked || f.port == nil {
+		return false
+	}
+	data := []byte{byte(msi.Data), byte(msi.Data >> 8), 0, 0}
+	c := f.port.Upstream(TLP{
+		Type:      MemWrite,
+		Requester: f.bdf,
+		Addr:      mem.Addr(msi.Address),
+		Data:      data,
+	})
+	return c.OK()
+}

@@ -1,0 +1,130 @@
+// Package audioproxy is SUD's audio card proxy driver (Figure 5): the
+// in-kernel module implementing the PCM contract on behalf of an untrusted
+// driver process. Sample periods travel as inline data through the ring
+// (audio bandwidth — under a MB/s — is far below the uchan budget); the
+// period-elapsed notification is the latency-sensitive downcall that makes
+// real-time scheduling of the driver process worthwhile (§4.1).
+package audioproxy
+
+import (
+	"fmt"
+
+	"sud/internal/kernel/audio"
+	"sud/internal/proxy/pciaccess"
+	"sud/internal/proxy/protocol"
+	"sud/internal/sim"
+	"sud/internal/uchan"
+)
+
+// Upcalls (kernel → driver).
+const (
+	OpPrepare     = protocol.AudioBase + iota // sync; Args: rate, periodBytes, periods
+	OpWritePeriod                             // async; Args[0]=idx, Data=samples
+	OpTrigger                                 // sync; Args[0]=1 start / 0 stop
+	OpPointer                                 // sync; reply Args[0]=position
+)
+
+// Downcalls (driver → kernel).
+const (
+	OpPeriodElapsed = protocol.AudioBase + 16 + iota
+	OpXRun
+)
+
+// MaxPeriodBytes bounds inline sample periods.
+const MaxPeriodBytes = 64 * 1024
+
+// Proxy is one audio proxy instance.
+type Proxy struct {
+	Acct *sim.CPUAccount
+	DF   *pciaccess.DeviceFile
+	C    *uchan.Chan
+	PCM  *audio.PCM
+
+	// Counters.
+	PeriodDowncalls uint64
+	BadDowncalls    uint64
+}
+
+// New registers a sound device served by the driver process on c.
+func New(mgr *audio.Manager, df *pciaccess.DeviceFile, c *uchan.Chan, name string) (*Proxy, error) {
+	p := &Proxy{Acct: mgr.Acct, DF: df, C: c}
+	pcm, err := mgr.Register(name, (*proxyDev)(p))
+	if err != nil {
+		return nil, err
+	}
+	p.PCM = pcm
+	return p, nil
+}
+
+// HandleDowncall services one audio downcall.
+func (p *Proxy) HandleDowncall(m uchan.Msg) {
+	switch m.Op {
+	case OpPeriodElapsed:
+		p.PeriodDowncalls++
+		p.PCM.PeriodElapsed()
+	case OpXRun:
+		p.PCM.XRun()
+	default:
+		p.BadDowncalls++
+	}
+}
+
+// proxyDev implements api.AudioDevice by upcall.
+type proxyDev Proxy
+
+func (d *proxyDev) p() *Proxy { return (*Proxy)(d) }
+
+// PrepareStream implements api.AudioDevice.
+func (d *proxyDev) PrepareStream(rateHz, periodBytes, periods int) error {
+	if periodBytes > MaxPeriodBytes {
+		return fmt.Errorf("audioproxy: period too large")
+	}
+	reply, err := d.p().C.Send(uchan.Msg{
+		Op:   OpPrepare,
+		Args: [6]uint64{uint64(rateHz), uint64(periodBytes), uint64(periods)},
+	})
+	if err != nil {
+		return fmt.Errorf("audioproxy: prepare: %w", err)
+	}
+	if reply.Args[0] != 0 {
+		return fmt.Errorf("audioproxy: driver prepare failed: %s", reply.Data)
+	}
+	return nil
+}
+
+// WritePeriod implements api.AudioDevice (asynchronous: the stream's ring
+// semantics tolerate it, and blocking the kernel per period would defeat
+// the point).
+func (d *proxyDev) WritePeriod(idx int, samples []byte) error {
+	p := d.p()
+	p.Acct.Charge(sim.Copy(len(samples)))
+	buf := make([]byte, len(samples))
+	copy(buf, samples)
+	return p.C.ASend(uchan.Msg{Op: OpWritePeriod, Args: [6]uint64{uint64(idx)}, Data: buf})
+}
+
+// Trigger implements api.AudioDevice.
+func (d *proxyDev) Trigger(start bool) error {
+	var v uint64
+	if start {
+		v = 1
+	}
+	reply, err := d.p().C.Send(uchan.Msg{Op: OpTrigger, Args: [6]uint64{v}})
+	if err != nil {
+		return fmt.Errorf("audioproxy: trigger: %w", err)
+	}
+	if reply.Args[0] != 0 {
+		return fmt.Errorf("audioproxy: driver trigger failed: %s", reply.Data)
+	}
+	return nil
+}
+
+// Pointer implements api.AudioDevice (synchronous upcall, like the paper's
+// MII ioctl example).
+func (d *proxyDev) Pointer() (int, error) {
+	reply, err := d.p().C.Send(uchan.Msg{Op: OpPointer})
+	if err != nil {
+		return 0, fmt.Errorf("audioproxy: pointer: %w", err)
+	}
+	return int(reply.Args[1]), nil
+}

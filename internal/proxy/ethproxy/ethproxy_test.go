@@ -1,0 +1,223 @@
+package ethproxy
+
+import (
+	"bytes"
+	"testing"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/proxy/pciaccess"
+	"sud/internal/sim"
+	"sud/internal/uchan"
+)
+
+var mac = [6]byte{2, 0, 0, 0, 0, 9}
+
+type rig struct {
+	m  *hw.Machine
+	k  *kernel.Kernel
+	df *pciaccess.DeviceFile
+	c  *uchan.Chan
+	p  *Proxy
+
+	// upcalls captured on the "driver" side.
+	upcalls []uchan.Msg
+	reply   func(m uchan.Msg) *uchan.Msg
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m := hw.NewMachine(hw.DefaultPlatform())
+	k := kernel.New(m)
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000, mac, e1000.DefaultParams())
+	m.AttachDevice(nic)
+	acct := m.CPU.Account("driver:test")
+	df := pciaccess.Open(k, nic, 1001, acct)
+	c := uchan.New(m.Loop, k.Acct, acct)
+	r := &rig{m: m, k: k, df: df, c: c}
+	c.DriverHandler = func(msg uchan.Msg) *uchan.Msg {
+		r.upcalls = append(r.upcalls, msg)
+		if r.reply != nil {
+			return r.reply(msg)
+		}
+		return &uchan.Msg{Seq: msg.Seq}
+	}
+	ki := &KernelIface{Acct: k.Acct, Mem: m.Mem, Net: k.Net}
+	p, err := New(ki, df, c, "eth0", mac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KernelHandler = p.HandleDowncall
+	r.p = p
+	return r
+}
+
+func TestRegistrationCreatesIfaceAndPool(t *testing.T) {
+	r := newRig(t)
+	if r.p.Ifc.MAC != netstack.MAC(mac) {
+		t.Fatal("MAC not mirrored")
+	}
+	if r.p.FreeTxSlots() != TxSlots {
+		t.Fatalf("pool = %d", r.p.FreeTxSlots())
+	}
+	if len(r.df.Allocs()) != 1 || r.df.Allocs()[0].Label != "TX shared pool" {
+		t.Fatal("pool not allocated through the device file")
+	}
+	// Duplicate interface name fails cleanly.
+	ki := &KernelIface{Acct: r.k.Acct, Mem: r.m.Mem, Net: r.k.Net}
+	if _, err := New(ki, r.df, r.c, "eth0", mac); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestOpenStopIoctlRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.reply = func(m uchan.Msg) *uchan.Msg {
+		rep := &uchan.Msg{Seq: m.Seq}
+		if m.Op == OpIoctl {
+			rep.Data = []byte{0xAB}
+		}
+		return rep
+	}
+	dev := (*proxyDev)(r.p)
+	if err := dev.Open(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dev.DoIoctl(7, []byte{1})
+	if err != nil || out[0] != 0xAB {
+		t.Fatalf("ioctl: %v %v", out, err)
+	}
+	if err := dev.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Driver-reported failure propagates.
+	r.reply = func(m uchan.Msg) *uchan.Msg {
+		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}, Data: []byte("boom")}
+	}
+	if err := dev.Open(); err == nil {
+		t.Fatal("driver open failure swallowed")
+	}
+}
+
+func TestXmitUsesSharedSlotsWithBackpressure(t *testing.T) {
+	r := newRig(t)
+	dev := (*proxyDev)(r.p)
+	frame := bytes.Repeat([]byte{0x3C}, 100)
+	for i := 0; i < TxSlots; i++ {
+		if err := dev.StartXmit(frame); err != nil {
+			t.Fatalf("xmit %d: %v", i, err)
+		}
+	}
+	// Pool exhausted (no XmitDone yet): backpressure.
+	if err := dev.StartXmit(frame); err == nil {
+		t.Fatal("xmit with empty pool accepted")
+	}
+	r.m.Loop.Run() // drain upcalls
+	if len(r.upcalls) != TxSlots {
+		t.Fatalf("driver saw %d xmits", len(r.upcalls))
+	}
+	// The frame bytes really are in the shared slot the message names.
+	msg := r.upcalls[0]
+	phys, ok := r.df.PhysFor(mem.Addr(msg.Args[0]))
+	if !ok {
+		t.Fatal("xmit references unknown memory")
+	}
+	got := make([]byte, int(msg.Args[1]))
+	r.m.Mem.MustRead(phys, got)
+	if !bytes.Equal(got, frame) {
+		t.Fatal("shared slot content wrong")
+	}
+	// Return enough slots: queue wakes only past the threshold.
+	var woken bool
+	r.p.Ifc.OnWake = func() { woken = true }
+	for i := 0; i < wakeThreshold-1; i++ {
+		r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(i)}})
+	}
+	if woken {
+		t.Fatal("woke below threshold")
+	}
+	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(wakeThreshold)}})
+	if !woken {
+		t.Fatal("no wake at threshold")
+	}
+	// Oversized frames and bad slot indices are rejected/ignored.
+	if err := dev.StartXmit(make([]byte, TxSlotSize+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	before := r.p.FreeTxSlots()
+	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{99999}})
+	if r.p.FreeTxSlots() != before {
+		t.Fatal("bogus slot index freed something")
+	}
+}
+
+func TestNetifRxValidation(t *testing.T) {
+	r := newRig(t)
+	var delivered int
+	if _, err := r.k.Net.UDPBind(80, func([]byte, netstack.IP, uint16) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Valid reference: a frame staged in the driver's own pool.
+	frame := netstack.BuildUDPFrame(netstack.MAC{9}, netstack.MAC(mac),
+		netstack.IP{1}, netstack.IP{2}, 1, 80, []byte("ok"))
+	alloc := r.df.Allocs()[0]
+	r.m.Mem.MustWrite(alloc.Phys, frame)
+	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), uint64(len(frame))}})
+	if delivered != 1 {
+		t.Fatal("valid frame not delivered")
+	}
+	// Reference outside the driver's memory: rejected.
+	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(hw.DRAMBase), 64}})
+	if r.p.RxInvalidRef != 1 {
+		t.Fatal("foreign reference accepted")
+	}
+	// Absurd lengths: rejected.
+	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 1 << 20}})
+	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 0}})
+	if r.p.RxBadLength != 2 {
+		t.Fatalf("bad lengths = %d", r.p.RxBadLength)
+	}
+	// Inline (bounced) frames also deliver.
+	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Data: frame, Args: [6]uint64{0, uint64(len(frame))}})
+	if delivered != 2 {
+		t.Fatal("inline frame not delivered")
+	}
+	// Unknown downcalls are counted, not trusted.
+	r.p.HandleDowncall(uchan.Msg{Op: 9999})
+	if r.p.UpcallErrors != 1 {
+		t.Fatal("unknown op not counted")
+	}
+}
+
+func TestCarrierMirrorDowncalls(t *testing.T) {
+	r := newRig(t)
+	r.p.HandleDowncall(uchan.Msg{Op: OpCarrierOn})
+	if !r.p.Ifc.Carrier() || r.p.MirrorUpdates != 1 {
+		t.Fatal("carrier-on not mirrored")
+	}
+	r.p.HandleDowncall(uchan.Msg{Op: OpCarrierOff})
+	if r.p.Ifc.Carrier() || r.p.MirrorUpdates != 2 {
+		t.Fatal("carrier-off not mirrored")
+	}
+	_ = sim.Second
+}
+
+func TestHungDriverXmitBackpressure(t *testing.T) {
+	r := newRig(t)
+	r.c.Hung = true
+	dev := (*proxyDev)(r.p)
+	var failed bool
+	for i := 0; i < 2*uchan.RingSlots; i++ {
+		if err := dev.StartXmit([]byte{1}); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("hung driver never backpressured xmit")
+	}
+}

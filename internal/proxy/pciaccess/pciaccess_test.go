@@ -1,0 +1,356 @@
+package pciaccess
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/hw"
+	"sud/internal/iommu"
+	"sud/internal/irq"
+	"sud/internal/kernel"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+type rig struct {
+	m   *hw.Machine
+	k   *kernel.Kernel
+	nic *e1000.NIC
+	df  *DeviceFile
+}
+
+func newRig(t *testing.T, plat hw.Platform) *rig {
+	t.Helper()
+	m := hw.NewMachine(plat)
+	k := kernel.New(m)
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000,
+		[6]byte{2, 0, 0, 0, 0, 1}, e1000.DefaultParams())
+	m.AttachDevice(nic)
+	acct := m.CPU.Account("driver:test")
+	df := Open(k, nic, 1001, acct)
+	return &rig{m: m, k: k, nic: nic, df: df}
+}
+
+func TestOpenAttachesEmptyDomain(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	if r.df.Dom.Pages() != 0 {
+		t.Fatalf("fresh domain has %d pages", r.df.Dom.Pages())
+	}
+	if r.m.IOMMU.Domain(r.nic.BDF()) != r.df.Dom {
+		t.Fatal("domain not attached to the device")
+	}
+}
+
+func TestAMDOpenMapsMSIWindow(t *testing.T) {
+	p := hw.DefaultPlatform()
+	p.IOMMU.Vendor = iommu.VendorAMD
+	r := newRig(t, p)
+	// The AMD IOMMU has no implicit MSI mapping, so Open installs one
+	// (write-only) to let the device's own interrupts through (§6).
+	want := int((iommu.MSILimit - iommu.MSIBase) / mem.PageSize)
+	if r.df.Dom.Pages() != want {
+		t.Fatalf("AMD domain has %d pages, want %d (MSI window)", r.df.Dom.Pages(), want)
+	}
+}
+
+func TestAllocDMASequentialIOVAs(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	a, err := r.df.AllocDMA(4096, "first", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.df.AllocDMA(8192, "second", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IOVA != IOVABase {
+		t.Fatalf("first IOVA %#x, want %#x", uint64(a.IOVA), uint64(IOVABase))
+	}
+	if b.IOVA != IOVABase+mem.PageSize {
+		t.Fatalf("second IOVA %#x", uint64(b.IOVA))
+	}
+	if r.df.Dom.Pages() != 3 {
+		t.Fatalf("domain pages = %d", r.df.Dom.Pages())
+	}
+}
+
+func TestFreeDMAUnmapsAndFaults(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	a, err := r.df.AllocDMA(4096, "x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.nic.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
+	if err := r.nic.DMAWrite(a.IOVA, []byte{1}); err != nil {
+		t.Fatal("DMA to allocated buffer faulted:", err)
+	}
+	if err := r.df.FreeDMA(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.DMAWrite(a.IOVA, []byte{1}); err == nil {
+		t.Fatal("DMA to freed buffer succeeded")
+	}
+	if err := r.df.FreeDMA(a); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestRlimit(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	r.df.MaxDMAPages = 2
+	if _, err := r.df.AllocDMA(2*4096, "ok", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.df.AllocDMA(4096, "over", true); err == nil {
+		t.Fatal("allocation beyond rlimit succeeded")
+	}
+}
+
+func TestValidateRangeAndPhysFor(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	a, err := r.df.AllocDMA(2*4096, "buf", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.df.ValidateRange(a.IOVA, 8192) {
+		t.Fatal("full range rejected")
+	}
+	if r.df.ValidateRange(a.IOVA, 8193) {
+		t.Fatal("over-long range accepted")
+	}
+	if r.df.ValidateRange(a.IOVA-1, 4) {
+		t.Fatal("range before allocation accepted")
+	}
+	if r.df.ValidateRange(a.IOVA, 0) || r.df.ValidateRange(a.IOVA, -1) {
+		t.Fatal("degenerate range accepted")
+	}
+	phys, ok := r.df.PhysFor(a.IOVA + 100)
+	if !ok || phys != a.Phys+100 {
+		t.Fatalf("PhysFor = %#x, %v", uint64(phys), ok)
+	}
+	if _, ok := r.df.PhysFor(0xDEAD0000); ok {
+		t.Fatal("PhysFor matched unallocated address")
+	}
+}
+
+func TestConfigWriteFilter(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	// BAR writes denied.
+	if err := r.df.ConfigWrite(pci.CfgBAR0, 4, 0xDEAD0000); err != ErrFiltered {
+		t.Fatalf("BAR write: %v", err)
+	}
+	// Capability pointer denied.
+	if err := r.df.ConfigWrite(pci.CfgCapPtr, 1, 0); err != ErrFiltered {
+		t.Fatalf("cap ptr write: %v", err)
+	}
+	// MSI capability denied.
+	msi := r.nic.Config().MSICapOffset()
+	if err := r.df.ConfigWrite(msi+4, 4, 0xDEAD0000); err != ErrFiltered {
+		t.Fatalf("MSI write: %v", err)
+	}
+	if r.df.FilteredConfigWrites != 3 {
+		t.Fatalf("filtered counter = %d", r.df.FilteredConfigWrites)
+	}
+	// Command register: decode bits pass, interrupt-disable is stripped.
+	if err := r.df.ConfigWrite(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster|pci.CmdIntDisable); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.df.ConfigRead(pci.CfgCommand, 2)
+	if got&pci.CmdIntDisable != 0 {
+		t.Fatal("interrupt-disable bit writable by untrusted driver")
+	}
+	if got&(pci.CmdMemSpace|pci.CmdBusMaster) != pci.CmdMemSpace|pci.CmdBusMaster {
+		t.Fatal("decode bits lost")
+	}
+	// Device-private scratch area is writable.
+	if err := r.df.ConfigWrite(0x40, 4, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapMMIOAndIOPorts(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	mm, err := r.df.MapMMIO(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Write32(e1000.RegITR, 123)
+	if got := mm.Read32(e1000.RegITR); got != 123 {
+		t.Fatalf("MMIO round trip = %d", got)
+	}
+	if _, err := r.df.MapMMIO(1); err == nil {
+		t.Fatal("mapped a nonexistent BAR")
+	}
+	if _, err := r.df.RequestIOPorts(0); err == nil {
+		t.Fatal("IO grant on a memory BAR succeeded")
+	}
+}
+
+func TestIRQForwardingAndMaskPolicy(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	var upcalls int
+	if err := r.df.RequestIRQ(func() { upcalls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.df.RequestIRQ(func() {}); err == nil {
+		t.Fatal("double IRQ request succeeded")
+	}
+	// First interrupt: forwarded, not masked.
+	r.m.IRQ.Inject(r.df.Vector())
+	r.m.Loop.Run()
+	if upcalls != 1 {
+		t.Fatalf("upcalls = %d", upcalls)
+	}
+	if r.nic.Config().MSI().Masked {
+		t.Fatal("masked after first interrupt")
+	}
+	// Second interrupt before Ack: masked (§3.2.2).
+	r.m.IRQ.Inject(r.df.Vector())
+	r.m.Loop.Run()
+	if upcalls != 1 {
+		t.Fatal("second interrupt forwarded before ack")
+	}
+	if !r.nic.Config().MSI().Masked {
+		t.Fatal("not masked on re-raise before ack")
+	}
+	if r.df.MasksWhilePending != 1 {
+		t.Fatalf("MasksWhilePending = %d", r.df.MasksWhilePending)
+	}
+	// Ack unmasks.
+	r.df.Ack()
+	if r.nic.Config().MSI().Masked {
+		t.Fatal("still masked after ack")
+	}
+	if err := r.df.FreeIRQ(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.df.FreeIRQ(); err == nil {
+		t.Fatal("double free IRQ succeeded")
+	}
+}
+
+func TestStormResponsePerPlatform(t *testing.T) {
+	cases := []struct {
+		name        string
+		plat        hw.Platform
+		wantStormed bool
+	}{
+		{"intel-no-remap", hw.DefaultPlatform(), false},
+		{"intel-remap", hw.SecurePlatform(), true},
+		{"amd", func() hw.Platform {
+			p := hw.DefaultPlatform()
+			p.IOMMU.Vendor = iommu.VendorAMD
+			return p
+		}(), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, c.plat)
+			if err := r.df.RequestIRQ(func() {}); err != nil {
+				t.Fatal(err)
+			}
+			// Drive the storm detector directly.
+			for i := 0; i < r.m.IRQ.StormThreshold+1; i++ {
+				r.m.IRQ.Inject(r.df.Vector())
+			}
+			r.m.Loop.Run()
+			if r.df.Stormed() != c.wantStormed {
+				t.Fatalf("stormed = %v, want %v", r.df.Stormed(), c.wantStormed)
+			}
+			if r.df.StormResponses == 0 {
+				t.Fatal("storm response never ran")
+			}
+			// In every case the device's own MSI got masked.
+			if !r.nic.Config().MSI().Masked {
+				t.Fatal("device MSI not masked on storm")
+			}
+		})
+	}
+}
+
+func TestCloseTearsDownEverything(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	a, err := r.df.AllocDMA(4096, "x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.df.RequestIRQ(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	r.df.Close()
+	r.df.Close() // idempotent
+	if !r.df.Closed() {
+		t.Fatal("not closed")
+	}
+	r.nic.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
+	if err := r.nic.DMAWrite(a.IOVA, []byte{1}); err == nil {
+		t.Fatal("DMA after close succeeded")
+	}
+	if _, err := r.df.AllocDMA(4096, "y", true); err == nil {
+		t.Fatal("alloc after close succeeded")
+	}
+	if err := r.df.ConfigWrite(0x40, 4, 1); err == nil {
+		t.Fatal("config write after close succeeded")
+	}
+	if _, err := r.df.ConfigRead(0, 2); err == nil {
+		t.Fatal("config read after close succeeded")
+	}
+	_ = irq.FirstUsable
+	_ = sim.Second
+}
+
+// Property: ValidateRange accepts exactly the subranges of allocations.
+func TestValidateRangeProperty(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	a, err := r.df.AllocDMA(16*4096, "buf", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 16 * 4096
+	f := func(off, n uint32) bool {
+		o := int(off % uint32(size+100))
+		l := int(n%uint32(size+100)) + 1
+		want := o+l <= size
+		return r.df.ValidateRange(a.IOVA+mem.Addr(o), l) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceDelegation(t *testing.T) {
+	r := newRig(t, hw.DefaultPlatform())
+	victim := e1000.New(r.m.Loop, pci.MakeBDF(1, 1, 0), 0xFEB40000,
+		[6]byte{2, 0, 0, 0, 0, 2}, e1000.DefaultParams())
+	victim.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace)
+	r.m.AttachDevice(victim)
+	r.nic.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
+
+	// Without a grant, P2P DMA at the victim's BAR faults.
+	if err := r.nic.DMAWrite(0xFEB40000+e1000.RegITR, []byte{0x42, 0, 0, 0}); err == nil {
+		t.Fatal("undelegated P2P DMA succeeded")
+	}
+	// Delegate, then the same DMA lands on the victim's register.
+	if err := r.df.DelegateMMIO(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.DMAWrite(0xFEB40000+e1000.RegITR, []byte{0x42, 0, 0, 0}); err != nil {
+		t.Fatal("delegated P2P DMA faulted:", err)
+	}
+	if got := victim.MMIORead(0, e1000.RegITR, 4); got != 0x42 {
+		t.Fatalf("victim ITR = %#x after delegated write", got)
+	}
+	// Revoke: faults again.
+	if err := r.df.RevokeDelegation(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.DMAWrite(0xFEB40000+e1000.RegITR, []byte{0x43, 0, 0, 0}); err == nil {
+		t.Fatal("revoked P2P DMA succeeded")
+	}
+	// IO BARs cannot be delegated.
+	if err := r.df.DelegateMMIO(victim, 1); err == nil {
+		t.Fatal("delegated a missing/IO BAR")
+	}
+}

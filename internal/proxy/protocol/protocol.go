@@ -1,0 +1,29 @@
+// Package protocol assigns the uchan operation-code space shared by all SUD
+// proxy driver classes. Common operations (interrupt forwarding, the generic
+// ctl surface, interrupt acknowledgement) are class-independent; each device
+// class gets a disjoint range for its own upcalls and downcalls.
+package protocol
+
+// Common upcalls (kernel → driver process).
+const (
+	// OpInterrupt forwards a device interrupt (§3.2.2).
+	OpInterrupt uint32 = 1
+	// OpCtl invokes the driver's generic control surface (api.CtlHandler)
+	// — the path used by classes that need no dedicated proxy, like the
+	// USB host class (Figure 5: 0 lines of proxy code).
+	OpCtl uint32 = 2
+)
+
+// Common downcalls (driver process → kernel).
+const (
+	// OpIRQAck is the interrupt_ack downcall (Figure 7).
+	OpIRQAck uint32 = 8
+)
+
+// Per-class ranges. Upcalls and downcalls for one class share its block.
+const (
+	EthBase   uint32 = 16
+	WifiBase  uint32 = 48
+	AudioBase uint32 = 80
+	BlockBase uint32 = 112
+)

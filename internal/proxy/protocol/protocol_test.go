@@ -1,0 +1,23 @@
+package protocol
+
+import "testing"
+
+// The op-code space must stay disjoint: common ops below every class base,
+// and class blocks strictly ordered with room for 16 upcalls + 16 downcalls.
+func TestOpSpaceDisjoint(t *testing.T) {
+	if OpInterrupt == 0 || OpCtl == 0 || OpIRQAck == 0 {
+		t.Fatal("zero op code in use")
+	}
+	common := []uint32{OpInterrupt, OpCtl, OpIRQAck}
+	for _, c := range common {
+		if c >= EthBase {
+			t.Fatalf("common op %d collides with class space", c)
+		}
+	}
+	bases := []uint32{EthBase, WifiBase, AudioBase, BlockBase}
+	for i := 1; i < len(bases); i++ {
+		if bases[i]-bases[i-1] < 32 {
+			t.Fatalf("class block %d too small: %d..%d", i-1, bases[i-1], bases[i])
+		}
+	}
+}

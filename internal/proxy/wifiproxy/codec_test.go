@@ -1,0 +1,103 @@
+package wifiproxy
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sud/internal/drivers/api"
+)
+
+func TestBSSListRoundTrip(t *testing.T) {
+	in := []api.BSS{
+		{SSID: "csail", BSSID: [6]byte{1, 2, 3, 4, 5, 6}, Channel: 6, Signal: -40},
+		{SSID: "", BSSID: [6]byte{9, 9, 9, 9, 9, 9}, Channel: 149, Signal: -90},
+	}
+	out, err := DecodeBSSList(EncodeBSSList(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestBSSListEmpty(t *testing.T) {
+	out, err := DecodeBSSList(EncodeBSSList(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty list: %v %v", out, err)
+	}
+	if _, err := DecodeBSSList(nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+}
+
+func TestBSSListMalformedRejected(t *testing.T) {
+	// Count claims more entries than the payload carries.
+	if _, err := DecodeBSSList([]byte{5, 2, 'a'}); err == nil {
+		t.Fatal("truncated list accepted")
+	}
+	// Implausible count.
+	if _, err := DecodeBSSList([]byte{200}); err == nil {
+		t.Fatal("giant count accepted")
+	}
+	// SSID length beyond the payload.
+	if _, err := DecodeBSSList([]byte{1, 40}); err == nil {
+		t.Fatal("oversized SSID accepted")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary well-formed BSS lists; SSIDs
+// longer than 32 bytes are truncated, signals clamp into int8+128 range.
+func TestBSSListRoundTripProperty(t *testing.T) {
+	f := func(names []string, chans []uint16, sigs []int8) bool {
+		n := len(names)
+		if n > 40 {
+			n = 40
+		}
+		var in []api.BSS
+		for i := 0; i < n; i++ {
+			ssid := names[i]
+			if len(ssid) > 32 {
+				ssid = ssid[:32]
+			}
+			b := api.BSS{SSID: ssid}
+			if i < len(chans) {
+				b.Channel = int(chans[i])
+			}
+			if i < len(sigs) {
+				b.Signal = int(sigs[i])
+			}
+			b.BSSID[0] = byte(i)
+			in = append(in, b)
+		}
+		out, err := DecodeBSSList(EncodeBSSList(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return len(in) == 0 && len(out) == 0
+		}
+		for i := range in {
+			if out[i].SSID != in[i].SSID || out[i].BSSID != in[i].BSSID ||
+				out[i].Channel != in[i].Channel || out[i].Signal != in[i].Signal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary bytes (untrusted input).
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeBSSList(data)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

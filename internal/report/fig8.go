@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sud/internal/hw"
+	"sud/internal/netperf"
+)
+
+// PaperFig8 holds the paper's Figure 8 numbers for comparison.
+type PaperFig8 struct {
+	Value float64
+	CPU   float64 // percent
+}
+
+// paperNumbers indexes the paper's cells by benchmark and mode.
+var paperNumbers = map[string]map[netperf.Mode]PaperFig8{
+	"TCP_STREAM": {
+		netperf.ModeKernel: {941, 12},
+		netperf.ModeSUD:    {941, 13},
+	},
+	"UDP_STREAM TX": {
+		netperf.ModeKernel: {317, 35},
+		netperf.ModeSUD:    {308, 39},
+	},
+	"UDP_STREAM RX": {
+		netperf.ModeKernel: {238, 20},
+		netperf.ModeSUD:    {235, 26},
+	},
+	"UDP_RR": {
+		netperf.ModeKernel: {9590, 5},
+		netperf.ModeSUD:    {9489, 10},
+	},
+}
+
+// Fig8Row is one table row: measured plus the paper's reference cell.
+type Fig8Row struct {
+	netperf.Result
+	Paper PaperFig8
+}
+
+// RunFig8 executes all four benchmarks in both modes on the given platform.
+func RunFig8(plat hw.Platform, opt netperf.Options) ([]Fig8Row, error) {
+	benches := []func(*netperf.Testbed, netperf.Options) (netperf.Result, error){
+		netperf.TCPStream, netperf.UDPStreamTX, netperf.UDPStreamRX, netperf.UDPRR,
+	}
+	var rows []Fig8Row
+	for _, bench := range benches {
+		for _, mode := range []netperf.Mode{netperf.ModeKernel, netperf.ModeSUD} {
+			tb, err := netperf.NewTestbed(mode, plat)
+			if err != nil {
+				return nil, err
+			}
+			res, err := bench(tb, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Result: res, Paper: paperNumbers[res.Benchmark][mode]})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig8 renders the table with paper columns.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: netperf on the e1000e, in-kernel vs untrusted SUD driver\n")
+	fmt.Fprintf(&b, "%-14s %-17s | %12s %7s | %12s %7s\n",
+		"Test", "Driver", "Throughput", "CPU %", "Paper thpt", "CPU %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-17s | %8.1f %-4s %6.1f%% | %8.1f %-4s %5.1f%%\n",
+			r.Benchmark, r.Mode, r.Value, shortUnit(r.Unit), r.CPU*100,
+			r.Paper.Value, shortUnit(r.Unit), r.Paper.CPU)
+	}
+	return b.String()
+}
+
+func shortUnit(u string) string {
+	switch u {
+	case "Mbit/s":
+		return "Mb/s"
+	case "Kpkt/s":
+		return "Kp/s"
+	default:
+		return u
+	}
+}

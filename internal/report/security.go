@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sud/internal/attack"
+)
+
+// RunSecurity executes the full §5.2 attack matrix.
+func RunSecurity() ([]attack.Outcome, error) {
+	return attack.RunMatrix()
+}
+
+// FormatSecurity renders the matrix grouped by attack.
+func FormatSecurity(outcomes []attack.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Security evaluation (§5.2): malicious driver attacks by configuration\n")
+	fmt.Fprintf(&b, "%-26s %-34s %-11s %s\n", "Attack", "Configuration", "Verdict", "Detail")
+	last := ""
+	for _, o := range outcomes {
+		if o.Attack != last {
+			if last != "" {
+				b.WriteString("\n")
+			}
+			last = o.Attack
+		}
+		fmt.Fprintln(&b, o.String())
+	}
+	return b.String()
+}
+
+// SecuritySummary condenses the matrix: attacks confined under each config.
+func SecuritySummary(outcomes []attack.Outcome) string {
+	confined := map[string][2]int{}
+	var order []string
+	for _, o := range outcomes {
+		c, ok := confined[o.Config]
+		if !ok {
+			order = append(order, o.Config)
+		}
+		c[1]++
+		if !o.Compromised {
+			c[0]++
+		}
+		confined[o.Config] = c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attacks confined per configuration:\n")
+	for _, name := range order {
+		c := confined[name]
+		fmt.Fprintf(&b, "  %-34s %d/%d\n", name, c[0], c[1])
+	}
+	return b.String()
+}

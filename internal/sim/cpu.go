@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CPUAccount accumulates virtual CPU-busy time for one execution context: the
+// kernel, a driver process, a benchmark peer. The netperf harness reports
+// CPU utilisation as busy time divided by elapsed virtual time, which mirrors
+// how netperf's local CPU utilisation numbers in Figure 8 were produced.
+type CPUAccount struct {
+	Name string
+	busy Duration
+}
+
+// Charge adds d of busy time to the account.
+func (a *CPUAccount) Charge(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative CPU charge %d to %s", d, a.Name))
+	}
+	a.busy += d
+}
+
+// Busy returns the accumulated busy time.
+func (a *CPUAccount) Busy() Duration { return a.busy }
+
+// Reset clears the accumulated busy time (used between benchmark phases).
+func (a *CPUAccount) Reset() { a.busy = 0 }
+
+// CPUStats owns all accounts for one machine and computes utilisation.
+// The modelled machine is dual-core, like the paper's Thinkpad X301; an
+// account's utilisation is its share of total capacity across all cores.
+type CPUStats struct {
+	Cores    int
+	accounts map[string]*CPUAccount
+
+	// epoch is the virtual time at the last Reset, so utilisation is
+	// measured over a window rather than since power-on.
+	epoch Time
+}
+
+// NewCPUStats returns stats for a machine with the given core count.
+func NewCPUStats(cores int) *CPUStats {
+	if cores < 1 {
+		panic("sim: machine needs at least one core")
+	}
+	return &CPUStats{Cores: cores, accounts: make(map[string]*CPUAccount)}
+}
+
+// Account returns (creating if needed) the account with the given name.
+func (s *CPUStats) Account(name string) *CPUAccount {
+	a, ok := s.accounts[name]
+	if !ok {
+		a = &CPUAccount{Name: name}
+		s.accounts[name] = a
+	}
+	return a
+}
+
+// Reset zeroes every account and starts a new measurement window at now.
+func (s *CPUStats) Reset(now Time) {
+	s.epoch = now
+	for _, a := range s.accounts {
+		a.Reset()
+	}
+}
+
+// TotalBusy sums busy time across all accounts.
+func (s *CPUStats) TotalBusy() Duration {
+	var t Duration
+	for _, a := range s.accounts {
+		t += a.busy
+	}
+	return t
+}
+
+// Utilization returns total busy time as a fraction of elapsed capacity
+// (elapsed × cores), in [0,1]. It is what Figure 8 reports as "CPU %".
+func (s *CPUStats) Utilization(now Time) float64 {
+	elapsed := now - s.epoch
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.TotalBusy()) / (float64(elapsed) * float64(s.Cores))
+}
+
+// AccountUtilization returns one account's share of elapsed capacity.
+func (s *CPUStats) AccountUtilization(name string, now Time) float64 {
+	elapsed := now - s.epoch
+	if elapsed <= 0 {
+		return 0
+	}
+	a, ok := s.accounts[name]
+	if !ok {
+		return 0
+	}
+	return float64(a.busy) / (float64(elapsed) * float64(s.Cores))
+}
+
+// Names returns all account names, sorted, for stable reporting.
+func (s *CPUStats) Names() []string {
+	names := make([]string, 0, len(s.accounts))
+	for n := range s.accounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

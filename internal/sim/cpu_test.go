@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUAccountCharge(t *testing.T) {
+	s := NewCPUStats(2)
+	k := s.Account("kernel")
+	k.Charge(100)
+	k.Charge(50)
+	if k.Busy() != 150 {
+		t.Fatalf("busy = %d, want 150", k.Busy())
+	}
+	if again := s.Account("kernel"); again != k {
+		t.Fatal("Account did not return the same account for the same name")
+	}
+}
+
+func TestCPUNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	s := NewCPUStats(1)
+	s.Account("x").Charge(-1)
+}
+
+func TestCPUUtilizationDualCore(t *testing.T) {
+	s := NewCPUStats(2)
+	s.Account("kernel").Charge(240 * Millisecond)
+	// 240 ms busy over 1 s elapsed on 2 cores = 12% (the paper's
+	// TCP_STREAM kernel-driver CPU number).
+	got := s.Utilization(1 * Second)
+	if math.Abs(got-0.12) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.12", got)
+	}
+}
+
+func TestCPUUtilizationWindowReset(t *testing.T) {
+	s := NewCPUStats(1)
+	s.Account("a").Charge(500)
+	s.Reset(1000)
+	if s.TotalBusy() != 0 {
+		t.Fatal("Reset did not clear busy time")
+	}
+	s.Account("a").Charge(250)
+	if got := s.Utilization(1500); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("windowed utilization = %v, want 0.5", got)
+	}
+}
+
+func TestCPUAccountUtilization(t *testing.T) {
+	s := NewCPUStats(2)
+	s.Account("kernel").Charge(100)
+	s.Account("driver").Charge(300)
+	if got := s.AccountUtilization("driver", 1000); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("driver utilization = %v, want 0.15", got)
+	}
+	if got := s.AccountUtilization("missing", 1000); got != 0 {
+		t.Fatalf("missing account utilization = %v, want 0", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Fatalf("zero-elapsed utilization = %v, want 0", got)
+	}
+}
+
+func TestCPUNamesSorted(t *testing.T) {
+	s := NewCPUStats(1)
+	s.Account("zeta")
+	s.Account("alpha")
+	s.Account("mid")
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("Names() = %v, want sorted", names)
+	}
+}
+
+// Property: total utilisation equals the sum of per-account utilisations.
+func TestCPUUtilizationAdditive(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		s := NewCPUStats(2)
+		s.Account("a").Charge(Duration(a))
+		s.Account("b").Charge(Duration(b))
+		s.Account("c").Charge(Duration(c))
+		now := Time(1) * Second
+		sum := s.AccountUtilization("a", now) +
+			s.AccountUtilization("b", now) +
+			s.AccountUtilization("c", now)
+		return math.Abs(sum-s.Utilization(now)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+	}
+}
+
+func TestRandBytesFills(t *testing.T) {
+	r := NewRand(11)
+	b := make([]byte, 37)
+	r.Bytes(b)
+	allZero := true
+	for _, v := range b {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes left buffer all zero")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	if Copy(1000) <= 0 || Checksum(1000) <= 0 || ChecksumCopy(1000) <= 0 {
+		t.Fatal("cost helpers returned non-positive durations")
+	}
+	// The fused guard-copy+checksum must be cheaper than doing the two
+	// passes separately — that is the point of the §3.1.2 optimization.
+	if ChecksumCopy(1500) >= Copy(1500)+Checksum(1500) {
+		t.Fatal("fused checksum+copy is not cheaper than separate passes")
+	}
+	if DMA(64) <= CostDMASetup {
+		t.Fatal("DMA cost missing per-byte component")
+	}
+}

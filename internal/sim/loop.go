@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in timestamp order; ties are
+// broken by scheduling order so the simulation is fully deterministic.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already dispatched.
+func (e *Event) Cancelled() bool { return e.idx == -1 && e.Fn == nil }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is the discrete event loop that drives an entire simulated machine.
+// It is single-threaded by design: determinism matters more than parallelism
+// for reproducing microsecond-scale measurements.
+type Loop struct {
+	Clock Clock
+
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+
+	dispatched uint64
+}
+
+// NewLoop returns an empty event loop at time zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.Clock.Now() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics — it would mean the model lost causality.
+func (l *Loop) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: scheduling nil event func")
+	}
+	if t < l.Clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, l.Clock.Now()))
+	}
+	e := &Event{At: t, Fn: fn, seq: l.nextSeq}
+	l.nextSeq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (l *Loop) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %d", d))
+	}
+	return l.At(l.Clock.Now()+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a harmless no-op.
+func (l *Loop) Cancel(e *Event) {
+	if e == nil || e.idx == -1 {
+		return
+	}
+	heap.Remove(&l.queue, e.idx)
+	e.idx = -1
+	e.Fn = nil
+}
+
+// Pending reports the number of events waiting to fire.
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Dispatched reports how many events have fired since the loop was created.
+func (l *Loop) Dispatched() uint64 { return l.dispatched }
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Step dispatches the single earliest pending event, advancing the clock to
+// its timestamp. It reports false if the queue was empty.
+func (l *Loop) Step() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.queue).(*Event)
+	l.Clock.advanceTo(e.At)
+	fn := e.Fn
+	e.Fn = nil
+	l.dispatched++
+	fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty or Stop is called.
+func (l *Loop) Run() {
+	l.stopped = false
+	for !l.stopped && l.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is not already past it). Events scheduled
+// beyond the deadline remain queued.
+func (l *Loop) RunUntil(deadline Time) {
+	l.stopped = false
+	for !l.stopped {
+		if len(l.queue) == 0 || l.queue[0].At > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.Clock.Now() < deadline {
+		l.Clock.advanceTo(deadline)
+	}
+}
+
+// RunFor runs the loop for d nanoseconds of virtual time from now.
+func (l *Loop) RunFor(d Duration) { l.RunUntil(l.Clock.Now() + d) }

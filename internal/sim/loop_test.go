@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if c.Now() != 5000 {
+		t.Fatalf("clock at %v, want 5000", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestLoopDispatchOrder(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(30, func() { got = append(got, 3) })
+	l.At(10, func() { got = append(got, 1) })
+	l.At(20, func() { got = append(got, 2) })
+	l.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order %v, want [1 2 3]", got)
+	}
+	if l.Now() != 30 {
+		t.Fatalf("clock at %v after run, want 30", l.Now())
+	}
+}
+
+func TestLoopTieBreakBySchedulingOrder(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(100, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestLoopEventsScheduledDuringDispatch(t *testing.T) {
+	l := NewLoop()
+	var fired bool
+	l.At(10, func() {
+		l.After(5, func() { fired = true })
+	})
+	l.Run()
+	if !fired {
+		t.Fatal("nested event did not fire")
+	}
+	if l.Now() != 15 {
+		t.Fatalf("clock at %v, want 15", l.Now())
+	}
+}
+
+func TestLoopCancel(t *testing.T) {
+	l := NewLoop()
+	var fired bool
+	e := l.At(10, func() { fired = true })
+	l.Cancel(e)
+	l.Cancel(e) // double cancel is a no-op
+	l.Cancel(nil)
+	l.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestLoopCancelMiddleOfHeap(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(10, func() { got = append(got, 1) })
+	e := l.At(20, func() { got = append(got, 2) })
+	l.At(30, func() { got = append(got, 3) })
+	l.Cancel(e)
+	l.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestLoopRunUntil(t *testing.T) {
+	l := NewLoop()
+	var count int
+	l.At(10, func() { count++ })
+	l.At(20, func() { count++ })
+	l.At(30, func() { count++ })
+	l.RunUntil(20)
+	if count != 2 {
+		t.Fatalf("fired %d events by t=20, want 2", count)
+	}
+	if l.Now() != 20 {
+		t.Fatalf("clock at %v, want 20", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("%d pending, want 1", l.Pending())
+	}
+}
+
+func TestLoopRunUntilAdvancesIdleClock(t *testing.T) {
+	l := NewLoop()
+	l.RunUntil(500)
+	if l.Now() != 500 {
+		t.Fatalf("idle RunUntil left clock at %v, want 500", l.Now())
+	}
+}
+
+func TestLoopStop(t *testing.T) {
+	l := NewLoop()
+	var count int
+	l.At(10, func() { count++; l.Stop() })
+	l.At(20, func() { count++ })
+	l.Run()
+	if count != 1 {
+		t.Fatalf("fired %d events, want 1 (stopped)", count)
+	}
+}
+
+func TestLoopPastSchedulingPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(10, func() {})
+	l.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	l.At(5, func() {})
+}
+
+func TestLoopDispatchedCounter(t *testing.T) {
+	l := NewLoop()
+	for i := 0; i < 7; i++ {
+		l.At(Time(i), func() {})
+	}
+	l.Run()
+	if l.Dispatched() != 7 {
+		t.Fatalf("Dispatched() = %d, want 7", l.Dispatched())
+	}
+}
+
+// Property: for any set of non-negative delays, the loop dispatches events in
+// non-decreasing timestamp order and ends with the clock at the max.
+func TestLoopOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		l := NewLoop()
+		var last Time = -1
+		ok := true
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			l.At(at, func() {
+				if l.Now() < last {
+					ok = false
+				}
+				last = l.Now()
+			})
+		}
+		l.Run()
+		if len(delays) > 0 && l.Now() != max {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random source (xorshift64*).
+// The standard library's math/rand would also be deterministic when seeded,
+// but having our own keeps the simulation's determinism independent of
+// library version changes and makes the state trivially snapshottable.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (0 is remapped: xorshift has a
+// zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bytes fills b with pseudo-random bytes.
+func (r *Rand) Bytes(b []byte) {
+	for i := 0; i < len(b); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// Duration returns a pseudo-random duration in [0, max).
+func (r *Rand) Duration(max Duration) Duration {
+	if max <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(max))
+}

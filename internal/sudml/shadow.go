@@ -1,0 +1,158 @@
+package sudml
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// Supervisor implements the shadow-driver-style recovery the paper points
+// at (§2: "SUD's architecture could also use shadow drivers to gracefully
+// restart untrusted device drivers"; §5.2: "It is also relatively simple to
+// restart a crashed device driver"). It watches one driver process, detects
+// unresponsiveness, and transparently kills and restarts it, replaying the
+// mirrored interface state (the shadow state) so applications see a brief
+// stall instead of a dead device.
+//
+// Detection uses two signals a malicious driver cannot suppress: an upcall
+// ring that stays backed up across consecutive checks, and a failed
+// synchronous probe (the interruptible MII ioctl).
+type Supervisor struct {
+	K      *kernel.Kernel
+	Dev    pci.Device
+	Driver api.Driver
+	Name   string
+	UID    int
+
+	// CheckEvery is the health-check period.
+	CheckEvery sim.Duration
+	// BacklogLimit flags the driver when the upcall ring holds at least
+	// this many messages on two consecutive checks.
+	BacklogLimit int
+	// MaxRestarts stops supervision after this many recoveries
+	// (a crash-looping driver should be left dead for the admin).
+	MaxRestarts int
+
+	// OnRestart, if set, runs after each successful recovery.
+	OnRestart func(generation int)
+
+	proc     *Process
+	stopped  bool
+	lastBad  bool
+	Restarts int
+
+	// shadow state for netdev-class drivers: whether the interface was
+	// up and with which address.
+	ifName string
+	wasUp  bool
+	addr   netstack.IP
+}
+
+// Supervise starts a driver process under supervision. For netdev drivers,
+// pass the interface name so its up/address state can be replayed.
+func Supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName string, uid int) (*Supervisor, error) {
+	s := &Supervisor{
+		K: k, Dev: dev, Driver: drv, Name: name, UID: uid,
+		CheckEvery:   5 * sim.Millisecond,
+		BacklogLimit: 64,
+		MaxRestarts:  8,
+		ifName:       ifName,
+	}
+	if err := s.start(0); err != nil {
+		return nil, err
+	}
+	s.schedule()
+	return s, nil
+}
+
+func (s *Supervisor) start(gen int) error {
+	name := s.Name
+	if gen > 0 {
+		name = fmt.Sprintf("%s-r%d", s.Name, gen)
+	}
+	proc, err := Start(s.K, s.Dev, s.Driver, name, s.UID)
+	if err != nil {
+		return err
+	}
+	s.proc = proc
+	return nil
+}
+
+// Proc returns the currently supervised process.
+func (s *Supervisor) Proc() *Process { return s.proc }
+
+// Stop ends supervision (the process keeps running).
+func (s *Supervisor) Stop() { s.stopped = true }
+
+func (s *Supervisor) schedule() {
+	s.K.M.Loop.After(s.CheckEvery, s.check)
+}
+
+// check is the periodic health probe, run in kernel context.
+func (s *Supervisor) check() {
+	if s.stopped || s.proc == nil {
+		return
+	}
+	bad := s.unhealthy()
+	if bad && s.lastBad {
+		s.recover()
+		s.lastBad = false
+	} else {
+		s.lastBad = bad
+	}
+	s.schedule()
+}
+
+func (s *Supervisor) unhealthy() bool {
+	if s.proc.Killed() {
+		return true
+	}
+	if s.proc.Chan.Pending() >= s.BacklogLimit {
+		return true
+	}
+	// Active probe for netdev drivers: the interruptible sync ioctl.
+	if s.ifName != "" {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil && ifc.IsUp() {
+			// Record shadow state while healthy.
+			s.wasUp = true
+			s.addr = ifc.IP
+			if _, err := ifc.Ioctl(api.IoctlGetMIIStatus, nil); err != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recover kills the wedged process and brings up a fresh one, replaying the
+// recorded shadow state.
+func (s *Supervisor) recover() {
+	if s.Restarts >= s.MaxRestarts {
+		s.K.Logf("supervisor: %s crash-looping; giving up after %d restarts", s.Name, s.Restarts)
+		s.stopped = true
+		return
+	}
+	s.Restarts++
+	s.K.Logf("supervisor: %s unresponsive; restarting (generation %d)", s.Name, s.Restarts)
+	s.proc.Kill()
+	if err := s.start(s.Restarts); err != nil {
+		s.K.Logf("supervisor: restart of %s failed: %v", s.Name, err)
+		s.stopped = true
+		return
+	}
+	// Shadow-state replay: re-open the interface as it was configured.
+	if s.ifName != "" && s.wasUp {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
+			if err := ifc.Up(s.addr); err != nil {
+				s.K.Logf("supervisor: re-up %s: %v", s.ifName, err)
+			}
+		}
+	}
+	if s.OnRestart != nil {
+		s.OnRestart(s.Restarts)
+	}
+}

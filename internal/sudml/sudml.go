@@ -1,0 +1,761 @@
+// Package sudml is SUD-UML (§3.3, §4): the user-space runtime that lets an
+// unmodified driver run in an untrusted process. It implements the same
+// Linux-like api.Env the real kernel implements, but every operation is
+// serviced through the safe PCI device access module and the uchan RPC
+// channel instead of by direct kernel privilege:
+//
+//   - pci_enable_device / config access → filtered ctl-file syscalls
+//   - ioremap → the mmio device file
+//   - dma_alloc_coherent / caching pool → the dma_coherent / dma_caching
+//     files, which also map the pages into the device's IOMMU domain at the
+//     driver's own virtual address (§4.1)
+//   - request_irq → interrupt upcalls, acknowledged with the interrupt_ack
+//     downcall (Figure 7)
+//   - netif_rx / carrier changes → downcalls; received payloads travel as
+//     shared-buffer references (zero copy, §3.1.2)
+//
+// A Process models one driver process: it has its own CPU account, Unix
+// UID, resource limits, and can be killed and restarted without kernel harm
+// (§4.1).
+package sudml
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/kernel"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/proxy/audioproxy"
+	"sud/internal/proxy/ethproxy"
+	"sud/internal/proxy/pciaccess"
+	"sud/internal/proxy/protocol"
+	"sud/internal/proxy/wifiproxy"
+	"sud/internal/sim"
+	"sud/internal/uchan"
+)
+
+// RuntimeMemoryBytes is SUD-UML's resident footprint per driver process
+// (~3 MB, Figure 5 caption).
+const RuntimeMemoryBytes = 3 << 20
+
+// startupCost is the one-time CPU cost of starting the UML environment.
+const startupCost sim.Duration = 100 * sim.Microsecond
+
+// Process is one untrusted driver process.
+type Process struct {
+	Name string
+	UID  int
+
+	K    *kernel.Kernel
+	DF   *pciaccess.DeviceFile
+	Chan *uchan.Chan
+	Acct *sim.CPUAccount
+	Eth  *ethproxy.Proxy
+
+	driver     api.Driver
+	inst       api.Instance
+	netdev     api.NetDevice
+	wifidev    api.WifiDevice
+	audiodev   api.AudioDevice
+	ctl        api.CtlHandler
+	Wifi       *wifiproxy.Proxy
+	Audio      *audioproxy.Proxy
+	irqHandler func()
+	ki         *ethproxy.KernelIface
+
+	// sliceAddrs maps handed-out DMA slice identities (pointer to first
+	// byte) to bus addresses, enabling zero-copy netif_rx.
+	sliceAddrs map[*byte]mem.Addr
+
+	// pendingTx holds transmit upcalls the driver's TX ring had no room
+	// for; they drain after descriptor reclaim (interrupt handling).
+	pendingTx  []uchan.Msg
+	retryTimer bool
+
+	// Counters.
+	ZeroCopyRx, BouncedRx uint64
+	XmitRingDrops         uint64
+
+	killed bool
+}
+
+// Start launches a driver process for dev running drv under the given UID.
+// It models the §4.1 flow: SUD-UML finds the device in sysfs, asks the
+// kernel to start a proxy driver, opens a uchan, and probes the driver.
+func Start(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid int) (*Process, error) {
+	cfg := dev.Config()
+	if !drv.Match(cfg.VendorID(), cfg.DeviceID()) {
+		return nil, fmt.Errorf("sudml: driver %s does not match device %s", drv.Name(), dev.BDF())
+	}
+	acct := k.M.CPU.Account("driver:" + name)
+	df := pciaccess.Open(k, dev, uid, acct)
+	ch := uchan.New(k.M.Loop, k.Acct, acct)
+	p := &Process{
+		Name:       name,
+		UID:        uid,
+		K:          k,
+		DF:         df,
+		Chan:       ch,
+		Acct:       acct,
+		driver:     drv,
+		sliceAddrs: make(map[*byte]mem.Addr),
+	}
+	ch.DriverHandler = p.dispatch
+	ch.KernelHandler = p.routeDowncall
+	acct.Charge(startupCost)
+
+	inst, err := drv.Probe(&env{p: p})
+	if err != nil {
+		df.Close()
+		ch.Kill()
+		return nil, fmt.Errorf("sudml: probe %s: %w", drv.Name(), err)
+	}
+	p.inst = inst
+	if h, ok := inst.(api.CtlHandler); ok {
+		p.ctl = h
+	}
+	ch.Flush() // deliver any downcalls queued during probe
+	return p, nil
+}
+
+// Kill terminates the driver process (kill -9): the uchan dies, the device
+// file tears down DMA mappings and interrupts, and the network interface
+// disappears. The kernel and other processes are unaffected — the device
+// can still attempt DMA, which now faults in the IOMMU.
+func (p *Process) Kill() {
+	if p.killed {
+		return
+	}
+	p.killed = true
+	p.Chan.Kill()
+	p.DF.Close()
+	if p.ki != nil && p.ki.IfaceNm != "" {
+		p.K.Net.Unregister(p.ki.IfaceNm)
+	}
+	if p.Wifi != nil {
+		p.K.Wifi.Unregister(p.Wifi.Ifc.Name)
+	}
+	if p.Audio != nil {
+		p.K.Audio.Unregister(p.Audio.PCM.Name)
+	}
+	p.K.Logf("sudml: driver process %s (uid %d) killed", p.Name, p.UID)
+}
+
+// Killed reports process death.
+func (p *Process) Killed() bool { return p.killed }
+
+// Ctl invokes the driver instance's generic control surface through the SUD
+// ctl channel (a synchronous, interruptible upcall) — the path classes
+// without a dedicated proxy use, e.g. the USB host class.
+func (p *Process) Ctl(cmd uint32, arg []byte) ([]byte, error) {
+	reply, err := p.Chan.Send(uchan.Msg{Op: protocol.OpCtl, Args: [6]uint64{uint64(cmd)}, Data: arg})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Args[0] != 0 {
+		return nil, fmt.Errorf("sudml: ctl failed: %s", reply.Data)
+	}
+	return reply.Data, nil
+}
+
+// Hang simulates the §3.1.1 liveness attack: the process stops servicing
+// its uchan (infinite loop). Sync upcalls become interruptible errors;
+// async upcalls pile up until the ring reports the driver hung.
+func (p *Process) Hang() { p.Chan.Hung = true }
+
+// Unhang resumes servicing (for tests).
+func (p *Process) Unhang() { p.Chan.Hung = false }
+
+// routeDowncall demultiplexes driver→kernel messages to the class proxy (or
+// the common handlers) by operation range. Runs in kernel context.
+func (p *Process) routeDowncall(m uchan.Msg) {
+	switch {
+	case m.Op == protocol.OpIRQAck:
+		p.DF.Ack()
+	case m.Op >= protocol.EthBase && m.Op < protocol.WifiBase:
+		if p.Eth != nil {
+			p.Eth.HandleDowncall(m)
+		}
+	case m.Op >= protocol.WifiBase && m.Op < protocol.AudioBase:
+		if p.Wifi != nil {
+			p.Wifi.HandleDowncall(m)
+		}
+	case m.Op >= protocol.AudioBase && m.Op < protocol.BlockBase:
+		if p.Audio != nil {
+			p.Audio.HandleDowncall(m)
+		}
+	}
+}
+
+// dispatch services one upcall in driver-process context.
+func (p *Process) dispatch(m uchan.Msg) *uchan.Msg {
+	if p.killed {
+		return nil
+	}
+	if m.Op >= protocol.WifiBase && m.Op < protocol.AudioBase && p.wifidev != nil {
+		return p.dispatchWifi(m)
+	}
+	if m.Op >= protocol.AudioBase && m.Op < protocol.BlockBase && p.audiodev != nil {
+		return p.dispatchAudio(m)
+	}
+	switch m.Op {
+	case protocol.OpCtl:
+		if p.ctl == nil {
+			return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}, Data: []byte("no ctl handler")}
+		}
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		out, err := p.ctl.Ctl(uint32(m.Args[0]), m.Data)
+		r := replyErr(m, err)
+		if err == nil {
+			r.Data = out
+		}
+		return r
+	case ethproxy.OpOpen:
+		// Open may block (the e1000e sleeps probing interrupt modes,
+		// §4.2), so the idle thread hands it to a worker.
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.netdev.Open())
+	case ethproxy.OpStop:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.netdev.Stop())
+	case ethproxy.OpIoctl:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		out, err := p.netdev.DoIoctl(uint32(m.Args[0]), m.Data)
+		r := replyErr(m, err)
+		if err == nil {
+			r.Data = out
+		}
+		return r
+	case ethproxy.OpXmit:
+		p.handleXmit(m)
+		return &uchan.Msg{Seq: m.Seq}
+	case protocol.OpInterrupt:
+		if p.irqHandler != nil {
+			p.irqHandler()
+		}
+		// The handler reclaimed TX descriptors; feed held packets in.
+		p.drainPendingTx()
+		return &uchan.Msg{Seq: m.Seq}
+	default:
+		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
+	}
+}
+
+// dispatchWifi services wireless-class upcalls.
+func (p *Process) dispatchWifi(m uchan.Msg) *uchan.Msg {
+	switch m.Op {
+	case wifiproxy.OpOpen:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.wifidev.Open())
+	case wifiproxy.OpStop:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.wifidev.Stop())
+	case wifiproxy.OpScan:
+		if err := p.wifidev.StartScan(); err != nil {
+			p.K.Logf("[sud:%s] scan failed: %v", p.Name, err)
+		}
+		return &uchan.Msg{Seq: m.Seq}
+	case wifiproxy.OpAssoc:
+		if err := p.wifidev.Associate(string(m.Data)); err != nil {
+			// Report failure through the mirrored state path.
+			_ = p.Chan.Down(uchan.Msg{Op: wifiproxy.OpDisassociated})
+		}
+		return &uchan.Msg{Seq: m.Seq}
+	case wifiproxy.OpDisassoc:
+		_ = p.wifidev.Disassociate()
+		return &uchan.Msg{Seq: m.Seq}
+	case wifiproxy.OpXmit:
+		p.Acct.Charge(sim.Copy(len(m.Data)))
+		if err := p.wifidev.StartXmit(m.Data); err != nil {
+			p.XmitRingDrops++
+		}
+		return &uchan.Msg{Seq: m.Seq}
+	default:
+		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
+	}
+}
+
+// dispatchAudio services audio-class upcalls.
+func (p *Process) dispatchAudio(m uchan.Msg) *uchan.Msg {
+	switch m.Op {
+	case audioproxy.OpPrepare:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.audiodev.PrepareStream(int(m.Args[0]), int(m.Args[1]), int(m.Args[2])))
+	case audioproxy.OpWritePeriod:
+		p.Acct.Charge(sim.Copy(len(m.Data)))
+		if err := p.audiodev.WritePeriod(int(m.Args[0]), m.Data); err != nil {
+			p.K.Logf("[sud:%s] period write failed: %v", p.Name, err)
+		}
+		return &uchan.Msg{Seq: m.Seq}
+	case audioproxy.OpTrigger:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.audiodev.Trigger(m.Args[0] == 1))
+	case audioproxy.OpPointer:
+		pos, err := p.audiodev.Pointer()
+		r := replyErr(m, err)
+		r.Args[1] = uint64(pos)
+		return r
+	default:
+		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
+	}
+}
+
+func replyErr(m uchan.Msg, err error) *uchan.Msg {
+	r := &uchan.Msg{Seq: m.Seq}
+	if err != nil {
+		r.Args[0] = 1
+		r.Data = []byte(err.Error())
+	}
+	return r
+}
+
+// xmitRetryDelay is the fallback pacing when held packets cannot ride on an
+// interrupt (the UML qdisc timer).
+const xmitRetryDelay = 100 * sim.Microsecond
+
+// maxPendingTx bounds the UML-side transmit hold queue.
+const maxPendingTx = uchan.RingSlots
+
+// handleXmit maps the shared TX slot and hands the frame to the driver. If
+// the driver's TX ring is full, the message is held — slot unreleased — so a
+// full device ring backpressures the kernel through shared-pool exhaustion
+// instead of dropping packets and burning CPU on doomed work.
+func (p *Process) handleXmit(m uchan.Msg) {
+	if len(p.pendingTx) > 0 {
+		p.holdXmit(m)
+		return
+	}
+	if !p.tryXmit(m) {
+		p.holdXmit(m)
+	}
+}
+
+func (p *Process) holdXmit(m uchan.Msg) {
+	if len(p.pendingTx) >= maxPendingTx {
+		p.XmitRingDrops++
+		p.xmitDone(m.Args[2])
+		return
+	}
+	p.pendingTx = append(p.pendingTx, m)
+	if !p.retryTimer {
+		p.retryTimer = true
+		p.K.M.Loop.After(xmitRetryDelay, p.retryPendingTx)
+	}
+}
+
+func (p *Process) retryPendingTx() {
+	p.retryTimer = false
+	if p.killed {
+		return
+	}
+	p.Acct.Charge(sim.CostUMLCall)
+	p.drainPendingTx()
+	p.Chan.Flush()
+	if len(p.pendingTx) > 0 && !p.retryTimer {
+		p.retryTimer = true
+		p.K.M.Loop.After(xmitRetryDelay, p.retryPendingTx)
+	}
+}
+
+// drainPendingTx feeds held packets into the (hopefully reclaimed) TX ring,
+// preserving order.
+func (p *Process) drainPendingTx() {
+	for len(p.pendingTx) > 0 {
+		if !p.tryXmit(p.pendingTx[0]) {
+			return
+		}
+		p.pendingTx = p.pendingTx[1:]
+	}
+}
+
+// tryXmit attempts one transmit; it reports false if the ring was full (the
+// message should be held). Invalid references complete immediately.
+func (p *Process) tryXmit(m uchan.Msg) bool {
+	iova := mem.Addr(m.Args[0])
+	n := int(m.Args[1])
+	phys, ok := p.DF.PhysFor(iova)
+	if !ok {
+		p.XmitRingDrops++
+		p.xmitDone(m.Args[2])
+		return true
+	}
+	frame, ok := p.K.M.Mem.Slice(phys, n)
+	if !ok {
+		p.XmitRingDrops++
+		p.xmitDone(m.Args[2])
+		return true
+	}
+	if err := p.netdev.StartXmit(frame); err != nil {
+		return false
+	}
+	p.xmitDone(m.Args[2])
+	return true
+}
+
+func (p *Process) xmitDone(slot uint64) {
+	if err := p.Chan.Down(uchan.Msg{Op: ethproxy.OpXmitDone, Args: [6]uint64{slot}}); err != nil {
+		p.XmitRingDrops++
+	}
+}
+
+// --- api.Env implementation ---------------------------------------------------
+
+// env is what the unmodified driver sees: the SUD-UML kernel environment.
+type env struct {
+	p *Process
+}
+
+var _ api.Env = (*env)(nil)
+
+func (e *env) uml() { e.p.Acct.Charge(sim.CostUMLCall) }
+
+func (e *env) ConfigRead(off, size int) (uint32, error) {
+	e.uml()
+	return e.p.DF.ConfigRead(off, size)
+}
+
+func (e *env) ConfigWrite(off, size int, v uint32) error {
+	e.uml()
+	return e.p.DF.ConfigWrite(off, size, v)
+}
+
+func (e *env) EnableDevice() error {
+	e.uml()
+	cur, err := e.p.DF.ConfigRead(pci.CfgCommand, 2)
+	if err != nil {
+		return err
+	}
+	return e.p.DF.ConfigWrite(pci.CfgCommand, 2, cur|pci.CmdMemSpace|pci.CmdIOSpace)
+}
+
+func (e *env) SetMaster() error {
+	e.uml()
+	cur, err := e.p.DF.ConfigRead(pci.CfgCommand, 2)
+	if err != nil {
+		return err
+	}
+	return e.p.DF.ConfigWrite(pci.CfgCommand, 2, cur|pci.CmdBusMaster)
+}
+
+func (e *env) FindCapability(id uint8) int {
+	e.uml()
+	off, err := e.p.DF.ConfigRead(pci.CfgCapPtr, 1)
+	if err != nil {
+		return 0
+	}
+	for iter := 0; off != 0 && iter < 16; iter++ {
+		cap, err := e.p.DF.ConfigRead(int(off), 2)
+		if err != nil {
+			return 0
+		}
+		if uint8(cap) == id {
+			return int(off)
+		}
+		off = cap >> 8
+	}
+	return 0
+}
+
+func (e *env) IORemap(bar int) (api.MMIO, error) {
+	e.uml()
+	m, err := e.p.DF.MapMMIO(bar)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (e *env) RequestRegion(bar int) (api.PortIO, error) {
+	e.uml()
+	io, err := e.p.DF.RequestIOPorts(bar)
+	if err != nil {
+		return nil, err
+	}
+	return io, nil
+}
+
+func (e *env) AllocCoherent(size int) (api.DMABuf, error) {
+	e.uml()
+	a, err := e.p.DF.AllocDMA(size, fmt.Sprintf("coherent #%d", len(e.p.DF.Allocs())), true)
+	if err != nil {
+		return nil, err
+	}
+	return &umlDMA{p: e.p, a: a, size: size}, nil
+}
+
+func (e *env) AllocCaching(size int) (api.DMABuf, error) {
+	e.uml()
+	a, err := e.p.DF.AllocDMA(size, fmt.Sprintf("caching #%d", len(e.p.DF.Allocs())), false)
+	if err != nil {
+		return nil, err
+	}
+	return &umlDMA{p: e.p, a: a, size: size}, nil
+}
+
+func (e *env) FreeDMA(b api.DMABuf) error {
+	e.uml()
+	ub, ok := b.(*umlDMA)
+	if !ok {
+		return fmt.Errorf("sudml: foreign DMA buffer")
+	}
+	return e.p.DF.FreeDMA(ub.a)
+}
+
+func (e *env) RequestIRQ(handler func()) error {
+	e.uml()
+	p := e.p
+	p.irqHandler = handler
+	return p.DF.RequestIRQ(func() {
+		// Kernel context: forward the interrupt as an urgent upcall —
+		// interrupt wakes are the pump for batched async upcalls.
+		if err := p.Chan.ASendUrgent(uchan.Msg{Op: protocol.OpInterrupt}); err != nil {
+			// Ring full or dead: the interrupt is dropped; masking
+			// policy in pciaccess protects the system.
+			return
+		}
+	})
+}
+
+func (e *env) FreeIRQ() error {
+	e.uml()
+	e.p.irqHandler = nil
+	return e.p.DF.FreeIRQ()
+}
+
+func (e *env) IRQAck() {
+	e.uml()
+	if err := e.p.Chan.Down(uchan.Msg{Op: protocol.OpIRQAck}); err != nil {
+		return
+	}
+}
+
+func (e *env) RegisterNetDev(name string, macAddr [6]byte, dev api.NetDevice) (api.NetKernel, error) {
+	e.uml()
+	p := e.p
+	if p.Eth != nil {
+		return nil, fmt.Errorf("sudml: netdev already registered")
+	}
+	p.netdev = dev
+	p.ki = &ethproxy.KernelIface{Acct: p.K.Acct, Mem: p.K.M.Mem, Net: p.K.Net}
+	proxy, err := ethproxy.New(p.ki, p.DF, p.Chan, name, macAddr)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = proxy
+	return &umlNetKernel{p: p}, nil
+}
+
+func (e *env) Jiffies() uint64 {
+	e.uml()
+	return e.p.K.Jiffies()
+}
+
+func (e *env) Timer(delayJiffies uint64, fn func()) {
+	e.uml()
+	p := e.p
+	p.K.M.Loop.After(sim.Duration(delayJiffies)*(sim.Second/kernel.HZ), func() {
+		if p.killed {
+			return
+		}
+		p.Acct.Charge(sim.CostUMLCall)
+		fn()
+		p.Chan.Flush()
+	})
+}
+
+func (e *env) Logf(format string, args ...any) {
+	e.p.K.Logf("[sud:"+e.p.Name+"] "+format, args...)
+}
+
+// RegisterWifiDev implements api.EnvWifi for the untrusted host: a wireless
+// proxy is created in the kernel, with the driver's static feature set
+// mirrored at registration (§3.1.1).
+func (e *env) RegisterWifiDev(name string, macAddr [6]byte, dev api.WifiDevice) (api.WifiKernel, error) {
+	e.uml()
+	p := e.p
+	if p.Wifi != nil {
+		return nil, fmt.Errorf("sudml: wifi device already registered")
+	}
+	p.wifidev = dev
+	proxy, err := wifiproxy.New(p.K.Wifi, p.DF, p.Chan, name, macAddr, dev.Features())
+	if err != nil {
+		return nil, err
+	}
+	p.Wifi = proxy
+	return &umlWifiKernel{p: p}, nil
+}
+
+// RegisterSoundDev implements api.EnvAudio for the untrusted host.
+func (e *env) RegisterSoundDev(name string, dev api.AudioDevice) (api.AudioKernel, error) {
+	e.uml()
+	p := e.p
+	if p.Audio != nil {
+		return nil, fmt.Errorf("sudml: sound device already registered")
+	}
+	p.audiodev = dev
+	proxy, err := audioproxy.New(p.K.Audio, p.DF, p.Chan, name)
+	if err != nil {
+		return nil, err
+	}
+	p.Audio = proxy
+	return &umlAudioKernel{p: p}, nil
+}
+
+// umlAudioKernel is the driver-side api.AudioKernel.
+type umlAudioKernel struct {
+	p *Process
+}
+
+var _ api.AudioKernel = (*umlAudioKernel)(nil)
+
+// PeriodElapsed forwards the latency-critical refill cue; it flushes
+// immediately rather than waiting for batching, because a late period is an
+// audible underrun (§4.1 real-time scheduling).
+func (ak *umlAudioKernel) PeriodElapsed() {
+	p := ak.p
+	p.Acct.Charge(sim.CostUMLCall)
+	_ = p.Chan.Down(uchan.Msg{Op: audioproxy.OpPeriodElapsed})
+	p.Chan.Flush()
+}
+
+// XRun reports an underrun.
+func (ak *umlAudioKernel) XRun() {
+	p := ak.p
+	p.Acct.Charge(sim.CostUMLCall)
+	_ = p.Chan.Down(uchan.Msg{Op: audioproxy.OpXRun})
+}
+
+// umlWifiKernel is the driver-side api.WifiKernel: every notification is a
+// downcall synchronising mirrored kernel state (§3.3).
+type umlWifiKernel struct {
+	p *Process
+}
+
+var _ api.WifiKernel = (*umlWifiKernel)(nil)
+
+func (wk *umlWifiKernel) NetifRx(frame []byte) {
+	p := wk.p
+	if p.killed || len(frame) == 0 || len(frame) > wifiproxy.MaxFrame {
+		return
+	}
+	p.Acct.Charge(sim.CostUMLCall + sim.Copy(len(frame)))
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	_ = p.Chan.Down(uchan.Msg{Op: wifiproxy.OpNetifRx, Data: buf})
+}
+
+func (wk *umlWifiKernel) ScanDone(results []api.BSS) {
+	p := wk.p
+	p.Acct.Charge(sim.CostUMLCall)
+	_ = p.Chan.Down(uchan.Msg{Op: wifiproxy.OpScanDone, Data: wifiproxy.EncodeBSSList(results)})
+}
+
+func (wk *umlWifiKernel) Associated(ssid string) {
+	p := wk.p
+	p.Acct.Charge(sim.CostUMLCall)
+	_ = p.Chan.Down(uchan.Msg{Op: wifiproxy.OpAssociated, Data: []byte(ssid)})
+}
+
+func (wk *umlWifiKernel) Disassociated() {
+	p := wk.p
+	p.Acct.Charge(sim.CostUMLCall)
+	_ = p.Chan.Down(uchan.Msg{Op: wifiproxy.OpDisassociated})
+}
+
+// --- DMA buffers ----------------------------------------------------------------
+
+// umlDMA is driver-process DMA memory: the same physical pages are mapped
+// into the process, the kernel, and the device's IOMMU domain, at a bus
+// address equal to the process virtual address (§4.1).
+type umlDMA struct {
+	p    *Process
+	a    *pciaccess.Alloc
+	size int
+}
+
+func (b *umlDMA) BusAddr() mem.Addr { return b.a.IOVA }
+func (b *umlDMA) Size() int         { return b.size }
+
+func (b *umlDMA) Read(off int, p []byte) error {
+	if off < 0 || off+len(p) > b.size {
+		return fmt.Errorf("sudml: DMA read out of bounds")
+	}
+	b.p.Acct.Charge(sim.Copy(len(p)))
+	return b.p.K.M.Mem.Read(b.a.Phys+mem.Addr(off), p)
+}
+
+func (b *umlDMA) Write(off int, p []byte) error {
+	if off < 0 || off+len(p) > b.size {
+		return fmt.Errorf("sudml: DMA write out of bounds")
+	}
+	b.p.Acct.Charge(sim.Copy(len(p)))
+	return b.p.K.M.Mem.Write(b.a.Phys+mem.Addr(off), p)
+}
+
+func (b *umlDMA) Slice(off, n int) ([]byte, bool) {
+	if off < 0 || n <= 0 || off+n > b.size {
+		return nil, false
+	}
+	view, ok := b.p.K.M.Mem.Slice(b.a.Phys+mem.Addr(off), n)
+	if !ok {
+		return nil, false
+	}
+	// Remember the view's identity so netif_rx can recover the bus
+	// address for the zero-copy downcall.
+	if len(b.p.sliceAddrs) > 8192 {
+		b.p.sliceAddrs = make(map[*byte]mem.Addr)
+	}
+	b.p.sliceAddrs[&view[0]] = b.a.IOVA + mem.Addr(off)
+	return view, true
+}
+
+// --- NetKernel (driver → "kernel" inside SUD-UML) --------------------------------
+
+type umlNetKernel struct {
+	p *Process
+}
+
+var _ api.NetKernel = (*umlNetKernel)(nil)
+
+// NetifRx forwards a received frame to the real kernel. If the frame is a
+// view of the driver's DMA memory (it is, for ring-based drivers), only the
+// buffer reference crosses the channel — the zero-copy path of §3.1.2; the
+// kernel-side guard copy happens in the proxy, fused with checksumming.
+func (nk *umlNetKernel) NetifRx(frame []byte) {
+	p := nk.p
+	if len(frame) == 0 || p.killed {
+		return
+	}
+	p.Acct.Charge(sim.CostUMLCall)
+	if iova, ok := p.sliceAddrs[&frame[0]]; ok {
+		p.ZeroCopyRx++
+		_ = p.Chan.Down(uchan.Msg{Op: ethproxy.OpNetifRx, Args: [6]uint64{uint64(iova), uint64(len(frame))}})
+		return
+	}
+	// Fallback: bounce through an inline copy in the message.
+	p.BouncedRx++
+	p.Acct.Charge(sim.Copy(len(frame)))
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	_ = p.Chan.Down(uchan.Msg{Op: ethproxy.OpNetifRx, Data: buf,
+		Args: [6]uint64{0, uint64(len(frame))}})
+}
+
+// CarrierOn mirrors link state to the kernel (§3.3 shared-memory state).
+func (nk *umlNetKernel) CarrierOn() {
+	nk.p.Acct.Charge(sim.CostUMLCall)
+	_ = nk.p.Chan.Down(uchan.Msg{Op: ethproxy.OpCarrierOn})
+}
+
+// CarrierOff mirrors link state to the kernel.
+func (nk *umlNetKernel) CarrierOff() {
+	nk.p.Acct.Charge(sim.CostUMLCall)
+	_ = nk.p.Chan.Down(uchan.Msg{Op: ethproxy.OpCarrierOff})
+}
+
+// WakeQueue mirrors TX queue state to the kernel.
+func (nk *umlNetKernel) WakeQueue() {
+	nk.p.Acct.Charge(sim.CostUMLCall)
+	_ = nk.p.Chan.Down(uchan.Msg{Op: ethproxy.OpWakeQueue})
+}

@@ -1,0 +1,459 @@
+// Package uchan implements SUD's user channels (§3.1): the RPC transport
+// between an in-kernel proxy driver and an untrusted user-space driver
+// process, built on message rings in memory shared by both address spaces.
+//
+// The performance behaviour Figure 8 depends on is modelled explicitly:
+//
+//   - Asynchronous upcalls and downcalls move through shared rings without
+//     entering the kernel (CostUchanEnqueue/Dequeue per message).
+//   - A doorbell (one syscall) is needed only when the consumer was asleep
+//     or its ring was empty (§3.1.2).
+//   - The driver process services its ring from the UML idle thread: after
+//     draining it polls for SpinBudget before sleeping in select; waking a
+//     sleeping process costs ~4 µs of CPU plus WakeLatency of latency
+//     (§5.1: "waking up the sleeping process can take as long as 4µs").
+//   - Downcalls queued during a drain are batched: one doorbell flushes
+//     them all (§3.1.2 "batch asynchronous downcalls").
+//
+// The package is transport only; operation codes and marshalling belong to
+// the proxy driver classes in internal/proxy.
+package uchan
+
+import (
+	"errors"
+
+	"sud/internal/sim"
+)
+
+// Msg is one message in either ring.
+type Msg struct {
+	// Op is the operation code; the proxy driver class defines values.
+	Op uint32
+	// Seq matches replies to synchronous requests.
+	Seq uint32
+	// Args carry small scalars and shared-memory references (bus
+	// addresses + lengths) — the zero-copy path for packet payloads.
+	Args [6]uint64
+	// Data is small inline payload (ioctl arguments and results). It is
+	// copied through the ring, unlike Args references.
+	Data []byte
+
+	// urgent marks interrupt-class messages (set by ASendUrgent).
+	urgent bool
+}
+
+// Tunables of the transport model.
+const (
+	// RingSlots bounds each direction's ring; a full upcall ring means
+	// the driver is not keeping up (hung or overloaded) and the send
+	// fails rather than blocking the kernel (§3.1.1).
+	RingSlots = 512
+
+	// WakeLatency is the time from doorbell to the driver process
+	// running (scheduler + IPI + context switch in).
+	WakeLatency sim.Duration = 1200
+
+	// WakeCPUKernel / WakeCPUDriver split the wakeup cost between the
+	// waking side (try_to_wake_up, IPI send) and the woken side (switch
+	// in from the idle loop). The paper's "as long as 4 µs" (§5.1) is
+	// the worst case; the common warm case on an otherwise idle sibling
+	// core is well under 1 µs each way. UDP_RR's 2x CPU comes from these
+	// plus the RR polling windows, which is how the paper explains it.
+	WakeCPUKernel sim.Duration = 350
+	WakeCPUDriver sim.Duration = 450
+
+	// SpinBudget is the default polling window of the UML idle thread on
+	// an empty ring before it sleeps in select (§4.2: upcalls are
+	// handled "directly from the UML idle thread"). The window adapts:
+	// see MaxSpin.
+	SpinBudget sim.Duration = 2000
+
+	// MinSpin / MaxSpin bound the adaptive polling window. The idle
+	// thread widens its window toward twice the recently observed
+	// message inter-arrival gap, so a request-response follow-up (the
+	// transmit upcall a few µs after the receive) is caught without a
+	// sleep/wake cycle, while long-idle periods sleep promptly.
+	MinSpin sim.Duration = 1000
+	MaxSpin sim.Duration = 8000
+
+	// LazyDoorbell is how long a regular async upcall may sit in the
+	// ring before the kernel wakes a sleeping driver for it. Interrupt
+	// upcalls wake immediately (ASendUrgent); bulk traffic is instead
+	// pumped by those interrupt wakes, which lets transmit upcalls batch
+	// ~ITR-deep instead of paying a wakeup each (§3.1.1: "the kernel can
+	// wait a short period of time to determine if the user-space driver
+	// is making any progress").
+	LazyDoorbell sim.Duration = 50 * sim.Microsecond
+)
+
+// Errors returned by the kernel-side API.
+var (
+	// ErrHung means the driver failed to respond to a synchronous upcall
+	// in time; the upcall is interruptible by design (§3.1.1).
+	ErrHung = errors.New("uchan: driver process not responding (interrupted)")
+	// ErrDead means the driver process was killed.
+	ErrDead = errors.New("uchan: driver process dead")
+	// ErrRingFull means the upcall ring overflowed.
+	ErrRingFull = errors.New("uchan: upcall ring full")
+)
+
+// Stats count transport events.
+type Stats struct {
+	Upcalls      uint64 // async kernel→driver messages
+	SyncUpcalls  uint64
+	Downcalls    uint64 // driver→kernel messages
+	Wakeups      uint64 // driver woken from sleep
+	SpinPickups  uint64 // messages caught while polling (no wake cost)
+	Doorbells    uint64 // kernel notifications sent by the driver
+	DroppedFull  uint64
+	SpinTimeouts uint64
+}
+
+// Driver process service states.
+const (
+	stateRunning = iota
+	statePolling
+	stateSleeping
+)
+
+// Chan is one uchan pair: the kernel-to-user and user-to-kernel rings plus
+// the driver-process service loop model.
+type Chan struct {
+	loop *sim.Loop
+	kern *sim.CPUAccount // kernel side CPU
+	drv  *sim.CPUAccount // driver process CPU
+
+	// DriverHandler services one upcall in driver-process context and
+	// returns a reply for synchronous messages. Set by SUD-UML.
+	DriverHandler func(Msg) *Msg
+	// KernelHandler services one downcall in kernel context. Set by the
+	// proxy driver.
+	KernelHandler func(Msg)
+
+	k2u []Msg
+	u2k []Msg
+
+	state     int
+	pollStart sim.Time
+	pollEvent *sim.Event
+	wakeEvent *sim.Event
+
+	// Adaptive spin state: EWMA of drain-end→next-arrival gaps.
+	drainEnd sim.Time
+	gapEWMA  sim.Duration
+
+	// lazyEvent is the pending deferred doorbell, if any.
+	lazyEvent *sim.Event
+
+	// lastDrainUrgent reports whether the most recent drain serviced an
+	// interrupt-class message; only then does the idle thread extend its
+	// polling window (expecting a kernel follow-up, e.g. the RR reply
+	// transmit right after a receive interrupt).
+	lastDrainUrgent bool
+
+	// Hung simulates a malicious/buggy driver that stops servicing its
+	// ring (§3.1.1 liveness attacks). Messages pile up; sync upcalls
+	// fail with ErrHung.
+	Hung bool
+
+	// NoBatch disables downcall batching (§3.1.2 ablation): every Down
+	// pays its own doorbell instead of riding the next flush.
+	NoBatch bool
+	// NoPoll disables the idle thread's polling window (§4.2 ablation):
+	// the driver sleeps immediately after each drain, so every
+	// follow-up message pays a full wakeup.
+	NoPoll bool
+	// dead: process killed.
+	dead bool
+
+	nextSeq uint32
+	stats   Stats
+}
+
+// New creates a channel between the kernel account and a driver account.
+func New(loop *sim.Loop, kern, drv *sim.CPUAccount) *Chan {
+	return &Chan{loop: loop, kern: kern, drv: drv, state: stateSleeping}
+}
+
+// Stats returns transport counters.
+func (c *Chan) Stats() Stats { return c.stats }
+
+// Pending returns the number of queued upcalls (tests, hang detection).
+func (c *Chan) Pending() int { return len(c.k2u) }
+
+// Kill marks the driver process dead: queues are dropped and all sends fail.
+func (c *Chan) Kill() {
+	c.dead = true
+	c.k2u = nil
+	c.u2k = nil
+	c.loop.Cancel(c.pollEvent)
+	c.loop.Cancel(c.wakeEvent)
+	c.loop.Cancel(c.lazyEvent)
+}
+
+// Dead reports whether the channel was killed.
+func (c *Chan) Dead() bool { return c.dead }
+
+// --- kernel side ------------------------------------------------------------
+
+// ASend queues an asynchronous upcall (packet transmit). It never blocks
+// the kernel: a full ring or dead process is an error the proxy translates
+// into backpressure. A sleeping driver is not woken immediately — bulk
+// upcalls ride on interrupt wakes, falling back to a deferred doorbell.
+func (c *Chan) ASend(m Msg) error { return c.asend(m, false) }
+
+// ASendUrgent queues an asynchronous upcall that wakes a sleeping driver
+// immediately — used for forwarded device interrupts, which are the pump
+// that keeps bulk traffic flowing.
+func (c *Chan) ASendUrgent(m Msg) error { return c.asend(m, true) }
+
+func (c *Chan) asend(m Msg, urgent bool) error {
+	if c.dead {
+		return ErrDead
+	}
+	if len(c.k2u) >= RingSlots {
+		c.stats.DroppedFull++
+		return ErrRingFull
+	}
+	c.kern.Charge(sim.CostUchanEnqueue)
+	c.k2u = append(c.k2u, m)
+	c.stats.Upcalls++
+	if c.Hung {
+		return nil
+	}
+	if urgent {
+		m.urgent = true
+		c.k2u[len(c.k2u)-1].urgent = true
+	}
+	if urgent || c.state != stateSleeping {
+		c.scheduleService()
+		return nil
+	}
+	// Sleeping driver, non-urgent message: defer the doorbell.
+	if c.lazyEvent == nil || c.lazyEvent.Cancelled() {
+		c.lazyEvent = c.loop.After(LazyDoorbell, func() {
+			if !c.dead && !c.Hung && len(c.k2u) > 0 {
+				c.scheduleService()
+			}
+		})
+	}
+	return nil
+}
+
+// Send performs a synchronous upcall (ioctl, open): the caller needs the
+// reply before it can return. A hung driver yields ErrHung — the paper's
+// interruptible upcall (the kernel thread is unblocked with an error).
+func (c *Chan) Send(m Msg) (*Msg, error) {
+	if c.dead {
+		return nil, ErrDead
+	}
+	c.stats.SyncUpcalls++
+	if c.Hung {
+		// The user aborts (Ctrl-C) after a subjective timeout; no
+		// virtual time model needed beyond the failed call itself.
+		c.kern.Charge(sim.CostUchanEnqueue)
+		return nil, ErrHung
+	}
+	c.nextSeq++
+	m.Seq = c.nextSeq
+	c.kern.Charge(sim.CostUchanEnqueue)
+	// Wake accounting: if the driver was asleep, both sides pay. The
+	// round trip returns the driver to whatever it was doing, so the
+	// service state is not changed here.
+	if c.state == stateSleeping {
+		c.stats.Wakeups++
+		c.kern.Charge(WakeCPUKernel + sim.CostUchanDoorbell)
+		c.drv.Charge(WakeCPUDriver)
+	}
+	c.drv.Charge(sim.CostUchanDequeue)
+	if c.DriverHandler == nil {
+		return nil, ErrDead
+	}
+	reply := c.DriverHandler(m)
+	c.kern.Charge(sim.CostUchanDequeue)
+	if reply == nil {
+		return nil, ErrHung
+	}
+	c.flushDown()
+	// Async messages may have queued while the driver serviced the sync
+	// call; make sure they get drained.
+	if len(c.k2u) > 0 && !c.Hung {
+		c.scheduleService()
+	}
+	return reply, nil
+}
+
+// scheduleService arranges for the driver process to drain its ring,
+// modelling wake latency and the idle-thread polling window.
+// observeGap feeds the adaptive spin estimator with the time between the
+// last drain finishing and a new message arriving.
+func (c *Chan) observeGap() {
+	if c.drainEnd == 0 {
+		return
+	}
+	gap := c.loop.Now() - c.drainEnd
+	if gap > 50*sim.Microsecond {
+		return // long idle: not a follow-up pattern
+	}
+	if c.gapEWMA == 0 {
+		c.gapEWMA = gap
+	} else {
+		c.gapEWMA = (7*c.gapEWMA + gap) / 8
+	}
+}
+
+// spinBudget returns the current polling window.
+func (c *Chan) spinBudget() sim.Duration {
+	if c.gapEWMA == 0 {
+		return SpinBudget
+	}
+	b := 2 * c.gapEWMA
+	if b < MinSpin {
+		b = MinSpin
+	}
+	if b > MaxSpin {
+		b = MaxSpin
+	}
+	return b
+}
+
+func (c *Chan) scheduleService() {
+	switch c.state {
+	case stateSleeping:
+		if c.wakeEvent != nil && !c.wakeEvent.Cancelled() {
+			return // wake already in flight
+		}
+		c.observeGap()
+		c.kern.Charge(sim.CostUchanDoorbell)
+		c.stats.Wakeups++
+		c.kern.Charge(WakeCPUKernel)
+		c.state = stateRunning
+		c.wakeEvent = c.loop.After(WakeLatency, func() {
+			c.drv.Charge(WakeCPUDriver)
+			c.drain()
+		})
+	case statePolling:
+		// The idle thread catches the message during its spin: charge
+		// the spin time actually used, no wake needed.
+		c.observeGap()
+		c.stats.SpinPickups++
+		spin := c.loop.Now() - c.pollStart
+		if budget := c.spinBudget(); spin > budget {
+			spin = budget
+		}
+		c.drv.Charge(spin)
+		c.loop.Cancel(c.pollEvent)
+		c.state = stateRunning
+		c.loop.After(0, c.drain)
+	case stateRunning:
+		// Already draining; the message will be picked up.
+	}
+}
+
+// drain services the upcall ring in driver-process context, then polls.
+func (c *Chan) drain() {
+	if c.dead {
+		return
+	}
+	c.state = stateRunning
+	sawUrgent := false
+	for {
+		for len(c.k2u) > 0 && !c.Hung {
+			m := c.k2u[0]
+			c.k2u = c.k2u[1:]
+			c.drv.Charge(sim.CostUchanDequeue)
+			if m.urgent {
+				sawUrgent = true
+			}
+			if c.DriverHandler != nil {
+				c.DriverHandler(m)
+			}
+		}
+		c.flushDown()
+		// Downcall handling in the kernel may have queued fresh upcalls
+		// (e.g. netif_rx → TCP ACK → transmit); service them before
+		// going idle.
+		if len(c.k2u) == 0 || c.Hung || c.dead {
+			break
+		}
+	}
+	// Enter the polling window before sleeping.
+	c.lastDrainUrgent = sawUrgent
+	c.drainEnd = c.loop.Now()
+	if c.NoPoll {
+		c.state = stateSleeping
+		return
+	}
+	c.state = statePolling
+	c.pollStart = c.loop.Now()
+	budget := MinSpin
+	if sawUrgent {
+		// Device work often triggers prompt kernel follow-ups (the RR
+		// reply); poll longer after interrupt drains.
+		budget = c.spinBudget()
+	}
+	c.pollEvent = c.loop.After(budget, func() {
+		c.stats.SpinTimeouts++
+		c.drv.Charge(budget)
+		c.state = stateSleeping
+	})
+}
+
+// --- driver side ------------------------------------------------------------
+
+// Down queues an asynchronous downcall (netif_rx, carrier change). Downcalls
+// batch: nothing reaches the kernel until flushDown, which the service loop
+// calls after draining upcalls — or which the SUD-UML runtime triggers
+// explicitly with Flush for driver-initiated work.
+func (c *Chan) Down(m Msg) error {
+	if c.dead {
+		return ErrDead
+	}
+	if len(c.u2k) >= RingSlots {
+		c.stats.DroppedFull++
+		return ErrRingFull
+	}
+	c.drv.Charge(sim.CostUchanEnqueue)
+	c.u2k = append(c.u2k, m)
+	c.stats.Downcalls++
+	if c.NoBatch {
+		c.flushDown()
+	}
+	return nil
+}
+
+// Flush delivers all queued downcalls to the kernel handler, costing one
+// doorbell for the whole batch.
+func (c *Chan) Flush() { c.flushDown() }
+
+func (c *Chan) flushDown() {
+	if len(c.u2k) == 0 || c.dead {
+		return
+	}
+	c.stats.Doorbells++
+	c.drv.Charge(sim.CostUchanDoorbell)
+	batch := c.u2k
+	c.u2k = nil
+	for _, m := range batch {
+		c.kern.Charge(sim.CostUchanDequeue)
+		if c.KernelHandler != nil {
+			c.KernelHandler(m)
+		}
+	}
+}
+
+// SDown performs a synchronous downcall: the driver needs the kernel's
+// reply before continuing (DMA allocation, PCI config access). The kernel
+// copies results directly into the caller's message buffer (§3.1), so no
+// reply message is queued.
+func (c *Chan) SDown(m Msg, handle func(Msg) Msg) (Msg, error) {
+	if c.dead {
+		return Msg{}, ErrDead
+	}
+	// One syscall-ish round trip.
+	c.drv.Charge(sim.CostUchanEnqueue + sim.CostUchanDoorbell)
+	c.kern.Charge(sim.CostUchanDequeue)
+	out := handle(m)
+	c.drv.Charge(sim.CostUchanDequeue)
+	return out, nil
+}

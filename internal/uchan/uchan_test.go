@@ -1,0 +1,345 @@
+package uchan
+
+import (
+	"testing"
+
+	"sud/internal/sim"
+)
+
+type fixture struct {
+	loop *sim.Loop
+	kern *sim.CPUAccount
+	drv  *sim.CPUAccount
+	c    *Chan
+
+	served  []Msg
+	replies map[uint32]Msg
+	down    []Msg
+}
+
+func newFixture() *fixture {
+	loop := sim.NewLoop()
+	stats := sim.NewCPUStats(2)
+	f := &fixture{
+		loop:    loop,
+		kern:    stats.Account("kernel"),
+		drv:     stats.Account("driver"),
+		replies: map[uint32]Msg{},
+	}
+	f.c = New(loop, f.kern, f.drv)
+	f.c.DriverHandler = func(m Msg) *Msg {
+		f.served = append(f.served, m)
+		if r, ok := f.replies[m.Op]; ok {
+			r.Seq = m.Seq
+			return &r
+		}
+		return &Msg{Seq: m.Seq}
+	}
+	f.c.KernelHandler = func(m Msg) { f.down = append(f.down, m) }
+	return f
+}
+
+func TestASendWakesAndDrains(t *testing.T) {
+	f := newFixture()
+	if err := f.c.ASend(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.served) != 0 {
+		t.Fatal("served before wake latency")
+	}
+	f.loop.Run()
+	if len(f.served) != 1 || f.served[0].Op != 1 {
+		t.Fatalf("served %v", f.served)
+	}
+	st := f.c.Stats()
+	if st.Wakeups != 1 || st.Upcalls != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if f.kern.Busy() == 0 || f.drv.Busy() == 0 {
+		t.Fatal("no CPU charged")
+	}
+}
+
+func TestBatchDrainSingleWake(t *testing.T) {
+	f := newFixture()
+	for i := 0; i < 10; i++ {
+		if err := f.c.ASend(Msg{Op: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.loop.Run()
+	if len(f.served) != 10 {
+		t.Fatalf("served %d", len(f.served))
+	}
+	if f.c.Stats().Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1 (batched)", f.c.Stats().Wakeups)
+	}
+}
+
+func TestSpinPickupAvoidsWake(t *testing.T) {
+	f := newFixture()
+	// Interrupt-class message: wakes immediately and leaves the driver
+	// polling with an extended window afterwards.
+	if err := f.c.ASendUrgent(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.RunFor(WakeLatency) // driver drains, enters polling
+	// Send within the spin window: no second wake.
+	if err := f.c.ASend(Msg{Op: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run()
+	st := f.c.Stats()
+	if st.Wakeups != 1 || st.SpinPickups != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(f.served) != 2 {
+		t.Fatalf("served %d", len(f.served))
+	}
+}
+
+func TestUrgentWakesImmediately(t *testing.T) {
+	f := newFixture()
+	if err := f.c.ASendUrgent(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.RunFor(WakeLatency)
+	if len(f.served) != 1 {
+		t.Fatal("urgent upcall not served at wake latency")
+	}
+}
+
+func TestLazyDoorbellDefersWake(t *testing.T) {
+	f := newFixture()
+	if err := f.c.ASend(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Well after wake latency but before the lazy doorbell: not served.
+	f.loop.RunFor(LazyDoorbell / 2)
+	if len(f.served) != 0 {
+		t.Fatal("lazy upcall served too early")
+	}
+	f.loop.Run()
+	if len(f.served) != 1 {
+		t.Fatal("lazy upcall never served")
+	}
+}
+
+func TestLazyUpcallsRideUrgentWake(t *testing.T) {
+	// Queue bulk messages, then an interrupt: everything drains on the
+	// interrupt wake, long before the lazy doorbell.
+	f := newFixture()
+	for i := 0; i < 5; i++ {
+		if err := f.c.ASend(Msg{Op: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.c.ASendUrgent(Msg{Op: 99}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.RunFor(2 * WakeLatency)
+	if len(f.served) != 6 {
+		t.Fatalf("served %d, want 6 batched on the urgent wake", len(f.served))
+	}
+	if f.c.Stats().Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1", f.c.Stats().Wakeups)
+	}
+}
+
+func TestPollWindowShortAfterBulkDrain(t *testing.T) {
+	// A drain with no interrupt-class message polls only MinSpin.
+	f := newFixture()
+	if err := f.c.ASend(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run() // lazy wake, drain, MinSpin poll, sleep
+	// A follow-up just beyond MinSpin must need a fresh (lazy) wake.
+	if err := f.c.ASend(Msg{Op: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run()
+	if f.c.Stats().SpinPickups != 0 {
+		t.Fatalf("bulk drain left a long poll window: %+v", f.c.Stats())
+	}
+	if len(f.served) != 2 {
+		t.Fatalf("served %d", len(f.served))
+	}
+}
+
+func TestSpinTimeoutSleeps(t *testing.T) {
+	f := newFixture()
+	if err := f.c.ASend(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run() // drain + spin timeout
+	if f.c.Stats().SpinTimeouts != 1 {
+		t.Fatalf("spin timeouts = %d", f.c.Stats().SpinTimeouts)
+	}
+	// Next message needs a fresh wake.
+	if err := f.c.ASend(Msg{Op: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run()
+	if f.c.Stats().Wakeups != 2 {
+		t.Fatalf("wakeups = %d, want 2", f.c.Stats().Wakeups)
+	}
+}
+
+func TestSyncSendReply(t *testing.T) {
+	f := newFixture()
+	f.replies[7] = Msg{Data: []byte{0x55}}
+	r, err := f.c.Send(Msg{Op: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 1 || r.Data[0] != 0x55 {
+		t.Fatalf("reply %+v", r)
+	}
+	if r.Seq == 0 {
+		t.Fatal("no sequence number assigned")
+	}
+}
+
+func TestHungDriverInterruptsSyncSend(t *testing.T) {
+	f := newFixture()
+	f.c.Hung = true
+	if _, err := f.c.Send(Msg{Op: 7}); err != ErrHung {
+		t.Fatalf("err = %v, want ErrHung", err)
+	}
+	// Async sends queue but are never served.
+	for i := 0; i < 5; i++ {
+		if err := f.c.ASend(Msg{Op: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.loop.Run()
+	if len(f.served) != 0 {
+		t.Fatal("hung driver served messages")
+	}
+	if f.c.Pending() != 5 {
+		t.Fatalf("pending = %d", f.c.Pending())
+	}
+}
+
+func TestRingFullBackpressure(t *testing.T) {
+	f := newFixture()
+	f.c.Hung = true
+	var full bool
+	for i := 0; i < RingSlots+10; i++ {
+		if err := f.c.ASend(Msg{}); err == ErrRingFull {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("ring never filled")
+	}
+	if f.c.Stats().DroppedFull != 1 {
+		t.Fatalf("dropped = %d", f.c.Stats().DroppedFull)
+	}
+}
+
+func TestDowncallBatchingOneDoorbell(t *testing.T) {
+	f := newFixture()
+	// Driver queues 3 downcalls during one upcall service.
+	f.c.DriverHandler = func(m Msg) *Msg {
+		for i := 0; i < 3; i++ {
+			if err := f.c.Down(Msg{Op: 100 + uint32(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &Msg{Seq: m.Seq}
+	}
+	if err := f.c.ASend(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.loop.Run()
+	if len(f.down) != 3 {
+		t.Fatalf("kernel saw %d downcalls", len(f.down))
+	}
+	if f.c.Stats().Doorbells != 1 {
+		t.Fatalf("doorbells = %d, want 1 (batched)", f.c.Stats().Doorbells)
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	f := newFixture()
+	if err := f.c.Down(Msg{Op: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.down) != 0 {
+		t.Fatal("downcall delivered without flush")
+	}
+	f.c.Flush()
+	if len(f.down) != 1 {
+		t.Fatal("flush did not deliver")
+	}
+	f.c.Flush() // idempotent when empty
+	if f.c.Stats().Doorbells != 1 {
+		t.Fatal("empty flush cost a doorbell")
+	}
+}
+
+func TestSDownInline(t *testing.T) {
+	f := newFixture()
+	out, err := f.c.SDown(Msg{Op: 42, Args: [6]uint64{7}}, func(m Msg) Msg {
+		return Msg{Args: [6]uint64{m.Args[0] * 2}}
+	})
+	if err != nil || out.Args[0] != 14 {
+		t.Fatalf("SDown = %+v, %v", out, err)
+	}
+}
+
+func TestKillDropsEverything(t *testing.T) {
+	f := newFixture()
+	if err := f.c.ASend(Msg{}); err != nil {
+		t.Fatal(err)
+	}
+	f.c.Kill()
+	f.loop.Run()
+	if len(f.served) != 0 {
+		t.Fatal("killed channel served messages")
+	}
+	if err := f.c.ASend(Msg{}); err != ErrDead {
+		t.Fatalf("ASend after kill = %v", err)
+	}
+	if _, err := f.c.Send(Msg{}); err != ErrDead {
+		t.Fatalf("Send after kill = %v", err)
+	}
+	if err := f.c.Down(Msg{}); err != ErrDead {
+		t.Fatalf("Down after kill = %v", err)
+	}
+	if _, err := f.c.SDown(Msg{}, nil); err != ErrDead {
+		t.Fatalf("SDown after kill = %v", err)
+	}
+	if !f.c.Dead() {
+		t.Fatal("Dead() false after Kill")
+	}
+}
+
+func TestSyncSendWhileSleepingChargesWake(t *testing.T) {
+	f := newFixture()
+	before := f.kern.Busy() + f.drv.Busy()
+	if _, err := f.c.Send(Msg{Op: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := f.kern.Busy() + f.drv.Busy()
+	if after-before < WakeCPUKernel+WakeCPUDriver {
+		t.Fatalf("sync send from sleep charged only %v", after-before)
+	}
+}
+
+func TestWakeupCPUAmortizedPerBatch(t *testing.T) {
+	// 100 messages in one batch must cost far less than 100 wakeups.
+	f := newFixture()
+	for i := 0; i < 100; i++ {
+		if err := f.c.ASend(Msg{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.loop.Run()
+	perMsg := (f.kern.Busy() + f.drv.Busy()) / 100
+	if perMsg > 1000 {
+		t.Fatalf("per-message cost %v ns; batching broken", perMsg)
+	}
+}
