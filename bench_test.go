@@ -78,6 +78,42 @@ func BenchmarkUDPStreamRXSUD(b *testing.B) { runNet(b, netperf.ModeSUD, netperf.
 func BenchmarkUDPRRKernel(b *testing.B) { runNet(b, netperf.ModeKernel, netperf.UDPRR, nil) }
 func BenchmarkUDPRRSUD(b *testing.B)    { runNet(b, netperf.ModeSUD, netperf.UDPRR, nil) }
 
+// --- Multi-flow scale rows ------------------------------------------------------
+//
+// BenchmarkMultiFlow* run the scale scenario: K concurrent UDP TX flows
+// across Q uchan ring pairs and two untrusted driver processes (multi-queue
+// e1000e + legacy ne2k-pci). Reported metrics: aggregate delivered rate,
+// per-queue doorbell rate, and driver wake count. Q=1 degenerates to the
+// Figure 8 transport; the Q=4 row is the multi-queue payoff.
+
+func runMultiFlow(b *testing.B, queues, flows int) {
+	b.Helper()
+	var last netperf.MultiFlowResult
+	for i := 0; i < b.N; i++ {
+		tb, err := netperf.NewMultiFlowTestbed(queues, hw.DefaultPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := netperf.MultiFlow(tb, flows, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AggregateKpps, "Kpkt/s")
+	b.ReportMetric(last.CPU*100, "cpu%")
+	b.ReportMetric(float64(last.Wakeups), "wakes")
+	var doorbells float64
+	for _, q := range last.PerQueue {
+		doorbells += q.DoorbellsPerSec
+	}
+	b.ReportMetric(doorbells, "doorbells/s")
+}
+
+func BenchmarkMultiFlowUDPStreamTXQ1(b *testing.B) { runMultiFlow(b, 1, 6) }
+func BenchmarkMultiFlowUDPStreamTXQ2(b *testing.B) { runMultiFlow(b, 2, 6) }
+func BenchmarkMultiFlowUDPStreamTXQ4(b *testing.B) { runMultiFlow(b, 4, 6) }
+
 // --- Figure 5 / Figure 9 -------------------------------------------------------
 
 func BenchmarkFig5LoC(b *testing.B) {
@@ -144,6 +180,7 @@ func BenchmarkAttackDMAWriteSUD(b *testing.B)      { runAttack(b, attack.DMAWrit
 func BenchmarkAttackDMAReadSUD(b *testing.B)       { runAttack(b, attack.DMARead, sudCfg(), false) }
 func BenchmarkAttackP2PSUD(b *testing.B)           { runAttack(b, attack.P2PDMA, sudCfg(), false) }
 func BenchmarkAttackIRQFloodSUD(b *testing.B)      { runAttack(b, attack.DeviceIRQFlood, sudCfg(), false) }
+func BenchmarkAttackRingFloodSUD(b *testing.B)     { runAttack(b, attack.RingFlood, sudCfg(), false) }
 func BenchmarkAttackMSIStormPaperHW(b *testing.B)  { runAttack(b, attack.MSIForgeStorm, sudCfg(), true) }
 func BenchmarkAttackMSIStormRemapHW(b *testing.B) {
 	runAttack(b, attack.MSIForgeStorm,
@@ -172,7 +209,7 @@ func BenchmarkAblationGuardReadonlyIOTLB(b *testing.B) {
 // pays a doorbell (§3.1.2 batching optimisation reversed).
 func BenchmarkAblationNoBatching(b *testing.B) {
 	runNet(b, netperf.ModeSUD, netperf.UDPStreamRX, func(tb *netperf.Testbed) {
-		tb.Proc.Chan.NoBatch = true
+		tb.Proc.Chan.SetNoBatch(true)
 	})
 }
 
@@ -181,6 +218,6 @@ func BenchmarkAblationNoBatching(b *testing.B) {
 // reversed); UDP_RR suffers most.
 func BenchmarkAblationNoPolling(b *testing.B) {
 	runNet(b, netperf.ModeSUD, netperf.UDPRR, func(tb *netperf.Testbed) {
-		tb.Proc.Chan.NoPoll = true
+		tb.Proc.Chan.SetNoPoll(true)
 	})
 }

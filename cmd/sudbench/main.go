@@ -4,7 +4,14 @@
 //	sudbench -experiment fig8      # Figure 8: netperf table, kernel vs SUD
 //	sudbench -experiment fig9      # Figure 9: e1000e IO virtual memory map
 //	sudbench -experiment security  # §5.2 attack matrix
+//	sudbench -experiment multiflow # multi-queue scale scenario (beyond paper)
 //	sudbench -experiment all       # everything
+//
+// The multiflow experiment takes --queues (uchan ring pairs / device TX
+// queues on the e1000e) and --flows (concurrent UDP transmit flows, spread
+// over the e1000e and ne2k-pci driver processes):
+//
+//	sudbench -experiment multiflow --queues 4 --flows 6
 //
 // Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
@@ -22,8 +29,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | all")
+	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | all")
 	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
+	queues := flag.Int("queues", 4, "multiflow: uchan ring pairs / e1000e TX queues")
+	flows := flag.Int("flows", 6, "multiflow: concurrent UDP transmit flows")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -67,6 +76,32 @@ func main() {
 			return err
 		}
 		fmt.Print(report.FormatFig9(entries))
+		return nil
+	})
+
+	run("multiflow", func() error {
+		opt := netperf.DefaultOptions()
+		opt.Window = sim.Duration(*window) * sim.Millisecond
+		target := *queues
+		if target < 1 {
+			target = 1
+		}
+		// A single-queue reference row, then the requested fan-out.
+		rows := []int{1}
+		if target > 1 {
+			rows = append(rows, target)
+		}
+		for _, q := range rows {
+			tb, err := netperf.NewMultiFlowTestbed(q, hw.DefaultPlatform())
+			if err != nil {
+				return err
+			}
+			res, err := netperf.MultiFlow(tb, *flows, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
 		return nil
 	})
 

@@ -1,0 +1,3 @@
+module sud
+
+go 1.24

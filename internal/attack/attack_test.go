@@ -93,6 +93,23 @@ func TestExhaustionBoundedByRlimit(t *testing.T) {
 	run(t, Exhaustion, cfgSUD(), false)
 }
 
+func TestRingFloodIsolatedPerQueue(t *testing.T) {
+	// A wedged queue on a multi-queue channel: the trusted baseline
+	// wedges its callers; under SUD the ring overflows with a bounded
+	// error while the control ring and sibling queues keep running
+	// (§3.1.1 generalised to N rings).
+	run(t, RingFlood, cfgKernel(), true)
+	o := run(t, RingFlood, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	// Channel isolation is transport-level: it must hold on every
+	// platform flavour, IOMMU or not.
+	run(t, RingFlood, cfgSUDRemap(), false)
+	run(t, RingFlood, cfgSUDAMD(), false)
+	run(t, RingFlood, cfgSUDNoACS(), false)
+}
+
 func TestRunMatrixCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix is slow")
@@ -101,7 +118,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 8*len(Configs()) {
+	if len(out) != 9*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be

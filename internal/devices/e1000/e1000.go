@@ -25,6 +25,9 @@ const (
 	RegIMC    = 0x00D8
 	RegRCTL   = 0x0100
 	RegTCTL   = 0x0400
+	// RegTQC reports the hardware TX queue count (read-only; our stand-in
+	// for the queue-capability fields real multi-queue parts expose).
+	RegTQC = 0x0408
 	RegRDBAL  = 0x2800
 	RegRDBAH  = 0x2804
 	RegRDLEN  = 0x2808
@@ -37,6 +40,11 @@ const (
 	RegTDT    = 0x3818
 	RegRAL    = 0x5400
 	RegRAH    = 0x5404
+
+	// txQStride separates the per-queue TX register banks: queue q's
+	// TDBAL..TDT live at RegTDBAL+q*txQStride, as on 82571-class parts
+	// (the second queue's TDBAL1 sits at 0x3900).
+	txQStride = 0x100
 
 	// BARSize is the size of BAR0 (128 KiB, as on real parts).
 	BARSize = 0x20000
@@ -100,7 +108,17 @@ type Params struct {
 	// transfer time.
 	TxPerPacket sim.Duration
 	RxPerPacket sim.Duration
+
+	// TxQueues is the number of hardware transmit queues (1..MaxTxQueues;
+	// 0 means 1). Each queue has its own register bank and descriptor
+	// engine, so queues make progress in parallel — the per-packet engine
+	// cost serialises within a queue, not across queues. The shared wire
+	// still serialises frames (ethlink models the PHY FIFO).
+	TxQueues int
 }
+
+// MaxTxQueues is the most TX queues the device model exposes.
+const MaxTxQueues = 4
 
 // DefaultParams matches the calibration in internal/sim/costs.go.
 func DefaultParams() Params {
@@ -108,6 +126,13 @@ func DefaultParams() Params {
 		TxPerPacket: 2500 * sim.Nanosecond,
 		RxPerPacket: 3300 * sim.Nanosecond,
 	}
+}
+
+// MultiQueueParams is DefaultParams with queues TX queues enabled.
+func MultiQueueParams(queues int) Params {
+	p := DefaultParams()
+	p.TxQueues = queues
+	return p
 }
 
 // NIC is one e1000 device instance.
@@ -125,9 +150,9 @@ type NIC struct {
 
 	regs map[uint64]uint32
 
-	// TX engine state.
-	txActive    bool
-	txBusyUntil sim.Time
+	// TX engine state, one engine per hardware queue.
+	txActive    [MaxTxQueues]bool
+	txBusyUntil [MaxTxQueues]sim.Time
 
 	// RX engine state.
 	rxQueue     [][]byte // frames awaiting ring placement
@@ -214,6 +239,8 @@ func (n *NIC) MMIORead(bar int, off uint64, size int) uint64 {
 			v |= StatusLU
 		}
 		return uint64(v)
+	case RegTQC:
+		return uint64(n.txQueues())
 	case RegICR:
 		// Read-to-clear.
 		v := n.regs[RegICR]
@@ -253,27 +280,59 @@ func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
 		n.regs[RegIMS] &^= val
 	case RegICR:
 		n.regs[RegICR] &^= val // write-one-to-clear
-	case RegTDT:
-		n.regs[RegTDT] = val % n.txRingLen()
-		n.kickTx()
 	case RegRDT:
 		n.regs[RegRDT] = val % n.rxRingLen()
 		n.kickRx()
-	case RegTDH:
-		n.regs[RegTDH] = val % n.txRingLen()
 	case RegRDH:
 		n.regs[RegRDH] = val % n.rxRingLen()
 	default:
+		if q, rel, ok := txQReg(off); ok && q < n.txQueues() {
+			switch rel {
+			case RegTDT:
+				n.regs[off] = val % n.txRingLen(q)
+				n.kickTx(q)
+			case RegTDH:
+				n.regs[off] = val % n.txRingLen(q)
+			default:
+				n.regs[off] = val
+			}
+			return
+		}
 		n.regs[off] = val
 	}
+}
+
+// txQReg maps a register offset into (queue, base-queue register). It
+// reports ok for any offset inside the per-queue TX banks.
+func txQReg(off uint64) (q int, rel uint64, ok bool) {
+	if off < RegTDBAL || off >= RegTDBAL+MaxTxQueues*txQStride {
+		return 0, 0, false
+	}
+	return int((off - RegTDBAL) / txQStride), RegTDBAL + (off-RegTDBAL)%txQStride, true
+}
+
+// TxQOff returns queue q's offset for one of the base TX registers
+// (RegTDBAL..RegTDT) — the address a multi-queue driver programs.
+func TxQOff(q int, reg uint64) uint64 { return reg + uint64(q)*txQStride }
+
+// txQueues returns the active TX queue count.
+func (n *NIC) txQueues() int {
+	q := n.params.TxQueues
+	if q < 1 {
+		return 1
+	}
+	if q > MaxTxQueues {
+		return MaxTxQueues
+	}
+	return q
 }
 
 // IORead/IOWrite: the e1000 has no IO BAR in our model.
 func (n *NIC) IORead(bar int, off uint64, size int) uint32     { return 0xFFFFFFFF }
 func (n *NIC) IOWrite(bar int, off uint64, size int, v uint32) {}
 
-func (n *NIC) txRingLen() uint32 {
-	l := n.regs[RegTDLEN] / DescSize
+func (n *NIC) txRingLen(q int) uint32 {
+	l := n.regs[TxQOff(q, RegTDLEN)] / DescSize
 	if l == 0 {
 		return 1
 	}
@@ -288,8 +347,8 @@ func (n *NIC) rxRingLen() uint32 {
 	return l
 }
 
-func (n *NIC) txBase() mem.Addr {
-	return mem.Addr(uint64(n.regs[RegTDBAH])<<32 | uint64(n.regs[RegTDBAL]))
+func (n *NIC) txBase(q int) mem.Addr {
+	return mem.Addr(uint64(n.regs[TxQOff(q, RegTDBAH)])<<32 | uint64(n.regs[TxQOff(q, RegTDBAL)]))
 }
 
 func (n *NIC) rxBase() mem.Addr {
@@ -337,37 +396,38 @@ func (n *NIC) maybeInterrupt() {
 
 // --- TX engine ------------------------------------------------------------
 
-func (n *NIC) kickTx() {
-	if n.txActive || n.regs[RegTCTL]&TctlEN == 0 {
+func (n *NIC) kickTx(q int) {
+	if n.txActive[q] || n.regs[RegTCTL]&TctlEN == 0 {
 		return
 	}
-	if n.regs[RegTDH] == n.regs[RegTDT] {
+	if n.regs[TxQOff(q, RegTDH)] == n.regs[TxQOff(q, RegTDT)] {
 		return
 	}
-	n.txActive = true
-	start := n.txBusyUntil
+	n.txActive[q] = true
+	start := n.txBusyUntil[q]
 	if now := n.loop.Now(); start < now {
 		start = now
 	}
-	n.loop.At(start, n.txStep)
+	n.loop.At(start, func() { n.txStep(q) })
 }
 
-// txStep processes one TX descriptor, then reschedules itself after the
-// engine's per-packet time.
-func (n *NIC) txStep() {
-	n.txActive = false
-	head := n.regs[RegTDH]
-	if head == n.regs[RegTDT] || n.regs[RegTCTL]&TctlEN == 0 {
+// txStep processes one TX descriptor on queue q, then reschedules itself
+// after the engine's per-packet time. Queues step independently: engine time
+// serialises within a queue only.
+func (n *NIC) txStep(q int) {
+	n.txActive[q] = false
+	head := n.regs[TxQOff(q, RegTDH)]
+	if head == n.regs[TxQOff(q, RegTDT)] || n.regs[RegTCTL]&TctlEN == 0 {
 		return
 	}
-	descAddr := n.txBase() + mem.Addr(head*DescSize)
+	descAddr := n.txBase(q) + mem.Addr(head*DescSize)
 	engine := n.params.TxPerPacket
 
 	desc, err := n.DMARead(descAddr, DescSize)
 	engine += sim.DMA(DescSize)
 	if err != nil {
 		n.DMAFaults++
-		n.advanceTxHead(engine)
+		n.advanceTxHead(q, engine)
 		return
 	}
 	bufAddr := mem.Addr(le64(desc[0:8]))
@@ -396,19 +456,20 @@ func (n *NIC) txStep() {
 		engine += sim.DMA(DescSize)
 	}
 	n.assertCause(IntTXDW)
-	n.advanceTxHead(engine)
+	n.advanceTxHead(q, engine)
 }
 
-func (n *NIC) advanceTxHead(engine sim.Duration) {
-	n.regs[RegTDH] = (n.regs[RegTDH] + 1) % n.txRingLen()
+func (n *NIC) advanceTxHead(q int, engine sim.Duration) {
+	hdOff, tlOff := TxQOff(q, RegTDH), TxQOff(q, RegTDT)
+	n.regs[hdOff] = (n.regs[hdOff] + 1) % n.txRingLen(q)
 	now := n.loop.Now()
-	if n.txBusyUntil < now {
-		n.txBusyUntil = now
+	if n.txBusyUntil[q] < now {
+		n.txBusyUntil[q] = now
 	}
-	n.txBusyUntil += engine
-	if n.regs[RegTDH] != n.regs[RegTDT] {
-		n.txActive = true
-		n.loop.At(n.txBusyUntil, n.txStep)
+	n.txBusyUntil[q] += engine
+	if n.regs[hdOff] != n.regs[tlOff] {
+		n.txActive[q] = true
+		n.loop.At(n.txBusyUntil[q], func() { n.txStep(q) })
 	}
 }
 

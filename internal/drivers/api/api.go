@@ -68,6 +68,18 @@ type NetDevice interface {
 	DoIoctl(cmd uint32, arg []byte) ([]byte, error)
 }
 
+// MultiQueueNetDevice is implemented by drivers whose hardware exposes more
+// than one transmit queue. StartXmit remains the single-queue entry point
+// (queue 0); hosts that are multi-queue aware steer per-flow traffic with
+// StartXmitQ. Queue indices beyond TxQueues()-1 fall back to queue 0.
+type MultiQueueNetDevice interface {
+	NetDevice
+	// TxQueues reports the number of hardware transmit queues.
+	TxQueues() int
+	// StartXmitQ transmits one frame on the given queue.
+	StartXmitQ(frame []byte, queue int) error
+}
+
 // Well-known ioctl commands.
 const (
 	// IoctlGetMIIStatus returns MII media status, the paper's

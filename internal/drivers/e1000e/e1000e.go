@@ -37,10 +37,26 @@ const (
 )
 
 // Driver is the module object.
-type Driver struct{}
+type Driver struct {
+	queues int
+}
 
-// New returns the driver module.
-func New() api.Driver { return Driver{} }
+// New returns the driver module (single TX queue, the Figure 8 baseline).
+func New() api.Driver { return Driver{queues: 1} }
+
+// NewQ returns the driver module configured for up to n hardware TX queues;
+// at probe the count is clamped to what the bound device actually exposes
+// (e1000.RegTQC), so a mismatch degrades to fewer queues instead of
+// programming banks the hardware will never service.
+func NewQ(n int) api.Driver {
+	if n < 1 {
+		n = 1
+	}
+	if n > e1000.MaxTxQueues {
+		n = e1000.MaxTxQueues
+	}
+	return Driver{queues: n}
+}
 
 // Name implements api.Driver.
 func (Driver) Name() string { return "e1000e" }
@@ -51,32 +67,46 @@ func (Driver) Match(vendor, device uint16) bool {
 }
 
 // Probe implements api.Driver.
-func (Driver) Probe(env api.Env) (api.Instance, error) {
-	n := &nic{env: env}
+func (d Driver) Probe(env api.Env) (api.Instance, error) {
+	q := d.queues
+	if q < 1 {
+		q = 1
+	}
+	n := &nic{env: env, queues: q}
 	if err := n.probe(); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
 
+// txq is one transmit queue: a descriptor ring, its buffer pool, and the
+// software head/tail state.
+type txq struct {
+	ring api.DMABuf
+	bufs api.DMABuf
+
+	tail     int // next descriptor to fill
+	reclaim  int // next descriptor to reclaim
+	inFlight int
+	stopped  bool
+}
+
 type nic struct {
-	env  api.Env
-	mmio api.MMIO
-	net  api.NetKernel
-	mac  [6]byte
+	env    api.Env
+	mmio   api.MMIO
+	net    api.NetKernel
+	mac    [6]byte
+	queues int
 
-	txRing, rxRing api.DMABuf
-	txBufs, rxBufs api.DMABuf
+	tx     []txq
+	rxRing api.DMABuf
+	rxBufs api.DMABuf
 
-	txTail     int // next descriptor to fill
-	txReclaim  int // next descriptor to reclaim
-	txInFlight int
-	rxNext     int // next descriptor to poll
+	rxNext int // next descriptor to poll
 
-	opened       bool
-	removed      bool
-	queueStopped bool
-	carrier      bool
+	opened  bool
+	removed bool
+	carrier bool
 
 	// Dynamic ITR state.
 	itrCur    uint32
@@ -119,6 +149,14 @@ func (n *nic) probe() error {
 		n.mac[2*w+1] = byte(v >> 24)
 	}
 
+	// Clamp the configured queue count to what the hardware exposes, as
+	// the Linux driver sizes its rings from the device's capabilities —
+	// a stale module parameter must degrade, not wedge silent queues.
+	if tqc := int(m.Read32(e1000.RegTQC)); tqc >= 1 && tqc < n.queues {
+		env.Logf("e1000e: device exposes %d TX queues, using %d (not %d)", tqc, tqc, n.queues)
+		n.queues = tqc
+	}
+
 	nk, err := env.RegisterNetDev("eth0", n.mac, n)
 	if err != nil {
 		return err
@@ -147,25 +185,28 @@ func (n *nic) Open() error {
 	}
 	env := n.env
 	var err error
-	if n.txRing, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
-		return err
+	m := n.mmio
+	n.tx = make([]txq, n.queues)
+	for q := range n.tx {
+		t := &n.tx[q]
+		if t.ring, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+			return err
+		}
+		if t.bufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+			return err
+		}
+		m.Write32(e1000.TxQOff(q, e1000.RegTDBAL), uint32(t.ring.BusAddr()))
+		m.Write32(e1000.TxQOff(q, e1000.RegTDBAH), uint32(uint64(t.ring.BusAddr())>>32))
+		m.Write32(e1000.TxQOff(q, e1000.RegTDLEN), RingSize*e1000.DescSize)
+		m.Write32(e1000.TxQOff(q, e1000.RegTDH), 0)
+		m.Write32(e1000.TxQOff(q, e1000.RegTDT), 0)
 	}
 	if n.rxRing, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
-		return err
-	}
-	if n.txBufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
 		return err
 	}
 	if n.rxBufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
 		return err
 	}
-
-	m := n.mmio
-	m.Write32(e1000.RegTDBAL, uint32(n.txRing.BusAddr()))
-	m.Write32(e1000.RegTDBAH, uint32(uint64(n.txRing.BusAddr())>>32))
-	m.Write32(e1000.RegTDLEN, RingSize*e1000.DescSize)
-	m.Write32(e1000.RegTDH, 0)
-	m.Write32(e1000.RegTDT, 0)
 
 	m.Write32(e1000.RegRDBAL, uint32(n.rxRing.BusAddr()))
 	m.Write32(e1000.RegRDBAH, uint32(uint64(n.rxRing.BusAddr())>>32))
@@ -179,7 +220,6 @@ func (n *nic) Open() error {
 	}
 	m.Write32(e1000.RegRDT, RingSize-1)
 	n.rxNext = 0
-	n.txTail, n.txReclaim, n.txInFlight = 0, 0, 0
 
 	if err := env.RequestIRQ(n.irq); err != nil {
 		return err
@@ -208,14 +248,18 @@ func (n *nic) Stop() error {
 	if err := n.env.FreeIRQ(); err != nil {
 		return err
 	}
-	for _, b := range []api.DMABuf{n.txRing, n.rxRing, n.txBufs, n.rxBufs} {
+	bufs := []api.DMABuf{n.rxRing, n.rxBufs}
+	for q := range n.tx {
+		bufs = append(bufs, n.tx[q].ring, n.tx[q].bufs)
+	}
+	for _, b := range bufs {
 		if b != nil {
 			if err := n.env.FreeDMA(b); err != nil {
 				return err
 			}
 		}
 	}
-	n.txRing, n.rxRing, n.txBufs, n.rxBufs = nil, nil, nil, nil
+	n.tx, n.rxRing, n.rxBufs = nil, nil, nil
 	if n.carrier {
 		n.carrier = false
 		n.net.CarrierOff()
@@ -223,44 +267,55 @@ func (n *nic) Stop() error {
 	return nil
 }
 
-// StartXmit implements ndo_start_xmit.
-func (n *nic) StartXmit(frame []byte) error {
+// TxQueues implements api.MultiQueueNetDevice.
+func (n *nic) TxQueues() int { return n.queues }
+
+// StartXmit implements ndo_start_xmit on queue 0.
+func (n *nic) StartXmit(frame []byte) error { return n.StartXmitQ(frame, 0) }
+
+// StartXmitQ implements api.MultiQueueNetDevice: fill a descriptor on the
+// given hardware queue and ring that queue's tail doorbell.
+func (n *nic) StartXmitQ(frame []byte, q int) error {
 	if !n.opened {
 		return fmt.Errorf("e1000e: device closed")
+	}
+	if q < 0 || q >= n.queues {
+		q = 0
 	}
 	if len(frame) > BufSize {
 		n.TxDrops++
 		return fmt.Errorf("e1000e: frame too large (%d bytes)", len(frame))
 	}
-	if n.txInFlight >= RingSize-1 {
+	t := &n.tx[q]
+	if t.inFlight >= RingSize-1 {
 		// Ring full: reclaim completed descriptors inline, then give up
 		// and stop the queue (the stack retries after WakeQueue).
 		n.reclaimTx()
-		if n.txInFlight >= RingSize-1 {
-			n.queueStopped = true
-			return fmt.Errorf("e1000e: TX ring full")
+		if t.inFlight >= RingSize-1 {
+			t.stopped = true
+			return fmt.Errorf("e1000e: TX ring %d full", q)
 		}
 	}
-	slot := n.txTail
+	slot := t.tail
 	bufOff := slot * BufSize
 	// Copy the frame into the slot's DMA buffer. (The zero-copy view is
 	// used when available; Write charges the same per-byte cost.)
-	if view, ok := n.txBufs.Slice(bufOff, len(frame)); ok {
+	if view, ok := t.bufs.Slice(bufOff, len(frame)); ok {
 		copy(view, frame)
-	} else if err := n.txBufs.Write(bufOff, frame); err != nil {
+	} else if err := t.bufs.Write(bufOff, frame); err != nil {
 		return err
 	}
 	// Build the legacy TX descriptor.
 	var desc [e1000.DescSize]byte
-	putLE64(desc[0:8], uint64(n.txBufs.BusAddr())+uint64(bufOff))
+	putLE64(desc[0:8], uint64(t.bufs.BusAddr())+uint64(bufOff))
 	putLE16(desc[8:10], uint16(len(frame)))
 	desc[11] = e1000.TxCmdEOP | e1000.TxCmdRS
-	if err := n.writeDesc(n.txRing, slot, desc[:]); err != nil {
+	if err := n.writeDesc(t.ring, slot, desc[:]); err != nil {
 		return err
 	}
-	n.txTail = (n.txTail + 1) % RingSize
-	n.txInFlight++
-	n.mmio.Write32(e1000.RegTDT, uint32(n.txTail))
+	t.tail = (t.tail + 1) % RingSize
+	t.inFlight++
+	n.mmio.Write32(e1000.TxQOff(q, e1000.RegTDT), uint32(t.tail))
 	n.TxPkts++
 	return nil
 }
@@ -321,21 +376,31 @@ func (n *nic) tuneITR(work int) {
 	}
 }
 
-// reclaimTx frees completed TX descriptors and wakes the queue if it was
-// stopped for lack of space. It returns the number of descriptors freed.
+// reclaimTx frees completed TX descriptors on every queue and wakes the
+// stack if a stopped queue regained space. It returns the number of
+// descriptors freed.
 func (n *nic) reclaimTx() int {
 	freed := 0
-	for n.txInFlight > 0 {
-		desc, err := n.readDesc(n.txRing, n.txReclaim)
-		if err != nil || desc[12]&e1000.TxStaDD == 0 {
-			break
+	wake := false
+	for q := range n.tx {
+		t := &n.tx[q]
+		qFreed := 0
+		for t.inFlight > 0 {
+			desc, err := n.readDesc(t.ring, t.reclaim)
+			if err != nil || desc[12]&e1000.TxStaDD == 0 {
+				break
+			}
+			t.reclaim = (t.reclaim + 1) % RingSize
+			t.inFlight--
+			qFreed++
 		}
-		n.txReclaim = (n.txReclaim + 1) % RingSize
-		n.txInFlight--
-		freed++
+		if qFreed > 0 && t.stopped {
+			t.stopped = false
+			wake = true
+		}
+		freed += qFreed
 	}
-	if freed > 0 && n.queueStopped {
-		n.queueStopped = false
+	if wake {
 		n.net.WakeQueue()
 	}
 	return freed

@@ -39,6 +39,10 @@ type Platform struct {
 	EnableInterruptRemap bool
 	// Seed for the machine's deterministic random source.
 	Seed uint64
+	// Cores overrides the modelled CPU core count; 0 keeps sim.Cores
+	// (the paper's dual-core X301). The multi-flow scale scenarios model
+	// a server-class DUT with more cores.
+	Cores int
 }
 
 // DefaultPlatform is the paper's test machine: Intel VT-d without interrupt
@@ -82,10 +86,14 @@ type Machine struct {
 // NewMachine builds a machine for the given platform.
 func NewMachine(p Platform) *Machine {
 	loop := sim.NewLoop()
+	cores := p.Cores
+	if cores == 0 {
+		cores = sim.Cores
+	}
 	m := &Machine{
 		Loop:     loop,
 		Mem:      mem.New(),
-		CPU:      sim.NewCPUStats(sim.Cores),
+		CPU:      sim.NewCPUStats(cores),
 		IRQ:      irq.NewController(loop),
 		Vec:      irq.NewVectorAllocator(),
 		Rand:     sim.NewRand(p.Seed),

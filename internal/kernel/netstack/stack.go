@@ -71,10 +71,13 @@ type Iface struct {
 
 var _ api.NetKernel = (*Iface)(nil)
 
+// ErrNameTaken reports an interface-name collision at registration.
+var ErrNameTaken = fmt.Errorf("netstack: interface name already registered")
+
 // Register adds an interface for a driver's netdev. Names must be unique.
 func (s *Stack) Register(name string, macAddr [6]byte, dev api.NetDevice) (*Iface, error) {
 	if _, dup := s.ifaces[name]; dup {
-		return nil, fmt.Errorf("netstack: interface %q already registered", name)
+		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
 	}
 	ifc := &Iface{Name: name, MAC: MAC(macAddr), stack: s, dev: dev}
 	s.ifaces[name] = ifc

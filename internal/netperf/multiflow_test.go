@@ -1,0 +1,83 @@
+package netperf
+
+import (
+	"testing"
+
+	"sud/internal/hw"
+)
+
+func multiFlowRun(t *testing.T, queues, flows int) MultiFlowResult {
+	t.Helper()
+	tb, err := NewMultiFlowTestbed(queues, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiFlow(tb, flows, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMultiFlowScalesWithQueues is the tentpole claim: the same offered load
+// through Q=4 ring pairs (and 4 device TX engines) beats Q=1 decisively,
+// while the Q=1 e1000e rate stays at the engine-bound Figure 8 value.
+func TestMultiFlowScalesWithQueues(t *testing.T) {
+	q1 := multiFlowRun(t, 1, 6)
+	q4 := multiFlowRun(t, 4, 6)
+
+	// Q=1 must reproduce the single-queue UDP TX bound (~317 Kpkt/s on
+	// the e1000e) — multi-flow offered load cannot exceed the engine.
+	if q1.EthKpps < 250 || q1.EthKpps > 400 {
+		t.Fatalf("Q=1 e1000e rate = %.1f Kpkt/s, want engine-bound ~317", q1.EthKpps)
+	}
+	// Q=4 scales the e1000e well beyond double.
+	if q4.EthKpps < 2*q1.EthKpps {
+		t.Fatalf("Q=4 e1000e rate %.1f not 2x Q=1 rate %.1f", q4.EthKpps, q1.EthKpps)
+	}
+	if q4.AggregateKpps < 1.3*q1.AggregateKpps {
+		t.Fatalf("Q=4 aggregate %.1f not well above Q=1 aggregate %.1f",
+			q4.AggregateKpps, q1.AggregateKpps)
+	}
+	// Both driver processes moved traffic in both runs.
+	for _, r := range []MultiFlowResult{q1, q4} {
+		if r.Ne2kKpps <= 0 {
+			t.Fatalf("ne2k process idle (Q=%d)", r.Queues)
+		}
+	}
+}
+
+// TestMultiFlowSpreadsAcrossQueues verifies flow steering: with more flows
+// than queues, every ring pair carries upcalls and pays its own doorbells.
+func TestMultiFlowSpreadsAcrossQueues(t *testing.T) {
+	res := multiFlowRun(t, 4, 6)
+	if len(res.PerQueue) != 4 {
+		t.Fatalf("per-queue reports = %d", len(res.PerQueue))
+	}
+	for _, q := range res.PerQueue {
+		if q.Upcalls == 0 {
+			t.Fatalf("queue %d carried no upcalls: steering broken", q.Queue)
+		}
+		if q.Doorbells == 0 {
+			t.Fatalf("queue %d rang no doorbells", q.Queue)
+		}
+	}
+	if res.Wakeups == 0 {
+		t.Fatal("no wakeups counted")
+	}
+	if res.CPU <= 0 || res.CPU > 1 {
+		t.Fatalf("scale DUT CPU = %.1f%%, want a fraction of %d cores", res.CPU*100, ScaleCores)
+	}
+}
+
+// TestMultiFlowSingleFlowMatchesFigure8 pins the degenerate case: one flow,
+// one queue behaves like the classic UDP_STREAM TX cell.
+func TestMultiFlowSingleFlowMatchesFigure8(t *testing.T) {
+	res := multiFlowRun(t, 1, 1)
+	if res.EthKpps < 250 || res.EthKpps > 400 {
+		t.Fatalf("single-flow rate = %.1f Kpkt/s, want ~317", res.EthKpps)
+	}
+	if res.Ne2kKpps != 0 {
+		t.Fatalf("single flow leaked onto the ne2k (%f Kpkt/s)", res.Ne2kKpps)
+	}
+}

@@ -13,7 +13,9 @@
 package ethproxy
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"sud/internal/kernel/netstack"
 	"sud/internal/mem"
@@ -27,7 +29,7 @@ import (
 const (
 	OpOpen  = protocol.EthBase + iota // sync
 	OpStop                            // sync
-	OpXmit                            // async; Args: [0]=buffer IOVA, [1]=length, [2]=slot index
+	OpXmit                            // async; Args: [0]=buffer IOVA, [1]=length, [2]=slot index, [3]=TX queue
 	OpIoctl                           // sync; Args: [0]=cmd; Data: argument bytes
 )
 
@@ -62,16 +64,22 @@ const (
 	GuardNone
 )
 
-// Proxy is one Ethernet proxy driver instance.
+// Proxy is one Ethernet proxy driver instance. The TX fast path is
+// multi-queue aware: the shared buffer pool is partitioned across the
+// channel's ring pairs, frames are steered to a queue by flow hash, and
+// backpressure (slot exhaustion, ring-full) is tracked per queue so one
+// saturated queue wakes the stack only when *its* slots return.
 type Proxy struct {
 	K   *KernelIface
 	DF  *pciaccess.DeviceFile
-	C   *uchan.Chan
+	C   *uchan.MultiChan
 	Ifc *netstack.Iface
 
-	pool      *pciaccess.Alloc
-	freeSlots []int
-	stopped   bool // TX queue stopped for lack of slots or ring space
+	pool     *pciaccess.Alloc
+	perQueue int     // TX slots per queue (pool partition size)
+	free     [][]int // per-queue free slot lists (global slot indices)
+	stalled  []bool  // per-queue: out of slots or ring space
+	stopped  bool    // iface-level TX stop mirrored into the netstack
 
 	// GuardMode selects the §3.1.2 TOCTOU-guard strategy (ablations).
 	GuardMode int
@@ -95,23 +103,57 @@ type KernelIface struct {
 
 // New registers an Ethernet interface backed by the user-space driver on
 // the other end of c. mac is the mirrored hardware address (§3.3: shared
-// state such as dev_addr is synchronised, not fetched by upcall).
-func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.Chan, name string, mac [6]byte) (*Proxy, error) {
+// state such as dev_addr is synchronised, not fetched by upcall). If the
+// requested interface name is taken, the next free ethN is allocated, as
+// the kernel's netdev core does — so several NIC driver processes coexist.
+func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, mac [6]byte) (*Proxy, error) {
 	pool, err := df.AllocDMA(TxSlots*TxSlotSize, "TX shared pool", false)
 	if err != nil {
 		return nil, fmt.Errorf("ethproxy: allocating TX pool: %w", err)
 	}
-	p := &Proxy{K: ki, DF: df, C: c, pool: pool}
-	for i := 0; i < TxSlots; i++ {
-		p.freeSlots = append(p.freeSlots, i)
+	q := c.NumQueues()
+	p := &Proxy{
+		K: ki, DF: df, C: c, pool: pool,
+		perQueue: TxSlots / q,
+		free:     make([][]int, q),
+		stalled:  make([]bool, q),
 	}
-	ifc, err := ki.Net.Register(name, mac, (*proxyDev)(p))
+	for i := 0; i < p.perQueue*q; i++ {
+		qi := i / p.perQueue
+		p.free[qi] = append(p.free[qi], i)
+	}
+	ifc, err := registerUnique(ki.Net, name, mac, (*proxyDev)(p))
 	if err != nil {
 		return nil, err
 	}
-	ki.IfaceNm = name
+	ki.IfaceNm = ifc.Name
 	p.Ifc = ifc
 	return p, nil
+}
+
+// registerUnique registers the netdev under the requested name; on a name
+// collision it substitutes into the name's own template (trailing digits
+// stripped, like the kernel's "eth%d") until a free slot is found. Any
+// other registration failure propagates unchanged.
+func registerUnique(net *netstack.Stack, name string, mac [6]byte, dev *proxyDev) (*netstack.Iface, error) {
+	ifc, err := net.Register(name, mac, dev)
+	if err == nil || !errors.Is(err, netstack.ErrNameTaken) {
+		return ifc, err
+	}
+	base := strings.TrimRight(name, "0123456789")
+	if base == "" {
+		base = name
+	}
+	for i := 1; i < 16; i++ {
+		ifc, retryErr := net.Register(fmt.Sprintf("%s%d", base, i), mac, dev)
+		if retryErr == nil {
+			return ifc, nil
+		}
+		if !errors.Is(retryErr, netstack.ErrNameTaken) {
+			return nil, retryErr
+		}
+	}
+	return nil, err
 }
 
 // proxyDev is the netstack-facing half: it satisfies the same NetDevice
@@ -146,36 +188,76 @@ func (d *proxyDev) Stop() error {
 	return nil
 }
 
-// StartXmit copies the frame into a shared slot and queues an asynchronous
-// transmit upcall — the §3.1 fast path. Pool exhaustion or a hung driver
-// surfaces as backpressure, never as a blocked kernel thread.
+// StartXmit copies the frame into a shared slot of the flow's TX queue and
+// queues an asynchronous transmit upcall on that queue's ring — the §3.1
+// fast path. Pool exhaustion or a hung queue surfaces as backpressure,
+// never as a blocked kernel thread.
 func (d *proxyDev) StartXmit(frame []byte) error {
 	p := d.p()
 	if len(frame) > TxSlotSize {
 		return fmt.Errorf("ethproxy: frame of %d bytes exceeds slot size", len(frame))
 	}
-	if len(p.freeSlots) == 0 {
+	q := p.txQueueFor(frame)
+	if len(p.free[q]) == 0 {
+		p.stalled[q] = true
 		p.stopped = true
-		return fmt.Errorf("ethproxy: no free TX slots")
+		return fmt.Errorf("ethproxy: no free TX slots on queue %d", q)
 	}
-	slot := p.freeSlots[len(p.freeSlots)-1]
+	slot := p.free[q][len(p.free[q])-1]
 	iova := p.pool.IOVA + mem.Addr(slot*TxSlotSize)
 	phys := p.pool.Phys + mem.Addr(slot*TxSlotSize)
 	p.K.Acct.Charge(sim.Copy(len(frame)))
 	if err := p.K.Mem.Write(phys, frame); err != nil {
 		return fmt.Errorf("ethproxy: shared pool write: %w", err)
 	}
-	err := p.C.ASend(uchan.Msg{
+	err := p.C.ASend(q, uchan.Msg{
 		Op:   OpXmit,
-		Args: [6]uint64{uint64(iova), uint64(len(frame)), uint64(slot)},
+		Args: [6]uint64{uint64(iova), uint64(len(frame)), uint64(slot), uint64(q)},
 	})
 	if err != nil {
 		p.TxDropsHung++
+		p.stalled[q] = true
 		p.stopped = true
 		return fmt.Errorf("ethproxy: xmit upcall: %w", err)
 	}
-	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
+	p.free[q] = p.free[q][:len(p.free[q])-1]
 	return nil
+}
+
+// txQueueFor steers a frame to a TX queue by hashing its transport ports —
+// the transmit half of RSS-style flow steering, keeping each flow on one
+// queue so per-flow ordering is preserved. Non-IP and short frames use
+// queue 0.
+func (p *Proxy) txQueueFor(frame []byte) int {
+	nq := p.C.NumQueues()
+	if nq == 1 {
+		return 0
+	}
+	// Ethertype IPv4?
+	if len(frame) < netstack.EthHeaderLen+20 ||
+		frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	ihl := int(frame[netstack.EthHeaderLen]&0x0F) * 4
+	proto := frame[netstack.EthHeaderLen+9]
+	l4 := netstack.EthHeaderLen + ihl
+	if (proto != 6 && proto != 17) || len(frame) < l4+4 {
+		return 0
+	}
+	sport := uint16(frame[l4])<<8 | uint16(frame[l4+1])
+	dport := uint16(frame[l4+2])<<8 | uint16(frame[l4+3])
+	return TxQueueForPorts(sport, dport, nq)
+}
+
+// TxQueueForPorts is the flow-steering hash: the TX queue a flow with the
+// given transport ports lands on among nq queues. Exported so tests and
+// attack scenarios can target (or avoid) a specific queue without
+// duplicating the hash.
+func TxQueueForPorts(sport, dport uint16, nq int) int {
+	if nq <= 1 {
+		return 0
+	}
+	return int((uint32(sport)*31 + uint32(dport)) % uint32(nq))
 }
 
 // DoIoctl forwards a device-private ioctl synchronously (the paper's
@@ -208,8 +290,9 @@ func (p *Proxy) HandleDowncall(m uchan.Msg) {
 		p.netifRx(mem.Addr(m.Args[0]), int(m.Args[1]))
 	case OpXmitDone:
 		slot := int(m.Args[0])
-		if slot >= 0 && slot < TxSlots {
-			p.freeSlots = append(p.freeSlots, slot)
+		if slot >= 0 && slot < p.perQueue*len(p.free) {
+			q := slot / p.perQueue
+			p.free[q] = append(p.free[q], slot)
 			p.maybeWake()
 		}
 	case OpCarrierOn:
@@ -227,16 +310,34 @@ func (p *Proxy) HandleDowncall(m uchan.Msg) {
 	}
 }
 
-// wakeThreshold is how many slots must be free before a stopped queue is
-// woken — waking per released slot would thrash the sender (real netdev
-// drivers use the same batching).
-const wakeThreshold = 32
-
-func (p *Proxy) maybeWake() {
-	if p.stopped && len(p.freeSlots) >= wakeThreshold {
-		p.stopped = false
-		p.Ifc.WakeQueue()
+// wakeThreshold is how many of a queue's slots must be free before a
+// stopped queue is woken — waking per released slot would thrash the sender
+// (real netdev drivers use the same batching). One eighth of the queue's
+// partition: 32 slots on a single-queue proxy, matching the classic value.
+func (p *Proxy) wakeThreshold() int {
+	t := p.perQueue / 8
+	if t < 1 {
+		t = 1
 	}
+	return t
+}
+
+// maybeWake restarts the stack's transmit path once every stalled queue has
+// regained headroom.
+func (p *Proxy) maybeWake() {
+	if !p.stopped {
+		return
+	}
+	for q, st := range p.stalled {
+		if st {
+			if len(p.free[q]) < p.wakeThreshold() {
+				return
+			}
+			p.stalled[q] = false
+		}
+	}
+	p.stopped = false
+	p.Ifc.WakeQueue()
 }
 
 // netifRx validates the driver's shared-buffer reference and performs the
@@ -286,5 +387,20 @@ func (p *Proxy) netifRx(iova mem.Addr, n int) {
 	p.Ifc.NetifRxVerified(frame)
 }
 
-// FreeTxSlots reports the pool headroom (tests and pacing logic).
-func (p *Proxy) FreeTxSlots() int { return len(p.freeSlots) }
+// FreeTxSlots reports the pool headroom across all queues (tests and pacing
+// logic).
+func (p *Proxy) FreeTxSlots() int {
+	n := 0
+	for _, f := range p.free {
+		n += len(f)
+	}
+	return n
+}
+
+// QueueFreeSlots reports one queue's slot headroom.
+func (p *Proxy) QueueFreeSlots(q int) int {
+	if q < 0 || q >= len(p.free) {
+		return 0
+	}
+	return len(p.free[q])
+}

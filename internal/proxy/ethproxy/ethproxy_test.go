@@ -21,6 +21,7 @@ type rig struct {
 	m  *hw.Machine
 	k  *kernel.Kernel
 	df *pciaccess.DeviceFile
+	mc *uchan.MultiChan
 	c  *uchan.Chan
 	p  *Proxy
 
@@ -37,21 +38,21 @@ func newRig(t *testing.T) *rig {
 	m.AttachDevice(nic)
 	acct := m.CPU.Account("driver:test")
 	df := pciaccess.Open(k, nic, 1001, acct)
-	c := uchan.New(m.Loop, k.Acct, acct)
-	r := &rig{m: m, k: k, df: df, c: c}
-	c.DriverHandler = func(msg uchan.Msg) *uchan.Msg {
+	mc := uchan.NewMulti(m.Loop, k.Acct, []*sim.CPUAccount{acct})
+	r := &rig{m: m, k: k, df: df, mc: mc, c: mc.Queue(0)}
+	mc.SetDriverHandler(func(_ int, msg uchan.Msg) *uchan.Msg {
 		r.upcalls = append(r.upcalls, msg)
 		if r.reply != nil {
 			return r.reply(msg)
 		}
 		return &uchan.Msg{Seq: msg.Seq}
-	}
+	})
 	ki := &KernelIface{Acct: k.Acct, Mem: m.Mem, Net: k.Net}
-	p, err := New(ki, df, c, "eth0", mac)
+	p, err := New(ki, df, mc, "eth0", mac)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.KernelHandler = p.HandleDowncall
+	mc.SetKernelHandler(func(_ int, msg uchan.Msg) { p.HandleDowncall(msg) })
 	r.p = p
 	return r
 }
@@ -67,10 +68,15 @@ func TestRegistrationCreatesIfaceAndPool(t *testing.T) {
 	if len(r.df.Allocs()) != 1 || r.df.Allocs()[0].Label != "TX shared pool" {
 		t.Fatal("pool not allocated through the device file")
 	}
-	// Duplicate interface name fails cleanly.
+	// A second proxy asking for the same name gets the next free ethN,
+	// as the netdev core allocates names for additional NICs.
 	ki := &KernelIface{Acct: r.k.Acct, Mem: r.m.Mem, Net: r.k.Net}
-	if _, err := New(ki, r.df, r.c, "eth0", mac); err == nil {
-		t.Fatal("duplicate registration accepted")
+	p2, err := New(ki, r.df, r.mc, "eth0", mac)
+	if err != nil {
+		t.Fatalf("second registration: %v", err)
+	}
+	if p2.Ifc.Name != "eth1" || ki.IfaceNm != "eth1" {
+		t.Fatalf("second proxy named %q, want eth1", p2.Ifc.Name)
 	}
 }
 
@@ -134,13 +140,13 @@ func TestXmitUsesSharedSlotsWithBackpressure(t *testing.T) {
 	// Return enough slots: queue wakes only past the threshold.
 	var woken bool
 	r.p.Ifc.OnWake = func() { woken = true }
-	for i := 0; i < wakeThreshold-1; i++ {
+	for i := 0; i < r.p.wakeThreshold()-1; i++ {
 		r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(i)}})
 	}
 	if woken {
 		t.Fatal("woke below threshold")
 	}
-	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(wakeThreshold)}})
+	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(r.p.wakeThreshold())}})
 	if !woken {
 		t.Fatal("no wake at threshold")
 	}

@@ -1,0 +1,53 @@
+package wifiproxy
+
+import (
+	"testing"
+
+	"sud/internal/drivers/api"
+)
+
+// FuzzDecodeBSSList hammers the proxy's scan-result codec with arbitrary
+// bytes — the OpScanDone payload an untrusted driver process controls
+// completely (§3.1.1: the proxy makes no assumptions about driver data).
+// The decoder must never panic, and every accepted list must re-encode and
+// re-decode to the same results (no parser ambiguity a malicious driver
+// could exploit).
+func FuzzDecodeBSSList(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(EncodeBSSList([]api.BSS{
+		{SSID: "lab", BSSID: [6]byte{0xAA, 1, 2, 3, 4, 5}, Channel: 11, Signal: -40},
+	}))
+	f.Add(EncodeBSSList([]api.BSS{
+		{SSID: "one", Channel: 1, Signal: -90},
+		{SSID: "a-very-long-ssid-that-hits-the-32-byte-cap!", Channel: 165, Signal: 0},
+	}))
+	f.Add([]byte{2, 31})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		list, err := DecodeBSSList(data)
+		if err != nil {
+			return
+		}
+		if len(list) > 64 {
+			t.Fatalf("accepted implausible list of %d entries", len(list))
+		}
+		for _, b := range list {
+			if len(b.SSID) > 32 {
+				t.Fatalf("accepted %d-byte SSID", len(b.SSID))
+			}
+		}
+		again, err := DecodeBSSList(EncodeBSSList(list))
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if len(again) != len(list) {
+			t.Fatalf("round trip changed count: %d -> %d", len(list), len(again))
+		}
+		for i := range list {
+			if again[i].SSID != list[i].SSID || again[i].BSSID != list[i].BSSID ||
+				again[i].Channel != list[i].Channel || again[i].Signal != list[i].Signal {
+				t.Fatalf("round trip mangled entry %d: %+v -> %+v", i, list[i], again[i])
+			}
+		}
+	})
+}

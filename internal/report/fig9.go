@@ -27,13 +27,13 @@ func RunFig9(plat hw.Platform) ([]Fig9Entry, error) {
 	tb.M.Loop.RunFor(sim.Millisecond)
 
 	// Label allocations by their order and kind, as the e1000e makes
-	// them: TX ring, RX ring, TX buffers, RX buffers, then the proxy's
-	// shared pool.
+	// them: per-queue TX ring then TX buffers (one queue here), RX ring,
+	// RX buffers, then the proxy's shared pool.
 	names := map[string]string{
 		"TX shared pool": "TX shared pool (uchan)",
 		"coherent #1":    "TX ring descriptor",
-		"coherent #2":    "RX ring descriptor",
-		"caching #3":     "TX buffers",
+		"caching #2":     "TX buffers",
+		"coherent #3":    "RX ring descriptor",
 		"caching #4":     "RX buffers",
 	}
 	var out []Fig9Entry

@@ -58,6 +58,24 @@ func (s *CPUStats) Account(name string) *CPUAccount {
 	return a
 }
 
+// QueueAccounts returns per-queue service accounts for a multi-queue context
+// (one per simulated CPU/queue). With n == 1 the single account keeps the
+// plain base name, so single-queue configurations report exactly as before;
+// n > 1 yields base/q0 .. base/qN-1.
+func (s *CPUStats) QueueAccounts(base string, n int) []*CPUAccount {
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 {
+		return []*CPUAccount{s.Account(base)}
+	}
+	accts := make([]*CPUAccount, n)
+	for i := range accts {
+		accts[i] = s.Account(fmt.Sprintf("%s/q%d", base, i))
+	}
+	return accts
+}
+
 // Reset zeroes every account and starts a new measurement window at now.
 func (s *CPUStats) Reset(now Time) {
 	s.epoch = now

@@ -49,9 +49,14 @@ type Process struct {
 
 	K    *kernel.Kernel
 	DF   *pciaccess.DeviceFile
-	Chan *uchan.Chan
+	Chan *uchan.MultiChan
 	Acct *sim.CPUAccount
 	Eth  *ethproxy.Proxy
+
+	// QueueAccts are the per-queue service-thread CPU accounts; index q
+	// is the thread draining uchan ring q. Single-queue processes have
+	// exactly one, named like the process account.
+	QueueAccts []*sim.CPUAccount
 
 	driver     api.Driver
 	inst       api.Instance
@@ -68,10 +73,11 @@ type Process struct {
 	// byte) to bus addresses, enabling zero-copy netif_rx.
 	sliceAddrs map[*byte]mem.Addr
 
-	// pendingTx holds transmit upcalls the driver's TX ring had no room
-	// for; they drain after descriptor reclaim (interrupt handling).
-	pendingTx  []uchan.Msg
-	retryTimer bool
+	// pendingTx holds, per queue, transmit upcalls the driver's TX ring
+	// had no room for; they drain after descriptor reclaim (interrupt
+	// handling).
+	pendingTx  [][]uchan.Msg
+	retryTimer []bool
 
 	// Counters.
 	ZeroCopyRx, BouncedRx uint64
@@ -80,17 +86,26 @@ type Process struct {
 	killed bool
 }
 
-// Start launches a driver process for dev running drv under the given UID.
-// It models the §4.1 flow: SUD-UML finds the device in sysfs, asks the
-// kernel to start a proxy driver, opens a uchan, and probes the driver.
+// Start launches a single-queue driver process for dev running drv under
+// the given UID. It models the §4.1 flow: SUD-UML finds the device in sysfs,
+// asks the kernel to start a proxy driver, opens a uchan, and probes the
+// driver.
 func Start(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid int) (*Process, error) {
+	return StartQ(k, dev, drv, name, uid, 1)
+}
+
+// StartQ launches a driver process with `queues` uchan ring pairs — one
+// service thread (and CPU account) per simulated CPU/queue, plus the shared
+// urgent lane for forwarded interrupts. queues=1 is exactly Start.
+func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, queues int) (*Process, error) {
 	cfg := dev.Config()
 	if !drv.Match(cfg.VendorID(), cfg.DeviceID()) {
 		return nil, fmt.Errorf("sudml: driver %s does not match device %s", drv.Name(), dev.BDF())
 	}
-	acct := k.M.CPU.Account("driver:" + name)
+	accts := k.M.CPU.QueueAccounts("driver:"+name, queues)
+	acct := accts[0]
 	df := pciaccess.Open(k, dev, uid, acct)
-	ch := uchan.New(k.M.Loop, k.Acct, acct)
+	ch := uchan.NewMulti(k.M.Loop, k.Acct, accts)
 	p := &Process{
 		Name:       name,
 		UID:        uid,
@@ -98,11 +113,14 @@ func Start(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid in
 		DF:         df,
 		Chan:       ch,
 		Acct:       acct,
+		QueueAccts: accts,
 		driver:     drv,
 		sliceAddrs: make(map[*byte]mem.Addr),
+		pendingTx:  make([][]uchan.Msg, len(accts)),
+		retryTimer: make([]bool, len(accts)),
 	}
-	ch.DriverHandler = p.dispatch
-	ch.KernelHandler = p.routeDowncall
+	ch.SetDriverHandler(p.dispatch)
+	ch.SetKernelHandler(p.routeDowncall)
 	acct.Charge(startupCost)
 
 	inst, err := drv.Probe(&env{p: p})
@@ -162,14 +180,19 @@ func (p *Process) Ctl(cmd uint32, arg []byte) ([]byte, error) {
 // Hang simulates the §3.1.1 liveness attack: the process stops servicing
 // its uchan (infinite loop). Sync upcalls become interruptible errors;
 // async upcalls pile up until the ring reports the driver hung.
-func (p *Process) Hang() { p.Chan.Hung = true }
+func (p *Process) Hang() { p.Chan.SetHung(true) }
 
 // Unhang resumes servicing (for tests).
-func (p *Process) Unhang() { p.Chan.Hung = false }
+func (p *Process) Unhang() { p.Chan.SetHung(false) }
+
+// HangQueue wedges a single queue's service thread (§3.1.1 generalised):
+// sibling queues, the urgent lane and the control ring keep servicing.
+func (p *Process) HangQueue(q int) { p.Chan.HangQueue(q, true) }
 
 // routeDowncall demultiplexes driver→kernel messages to the class proxy (or
-// the common handlers) by operation range. Runs in kernel context.
-func (p *Process) routeDowncall(m uchan.Msg) {
+// the common handlers) by operation range. Runs in kernel context; q is the
+// ring the downcall arrived on.
+func (p *Process) routeDowncall(q int, m uchan.Msg) {
 	switch {
 	case m.Op == protocol.OpIRQAck:
 		p.DF.Ack()
@@ -188,8 +211,9 @@ func (p *Process) routeDowncall(m uchan.Msg) {
 	}
 }
 
-// dispatch services one upcall in driver-process context.
-func (p *Process) dispatch(m uchan.Msg) *uchan.Msg {
+// dispatch services one upcall in driver-process context; q is the ring the
+// message arrived on (its service thread runs the handler).
+func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 	if p.killed {
 		return nil
 	}
@@ -228,7 +252,7 @@ func (p *Process) dispatch(m uchan.Msg) *uchan.Msg {
 		}
 		return r
 	case ethproxy.OpXmit:
-		p.handleXmit(m)
+		p.handleXmit(q, m)
 		return &uchan.Msg{Seq: m.Seq}
 	case protocol.OpInterrupt:
 		if p.irqHandler != nil {
@@ -317,84 +341,100 @@ const xmitRetryDelay = 100 * sim.Microsecond
 // maxPendingTx bounds the UML-side transmit hold queue.
 const maxPendingTx = uchan.RingSlots
 
-// handleXmit maps the shared TX slot and hands the frame to the driver. If
-// the driver's TX ring is full, the message is held — slot unreleased — so a
-// full device ring backpressures the kernel through shared-pool exhaustion
-// instead of dropping packets and burning CPU on doomed work.
-func (p *Process) handleXmit(m uchan.Msg) {
-	if len(p.pendingTx) > 0 {
-		p.holdXmit(m)
+// handleXmit maps the shared TX slot and hands the frame to the driver's
+// hardware queue q. If that queue's device ring is full, the message is held
+// — slot unreleased — so a full ring backpressures the kernel through
+// shared-pool exhaustion instead of dropping packets and burning CPU on
+// doomed work. Hold queues and retry timers are per queue: one saturated
+// hardware queue never stalls a sibling's transmit path.
+func (p *Process) handleXmit(q int, m uchan.Msg) {
+	if len(p.pendingTx[q]) > 0 {
+		p.holdXmit(q, m)
 		return
 	}
-	if !p.tryXmit(m) {
-		p.holdXmit(m)
+	if !p.tryXmit(q, m) {
+		p.holdXmit(q, m)
 	}
 }
 
-func (p *Process) holdXmit(m uchan.Msg) {
-	if len(p.pendingTx) >= maxPendingTx {
+func (p *Process) holdXmit(q int, m uchan.Msg) {
+	if len(p.pendingTx[q]) >= maxPendingTx {
 		p.XmitRingDrops++
-		p.xmitDone(m.Args[2])
+		p.xmitDone(q, m.Args[2])
 		return
 	}
-	p.pendingTx = append(p.pendingTx, m)
-	if !p.retryTimer {
-		p.retryTimer = true
-		p.K.M.Loop.After(xmitRetryDelay, p.retryPendingTx)
+	p.pendingTx[q] = append(p.pendingTx[q], m)
+	if !p.retryTimer[q] {
+		p.retryTimer[q] = true
+		p.K.M.Loop.After(xmitRetryDelay, func() { p.retryPendingTx(q) })
 	}
 }
 
-func (p *Process) retryPendingTx() {
-	p.retryTimer = false
+func (p *Process) retryPendingTx(q int) {
+	p.retryTimer[q] = false
 	if p.killed {
 		return
 	}
-	p.Acct.Charge(sim.CostUMLCall)
-	p.drainPendingTx()
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	p.drainPendingTxQ(q)
 	p.Chan.Flush()
-	if len(p.pendingTx) > 0 && !p.retryTimer {
-		p.retryTimer = true
-		p.K.M.Loop.After(xmitRetryDelay, p.retryPendingTx)
+	if len(p.pendingTx[q]) > 0 && !p.retryTimer[q] {
+		p.retryTimer[q] = true
+		p.K.M.Loop.After(xmitRetryDelay, func() { p.retryPendingTx(q) })
 	}
 }
 
-// drainPendingTx feeds held packets into the (hopefully reclaimed) TX ring,
-// preserving order.
+// drainPendingTx feeds every queue's held packets into the (hopefully
+// reclaimed) TX rings; the interrupt handler reclaims all rings at once.
 func (p *Process) drainPendingTx() {
-	for len(p.pendingTx) > 0 {
-		if !p.tryXmit(p.pendingTx[0]) {
+	for q := range p.pendingTx {
+		p.drainPendingTxQ(q)
+	}
+}
+
+// drainPendingTxQ feeds queue q's held packets in order.
+func (p *Process) drainPendingTxQ(q int) {
+	for len(p.pendingTx[q]) > 0 {
+		if !p.tryXmit(q, p.pendingTx[q][0]) {
 			return
 		}
-		p.pendingTx = p.pendingTx[1:]
+		p.pendingTx[q] = p.pendingTx[q][1:]
 	}
 }
 
-// tryXmit attempts one transmit; it reports false if the ring was full (the
-// message should be held). Invalid references complete immediately.
-func (p *Process) tryXmit(m uchan.Msg) bool {
+// tryXmit attempts one transmit on hardware queue q; it reports false if the
+// ring was full (the message should be held). Invalid references complete
+// immediately.
+func (p *Process) tryXmit(q int, m uchan.Msg) bool {
 	iova := mem.Addr(m.Args[0])
 	n := int(m.Args[1])
 	phys, ok := p.DF.PhysFor(iova)
 	if !ok {
 		p.XmitRingDrops++
-		p.xmitDone(m.Args[2])
+		p.xmitDone(q, m.Args[2])
 		return true
 	}
 	frame, ok := p.K.M.Mem.Slice(phys, n)
 	if !ok {
 		p.XmitRingDrops++
-		p.xmitDone(m.Args[2])
+		p.xmitDone(q, m.Args[2])
 		return true
 	}
-	if err := p.netdev.StartXmit(frame); err != nil {
+	var err error
+	if mq, isMQ := p.netdev.(api.MultiQueueNetDevice); isMQ {
+		err = mq.StartXmitQ(frame, q)
+	} else {
+		err = p.netdev.StartXmit(frame)
+	}
+	if err != nil {
 		return false
 	}
-	p.xmitDone(m.Args[2])
+	p.xmitDone(q, m.Args[2])
 	return true
 }
 
-func (p *Process) xmitDone(slot uint64) {
-	if err := p.Chan.Down(uchan.Msg{Op: ethproxy.OpXmitDone, Args: [6]uint64{slot}}); err != nil {
+func (p *Process) xmitDone(q int, slot uint64) {
+	if err := p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpXmitDone, Args: [6]uint64{slot}}); err != nil {
 		p.XmitRingDrops++
 	}
 }
@@ -578,7 +618,7 @@ func (e *env) RegisterWifiDev(name string, macAddr [6]byte, dev api.WifiDevice) 
 		return nil, fmt.Errorf("sudml: wifi device already registered")
 	}
 	p.wifidev = dev
-	proxy, err := wifiproxy.New(p.K.Wifi, p.DF, p.Chan, name, macAddr, dev.Features())
+	proxy, err := wifiproxy.New(p.K.Wifi, p.DF, p.Chan.Queue(0), name, macAddr, dev.Features())
 	if err != nil {
 		return nil, err
 	}
@@ -594,7 +634,7 @@ func (e *env) RegisterSoundDev(name string, dev api.AudioDevice) (api.AudioKerne
 		return nil, fmt.Errorf("sudml: sound device already registered")
 	}
 	p.audiodev = dev
-	proxy, err := audioproxy.New(p.K.Audio, p.DF, p.Chan, name)
+	proxy, err := audioproxy.New(p.K.Audio, p.DF, p.Chan.Queue(0), name)
 	if err != nil {
 		return nil, err
 	}

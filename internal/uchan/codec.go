@@ -1,0 +1,96 @@
+package uchan
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Multi-queue ring-slot framing.
+//
+// Single-ring channels pass Msg values directly: both sides were built
+// together and the slot layout is implicit. Multi-queue channels tag every
+// slot with its queue so the kernel can demultiplex N rings that share one
+// driver process, and — because the driver process writes downcall slots
+// into shared memory — the kernel side must treat the bytes as untrusted
+// input and decode them defensively (§3.1.1: no semantic assumptions about
+// what the driver wrote). DecodeSlot is fuzzed for exactly that reason.
+//
+// Slot layout (little-endian):
+//
+//	[0:4)   op
+//	[4:8)   seq
+//	[8:10)  queue
+//	[10:12) flags (bit 0: urgent)
+//	[12:60) args[0..5]
+//	[60:64) data length
+//	[64:..) data
+const (
+	slotHeaderLen = 64
+
+	// MaxSlotData bounds the inline payload of one slot; anything larger
+	// travels as a shared-memory reference in Args instead.
+	MaxSlotData = 64 * 1024
+
+	// MaxQueues bounds the queue tag (and the fan-out NewMulti accepts).
+	MaxQueues = 64
+
+	flagUrgent = 1 << 0
+)
+
+// Slot decode errors. A malformed slot from the driver is dropped and
+// counted, never trusted.
+var (
+	ErrSlotShort   = errors.New("uchan: slot shorter than header")
+	ErrSlotQueue   = errors.New("uchan: slot queue tag out of range")
+	ErrSlotLength  = errors.New("uchan: slot data length invalid")
+	ErrSlotPayload = errors.New("uchan: slot payload truncated")
+)
+
+// EncodeSlot marshals one message and its queue tag into ring-slot bytes.
+func EncodeSlot(queue int, m Msg) []byte {
+	buf := make([]byte, slotHeaderLen+len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], m.Op)
+	binary.LittleEndian.PutUint32(buf[4:8], m.Seq)
+	binary.LittleEndian.PutUint16(buf[8:10], uint16(queue))
+	var flags uint16
+	if m.urgent {
+		flags |= flagUrgent
+	}
+	binary.LittleEndian.PutUint16(buf[10:12], flags)
+	for i, a := range m.Args {
+		binary.LittleEndian.PutUint64(buf[12+8*i:20+8*i], a)
+	}
+	binary.LittleEndian.PutUint32(buf[60:64], uint32(len(m.Data)))
+	copy(buf[slotHeaderLen:], m.Data)
+	return buf
+}
+
+// DecodeSlot unmarshals ring-slot bytes written by the (untrusted) peer. It
+// never panics on arbitrary input; malformed slots return an error.
+func DecodeSlot(buf []byte) (queue int, m Msg, err error) {
+	if len(buf) < slotHeaderLen {
+		return 0, Msg{}, ErrSlotShort
+	}
+	queue = int(binary.LittleEndian.Uint16(buf[8:10]))
+	if queue >= MaxQueues {
+		return 0, Msg{}, ErrSlotQueue
+	}
+	dlen := binary.LittleEndian.Uint32(buf[60:64])
+	if dlen > MaxSlotData {
+		return 0, Msg{}, ErrSlotLength
+	}
+	if len(buf)-slotHeaderLen < int(dlen) {
+		return 0, Msg{}, ErrSlotPayload
+	}
+	m.Op = binary.LittleEndian.Uint32(buf[0:4])
+	m.Seq = binary.LittleEndian.Uint32(buf[4:8])
+	m.urgent = binary.LittleEndian.Uint16(buf[10:12])&flagUrgent != 0
+	for i := range m.Args {
+		m.Args[i] = binary.LittleEndian.Uint64(buf[12+8*i : 20+8*i])
+	}
+	if dlen > 0 {
+		m.Data = make([]byte, dlen)
+		copy(m.Data, buf[slotHeaderLen:slotHeaderLen+int(dlen)])
+	}
+	return queue, m, nil
+}

@@ -1,0 +1,90 @@
+package uchan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSlotRoundTrip pins the framing: every field survives encode→decode.
+func TestSlotRoundTrip(t *testing.T) {
+	msgs := []struct {
+		q int
+		m Msg
+	}{
+		{0, Msg{Op: 1}},
+		{3, Msg{Op: 0xFFFF_FFFF, Seq: 42, Args: [6]uint64{1, 2, 3, 4, 5, ^uint64(0)}}},
+		{7, Msg{Op: 9, Data: []byte("payload"), urgent: true}},
+		{MaxQueues - 1, Msg{Data: bytes.Repeat([]byte{0xA5}, MaxSlotData)}},
+	}
+	for _, tc := range msgs {
+		q, m, err := DecodeSlot(EncodeSlot(tc.q, tc.m))
+		if err != nil {
+			t.Fatalf("decode(%d, %+v): %v", tc.q, tc.m, err)
+		}
+		if q != tc.q || m.Op != tc.m.Op || m.Seq != tc.m.Seq ||
+			m.Args != tc.m.Args || m.urgent != tc.m.urgent ||
+			!bytes.Equal(m.Data, tc.m.Data) {
+			t.Fatalf("round trip mangled: in (%d, %+v), out (%d, %+v)", tc.q, tc.m, q, m)
+		}
+	}
+}
+
+// TestSlotDecodeRejectsMalformed covers the defensive paths an untrusted
+// driver can hit by scribbling on its rings.
+func TestSlotDecodeRejectsMalformed(t *testing.T) {
+	if _, _, err := DecodeSlot(nil); err != ErrSlotShort {
+		t.Fatalf("nil slot: %v", err)
+	}
+	if _, _, err := DecodeSlot(make([]byte, slotHeaderLen-1)); err != ErrSlotShort {
+		t.Fatalf("short slot: %v", err)
+	}
+	// Queue tag out of range.
+	b := EncodeSlot(0, Msg{Op: 1})
+	b[8], b[9] = 0xFF, 0xFF
+	if _, _, err := DecodeSlot(b); err != ErrSlotQueue {
+		t.Fatalf("bad queue: %v", err)
+	}
+	// Length field larger than the buffer.
+	b = EncodeSlot(1, Msg{Data: []byte{1, 2, 3}})
+	b[60] = 0x10
+	if _, _, err := DecodeSlot(b); err != ErrSlotPayload {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	// Length field absurd.
+	b = EncodeSlot(1, Msg{})
+	b[62] = 0xFF
+	if _, _, err := DecodeSlot(b); err != ErrSlotLength {
+		t.Fatalf("absurd length: %v", err)
+	}
+}
+
+// FuzzDecodeSlot hammers the kernel-side slot decoder with arbitrary bytes —
+// the multi-queue framing an untrusted driver process writes into shared
+// memory. The decoder must never panic, and anything it accepts must
+// re-encode to a slot that decodes identically (no parser ambiguity).
+func FuzzDecodeSlot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSlot(0, Msg{Op: 1, Seq: 2}))
+	f.Add(EncodeSlot(3, Msg{Op: 0xFFFFFFFF, Data: []byte("frame bytes")}))
+	f.Add(bytes.Repeat([]byte{0xFF}, slotHeaderLen+16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, m, err := DecodeSlot(data)
+		if err != nil {
+			return
+		}
+		if q < 0 || q >= MaxQueues {
+			t.Fatalf("accepted queue %d out of range", q)
+		}
+		if len(m.Data) > MaxSlotData {
+			t.Fatalf("accepted %d payload bytes", len(m.Data))
+		}
+		q2, m2, err := DecodeSlot(EncodeSlot(q, m))
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if q2 != q || m2.Op != m.Op || m2.Seq != m.Seq || m2.Args != m.Args ||
+			m2.urgent != m.urgent || !bytes.Equal(m2.Data, m.Data) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}

@@ -194,6 +194,18 @@ func (c *Chan) Kill() {
 // Dead reports whether the channel was killed.
 func (c *Chan) Dead() bool { return c.dead }
 
+// Poke arranges for pending upcalls to be serviced now, cancelling any
+// deferred doorbell. The multi-queue urgent lane uses it to let bulk traffic
+// queued on sibling rings ride an interrupt wake instead of waiting out the
+// lazy-doorbell window (§3.1.2 batching, generalised to N rings).
+func (c *Chan) Poke() {
+	if c.dead || c.Hung || len(c.k2u) == 0 {
+		return
+	}
+	c.loop.Cancel(c.lazyEvent)
+	c.scheduleService()
+}
+
 // --- kernel side ------------------------------------------------------------
 
 // ASend queues an asynchronous upcall (packet transmit). It never blocks
