@@ -80,13 +80,16 @@ func BenchmarkUDPRRSUD(b *testing.B)    { runNet(b, netperf.ModeSUD, netperf.UDP
 
 // --- Multi-flow scale rows ------------------------------------------------------
 //
-// BenchmarkMultiFlow* run the scale scenario: K concurrent UDP TX flows
-// across Q uchan ring pairs and two untrusted driver processes (multi-queue
-// e1000e + legacy ne2k-pci). Reported metrics: aggregate delivered rate,
-// per-queue doorbell rate, and driver wake count. Q=1 degenerates to the
-// Figure 8 transport; the Q=4 row is the multi-queue payoff.
+// BenchmarkMultiFlow* run the scale scenario: K concurrent UDP flows across
+// Q uchan ring pairs and two untrusted driver processes (multi-queue e1000e
+// + legacy ne2k-pci), in three directions — TX (DUT sends), RX (the remote
+// floods K RSS-steered flows at the DUT's RX rings, delivered in batched
+// downcalls) and bidi. Reported metrics: aggregate delivered rate, per-queue
+// doorbell rate, RX frames per doorbell, and driver wake count. Q=1
+// degenerates to the Figure 8 transport; the Q=4 rows are the multi-queue
+// payoff in each direction.
 
-func runMultiFlow(b *testing.B, queues, flows int) {
+func runMultiFlow(b *testing.B, queues, flows int, dir netperf.Direction) {
 	b.Helper()
 	var last netperf.MultiFlowResult
 	for i := 0; i < b.N; i++ {
@@ -94,7 +97,7 @@ func runMultiFlow(b *testing.B, queues, flows int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := netperf.MultiFlow(tb, flows, benchOpt())
+		res, err := netperf.MultiFlowDir(tb, flows, dir, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,11 +111,20 @@ func runMultiFlow(b *testing.B, queues, flows int) {
 		doorbells += q.DoorbellsPerSec
 	}
 	b.ReportMetric(doorbells, "doorbells/s")
+	if dir != netperf.DirTX {
+		b.ReportMetric(last.RxFramesPerDoorbell, "rxframes/doorbell")
+	}
 }
 
-func BenchmarkMultiFlowUDPStreamTXQ1(b *testing.B) { runMultiFlow(b, 1, 6) }
-func BenchmarkMultiFlowUDPStreamTXQ2(b *testing.B) { runMultiFlow(b, 2, 6) }
-func BenchmarkMultiFlowUDPStreamTXQ4(b *testing.B) { runMultiFlow(b, 4, 6) }
+func BenchmarkMultiFlowUDPStreamTXQ1(b *testing.B) { runMultiFlow(b, 1, 6, netperf.DirTX) }
+func BenchmarkMultiFlowUDPStreamTXQ2(b *testing.B) { runMultiFlow(b, 2, 6, netperf.DirTX) }
+func BenchmarkMultiFlowUDPStreamTXQ4(b *testing.B) { runMultiFlow(b, 4, 6, netperf.DirTX) }
+
+func BenchmarkMultiFlowUDPStreamRXQ1(b *testing.B) { runMultiFlow(b, 1, 6, netperf.DirRX) }
+func BenchmarkMultiFlowUDPStreamRXQ2(b *testing.B) { runMultiFlow(b, 2, 6, netperf.DirRX) }
+func BenchmarkMultiFlowUDPStreamRXQ4(b *testing.B) { runMultiFlow(b, 4, 6, netperf.DirRX) }
+
+func BenchmarkMultiFlowUDPStreamBidiQ4(b *testing.B) { runMultiFlow(b, 4, 6, netperf.DirBidi) }
 
 // --- Figure 5 / Figure 9 -------------------------------------------------------
 
@@ -181,6 +193,7 @@ func BenchmarkAttackDMAReadSUD(b *testing.B)       { runAttack(b, attack.DMARead
 func BenchmarkAttackP2PSUD(b *testing.B)           { runAttack(b, attack.P2PDMA, sudCfg(), false) }
 func BenchmarkAttackIRQFloodSUD(b *testing.B)      { runAttack(b, attack.DeviceIRQFlood, sudCfg(), false) }
 func BenchmarkAttackRingFloodSUD(b *testing.B)     { runAttack(b, attack.RingFlood, sudCfg(), false) }
+func BenchmarkAttackRSSSteerSUD(b *testing.B)      { runAttack(b, attack.RSSSteer, sudCfg(), false) }
 func BenchmarkAttackMSIStormPaperHW(b *testing.B)  { runAttack(b, attack.MSIForgeStorm, sudCfg(), true) }
 func BenchmarkAttackMSIStormRemapHW(b *testing.B) {
 	runAttack(b, attack.MSIForgeStorm,

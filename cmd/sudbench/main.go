@@ -7,17 +7,19 @@
 //	sudbench -experiment multiflow # multi-queue scale scenario (beyond paper)
 //	sudbench -experiment all       # everything
 //
-// The multiflow experiment takes --queues (uchan ring pairs / device TX
-// queues on the e1000e) and --flows (concurrent UDP transmit flows, spread
-// over the e1000e and ne2k-pci driver processes):
+// The multiflow experiment takes --queues (uchan ring pairs / e1000e TX+RX
+// queues), --flows (concurrent UDP flows, spread over the e1000e and
+// ne2k-pci driver processes), --direction (tx, rx or bidi) and --json (write
+// the result rows to a file for the perf-trajectory record):
 //
-//	sudbench -experiment multiflow --queues 4 --flows 6
+//	sudbench -experiment multiflow --queues 4 --flows 6 --direction rx --json BENCH_rx.json
 //
 // Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +33,10 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | all")
 	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
-	queues := flag.Int("queues", 4, "multiflow: uchan ring pairs / e1000e TX queues")
-	flows := flag.Int("flows", 6, "multiflow: concurrent UDP transmit flows")
+	queues := flag.Int("queues", 4, "multiflow: uchan ring pairs / e1000e TX+RX queues")
+	flows := flag.Int("flows", 6, "multiflow: concurrent UDP flows")
+	direction := flag.String("direction", "tx", "multiflow: tx | rx | bidi")
+	jsonPath := flag.String("json", "", "multiflow: also write result rows as JSON to this file")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -82,6 +86,17 @@ func main() {
 	run("multiflow", func() error {
 		opt := netperf.DefaultOptions()
 		opt.Window = sim.Duration(*window) * sim.Millisecond
+		var dir netperf.Direction
+		switch *direction {
+		case "tx":
+			dir = netperf.DirTX
+		case "rx":
+			dir = netperf.DirRX
+		case "bidi":
+			dir = netperf.DirBidi
+		default:
+			return fmt.Errorf("unknown --direction %q (tx | rx | bidi)", *direction)
+		}
 		target := *queues
 		if target < 1 {
 			target = 1
@@ -91,16 +106,28 @@ func main() {
 		if target > 1 {
 			rows = append(rows, target)
 		}
+		var results []netperf.MultiFlowResult
 		for _, q := range rows {
 			tb, err := netperf.NewMultiFlowTestbed(q, hw.DefaultPlatform())
 			if err != nil {
 				return err
 			}
-			res, err := netperf.MultiFlow(tb, *flows, opt)
+			res, err := netperf.MultiFlowDir(tb, *flows, dir, opt)
 			if err != nil {
 				return err
 			}
 			fmt.Print(res)
+			results = append(results, res)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 		return nil
 	})

@@ -110,6 +110,24 @@ func TestRingFloodIsolatedPerQueue(t *testing.T) {
 	run(t, RingFlood, cfgSUDNoACS(), false)
 }
 
+func TestRSSSteerClampedAndScoped(t *testing.T) {
+	// A malicious driver rewriting its RSS redirection table: in-kernel
+	// there is no boundary; under SUD the device decode clamps
+	// out-of-range entries and steering stays scoped to the attacker's
+	// own NIC — a sibling driver process keeps receiving even with every
+	// flow collapsed onto one ring.
+	run(t, RSSSteer, cfgKernel(), true)
+	o := run(t, RSSSteer, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	// Steering confinement is register-decode + process scoping: it must
+	// hold on every platform flavour.
+	run(t, RSSSteer, cfgSUDRemap(), false)
+	run(t, RSSSteer, cfgSUDAMD(), false)
+	run(t, RSSSteer, cfgSUDNoACS(), false)
+}
+
 func TestRunMatrixCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix is slow")
@@ -118,7 +136,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 9*len(Configs()) {
+	if len(out) != 10*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be

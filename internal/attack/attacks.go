@@ -252,7 +252,7 @@ func Exhaustion(cfg Config) (Outcome, error) {
 func RunMatrix() ([]Outcome, error) {
 	attacks := []func(Config) (Outcome, error){
 		DMAWrite, DMARead, P2PDMA, MSIForgeStorm, DeviceIRQFlood,
-		ConfigEscape, Exhaustion, TOCTOUAttack, RingFlood,
+		ConfigEscape, Exhaustion, TOCTOUAttack, RingFlood, RSSSteer,
 	}
 	var out []Outcome
 	for _, a := range attacks {

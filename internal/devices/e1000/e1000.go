@@ -28,23 +28,43 @@ const (
 	// RegTQC reports the hardware TX queue count (read-only; our stand-in
 	// for the queue-capability fields real multi-queue parts expose).
 	RegTQC = 0x0408
-	RegRDBAL  = 0x2800
-	RegRDBAH  = 0x2804
-	RegRDLEN  = 0x2808
-	RegRDH    = 0x2810
-	RegRDT    = 0x2818
-	RegTDBAL  = 0x3800
-	RegTDBAH  = 0x3804
-	RegTDLEN  = 0x3808
-	RegTDH    = 0x3810
-	RegTDT    = 0x3818
-	RegRAL    = 0x5400
-	RegRAH    = 0x5404
+	// RegRQC reports the hardware RX queue count (read-only), the receive
+	// mirror of RegTQC.
+	RegRQC   = 0x040C
+	RegRDBAL = 0x2800
+	RegRDBAH = 0x2804
+	RegRDLEN = 0x2808
+	RegRDH   = 0x2810
+	RegRDT   = 0x2818
+	RegTDBAL = 0x3800
+	RegTDBAH = 0x3804
+	RegTDLEN = 0x3808
+	RegTDH   = 0x3810
+	RegTDT   = 0x3818
+	RegRAL   = 0x5400
+	RegRAH   = 0x5404
+
+	// RegRETA is the base of the RSS redirection table: RetaEntries
+	// 32-bit registers, each holding an RX queue index. Received flows are
+	// hashed over their transport ports and the hash indexes this table to
+	// pick the RX descriptor ring — receive-side scaling as on 82574/82576
+	// parts. Hardware masks each written entry to retaEntryMask (reserved
+	// bits read back zero), so an out-of-range value written by a buggy or
+	// malicious driver degrades to a valid queue instead of wild state.
+	RegRETA = 0x5C00
+	// RetaEntries is the redirection table size.
+	RetaEntries = 32
+	// retaEntryMask keeps a table entry inside [0, MaxRxQueues).
+	retaEntryMask = MaxRxQueues - 1
 
 	// txQStride separates the per-queue TX register banks: queue q's
 	// TDBAL..TDT live at RegTDBAL+q*txQStride, as on 82571-class parts
 	// (the second queue's TDBAL1 sits at 0x3900).
 	txQStride = 0x100
+
+	// rxQStride separates the per-queue RX register banks in the same way:
+	// queue q's RDBAL..RDT live at RegRDBAL+q*rxQStride.
+	rxQStride = 0x100
 
 	// BARSize is the size of BAR0 (128 KiB, as on real parts).
 	BARSize = 0x20000
@@ -115,10 +135,19 @@ type Params struct {
 	// cost serialises within a queue, not across queues. The shared wire
 	// still serialises frames (ethlink models the PHY FIFO).
 	TxQueues int
+
+	// RxQueues is the number of hardware receive queues (1..MaxRxQueues;
+	// 0 means 1). Received frames are steered to a ring by the RSS hash
+	// through the RETA redirection table; each ring has its own register
+	// bank, packet FIFO and receive engine, so rings drain in parallel.
+	RxQueues int
 }
 
 // MaxTxQueues is the most TX queues the device model exposes.
 const MaxTxQueues = 4
+
+// MaxRxQueues is the most RX queues the device model exposes.
+const MaxRxQueues = 4
 
 // DefaultParams matches the calibration in internal/sim/costs.go.
 func DefaultParams() Params {
@@ -128,10 +157,11 @@ func DefaultParams() Params {
 	}
 }
 
-// MultiQueueParams is DefaultParams with queues TX queues enabled.
+// MultiQueueParams is DefaultParams with queues TX and RX queues enabled.
 func MultiQueueParams(queues int) Params {
 	p := DefaultParams()
 	p.TxQueues = queues
+	p.RxQueues = queues
 	return p
 }
 
@@ -154,10 +184,10 @@ type NIC struct {
 	txActive    [MaxTxQueues]bool
 	txBusyUntil [MaxTxQueues]sim.Time
 
-	// RX engine state.
-	rxQueue     [][]byte // frames awaiting ring placement
-	rxActive    bool
-	rxBusyUntil sim.Time
+	// RX engine state, one engine (and packet FIFO) per hardware queue.
+	rxQueue     [MaxRxQueues][][]byte // frames awaiting ring placement
+	rxActive    [MaxRxQueues]bool
+	rxBusyUntil [MaxRxQueues]sim.Time
 
 	// Interrupt moderation.
 	lastIntAt  sim.Time
@@ -216,7 +246,9 @@ func (n *NIC) reset() {
 		delete(n.regs, k)
 	}
 	n.regs[RegITR] = 0
-	n.rxQueue = nil
+	for q := range n.rxQueue {
+		n.rxQueue[q] = nil
+	}
 	n.intPending = false
 	// RAL/RAH from EEPROM, as hardware autoloads.
 	n.regs[RegRAL] = uint32(n.mac[0]) | uint32(n.mac[1])<<8 | uint32(n.mac[2])<<16 | uint32(n.mac[3])<<24
@@ -241,6 +273,8 @@ func (n *NIC) MMIORead(bar int, off uint64, size int) uint64 {
 		return uint64(v)
 	case RegTQC:
 		return uint64(n.txQueues())
+	case RegRQC:
+		return uint64(n.rxQueues())
 	case RegICR:
 		// Read-to-clear.
 		v := n.regs[RegICR]
@@ -280,12 +314,19 @@ func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
 		n.regs[RegIMS] &^= val
 	case RegICR:
 		n.regs[RegICR] &^= val // write-one-to-clear
-	case RegRDT:
-		n.regs[RegRDT] = val % n.rxRingLen()
-		n.kickRx()
-	case RegRDH:
-		n.regs[RegRDH] = val % n.rxRingLen()
 	default:
+		if q, rel, ok := rxQReg(off); ok && q < n.rxQueues() {
+			switch rel {
+			case RegRDT:
+				n.regs[off] = val % n.rxRingLen(q)
+				n.kickRx(q)
+			case RegRDH:
+				n.regs[off] = val % n.rxRingLen(q)
+			default:
+				n.regs[off] = val
+			}
+			return
+		}
 		if q, rel, ok := txQReg(off); ok && q < n.txQueues() {
 			switch rel {
 			case RegTDT:
@@ -298,8 +339,36 @@ func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
 			}
 			return
 		}
+		if retaIndexFor(off) >= 0 {
+			// Reserved bits of a redirection entry are hardwired to
+			// zero: out-of-range queue values cannot be stored.
+			n.regs[off] = val & retaEntryMask
+			return
+		}
 		n.regs[off] = val
 	}
+}
+
+// rxQReg maps a register offset into (queue, base-queue register). It
+// reports ok for any offset inside the per-queue RX banks.
+func rxQReg(off uint64) (q int, rel uint64, ok bool) {
+	if off < RegRDBAL || off >= RegRDBAL+MaxRxQueues*rxQStride {
+		return 0, 0, false
+	}
+	return int((off - RegRDBAL) / rxQStride), RegRDBAL + (off-RegRDBAL)%rxQStride, true
+}
+
+// RxQOff returns queue q's offset for one of the base RX registers
+// (RegRDBAL..RegRDT) — the address a multi-queue driver programs.
+func RxQOff(q int, reg uint64) uint64 { return reg + uint64(q)*rxQStride }
+
+// retaIndexFor returns the redirection-table index a register offset names,
+// or -1 if the offset is outside the RETA bank.
+func retaIndexFor(off uint64) int {
+	if off < RegRETA || off >= RegRETA+4*RetaEntries || (off-RegRETA)%4 != 0 {
+		return -1
+	}
+	return int((off - RegRETA) / 4)
 }
 
 // txQReg maps a register offset into (queue, base-queue register). It
@@ -327,6 +396,18 @@ func (n *NIC) txQueues() int {
 	return q
 }
 
+// rxQueues returns the active RX queue count.
+func (n *NIC) rxQueues() int {
+	q := n.params.RxQueues
+	if q < 1 {
+		return 1
+	}
+	if q > MaxRxQueues {
+		return MaxRxQueues
+	}
+	return q
+}
+
 // IORead/IOWrite: the e1000 has no IO BAR in our model.
 func (n *NIC) IORead(bar int, off uint64, size int) uint32     { return 0xFFFFFFFF }
 func (n *NIC) IOWrite(bar int, off uint64, size int, v uint32) {}
@@ -339,8 +420,8 @@ func (n *NIC) txRingLen(q int) uint32 {
 	return l
 }
 
-func (n *NIC) rxRingLen() uint32 {
-	l := n.regs[RegRDLEN] / DescSize
+func (n *NIC) rxRingLen(q int) uint32 {
+	l := n.regs[RxQOff(q, RegRDLEN)] / DescSize
 	if l == 0 {
 		return 1
 	}
@@ -351,8 +432,8 @@ func (n *NIC) txBase(q int) mem.Addr {
 	return mem.Addr(uint64(n.regs[TxQOff(q, RegTDBAH)])<<32 | uint64(n.regs[TxQOff(q, RegTDBAL)]))
 }
 
-func (n *NIC) rxBase() mem.Addr {
-	return mem.Addr(uint64(n.regs[RegRDBAH])<<32 | uint64(n.regs[RegRDBAL]))
+func (n *NIC) rxBase(q int) mem.Addr {
+	return mem.Addr(uint64(n.regs[RxQOff(q, RegRDBAH)])<<32 | uint64(n.regs[RxQOff(q, RegRDBAL)]))
 }
 
 // --- Interrupts -----------------------------------------------------------
@@ -475,65 +556,106 @@ func (n *NIC) advanceTxHead(q int, engine sim.Duration) {
 
 // --- RX path --------------------------------------------------------------
 
-// LinkDeliver implements ethlink.Endpoint: a frame arrived from the wire.
+// RSSHash is the flow hash the receive steering logic computes over a
+// frame's transport ports (a stand-in for the Toeplitz hash with the default
+// key). Exported so drivers, harnesses and attack scenarios can predict
+// which ring a flow lands on.
+func RSSHash(sport, dport uint16) uint32 {
+	return uint32(sport)*31 + uint32(dport)
+}
+
+// steerQueue picks the RX ring for a received frame: hash the transport
+// ports, index the redirection table, clamp to the active queue count.
+// Non-IPv4 and short frames land on queue 0, as hardware delivers unhashable
+// traffic to the default ring.
+func (n *NIC) steerQueue(frame []byte) int {
+	nq := n.rxQueues()
+	if nq == 1 {
+		return 0
+	}
+	const ethHdr = 14
+	if len(frame) < ethHdr+20 || frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	ihl := int(frame[ethHdr]&0x0F) * 4
+	proto := frame[ethHdr+9]
+	l4 := ethHdr + ihl
+	if (proto != 6 && proto != 17) || l4 < ethHdr+20 || len(frame) < l4+4 {
+		return 0
+	}
+	sport := uint16(frame[l4])<<8 | uint16(frame[l4+1])
+	dport := uint16(frame[l4+2])<<8 | uint16(frame[l4+3])
+	idx := RSSHash(sport, dport) % RetaEntries
+	// The stored entry is already masked to retaEntryMask; the modulo
+	// keeps it inside the *active* queue count even if the driver enabled
+	// fewer queues than the mask allows.
+	return int(n.regs[RegRETA+uint64(4*idx)]) % nq
+}
+
+// LinkDeliver implements ethlink.Endpoint: a frame arrived from the wire and
+// is steered to an RX ring by the RSS hash.
 func (n *NIC) LinkDeliver(frame []byte) {
 	if n.regs[RegRCTL]&RctlEN == 0 || !n.linkUp() {
 		return
 	}
-	// Hardware FIFO: bounded; beyond it the receiver overruns.
-	if len(n.rxQueue) >= 256 {
+	q := n.steerQueue(frame)
+	// Hardware FIFO: bounded per ring; beyond it the receiver overruns.
+	if len(n.rxQueue[q]) >= 256 {
 		n.RxDropsNoDesc++
 		n.assertCause(IntRXO)
 		return
 	}
-	n.rxQueue = append(n.rxQueue, frame)
-	n.kickRx()
+	n.rxQueue[q] = append(n.rxQueue[q], frame)
+	n.kickRx(q)
 }
 
-func (n *NIC) kickRx() {
-	if n.rxActive || len(n.rxQueue) == 0 {
+func (n *NIC) kickRx(q int) {
+	if n.rxActive[q] || len(n.rxQueue[q]) == 0 {
 		return
 	}
-	n.rxActive = true
-	start := n.rxBusyUntil
+	n.rxActive[q] = true
+	start := n.rxBusyUntil[q]
 	if now := n.loop.Now(); start < now {
 		start = now
 	}
-	n.loop.At(start, n.rxStep)
+	n.loop.At(start, func() { n.rxStep(q) })
 }
 
-func (n *NIC) rxStep() {
-	n.rxActive = false
-	if len(n.rxQueue) == 0 {
+// rxStep processes one received frame on ring q, then reschedules itself
+// after the engine's per-packet time. Rings step independently: engine time
+// serialises within a ring only.
+func (n *NIC) rxStep(q int) {
+	n.rxActive[q] = false
+	if len(n.rxQueue[q]) == 0 {
 		return
 	}
 	// Hardware owns descriptors in [RDH, RDT); RDH == RDT means software
 	// has not replenished the ring.
-	head := n.regs[RegRDH]
-	if head == n.regs[RegRDT] {
+	head := n.regs[RxQOff(q, RegRDH)]
+	if head == n.regs[RxQOff(q, RegRDT)] {
 		// No free descriptors: drop.
 		n.RxDropsNoDesc++
-		n.rxQueue = n.rxQueue[1:]
+		n.rxQueue[q] = n.rxQueue[q][1:]
 		n.assertCause(IntRXO)
-		n.kickRx()
+		n.kickRx(q)
 		return
 	}
-	frame := n.rxQueue[0]
-	n.rxQueue = n.rxQueue[1:]
+	frame := n.rxQueue[q][0]
+	n.rxQueue[q] = n.rxQueue[q][1:]
 
 	engine := n.params.RxPerPacket
-	descAddr := n.rxBase() + mem.Addr(head*DescSize)
+	descAddr := n.rxBase(q) + mem.Addr(head*DescSize)
 	desc, err := n.DMARead(descAddr, DescSize)
 	engine += sim.DMA(DescSize)
 	if err != nil {
 		n.DMAFaults++
-		n.finishRx(engine)
+		n.finishRx(q, engine)
 		return
 	}
 	bufAddr := mem.Addr(le64(desc[0:8]))
 	if err := n.DMAWrite(bufAddr, frame); err != nil {
 		n.DMAFaults++
-		n.finishRx(engine)
+		n.finishRx(q, engine)
 		return
 	}
 	engine += sim.DMA(len(frame))
@@ -543,27 +665,27 @@ func (n *NIC) rxStep() {
 	desc[12] = RxStaDD | RxStaEOP
 	if err := n.DMAWrite(descAddr, desc); err != nil {
 		n.DMAFaults++
-		n.finishRx(engine)
+		n.finishRx(q, engine)
 		return
 	}
 	engine += sim.DMA(DescSize)
 
-	n.regs[RegRDH] = (head + 1) % n.rxRingLen()
+	n.regs[RxQOff(q, RegRDH)] = (head + 1) % n.rxRingLen(q)
 	n.RxPackets++
 	n.RxBytes += uint64(len(frame))
 	n.assertCause(IntRXT0)
-	n.finishRx(engine)
+	n.finishRx(q, engine)
 }
 
-func (n *NIC) finishRx(engine sim.Duration) {
+func (n *NIC) finishRx(q int, engine sim.Duration) {
 	now := n.loop.Now()
-	if n.rxBusyUntil < now {
-		n.rxBusyUntil = now
+	if n.rxBusyUntil[q] < now {
+		n.rxBusyUntil[q] = now
 	}
-	n.rxBusyUntil += engine
-	if len(n.rxQueue) > 0 {
-		n.rxActive = true
-		n.loop.At(n.rxBusyUntil, n.rxStep)
+	n.rxBusyUntil[q] += engine
+	if len(n.rxQueue[q]) > 0 {
+		n.rxActive[q] = true
+		n.loop.At(n.rxBusyUntil[q], func() { n.rxStep(q) })
 	}
 }
 

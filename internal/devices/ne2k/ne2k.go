@@ -57,6 +57,30 @@ const (
 	PageSize = 256
 )
 
+// Transmit timing: the NE2000 is a 10 Mbit/s card, so TXP keeps the
+// transmitter busy for the frame's wire time (preamble + frame + inter-frame
+// gap at 0.8 µs/byte) on top of a fixed setup latency (local-DMA fetch of
+// the frame from SRAM, deferral). A second TXP issued while the transmitter
+// is busy serialises behind it in time — the busy-time model that replaces
+// the old flat 50 µs latency, which let transmits overlap and forced the
+// multi-flow harness to pace its ne2k flow artificially.
+const (
+	// TxSetup is the fixed transmit-start latency.
+	TxSetup = 20 * sim.Microsecond
+	// TxPerByte is the 10 Mbit/s wire time per byte.
+	TxPerByte = 800 * sim.Nanosecond
+	// txWireOverhead is preamble (8) + FCS (4) + inter-frame gap (12).
+	txWireOverhead = 24
+)
+
+// TxTime returns how long the transmitter stays busy for an n-byte frame.
+func TxTime(n int) sim.Duration {
+	if n < 60 {
+		n = 60 // minimum frame padding on the wire
+	}
+	return TxSetup + sim.Duration(n+txWireOverhead)*TxPerByte
+}
+
 // Card is the NE2000 device.
 type Card struct {
 	pci.FuncBase
@@ -79,6 +103,9 @@ type Card struct {
 	rsar          uint16
 	rbcr          uint16
 	started       bool
+
+	// txBusyUntil serialises transmits in time (TXP busy model).
+	txBusyUntil sim.Time
 
 	// Counters.
 	TxPackets, RxPackets uint64
@@ -228,7 +255,10 @@ func (c *Card) remoteWrite(b uint8) {
 	c.rbcr--
 }
 
-// transmit sends tbcr bytes starting at page tpsr.
+// transmit sends tbcr bytes starting at page tpsr. The transmitter is busy
+// for the frame's wire time: a TXP issued while a previous transmit is in
+// flight queues behind it, so back-to-back transmits serialise at the
+// card's 10 Mbit/s rate and PTX completions pace the driver honestly.
 func (c *Card) transmit() {
 	if !c.started || c.link == nil {
 		return
@@ -242,7 +272,12 @@ func (c *Card) transmit() {
 	}
 	frame := make([]byte, n)
 	copy(frame, c.sram[start:start+n])
-	c.loop.After(50*sim.Microsecond, func() { // PIO-era transmit latency
+	begin := c.txBusyUntil
+	if now := c.loop.Now(); begin < now {
+		begin = now
+	}
+	c.txBusyUntil = begin + TxTime(n)
+	c.loop.At(c.txBusyUntil, func() {
 		if c.link.Send(c.side, frame) == nil {
 			c.TxPackets++
 		}

@@ -95,6 +95,46 @@ func TestTransmitFromSRAM(t *testing.T) {
 	}
 }
 
+// TestTransmitBusyTimeSerialises pins the TXP busy model: two back-to-back
+// transmits serialise at the card's 10 Mbit/s rate instead of overlapping in
+// the old flat-latency model, and each completion latches PTX.
+func TestTransmitBusyTimeSerialises(t *testing.T) {
+	loop, c, _, peer := rig(t)
+	frame := bytes.Repeat([]byte{0xA1}, 100)
+	loadTx := func() {
+		c.IOWrite(0, PortRSAR0, 1, 0)
+		c.IOWrite(0, PortRSAR1, 1, 0x40)
+		c.IOWrite(0, PortRBCR0, 1, uint32(len(frame)))
+		c.IOWrite(0, PortRBCR1, 1, 0)
+		c.IOWrite(0, PortCmd, 1, CmdStart|CmdRWrite)
+		for _, b := range frame {
+			c.IOWrite(0, PortData, 1, uint32(b))
+		}
+		c.IOWrite(0, PortTPSR, 1, 0x40)
+		c.IOWrite(0, PortTBCR0, 1, uint32(len(frame)))
+		c.IOWrite(0, PortTBCR1, 1, 0)
+		c.IOWrite(0, PortCmd, 1, CmdStart|CmdTXP)
+	}
+	loadTx()
+	loadTx() // second TXP while the transmitter is busy
+	var t1, t2 sim.Time
+	loop.RunFor(TxTime(len(frame)) + sim.Microsecond)
+	if len(peer.frames) == 1 {
+		t1 = loop.Now()
+	}
+	loop.Run()
+	t2 = loop.Now()
+	if len(peer.frames) != 2 {
+		t.Fatalf("wire saw %d frames, want 2", len(peer.frames))
+	}
+	if t1 == 0 {
+		t.Fatalf("first transmit did not complete within one TxTime")
+	}
+	if gap := t2 - t1; gap < TxTime(len(frame))-sim.Microsecond {
+		t.Fatalf("transmits overlapped: gap %d, want >= %d", gap, TxTime(len(frame)))
+	}
+}
+
 func TestStoppedCardDropsRx(t *testing.T) {
 	_, c, _, _ := rig(t)
 	c.LinkDeliver([]byte{1, 2, 3})

@@ -102,6 +102,19 @@ type NetKernel interface {
 	WakeQueue()
 }
 
+// MultiQueueNetKernel is the kernel half of the contract for hosts that keep
+// per-queue network state. A multi-queue driver tags received frames with
+// the RX ring they arrived on and wakes individual TX queues, so one
+// backpressured queue never stalls its siblings. Hosts that do not implement
+// it degrade to the single-queue NetKernel calls.
+type MultiQueueNetKernel interface {
+	NetKernel
+	// NetifRxQ submits a received frame tagged with its RX queue.
+	NetifRxQ(frame []byte, queue int)
+	// WakeQueueQ re-enables transmission on one stopped TX queue.
+	WakeQueueQ(queue int)
+}
+
 // Env is the kernel environment a driver instance runs in: one bound PCI
 // device plus the kernel services the driver may use.
 type Env interface {

@@ -44,10 +44,10 @@ type Driver struct {
 // New returns the driver module (single TX queue, the Figure 8 baseline).
 func New() api.Driver { return Driver{queues: 1} }
 
-// NewQ returns the driver module configured for up to n hardware TX queues;
-// at probe the count is clamped to what the bound device actually exposes
-// (e1000.RegTQC), so a mismatch degrades to fewer queues instead of
-// programming banks the hardware will never service.
+// NewQ returns the driver module configured for up to n hardware TX and RX
+// queues; at probe the counts are clamped to what the bound device actually
+// exposes (e1000.RegTQC / e1000.RegRQC), so a mismatch degrades to fewer
+// queues instead of programming banks the hardware will never service.
 func NewQ(n int) api.Driver {
 	if n < 1 {
 		n = 1
@@ -72,7 +72,7 @@ func (d Driver) Probe(env api.Env) (api.Instance, error) {
 	if q < 1 {
 		q = 1
 	}
-	n := &nic{env: env, queues: q}
+	n := &nic{env: env, queues: q, rxQueues: q}
 	if err := n.probe(); err != nil {
 		return nil, err
 	}
@@ -91,18 +91,26 @@ type txq struct {
 	stopped  bool
 }
 
+// rxq is one receive queue: a descriptor ring, its buffer pool, and the
+// next-descriptor-to-poll cursor.
+type rxq struct {
+	ring api.DMABuf
+	bufs api.DMABuf
+
+	next int // next descriptor to poll
+}
+
 type nic struct {
-	env    api.Env
-	mmio   api.MMIO
-	net    api.NetKernel
-	mac    [6]byte
-	queues int
+	env      api.Env
+	mmio     api.MMIO
+	net      api.NetKernel
+	mqnet    api.MultiQueueNetKernel // non-nil when the host keeps per-queue state
+	mac      [6]byte
+	queues   int
+	rxQueues int
 
-	tx     []txq
-	rxRing api.DMABuf
-	rxBufs api.DMABuf
-
-	rxNext int // next descriptor to poll
+	tx []txq
+	rx []rxq
 
 	opened  bool
 	removed bool
@@ -149,12 +157,16 @@ func (n *nic) probe() error {
 		n.mac[2*w+1] = byte(v >> 24)
 	}
 
-	// Clamp the configured queue count to what the hardware exposes, as
+	// Clamp the configured queue counts to what the hardware exposes, as
 	// the Linux driver sizes its rings from the device's capabilities —
 	// a stale module parameter must degrade, not wedge silent queues.
 	if tqc := int(m.Read32(e1000.RegTQC)); tqc >= 1 && tqc < n.queues {
 		env.Logf("e1000e: device exposes %d TX queues, using %d (not %d)", tqc, tqc, n.queues)
 		n.queues = tqc
+	}
+	if rqc := int(m.Read32(e1000.RegRQC)); rqc >= 1 && rqc < n.rxQueues {
+		env.Logf("e1000e: device exposes %d RX queues, using %d (not %d)", rqc, rqc, n.rxQueues)
+		n.rxQueues = rqc
 	}
 
 	nk, err := env.RegisterNetDev("eth0", n.mac, n)
@@ -162,6 +174,9 @@ func (n *nic) probe() error {
 		return err
 	}
 	n.net = nk
+	if mq, ok := nk.(api.MultiQueueNetKernel); ok {
+		n.mqnet = mq
+	}
 	env.Logf("e1000e: probed, MAC %02x:%02x:%02x:%02x:%02x:%02x",
 		n.mac[0], n.mac[1], n.mac[2], n.mac[3], n.mac[4], n.mac[5])
 	return nil
@@ -201,25 +216,37 @@ func (n *nic) Open() error {
 		m.Write32(e1000.TxQOff(q, e1000.RegTDH), 0)
 		m.Write32(e1000.TxQOff(q, e1000.RegTDT), 0)
 	}
-	if n.rxRing, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
-		return err
-	}
-	if n.rxBufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
-		return err
-	}
+	n.rx = make([]rxq, n.rxQueues)
+	for q := range n.rx {
+		r := &n.rx[q]
+		if r.ring, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+			return err
+		}
+		if r.bufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+			return err
+		}
+		m.Write32(e1000.RxQOff(q, e1000.RegRDBAL), uint32(r.ring.BusAddr()))
+		m.Write32(e1000.RxQOff(q, e1000.RegRDBAH), uint32(uint64(r.ring.BusAddr())>>32))
+		m.Write32(e1000.RxQOff(q, e1000.RegRDLEN), RingSize*e1000.DescSize)
+		m.Write32(e1000.RxQOff(q, e1000.RegRDH), 0)
 
-	m.Write32(e1000.RegRDBAL, uint32(n.rxRing.BusAddr()))
-	m.Write32(e1000.RegRDBAH, uint32(uint64(n.rxRing.BusAddr())>>32))
-	m.Write32(e1000.RegRDLEN, RingSize*e1000.DescSize)
-	m.Write32(e1000.RegRDH, 0)
-
-	// Arm every RX descriptor with a buffer; leave one slot to
-	// distinguish full from empty.
-	for i := 0; i < RingSize; i++ {
-		n.armRxDesc(i)
+		// Arm every RX descriptor with a buffer; leave one slot to
+		// distinguish full from empty.
+		for i := 0; i < RingSize; i++ {
+			n.armRxDesc(q, i)
+		}
+		m.Write32(e1000.RxQOff(q, e1000.RegRDT), RingSize-1)
+		r.next = 0
 	}
-	m.Write32(e1000.RegRDT, RingSize-1)
-	n.rxNext = 0
+	// Spread flows round-robin across the RX rings through the RSS
+	// redirection table, as the Linux driver's default RSS init does. A
+	// single-queue configuration leaves the table at its reset default
+	// (everything to ring 0).
+	if n.rxQueues > 1 {
+		for i := 0; i < e1000.RetaEntries; i++ {
+			m.Write32(e1000.RegRETA+uint64(4*i), uint32(i%n.rxQueues))
+		}
+	}
 
 	if err := env.RequestIRQ(n.irq); err != nil {
 		return err
@@ -248,7 +275,10 @@ func (n *nic) Stop() error {
 	if err := n.env.FreeIRQ(); err != nil {
 		return err
 	}
-	bufs := []api.DMABuf{n.rxRing, n.rxBufs}
+	var bufs []api.DMABuf
+	for q := range n.rx {
+		bufs = append(bufs, n.rx[q].ring, n.rx[q].bufs)
+	}
 	for q := range n.tx {
 		bufs = append(bufs, n.tx[q].ring, n.tx[q].bufs)
 	}
@@ -259,7 +289,7 @@ func (n *nic) Stop() error {
 			}
 		}
 	}
-	n.tx, n.rxRing, n.rxBufs = nil, nil, nil
+	n.tx, n.rx = nil, nil
 	if n.carrier {
 		n.carrier = false
 		n.net.CarrierOff()
@@ -348,7 +378,9 @@ func (n *nic) irq() {
 		work += n.reclaimTx()
 	}
 	if icr&(e1000.IntRXT0|e1000.IntRXO) != 0 {
-		work += n.pollRx()
+		for q := range n.rx {
+			work += n.pollRx(q)
+		}
 	}
 	n.tuneITR(work)
 	n.env.IRQAck()
@@ -377,11 +409,10 @@ func (n *nic) tuneITR(work int) {
 }
 
 // reclaimTx frees completed TX descriptors on every queue and wakes the
-// stack if a stopped queue regained space. It returns the number of
-// descriptors freed.
+// stack per queue that regained space. It returns the number of descriptors
+// freed.
 func (n *nic) reclaimTx() int {
 	freed := 0
-	wake := false
 	for q := range n.tx {
 		t := &n.tx[q]
 		qFreed := 0
@@ -396,44 +427,50 @@ func (n *nic) reclaimTx() int {
 		}
 		if qFreed > 0 && t.stopped {
 			t.stopped = false
-			wake = true
+			if n.mqnet != nil {
+				n.mqnet.WakeQueueQ(q)
+			} else {
+				n.net.WakeQueue()
+			}
 		}
 		freed += qFreed
-	}
-	if wake {
-		n.net.WakeQueue()
 	}
 	return freed
 }
 
-// pollRx drains the RX ring NAPI-style: process every completed descriptor,
-// hand frames to the stack, re-arm and return descriptors to the hardware.
-// It returns the number of frames processed.
-func (n *nic) pollRx() int {
+// pollRx drains RX ring q NAPI-style: process every completed descriptor,
+// hand frames to the stack tagged with their queue, re-arm and return
+// descriptors to the hardware. It returns the number of frames processed.
+func (n *nic) pollRx(q int) int {
+	r := &n.rx[q]
 	processed := 0
 	for {
-		desc, err := n.readDesc(n.rxRing, n.rxNext)
+		desc, err := n.readDesc(r.ring, r.next)
 		if err != nil || desc[12]&e1000.RxStaDD == 0 {
 			break
 		}
 		length := int(le16(desc[8:10]))
-		bufOff := n.rxNext * BufSize
+		bufOff := r.next * BufSize
 		if length > 0 && length <= BufSize {
 			var frame []byte
-			if view, ok := n.rxBufs.Slice(bufOff, length); ok {
+			if view, ok := r.bufs.Slice(bufOff, length); ok {
 				frame = view // zero-copy into the stack, like an skb
 			} else {
 				frame = make([]byte, length)
-				if err := n.rxBufs.Read(bufOff, frame); err != nil {
+				if err := r.bufs.Read(bufOff, frame); err != nil {
 					break
 				}
 			}
 			n.RxPkts++
-			n.net.NetifRx(frame)
+			if n.mqnet != nil {
+				n.mqnet.NetifRxQ(frame, q)
+			} else {
+				n.net.NetifRx(frame)
+			}
 		}
-		n.armRxDesc(n.rxNext)
-		n.mmio.Write32(e1000.RegRDT, uint32(n.rxNext))
-		n.rxNext = (n.rxNext + 1) % RingSize
+		n.armRxDesc(q, r.next)
+		n.mmio.Write32(e1000.RxQOff(q, e1000.RegRDT), uint32(r.next))
+		r.next = (r.next + 1) % RingSize
 		processed++
 		if processed >= RingSize {
 			break // bounded work per interrupt, as NAPI budgets
@@ -442,12 +479,14 @@ func (n *nic) pollRx() int {
 	return processed
 }
 
-// armRxDesc points descriptor i at its buffer with a cleared status.
-func (n *nic) armRxDesc(i int) {
+// armRxDesc points ring q's descriptor i at its buffer with a cleared
+// status.
+func (n *nic) armRxDesc(q, i int) {
+	r := &n.rx[q]
 	var desc [e1000.DescSize]byte
-	putLE64(desc[0:8], uint64(n.rxBufs.BusAddr())+uint64(i*BufSize))
-	if err := n.writeDesc(n.rxRing, i, desc[:]); err != nil {
-		n.env.Logf("e1000e: arm rx desc %d: %v", i, err)
+	putLE64(desc[0:8], uint64(r.bufs.BusAddr())+uint64(i*BufSize))
+	if err := n.writeDesc(r.ring, i, desc[:]); err != nil {
+		n.env.Logf("e1000e: arm rx desc %d/%d: %v", q, i, err)
 	}
 }
 

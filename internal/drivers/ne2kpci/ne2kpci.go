@@ -72,6 +72,11 @@ type card struct {
 	next   uint8 // next ring page to read (BNRY trails it by one)
 	opened bool
 
+	// txBusy: a transmit is in flight (the card has one TX buffer).
+	// StartXmit backpressures until the PTX interrupt completes it —
+	// the driver-side half of the device's TXP busy-time model.
+	txBusy bool
+
 	// Counters.
 	TxPkts, RxPkts uint64
 }
@@ -122,19 +127,25 @@ func (n *card) Stop() error {
 		return nil
 	}
 	n.opened = false
+	n.txBusy = false
 	n.io.Out8(ne2k.PortCmd, ne2k.CmdStop)
 	n.net.CarrierOff()
 	return n.env.FreeIRQ()
 }
 
 // StartXmit implements ndo_start_xmit: PIO-copy the frame into the TX pages
-// and trigger transmission.
+// and trigger transmission. The card has a single transmit buffer, so a
+// frame offered while the transmitter is busy backpressures the stack until
+// the PTX interrupt — real ne2k drivers stop the queue the same way.
 func (n *card) StartXmit(frame []byte) error {
 	if !n.opened {
 		return fmt.Errorf("ne2k-pci: closed")
 	}
 	if len(frame) > maxFrame {
 		return fmt.Errorf("ne2k-pci: frame too large")
+	}
+	if n.txBusy {
+		return fmt.Errorf("ne2k-pci: transmitter busy")
 	}
 	io := n.io
 	n.remoteSetup(txPage*ne2k.PageSize, uint16(len(frame)))
@@ -149,6 +160,7 @@ func (n *card) StartXmit(frame []byte) error {
 	io.Out8(ne2k.PortTBCR0, uint8(len(frame)))
 	io.Out8(ne2k.PortTBCR1, uint8(len(frame)>>8))
 	io.Out8(ne2k.PortCmd, ne2k.CmdStart|ne2k.CmdTXP)
+	n.txBusy = true
 	n.TxPkts++
 	return nil
 }
@@ -174,6 +186,11 @@ func (n *card) irq() {
 	isr := n.io.In8(ne2k.PortISR)
 	if isr&ne2k.IsrPRX != 0 {
 		n.pollRing()
+	}
+	if isr&ne2k.IsrPTX != 0 && n.txBusy {
+		// Transmit complete: the single TX buffer is free again.
+		n.txBusy = false
+		n.net.WakeQueue()
 	}
 	n.io.Out8(ne2k.PortISR, isr) // acknowledge causes
 	n.env.IRQAck()

@@ -222,6 +222,99 @@ func TestXmitBackpressure(t *testing.T) {
 	}
 }
 
+// mqDev is a fake multi-queue netdev: per-queue transmit logs and per-queue
+// failure injection.
+type mqDev struct {
+	loopDev
+	nq    int
+	txq   map[int][][]byte
+	failQ map[int]bool
+}
+
+func (d *mqDev) TxQueues() int { return d.nq }
+func (d *mqDev) StartXmitQ(f []byte, q int) error {
+	if d.failQ[q] {
+		return ErrQueueStopped
+	}
+	if d.txq == nil {
+		d.txq = map[int][][]byte{}
+	}
+	d.txq[q] = append(d.txq[q], f)
+	return nil
+}
+
+// TestPerQueueTxStopIsolation is the regression test for the multi-queue
+// netstack split: backpressure on queue 0 must not stop queue 1 transmits,
+// and waking queue 0 must not disturb queue 1 — the old single stop/wake
+// flag failed both.
+func TestPerQueueTxStopIsolation(t *testing.T) {
+	loop := sim.NewLoop()
+	s := New(loop, sim.NewCPUStats(2).Account("kernel"))
+	dev := &mqDev{nq: 2, failQ: map[int]bool{}}
+	ifc, err := s.Register("eth0", macA, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ifc.Up(ipA); err != nil {
+		t.Fatal(err)
+	}
+	if ifc.NumQueues() != 2 {
+		t.Fatalf("queue contexts = %d, want 2", ifc.NumQueues())
+	}
+	// Pick source ports that hash to queues 0 and 1.
+	var sport0, sport1 uint16
+	for p := uint16(40000); p < 40100; p++ {
+		if TxQueueForPorts(p, 7, 2) == 0 && sport0 == 0 {
+			sport0 = p
+		}
+		if TxQueueForPorts(p, 7, 2) == 1 && sport1 == 0 {
+			sport1 = p
+		}
+	}
+	// Queue 0's ring fills: its flow backpressures and the queue stops.
+	dev.failQ[0] = true
+	if err := s.UDPSendTo(ifc, macB, ipB, sport0, 7, []byte("q0")); err == nil {
+		t.Fatal("queue 0 xmit succeeded despite full ring")
+	}
+	if !ifc.Queue(0).txStopped {
+		t.Fatal("queue 0 not stopped")
+	}
+	// Queue 1 keeps transmitting.
+	if err := s.UDPSendTo(ifc, macB, ipB, sport1, 7, []byte("q1")); err != nil {
+		t.Fatalf("queue 1 stalled by queue 0 backpressure: %v", err)
+	}
+	if len(dev.txq[1]) != 1 {
+		t.Fatalf("queue 1 carried %d frames", len(dev.txq[1]))
+	}
+	// Queue 0 stays stopped until its own wake, even with the ring fixed.
+	dev.failQ[0] = false
+	if err := s.UDPSendTo(ifc, macB, ipB, sport0, 7, []byte("q0")); err == nil {
+		t.Fatal("stopped queue accepted a frame before wake")
+	}
+	var wokeQ0, wokeIfc int
+	ifc.Queue(0).OnWake = func() { wokeQ0++ }
+	ifc.OnWake = func() { wokeIfc++ }
+	ifc.WakeQueueQ(1) // waking a sibling must not release queue 0
+	if err := s.UDPSendTo(ifc, macB, ipB, sport0, 7, []byte("q0")); err == nil {
+		t.Fatal("sibling wake released queue 0")
+	}
+	ifc.WakeQueueQ(0)
+	if wokeQ0 != 1 || wokeIfc != 1 {
+		t.Fatalf("wake hooks: q0=%d ifc=%d (sibling wake should hit the iface hook)", wokeQ0, wokeIfc)
+	}
+	if err := s.UDPSendTo(ifc, macB, ipB, sport0, 7, []byte("q0")); err != nil {
+		t.Fatalf("queue 0 send after wake: %v", err)
+	}
+	if ifc.Queue(0).TxFrames != 1 || ifc.Queue(1).TxFrames != 1 {
+		t.Fatalf("per-queue tx counters: q0=%d q1=%d", ifc.Queue(0).TxFrames, ifc.Queue(1).TxFrames)
+	}
+	// Per-queue RX contexts count tagged deliveries.
+	ifc.NetifRxQ(BuildUDPFrame(macB, macA, ipB, ipA, 1, 9999, []byte("x")), 1)
+	if ifc.Queue(1).RxFrames != 1 {
+		t.Fatal("tagged RX not counted on its queue context")
+	}
+}
+
 func TestFirewallDropsAndTOCTOUSurface(t *testing.T) {
 	s, ifc, _ := newStack(t)
 	var inspected int

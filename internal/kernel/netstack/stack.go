@@ -50,8 +50,28 @@ func New(loop *sim.Loop, acct *sim.CPUAccount) *Stack {
 	}
 }
 
-// Iface is one registered network interface. It implements api.NetKernel —
-// it is what RegisterNetDev hands back to the driver.
+// IfaceQueue is one per-queue context of an interface: its own TX stop/wake
+// state and its own RX delivery counters. Splitting this state per queue is
+// what lets one backpressured queue stall only the flows hashed onto it —
+// sibling queues keep transmitting and receiving (the multi-queue netstack
+// item on the roadmap).
+type IfaceQueue struct {
+	ID int
+
+	txStopped bool
+
+	// RxFrames / TxFrames count per-queue traffic through this context.
+	RxFrames, TxFrames uint64
+
+	// OnWake, if set, runs when this queue is woken; when unset the
+	// interface-level OnWake hook fires instead.
+	OnWake func()
+}
+
+// Iface is one registered network interface. It implements api.NetKernel
+// (and api.MultiQueueNetKernel) — it is what RegisterNetDev hands back to
+// the driver. Its TX and RX state is split into per-queue contexts, one per
+// hardware queue the bound device exposes.
 type Iface struct {
 	Name string
 	MAC  MAC
@@ -59,29 +79,57 @@ type Iface struct {
 
 	stack *Stack
 	dev   api.NetDevice
+	mqdev api.MultiQueueNetDevice // nil for single-queue devices
 	up    bool
 
-	carrier      bool
-	queueStopped bool
+	carrier bool
+	queues  []IfaceQueue
 
-	// OnWake, if set, runs when the driver calls WakeQueue (backpressure
-	// release for the TX benchmark loop).
+	// OnWake, if set, runs when the driver wakes a queue with no
+	// queue-level hook (backpressure release for the TX benchmark loop).
 	OnWake func()
 }
 
 var _ api.NetKernel = (*Iface)(nil)
+var _ api.MultiQueueNetKernel = (*Iface)(nil)
 
 // ErrNameTaken reports an interface-name collision at registration.
 var ErrNameTaken = fmt.Errorf("netstack: interface name already registered")
 
 // Register adds an interface for a driver's netdev. Names must be unique.
+// Devices implementing api.MultiQueueNetDevice get one queue context per
+// hardware queue; everything else gets exactly one.
 func (s *Stack) Register(name string, macAddr [6]byte, dev api.NetDevice) (*Iface, error) {
 	if _, dup := s.ifaces[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
 	}
 	ifc := &Iface{Name: name, MAC: MAC(macAddr), stack: s, dev: dev}
+	nq := 1
+	if mq, ok := dev.(api.MultiQueueNetDevice); ok {
+		ifc.mqdev = mq
+		if n := mq.TxQueues(); n > 1 {
+			nq = n
+		}
+	}
+	ifc.queues = make([]IfaceQueue, nq)
+	for q := range ifc.queues {
+		ifc.queues[q].ID = q
+	}
 	s.ifaces[name] = ifc
 	return ifc, nil
+}
+
+// NumQueues reports the interface's queue-context count.
+func (ifc *Iface) NumQueues() int { return len(ifc.queues) }
+
+// Queue returns queue q's context (clamped), for per-queue hooks and stats.
+func (ifc *Iface) Queue(q int) *IfaceQueue { return &ifc.queues[ifc.clampQ(q)] }
+
+func (ifc *Iface) clampQ(q int) int {
+	if q < 0 || q >= len(ifc.queues) {
+		return 0
+	}
+	return q
 }
 
 // Unregister removes an interface (driver removal).
@@ -135,6 +183,13 @@ func (ifc *Iface) Ioctl(cmd uint32, arg []byte) ([]byte, error) {
 // NetifRx is the trusted-path packet input: the in-kernel driver hands a
 // frame it fully owns; the stack verifies transport checksums itself.
 func (ifc *Iface) NetifRx(frame []byte) {
+	ifc.NetifRxQ(frame, 0)
+}
+
+// NetifRxQ implements api.MultiQueueNetKernel: packet input tagged with the
+// RX queue it arrived on; delivery is accounted to that queue's context.
+func (ifc *Iface) NetifRxQ(frame []byte, q int) {
+	ifc.queues[ifc.clampQ(q)].RxFrames++
 	ifc.stack.deliver(ifc, frame, false)
 }
 
@@ -142,6 +197,12 @@ func (ifc *Iface) NetifRx(frame []byte) {
 // guard-copied out of shared memory with its checksum verified in the same
 // pass (§3.1.2), so the stack must not checksum it again.
 func (ifc *Iface) NetifRxVerified(frame []byte) {
+	ifc.NetifRxVerifiedQ(frame, 0)
+}
+
+// NetifRxVerifiedQ is the verified input path tagged with its RX queue.
+func (ifc *Iface) NetifRxVerifiedQ(frame []byte, q int) {
+	ifc.queues[ifc.clampQ(q)].RxFrames++
 	ifc.stack.deliver(ifc, frame, true)
 }
 
@@ -151,9 +212,24 @@ func (ifc *Iface) CarrierOn() { ifc.carrier = true }
 // CarrierOff implements api.NetKernel.
 func (ifc *Iface) CarrierOff() { ifc.carrier = false }
 
-// WakeQueue implements api.NetKernel.
+// WakeQueue implements api.NetKernel: wake every stopped queue (the
+// single-queue driver's "my ring has space again").
 func (ifc *Iface) WakeQueue() {
-	ifc.queueStopped = false
+	for q := range ifc.queues {
+		ifc.wakeQueue(q)
+	}
+}
+
+// WakeQueueQ implements api.MultiQueueNetKernel: wake one queue, leaving
+// siblings' stop state untouched.
+func (ifc *Iface) WakeQueueQ(q int) { ifc.wakeQueue(ifc.clampQ(q)) }
+
+func (ifc *Iface) wakeQueue(q int) {
+	ifc.queues[q].txStopped = false
+	if h := ifc.queues[q].OnWake; h != nil {
+		h()
+		return
+	}
 	if ifc.OnWake != nil {
 		ifc.OnWake()
 	}
@@ -221,23 +297,66 @@ func (s *Stack) deliver(ifc *Iface, frame []byte, verified bool) {
 // ErrQueueStopped is returned when the driver has stopped the TX queue.
 var ErrQueueStopped = fmt.Errorf("netstack: transmit queue stopped")
 
-// xmit pushes a fully built frame to the driver, charging TX path cost.
+// TxQueueForPorts is the flow-steering hash: the TX queue a flow with the
+// given transport ports lands on among nq queues. It is the same hash the
+// e1000 device model's RSS steering uses, so a flow's transmit queue and
+// receive ring line up end to end.
+func TxQueueForPorts(sport, dport uint16, nq int) int {
+	if nq <= 1 {
+		return 0
+	}
+	return int((uint32(sport)*31 + uint32(dport)) % uint32(nq))
+}
+
+// TxQueueForFrame steers a built frame to a TX queue by hashing its
+// transport ports; non-IPv4 and short frames use queue 0. Keeping each flow
+// on one queue preserves per-flow ordering.
+func TxQueueForFrame(frame []byte, nq int) int {
+	if nq <= 1 {
+		return 0
+	}
+	if len(frame) < EthHeaderLen+20 || frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	ihl := int(frame[EthHeaderLen]&0x0F) * 4
+	proto := frame[EthHeaderLen+9]
+	l4 := EthHeaderLen + ihl
+	if (proto != 6 && proto != 17) || len(frame) < l4+4 {
+		return 0
+	}
+	sport := uint16(frame[l4])<<8 | uint16(frame[l4+1])
+	dport := uint16(frame[l4+2])<<8 | uint16(frame[l4+3])
+	return TxQueueForPorts(sport, dport, nq)
+}
+
+// xmit pushes a fully built frame to the driver, charging TX path cost. The
+// frame is steered to a queue context by flow hash; backpressure from the
+// driver stops that queue only.
 func (s *Stack) xmit(ifc *Iface, frame []byte) error {
 	if !ifc.up {
 		return fmt.Errorf("netstack: %s is down", ifc.Name)
 	}
-	if ifc.queueStopped {
+	q := TxQueueForFrame(frame, len(ifc.queues))
+	qc := &ifc.queues[q]
+	if qc.txStopped {
 		s.TxErrors++
 		return ErrQueueStopped
 	}
 	s.Acct.Charge(CostTxPath)
-	if err := ifc.dev.StartXmit(frame); err != nil {
-		// Driver signals ring-full backpressure by error; the queue
-		// stays stopped until WakeQueue.
-		ifc.queueStopped = true
+	var err error
+	if ifc.mqdev != nil {
+		err = ifc.mqdev.StartXmitQ(frame, q)
+	} else {
+		err = ifc.dev.StartXmit(frame)
+	}
+	if err != nil {
+		// Driver signals ring-full backpressure by error; this queue
+		// stays stopped until WakeQueueQ — siblings keep transmitting.
+		qc.txStopped = true
 		s.TxErrors++
 		return fmt.Errorf("%w: %v", ErrQueueStopped, err)
 	}
+	qc.TxFrames++
 	s.TxFrames++
 	return nil
 }

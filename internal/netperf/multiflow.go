@@ -18,12 +18,14 @@ import (
 	"sud/internal/sudml"
 )
 
-// Multi-flow scale scenario: K concurrent 64-byte UDP transmit flows spread
-// across Q uchan ring pairs and two untrusted driver processes — the
-// multi-queue e1000e on eth0 plus the legacy PIO ne2k-pci on eth1 — all on
-// one simulated machine. It measures what the single-ring transport of the
-// paper's Figure 8 cannot: aggregate packet rate when the channel, the
-// driver process and the device all scale per queue.
+// Multi-flow scale scenario: K concurrent 64-byte UDP flows spread across Q
+// uchan ring pairs and two untrusted driver processes — the multi-queue
+// e1000e on eth0 plus the legacy PIO ne2k-pci on eth1 — all on one simulated
+// machine. The scenario runs in three directions: transmit (the DUT sends),
+// receive (the remote floods K distinct flows, RSS-steered across the DUT's
+// RX rings), and bidirectional. It measures what the single-ring transport
+// of the paper's Figure 8 cannot: aggregate packet rate when the channel,
+// the driver process and the device all scale per queue, in both directions.
 
 // Addressing for the second (ne2k) segment.
 var (
@@ -113,26 +115,78 @@ func NewMultiFlowTestbed(queues int, plat hw.Platform) (*MultiFlowTestbed, error
 	return tb, nil
 }
 
+// Direction selects which way the multi-flow scenario pushes traffic.
+type Direction int
+
+const (
+	// DirTX: the DUT transmits K flows (the PR-1 scenario).
+	DirTX Direction = iota
+	// DirRX: the remote floods K distinct flows at the DUT; RSS steering
+	// fans them across the e1000e's RX rings.
+	DirRX
+	// DirBidi runs both at once.
+	DirBidi
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirRX:
+		return "rx"
+	case DirBidi:
+		return "bidi"
+	default:
+		return "tx"
+	}
+}
+
+// MarshalJSON records the direction by name, keeping the perf-trajectory
+// JSON self-describing.
+func (d Direction) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// RX flood parameters: per-flow offered rate (the aggregate is far above
+// both the wire and the DUT's receive capacity, so the DUT path is the
+// bottleneck under test) and the flows' source-port base (distinct ports =
+// distinct RSS steering).
+const (
+	rxFloodPerFlowPPS = 250_000
+	rxFloodBaseSport  = 53000
+)
+
 // QueueReport is one uchan ring pair's transport activity over the
 // measurement span.
 type QueueReport struct {
-	Queue                                    int
-	Upcalls, Doorbells, Wakeups, SpinPickups uint64
-	DoorbellsPerSec                          float64
+	Queue                                               int
+	Upcalls, Downcalls, Doorbells, Wakeups, SpinPickups uint64
+	DoorbellsPerSec                                     float64
 }
 
 // MultiFlowResult aggregates the scenario's measurements.
 type MultiFlowResult struct {
 	Queues, Flows int
+	Direction     Direction
 
-	AggregateKpps float64 // both devices, delivered at the remotes
-	EthKpps       float64
-	Ne2kKpps      float64
+	AggregateKpps float64 // delivered, both devices and directions
+	EthKpps       float64 // DUT transmit, delivered at the eth remote
+	Ne2kKpps      float64 // DUT transmit, delivered at the ne2k remote
+	RxKpps        float64 // DUT receive, delivered to the application
 	CPU           float64
 
 	// Wakeups counts driver service-thread wakes across all rings and
 	// the urgent lane (the §5.1 cost multi-queue amortises per ring).
 	Wakeups uint64
+
+	// RxFramesPerDoorbell is how many received frames one driver-side
+	// doorbell delivered on average — the batched-delivery payoff. With
+	// batching ablated (one message and one doorbell per frame) it falls
+	// toward 1. The denominator is every downcall doorbell on the eth
+	// channel, so in the bidi direction TX completions share it and the
+	// ratio reads lower than the pure-RX run — it is the channel's
+	// overall doorbell efficiency, not an RX-only number.
+	RxFramesPerDoorbell float64
+	// MaxDownBatch is the deepest downcall batch one doorbell flushed.
+	MaxDownBatch uint64
 
 	PerQueue []QueueReport
 	Windows  int
@@ -141,28 +195,36 @@ type MultiFlowResult struct {
 
 func (r MultiFlowResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "MULTI_FLOW Q=%d K=%d %9.1f Kpkt/s aggregate (e1000e %.1f + ne2k %.1f) %5.1f%% CPU, %d wakes\n",
-		r.Queues, r.Flows, r.AggregateKpps, r.EthKpps, r.Ne2kKpps, r.CPU*100, r.Wakeups)
+	fmt.Fprintf(&b, "MULTI_FLOW %s Q=%d K=%d %9.1f Kpkt/s aggregate (tx e1000e %.1f + ne2k %.1f, rx %.1f) %5.1f%% CPU, %d wakes",
+		r.Direction, r.Queues, r.Flows, r.AggregateKpps, r.EthKpps, r.Ne2kKpps, r.RxKpps, r.CPU*100, r.Wakeups)
+	if r.Direction != DirTX {
+		fmt.Fprintf(&b, ", %.1f rx frames/doorbell (max batch %d)", r.RxFramesPerDoorbell, r.MaxDownBatch)
+	}
+	b.WriteString("\n")
 	for _, q := range r.PerQueue {
-		fmt.Fprintf(&b, "  queue %d: %8d upcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups\n",
-			q.Queue, q.Upcalls, q.Doorbells, q.DoorbellsPerSec, q.Wakeups, q.SpinPickups)
+		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups\n",
+			q.Queue, q.Upcalls, q.Downcalls, q.Doorbells, q.DoorbellsPerSec, q.Wakeups, q.SpinPickups)
 	}
 	return b.String()
 }
 
-// ne2kFlowPace throttles the legacy segment's flow to a 40 Kpkt/s offered
-// rate. The NE2000 path is pure programmed IO — every byte crosses the IO
-// permission bitmap — so an unthrottled saturating flow would charge more
-// driver-process CPU than any machine has. The flow exists to prove two
-// driver processes move traffic concurrently, not to race the e1000e.
-const ne2kFlowPace = 25 * sim.Microsecond
-
-// MultiFlow runs K concurrent 64-byte UDP transmit flows for the given
-// measurement options and reports aggregate throughput plus per-queue
-// transport rates. Flows are pinned to devices up front: with K >= 2 the
-// last flow drives the ne2k segment and the rest drive the e1000e, whose
-// per-flow source ports spread them across the TX queues by flow hash.
+// MultiFlow runs K concurrent 64-byte UDP transmit flows (DirTX) — see
+// MultiFlowDir.
 func MultiFlow(tb *MultiFlowTestbed, flows int, opt Options) (MultiFlowResult, error) {
+	return MultiFlowDir(tb, flows, DirTX, opt)
+}
+
+// MultiFlowDir runs K concurrent 64-byte UDP flows in the given direction
+// and reports aggregate throughput plus per-queue transport rates.
+//
+// Transmit flows are pinned to devices up front: with K >= 2 the last flow
+// drives the ne2k segment (self-paced by the card's TXP busy time) and the
+// rest drive the e1000e, whose per-flow source ports spread them across the
+// TX queues by flow hash. Receive flows flood from the eth remote with
+// distinct source ports, so the device's RSS steering spreads them across
+// the RX rings and each ring's frames arrive on its own uchan queue in
+// batched downcalls.
+func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (MultiFlowResult, error) {
 	if flows < 1 {
 		return MultiFlowResult{}, fmt.Errorf("netperf: need at least one flow")
 	}
@@ -201,7 +263,7 @@ func MultiFlow(tb *MultiFlowTestbed, flows int, opt Options) (MultiFlowResult, e
 		tb.Ne2kIfc.OnWake = nil
 	}()
 
-	startFlow := func(ifc *netstack.Iface, dstMAC netstack.MAC, dstIP netstack.IP, sport uint16, pace sim.Duration) {
+	startFlow := func(ifc *netstack.Iface, dstMAC netstack.MAC, dstIP netstack.IP, sport uint16) {
 		var send func()
 		send = func() {
 			if stopped {
@@ -220,43 +282,71 @@ func MultiFlow(tb *MultiFlowTestbed, flows int, opt Options) (MultiFlowResult, e
 				return
 			}
 			// The send path is serial on the flow's core: the next
-			// sendto issues after its CPU time has elapsed — or at the
-			// flow's offered rate, whichever is slower.
-			next := serial
-			if pace > next {
-				next = pace
-			}
-			tb.M.Loop.After(next, send)
+			// sendto issues after its CPU time has elapsed. Device
+			// backpressure (e1000e ring full, ne2k TXP busy) parks the
+			// flow instead of any artificial pacing.
+			tb.M.Loop.After(serial, send)
 		}
 		send()
 	}
-	for i := 0; i < flows; i++ {
-		if flows >= 2 && i == flows-1 {
-			startFlow(tb.Ne2kIfc, Remote2MAC, Remote2IP, uint16(52000+i), ne2kFlowPace)
-			continue
+	if dir != DirRX {
+		for i := 0; i < flows; i++ {
+			if flows >= 2 && i == flows-1 {
+				startFlow(tb.Ne2kIfc, Remote2MAC, Remote2IP, uint16(52000+i))
+				continue
+			}
+			startFlow(tb.EthIfc, RemoteMAC, RemoteIP, uint16(52000+i))
 		}
-		startFlow(tb.EthIfc, RemoteMAC, RemoteIP, uint16(52000+i), 0)
+	}
+
+	// Receive direction: a netserver-style sink plus K distinct remote
+	// flows; RSS steering fans them across the e1000e's RX rings.
+	var rxSock *netstack.UDPSock
+	if dir != DirTX {
+		var err error
+		rxSock, err = tb.K.Net.UDPBind(PortFlood, func(p []byte, _ netstack.IP, _ uint16) {
+			tb.K.Acct.Charge(costAppRecv)
+		})
+		if err != nil {
+			return MultiFlowResult{}, err
+		}
+		defer tb.K.Net.UDPClose(PortFlood)
+		tb.EthRemote.StartFloodFlows(64, rxFloodPerFlowPPS, flows, rxFloodBaseSport, PortFlood)
+		defer tb.EthRemote.StopFloodFlows()
 	}
 
 	tb.M.Loop.RunFor(opt.Warmup)
 
 	// Baselines after warmup, so rates cover the measured span only.
 	ethBase, ne2kBase := tb.EthRemote.SinkPkts, tb.Ne2kRemote.SinkPkts
+	var rxBase uint64
+	if rxSock != nil {
+		rxBase = rxSock.RxDatagrams
+	}
 	qBase := make([]QueueReport, tb.Queues)
 	for q := range qBase {
 		s := tb.EthProc.Chan.QueueStats(q)
-		qBase[q] = QueueReport{Queue: q, Upcalls: s.Upcalls, Doorbells: s.Doorbells,
-			Wakeups: s.Wakeups, SpinPickups: s.SpinPickups}
+		qBase[q] = QueueReport{Queue: q, Upcalls: s.Upcalls, Downcalls: s.Downcalls,
+			Doorbells: s.Doorbells, Wakeups: s.Wakeups, SpinPickups: s.SpinPickups}
 	}
 	wakeBase := tb.EthProc.Chan.Stats().Wakeups + tb.Ne2kProc.Chan.Stats().Wakeups
+
+	rxDelivered := func() uint64 {
+		if rxSock == nil {
+			return 0
+		}
+		return rxSock.RxDatagrams
+	}
 
 	var vals, cpus []float64
 	for len(vals) < opt.MaxWindows {
 		start := tb.M.Now()
 		tb.M.CPU.Reset(start)
 		ethBefore, ne2kBefore := tb.EthRemote.SinkPkts, tb.Ne2kRemote.SinkPkts
+		rxBefore := rxDelivered()
 		tb.M.Loop.RunFor(opt.Window)
-		delta := (tb.EthRemote.SinkPkts - ethBefore) + (tb.Ne2kRemote.SinkPkts - ne2kBefore)
+		delta := (tb.EthRemote.SinkPkts - ethBefore) + (tb.Ne2kRemote.SinkPkts - ne2kBefore) +
+			(rxDelivered() - rxBefore)
 		vals = append(vals, float64(delta)/opt.Window.Seconds()/1e3)
 		cpus = append(cpus, tb.M.CPU.Utilization(tb.M.Now()))
 		if len(vals) >= opt.MinWindows {
@@ -271,28 +361,36 @@ func MultiFlow(tb *MultiFlowTestbed, flows int, opt Options) (MultiFlowResult, e
 	mean, hw99 := meanCI(vals)
 	cpu, _ := meanCI(cpus)
 	res := MultiFlowResult{
-		Queues: tb.Queues, Flows: flows,
+		Queues: tb.Queues, Flows: flows, Direction: dir,
 		AggregateKpps: mean,
 		EthKpps:       float64(tb.EthRemote.SinkPkts-ethBase) / span.Seconds() / 1e3,
 		Ne2kKpps:      float64(tb.Ne2kRemote.SinkPkts-ne2kBase) / span.Seconds() / 1e3,
+		RxKpps:        float64(rxDelivered()-rxBase) / span.Seconds() / 1e3,
 		CPU:           cpu,
 		Wakeups:       tb.EthProc.Chan.Stats().Wakeups + tb.Ne2kProc.Chan.Stats().Wakeups - wakeBase,
+		MaxDownBatch:  tb.EthProc.Chan.Stats().MaxDownBatch,
 		Windows:       len(vals),
 	}
 	if mean > 0 {
 		res.CIRel = hw99 / mean
 	}
+	var doorbells uint64
 	for q := range qBase {
 		s := tb.EthProc.Chan.QueueStats(q)
 		r := QueueReport{
 			Queue:       q,
 			Upcalls:     s.Upcalls - qBase[q].Upcalls,
+			Downcalls:   s.Downcalls - qBase[q].Downcalls,
 			Doorbells:   s.Doorbells - qBase[q].Doorbells,
 			Wakeups:     s.Wakeups - qBase[q].Wakeups,
 			SpinPickups: s.SpinPickups - qBase[q].SpinPickups,
 		}
 		r.DoorbellsPerSec = float64(r.Doorbells) / span.Seconds()
 		res.PerQueue = append(res.PerQueue, r)
+		doorbells += r.Doorbells
+	}
+	if rxFrames := rxDelivered() - rxBase; rxFrames > 0 && doorbells > 0 {
+		res.RxFramesPerDoorbell = float64(rxFrames) / float64(doorbells)
 	}
 	return res, nil
 }

@@ -8,11 +8,19 @@ import (
 
 func multiFlowRun(t *testing.T, queues, flows int) MultiFlowResult {
 	t.Helper()
+	return multiFlowRunDir(t, queues, flows, DirTX, nil)
+}
+
+func multiFlowRunDir(t *testing.T, queues, flows int, dir Direction, tweak func(*MultiFlowTestbed)) MultiFlowResult {
+	t.Helper()
 	tb, err := NewMultiFlowTestbed(queues, hw.DefaultPlatform())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MultiFlow(tb, flows, quick())
+	if tweak != nil {
+		tweak(tb)
+	}
+	res, err := MultiFlowDir(tb, flows, dir, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,5 +87,94 @@ func TestMultiFlowSingleFlowMatchesFigure8(t *testing.T) {
 	}
 	if res.Ne2kKpps != 0 {
 		t.Fatalf("single flow leaked onto the ne2k (%f Kpkt/s)", res.Ne2kKpps)
+	}
+}
+
+// TestMultiFlowNe2kSelfPaces: with the TXP busy-time model in the device,
+// the legacy flow self-paces at the card's 10 Mbit/s rate — no harness
+// pacing — and still makes progress alongside the e1000e flows.
+func TestMultiFlowNe2kSelfPaces(t *testing.T) {
+	res := multiFlowRun(t, 2, 4)
+	if res.Ne2kKpps <= 1 {
+		t.Fatalf("ne2k flow starved: %.1f Kpkt/s", res.Ne2kKpps)
+	}
+	// 10 Mbit/s of minimum frames is ~14.9 Kpkt/s; the busy-time model
+	// must keep the delivered rate at or under the wire's ceiling.
+	if res.Ne2kKpps > 15 {
+		t.Fatalf("ne2k rate %.1f Kpkt/s exceeds the card's 10 Mbit/s ceiling", res.Ne2kKpps)
+	}
+}
+
+// TestMultiFlowRXScalesWithQueues is the receive-side tentpole claim: the
+// same offered flood through Q=4 RX rings (RSS-steered, one uchan ring per
+// RX queue) beats Q=1 by well over the 2.2x acceptance bar, while Q=1 stays
+// at the single-engine Figure 8 receive bound.
+func TestMultiFlowRXScalesWithQueues(t *testing.T) {
+	q1 := multiFlowRunDir(t, 1, 6, DirRX, nil)
+	q4 := multiFlowRunDir(t, 4, 6, DirRX, nil)
+
+	// Q=1 must reproduce the single-queue UDP RX bound (~255 Kpkt/s).
+	if q1.RxKpps < 200 || q1.RxKpps > 300 {
+		t.Fatalf("Q=1 RX rate = %.1f Kpkt/s, want engine-bound ~255", q1.RxKpps)
+	}
+	if q4.AggregateKpps < 2.2*q1.AggregateKpps {
+		t.Fatalf("Q=4 RX aggregate %.1f not >= 2.2x Q=1 %.1f",
+			q4.AggregateKpps, q1.AggregateKpps)
+	}
+	// Every ring carried batched RX downcalls and paid its own doorbells.
+	for _, q := range q4.PerQueue {
+		if q.Downcalls == 0 {
+			t.Fatalf("queue %d carried no RX downcalls: steering broken", q.Queue)
+		}
+		if q.Doorbells == 0 {
+			t.Fatalf("queue %d rang no doorbells", q.Queue)
+		}
+	}
+}
+
+// TestMultiFlowRXBatchingCutsDoorbells is the batched-delivery claim: with
+// batch framing and downcall coalescing on, a doorbell delivers tens of
+// frames; with both ablated (one message, one doorbell per frame) the ratio
+// collapses to ~1 and the per-queue doorbell rate explodes.
+func TestMultiFlowRXBatchingCutsDoorbells(t *testing.T) {
+	batched := multiFlowRunDir(t, 4, 6, DirRX, nil)
+	ablated := multiFlowRunDir(t, 4, 6, DirRX, func(tb *MultiFlowTestbed) {
+		tb.EthProc.NoRxBatch = true
+		tb.EthProc.Chan.SetNoBatch(true)
+	})
+	if batched.RxFramesPerDoorbell < 8 {
+		t.Fatalf("batched delivery only %.1f frames/doorbell", batched.RxFramesPerDoorbell)
+	}
+	if ablated.RxFramesPerDoorbell > 1.5 {
+		t.Fatalf("ablation still batching: %.1f frames/doorbell", ablated.RxFramesPerDoorbell)
+	}
+	if batched.RxFramesPerDoorbell < 8*ablated.RxFramesPerDoorbell {
+		t.Fatalf("batching cut doorbells by only %.1fx",
+			batched.RxFramesPerDoorbell/ablated.RxFramesPerDoorbell)
+	}
+	var batchedRate, ablatedRate float64
+	for _, q := range batched.PerQueue {
+		batchedRate += q.DoorbellsPerSec
+	}
+	for _, q := range ablated.PerQueue {
+		ablatedRate += q.DoorbellsPerSec
+	}
+	if batchedRate*4 > ablatedRate {
+		t.Fatalf("per-queue doorbell rate not measurably cut: %.0f/s vs %.0f/s",
+			batchedRate, ablatedRate)
+	}
+}
+
+// TestMultiFlowBidi runs both directions at once: transmit flows and the RX
+// flood share the queues, and the aggregate exceeds either direction alone.
+func TestMultiFlowBidi(t *testing.T) {
+	res := multiFlowRunDir(t, 4, 6, DirBidi, nil)
+	if res.EthKpps <= 0 || res.RxKpps <= 0 || res.Ne2kKpps <= 0 {
+		t.Fatalf("a direction starved: tx eth %.1f, ne2k %.1f, rx %.1f",
+			res.EthKpps, res.Ne2kKpps, res.RxKpps)
+	}
+	if res.AggregateKpps < 1.3*res.RxKpps {
+		t.Fatalf("bidi aggregate %.1f not clearly above RX-only %.1f",
+			res.AggregateKpps, res.RxKpps)
 	}
 }

@@ -66,6 +66,10 @@ type RemoteHost struct {
 	floodStop  bool
 	FloodSent  uint64
 
+	// --- multi-flow flood generators (RX scale scenario) ---
+	flowsStop bool
+	FlowsSent uint64
+
 	// --- TCP sender state ---
 	tcpActive bool
 	// DropNextSegment simulates wire loss: the next data segment is
@@ -179,6 +183,36 @@ func (r *RemoteHost) StartFlood(payload int, pps int) {
 
 // StopFlood halts the generator.
 func (r *RemoteHost) StopFlood() { r.floodStop = true }
+
+// StartFloodFlows starts `flows` independent datagram generators, each a
+// distinct flow (source ports baseSport..baseSport+flows-1, so RSS steering
+// spreads them over the DUT's RX rings) sending `payload`-byte datagrams to
+// dport at ppsPerFlow each. The aggregate offered load is meant to exceed
+// the DUT's receive capacity; the wire FIFO sheds the excess.
+func (r *RemoteHost) StartFloodFlows(payload, ppsPerFlow, flows int, baseSport, dport uint16) {
+	r.flowsStop = false
+	every := sim.Duration(int64(sim.Second) / int64(ppsPerFlow))
+	for i := 0; i < flows; i++ {
+		sport := baseSport + uint16(i)
+		buf := make([]byte, payload)
+		var tick func()
+		tick = func() {
+			if r.flowsStop {
+				return
+			}
+			binary.BigEndian.PutUint64(buf, r.FlowsSent)
+			f := netstack.BuildUDPFrame(RemoteMAC, DUTMAC, RemoteIP, DUTIP, sport, dport, buf)
+			if r.link.Send(r.side, f) == nil {
+				r.FlowsSent++
+			}
+			r.loop.After(every, tick)
+		}
+		tick()
+	}
+}
+
+// StopFloodFlows halts every flow generator.
+func (r *RemoteHost) StopFloodFlows() { r.flowsStop = true }
 
 // --- TCP sender (TCP_STREAM: remote → DUT) --------------------------------------
 

@@ -39,7 +39,11 @@ const (
 	OpXmitDone                                // Args: [0]=slot index
 	OpCarrierOn
 	OpCarrierOff
-	OpWakeQueue
+	OpWakeQueue // Args: [0]=TX queue regaining space
+	// OpNetifRxBatch delivers up to MaxRxBatch received-frame references
+	// in one message; Data carries the rxbatch.go framing. The queue is
+	// the ring the message arrived on.
+	OpNetifRxBatch
 )
 
 // TX shared-pool geometry: SUD preallocates shared buffers and passes
@@ -64,11 +68,15 @@ const (
 	GuardNone
 )
 
-// Proxy is one Ethernet proxy driver instance. The TX fast path is
-// multi-queue aware: the shared buffer pool is partitioned across the
-// channel's ring pairs, frames are steered to a queue by flow hash, and
+// Proxy is one Ethernet proxy driver instance. Both fast paths are
+// multi-queue aware. Transmit: the shared buffer pool is partitioned across
+// the channel's ring pairs, frames are steered to a queue by flow hash, and
 // backpressure (slot exhaustion, ring-full) is tracked per queue so one
-// saturated queue wakes the stack only when *its* slots return.
+// saturated queue stops — and later wakes — only its own netstack queue
+// context. Receive: each ring delivers into its own per-queue partition
+// (validation and counters per ring), and frames arrive batched up to
+// MaxRxBatch references per downcall so a queue pays a fraction of a
+// doorbell per frame instead of a wakeup each.
 type Proxy struct {
 	K   *KernelIface
 	DF  *pciaccess.DeviceFile
@@ -79,14 +87,18 @@ type Proxy struct {
 	perQueue int     // TX slots per queue (pool partition size)
 	free     [][]int // per-queue free slot lists (global slot indices)
 	stalled  []bool  // per-queue: out of slots or ring space
-	stopped  bool    // iface-level TX stop mirrored into the netstack
 
 	// GuardMode selects the §3.1.2 TOCTOU-guard strategy (ablations).
 	GuardMode int
 
+	// Per-queue RX partitions: frames and batches delivered per ring.
+	RxQueueFrames  []uint64
+	RxQueueBatches []uint64
+
 	// Security / robustness counters.
 	RxInvalidRef  uint64 // shared-buffer references outside the driver's memory
 	RxBadLength   uint64
+	RxBadBatch    uint64 // malformed batch framing from the driver
 	TxDropsHung   uint64
 	UpcallErrors  uint64
 	MirrorUpdates uint64 // shared-state synchronisation messages (§3.3)
@@ -114,9 +126,11 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	q := c.NumQueues()
 	p := &Proxy{
 		K: ki, DF: df, C: c, pool: pool,
-		perQueue: TxSlots / q,
-		free:     make([][]int, q),
-		stalled:  make([]bool, q),
+		perQueue:       TxSlots / q,
+		free:           make([][]int, q),
+		stalled:        make([]bool, q),
+		RxQueueFrames:  make([]uint64, q),
+		RxQueueBatches: make([]uint64, q),
 	}
 	for i := 0; i < p.perQueue*q; i++ {
 		qi := i / p.perQueue
@@ -188,19 +202,30 @@ func (d *proxyDev) Stop() error {
 	return nil
 }
 
-// StartXmit copies the frame into a shared slot of the flow's TX queue and
-// queues an asynchronous transmit upcall on that queue's ring — the §3.1
-// fast path. Pool exhaustion or a hung queue surfaces as backpressure,
-// never as a blocked kernel thread.
+// TxQueues implements api.MultiQueueNetDevice: one netstack queue context
+// per uchan ring pair.
+func (d *proxyDev) TxQueues() int { return d.p().C.NumQueues() }
+
+// StartXmit transmits on the flow's hashed queue (single-queue hosts).
 func (d *proxyDev) StartXmit(frame []byte) error {
+	p := d.p()
+	return d.StartXmitQ(frame, netstack.TxQueueForFrame(frame, p.C.NumQueues()))
+}
+
+// StartXmitQ copies the frame into a shared slot of the given TX queue and
+// queues an asynchronous transmit upcall on that queue's ring — the §3.1
+// fast path. Pool exhaustion or a hung queue surfaces as backpressure on
+// that queue only, never as a blocked kernel thread.
+func (d *proxyDev) StartXmitQ(frame []byte, q int) error {
 	p := d.p()
 	if len(frame) > TxSlotSize {
 		return fmt.Errorf("ethproxy: frame of %d bytes exceeds slot size", len(frame))
 	}
-	q := p.txQueueFor(frame)
+	if q < 0 || q >= len(p.free) {
+		q = 0
+	}
 	if len(p.free[q]) == 0 {
 		p.stalled[q] = true
-		p.stopped = true
 		return fmt.Errorf("ethproxy: no free TX slots on queue %d", q)
 	}
 	slot := p.free[q][len(p.free[q])-1]
@@ -217,47 +242,18 @@ func (d *proxyDev) StartXmit(frame []byte) error {
 	if err != nil {
 		p.TxDropsHung++
 		p.stalled[q] = true
-		p.stopped = true
 		return fmt.Errorf("ethproxy: xmit upcall: %w", err)
 	}
 	p.free[q] = p.free[q][:len(p.free[q])-1]
 	return nil
 }
 
-// txQueueFor steers a frame to a TX queue by hashing its transport ports —
-// the transmit half of RSS-style flow steering, keeping each flow on one
-// queue so per-flow ordering is preserved. Non-IP and short frames use
-// queue 0.
-func (p *Proxy) txQueueFor(frame []byte) int {
-	nq := p.C.NumQueues()
-	if nq == 1 {
-		return 0
-	}
-	// Ethertype IPv4?
-	if len(frame) < netstack.EthHeaderLen+20 ||
-		frame[12] != 0x08 || frame[13] != 0x00 {
-		return 0
-	}
-	ihl := int(frame[netstack.EthHeaderLen]&0x0F) * 4
-	proto := frame[netstack.EthHeaderLen+9]
-	l4 := netstack.EthHeaderLen + ihl
-	if (proto != 6 && proto != 17) || len(frame) < l4+4 {
-		return 0
-	}
-	sport := uint16(frame[l4])<<8 | uint16(frame[l4+1])
-	dport := uint16(frame[l4+2])<<8 | uint16(frame[l4+3])
-	return TxQueueForPorts(sport, dport, nq)
-}
-
 // TxQueueForPorts is the flow-steering hash: the TX queue a flow with the
-// given transport ports lands on among nq queues. Exported so tests and
-// attack scenarios can target (or avoid) a specific queue without
-// duplicating the hash.
+// given transport ports lands on among nq queues. Kept as an alias of the
+// netstack steering function so tests and attack scenarios can target (or
+// avoid) a specific queue without duplicating the hash.
 func TxQueueForPorts(sport, dport uint16, nq int) int {
-	if nq <= 1 {
-		return 0
-	}
-	return int((uint32(sport)*31 + uint32(dport)) % uint32(nq))
+	return netstack.TxQueueForPorts(sport, dport, nq)
 }
 
 // DoIoctl forwards a device-private ioctl synchronously (the paper's
@@ -276,24 +272,42 @@ func (d *proxyDev) DoIoctl(cmd uint32, arg []byte) ([]byte, error) {
 }
 
 // HandleDowncall services one driver→kernel message in kernel context; the
-// SUD-UML runtime routes Ethernet-range ops here.
-func (p *Proxy) HandleDowncall(m uchan.Msg) {
+// SUD-UML runtime routes Ethernet-range ops here. q is the ring the message
+// arrived on — the RX partition it delivers into and the TX queue its
+// completions credit.
+func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
+	if q < 0 || q >= len(p.free) {
+		q = 0
+	}
 	switch m.Op {
 	case OpNetifRx:
 		if m.Data != nil {
 			// Inline (bounced) frame: the bytes were copied through
 			// the ring, so only checksum verification remains.
 			p.K.Acct.Charge(sim.Checksum(len(m.Data)))
-			p.Ifc.NetifRxVerified(m.Data)
+			p.RxQueueFrames[q]++
+			p.Ifc.NetifRxVerifiedQ(m.Data, q)
 			return
 		}
-		p.netifRx(mem.Addr(m.Args[0]), int(m.Args[1]))
+		p.netifRx(q, mem.Addr(m.Args[0]), int(m.Args[1]))
+	case OpNetifRxBatch:
+		refs, err := DecodeRxBatch(m.Data)
+		if err != nil {
+			// Malformed framing from the untrusted driver: dropped
+			// and counted, never dispatched (§3.1.1).
+			p.RxBadBatch++
+			return
+		}
+		p.RxQueueBatches[q]++
+		for _, r := range refs {
+			p.netifRx(q, mem.Addr(r.IOVA), int(r.Len))
+		}
 	case OpXmitDone:
 		slot := int(m.Args[0])
 		if slot >= 0 && slot < p.perQueue*len(p.free) {
-			q := slot / p.perQueue
-			p.free[q] = append(p.free[q], slot)
-			p.maybeWake()
+			sq := slot / p.perQueue
+			p.free[sq] = append(p.free[sq], slot)
+			p.maybeWakeQueue(sq)
 		}
 	case OpCarrierOn:
 		p.MirrorUpdates++
@@ -302,7 +316,11 @@ func (p *Proxy) HandleDowncall(m uchan.Msg) {
 		p.MirrorUpdates++
 		p.Ifc.CarrierOff()
 	case OpWakeQueue:
-		p.maybeWake()
+		wq := int(m.Args[0])
+		if wq < 0 || wq >= len(p.free) {
+			wq = 0
+		}
+		p.maybeWakeQueue(wq)
 	default:
 		// Unknown downcalls from an untrusted driver are ignored, not
 		// trusted (§3.1.1).
@@ -322,29 +340,22 @@ func (p *Proxy) wakeThreshold() int {
 	return t
 }
 
-// maybeWake restarts the stack's transmit path once every stalled queue has
-// regained headroom.
-func (p *Proxy) maybeWake() {
-	if !p.stopped {
+// maybeWakeQueue restarts queue q's transmit path once it regains headroom.
+// The wake is per queue: a sibling still out of slots stays stopped, and
+// only flows hashed onto it keep waiting.
+func (p *Proxy) maybeWakeQueue(q int) {
+	if !p.stalled[q] || len(p.free[q]) < p.wakeThreshold() {
 		return
 	}
-	for q, st := range p.stalled {
-		if st {
-			if len(p.free[q]) < p.wakeThreshold() {
-				return
-			}
-			p.stalled[q] = false
-		}
-	}
-	p.stopped = false
-	p.Ifc.WakeQueue()
+	p.stalled[q] = false
+	p.Ifc.WakeQueueQ(q)
 }
 
 // netifRx validates the driver's shared-buffer reference and performs the
 // fused guard-copy + checksum (§3.1.2): the kernel's private copy is taken
 // before the firewall or any other consumer sees the bytes, so later
 // modification of the shared buffer by a malicious driver is harmless.
-func (p *Proxy) netifRx(iova mem.Addr, n int) {
+func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 	if n <= 0 || n > netstack.EthHeaderLen+1500+4 {
 		p.RxBadLength++
 		return
@@ -358,12 +369,13 @@ func (p *Proxy) netifRx(iova mem.Addr, n int) {
 		p.RxInvalidRef++
 		return
 	}
+	p.RxQueueFrames[q]++
 	if p.GuardMode == GuardNone {
 		// INSECURE (demonstration only): the stack and firewall see
 		// shared memory the driver can still modify.
 		p.K.Acct.Charge(sim.Checksum(n))
 		if view, ok := p.K.Mem.Slice(phys, n); ok {
-			p.Ifc.NetifRxVerified(view)
+			p.Ifc.NetifRxVerifiedQ(view, q)
 		}
 		return
 	}
@@ -384,7 +396,7 @@ func (p *Proxy) netifRx(iova mem.Addr, n int) {
 		p.RxInvalidRef++
 		return
 	}
-	p.Ifc.NetifRxVerified(frame)
+	p.Ifc.NetifRxVerifiedQ(frame, q)
 }
 
 // FreeTxSlots reports the pool headroom across all queues (tests and pacing

@@ -52,7 +52,7 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc.SetKernelHandler(func(_ int, msg uchan.Msg) { p.HandleDowncall(msg) })
+	mc.SetKernelHandler(func(q int, msg uchan.Msg) { p.HandleDowncall(q, msg) })
 	r.p = p
 	return r
 }
@@ -141,12 +141,12 @@ func TestXmitUsesSharedSlotsWithBackpressure(t *testing.T) {
 	var woken bool
 	r.p.Ifc.OnWake = func() { woken = true }
 	for i := 0; i < r.p.wakeThreshold()-1; i++ {
-		r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(i)}})
+		r.p.HandleDowncall(0, uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(i)}})
 	}
 	if woken {
 		t.Fatal("woke below threshold")
 	}
-	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(r.p.wakeThreshold())}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(r.p.wakeThreshold())}})
 	if !woken {
 		t.Fatal("no wake at threshold")
 	}
@@ -155,9 +155,116 @@ func TestXmitUsesSharedSlotsWithBackpressure(t *testing.T) {
 		t.Fatal("oversized frame accepted")
 	}
 	before := r.p.FreeTxSlots()
-	r.p.HandleDowncall(uchan.Msg{Op: OpXmitDone, Args: [6]uint64{99999}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpXmitDone, Args: [6]uint64{99999}})
 	if r.p.FreeTxSlots() != before {
 		t.Fatal("bogus slot index freed something")
+	}
+}
+
+// newRigQ is newRig with a 4-ring channel (per-queue service accounts).
+func newRigQ(t *testing.T, queues int) *rig {
+	t.Helper()
+	m := hw.NewMachine(hw.DefaultPlatform())
+	k := kernel.New(m)
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000, mac, e1000.MultiQueueParams(queues))
+	m.AttachDevice(nic)
+	accts := m.CPU.QueueAccounts("driver:test", queues)
+	df := pciaccess.Open(k, nic, 1001, accts[0])
+	mc := uchan.NewMulti(m.Loop, k.Acct, accts)
+	r := &rig{m: m, k: k, df: df, mc: mc, c: mc.Queue(0)}
+	mc.SetDriverHandler(func(_ int, msg uchan.Msg) *uchan.Msg {
+		r.upcalls = append(r.upcalls, msg)
+		if r.reply != nil {
+			return r.reply(msg)
+		}
+		return &uchan.Msg{Seq: msg.Seq}
+	})
+	ki := &KernelIface{Acct: k.Acct, Mem: m.Mem, Net: k.Net}
+	p, err := New(ki, df, mc, "eth0", mac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.SetKernelHandler(func(q int, msg uchan.Msg) { p.HandleDowncall(q, msg) })
+	r.p = p
+	return r
+}
+
+// TestBatchedRxDelivery covers the batched RX downcall: a well-formed batch
+// delivers every validated reference into its queue's partition, malformed
+// framing is dropped and counted, and a poisoned reference inside an
+// otherwise valid batch is skipped without sinking its neighbours.
+func TestBatchedRxDelivery(t *testing.T) {
+	r := newRigQ(t, 4)
+	var delivered int
+	if _, err := r.k.Net.UDPBind(80, func([]byte, netstack.IP, uint16) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	frame := netstack.BuildUDPFrame(netstack.MAC{9}, netstack.MAC(mac),
+		netstack.IP{1}, netstack.IP{2}, 1, 80, []byte("ok"))
+	alloc := r.df.Allocs()[0]
+	r.m.Mem.MustWrite(alloc.Phys, frame)
+	r.m.Mem.MustWrite(alloc.Phys+mem.Addr(2048), frame)
+
+	batch := EncodeRxBatch([]RxRef{
+		{IOVA: uint64(alloc.IOVA), Len: uint32(len(frame))},
+		{IOVA: uint64(alloc.IOVA) + 2048, Len: uint32(len(frame))},
+	})
+	r.p.HandleDowncall(2, uchan.Msg{Op: OpNetifRxBatch, Data: batch})
+	if delivered != 2 {
+		t.Fatalf("delivered %d of 2 batched frames", delivered)
+	}
+	if r.p.RxQueueBatches[2] != 1 || r.p.RxQueueFrames[2] != 2 {
+		t.Fatalf("queue 2 partition: %d batches, %d frames",
+			r.p.RxQueueBatches[2], r.p.RxQueueFrames[2])
+	}
+	if r.p.Ifc.Queue(2).RxFrames != 2 {
+		t.Fatal("netstack queue context not credited")
+	}
+	// Malformed framing: dropped and counted, nothing delivered.
+	r.p.HandleDowncall(1, uchan.Msg{Op: OpNetifRxBatch, Data: []byte{0xFF, 0xFF, 1}})
+	if r.p.RxBadBatch != 1 || delivered != 2 {
+		t.Fatalf("malformed batch: bad=%d delivered=%d", r.p.RxBadBatch, delivered)
+	}
+	// A poisoned reference inside a valid batch: the bad ref is counted,
+	// the good one still lands.
+	mixed := EncodeRxBatch([]RxRef{
+		{IOVA: uint64(hw.DRAMBase), Len: 64},
+		{IOVA: uint64(alloc.IOVA), Len: uint32(len(frame))},
+	})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRxBatch, Data: mixed})
+	if r.p.RxInvalidRef != 1 || delivered != 3 {
+		t.Fatalf("mixed batch: invalid=%d delivered=%d", r.p.RxInvalidRef, delivered)
+	}
+}
+
+// TestPerQueueSlotWake: exhausting one queue's slot partition stalls only
+// that queue, and returning its slots wakes only its netstack context.
+func TestPerQueueSlotWake(t *testing.T) {
+	r := newRigQ(t, 4)
+	dev := (*proxyDev)(r.p)
+	frame := bytes.Repeat([]byte{0x3C}, 100)
+	for i := 0; i < r.p.perQueue; i++ {
+		if err := dev.StartXmitQ(frame, 0); err != nil {
+			t.Fatalf("xmit %d: %v", i, err)
+		}
+	}
+	if err := dev.StartXmitQ(frame, 0); err == nil {
+		t.Fatal("queue 0 accepted a frame with an empty partition")
+	}
+	// Sibling queues keep accepting.
+	if err := dev.StartXmitQ(frame, 1); err != nil {
+		t.Fatalf("queue 1 stalled by queue 0 exhaustion: %v", err)
+	}
+	var wake0, wake1 int
+	r.p.Ifc.Queue(0).OnWake = func() { wake0++ }
+	r.p.Ifc.Queue(1).OnWake = func() { wake1++ }
+	// Return queue 0's slots; the wake fires at the per-queue threshold
+	// and touches only queue 0.
+	for i := 0; i < r.p.wakeThreshold(); i++ {
+		r.p.HandleDowncall(0, uchan.Msg{Op: OpXmitDone, Args: [6]uint64{uint64(i)}})
+	}
+	if wake0 != 1 || wake1 != 0 {
+		t.Fatalf("wakes: q0=%d q1=%d, want 1/0", wake0, wake1)
 	}
 }
 
@@ -172,28 +279,28 @@ func TestNetifRxValidation(t *testing.T) {
 		netstack.IP{1}, netstack.IP{2}, 1, 80, []byte("ok"))
 	alloc := r.df.Allocs()[0]
 	r.m.Mem.MustWrite(alloc.Phys, frame)
-	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), uint64(len(frame))}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), uint64(len(frame))}})
 	if delivered != 1 {
 		t.Fatal("valid frame not delivered")
 	}
 	// Reference outside the driver's memory: rejected.
-	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(hw.DRAMBase), 64}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(hw.DRAMBase), 64}})
 	if r.p.RxInvalidRef != 1 {
 		t.Fatal("foreign reference accepted")
 	}
 	// Absurd lengths: rejected.
-	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 1 << 20}})
-	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 0}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 1 << 20}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRx, Args: [6]uint64{uint64(alloc.IOVA), 0}})
 	if r.p.RxBadLength != 2 {
 		t.Fatalf("bad lengths = %d", r.p.RxBadLength)
 	}
 	// Inline (bounced) frames also deliver.
-	r.p.HandleDowncall(uchan.Msg{Op: OpNetifRx, Data: frame, Args: [6]uint64{0, uint64(len(frame))}})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpNetifRx, Data: frame, Args: [6]uint64{0, uint64(len(frame))}})
 	if delivered != 2 {
 		t.Fatal("inline frame not delivered")
 	}
 	// Unknown downcalls are counted, not trusted.
-	r.p.HandleDowncall(uchan.Msg{Op: 9999})
+	r.p.HandleDowncall(0, uchan.Msg{Op: 9999})
 	if r.p.UpcallErrors != 1 {
 		t.Fatal("unknown op not counted")
 	}
@@ -201,11 +308,11 @@ func TestNetifRxValidation(t *testing.T) {
 
 func TestCarrierMirrorDowncalls(t *testing.T) {
 	r := newRig(t)
-	r.p.HandleDowncall(uchan.Msg{Op: OpCarrierOn})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpCarrierOn})
 	if !r.p.Ifc.Carrier() || r.p.MirrorUpdates != 1 {
 		t.Fatal("carrier-on not mirrored")
 	}
-	r.p.HandleDowncall(uchan.Msg{Op: OpCarrierOff})
+	r.p.HandleDowncall(0, uchan.Msg{Op: OpCarrierOff})
 	if r.p.Ifc.Carrier() || r.p.MirrorUpdates != 2 {
 		t.Fatal("carrier-off not mirrored")
 	}

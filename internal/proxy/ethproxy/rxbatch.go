@@ -1,0 +1,100 @@
+package ethproxy
+
+import "errors"
+
+// Batched RX delivery framing.
+//
+// On a multi-queue channel the driver process posts received frames as
+// shared-buffer references, batched up to MaxRxBatch per downcall message:
+// one ring slot (and, with downcall batching, a fraction of one doorbell)
+// carries a whole interrupt's worth of frames for a queue, instead of one
+// message per frame. The batch bytes are written by the untrusted driver
+// process, so the kernel-side decoder treats them as hostile input: it never
+// panics, bounds every count and length, and malformed batches are dropped
+// and counted, never dispatched. DecodeRxBatch is fuzzed for exactly that
+// reason.
+//
+// Batch layout (little-endian):
+//
+//	[0:2)   frame count
+//	[2:..)  count × { [0:8) buffer IOVA, [8:12) length }
+const (
+	// MaxRxBatch is B: the most frame references one batch downcall may
+	// carry (the per-doorbell drain bound of the batched delivery path).
+	MaxRxBatch = 32
+
+	rxBatchHeaderLen = 2
+	rxRefLen         = 12
+)
+
+// RxRef is one received-frame reference: a buffer in the driver's own DMA
+// memory plus its length. The kernel validates the range against the
+// driver's allocations before touching it, like every other shared-memory
+// reference.
+type RxRef struct {
+	IOVA uint64
+	Len  uint32
+}
+
+// Batch decode errors.
+var (
+	ErrBatchShort = errors.New("ethproxy: rx batch shorter than header")
+	ErrBatchCount = errors.New("ethproxy: rx batch count out of range")
+	ErrBatchTrunc = errors.New("ethproxy: rx batch truncated")
+	ErrBatchSlack = errors.New("ethproxy: rx batch has trailing bytes")
+)
+
+// EncodeRxBatch marshals up to MaxRxBatch frame references into batch bytes.
+// Longer slices are truncated to MaxRxBatch (callers flush at the bound).
+func EncodeRxBatch(refs []RxRef) []byte {
+	if len(refs) > MaxRxBatch {
+		refs = refs[:MaxRxBatch]
+	}
+	buf := make([]byte, rxBatchHeaderLen+rxRefLen*len(refs))
+	buf[0] = byte(len(refs))
+	buf[1] = byte(len(refs) >> 8)
+	for i, r := range refs {
+		off := rxBatchHeaderLen + rxRefLen*i
+		for b := 0; b < 8; b++ {
+			buf[off+b] = byte(r.IOVA >> (8 * b))
+		}
+		for b := 0; b < 4; b++ {
+			buf[off+8+b] = byte(r.Len >> (8 * b))
+		}
+	}
+	return buf
+}
+
+// DecodeRxBatch unmarshals batch bytes written by the (untrusted) driver
+// process. It never panics on arbitrary input; malformed batches return an
+// error.
+func DecodeRxBatch(buf []byte) ([]RxRef, error) {
+	if len(buf) < rxBatchHeaderLen {
+		return nil, ErrBatchShort
+	}
+	count := int(buf[0]) | int(buf[1])<<8
+	if count == 0 || count > MaxRxBatch {
+		return nil, ErrBatchCount
+	}
+	want := rxBatchHeaderLen + rxRefLen*count
+	if len(buf) < want {
+		return nil, ErrBatchTrunc
+	}
+	if len(buf) > want {
+		return nil, ErrBatchSlack
+	}
+	refs := make([]RxRef, count)
+	for i := range refs {
+		off := rxBatchHeaderLen + rxRefLen*i
+		var iova uint64
+		for b := 7; b >= 0; b-- {
+			iova = iova<<8 | uint64(buf[off+b])
+		}
+		var n uint32
+		for b := 3; b >= 0; b-- {
+			n = n<<8 | uint32(buf[off+8+b])
+		}
+		refs[i] = RxRef{IOVA: iova, Len: n}
+	}
+	return refs, nil
+}

@@ -79,8 +79,23 @@ type Process struct {
 	pendingTx  [][]uchan.Msg
 	retryTimer []bool
 
+	// rxBatch accumulates, per queue, received-frame references awaiting
+	// the batched OpNetifRxBatch downcall: up to ethproxy.MaxRxBatch
+	// frames ride one ring slot. Batches flush when full and at the end
+	// of the dispatch that produced them, so delivery never waits on
+	// future traffic. Single-queue channels bypass batching entirely —
+	// the Figure 8 transport is unchanged.
+	rxBatch [][]ethproxy.RxRef
+
+	// NoRxBatch disables RX batch framing (ablation): every received
+	// frame crosses the channel as its own OpNetifRx downcall, one
+	// message — and with uchan batching also disabled, one doorbell —
+	// per frame.
+	NoRxBatch bool
+
 	// Counters.
 	ZeroCopyRx, BouncedRx uint64
+	RxBatches             uint64
 	XmitRingDrops         uint64
 
 	killed bool
@@ -118,6 +133,7 @@ func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, 
 		sliceAddrs: make(map[*byte]mem.Addr),
 		pendingTx:  make([][]uchan.Msg, len(accts)),
 		retryTimer: make([]bool, len(accts)),
+		rxBatch:    make([][]ethproxy.RxRef, len(accts)),
 	}
 	ch.SetDriverHandler(p.dispatch)
 	ch.SetKernelHandler(p.routeDowncall)
@@ -198,7 +214,7 @@ func (p *Process) routeDowncall(q int, m uchan.Msg) {
 		p.DF.Ack()
 	case m.Op >= protocol.EthBase && m.Op < protocol.WifiBase:
 		if p.Eth != nil {
-			p.Eth.HandleDowncall(m)
+			p.Eth.HandleDowncall(q, m)
 		}
 	case m.Op >= protocol.WifiBase && m.Op < protocol.AudioBase:
 		if p.Wifi != nil {
@@ -260,6 +276,9 @@ func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 		}
 		// The handler reclaimed TX descriptors; feed held packets in.
 		p.drainPendingTx()
+		// RX frames the handler collected ride out as per-queue batches
+		// on the same drain that serviced the interrupt.
+		p.flushRxBatches()
 		return &uchan.Msg{Seq: m.Seq}
 	default:
 		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
@@ -600,6 +619,7 @@ func (e *env) Timer(delayJiffies uint64, fn func()) {
 		}
 		p.Acct.Charge(sim.CostUMLCall)
 		fn()
+		p.flushRxBatches()
 		p.Chan.Flush()
 	})
 }
@@ -757,29 +777,70 @@ type umlNetKernel struct {
 }
 
 var _ api.NetKernel = (*umlNetKernel)(nil)
+var _ api.MultiQueueNetKernel = (*umlNetKernel)(nil)
 
 // NetifRx forwards a received frame to the real kernel. If the frame is a
 // view of the driver's DMA memory (it is, for ring-based drivers), only the
 // buffer reference crosses the channel — the zero-copy path of §3.1.2; the
 // kernel-side guard copy happens in the proxy, fused with checksumming.
-func (nk *umlNetKernel) NetifRx(frame []byte) {
+func (nk *umlNetKernel) NetifRx(frame []byte) { nk.NetifRxQ(frame, 0) }
+
+// NetifRxQ implements api.MultiQueueNetKernel: the frame arrived on RX ring
+// q and is delivered on queue q's uchan ring, charged to queue q's service
+// account. On multi-queue channels zero-copy references accumulate into a
+// per-queue batch (up to ethproxy.MaxRxBatch per message) instead of paying
+// one downcall per frame; a single-queue channel keeps the paper's exact
+// one-message-per-frame transport.
+func (nk *umlNetKernel) NetifRxQ(frame []byte, q int) {
 	p := nk.p
 	if len(frame) == 0 || p.killed {
 		return
 	}
-	p.Acct.Charge(sim.CostUMLCall)
+	if q < 0 || q >= len(p.rxBatch) {
+		q = 0
+	}
+	multi := p.Chan.NumQueues() > 1 && !p.NoRxBatch
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
 	if iova, ok := p.sliceAddrs[&frame[0]]; ok {
 		p.ZeroCopyRx++
-		_ = p.Chan.Down(uchan.Msg{Op: ethproxy.OpNetifRx, Args: [6]uint64{uint64(iova), uint64(len(frame))}})
+		if multi {
+			p.rxBatch[q] = append(p.rxBatch[q], ethproxy.RxRef{IOVA: uint64(iova), Len: uint32(len(frame))})
+			if len(p.rxBatch[q]) >= ethproxy.MaxRxBatch {
+				p.flushRxBatchQ(q)
+			}
+			return
+		}
+		_ = p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpNetifRx, Args: [6]uint64{uint64(iova), uint64(len(frame))}})
 		return
 	}
 	// Fallback: bounce through an inline copy in the message.
 	p.BouncedRx++
-	p.Acct.Charge(sim.Copy(len(frame)))
+	p.QueueAccts[q].Charge(sim.Copy(len(frame)))
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
-	_ = p.Chan.Down(uchan.Msg{Op: ethproxy.OpNetifRx, Data: buf,
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpNetifRx, Data: buf,
 		Args: [6]uint64{0, uint64(len(frame))}})
+}
+
+// flushRxBatchQ emits queue q's accumulated frame references as one batched
+// downcall message on ring q.
+func (p *Process) flushRxBatchQ(q int) {
+	if len(p.rxBatch[q]) == 0 {
+		return
+	}
+	data := ethproxy.EncodeRxBatch(p.rxBatch[q])
+	p.rxBatch[q] = p.rxBatch[q][:0]
+	p.QueueAccts[q].Charge(sim.Copy(len(data)))
+	p.RxBatches++
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpNetifRxBatch, Data: data})
+}
+
+// flushRxBatches emits every queue's partial batch; called at the end of a
+// dispatch so received frames never wait on future traffic.
+func (p *Process) flushRxBatches() {
+	for q := range p.rxBatch {
+		p.flushRxBatchQ(q)
+	}
 }
 
 // CarrierOn mirrors link state to the kernel (§3.3 shared-memory state).
@@ -795,7 +856,16 @@ func (nk *umlNetKernel) CarrierOff() {
 }
 
 // WakeQueue mirrors TX queue state to the kernel.
-func (nk *umlNetKernel) WakeQueue() {
-	nk.p.Acct.Charge(sim.CostUMLCall)
-	_ = nk.p.Chan.Down(uchan.Msg{Op: ethproxy.OpWakeQueue})
+func (nk *umlNetKernel) WakeQueue() { nk.WakeQueueQ(0) }
+
+// WakeQueueQ implements api.MultiQueueNetKernel: queue q's device ring
+// regained space; the wake downcall rides queue q's own ring and names the
+// queue, so the proxy releases only that queue's netstack context.
+func (nk *umlNetKernel) WakeQueueQ(q int) {
+	p := nk.p
+	if q < 0 || q >= len(p.QueueAccts) {
+		q = 0
+	}
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpWakeQueue, Args: [6]uint64{uint64(q)}})
 }

@@ -256,6 +256,9 @@ func (mc *MultiChan) Stats() Stats {
 		t.Doorbells += s.Doorbells
 		t.DroppedFull += s.DroppedFull
 		t.SpinTimeouts += s.SpinTimeouts
+		if s.MaxDownBatch > t.MaxDownBatch {
+			t.MaxDownBatch = s.MaxDownBatch
+		}
 	}
 	for _, c := range mc.queues {
 		add(c.Stats())

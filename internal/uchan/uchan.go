@@ -107,6 +107,9 @@ type Stats struct {
 	Doorbells    uint64 // kernel notifications sent by the driver
 	DroppedFull  uint64
 	SpinTimeouts uint64
+	// MaxDownBatch is the deepest downcall batch one doorbell flushed —
+	// how hard §3.1.2 batching is working on this ring.
+	MaxDownBatch uint64
 }
 
 // Driver process service states.
@@ -446,6 +449,9 @@ func (c *Chan) flushDown() {
 	c.drv.Charge(sim.CostUchanDoorbell)
 	batch := c.u2k
 	c.u2k = nil
+	if uint64(len(batch)) > c.stats.MaxDownBatch {
+		c.stats.MaxDownBatch = uint64(len(batch))
+	}
 	for _, m := range batch {
 		c.kern.Charge(sim.CostUchanDequeue)
 		if c.KernelHandler != nil {
