@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"sud/internal/attack"
+	"sud/internal/diskperf"
 	"sud/internal/hw"
 	"sud/internal/netperf"
 	"sud/internal/proxy/ethproxy"
@@ -126,6 +127,43 @@ func BenchmarkMultiFlowUDPStreamRXQ4(b *testing.B) { runMultiFlow(b, 4, 6, netpe
 
 func BenchmarkMultiFlowUDPStreamBidiQ4(b *testing.B) { runMultiFlow(b, 4, 6, netperf.DirBidi) }
 
+// --- Block IOPS rows ------------------------------------------------------------
+//
+// BenchmarkBlockIOPS* run the storage scale scenario: 16 jobs × depth 6
+// of 4 KiB random reads against the NVMe-lite controller driven by the
+// untrusted nvmed process, with Q I/O queue pairs end to end (device
+// engines, driver queue pairs, uchan ring pairs, block-core queue
+// contexts). Q=1 is device-bound at the same rate as the trusted kernel
+// baseline; the Q=4 row is the multi-queue payoff for storage.
+
+func runBlockIOPS(b *testing.B, mode diskperf.Mode, queues int) {
+	b.Helper()
+	var last diskperf.Result
+	for i := 0; i < b.N; i++ {
+		tb, err := diskperf.NewTestbed(mode, queues, hw.DefaultPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := diskperf.BlockIOPS(tb, 16, 6, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ReadKIOPS, "Kiops")
+	b.ReportMetric(last.MBps, "MB/s")
+	b.ReportMetric(last.CPU*100, "cpu%")
+	if mode == diskperf.ModeSUD {
+		b.ReportMetric(float64(last.Wakeups), "wakes")
+		b.ReportMetric(last.CompsPerDoorbell, "comps/doorbell")
+	}
+}
+
+func BenchmarkBlockIOPSKernel(b *testing.B) { runBlockIOPS(b, diskperf.ModeKernel, 1) }
+func BenchmarkBlockIOPSQ1(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 1) }
+func BenchmarkBlockIOPSQ2(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 2) }
+func BenchmarkBlockIOPSQ4(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 4) }
+
 // --- Figure 5 / Figure 9 -------------------------------------------------------
 
 func BenchmarkFig5LoC(b *testing.B) {
@@ -194,6 +232,7 @@ func BenchmarkAttackP2PSUD(b *testing.B)           { runAttack(b, attack.P2PDMA,
 func BenchmarkAttackIRQFloodSUD(b *testing.B)      { runAttack(b, attack.DeviceIRQFlood, sudCfg(), false) }
 func BenchmarkAttackRingFloodSUD(b *testing.B)     { runAttack(b, attack.RingFlood, sudCfg(), false) }
 func BenchmarkAttackRSSSteerSUD(b *testing.B)      { runAttack(b, attack.RSSSteer, sudCfg(), false) }
+func BenchmarkAttackBlkRedirectSUD(b *testing.B)   { runAttack(b, attack.BlkRedirect, sudCfg(), false) }
 func BenchmarkAttackMSIStormPaperHW(b *testing.B)  { runAttack(b, attack.MSIForgeStorm, sudCfg(), true) }
 func BenchmarkAttackMSIStormRemapHW(b *testing.B) {
 	runAttack(b, attack.MSIForgeStorm,

@@ -5,6 +5,7 @@
 //	sudbench -experiment fig9      # Figure 9: e1000e IO virtual memory map
 //	sudbench -experiment security  # §5.2 attack matrix
 //	sudbench -experiment multiflow # multi-queue scale scenario (beyond paper)
+//	sudbench -experiment blk       # block IOPS scale scenario (beyond paper)
 //	sudbench -experiment all       # everything
 //
 // The multiflow experiment takes --queues (uchan ring pairs / e1000e TX+RX
@@ -13,6 +14,12 @@
 // the result rows to a file for the perf-trajectory record):
 //
 //	sudbench -experiment multiflow --queues 4 --flows 6 --direction rx --json BENCH_rx.json
+//
+// The blk experiment runs 4 KiB random reads against the NVMe-lite
+// controller driven by the untrusted nvmed process; --queues is the I/O
+// queue-pair fan-out, --jobs × --depth the offered load:
+//
+//	sudbench -experiment blk --queues 4 --jobs 16 --depth 6 --json BENCH_blk.json
 //
 // Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"sud/internal/diskperf"
 	"sud/internal/hw"
 	"sud/internal/netperf"
 	"sud/internal/report"
@@ -31,12 +39,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | all")
+	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | blk | all")
 	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
-	queues := flag.Int("queues", 4, "multiflow: uchan ring pairs / e1000e TX+RX queues")
+	queues := flag.Int("queues", 4, "multiflow/blk: uchan ring pairs / hardware queues")
 	flows := flag.Int("flows", 6, "multiflow: concurrent UDP flows")
 	direction := flag.String("direction", "tx", "multiflow: tx | rx | bidi")
-	jsonPath := flag.String("json", "", "multiflow: also write result rows as JSON to this file")
+	jobs := flag.Int("jobs", 16, "blk: concurrent I/O jobs")
+	depth := flag.Int("depth", 6, "blk: outstanding reads per job")
+	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -113,6 +123,49 @@ func main() {
 				return err
 			}
 			res, err := netperf.MultiFlowDir(tb, *flows, dir, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			results = append(results, res)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("blk", func() error {
+		opt := netperf.DefaultOptions()
+		opt.Window = sim.Duration(*window) * sim.Millisecond
+		target := *queues
+		if target < 1 {
+			target = 1
+		}
+		// A trusted-baseline row, a single-queue SUD reference row, then
+		// the requested fan-out.
+		type row struct {
+			mode diskperf.Mode
+			q    int
+		}
+		rows := []row{{diskperf.ModeKernel, 1}, {diskperf.ModeSUD, 1}}
+		if target > 1 {
+			rows = append(rows, row{diskperf.ModeSUD, target})
+		}
+		var results []diskperf.Result
+		for _, r := range rows {
+			tb, err := diskperf.NewTestbed(r.mode, r.q, hw.DefaultPlatform())
+			if err != nil {
+				return err
+			}
+			res, err := diskperf.BlockIOPS(tb, *jobs, *depth, opt)
 			if err != nil {
 				return err
 			}

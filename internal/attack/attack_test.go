@@ -128,6 +128,23 @@ func TestRSSSteerClampedAndScoped(t *testing.T) {
 	run(t, RSSSteer, cfgSUDNoACS(), false)
 }
 
+func TestBlkRedirectConfinedUnderEverySUDConfig(t *testing.T) {
+	// A malicious block driver forging completion references, submitting
+	// out-of-range LBAs and aiming DMA at kernel pages: the trusted
+	// baseline is compromised by construction; under SUD the defensive
+	// completion decode, the device's LBA clamp and the IOMMU confine it
+	// on every platform flavour — and the data read back through k.Blk
+	// after an honest restart is never attacker-substituted.
+	run(t, BlkRedirect, cfgKernel(), true)
+	o := run(t, BlkRedirect, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, BlkRedirect, cfgSUDRemap(), false)
+	run(t, BlkRedirect, cfgSUDAMD(), false)
+	run(t, BlkRedirect, cfgSUDNoACS(), false)
+}
+
 func TestRunMatrixCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix is slow")
@@ -136,7 +153,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 10*len(Configs()) {
+	if len(out) != 11*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be

@@ -1,0 +1,89 @@
+package nvme
+
+import (
+	"testing"
+
+	"sud/internal/hw"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// FuzzNVMeRegBank hammers the register and doorbell surface an untrusted
+// driver controls: arbitrary writes over the configuration registers and
+// the whole doorbell array, interleaved with arbitrary admin submission
+// entries fetched from memory the fuzzer also controls. The controller
+// must never panic, never run an engine against a queue that was not
+// created, keep every doorbell value clamped inside its live ring, and
+// reject out-of-range queue-management commands — the invariants the
+// BlkRedirect attack row relies on.
+func FuzzNVMeRegBank(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(
+		// CC enable, then a wild SQ0 doorbell value.
+		[]byte{0x14, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x10, 0xFF, 0xFF, 0xFF, 0xFF},
+		[]byte{AdminCreateIOSQ, 0, 1, 0},
+	)
+	f.Add(
+		// Doorbells for queues that do not exist.
+		[]byte{0x08, 0x10, 0x05, 0x00, 0x00, 0x00, 0x24, 0x10, 0x80, 0x00, 0x00, 0x00},
+		[]byte{AdminCreateIOCQ, 0, 2, 0, 0xFF, 0xFF},
+	)
+	f.Fuzz(func(t *testing.T, writes, sqes []byte) {
+		m := hw.NewMachine(hw.DefaultPlatform())
+		c := New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, MultiQueueParams(MaxIOQueues))
+		c.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
+		m.AttachDevice(c)
+		dom := m.IOMMU.NewDomain()
+		dom.Passthrough = true
+		m.IOMMU.Attach(c.BDF(), dom)
+
+		// A live admin queue seeded with fuzzer-controlled SQEs, so
+		// doorbell scribbles can reach command execution.
+		asq, ok1 := m.Alloc.AllocPages(1)
+		acq, ok2 := m.Alloc.AllocPages(1)
+		if !ok1 || !ok2 {
+			t.Skip("oom")
+		}
+		for i := 0; i+1 <= len(sqes) && i < 16*SQESize; i += SQESize {
+			end := i + SQESize
+			if end > len(sqes) {
+				end = len(sqes)
+			}
+			m.Mem.MustWrite(asq+mem.Addr(i), sqes[i:end])
+		}
+		c.MMIOWrite(0, RegAQA, 4, uint64(15|15<<16))
+		c.MMIOWrite(0, RegASQL, 4, uint64(uint32(asq)))
+		c.MMIOWrite(0, RegACQL, 4, uint64(uint32(acq)))
+		c.MMIOWrite(0, RegCC, 4, CcEnable)
+
+		// The register surface under attack: config block + the whole
+		// doorbell array, with slack beyond it.
+		const lo, hi = uint64(0), DoorbellBase + 2*(1+MaxIOQueues)*DoorbellStride + 0x100
+		for i := 0; i+6 <= len(writes); i += 6 {
+			off := lo + (uint64(writes[i])|uint64(writes[i+1])<<8)%(hi-lo)
+			val := uint64(writes[i+2]) | uint64(writes[i+3])<<8 |
+				uint64(writes[i+4])<<16 | uint64(writes[i+5])<<24
+			c.MMIOWrite(0, off&^3, 4, val)
+		}
+		m.Loop.RunFor(sim.Millisecond)
+
+		// Every live doorbell register reads back inside its ring; no
+		// engine may be running against a queue that does not exist.
+		for q := 0; q <= MaxIOQueues; q++ {
+			if c.sq[q].created {
+				if v := uint32(c.MMIORead(0, SQDoorbell(q), 4)); v >= c.sq[q].size {
+					t.Fatalf("SQ%d doorbell %d escaped ring of %d", q, v, c.sq[q].size)
+				}
+			}
+			if c.cq[q].created {
+				if v := uint32(c.MMIORead(0, CQDoorbell(q), 4)); v >= c.cq[q].size {
+					t.Fatalf("CQ%d doorbell %d escaped ring of %d", q, v, c.cq[q].size)
+				}
+			}
+			if q > 0 && c.engineActive[q] && !c.sq[q].created {
+				t.Fatalf("engine %d active without a created queue", q)
+			}
+		}
+	})
+}

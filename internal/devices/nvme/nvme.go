@@ -1,0 +1,832 @@
+// Package nvme models an NVMe-lite storage controller at register level: an
+// admin submission/completion queue pair plus up to MaxIOQueues I/O queue
+// pairs, each behind its own doorbell in the BAR0 doorbell array, with
+// 64-byte submission entries and 16-byte phase-tagged completion entries
+// fetched and written back via DMA — so a driver bug (or attack) that
+// programs a bad queue base or PRP produces a real IOMMU fault. The nvmed
+// driver in internal/drivers/nvmed programs it the way the Linux NVMe driver
+// programs real silicon: through BAR0 registers, admin commands and
+// in-memory queue rings.
+//
+// The per-queue design is the point: like real NVMe, every I/O queue pair
+// has its own doorbells and its own command engine, so queues make progress
+// in parallel — the per-command engine and media time serialise within a
+// queue, not across queues. That is what the multi-queue uchan transport
+// scales against.
+package nvme
+
+import (
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+)
+
+// PCI identity: the QEMU NVMe controller ID, class = mass storage.
+const (
+	VendorID = 0x1B36
+	DeviceID = 0x0010
+)
+
+// Register offsets in BAR0 (a condensed NVMe 1.x map).
+const (
+	// RegCAP is the read-only capability register (low dword): bits
+	// [0:16) MQES (max queue entries, 0's based), bits [16:20) the
+	// number of I/O queue pairs the controller exposes — our stand-in
+	// for the Set Features "Number of Queues" negotiation.
+	RegCAP = 0x0000
+	// RegVS is the version register.
+	RegVS = 0x0008
+	// RegINTMS/RegINTMC set/clear bits in the interrupt mask (write-1s);
+	// bit q masks completions of CQ q (bit 0 = admin CQ).
+	RegINTMS = 0x000C
+	RegINTMC = 0x0010
+	// RegCC is controller configuration; writing CcEnable brings the
+	// controller up, clearing it resets every queue.
+	RegCC = 0x0014
+	// RegCSTS is controller status; CstsReady reflects CC enable.
+	RegCSTS = 0x001C
+	// RegAQA holds the admin queue sizes (0's based): bits [0:12) the
+	// admin SQ size, bits [16:28) the admin CQ size.
+	RegAQA = 0x0024
+	// RegASQL/H and RegACQL/H hold the admin SQ/CQ base addresses.
+	RegASQL = 0x0028
+	RegASQH = 0x002C
+	RegACQL = 0x0030
+	RegACQH = 0x0034
+	// RegINTCOAL is the interrupt-coalescing interval in 256 ns units
+	// (the register stand-in for NVMe's Interrupt Coalescing feature):
+	// at most one completion MSI per interval, further completions
+	// riding the deferred message. 0 disables coalescing.
+	RegINTCOAL = 0x0038
+
+	// DoorbellBase is the start of the doorbell array: queue q's SQ tail
+	// doorbell lives at DoorbellBase + (2q)·DoorbellStride and its CQ
+	// head doorbell at DoorbellBase + (2q+1)·DoorbellStride. Queue 0 is
+	// the admin queue.
+	DoorbellBase   = 0x1000
+	DoorbellStride = 4
+
+	// BARSize is the size of BAR0.
+	BARSize = 0x4000
+)
+
+// CC/CSTS bits.
+const (
+	CcEnable  = 1 << 0
+	CstsReady = 1 << 0
+)
+
+// Queue entry sizes, as on real NVMe.
+const (
+	SQESize = 64
+	CQESize = 16
+)
+
+// Submission-entry layout (byte offsets inside the 64-byte SQE; a condensed
+// rendition of the NVMe command format, little-endian):
+//
+//	[0]      opcode
+//	[2:4)    CID (command identifier)
+//	[24:32)  PRP1 — data pointer, first page
+//	[32:40)  PRP2 — second page when the buffer crosses a page boundary
+//	[40:48)  SLBA (I/O) or queue-management dword: qid [40:42),
+//	         qsize-1 [42:44), cqid [44:46) (admin create/delete)
+//	[48:50)  NLB, 0's based (I/O commands)
+const (
+	sqeOpcode = 0
+	sqeCID    = 2
+	sqePRP1   = 24
+	sqePRP2   = 32
+	sqeSLBA   = 40
+	sqeQID    = 40
+	sqeQSize  = 42
+	sqeCQID   = 44
+	sqeNLB    = 48
+)
+
+// Admin opcodes (NVMe values).
+const (
+	AdminDeleteIOSQ = 0x00
+	AdminCreateIOSQ = 0x01
+	AdminDeleteIOCQ = 0x04
+	AdminCreateIOCQ = 0x05
+	AdminIdentify   = 0x06
+)
+
+// I/O opcodes (NVMe values).
+const (
+	CmdFlush = 0x00
+	CmdWrite = 0x01
+	CmdRead  = 0x02
+)
+
+// Completion status codes, stored in CQE bits [1:16) above the phase tag.
+const (
+	StatusOK            = 0
+	StatusInvalidOpcode = 1
+	StatusInvalidField  = 2
+	StatusLBARange      = 3
+	StatusQueueExists   = 4
+	StatusNoQueue       = 5
+)
+
+// Identify-page layout: the controller DMA-writes its geometry into the
+// caller's PRP1 page.
+//
+//	[0:8)   capacity in logical blocks
+//	[8:12)  logical block size in bytes
+//	[12:14) I/O queue pairs available
+const (
+	idBlocks   = 0
+	idBlkSize  = 8
+	idIOQueues = 12
+	// IdentifyLen is how many bytes the Identify command writes.
+	IdentifyLen = 16
+)
+
+// BlockSize is the logical block size: one 4 KiB page, so a single-block
+// transfer is one PRP page (plus PRP2 when the buffer is not page-aligned).
+const BlockSize = 4096
+
+// MaxIOQueues is the most I/O queue pairs the controller exposes.
+const MaxIOQueues = 4
+
+// MaxQueueEntries bounds SQ/CQ ring sizes (MQES).
+const MaxQueueEntries = 256
+
+// Params tunes the controller's internal engines. Per-command costs
+// serialise within one I/O queue pair only; the admin queue is control
+// plane and executes inline.
+type Params struct {
+	// CmdOverhead is the fixed per-command engine cost (SQE fetch
+	// scheduling, completion posting), on top of media and DMA time.
+	CmdOverhead sim.Duration
+	// MediaPerByte is the flash array's per-byte access time.
+	MediaPerByte float64
+	// IOQueues is the number of I/O queue pairs (1..MaxIOQueues; 0
+	// means 1).
+	IOQueues int
+	// Blocks is the media capacity in logical blocks (0 picks 4096,
+	// a 16 MiB device).
+	Blocks uint64
+}
+
+// DefaultParams models a single-queue NVMe-lite part: ~2.5 µs command
+// overhead plus ~1.6 µs media time per 4 KiB block (~240 Kops/s per queue
+// ceiling before DMA time).
+func DefaultParams() Params {
+	return Params{
+		CmdOverhead:  2500 * sim.Nanosecond,
+		MediaPerByte: 0.4,
+	}
+}
+
+// MultiQueueParams is DefaultParams with queues I/O queue pairs.
+func MultiQueueParams(queues int) Params {
+	p := DefaultParams()
+	p.IOQueues = queues
+	return p
+}
+
+// sqState is one submission queue as the controller sees it.
+type sqState struct {
+	created bool
+	base    mem.Addr
+	size    uint32 // entries
+	head    uint32 // controller-side consumer index
+	cqid    int
+}
+
+// cqState is one completion queue as the controller sees it.
+type cqState struct {
+	created bool
+	base    mem.Addr
+	size    uint32
+	tail    uint32 // controller-side producer index
+	phase   bool   // current phase tag (starts true, flips per wrap)
+}
+
+// Ctrl is one NVMe-lite controller instance.
+type Ctrl struct {
+	pci.FuncBase
+
+	loop   *sim.Loop
+	params Params
+
+	regs  map[uint64]uint32
+	ready bool
+
+	media  []byte
+	blocks uint64
+
+	// Queue 0 is the admin pair; 1..MaxIOQueues are I/O pairs.
+	sq [1 + MaxIOQueues]sqState
+	cq [1 + MaxIOQueues]cqState
+
+	// Per-I/O-queue engine state (index by qid; 0 unused — admin runs
+	// inline).
+	engineActive    [1 + MaxIOQueues]bool
+	engineBusyUntil [1 + MaxIOQueues]sim.Time
+
+	// intPending latches per-CQ completion causes awaiting MSI delivery.
+	intPending uint32
+	// Interrupt coalescing state (RegINTCOAL).
+	lastIntAt   sim.Time
+	intDeferred bool
+
+	// Counters.
+	Commands               uint64
+	ReadBlocks             uint64
+	WriteBlocks            uint64
+	DMAFaults              uint64
+	LBARejects             uint64
+	BadCommands            uint64 // malformed/out-of-range SQEs rejected
+	BadDoorbells           uint64 // doorbell writes outside any live queue
+	CQOverruns             uint64
+	InterruptsRaised       uint64
+	InterruptsSuppressedBy uint64
+}
+
+// New creates an NVMe-lite controller with the given identity and BAR0
+// base. It must then be attached to the fabric via Machine.AttachDevice.
+func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, p Params) *Ctrl {
+	if p.Blocks == 0 {
+		p.Blocks = 4096
+	}
+	c := &Ctrl{
+		loop:   loop,
+		params: p,
+		regs:   make(map[uint64]uint32),
+		blocks: p.Blocks,
+		media:  make([]byte, int(p.Blocks)*BlockSize),
+	}
+	cfg := pci.NewConfigSpace(VendorID, DeviceID, 0x01) // class = mass storage
+	cfg.SetBAR(0, barBase, BARSize, false)
+	cfg.AddMSICapability()
+	c.InitFunc(bdf, cfg)
+	cfg.OnMSIChange = func() {
+		if !cfg.MSI().Masked {
+			c.maybeInterrupt()
+		}
+	}
+	c.reset()
+	return c
+}
+
+// Geometry reports the modelled media shape.
+func (c *Ctrl) Geometry() (blockSize int, blocks uint64) { return BlockSize, c.blocks }
+
+// SeedMedia fills block lba with data (test/harness backdoor standing in
+// for a factory image; real traffic goes through the queues).
+func (c *Ctrl) SeedMedia(lba uint64, data []byte) {
+	if lba >= c.blocks {
+		return
+	}
+	copy(c.media[int(lba)*BlockSize:(int(lba)+1)*BlockSize], data)
+}
+
+// PeekMedia returns a copy of block lba (tests).
+func (c *Ctrl) PeekMedia(lba uint64) []byte {
+	if lba >= c.blocks {
+		return nil
+	}
+	out := make([]byte, BlockSize)
+	copy(out, c.media[int(lba)*BlockSize:])
+	return out
+}
+
+func (c *Ctrl) reset() {
+	for k := range c.regs {
+		delete(c.regs, k)
+	}
+	c.ready = false
+	c.intPending = 0
+	for i := range c.sq {
+		c.sq[i] = sqState{}
+		c.cq[i] = cqState{}
+	}
+}
+
+func (c *Ctrl) ioQueues() int {
+	q := c.params.IOQueues
+	if q < 1 {
+		return 1
+	}
+	if q > MaxIOQueues {
+		return MaxIOQueues
+	}
+	return q
+}
+
+// capWord assembles the read-only CAP register.
+func (c *Ctrl) capWord() uint32 {
+	return uint32(MaxQueueEntries-1) | uint32(c.ioQueues())<<16
+}
+
+// --- register decode --------------------------------------------------------
+
+// MMIORead implements pci.Device.
+func (c *Ctrl) MMIORead(bar int, off uint64, size int) uint64 {
+	if bar != 0 {
+		return ^uint64(0)
+	}
+	switch off {
+	case RegCAP:
+		return uint64(c.capWord())
+	case RegVS:
+		return 0x00010400 // 1.4
+	case RegCSTS:
+		if c.ready {
+			return CstsReady
+		}
+		return 0
+	case RegINTMS, RegINTMC:
+		return uint64(c.regs[RegINTMS])
+	default:
+		return uint64(c.regs[off])
+	}
+}
+
+// MMIOWrite implements pci.Device.
+func (c *Ctrl) MMIOWrite(bar int, off uint64, size int, v uint64) {
+	if bar != 0 {
+		return
+	}
+	val := uint32(v)
+	switch off {
+	case RegCC:
+		was := c.regs[RegCC]
+		c.regs[RegCC] = val
+		if val&CcEnable != 0 && was&CcEnable == 0 {
+			c.enable()
+		} else if val&CcEnable == 0 && was&CcEnable != 0 {
+			cc := c.regs[RegCC] // controller reset clears all queue state
+			c.reset()
+			c.regs[RegCC] = cc &^ CcEnable
+		}
+	case RegINTMS:
+		c.regs[RegINTMS] |= val
+	case RegINTMC:
+		c.regs[RegINTMS] &^= val
+		c.maybeInterrupt()
+	case RegAQA, RegASQL, RegASQH, RegACQL, RegACQH:
+		c.regs[off] = val
+	default:
+		if qid, isCQ, ok := doorbellFor(off); ok {
+			c.doorbell(qid, isCQ, val)
+			return
+		}
+		c.regs[off] = val
+	}
+}
+
+// doorbellFor maps a register offset into the doorbell array: (queue id,
+// CQ-head?) — ok for any offset inside the array.
+func doorbellFor(off uint64) (qid int, isCQ bool, ok bool) {
+	if off < DoorbellBase || off >= DoorbellBase+uint64(2*(1+MaxIOQueues))*DoorbellStride {
+		return 0, false, false
+	}
+	idx := (off - DoorbellBase) / DoorbellStride
+	return int(idx / 2), idx%2 == 1, true
+}
+
+// SQDoorbell returns queue qid's submission tail doorbell offset.
+func SQDoorbell(qid int) uint64 { return DoorbellBase + uint64(2*qid)*DoorbellStride }
+
+// CQDoorbell returns queue qid's completion head doorbell offset.
+func CQDoorbell(qid int) uint64 { return DoorbellBase + uint64(2*qid+1)*DoorbellStride }
+
+// doorbell services one doorbell write. Values are clamped into the live
+// ring — an out-of-range tail from a buggy or malicious driver degrades to
+// a valid index instead of wild fetch state, and doorbells for queues that
+// do not exist are dropped and counted.
+func (c *Ctrl) doorbell(qid int, isCQ bool, val uint32) {
+	if !c.ready {
+		c.BadDoorbells++
+		return
+	}
+	if isCQ {
+		cq := &c.cq[qid]
+		if !cq.created {
+			c.BadDoorbells++
+			return
+		}
+		c.regs[CQDoorbell(qid)] = val % cq.size
+		// Freeing CQ space may unblock a stalled engine — any engine
+		// whose SQ completes into this CQ (createSQ permits fan-in,
+		// cqid != qid, as real NVMe does).
+		for sqid := 1; sqid <= MaxIOQueues; sqid++ {
+			if c.sq[sqid].created && c.sq[sqid].cqid == qid {
+				c.kickEngine(sqid)
+			}
+		}
+		return
+	}
+	sq := &c.sq[qid]
+	if !sq.created {
+		c.BadDoorbells++
+		return
+	}
+	c.regs[SQDoorbell(qid)] = val % sq.size
+	if qid == 0 {
+		// Admin commands are control plane: executed inline, no engine
+		// time modelled.
+		for c.sq[0].created && c.sq[0].head != c.regs[SQDoorbell(0)] {
+			c.adminStep()
+		}
+		return
+	}
+	c.kickEngine(qid)
+}
+
+// --- queue plumbing ---------------------------------------------------------
+
+func (c *Ctrl) enable() {
+	aqa := c.regs[RegAQA]
+	asqs := aqa&0xFFF + 1
+	acqs := (aqa>>16)&0xFFF + 1
+	if asqs > MaxQueueEntries {
+		asqs = MaxQueueEntries
+	}
+	if acqs > MaxQueueEntries {
+		acqs = MaxQueueEntries
+	}
+	c.sq[0] = sqState{
+		created: true,
+		base:    mem.Addr(uint64(c.regs[RegASQH])<<32 | uint64(c.regs[RegASQL])),
+		size:    asqs,
+		cqid:    0,
+	}
+	c.cq[0] = cqState{
+		created: true,
+		base:    mem.Addr(uint64(c.regs[RegACQH])<<32 | uint64(c.regs[RegACQL])),
+		size:    acqs,
+		phase:   true,
+	}
+	c.ready = true
+}
+
+// postCQE writes one completion entry to CQ cqid and latches its interrupt
+// cause. It reports false when the CQ is full (the engine must stall).
+func (c *Ctrl) postCQE(cqid int, sqid int, cid uint16, result uint32, status uint16) bool {
+	cq := &c.cq[cqid]
+	if !cq.created {
+		return true // nowhere to complete to; drop silently like hardware
+	}
+	next := (cq.tail + 1) % cq.size
+	if next == c.regs[CQDoorbell(cqid)] {
+		c.CQOverruns++
+		return false
+	}
+	var e [CQESize]byte
+	putLE32(e[0:4], result)
+	putLE16(e[8:10], uint16(c.sq[sqid].head))
+	putLE16(e[10:12], uint16(sqid))
+	putLE16(e[12:14], cid)
+	st := status << 1
+	if cq.phase {
+		st |= 1
+	}
+	putLE16(e[14:16], st)
+	if err := c.DMAWrite(cq.base+mem.Addr(cq.tail*CQESize), e[:]); err != nil {
+		c.DMAFaults++
+		return true
+	}
+	cq.tail = next
+	if cq.tail == 0 {
+		cq.phase = !cq.phase
+	}
+	c.intPending |= 1 << uint(cqid)
+	c.maybeInterrupt()
+	return true
+}
+
+// coalesceInterval returns the minimum gap between completion interrupts.
+func (c *Ctrl) coalesceInterval() sim.Duration {
+	return sim.Duration(c.regs[RegINTCOAL]) * 256
+}
+
+func (c *Ctrl) maybeInterrupt() {
+	if c.intPending&^c.regs[RegINTMS] == 0 {
+		return
+	}
+	// Interrupt coalescing: completions inside the interval aggregate
+	// behind one deferred message, so a busy device interrupts at the
+	// programmed rate, not once per command.
+	now := c.loop.Now()
+	gap := c.coalesceInterval()
+	if gap > 0 && now-c.lastIntAt < gap {
+		if !c.intDeferred {
+			c.intDeferred = true
+			c.loop.At(c.lastIntAt+gap, func() {
+				c.intDeferred = false
+				c.maybeInterrupt()
+			})
+		}
+		return
+	}
+	// The cause stays latched until a message is actually delivered: with
+	// the MSI masked (SUD masks re-raised interrupts until the driver
+	// acks, §3.2.2) the unmask path re-fires via OnMSIChange.
+	if c.RaiseMSI() {
+		c.lastIntAt = now
+		c.InterruptsRaised++
+		// Only the unmasked causes were delivered; causes for masked
+		// CQs stay latched until RegINTMC unmasks them.
+		c.intPending &= c.regs[RegINTMS]
+	} else {
+		c.InterruptsSuppressedBy++
+	}
+}
+
+// --- admin command execution -------------------------------------------------
+
+func (c *Ctrl) adminStep() {
+	sq := &c.sq[0]
+	sqe, err := c.DMARead(sq.base+mem.Addr(sq.head*SQESize), SQESize)
+	sq.head = (sq.head + 1) % sq.size
+	if err != nil {
+		c.DMAFaults++
+		return
+	}
+	c.Commands++
+	op := sqe[sqeOpcode]
+	cid := le16(sqe[sqeCID : sqeCID+2])
+	status := uint16(StatusOK)
+	switch op {
+	case AdminIdentify:
+		var page [IdentifyLen]byte
+		putLE64(page[idBlocks:idBlocks+8], c.blocks)
+		putLE32(page[idBlkSize:idBlkSize+4], BlockSize)
+		putLE16(page[idIOQueues:idIOQueues+2], uint16(c.ioQueues()))
+		if err := c.DMAWrite(mem.Addr(le64(sqe[sqePRP1:sqePRP1+8])), page[:]); err != nil {
+			c.DMAFaults++
+			status = StatusInvalidField
+		}
+	case AdminCreateIOCQ:
+		status = c.createCQ(sqe)
+	case AdminCreateIOSQ:
+		status = c.createSQ(sqe)
+	case AdminDeleteIOCQ:
+		status = c.deleteQueue(sqe, true)
+	case AdminDeleteIOSQ:
+		status = c.deleteQueue(sqe, false)
+	default:
+		c.BadCommands++
+		status = StatusInvalidOpcode
+	}
+	c.postCQE(0, 0, cid, 0, status)
+}
+
+// qidOf decodes and bounds-checks the queue-management qid field.
+func (c *Ctrl) qidOf(sqe []byte) (int, bool) {
+	qid := int(le16(sqe[sqeQID : sqeQID+2]))
+	if qid < 1 || qid > c.ioQueues() {
+		return 0, false
+	}
+	return qid, true
+}
+
+func (c *Ctrl) createCQ(sqe []byte) uint16 {
+	qid, ok := c.qidOf(sqe)
+	if !ok {
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	if c.cq[qid].created {
+		c.BadCommands++
+		return StatusQueueExists
+	}
+	size := uint32(le16(sqe[sqeQSize:sqeQSize+2])) + 1
+	if size < 2 || size > MaxQueueEntries {
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	c.cq[qid] = cqState{
+		created: true,
+		base:    mem.Addr(le64(sqe[sqePRP1 : sqePRP1+8])),
+		size:    size,
+		phase:   true,
+	}
+	c.regs[CQDoorbell(qid)] = 0
+	return StatusOK
+}
+
+func (c *Ctrl) createSQ(sqe []byte) uint16 {
+	qid, ok := c.qidOf(sqe)
+	if !ok {
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	if c.sq[qid].created {
+		c.BadCommands++
+		return StatusQueueExists
+	}
+	cqid := int(le16(sqe[sqeCQID : sqeCQID+2]))
+	if cqid < 1 || cqid > c.ioQueues() || !c.cq[cqid].created {
+		c.BadCommands++
+		return StatusNoQueue
+	}
+	size := uint32(le16(sqe[sqeQSize:sqeQSize+2])) + 1
+	if size < 2 || size > MaxQueueEntries {
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	c.sq[qid] = sqState{
+		created: true,
+		base:    mem.Addr(le64(sqe[sqePRP1 : sqePRP1+8])),
+		size:    size,
+		cqid:    cqid,
+	}
+	c.regs[SQDoorbell(qid)] = 0
+	return StatusOK
+}
+
+func (c *Ctrl) deleteQueue(sqe []byte, isCQ bool) uint16 {
+	qid, ok := c.qidOf(sqe)
+	if !ok {
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	if isCQ {
+		if !c.cq[qid].created {
+			c.BadCommands++
+			return StatusNoQueue
+		}
+		c.cq[qid] = cqState{}
+	} else {
+		if !c.sq[qid].created {
+			c.BadCommands++
+			return StatusNoQueue
+		}
+		c.sq[qid] = sqState{}
+	}
+	return StatusOK
+}
+
+// --- I/O command engines ------------------------------------------------------
+
+func (c *Ctrl) kickEngine(qid int) {
+	sq := &c.sq[qid]
+	if c.engineActive[qid] || !sq.created || sq.head == c.regs[SQDoorbell(qid)] {
+		return
+	}
+	c.engineActive[qid] = true
+	start := c.engineBusyUntil[qid]
+	if now := c.loop.Now(); start < now {
+		start = now
+	}
+	c.loop.At(start, func() { c.ioStep(qid) })
+}
+
+// ioStep processes one I/O command on queue qid, then reschedules itself
+// after the engine's command time. Queues step independently: engine and
+// media time serialise within a queue only.
+func (c *Ctrl) ioStep(qid int) {
+	c.engineActive[qid] = false
+	sq := &c.sq[qid]
+	if !sq.created || sq.head == c.regs[SQDoorbell(qid)] {
+		return
+	}
+	sqe, err := c.DMARead(sq.base+mem.Addr(sq.head*SQESize), SQESize)
+	engine := c.params.CmdOverhead + sim.DMA(SQESize)
+	if err != nil {
+		c.DMAFaults++
+		sq.head = (sq.head + 1) % sq.size
+		c.finishIO(qid, engine)
+		return
+	}
+	c.Commands++
+	op := sqe[sqeOpcode]
+	cid := le16(sqe[sqeCID : sqeCID+2])
+	status := uint16(StatusOK)
+
+	switch op {
+	case CmdFlush:
+		// Media is modelled as always durable; flush is a fixed-cost
+		// barrier.
+	case CmdRead, CmdWrite:
+		status = c.execRW(sqe, op == CmdWrite, &engine)
+	default:
+		c.BadCommands++
+		status = StatusInvalidOpcode
+	}
+
+	sq.head = (sq.head + 1) % sq.size
+	if !c.postCQE(sq.cqid, qid, cid, 0, status) {
+		// CQ full: the engine stalls with the command unconsumed; the CQ
+		// head doorbell re-kicks processing once software frees entries.
+		sq.head = (sq.head - 1 + sq.size) % sq.size
+		now := c.loop.Now()
+		if c.engineBusyUntil[qid] < now {
+			c.engineBusyUntil[qid] = now
+		}
+		c.engineBusyUntil[qid] += engine
+		return
+	}
+	c.finishIO(qid, engine)
+}
+
+// execRW performs one single-block read or write: LBA bounds are checked
+// before any DMA (an out-of-range LBA is rejected with media untouched),
+// and the data moves through PRP1/PRP2 — crossing into the PRP2 page when
+// the buffer is not page-aligned, as NVMe PRPs do for 4 KiB transfers.
+func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
+	if nlb := le16(sqe[sqeNLB : sqeNLB+2]); nlb != 0 {
+		// NVMe-lite: exactly one logical block per command.
+		c.BadCommands++
+		return StatusInvalidField
+	}
+	lba := le64(sqe[sqeSLBA : sqeSLBA+8])
+	if lba >= c.blocks {
+		c.LBARejects++
+		return StatusLBARange
+	}
+	prp1 := mem.Addr(le64(sqe[sqePRP1 : sqePRP1+8]))
+	prp2 := mem.Addr(le64(sqe[sqePRP2 : sqePRP2+8]))
+	first := BlockSize - int(uint64(prp1)%mem.PageSize)
+	if first > BlockSize {
+		first = BlockSize
+	}
+	rest := BlockSize - first
+
+	*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
+	mediaOff := int(lba) * BlockSize
+	if write {
+		buf, err := c.DMARead(prp1, first)
+		*engine += sim.DMA(first)
+		if err != nil {
+			c.DMAFaults++
+			return StatusInvalidField
+		}
+		copy(c.media[mediaOff:], buf)
+		if rest > 0 {
+			buf, err = c.DMARead(prp2, rest)
+			*engine += sim.DMA(rest)
+			if err != nil {
+				c.DMAFaults++
+				return StatusInvalidField
+			}
+			copy(c.media[mediaOff+first:], buf)
+		}
+		c.WriteBlocks++
+		return StatusOK
+	}
+	if err := c.DMAWrite(prp1, c.media[mediaOff:mediaOff+first]); err != nil {
+		c.DMAFaults++
+		return StatusInvalidField
+	}
+	*engine += sim.DMA(first)
+	if rest > 0 {
+		if err := c.DMAWrite(prp2, c.media[mediaOff+first:mediaOff+BlockSize]); err != nil {
+			c.DMAFaults++
+			return StatusInvalidField
+		}
+		*engine += sim.DMA(rest)
+	}
+	c.ReadBlocks++
+	return StatusOK
+}
+
+func (c *Ctrl) finishIO(qid int, engine sim.Duration) {
+	now := c.loop.Now()
+	if c.engineBusyUntil[qid] < now {
+		c.engineBusyUntil[qid] = now
+	}
+	c.engineBusyUntil[qid] += engine
+	sq := &c.sq[qid]
+	if sq.created && sq.head != c.regs[SQDoorbell(qid)] {
+		c.engineActive[qid] = true
+		c.loop.At(c.engineBusyUntil[qid], func() { c.ioStep(qid) })
+	}
+}
+
+// IORead/IOWrite: no IO BAR.
+func (c *Ctrl) IORead(bar int, off uint64, size int) uint32     { return 0xFFFFFFFF }
+func (c *Ctrl) IOWrite(bar int, off uint64, size int, v uint32) {}
+
+// --- little-endian helpers ----------------------------------------------------
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLE16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+
+func putLE32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

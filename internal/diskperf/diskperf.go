@@ -1,0 +1,272 @@
+// Package diskperf is the block-I/O measurement harness — the storage
+// sibling of internal/netperf. It boots a DUT machine with the NVMe-lite
+// controller, runs the nvmed driver either trusted in-kernel or inside an
+// untrusted SUD process with Q uchan ring pairs, and measures 4 KiB random
+// read IOPS under J concurrent jobs each keeping D requests outstanding —
+// an fio-style workload in deterministic virtual time. Per-queue transport
+// rates (doorbells, wakes, completion batching) are reported the way the
+// multi-flow network harness reports them, so the block path's multi-queue
+// scaling is measured with the same vocabulary.
+package diskperf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sud/internal/devices/nvme"
+	"sud/internal/drivers/nvmed"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/blockdev"
+	"sud/internal/netperf"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+// Mode selects the hosting configuration under test.
+type Mode int
+
+const (
+	// ModeKernel is the trusted baseline: nvmed runs in the kernel.
+	ModeKernel Mode = iota
+	// ModeSUD hosts nvmed in an untrusted user-space process.
+	ModeSUD
+)
+
+func (m Mode) String() string {
+	if m == ModeKernel {
+		return "kernel"
+	}
+	return "sud"
+}
+
+// MarshalJSON records the mode by name.
+func (m Mode) MarshalJSON() ([]byte, error) { return []byte(`"` + m.String() + `"`), nil }
+
+// Application-side costs per I/O (submission syscall, completion wake).
+const (
+	costAppSubmit sim.Duration = 700
+	costAppReap   sim.Duration = 500
+)
+
+// ScaleCores is the block DUT's core count: like the multi-flow network
+// scenario it models a server-class machine, so the device — not the CPU —
+// is the bottleneck under test.
+const ScaleCores = 16
+
+// Testbed is one block DUT.
+type Testbed struct {
+	Mode   Mode
+	Queues int
+
+	M    *hw.Machine
+	K    *kernel.Kernel
+	Ctrl *nvme.Ctrl
+	Proc *sudml.Process // nil under ModeKernel
+	Dev  *blockdev.Dev
+}
+
+// NewTestbed boots a machine with the NVMe-lite controller driven by nvmed
+// in the given mode, with `queues` I/O queue pairs end to end (device
+// engines, driver queue pairs, and — under SUD — uchan ring pairs).
+func NewTestbed(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
+	if queues < 1 {
+		queues = 1
+	}
+	if queues > nvme.MaxIOQueues {
+		queues = nvme.MaxIOQueues
+	}
+	if plat.Cores == 0 {
+		plat.Cores = ScaleCores
+	}
+	m := hw.NewMachine(plat)
+	k := kernel.New(m)
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(queues))
+	m.AttachDevice(ctrl)
+
+	tb := &Testbed{Mode: mode, Queues: queues, M: m, K: k, Ctrl: ctrl}
+	switch mode {
+	case ModeKernel:
+		if _, err := k.BindInKernel(nvmed.NewQ(queues), ctrl); err != nil {
+			return nil, err
+		}
+	case ModeSUD:
+		proc, err := sudml.StartQ(k, ctrl, nvmed.NewQ(queues), "nvmed", 1003, queues)
+		if err != nil {
+			return nil, err
+		}
+		tb.Proc = proc
+	}
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Up(); err != nil {
+		return nil, err
+	}
+	tb.Dev = dev
+	m.Loop.RunFor(100 * sim.Microsecond)
+	return tb, nil
+}
+
+// Result aggregates one block-IOPS measurement.
+type Result struct {
+	Mode             Mode
+	Queues, Jobs     int
+	Depth            int
+	ReadKIOPS        float64
+	MBps             float64
+	CPU              float64
+	Wakeups          uint64
+	CompsPerDoorbell float64
+	MaxDownBatch     uint64
+	PerQueue         []netperf.QueueReport
+	Windows          int
+	CIRel            float64
+}
+
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BLOCK_IOPS %s Q=%d J=%d D=%d %9.1f Kiops (%.1f MB/s) %5.1f%% CPU, %d wakes",
+		r.Mode, r.Queues, r.Jobs, r.Depth, r.ReadKIOPS, r.MBps, r.CPU*100, r.Wakeups)
+	if r.Mode == ModeSUD {
+		fmt.Fprintf(&b, ", %.1f comps/doorbell (max batch %d)", r.CompsPerDoorbell, r.MaxDownBatch)
+	}
+	b.WriteString("\n")
+	for _, q := range r.PerQueue {
+		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups\n",
+			q.Queue, q.Upcalls, q.Downcalls, q.Doorbells, q.DoorbellsPerSec, q.Wakeups, q.SpinPickups)
+	}
+	return b.String()
+}
+
+// BlockIOPS runs jobs concurrent readers, each keeping depth single-block
+// reads outstanding over a striding LBA pattern (steered across the queue
+// pairs by the block core's LBA hash), and reports aggregate read IOPS.
+func BlockIOPS(tb *Testbed, jobs, depth int, opt netperf.Options) (Result, error) {
+	if jobs < 1 || depth < 1 {
+		return Result{}, fmt.Errorf("diskperf: need at least one job and depth 1")
+	}
+	stopped := false
+	var completed uint64
+
+	// Each job strides its own LBA region; a completed read immediately
+	// issues the next after the app's reap+submit time, so the offered
+	// depth stays constant — fio's io_depth behaviour. ErrCongested backs
+	// off briefly instead of spinning.
+	var issue func(j int, seq uint64)
+	issue = func(j int, seq uint64) {
+		if stopped {
+			return
+		}
+		lba := (uint64(j)*977 + seq*13) % tb.Dev.Geom.Blocks
+		tb.K.Acct.Charge(costAppSubmit)
+		err := tb.Dev.ReadAt(lba, func(_ []byte, err error) {
+			if stopped {
+				return
+			}
+			completed++
+			tb.K.Acct.Charge(costAppReap)
+			tb.M.Loop.After(costAppReap, func() { issue(j, seq+1) })
+		})
+		if err != nil {
+			tb.M.Loop.After(10*sim.Microsecond, func() { issue(j, seq) })
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		for d := 0; d < depth; d++ {
+			issue(j, uint64(d*100))
+		}
+	}
+	defer func() { stopped = true }()
+
+	tb.M.Loop.RunFor(opt.Warmup)
+
+	base := completed
+	var qBase []netperf.QueueReport
+	var wakeBase uint64
+	if tb.Proc != nil {
+		qBase = make([]netperf.QueueReport, tb.Queues)
+		for q := range qBase {
+			s := tb.Proc.Chan.QueueStats(q)
+			qBase[q] = netperf.QueueReport{Queue: q, Upcalls: s.Upcalls, Downcalls: s.Downcalls,
+				Doorbells: s.Doorbells, Wakeups: s.Wakeups, SpinPickups: s.SpinPickups}
+		}
+		wakeBase = tb.Proc.Chan.Stats().Wakeups
+	}
+
+	var vals, cpus []float64
+	for len(vals) < opt.MaxWindows {
+		start := tb.M.Now()
+		tb.M.CPU.Reset(start)
+		before := completed
+		tb.M.Loop.RunFor(opt.Window)
+		vals = append(vals, float64(completed-before)/opt.Window.Seconds()/1e3)
+		cpus = append(cpus, tb.M.CPU.Utilization(tb.M.Now()))
+		if len(vals) >= opt.MinWindows {
+			m, hw99 := meanCI(vals)
+			if m > 0 && hw99/m <= opt.HalfWidthFrac {
+				break
+			}
+		}
+	}
+	span := sim.Duration(len(vals)) * opt.Window
+
+	mean, hw99 := meanCI(vals)
+	cpu, _ := meanCI(cpus)
+	res := Result{
+		Mode: tb.Mode, Queues: tb.Queues, Jobs: jobs, Depth: depth,
+		ReadKIOPS: mean,
+		MBps:      mean * 1e3 * float64(tb.Dev.Geom.BlockSize) / 1e6,
+		CPU:       cpu,
+		Windows:   len(vals),
+	}
+	if mean > 0 {
+		res.CIRel = hw99 / mean
+	}
+	if tb.Proc != nil {
+		res.Wakeups = tb.Proc.Chan.Stats().Wakeups - wakeBase
+		res.MaxDownBatch = tb.Proc.Chan.Stats().MaxDownBatch
+		var doorbells uint64
+		for q := range qBase {
+			s := tb.Proc.Chan.QueueStats(q)
+			r := netperf.QueueReport{
+				Queue:       q,
+				Upcalls:     s.Upcalls - qBase[q].Upcalls,
+				Downcalls:   s.Downcalls - qBase[q].Downcalls,
+				Doorbells:   s.Doorbells - qBase[q].Doorbells,
+				Wakeups:     s.Wakeups - qBase[q].Wakeups,
+				SpinPickups: s.SpinPickups - qBase[q].SpinPickups,
+			}
+			r.DoorbellsPerSec = float64(r.Doorbells) / span.Seconds()
+			res.PerQueue = append(res.PerQueue, r)
+			doorbells += r.Doorbells
+		}
+		if ios := completed - base; ios > 0 && doorbells > 0 {
+			res.CompsPerDoorbell = float64(ios) / float64(doorbells)
+		}
+	}
+	return res, nil
+}
+
+// meanCI returns the sample mean and the 99% confidence half-width
+// (t≈2.58 for the small window counts used here).
+func meanCI(vals []float64) (mean, halfWidth float64) {
+	n := float64(len(vals))
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean = sum / n
+	if len(vals) < 2 {
+		return mean, math.Inf(1)
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 2.58 * sd / math.Sqrt(n)
+}

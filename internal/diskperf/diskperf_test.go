@@ -1,0 +1,78 @@
+package diskperf
+
+import (
+	"testing"
+
+	"sud/internal/hw"
+	"sud/internal/netperf"
+	"sud/internal/sim"
+)
+
+func testOpt() netperf.Options {
+	return netperf.Options{
+		Warmup:        10 * sim.Millisecond,
+		Window:        50 * sim.Millisecond,
+		MinWindows:    3,
+		MaxWindows:    4,
+		HalfWidthFrac: 0.05,
+	}
+}
+
+func runIOPS(t *testing.T, mode Mode, queues int) Result {
+	t.Helper()
+	tb, err := NewTestbed(mode, queues, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BlockIOPS(tb, 16, 6, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBlockIOPSScalesWithQueues is the block acceptance bar: Q=4 must
+// deliver at least twice the Q=1 rate under the same offered load, because
+// the device engines, the driver queue pairs, the uchan rings and the
+// block-core queue contexts all scale per queue.
+func TestBlockIOPSScalesWithQueues(t *testing.T) {
+	q1 := runIOPS(t, ModeSUD, 1)
+	q4 := runIOPS(t, ModeSUD, 4)
+	if q1.ReadKIOPS <= 0 {
+		t.Fatalf("Q=1 rate %v", q1.ReadKIOPS)
+	}
+	if q4.ReadKIOPS < 2*q1.ReadKIOPS {
+		t.Fatalf("no multi-queue payoff: Q=4 %.1f vs Q=1 %.1f Kiops",
+			q4.ReadKIOPS, q1.ReadKIOPS)
+	}
+	// Every ring pair carried traffic.
+	for _, q := range q4.PerQueue {
+		if q.Doorbells == 0 {
+			t.Fatalf("queue %d idle", q.Queue)
+		}
+	}
+}
+
+// TestSUDMatchesKernelWhenDeviceBound mirrors the Figure 8 TCP row's story
+// for storage: with a single queue pair the device is the bottleneck, so
+// the untrusted configuration delivers the same IOPS as the trusted one and
+// pays only CPU.
+func TestSUDMatchesKernelWhenDeviceBound(t *testing.T) {
+	kern := runIOPS(t, ModeKernel, 1)
+	sud := runIOPS(t, ModeSUD, 1)
+	if sud.ReadKIOPS < 0.95*kern.ReadKIOPS {
+		t.Fatalf("SUD %.1f vs kernel %.1f Kiops", sud.ReadKIOPS, kern.ReadKIOPS)
+	}
+	if sud.CPU <= kern.CPU {
+		t.Fatalf("SUD CPU %.3f not above kernel %.3f (isolation is not free)", sud.CPU, kern.CPU)
+	}
+}
+
+// TestCompletionsBatchPerDoorbell checks the batched completion payoff: a
+// busy queue delivers many completions per driver doorbell, not one.
+func TestCompletionsBatchPerDoorbell(t *testing.T) {
+	res := runIOPS(t, ModeSUD, 1)
+	if res.CompsPerDoorbell < 4 {
+		t.Fatalf("completions per doorbell = %.2f", res.CompsPerDoorbell)
+	}
+}

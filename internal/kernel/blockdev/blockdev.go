@@ -1,0 +1,355 @@
+// Package blockdev is the kernel block layer: the trusted core that owns
+// block devices registered by drivers (RegisterBlockDev), splits each
+// device's submission state into per-queue contexts — one per hardware
+// queue pair the driver exposes — and offers single-block ReadAt/WriteAt
+// with software request queues and per-queue stall/wake, the blk-mq shape
+// of netstack's per-queue interface contexts. It trusts nothing about the
+// driver's liveness: a full hardware queue parks requests in that queue's
+// software queue only, and completions are matched by kernel-allocated tag,
+// so a driver cannot complete a request it was never given.
+package blockdev
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/sim"
+)
+
+// Path costs of the block core itself, per request (see
+// internal/sim/costs.go for the calibration rationale).
+const (
+	// CostSubmitPath is request allocation, tag assignment and queue
+	// bookkeeping on submission.
+	CostSubmitPath sim.Duration = 1000
+	// CostCompletePath is completion matching and callback dispatch.
+	CostCompletePath sim.Duration = 800
+)
+
+// MaxQueuedPerQueue bounds one queue context's software request queue; past
+// it submissions fail with ErrCongested and the caller must back off, so a
+// stalled hardware queue cannot pin unbounded kernel memory.
+const MaxQueuedPerQueue = 256
+
+// Errors returned by the submission path.
+var (
+	ErrNameTaken  = fmt.Errorf("blockdev: device name already registered")
+	ErrOutOfRange = fmt.Errorf("blockdev: LBA out of range")
+	ErrBadSize    = fmt.Errorf("blockdev: payload is not one block")
+	ErrDown       = fmt.Errorf("blockdev: device is down")
+	ErrCongested  = fmt.Errorf("blockdev: request queue full")
+)
+
+// Manager is the kernel's block core.
+type Manager struct {
+	Loop *sim.Loop
+	Acct *sim.CPUAccount // the kernel CPU account
+
+	devs map[string]*Dev
+}
+
+// New returns an empty block core charging CPU to acct.
+func New(loop *sim.Loop, acct *sim.CPUAccount) *Manager {
+	return &Manager{Loop: loop, Acct: acct, devs: make(map[string]*Dev)}
+}
+
+// Register adds a block device for a driver. Names must be unique (proxy
+// drivers retry with the kernel's name template, like netdevs).
+func (m *Manager) Register(name string, geom api.BlockGeometry, drv api.BlockDevice) (*Dev, error) {
+	if _, dup := m.devs[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	if geom.BlockSize <= 0 || geom.Blocks == 0 {
+		return nil, fmt.Errorf("blockdev: bad geometry %+v", geom)
+	}
+	d := &Dev{Name: name, Geom: geom, mgr: m, drv: drv, inflight: make(map[uint64]*request)}
+	nq := drv.Queues()
+	if nq < 1 {
+		nq = 1
+	}
+	d.queues = make([]QueueCtx, nq)
+	for q := range d.queues {
+		d.queues[q].ID = q
+	}
+	m.devs[name] = d
+	return d, nil
+}
+
+// Unregister removes a device (driver removal / process death). Requests
+// still in flight complete with ErrDown so no caller waits forever on a
+// dead driver.
+func (m *Manager) Unregister(name string) {
+	d, ok := m.devs[name]
+	if !ok {
+		return
+	}
+	delete(m.devs, name)
+	d.up = false
+	for tag, r := range d.inflight {
+		delete(d.inflight, tag)
+		r.cb(nil, ErrDown)
+	}
+	for q := range d.queues {
+		qc := &d.queues[q]
+		for _, w := range qc.waiting {
+			w.cb(nil, ErrDown)
+		}
+		qc.waiting = nil
+	}
+}
+
+// Dev looks up a device by name.
+func (m *Manager) Dev(name string) (*Dev, error) {
+	d, ok := m.devs[name]
+	if !ok {
+		return nil, fmt.Errorf("blockdev: no device %q", name)
+	}
+	return d, nil
+}
+
+// Names lists registered devices.
+func (m *Manager) Names() []string {
+	var out []string
+	for n := range m.devs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// QueueCtx is one per-queue context of a block device: its own stall state,
+// its own software request queue, and its own counters. Splitting this
+// state per queue is what lets one full hardware queue park only the
+// requests steered onto it — sibling queues keep submitting.
+type QueueCtx struct {
+	ID int
+
+	stalled bool
+	waiting []queued
+
+	// Per-queue traffic counters.
+	Reads, Writes, Completions, Errors uint64
+
+	// OnWake, if set, runs when this queue is woken; when unset the
+	// device-level OnWake hook fires instead.
+	OnWake func()
+}
+
+// Stalled reports the queue's backpressure state (tests and pacing logic).
+func (qc *QueueCtx) Stalled() bool { return qc.stalled }
+
+// Waiting reports the software queue depth.
+func (qc *QueueCtx) Waiting() int { return len(qc.waiting) }
+
+// queued is one parked submission.
+type queued struct {
+	req api.BlockRequest
+	cb  func([]byte, error)
+}
+
+// request is one in-flight request awaiting completion.
+type request struct {
+	q     int
+	write bool
+	cb    func([]byte, error)
+}
+
+// Dev is one registered block device. It implements api.BlockKernel — it is
+// what RegisterBlockDev hands back to the driver.
+type Dev struct {
+	Name string
+	Geom api.BlockGeometry
+
+	mgr *Manager
+	drv api.BlockDevice
+	up  bool
+
+	queues   []QueueCtx
+	inflight map[uint64]*request
+	nextTag  uint64
+
+	// OnWake, if set, runs when the driver wakes a queue with no
+	// queue-level hook (backpressure release for the benchmark loop).
+	OnWake func()
+
+	// BadCompletions counts driver completions with unknown or reused
+	// tags — a confused or malicious driver, dropped and counted.
+	BadCompletions uint64
+}
+
+var _ api.BlockKernel = (*Dev)(nil)
+
+// NumQueues reports the device's queue-context count.
+func (d *Dev) NumQueues() int { return len(d.queues) }
+
+// Queue returns queue q's context (clamped), for per-queue hooks and stats.
+func (d *Dev) Queue(q int) *QueueCtx { return &d.queues[d.clampQ(q)] }
+
+func (d *Dev) clampQ(q int) int {
+	if q < 0 || q >= len(d.queues) {
+		return 0
+	}
+	return q
+}
+
+// Up brings the device online (→ driver Open: queue creation, IRQ).
+func (d *Dev) Up() error {
+	if d.up {
+		return nil
+	}
+	if err := d.drv.Open(); err != nil {
+		return fmt.Errorf("blockdev: open %s: %w", d.Name, err)
+	}
+	d.up = true
+	return nil
+}
+
+// Down quiesces the device (→ driver Stop).
+func (d *Dev) Down() error {
+	if !d.up {
+		return nil
+	}
+	d.up = false
+	return d.drv.Stop()
+}
+
+// IsUp reports admin state.
+func (d *Dev) IsUp() bool { return d.up }
+
+// InFlight reports requests submitted but not yet completed.
+func (d *Dev) InFlight() int { return len(d.inflight) }
+
+// QueueForLBA is the submission steering hash: the queue a block lands on
+// among nq queues. Fibonacci hashing spreads sequential LBAs uniformly, so
+// a striding reader exercises every queue pair — the storage analogue of
+// spreading flows by transport-port hash.
+func QueueForLBA(lba uint64, nq int) int {
+	if nq <= 1 {
+		return 0
+	}
+	return int((lba * 0x9E3779B97F4A7C15 >> 32) % uint64(nq))
+}
+
+// ReadAt reads the block at lba, steering by LBA hash; cb receives the
+// payload (or an error) when the driver completes.
+func (d *Dev) ReadAt(lba uint64, cb func([]byte, error)) error {
+	return d.ReadAtQ(lba, QueueForLBA(lba, len(d.queues)), cb)
+}
+
+// ReadAtQ reads the block at lba on an explicit queue.
+func (d *Dev) ReadAtQ(lba uint64, q int, cb func([]byte, error)) error {
+	return d.submit(q, api.BlockRequest{LBA: lba}, cb)
+}
+
+// WriteAt writes one block (exactly BlockSize bytes) at lba, steering by
+// LBA hash; cb receives nil or an error on completion.
+func (d *Dev) WriteAt(lba uint64, data []byte, cb func(error)) error {
+	return d.WriteAtQ(lba, QueueForLBA(lba, len(d.queues)), data, cb)
+}
+
+// WriteAtQ writes one block at lba on an explicit queue.
+func (d *Dev) WriteAtQ(lba uint64, q int, data []byte, cb func(error)) error {
+	if len(data) != d.Geom.BlockSize {
+		return ErrBadSize
+	}
+	// The block core owns the payload for the request's lifetime, like
+	// the page cache owns a bio's pages.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.mgr.Acct.Charge(sim.Copy(len(data)))
+	return d.submit(q, api.BlockRequest{Write: true, LBA: lba, Data: buf},
+		func(_ []byte, err error) { cb(err) })
+}
+
+// submit validates, tags and dispatches one request; a stalled or full
+// hardware queue parks it in that queue's software queue.
+func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error {
+	if !d.up {
+		return ErrDown
+	}
+	if req.LBA >= d.Geom.Blocks {
+		return ErrOutOfRange
+	}
+	q = d.clampQ(q)
+	qc := &d.queues[q]
+	d.mgr.Acct.Charge(CostSubmitPath)
+	if qc.stalled {
+		if len(qc.waiting) >= MaxQueuedPerQueue {
+			return ErrCongested
+		}
+		qc.waiting = append(qc.waiting, queued{req: req, cb: cb})
+		return nil
+	}
+	if !d.dispatch(q, req, cb) {
+		qc.stalled = true
+		qc.waiting = append(qc.waiting, queued{req: req, cb: cb})
+	}
+	return nil
+}
+
+// dispatch hands one request to the driver; it reports false when the
+// hardware queue refused it (park and stall).
+func (d *Dev) dispatch(q int, req api.BlockRequest, cb func([]byte, error)) bool {
+	qc := &d.queues[q]
+	req.Tag = d.nextTag
+	d.nextTag++
+	d.inflight[req.Tag] = &request{q: q, write: req.Write, cb: cb}
+	if err := d.drv.Submit(q, req); err != nil {
+		delete(d.inflight, req.Tag)
+		return false
+	}
+	if req.Write {
+		qc.Writes++
+	} else {
+		qc.Reads++
+	}
+	return true
+}
+
+// --- api.BlockKernel (driver → kernel) ---------------------------------------
+
+// Complete implements api.BlockKernel: request tag finished on queue q. For
+// trusted in-kernel drivers data is the driver's own buffer; the SUD proxy
+// calls the same entry after validating and guard-copying the untrusted
+// reference.
+func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
+	r, ok := d.inflight[tag]
+	if !ok {
+		d.BadCompletions++
+		return
+	}
+	delete(d.inflight, tag)
+	qc := &d.queues[d.clampQ(q)]
+	qc.Completions++
+	d.mgr.Acct.Charge(CostCompletePath)
+	if err == nil && !r.write && len(data) != d.Geom.BlockSize {
+		err = fmt.Errorf("blockdev: short read (%d bytes)", len(data))
+	}
+	if err != nil {
+		qc.Errors++
+		r.cb(nil, err)
+		return
+	}
+	r.cb(data, nil)
+}
+
+// WakeQueueQ implements api.BlockKernel: queue q's hardware queue regained
+// space; drain its software queue and notify the submitter.
+func (d *Dev) WakeQueueQ(q int) {
+	qc := &d.queues[d.clampQ(q)]
+	qc.stalled = false
+	for len(qc.waiting) > 0 {
+		w := qc.waiting[0]
+		if !d.dispatch(qc.ID, w.req, w.cb) {
+			qc.stalled = true
+			return
+		}
+		qc.waiting = qc.waiting[1:]
+	}
+	if h := qc.OnWake; h != nil {
+		h()
+		return
+	}
+	if d.OnWake != nil {
+		d.OnWake()
+	}
+}

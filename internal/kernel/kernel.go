@@ -14,6 +14,7 @@ import (
 	"sud/internal/iommu"
 	"sud/internal/irq"
 	"sud/internal/kernel/audio"
+	"sud/internal/kernel/blockdev"
 	"sud/internal/kernel/netstack"
 	"sud/internal/kernel/wifistack"
 	"sud/internal/mem"
@@ -35,6 +36,7 @@ type Kernel struct {
 	Net   *netstack.Stack
 	Wifi  *wifistack.Manager
 	Audio *audio.Manager
+	Blk   *blockdev.Manager
 
 	passthrough *iommu.Domain
 	logs        []string
@@ -55,6 +57,7 @@ func New(m *hw.Machine) *Kernel {
 		Net:           netstack.New(m.Loop, acct),
 		Wifi:          wifistack.New(m.Loop, acct),
 		Audio:         audio.New(m.Loop, acct),
+		Blk:           blockdev.New(m.Loop, acct),
 		bound:         make(map[pci.BDF]api.Instance),
 		stormHandlers: make(map[irq.Vector]func(rate int)),
 	}
@@ -386,6 +389,13 @@ func (e *kernelEnv) RegisterWifiDev(name string, macAddr [6]byte, dev api.WifiDe
 func (e *kernelEnv) RegisterSoundDev(name string, dev api.AudioDevice) (api.AudioKernel, error) {
 	e.charge(CostKernelAPICall)
 	return e.k.Audio.Register(name, dev)
+}
+
+// RegisterBlockDev implements api.EnvBlock for the trusted host: the block
+// core hands back its per-queue completion surface directly.
+func (e *kernelEnv) RegisterBlockDev(name string, geom api.BlockGeometry, dev api.BlockDevice) (api.BlockKernel, error) {
+	e.charge(CostKernelAPICall)
+	return e.k.Blk.Register(name, geom, dev)
 }
 
 func (e *kernelEnv) Timer(delayJiffies uint64, fn func()) {

@@ -1,0 +1,114 @@
+package blkproxy
+
+import "errors"
+
+// Batched completion framing — the block analogue of ethproxy's rxbatch.
+//
+// On a multi-queue channel the driver process posts I/O completions as
+// (tag, status, buffer-reference) tuples, batched up to MaxBlkBatch per
+// downcall message: one ring slot (and, with downcall batching, a fraction
+// of one doorbell) carries a whole interrupt's worth of completions for a
+// queue. The batch bytes are written by the untrusted driver process, so
+// the kernel-side decoder treats them as hostile input: it never panics,
+// bounds every count and length, and malformed batches are dropped and
+// counted, never dispatched. DecodeBlkBatch is fuzzed for exactly that
+// reason.
+//
+// Batch layout (little-endian):
+//
+//	[0:2)   completion count
+//	[2:..)  count × { [0:8) tag, [8:10) status, [10:18) buffer IOVA,
+//	                  [18:22) length }
+const (
+	// MaxBlkBatch is the most completions one batch downcall may carry.
+	MaxBlkBatch = 32
+
+	blkBatchHeaderLen = 2
+	blkCompLen        = 22
+)
+
+// CompRef is one I/O completion: the kernel's request tag, the device
+// status, and — for successful reads — a buffer in the driver's own DMA
+// memory holding the payload. The kernel validates the range against the
+// driver's allocations before touching it, like every other shared-memory
+// reference.
+type CompRef struct {
+	Tag    uint64
+	Status uint16
+	IOVA   uint64
+	Len    uint32
+}
+
+// Batch decode errors.
+var (
+	ErrBatchShort = errors.New("blkproxy: completion batch shorter than header")
+	ErrBatchCount = errors.New("blkproxy: completion batch count out of range")
+	ErrBatchTrunc = errors.New("blkproxy: completion batch truncated")
+	ErrBatchSlack = errors.New("blkproxy: completion batch has trailing bytes")
+)
+
+// EncodeBlkBatch marshals up to MaxBlkBatch completions into batch bytes.
+// Longer slices are truncated to MaxBlkBatch (callers flush at the bound).
+func EncodeBlkBatch(comps []CompRef) []byte {
+	if len(comps) > MaxBlkBatch {
+		comps = comps[:MaxBlkBatch]
+	}
+	buf := make([]byte, blkBatchHeaderLen+blkCompLen*len(comps))
+	buf[0] = byte(len(comps))
+	buf[1] = byte(len(comps) >> 8)
+	for i, c := range comps {
+		off := blkBatchHeaderLen + blkCompLen*i
+		for b := 0; b < 8; b++ {
+			buf[off+b] = byte(c.Tag >> (8 * b))
+		}
+		buf[off+8] = byte(c.Status)
+		buf[off+9] = byte(c.Status >> 8)
+		for b := 0; b < 8; b++ {
+			buf[off+10+b] = byte(c.IOVA >> (8 * b))
+		}
+		for b := 0; b < 4; b++ {
+			buf[off+18+b] = byte(c.Len >> (8 * b))
+		}
+	}
+	return buf
+}
+
+// DecodeBlkBatch unmarshals batch bytes written by the (untrusted) driver
+// process. It never panics on arbitrary input; malformed batches return an
+// error.
+func DecodeBlkBatch(buf []byte) ([]CompRef, error) {
+	if len(buf) < blkBatchHeaderLen {
+		return nil, ErrBatchShort
+	}
+	count := int(buf[0]) | int(buf[1])<<8
+	if count == 0 || count > MaxBlkBatch {
+		return nil, ErrBatchCount
+	}
+	want := blkBatchHeaderLen + blkCompLen*count
+	if len(buf) < want {
+		return nil, ErrBatchTrunc
+	}
+	if len(buf) > want {
+		return nil, ErrBatchSlack
+	}
+	comps := make([]CompRef, count)
+	for i := range comps {
+		off := blkBatchHeaderLen + blkCompLen*i
+		var tag, iova uint64
+		for b := 7; b >= 0; b-- {
+			tag = tag<<8 | uint64(buf[off+b])
+			iova = iova<<8 | uint64(buf[off+10+b])
+		}
+		var n uint32
+		for b := 3; b >= 0; b-- {
+			n = n<<8 | uint32(buf[off+18+b])
+		}
+		comps[i] = CompRef{
+			Tag:    tag,
+			Status: uint16(buf[off+8]) | uint16(buf[off+9])<<8,
+			IOVA:   iova,
+			Len:    n,
+		}
+	}
+	return comps, nil
+}

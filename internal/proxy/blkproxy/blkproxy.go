@@ -1,0 +1,414 @@
+// Package blkproxy is SUD's block proxy driver: the in-kernel module that
+// implements the kernel block contract on behalf of an untrusted user-space
+// storage driver, translating block-core submissions into uchan upcalls and
+// driver completions back into kernel operations — the storage sibling of
+// ethproxy.
+//
+// It makes no liveness or semantic assumptions about the driver process:
+// open/stop are interruptible synchronous upcalls, submission is
+// asynchronous with per-queue shared-slot backpressure, and every
+// shared-memory reference arriving in a completion is validated against the
+// driver's own DMA allocations before the kernel touches it. Read payloads
+// are guard-copied out of shared memory before any consumer sees them
+// (§3.1.2's TOCTOU discipline; block data carries no checksum to fuse with,
+// so the guard is a plain copy), and batched completion framing is decoded
+// defensively — malformed batches are dropped and counted, never
+// dispatched.
+package blkproxy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sud/internal/drivers/api"
+	"sud/internal/kernel/blockdev"
+	"sud/internal/mem"
+	"sud/internal/proxy/pciaccess"
+	"sud/internal/proxy/protocol"
+	"sud/internal/sim"
+	"sud/internal/uchan"
+)
+
+// Upcall operations (kernel → driver).
+const (
+	OpOpen   = protocol.BlockBase + iota // sync
+	OpStop                               // sync
+	OpSubmit                             // async; Args: [0]=write flag, [1]=LBA, [2]=payload IOVA, [3]=length, [4]=slot, [5]=tag
+)
+
+// Downcall operations (driver → kernel).
+const (
+	// OpComplete finishes one request; Args: [0]=tag, [1]=status,
+	// [2]=payload IOVA, [3]=length (reads). Data, when set, carries a
+	// bounced inline payload instead of a reference.
+	OpComplete = protocol.BlockBase + 16 + iota
+	// OpCompleteBatch delivers up to MaxBlkBatch completions in one
+	// message; Data carries the blkbatch.go framing. The queue is the
+	// ring the message arrived on.
+	OpCompleteBatch
+	// OpWakeQueue re-enables a stopped submission queue; Args: [0]=queue.
+	OpWakeQueue
+)
+
+// SlotsPerQueue is each queue's shared-slot partition: one slot per
+// outstanding request on that queue (write slots also stage the payload, so
+// the driver never sees kernel memory). SUD preallocates shared buffers and
+// passes references, avoiding copies on the submission path (§3.1.2).
+const SlotsPerQueue = 64
+
+// Proxy is one block proxy driver instance. The shared-slot pools, the
+// stall/wake state and the completion counters are all per queue, and each
+// queue's pool is its own device-file allocation — a distinct IOMMU-visible
+// object, the groundwork for per-queue IOMMU domains.
+type Proxy struct {
+	K   *KernelIface
+	DF  *pciaccess.DeviceFile
+	C   *uchan.MultiChan
+	Dev *blockdev.Dev
+
+	pools   []*pciaccess.Alloc // per-queue slot pools
+	free    [][]int            // per-queue free slot lists (queue-local indices)
+	stalled []bool
+	// tagSlot maps an in-flight tag to its (queue, slot) so completion
+	// releases the right pool entry.
+	tagSlot map[uint64]int // packed q*SlotsPerQueue + slot
+
+	// Per-queue completion counters.
+	QueueComps   []uint64
+	QueueBatches []uint64
+
+	// Security / robustness counters.
+	CompInvalidRef  uint64 // payload references outside the driver's memory
+	CompBadLength   uint64
+	CompBadTag      uint64 // completions for tags never issued
+	CompBadBatch    uint64 // malformed batch framing from the driver
+	SubmitDropsHung uint64
+	UpcallErrors    uint64
+}
+
+// KernelIface is the slice of kernel services the proxy needs.
+type KernelIface struct {
+	Acct    *sim.CPUAccount
+	Mem     *mem.Memory
+	Blk     *blockdev.Manager
+	DevName string
+}
+
+// New registers a block device backed by the user-space driver on the other
+// end of c. geom is the mirrored media geometry (§3.3: static state is
+// synchronised at registration, never fetched by upcall). If the requested
+// device name is taken, the next free name is allocated, as the kernel's
+// block core does — so several storage driver processes coexist.
+func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, geom api.BlockGeometry) (*Proxy, error) {
+	q := c.NumQueues()
+	p := &Proxy{
+		K: ki, DF: df, C: c,
+		pools:        make([]*pciaccess.Alloc, q),
+		free:         make([][]int, q),
+		stalled:      make([]bool, q),
+		tagSlot:      make(map[uint64]int),
+		QueueComps:   make([]uint64, q),
+		QueueBatches: make([]uint64, q),
+	}
+	for i := 0; i < q; i++ {
+		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
+			fmt.Sprintf("blk q%d slot pool", i), false)
+		if err != nil {
+			return nil, fmt.Errorf("blkproxy: allocating queue %d pool: %w", i, err)
+		}
+		p.pools[i] = pool
+		for s := 0; s < SlotsPerQueue; s++ {
+			p.free[i] = append(p.free[i], s)
+		}
+	}
+	dev, err := registerUnique(ki.Blk, name, geom, (*proxyDev)(p))
+	if err != nil {
+		return nil, err
+	}
+	ki.DevName = dev.Name
+	p.Dev = dev
+	return p, nil
+}
+
+// registerUnique registers the device under the requested name; on a name
+// collision it substitutes into the name's own template (trailing digits
+// stripped, like "nvme%d") until a free slot is found.
+func registerUnique(blk *blockdev.Manager, name string, geom api.BlockGeometry, dev *proxyDev) (*blockdev.Dev, error) {
+	d, err := blk.Register(name, geom, dev)
+	if err == nil || !errors.Is(err, blockdev.ErrNameTaken) {
+		return d, err
+	}
+	base := strings.TrimRight(name, "0123456789")
+	if base == "" {
+		base = name
+	}
+	for i := 1; i < 16; i++ {
+		d, retryErr := blk.Register(fmt.Sprintf("%s%d", base, i), geom, dev)
+		if retryErr == nil {
+			return d, nil
+		}
+		if !errors.Is(retryErr, blockdev.ErrNameTaken) {
+			return nil, retryErr
+		}
+	}
+	return nil, err
+}
+
+// proxyDev is the block-core-facing half: it satisfies the same BlockDevice
+// contract an in-kernel driver would, by RPC.
+type proxyDev Proxy
+
+func (d *proxyDev) p() *Proxy { return (*Proxy)(d) }
+
+// Open forwards the bring-up as a synchronous, interruptible upcall (queue
+// creation sleeps in the driver, like the e1000e's open).
+func (d *proxyDev) Open() error {
+	reply, err := d.p().C.Send(uchan.Msg{Op: OpOpen})
+	if err != nil {
+		d.p().UpcallErrors++
+		return fmt.Errorf("blkproxy: open upcall: %w", err)
+	}
+	if reply.Args[0] != 0 {
+		return fmt.Errorf("blkproxy: driver open failed: %s", reply.Data)
+	}
+	return nil
+}
+
+// Stop forwards quiesce.
+func (d *proxyDev) Stop() error {
+	reply, err := d.p().C.Send(uchan.Msg{Op: OpStop})
+	if err != nil {
+		d.p().UpcallErrors++
+		return fmt.Errorf("blkproxy: stop upcall: %w", err)
+	}
+	if reply.Args[0] != 0 {
+		return fmt.Errorf("blkproxy: driver stop failed: %s", reply.Data)
+	}
+	return nil
+}
+
+// Queues implements api.BlockDevice: one block-core queue context per uchan
+// ring pair.
+func (d *proxyDev) Queues() int { return d.p().C.NumQueues() }
+
+// Submit claims a shared slot on queue q, stages a write payload in it, and
+// queues an asynchronous submission upcall on that queue's ring — the §3.1
+// fast path applied to storage. Slot exhaustion or a hung queue surfaces as
+// backpressure on that queue only, never as a blocked kernel thread.
+func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
+	p := d.p()
+	if q < 0 || q >= len(p.free) {
+		q = 0
+	}
+	if len(p.free[q]) == 0 {
+		p.stalled[q] = true
+		return fmt.Errorf("blkproxy: no free slots on queue %d", q)
+	}
+	slot := p.free[q][len(p.free[q])-1]
+	var flags, iova, n uint64
+	if req.Write {
+		if len(req.Data) != p.Dev.Geom.BlockSize {
+			return fmt.Errorf("blkproxy: payload is %d bytes, want %d", len(req.Data), p.Dev.Geom.BlockSize)
+		}
+		flags = 1
+		off := mem.Addr(slot * p.Dev.Geom.BlockSize)
+		iova = uint64(p.pools[q].IOVA + off)
+		n = uint64(len(req.Data))
+		p.K.Acct.Charge(sim.Copy(len(req.Data)))
+		if err := p.K.Mem.Write(p.pools[q].Phys+off, req.Data); err != nil {
+			return fmt.Errorf("blkproxy: slot write: %w", err)
+		}
+	}
+	err := p.C.ASend(q, uchan.Msg{
+		Op:   OpSubmit,
+		Args: [6]uint64{flags, req.LBA, iova, n, uint64(slot), req.Tag},
+	})
+	if err != nil {
+		p.SubmitDropsHung++
+		p.stalled[q] = true
+		return fmt.Errorf("blkproxy: submit upcall: %w", err)
+	}
+	p.free[q] = p.free[q][:len(p.free[q])-1]
+	p.tagSlot[req.Tag] = q*SlotsPerQueue + slot
+	return nil
+}
+
+// HandleDowncall services one driver→kernel message in kernel context; the
+// SUD-UML runtime routes block-range ops here. q is the ring the message
+// arrived on — the queue whose counters it charges and whose slots its
+// completions release.
+func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
+	if q < 0 || q >= len(p.free) {
+		q = 0
+	}
+	switch m.Op {
+	case OpComplete:
+		if m.Data != nil {
+			// Bounced inline payload: the bytes were copied through the
+			// ring, so the kernel already owns them.
+			p.finish(q, m.Args[0], uint16(m.Args[1]), m.Data)
+			return
+		}
+		p.complete(q, CompRef{Tag: m.Args[0], Status: uint16(m.Args[1]), IOVA: m.Args[2], Len: uint32(m.Args[3])})
+	case OpCompleteBatch:
+		comps, err := DecodeBlkBatch(m.Data)
+		if err != nil {
+			// Malformed framing from the untrusted driver: dropped and
+			// counted, never dispatched (§3.1.1).
+			p.CompBadBatch++
+			return
+		}
+		p.QueueBatches[q]++
+		for _, c := range comps {
+			p.complete(q, c)
+		}
+	case OpWakeQueue:
+		wq := int(m.Args[0])
+		if wq < 0 || wq >= len(p.free) {
+			wq = 0
+		}
+		p.maybeWakeQueue(wq)
+	default:
+		// Unknown downcalls from an untrusted driver are ignored, not
+		// trusted (§3.1.1).
+		p.UpcallErrors++
+	}
+}
+
+// complete validates one completion reference and delivers it. The payload
+// reference must lie inside the driver's own DMA allocations and be exactly
+// one block; the kernel's private copy is taken before any consumer sees
+// the bytes, so later modification of the shared buffer by a malicious
+// driver is harmless — and a foreign reference fails the request instead of
+// leaking whatever it pointed at.
+func (p *Proxy) complete(q int, c CompRef) {
+	// Tag validation comes first: a completion for a tag never issued is
+	// dropped before the kernel spends a block-sized guard copy on it —
+	// forged completions must not buy CPU with invalid handles.
+	if _, ok := p.tagSlot[c.Tag]; !ok {
+		p.CompBadTag++
+		return
+	}
+	if c.Status != 0 {
+		p.finish(q, c.Tag, c.Status, nil)
+		return
+	}
+	if c.IOVA == 0 && c.Len == 0 {
+		// Write completion: no payload.
+		p.finish(q, c.Tag, 0, nil)
+		return
+	}
+	n := int(c.Len)
+	if n != p.Dev.Geom.BlockSize {
+		p.CompBadLength++
+		p.failRead(q, c.Tag, "bad completion length")
+		return
+	}
+	if !p.DF.ValidateRange(mem.Addr(c.IOVA), n) {
+		p.CompInvalidRef++
+		p.failRead(q, c.Tag, "completion reference outside driver memory")
+		return
+	}
+	phys, ok := p.DF.PhysFor(mem.Addr(c.IOVA))
+	if !ok {
+		p.CompInvalidRef++
+		p.failRead(q, c.Tag, "completion reference unmapped")
+		return
+	}
+	// Guard copy (§3.1.2): block payloads carry no checksum to fuse with,
+	// so the TOCTOU guard is a plain copy into kernel-owned memory.
+	buf := make([]byte, n)
+	p.K.Acct.Charge(sim.Copy(n))
+	if err := p.K.Mem.Read(phys, buf); err != nil {
+		p.CompInvalidRef++
+		p.failRead(q, c.Tag, "completion reference unreadable")
+		return
+	}
+	p.finish(q, c.Tag, 0, buf)
+}
+
+// failRead completes a request as an I/O error after a rejected reference;
+// the slot is still released so a malicious driver cannot leak pool space.
+// A tag not in flight (completed twice) is dropped and counted instead.
+func (p *Proxy) failRead(q int, tag uint64, why string) {
+	if !p.releaseSlot(tag) {
+		p.CompBadTag++
+		return
+	}
+	p.QueueComps[q]++
+	p.Dev.Complete(q, tag, fmt.Errorf("blkproxy: %s", why), nil)
+}
+
+// finish releases the request's slot and completes it to the block core.
+func (p *Proxy) finish(q int, tag uint64, status uint16, data []byte) {
+	if !p.releaseSlot(tag) {
+		// A completion for a tag never issued (or already completed):
+		// dropped and counted; the block core's own tag match would
+		// reject it too, but it must not release anyone's slot.
+		p.CompBadTag++
+		return
+	}
+	p.QueueComps[q]++
+	var err error
+	if status != 0 {
+		err = fmt.Errorf("blkproxy: device status %d", status)
+	}
+	p.Dev.Complete(q, tag, err, data)
+}
+
+// releaseSlot returns tag's slot to its queue's pool.
+func (p *Proxy) releaseSlot(tag uint64) bool {
+	packed, ok := p.tagSlot[tag]
+	if !ok {
+		return false
+	}
+	delete(p.tagSlot, tag)
+	sq, slot := packed/SlotsPerQueue, packed%SlotsPerQueue
+	p.free[sq] = append(p.free[sq], slot)
+	p.maybeWakeQueue(sq)
+	return true
+}
+
+// wakeThreshold is how many of a queue's slots must be free before a
+// stopped queue is woken — waking per released slot would thrash the
+// submitter (one eighth of the partition, like the netdev wake batch).
+func (p *Proxy) wakeThreshold() int {
+	t := SlotsPerQueue / 8
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// maybeWakeQueue restarts queue q's submission path once it regains
+// headroom. The wake is per queue: a sibling still out of slots stays
+// stopped, and only requests steered onto it keep waiting.
+func (p *Proxy) maybeWakeQueue(q int) {
+	if !p.stalled[q] || len(p.free[q]) < p.wakeThreshold() {
+		return
+	}
+	p.stalled[q] = false
+	p.Dev.WakeQueueQ(q)
+}
+
+// FreeSlots reports the pool headroom across all queues (tests).
+func (p *Proxy) FreeSlots() int {
+	n := 0
+	for _, f := range p.free {
+		n += len(f)
+	}
+	return n
+}
+
+// QueueFreeSlots reports one queue's slot headroom.
+func (p *Proxy) QueueFreeSlots(q int) int {
+	if q < 0 || q >= len(p.free) {
+		return 0
+	}
+	return len(p.free[q])
+}
+
+// Pools returns the per-queue slot-pool allocations (sudctl's IOMMU-domain
+// listing shows them per queue).
+func (p *Proxy) Pools() []*pciaccess.Alloc { return p.pools }

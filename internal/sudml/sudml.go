@@ -27,6 +27,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/proxy/audioproxy"
+	"sud/internal/proxy/blkproxy"
 	"sud/internal/proxy/ethproxy"
 	"sud/internal/proxy/pciaccess"
 	"sud/internal/proxy/protocol"
@@ -63,9 +64,11 @@ type Process struct {
 	netdev     api.NetDevice
 	wifidev    api.WifiDevice
 	audiodev   api.AudioDevice
+	blockdev   api.BlockDevice
 	ctl        api.CtlHandler
 	Wifi       *wifiproxy.Proxy
 	Audio      *audioproxy.Proxy
+	Blk        *blkproxy.Proxy
 	irqHandler func()
 	ki         *ethproxy.KernelIface
 
@@ -78,6 +81,18 @@ type Process struct {
 	// handling).
 	pendingTx  [][]uchan.Msg
 	retryTimer []bool
+
+	// pendingBlk holds, per queue, block submissions the driver's
+	// hardware queue had no room for; they drain after completion
+	// processing, exactly like pendingTx.
+	pendingBlk    [][]uchan.Msg
+	blkRetryTimer []bool
+
+	// blkComp accumulates, per queue, I/O completion references awaiting
+	// the batched OpCompleteBatch downcall — the block analogue of
+	// rxBatch, flushed on the same dispatch boundaries. Single-queue
+	// channels bypass batching, keeping one message per completion.
+	blkComp [][]blkproxy.CompRef
 
 	// rxBatch accumulates, per queue, received-frame references awaiting
 	// the batched OpNetifRxBatch downcall: up to ethproxy.MaxRxBatch
@@ -96,6 +111,7 @@ type Process struct {
 	// Counters.
 	ZeroCopyRx, BouncedRx uint64
 	RxBatches             uint64
+	BlkBatches            uint64
 	XmitRingDrops         uint64
 
 	killed bool
@@ -122,18 +138,21 @@ func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, 
 	df := pciaccess.Open(k, dev, uid, acct)
 	ch := uchan.NewMulti(k.M.Loop, k.Acct, accts)
 	p := &Process{
-		Name:       name,
-		UID:        uid,
-		K:          k,
-		DF:         df,
-		Chan:       ch,
-		Acct:       acct,
-		QueueAccts: accts,
-		driver:     drv,
-		sliceAddrs: make(map[*byte]mem.Addr),
-		pendingTx:  make([][]uchan.Msg, len(accts)),
-		retryTimer: make([]bool, len(accts)),
-		rxBatch:    make([][]ethproxy.RxRef, len(accts)),
+		Name:          name,
+		UID:           uid,
+		K:             k,
+		DF:            df,
+		Chan:          ch,
+		Acct:          acct,
+		QueueAccts:    accts,
+		driver:        drv,
+		sliceAddrs:    make(map[*byte]mem.Addr),
+		pendingTx:     make([][]uchan.Msg, len(accts)),
+		retryTimer:    make([]bool, len(accts)),
+		rxBatch:       make([][]ethproxy.RxRef, len(accts)),
+		pendingBlk:    make([][]uchan.Msg, len(accts)),
+		blkRetryTimer: make([]bool, len(accts)),
+		blkComp:       make([][]blkproxy.CompRef, len(accts)),
 	}
 	ch.SetDriverHandler(p.dispatch)
 	ch.SetKernelHandler(p.routeDowncall)
@@ -172,6 +191,9 @@ func (p *Process) Kill() {
 	}
 	if p.Audio != nil {
 		p.K.Audio.Unregister(p.Audio.PCM.Name)
+	}
+	if p.Blk != nil {
+		p.K.Blk.Unregister(p.Blk.Dev.Name)
 	}
 	p.K.Logf("sudml: driver process %s (uid %d) killed", p.Name, p.UID)
 }
@@ -224,6 +246,10 @@ func (p *Process) routeDowncall(q int, m uchan.Msg) {
 		if p.Audio != nil {
 			p.Audio.HandleDowncall(m)
 		}
+	case m.Op >= protocol.BlockBase:
+		if p.Blk != nil {
+			p.Blk.HandleDowncall(q, m)
+		}
 	}
 }
 
@@ -238,6 +264,9 @@ func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 	}
 	if m.Op >= protocol.AudioBase && m.Op < protocol.BlockBase && p.audiodev != nil {
 		return p.dispatchAudio(m)
+	}
+	if m.Op >= protocol.BlockBase && p.blockdev != nil {
+		return p.dispatchBlock(q, m)
 	}
 	switch m.Op {
 	case protocol.OpCtl:
@@ -274,11 +303,26 @@ func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 		if p.irqHandler != nil {
 			p.irqHandler()
 		}
-		// The handler reclaimed TX descriptors; feed held packets in.
+		// Block completions the handler collected must be DELIVERED —
+		// flushed through the ring into the proxy's guard copy — before
+		// held submissions run: a drained submission reuses the driver's
+		// pool slots, and a still-undelivered zero-copy completion
+		// reference into a reused slot would read the new request's
+		// bytes (the slot-reuse cousin of the §3.1.2 TOCTOU). Net
+		// processes skip this: their RX buffers are only overwritten by
+		// device DMA, which cannot run inside this dispatch.
+		if p.Blk != nil {
+			p.flushBlkComps()
+			p.Chan.Flush()
+		}
+		// The handler reclaimed TX descriptors (or drained block
+		// completion queues); feed held work in.
 		p.drainPendingTx()
+		p.drainPendingBlk()
 		// RX frames the handler collected ride out as per-queue batches
 		// on the same drain that serviced the interrupt.
 		p.flushRxBatches()
+		p.flushBlkComps()
 		return &uchan.Msg{Seq: m.Seq}
 	default:
 		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
@@ -339,6 +383,24 @@ func (p *Process) dispatchAudio(m uchan.Msg) *uchan.Msg {
 		r := replyErr(m, err)
 		r.Args[1] = uint64(pos)
 		return r
+	default:
+		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
+	}
+}
+
+// dispatchBlock services block-class upcalls.
+func (p *Process) dispatchBlock(q int, m uchan.Msg) *uchan.Msg {
+	switch m.Op {
+	case blkproxy.OpOpen:
+		// Open may block (queue creation sleeps); hand it to a worker.
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.blockdev.Open())
+	case blkproxy.OpStop:
+		p.Acct.Charge(sim.CostWorkerDispatch)
+		return replyErr(m, p.blockdev.Stop())
+	case blkproxy.OpSubmit:
+		p.handleBlkSubmit(q, m)
+		return &uchan.Msg{Seq: m.Seq}
 	default:
 		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
 	}
@@ -456,6 +518,107 @@ func (p *Process) xmitDone(q int, slot uint64) {
 	if err := p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpXmitDone, Args: [6]uint64{slot}}); err != nil {
 		p.XmitRingDrops++
 	}
+}
+
+// handleBlkSubmit maps the submission's shared slot and hands the request
+// to the driver's hardware queue q. If that queue is full, the message is
+// held and retried after completion processing — the block mirror of
+// handleXmit, with per-queue hold queues so one saturated hardware queue
+// never stalls a sibling's submissions.
+func (p *Process) handleBlkSubmit(q int, m uchan.Msg) {
+	if len(p.pendingBlk[q]) > 0 {
+		p.holdBlkSubmit(q, m)
+		return
+	}
+	if !p.tryBlkSubmit(q, m) {
+		p.holdBlkSubmit(q, m)
+	}
+}
+
+func (p *Process) holdBlkSubmit(q int, m uchan.Msg) {
+	if len(p.pendingBlk[q]) >= maxPendingTx {
+		// Hold queue overflow: complete the request as a drop so the
+		// kernel's slot is released.
+		p.blkCompDone(q, m.Args[5], 1)
+		return
+	}
+	p.pendingBlk[q] = append(p.pendingBlk[q], m)
+	if !p.blkRetryTimer[q] {
+		p.blkRetryTimer[q] = true
+		p.K.M.Loop.After(xmitRetryDelay, func() { p.retryPendingBlk(q) })
+	}
+}
+
+func (p *Process) retryPendingBlk(q int) {
+	p.blkRetryTimer[q] = false
+	if p.killed {
+		return
+	}
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	// Deliver any undelivered completion references before reusing their
+	// slots (see the OpInterrupt dispatch for the reuse hazard).
+	p.flushBlkComps()
+	p.Chan.Flush()
+	p.drainPendingBlkQ(q)
+	p.flushBlkComps()
+	p.Chan.Flush()
+	if len(p.pendingBlk[q]) > 0 && !p.blkRetryTimer[q] {
+		p.blkRetryTimer[q] = true
+		p.K.M.Loop.After(xmitRetryDelay, func() { p.retryPendingBlk(q) })
+	}
+}
+
+// drainPendingBlk feeds every queue's held submissions into the (hopefully
+// drained) hardware queues; the interrupt handler polls all of them.
+func (p *Process) drainPendingBlk() {
+	for q := range p.pendingBlk {
+		p.drainPendingBlkQ(q)
+	}
+}
+
+func (p *Process) drainPendingBlkQ(q int) {
+	for len(p.pendingBlk[q]) > 0 {
+		if !p.tryBlkSubmit(q, p.pendingBlk[q][0]) {
+			return
+		}
+		p.pendingBlk[q] = p.pendingBlk[q][1:]
+	}
+}
+
+// tryBlkSubmit attempts one submission on hardware queue q; it reports
+// false if the queue was full (the message should be held). Invalid write
+// references complete immediately as errors.
+func (p *Process) tryBlkSubmit(q int, m uchan.Msg) bool {
+	req := api.BlockRequest{
+		Write: m.Args[0]&1 != 0,
+		LBA:   m.Args[1],
+		Tag:   m.Args[5],
+	}
+	if req.Write {
+		iova := mem.Addr(m.Args[2])
+		n := int(m.Args[3])
+		phys, ok := p.DF.PhysFor(iova)
+		if !ok {
+			p.blkCompDone(q, req.Tag, 1)
+			return true
+		}
+		payload, ok := p.K.M.Mem.Slice(phys, n)
+		if !ok {
+			p.blkCompDone(q, req.Tag, 1)
+			return true
+		}
+		req.Data = payload
+	}
+	if err := p.blockdev.Submit(q, req); err != nil {
+		return false
+	}
+	return true
+}
+
+// blkCompDone reports a request finished with a bare status (no payload) —
+// used for kernel-side drops so the proxy releases the request's slot.
+func (p *Process) blkCompDone(q int, tag uint64, status uint16) {
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete, Args: [6]uint64{tag, uint64(status)}})
 }
 
 // --- api.Env implementation ---------------------------------------------------
@@ -620,6 +783,7 @@ func (e *env) Timer(delayJiffies uint64, fn func()) {
 		p.Acct.Charge(sim.CostUMLCall)
 		fn()
 		p.flushRxBatches()
+		p.flushBlkComps()
 		p.Chan.Flush()
 	})
 }
@@ -660,6 +824,128 @@ func (e *env) RegisterSoundDev(name string, dev api.AudioDevice) (api.AudioKerne
 	}
 	p.Audio = proxy
 	return &umlAudioKernel{p: p}, nil
+}
+
+// RegisterBlockDev implements api.EnvBlock for the untrusted host: a block
+// proxy is created in the kernel with the media geometry mirrored at
+// registration (§3.3), and its per-queue shared-slot pools become distinct
+// device-file allocations in the process's IOMMU domain.
+func (e *env) RegisterBlockDev(name string, geom api.BlockGeometry, dev api.BlockDevice) (api.BlockKernel, error) {
+	e.uml()
+	p := e.p
+	if p.Blk != nil {
+		return nil, fmt.Errorf("sudml: block device already registered")
+	}
+	p.blockdev = dev
+	ki := &blkproxy.KernelIface{Acct: p.K.Acct, Mem: p.K.M.Mem, Blk: p.K.Blk}
+	proxy, err := blkproxy.New(ki, p.DF, p.Chan, name, geom)
+	if err != nil {
+		return nil, err
+	}
+	p.Blk = proxy
+	return &umlBlockKernel{p: p}, nil
+}
+
+// umlBlockKernel is the driver-side api.BlockKernel: completions cross the
+// channel as shared-buffer references, batched per queue.
+type umlBlockKernel struct {
+	p *Process
+}
+
+var _ api.BlockKernel = (*umlBlockKernel)(nil)
+
+// Complete forwards one I/O completion to the real kernel. If the read
+// payload is a view of the driver's DMA memory (it is, for queue-pair
+// drivers), only the buffer reference crosses the channel — the zero-copy
+// path of §3.1.2; the kernel-side guard copy happens in the proxy. On
+// multi-queue channels references accumulate into per-queue batches (up to
+// blkproxy.MaxBlkBatch per message); a single-queue channel keeps one
+// message per completion, like the paper's transport.
+func (bk *umlBlockKernel) Complete(q int, tag uint64, err error, data []byte) {
+	p := bk.p
+	if p.killed {
+		return
+	}
+	if q < 0 || q >= len(p.blkComp) {
+		q = 0
+	}
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	comp := p.completionRef(tag, err, data)
+	if comp.IOVA == 0 && len(data) > 0 && err == nil {
+		// Slice identity lost (the payload is not a registered DMA
+		// view): bounce it inline on either transport — a zero
+		// reference in the batch framing would read as a write
+		// completion.
+		p.BouncedRx++
+		p.QueueAccts[q].Charge(sim.Copy(len(data)))
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete, Data: buf,
+			Args: [6]uint64{comp.Tag, uint64(comp.Status)}})
+		return
+	}
+	if p.Chan.NumQueues() > 1 {
+		p.blkComp[q] = append(p.blkComp[q], comp)
+		if len(p.blkComp[q]) >= blkproxy.MaxBlkBatch {
+			p.flushBlkCompQ(q)
+		}
+		return
+	}
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete,
+		Args: [6]uint64{comp.Tag, uint64(comp.Status), comp.IOVA, uint64(comp.Len)}})
+}
+
+// completionRef builds the wire form of one completion: successful reads
+// resolve the payload view back to its bus address for the zero-copy
+// reference; failures carry a bare status.
+func (p *Process) completionRef(tag uint64, err error, data []byte) blkproxy.CompRef {
+	comp := blkproxy.CompRef{Tag: tag}
+	if err != nil {
+		comp.Status = 1
+		return comp
+	}
+	if len(data) == 0 {
+		return comp // write completion
+	}
+	if iova, ok := p.sliceAddrs[&data[0]]; ok {
+		p.ZeroCopyRx++
+		comp.IOVA = uint64(iova)
+		comp.Len = uint32(len(data))
+	}
+	return comp
+}
+
+// WakeQueueQ implements api.BlockKernel: queue q's hardware queue regained
+// space; the wake downcall rides queue q's own ring and names the queue,
+// so the proxy releases only that queue's block-core context.
+func (bk *umlBlockKernel) WakeQueueQ(q int) {
+	p := bk.p
+	if q < 0 || q >= len(p.QueueAccts) {
+		q = 0
+	}
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpWakeQueue, Args: [6]uint64{uint64(q)}})
+}
+
+// flushBlkCompQ emits queue q's accumulated completions as one batched
+// downcall message on ring q.
+func (p *Process) flushBlkCompQ(q int) {
+	if len(p.blkComp[q]) == 0 {
+		return
+	}
+	data := blkproxy.EncodeBlkBatch(p.blkComp[q])
+	p.blkComp[q] = p.blkComp[q][:0]
+	p.QueueAccts[q].Charge(sim.Copy(len(data)))
+	p.BlkBatches++
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpCompleteBatch, Data: data})
+}
+
+// flushBlkComps emits every queue's partial completion batch; called at the
+// end of a dispatch so completions never wait on future I/O.
+func (p *Process) flushBlkComps() {
+	for q := range p.blkComp {
+		p.flushBlkCompQ(q)
+	}
 }
 
 // umlAudioKernel is the driver-side api.AudioKernel.
