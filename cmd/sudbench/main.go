@@ -46,6 +46,8 @@ func main() {
 	direction := flag.String("direction", "tx", "multiflow: tx | rx | bidi")
 	jobs := flag.Int("jobs", 16, "blk: concurrent I/O jobs")
 	depth := flag.Int("depth", 6, "blk: outstanding reads per job")
+	killAfter := flag.Duration("kill-after", 0,
+		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
 	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
 	flag.Parse()
 
@@ -148,6 +150,34 @@ func main() {
 		target := *queues
 		if target < 1 {
 			target = 1
+		}
+		if *killAfter > 0 {
+			// Recovery smoke: kill the supervised driver mid-run; record
+			// replayed requests and recovery latency (BENCH_recovery.json).
+			tb, err := diskperf.NewSupervisedTestbed(target, hw.DefaultPlatform())
+			if err != nil {
+				return err
+			}
+			kill := sim.Duration((*killAfter).Nanoseconds())
+			res, err := diskperf.KillRecovery(tb, *jobs, *depth, kill, kill+100*sim.Millisecond)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			if res.Errors != 0 {
+				return fmt.Errorf("recovery surfaced %d application-visible errors", res.Errors)
+			}
+			if *jsonPath != "" {
+				blob, err := json.MarshalIndent([]diskperf.RecoveryResult{res}, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
 		}
 		// A trusted-baseline row, a single-queue SUD reference row, then
 		// the requested fan-out.

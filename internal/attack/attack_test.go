@@ -145,6 +145,23 @@ func TestBlkRedirectConfinedUnderEverySUDConfig(t *testing.T) {
 	run(t, BlkRedirect, cfgSUDNoACS(), false)
 }
 
+func TestDriverReviveTransparentUnderEverySUDConfig(t *testing.T) {
+	// kill -9 of a supervised driver process mid-saturation: the trusted
+	// baseline has no recovery story (a driver crash is a kernel crash);
+	// under SUD the shadow layer restarts the process, the restarted
+	// driver adopts the surviving kernel objects, the in-flight block log
+	// replays under the original tags, and stale-epoch completions from
+	// the dead incarnation are rejected — on every platform flavour.
+	run(t, DriverRevive, cfgKernel(), true)
+	o := run(t, DriverRevive, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, DriverRevive, cfgSUDRemap(), false)
+	run(t, DriverRevive, cfgSUDAMD(), false)
+	run(t, DriverRevive, cfgSUDNoACS(), false)
+}
+
 func TestRunMatrixCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix is slow")
@@ -153,7 +170,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 11*len(Configs()) {
+	if len(out) != 12*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be

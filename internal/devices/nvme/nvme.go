@@ -13,6 +13,14 @@
 // in parallel — the per-command engine and media time serialise within a
 // queue, not across queues. That is what the multi-queue uchan transport
 // scales against.
+//
+// The model is the storage surface SUD's confinement mechanisms are
+// exercised against: the register decode clamps out-of-range doorbells and
+// LBAs (§3.2.1's "validate everything the driver programs" applied at the
+// device), all ring and payload traffic moves by DMA through the process's
+// IOMMU domain (§3.2, Figure 9), and a controller reset (CC enable 1→0)
+// clears every queue — which is what makes driver bring-up idempotent and
+// shadow-driver restart (§2, §5.2) possible after a kill -9.
 package nvme
 
 import (

@@ -64,7 +64,8 @@ type Testbed struct {
 	M    *hw.Machine
 	K    *kernel.Kernel
 	Ctrl *nvme.Ctrl
-	Proc *sudml.Process // nil under ModeKernel
+	Proc *sudml.Process    // nil under ModeKernel
+	Sup  *sudml.Supervisor // non-nil only for supervised testbeds
 	Dev  *blockdev.Dev
 }
 

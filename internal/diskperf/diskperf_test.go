@@ -76,3 +76,33 @@ func TestCompletionsBatchPerDoorbell(t *testing.T) {
 		t.Fatalf("completions per doorbell = %.2f", res.CompsPerDoorbell)
 	}
 }
+
+// TestKillRecoveryInvisible drives the recovery smoke the CI step records:
+// kill -9 of the supervised nvmed process mid-saturation must complete
+// every request with correct data (zero app-visible errors), replay the
+// in-flight log, and resume the workload.
+func TestKillRecoveryInvisible(t *testing.T) {
+	tb, err := NewSupervisedTestbed(2, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KillRecovery(tb, 8, 4, 2*sim.Millisecond, 60*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d app-visible errors across the kill", res.Errors)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.Replayed == 0 {
+		t.Fatal("no requests replayed")
+	}
+	if res.RecoveryLatencyUS <= 0 {
+		t.Fatal("no recovery latency measured")
+	}
+	if res.Completed < 1000 {
+		t.Fatalf("only %d requests completed (workload did not resume)", res.Completed)
+	}
+}

@@ -1,0 +1,173 @@
+package diskperf
+
+import (
+	"fmt"
+
+	"sud/internal/devices/nvme"
+	"sud/internal/drivers/nvmed"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+// NewSupervisedTestbed boots the SUD block testbed with the nvmed process
+// under shadow-driver supervision (internal/sudml.SuperviseBlock): a kill
+// of the driver process triggers transparent restart, adoption and replay
+// instead of failing in-flight requests.
+func NewSupervisedTestbed(queues int, plat hw.Platform) (*Testbed, error) {
+	if queues < 1 {
+		queues = 1
+	}
+	if queues > nvme.MaxIOQueues {
+		queues = nvme.MaxIOQueues
+	}
+	if plat.Cores == 0 {
+		plat.Cores = ScaleCores
+	}
+	m := hw.NewMachine(plat)
+	k := kernel.New(m)
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(queues))
+	m.AttachDevice(ctrl)
+	sup, err := sudml.SuperviseBlock(k, ctrl, nvmed.NewQ(queues), "nvmed", "nvme0", 1003, queues)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Mode: ModeSUD, Queues: queues, M: m, K: k, Ctrl: ctrl,
+		Proc: sup.Proc(), Sup: sup}
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Up(); err != nil {
+		return nil, err
+	}
+	tb.Dev = dev
+	m.Loop.RunFor(100 * sim.Microsecond)
+	return tb, nil
+}
+
+// RecoveryResult is one kill-during-saturation measurement: how invisibly
+// the block path survived a kill -9 of its driver process.
+type RecoveryResult struct {
+	Queues, Jobs, Depth int
+	// KillAfterUS is when the kill fired, virtual µs from workload start.
+	KillAfterUS float64
+	// Restarts is the supervised restart count (1 for a single kill).
+	Restarts int
+	// Replayed is the number of logged in-flight requests re-submitted to
+	// the restarted process.
+	Replayed int
+	// RecoveryLatencyUS is the application-visible gap: virtual µs from
+	// the kill until every request outstanding at kill time had completed.
+	RecoveryLatencyUS float64
+	// Completed counts requests finished over the whole run; Errors counts
+	// completions that surfaced an error or wrong data to the caller —
+	// the acceptance criterion is zero.
+	Completed uint64
+	Errors    uint64
+}
+
+func (r RecoveryResult) String() string {
+	return fmt.Sprintf(
+		"BLOCK_RECOVERY Q=%d J=%d D=%d kill@%.0fµs: %d restart(s), %d replayed, recovered in %.1fµs, %d completed, %d errors\n",
+		r.Queues, r.Jobs, r.Depth, r.KillAfterUS, r.Restarts, r.Replayed,
+		r.RecoveryLatencyUS, r.Completed, r.Errors)
+}
+
+// KillRecovery drives the fio-style workload against a supervised testbed,
+// kills the driver process killAfter into the run, and measures the
+// recovery: replayed requests, the kill-to-drained latency, and — the
+// invariant — that no submitted request surfaced an error or wrong bytes.
+// Each LBA holds an invariant fill pattern, so a read serviced from the
+// wrong incarnation's buffers is detected as an error.
+func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) (RecoveryResult, error) {
+	if tb.Sup == nil {
+		return RecoveryResult{}, fmt.Errorf("diskperf: KillRecovery needs a supervised testbed")
+	}
+	if jobs < 1 || depth < 1 {
+		return RecoveryResult{}, fmt.Errorf("diskperf: need at least one job and depth 1")
+	}
+	const span = 64
+	pattern := func(lba uint64) byte { return byte(lba*31 + 7) }
+	for lba := uint64(0); lba < span; lba++ {
+		buf := make([]byte, tb.Dev.Geom.BlockSize)
+		for i := range buf {
+			buf[i] = pattern(lba)
+		}
+		tb.Ctrl.SeedMedia(lba, buf)
+	}
+
+	res := RecoveryResult{Queues: tb.Queues, Jobs: jobs, Depth: depth,
+		KillAfterUS: float64(killAfter) / float64(sim.Microsecond)}
+	stopped := false
+	var killedAt sim.Time
+	preKill := 0 // requests outstanding at kill time, not yet completed
+	outstanding := 0
+	var recoveredAt sim.Time
+
+	var issue func(j int, seq uint64)
+	issue = func(j int, seq uint64) {
+		if stopped {
+			return
+		}
+		lba := (uint64(j)*977 + seq*13) % span
+		issuedAt := tb.M.Now()
+		tb.K.Acct.Charge(costAppSubmit)
+		outstanding++
+		err := tb.Dev.ReadAt(lba, func(data []byte, err error) {
+			if stopped {
+				return
+			}
+			outstanding--
+			res.Completed++
+			if err != nil {
+				res.Errors++
+			} else {
+				for _, b := range data {
+					if b != pattern(lba) {
+						res.Errors++
+						break
+					}
+				}
+			}
+			if killedAt != 0 && issuedAt <= killedAt {
+				preKill--
+				if preKill == 0 && recoveredAt == 0 {
+					recoveredAt = tb.M.Now()
+				}
+			}
+			tb.K.Acct.Charge(costAppReap)
+			tb.M.Loop.After(costAppReap, func() { issue(j, seq+1) })
+		})
+		if err != nil {
+			outstanding--
+			tb.M.Loop.After(10*sim.Microsecond, func() { issue(j, seq) })
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		for d := 0; d < depth; d++ {
+			issue(j, uint64(d*100))
+		}
+	}
+	tb.M.Loop.After(killAfter, func() {
+		killedAt = tb.M.Now()
+		preKill = outstanding
+		tb.Sup.Proc().Kill()
+	})
+	if runFor < killAfter+50*sim.Millisecond {
+		runFor = killAfter + 50*sim.Millisecond
+	}
+	tb.M.Loop.RunFor(runFor)
+	stopped = true
+
+	res.Restarts = tb.Sup.Restarts
+	res.Replayed = tb.Sup.LastReplayed
+	if recoveredAt != 0 {
+		res.RecoveryLatencyUS = float64(recoveredAt-killedAt) / float64(sim.Microsecond)
+	} else if preKill > 0 {
+		return res, fmt.Errorf("diskperf: %d pre-kill requests never completed", preKill)
+	}
+	return res, nil
+}

@@ -10,6 +10,12 @@
 // for per-queue IOMMU domains), NAPI-style completion polling from the
 // interrupt handler with phase-tag tracking, and submission stop/wake
 // backpressure per queue.
+//
+// Bring-up is idempotent by construction — enableCtrl disables the
+// controller (EN 1→0 resets every queue) before programming it, like the
+// Linux driver's nvme_disable_ctrl — which is what lets a restarted process
+// probe a controller its dead predecessor left enabled, the precondition
+// for shadow-driver recovery (§2, §5.2).
 package nvmed
 
 import (

@@ -6,13 +6,27 @@
 // of netstack's per-queue interface contexts. It trusts nothing about the
 // driver's liveness: a full hardware queue parks requests in that queue's
 // software queue only, and completions are matched by kernel-allocated tag,
-// so a driver cannot complete a request it was never given.
+// so a driver cannot complete a request it was never given (§3.1's
+// defensive proxy discipline applied to storage).
+//
+// The core is also where shadow-driver recovery (§2, §5.2: restarting a
+// crashed untrusted driver) lands for storage. A device with an attached
+// shadow (internal/kernel/shadow) logs every dispatched request; when its
+// driver process dies under supervision, BeginRecovery parks — instead of
+// fails — both the in-flight and newly submitted requests, bumps the
+// device's epoch (so the dead incarnation's proxy can no longer complete
+// anything), and marks the device adoptable. The restarted driver's
+// registration adopts the existing device object — application handles
+// survive — and CompleteRecovery replays the shadow's in-flight log in
+// per-queue submission order under the original tags before releasing the
+// parked queues. Applications observe added latency, never an error.
 package blockdev
 
 import (
 	"fmt"
 
 	"sud/internal/drivers/api"
+	"sud/internal/kernel/shadow"
 	"sud/internal/sim"
 )
 
@@ -46,16 +60,28 @@ type Manager struct {
 	Acct *sim.CPUAccount // the kernel CPU account
 
 	devs map[string]*Dev
+
+	// adopting holds devices whose driver died under supervision: they are
+	// waiting for the restarted driver's registration to adopt them.
+	adopting map[string]*Dev
 }
 
 // New returns an empty block core charging CPU to acct.
 func New(loop *sim.Loop, acct *sim.CPUAccount) *Manager {
-	return &Manager{Loop: loop, Acct: acct, devs: make(map[string]*Dev)}
+	return &Manager{Loop: loop, Acct: acct,
+		devs: make(map[string]*Dev), adopting: make(map[string]*Dev)}
 }
 
 // Register adds a block device for a driver. Names must be unique (proxy
-// drivers retry with the kernel's name template, like netdevs).
+// drivers retry with the kernel's name template, like netdevs). If a device
+// is awaiting adoption (its supervised driver died) and the registered
+// geometry matches, the existing device object is adopted instead: the new
+// driver backs the same Dev every application handle already points at.
 func (m *Manager) Register(name string, geom api.BlockGeometry, drv api.BlockDevice) (*Dev, error) {
+	if d := m.adopt(name, geom); d != nil {
+		d.drv = drv
+		return d, nil
+	}
 	if _, dup := m.devs[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
 	}
@@ -77,14 +103,22 @@ func (m *Manager) Register(name string, geom api.BlockGeometry, drv api.BlockDev
 
 // Unregister removes a device (driver removal / process death). Requests
 // still in flight complete with ErrDown so no caller waits forever on a
-// dead driver.
+// dead driver. Unregistering a device mid-recovery aborts the recovery:
+// parked and logged requests fail the same way, the shadow log is dropped,
+// and no later registration can adopt the dead device.
 func (m *Manager) Unregister(name string) {
 	d, ok := m.devs[name]
 	if !ok {
 		return
 	}
 	delete(m.devs, name)
+	delete(m.adopting, name)
 	d.up = false
+	d.recovering = false
+	d.replay = nil
+	if d.shadow != nil {
+		d.shadow.Reset()
+	}
 	for tag, r := range d.inflight {
 		delete(d.inflight, tag)
 		r.cb(nil, ErrDown)
@@ -96,6 +130,50 @@ func (m *Manager) Unregister(name string) {
 		}
 		qc.waiting = nil
 	}
+}
+
+// BeginRecovery marks name's device as recovering: its driver process died
+// under supervision. From this instant until CompleteRecovery, submissions
+// park in the per-queue software queues instead of failing, in-flight
+// requests stay tabled awaiting replay, and the device epoch is bumped so
+// completions still signed by the dead incarnation's proxy are rejected.
+// The device is entered into the adoption table for the restarted driver's
+// registration. A second death before anyone adopted changes nothing
+// (idempotent); a death AFTER adoption — the restarted incarnation dying
+// mid-replay or failing its recovery open — re-enters the adoption table
+// and bumps the epoch again, cutting off the incarnation that just died.
+func (m *Manager) BeginRecovery(name string) (*Dev, error) {
+	d, ok := m.devs[name]
+	if !ok {
+		return nil, fmt.Errorf("blockdev: no device %q to recover", name)
+	}
+	if _, pending := m.adopting[name]; pending && d.recovering {
+		return d, nil // second death with no incarnation bound in between
+	}
+	d.recovering = true
+	d.epoch++
+	for q := range d.queues {
+		d.queues[q].stalled = true
+	}
+	m.adopting[name] = d
+	return d, nil
+}
+
+// adopt matches a registration against the adoption table by exact name;
+// the mirrored geometry must also agree — a restarted driver reporting
+// different media is not the same device, and must not inherit its request
+// log. There is deliberately no geometry-only fallback: geometry identifies
+// a device model, not a device, and an unrelated same-sized disk registered
+// during the adoption window must not inherit another device's in-flight
+// requests. A recovering device renamed by the uniquing template is still
+// found, because the proxy's registration retry walks the template names.
+func (m *Manager) adopt(name string, geom api.BlockGeometry) *Dev {
+	d, ok := m.adopting[name]
+	if !ok || d.Geom != geom {
+		return nil
+	}
+	delete(m.adopting, name)
+	return d
 }
 
 // Dev looks up a device by name.
@@ -126,8 +204,9 @@ type QueueCtx struct {
 	stalled bool
 	waiting []queued
 
-	// Per-queue traffic counters.
-	Reads, Writes, Completions, Errors uint64
+	// Per-queue traffic counters. Replays counts requests re-submitted to
+	// a restarted driver by shadow recovery.
+	Reads, Writes, Completions, Errors, Replays uint64
 
 	// OnWake, if set, runs when this queue is woken; when unset the
 	// device-level OnWake hook fires instead.
@@ -163,6 +242,16 @@ type Dev struct {
 	drv api.BlockDevice
 	up  bool
 
+	// Shadow recovery state: the request log (attached by the supervisor),
+	// the recovering flag (park, don't fail), the per-queue replay
+	// schedules built at CompleteRecovery, and the epoch — incremented on
+	// every driver death, so a proxy bound to a dead incarnation can be
+	// told apart from the adopted one.
+	shadow     *shadow.Block
+	recovering bool
+	epoch      uint64
+	replay     [][]shadow.PendingBlock
+
 	queues   []QueueCtx
 	inflight map[uint64]*request
 	nextTag  uint64
@@ -180,6 +269,22 @@ var _ api.BlockKernel = (*Dev)(nil)
 
 // NumQueues reports the device's queue-context count.
 func (d *Dev) NumQueues() int { return len(d.queues) }
+
+// AttachShadow arms shadow recovery: from now on every dispatched request is
+// logged until its completion is delivered. The supervisor attaches the
+// shadow when it takes ownership of the device's driver process.
+func (d *Dev) AttachShadow(s *shadow.Block) { d.shadow = s }
+
+// Shadow returns the attached shadow (nil when unsupervised).
+func (d *Dev) Shadow() *shadow.Block { return d.shadow }
+
+// Epoch reports the device's driver incarnation epoch; it increments on
+// every BeginRecovery. Proxies record the epoch they bound at and reject
+// their own late completions once it moves on.
+func (d *Dev) Epoch() uint64 { return d.epoch }
+
+// Recovering reports whether the device is between driver incarnations.
+func (d *Dev) Recovering() bool { return d.recovering }
 
 // Queue returns queue q's context (clamped), for per-queue hooks and stats.
 func (d *Dev) Queue(q int) *QueueCtx { return &d.queues[d.clampQ(q)] }
@@ -261,7 +366,8 @@ func (d *Dev) WriteAtQ(lba uint64, q int, data []byte, cb func(error)) error {
 }
 
 // submit validates, tags and dispatches one request; a stalled or full
-// hardware queue parks it in that queue's software queue.
+// hardware queue — or a device whose driver is being restarted — parks it
+// in that queue's software queue.
 func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error {
 	if !d.up {
 		return ErrDown
@@ -272,7 +378,7 @@ func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error 
 	q = d.clampQ(q)
 	qc := &d.queues[q]
 	d.mgr.Acct.Charge(CostSubmitPath)
-	if qc.stalled {
+	if qc.stalled || d.recovering {
 		if len(qc.waiting) >= MaxQueuedPerQueue {
 			return ErrCongested
 		}
@@ -297,6 +403,9 @@ func (d *Dev) dispatch(q int, req api.BlockRequest, cb func([]byte, error)) bool
 		delete(d.inflight, req.Tag)
 		return false
 	}
+	if d.shadow != nil {
+		d.shadow.RecordSubmit(q, req)
+	}
 	if req.Write {
 		qc.Writes++
 	} else {
@@ -318,6 +427,9 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 		return
 	}
 	delete(d.inflight, tag)
+	if d.shadow != nil {
+		d.shadow.RecordComplete(tag)
+	}
 	qc := &d.queues[d.clampQ(q)]
 	qc.Completions++
 	d.mgr.Acct.Charge(CostCompletePath)
@@ -333,9 +445,22 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 }
 
 // WakeQueueQ implements api.BlockKernel: queue q's hardware queue regained
-// space; drain its software queue and notify the submitter.
+// space; drain its software queue and notify the submitter. Replays left
+// over from a recovery go first — they carry the oldest tags and must reach
+// the restarted driver before any parked request that was submitted after
+// them.
 func (d *Dev) WakeQueueQ(q int) {
 	qc := &d.queues[d.clampQ(q)]
+	if d.recovering {
+		// A wake between driver incarnations (a stale proxy, or a death
+		// racing the doorbell) must not release parked requests into a
+		// driver that no longer exists.
+		return
+	}
+	if !d.drainReplay(qc.ID) {
+		qc.stalled = true
+		return
+	}
 	qc.stalled = false
 	for len(qc.waiting) > 0 {
 		w := qc.waiting[0]
@@ -352,4 +477,57 @@ func (d *Dev) WakeQueueQ(q int) {
 	if d.OnWake != nil {
 		d.OnWake()
 	}
+}
+
+// drainReplay feeds queue q's remaining replay schedule to the (restarted)
+// driver in original submission order, under the original tags — their
+// callbacks are still tabled in d.inflight. It reports false if the driver
+// refused a replay (queue full: continue on the next wake).
+func (d *Dev) drainReplay(q int) bool {
+	if d.replay == nil || q >= len(d.replay) {
+		return true
+	}
+	for len(d.replay[q]) > 0 {
+		p := d.replay[q][0]
+		d.mgr.Acct.Charge(CostSubmitPath)
+		if err := d.drv.Submit(q, p.Req); err != nil {
+			return false
+		}
+		d.replay[q] = d.replay[q][1:]
+		d.queues[q].Replays++
+		if d.shadow != nil {
+			d.shadow.Replayed++
+		}
+	}
+	return true
+}
+
+// CompleteRecovery finishes a shadow recovery after the restarted driver
+// has adopted the device: bring-up is replayed (the driver's Open — queue
+// creation, IRQ), the shadow's in-flight log becomes the per-queue replay
+// schedule, and every queue is released — replays first, then parked
+// submissions. It returns the number of requests scheduled for replay. On
+// an Open failure the device stays recovering (parked requests intact), so
+// a second restart can try again.
+func (d *Dev) CompleteRecovery() (int, error) {
+	if !d.recovering {
+		return 0, nil
+	}
+	if d.up {
+		if err := d.drv.Open(); err != nil {
+			return 0, fmt.Errorf("blockdev: recovery open %s: %w", d.Name, err)
+		}
+	}
+	n := 0
+	if d.shadow != nil {
+		d.replay = d.shadow.PendingByQueue(len(d.queues))
+		for q := range d.replay {
+			n += len(d.replay[q])
+		}
+	}
+	d.recovering = false
+	for q := range d.queues {
+		d.WakeQueueQ(q)
+	}
+	return n, nil
 }

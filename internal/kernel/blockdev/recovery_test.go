@@ -1,0 +1,292 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+
+	"sud/internal/drivers/api"
+	"sud/internal/kernel/shadow"
+)
+
+// startRecoverable registers a shadowed fake driver and brings it up.
+func startRecoverable(t *testing.T, m *Manager, queues, limit int) (*Dev, *fakeDrv) {
+	t.Helper()
+	f := newFake(queues, limit)
+	d, err := m.Register("d0", geom(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachShadow(shadow.NewBlock(d.Geom))
+	if err := d.Up(); err != nil {
+		t.Fatal(err)
+	}
+	return d, f
+}
+
+// TestRecoveryParksReplaysAndAdopts is the shadow protocol end to end at the
+// block-core level: in-flight requests survive the driver's death, new
+// submissions park instead of failing, the restarted driver adopts the same
+// Dev object, and replay re-submits the log in order under the original
+// tags before the parked work drains.
+func TestRecoveryParksReplaysAndAdopts(t *testing.T) {
+	m := newMgr()
+	d, f1 := startRecoverable(t, m, 1, 16)
+
+	results := map[uint64]error{} // LBA → completion error (sentinel = pending)
+	pending := errors.New("pending")
+	issue := func(lba uint64) {
+		results[lba] = pending
+		if err := d.ReadAtQ(lba, 0, func(_ []byte, err error) { results[lba] = err }); err != nil {
+			t.Fatalf("submit lba %d: %v", lba, err)
+		}
+	}
+	issue(1)
+	issue(2)
+	issue(3)
+	if len(f1.pending[0]) != 3 {
+		t.Fatalf("driver holds %d requests", len(f1.pending[0]))
+	}
+
+	// Driver death under supervision.
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Recovering() || d.Epoch() != 1 {
+		t.Fatalf("recovering=%v epoch=%d", d.Recovering(), d.Epoch())
+	}
+	// In-flight requests are parked, not failed.
+	for lba, err := range results {
+		if err != pending {
+			t.Fatalf("lba %d completed during recovery: %v", lba, err)
+		}
+	}
+	// New submissions park too.
+	issue(4)
+	if d.Queue(0).Waiting() != 1 {
+		t.Fatalf("waiting = %d, want 1 parked", d.Queue(0).Waiting())
+	}
+
+	// The restarted driver registers the same name+geometry and adopts.
+	f2 := newFake(1, 16)
+	d2, err := m.Register("d0", geom(), f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d {
+		t.Fatal("registration did not adopt the recovering device")
+	}
+	n, err := d.CompleteRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d, want 3", n)
+	}
+	if !f2.opened {
+		t.Fatal("bring-up not replayed to the restarted driver")
+	}
+	// Replays come first, in original order and under the original tags,
+	// then the parked request.
+	if len(f2.pending[0]) != 4 {
+		t.Fatalf("restarted driver holds %d requests, want 4", len(f2.pending[0]))
+	}
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if f2.pending[0][i].LBA != want {
+			t.Fatalf("replay order: slot %d is LBA %d, want %d", i, f2.pending[0][i].LBA, want)
+		}
+		if want <= 3 && f2.pending[0][i].Tag != uint64(want-1) {
+			t.Fatalf("replayed LBA %d under tag %d, want original %d", want, f2.pending[0][i].Tag, want-1)
+		}
+	}
+	if d.Queue(0).Replays != 3 {
+		t.Fatalf("Replays = %d", d.Queue(0).Replays)
+	}
+	// Completing the replayed tags delivers to the original callbacks.
+	for _, req := range f2.pending[0] {
+		d.Complete(0, req.Tag, nil, make([]byte, d.Geom.BlockSize))
+	}
+	for lba, err := range results {
+		if err != nil {
+			t.Fatalf("lba %d: %v", lba, err)
+		}
+	}
+	if d.Shadow().Pending() != 0 {
+		t.Fatalf("shadow log holds %d entries after completion", d.Shadow().Pending())
+	}
+}
+
+// TestRecoveryReplayContinuesOnWake covers a restarted driver whose queue
+// is too small to take the whole replay at once: the remainder must go out
+// on the driver's wake, still ahead of parked submissions.
+func TestRecoveryReplayContinuesOnWake(t *testing.T) {
+	m := newMgr()
+	d, _ := startRecoverable(t, m, 1, 16)
+	for lba := uint64(1); lba <= 6; lba++ {
+		if err := d.ReadAtQ(lba, 0, func(_ []byte, _ error) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAtQ(7, 0, func(_ []byte, _ error) {}); err != nil {
+		t.Fatal(err) // parks behind the replay
+	}
+	f2 := newFake(1, 2) // accepts only two requests before reporting full
+	if _, err := m.Register("d0", geom(), f2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CompleteRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.pending[0]) != 2 || !d.Queue(0).Stalled() {
+		t.Fatalf("partial replay: %d submitted, stalled=%v", len(f2.pending[0]), d.Queue(0).Stalled())
+	}
+	// The driver drains and wakes; replay resumes before the parked read.
+	f2.pending[0], f2.limit = nil, 16
+	d.WakeQueueQ(0)
+	want := []uint64{3, 4, 5, 6, 7}
+	if len(f2.pending[0]) != len(want) {
+		t.Fatalf("wake drained %d requests, want %d", len(f2.pending[0]), len(want))
+	}
+	for i, lba := range want {
+		if f2.pending[0][i].LBA != lba {
+			t.Fatalf("slot %d is LBA %d, want %d", i, f2.pending[0][i].LBA, lba)
+		}
+	}
+}
+
+// TestUnregisterWhileRecovering: pulling the device mid-recovery must fail
+// every tabled and parked request with ErrDown, drop the shadow log, and
+// leave nothing adoptable.
+func TestUnregisterWhileRecovering(t *testing.T) {
+	m := newMgr()
+	d, _ := startRecoverable(t, m, 1, 16)
+	var errs []error
+	for lba := uint64(1); lba <= 3; lba++ {
+		if err := d.ReadAtQ(lba, 0, func(_ []byte, err error) { errs = append(errs, err) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAtQ(4, 0, func(_ []byte, err error) { errs = append(errs, err) }); err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister("d0")
+	if len(errs) != 4 {
+		t.Fatalf("%d callbacks fired, want 4", len(errs))
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrDown) {
+			t.Fatalf("completion error %v, want ErrDown", err)
+		}
+	}
+	if d.Shadow().Pending() != 0 {
+		t.Fatal("shadow log survived unregister")
+	}
+	// A later registration with the same name is a fresh device, not an
+	// adoption of the dead one.
+	f3 := newFake(1, 16)
+	d3, err := m.Register("d0", geom(), f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d {
+		t.Fatal("unregistered device was adopted")
+	}
+}
+
+// TestAdoptionRequiresMatchingGeometry: a restarted driver reporting
+// different media must not inherit the request log.
+func TestAdoptionRequiresMatchingGeometry(t *testing.T) {
+	m := newMgr()
+	d, _ := startRecoverable(t, m, 1, 16)
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	other := api.BlockGeometry{BlockSize: 4096, Blocks: 8}
+	if _, err := m.Register("d0", other, newFake(1, 16)); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("mismatched geometry register: %v, want name-taken refusal", err)
+	}
+	// The matching driver still adopts afterwards.
+	d2, err := m.Register("d0", geom(), newFake(1, 16))
+	if err != nil || d2 != d {
+		t.Fatalf("adopt after refusal: %v (same=%v)", err, d2 == d)
+	}
+}
+
+// TestDoubleDeathBeforeAdoption: a second BeginRecovery (the restarted
+// process dying before it registered) is idempotent on parking but the
+// device stays adoptable; epoch moves once per death that found the device
+// live.
+func TestDoubleDeathBeforeAdoption(t *testing.T) {
+	m := newMgr()
+	d, _ := startRecoverable(t, m, 1, 16)
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch = %d after back-to-back deaths, want 1", d.Epoch())
+	}
+	if _, err := m.Register("d0", geom(), newFake(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CompleteRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	// A death after adoption is a fresh recovery: epoch moves again.
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", d.Epoch())
+	}
+}
+
+// TestDeathAfterAdoptionBeforeRecoveryCompletes: the adopted incarnation
+// dies (or fails its recovery open) while the device is still recovering.
+// The next BeginRecovery must re-enter the adoption table and bump the
+// epoch again — otherwise the device would be permanently un-adoptable and
+// the dead incarnation's proxy would keep passing the epoch check.
+func TestDeathAfterAdoptionBeforeRecoveryCompletes(t *testing.T) {
+	m := newMgr()
+	d, _ := startRecoverable(t, m, 1, 16)
+	done := false
+	if err := d.ReadAtQ(1, 0, func(_ []byte, err error) { done = err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register("d0", geom(), newFake(1, 16)); err != nil {
+		t.Fatal(err) // generation 1 adopts...
+	}
+	// ...and dies before CompleteRecovery ran.
+	if _, err := m.BeginRecovery("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 2 {
+		t.Fatalf("epoch = %d after post-adoption death, want 2", d.Epoch())
+	}
+	// Generation 2 must still be able to adopt and finish the recovery.
+	f3 := newFake(1, 16)
+	d3, err := m.Register("d0", geom(), f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d {
+		t.Fatal("device not re-adoptable after a post-adoption death")
+	}
+	if n, err := d.CompleteRecovery(); err != nil || n != 1 {
+		t.Fatalf("replay after second adoption: n=%d err=%v", n, err)
+	}
+	d.Complete(0, f3.pending[0][0].Tag, nil, make([]byte, d.Geom.BlockSize))
+	if !done {
+		t.Fatal("request did not complete across two incarnations' deaths")
+	}
+}

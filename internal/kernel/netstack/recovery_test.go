@@ -1,0 +1,133 @@
+package netstack
+
+import (
+	"testing"
+
+	"sud/internal/kernel/shadow"
+)
+
+// TestRecoveryHoldsTxAndAdopts: an interface whose supervised driver died
+// holds transmit in the stalled state (the caller sees backpressure, not a
+// vanished device), the restarted driver adopts the same Iface object, and
+// CompleteRecovery replays the recorded bring-up and releases TX.
+func TestRecoveryHoldsTxAndAdopts(t *testing.T) {
+	s, ifc, dev := newStack(t)
+	ifc.Shadow = &shadow.Net{}
+
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if !ifc.Recovering() || ifc.Epoch() != 1 {
+		t.Fatalf("recovering=%v epoch=%d", ifc.Recovering(), ifc.Epoch())
+	}
+	if ifc.Shadow.Snapshots != 1 || !ifc.Shadow.Up || ifc.Shadow.IP != [4]byte(ipA) {
+		t.Fatalf("shadow snapshot %+v", ifc.Shadow)
+	}
+	if ifc.Shadow.MAC != [6]byte(macA) || ifc.Shadow.Queues != 1 {
+		t.Fatalf("shadow mirror fields %+v", ifc.Shadow)
+	}
+	if ifc.Shadow.Carrier != ifc.Carrier() {
+		t.Fatalf("shadow carrier %v != iface carrier %v", ifc.Shadow.Carrier, ifc.Carrier())
+	}
+	// TX holds: the stack reports the queue stopped, no frame reaches the
+	// dead driver.
+	if err := s.UDPSendTo(ifc, macB, ipB, 1000, 2000, []byte("x")); err == nil {
+		t.Fatal("transmit succeeded into a dead driver")
+	}
+	if len(dev.tx) != 0 {
+		t.Fatal("frame reached the dead driver")
+	}
+	// A stale wake from the dead incarnation must not release TX early.
+	ifc.WakeQueue()
+	if err := s.UDPSendTo(ifc, macB, ipB, 1000, 2000, []byte("x")); err == nil {
+		t.Fatal("stale wake released TX mid-recovery")
+	}
+
+	// The restarted driver registers the same name+MAC and adopts.
+	dev2 := &loopDev{}
+	ifc2, err := s.Register("eth0", [6]byte(macA), dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc2 != ifc {
+		t.Fatal("registration did not adopt the recovering interface")
+	}
+	if err := ifc.CompleteRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if !dev2.opened {
+		t.Fatal("bring-up not replayed to the restarted driver")
+	}
+	if ifc.Recovering() || !ifc.IsUp() || ifc.IP != ipA {
+		t.Fatalf("post-recovery state: recovering=%v up=%v ip=%v", ifc.Recovering(), ifc.IsUp(), ifc.IP)
+	}
+	if err := s.UDPSendTo(ifc, macB, ipB, 1000, 2000, []byte("x")); err != nil {
+		t.Fatalf("transmit after recovery: %v", err)
+	}
+	if len(dev2.tx) != 1 {
+		t.Fatal("frame did not reach the restarted driver")
+	}
+}
+
+// TestRecoveryAdoptionRequiresMatchingMAC: a driver reading a different
+// hardware address is a different device and must not adopt the interface.
+func TestRecoveryAdoptionRequiresMatchingMAC(t *testing.T) {
+	s, ifc, _ := newStack(t)
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("eth0", [6]byte(macB), &loopDev{}); err == nil {
+		t.Fatal("foreign MAC adopted the recovering interface")
+	}
+	ifc2, err := s.Register("eth0", [6]byte(macA), &loopDev{})
+	if err != nil || ifc2 != ifc {
+		t.Fatalf("matching MAC adoption: %v (same=%v)", err, ifc2 == ifc)
+	}
+}
+
+// TestDeathAfterAdoptionBeforeRecoveryCompletes: the adopted incarnation
+// dies while the interface is still recovering; the next BeginRecovery
+// must re-enter the adoption table and bump the epoch again.
+func TestDeathAfterAdoptionBeforeRecoveryCompletes(t *testing.T) {
+	s, ifc, _ := newStack(t)
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("eth0", [6]byte(macA), &loopDev{}); err != nil {
+		t.Fatal(err) // generation 1 adopts, then dies before completing
+	}
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if ifc.Epoch() != 2 {
+		t.Fatalf("epoch = %d after post-adoption death, want 2", ifc.Epoch())
+	}
+	dev3 := &loopDev{}
+	ifc3, err := s.Register("eth0", [6]byte(macA), dev3)
+	if err != nil || ifc3 != ifc {
+		t.Fatalf("interface not re-adoptable: %v (same=%v)", err, ifc3 == ifc)
+	}
+	if err := ifc.CompleteRecovery(); err != nil || !dev3.opened {
+		t.Fatalf("second recovery did not complete: %v opened=%v", err, dev3.opened)
+	}
+}
+
+// TestUnregisterWhileRecoveringAbortsAdoption: pulling the interface
+// mid-recovery leaves nothing adoptable; a later registration is fresh.
+func TestUnregisterWhileRecoveringAbortsAdoption(t *testing.T) {
+	s, ifc, _ := newStack(t)
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Unregister("eth0")
+	ifc2, err := s.Register("eth0", [6]byte(macA), &loopDev{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc2 == ifc {
+		t.Fatal("unregistered interface was adopted")
+	}
+	if ifc2.IsUp() {
+		t.Fatal("fresh interface inherited admin state")
+	}
+}

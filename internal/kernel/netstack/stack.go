@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sud/internal/drivers/api"
+	"sud/internal/kernel/shadow"
 	"sud/internal/sim"
 )
 
@@ -29,6 +30,10 @@ type Stack struct {
 	udp    map[uint16]*UDPSock
 	tcp    map[uint16]*TCPReceiver
 
+	// adopting holds interfaces whose driver died under supervision,
+	// awaiting adoption by the restarted driver's registration.
+	adopting map[string]*Iface
+
 	// Firewall, if set, inspects every received frame; returning false
 	// drops it. It runs before payload delivery, like a netfilter hook.
 	Firewall func(frame []byte) bool
@@ -42,11 +47,12 @@ type Stack struct {
 // New returns an empty stack charging CPU to acct.
 func New(loop *sim.Loop, acct *sim.CPUAccount) *Stack {
 	return &Stack{
-		Loop:   loop,
-		Acct:   acct,
-		ifaces: make(map[string]*Iface),
-		udp:    make(map[uint16]*UDPSock),
-		tcp:    make(map[uint16]*TCPReceiver),
+		Loop:     loop,
+		Acct:     acct,
+		ifaces:   make(map[string]*Iface),
+		udp:      make(map[uint16]*UDPSock),
+		tcp:      make(map[uint16]*TCPReceiver),
+		adopting: make(map[string]*Iface),
 	}
 }
 
@@ -85,6 +91,15 @@ type Iface struct {
 	carrier bool
 	queues  []IfaceQueue
 
+	// Shadow recovery state: the optional config snapshot (attached by the
+	// supervisor), the recovering flag (every queue held in the TX-stopped
+	// state until the restarted driver takes over), and the epoch — bumped
+	// on each driver death so a proxy bound to the dead incarnation can no
+	// longer deliver frames or wakes into this interface.
+	Shadow     *shadow.Net
+	recovering bool
+	epoch      uint64
+
 	// OnWake, if set, runs when the driver wakes a queue with no
 	// queue-level hook (backpressure release for the TX benchmark loop).
 	OnWake func()
@@ -98,8 +113,19 @@ var ErrNameTaken = fmt.Errorf("netstack: interface name already registered")
 
 // Register adds an interface for a driver's netdev. Names must be unique.
 // Devices implementing api.MultiQueueNetDevice get one queue context per
-// hardware queue; everything else gets exactly one.
+// hardware queue; everything else gets exactly one. If an interface is
+// awaiting adoption (its supervised driver died) and the registration
+// matches it by name or hardware address, the existing interface object is
+// adopted instead: sockets and application handles survive the restart.
 func (s *Stack) Register(name string, macAddr [6]byte, dev api.NetDevice) (*Iface, error) {
+	if ifc := s.adopt(name, macAddr); ifc != nil {
+		ifc.dev = dev
+		ifc.mqdev = nil
+		if mq, ok := dev.(api.MultiQueueNetDevice); ok {
+			ifc.mqdev = mq
+		}
+		return ifc, nil
+	}
 	if _, dup := s.ifaces[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
 	}
@@ -132,8 +158,67 @@ func (ifc *Iface) clampQ(q int) int {
 	return q
 }
 
-// Unregister removes an interface (driver removal).
-func (s *Stack) Unregister(name string) { delete(s.ifaces, name) }
+// Unregister removes an interface (driver removal). Unregistering an
+// interface mid-recovery aborts the recovery — no later registration can
+// adopt it.
+func (s *Stack) Unregister(name string) {
+	if ifc, ok := s.ifaces[name]; ok {
+		ifc.recovering = false
+		ifc.up = false
+	}
+	delete(s.ifaces, name)
+	delete(s.adopting, name)
+}
+
+// BeginRecovery marks name's interface as recovering: its driver process
+// died under supervision. TX holds in the stalled state on every queue (the
+// transport above sees ErrQueueStopped, not a vanished device), the epoch is
+// bumped so the dead incarnation's proxy is cut off, and — when a shadow is
+// attached — the configuration snapshot recovery will replay is captured.
+func (s *Stack) BeginRecovery(name string) (*Iface, error) {
+	ifc, ok := s.ifaces[name]
+	if !ok {
+		return nil, fmt.Errorf("netstack: no interface %q to recover", name)
+	}
+	if _, pending := s.adopting[name]; pending && ifc.recovering {
+		return ifc, nil // second death with no incarnation bound in between
+	}
+	ifc.recovering = true
+	ifc.epoch++
+	for q := range ifc.queues {
+		ifc.queues[q].txStopped = true
+	}
+	if sh := ifc.Shadow; sh != nil {
+		sh.MAC = ifc.MAC
+		sh.IP = ifc.IP
+		sh.Up = ifc.up
+		sh.Carrier = ifc.carrier
+		sh.Queues = len(ifc.queues)
+		sh.Snapshots++
+	}
+	s.adopting[name] = ifc
+	return ifc, nil
+}
+
+// adopt matches a registration against the adoption table: exact name
+// first, then hardware address (the driver read it back from the same
+// device's EEPROM, so it identifies the interface across a rename).
+func (s *Stack) adopt(name string, macAddr [6]byte) *Iface {
+	ifc, ok := s.adopting[name]
+	if !ok {
+		for n, cand := range s.adopting {
+			if cand.MAC == MAC(macAddr) {
+				ifc, name, ok = cand, n, true
+				break
+			}
+		}
+	}
+	if !ok || ifc.MAC != MAC(macAddr) {
+		return nil
+	}
+	delete(s.adopting, name)
+	return ifc
+}
 
 // Iface looks up an interface by name.
 func (s *Stack) Iface(name string) (*Iface, error) {
@@ -171,6 +256,41 @@ func (ifc *Iface) IsUp() bool { return ifc.up }
 
 // Carrier reports the mirrored link state.
 func (ifc *Iface) Carrier() bool { return ifc.carrier }
+
+// Epoch reports the interface's driver incarnation epoch; it increments on
+// every BeginRecovery. Proxies record the epoch they bound at and reject
+// their own late downcalls once it moves on.
+func (ifc *Iface) Epoch() uint64 { return ifc.epoch }
+
+// Recovering reports whether the interface is between driver incarnations.
+func (ifc *Iface) Recovering() bool { return ifc.recovering }
+
+// CompleteRecovery finishes a shadow recovery after the restarted driver has
+// adopted the interface: the recorded bring-up is replayed (the driver's
+// Open re-arms its RX rings and, under RSS, reprograms the redirection
+// table over the same queue count) and every queue's TX is released. The
+// IP address and admin state are restored from the shadow snapshot when one
+// is attached, else from the surviving interface object itself. On an Open
+// failure the interface stays recovering, so a second restart can retry.
+func (ifc *Iface) CompleteRecovery() error {
+	if !ifc.recovering {
+		return nil
+	}
+	up := ifc.up
+	if sh := ifc.Shadow; sh != nil {
+		up = sh.Up
+		ifc.IP = IP(sh.IP)
+	}
+	if up {
+		if err := ifc.dev.Open(); err != nil {
+			return fmt.Errorf("netstack: recovery open %s: %w", ifc.Name, err)
+		}
+		ifc.up = true
+	}
+	ifc.recovering = false
+	ifc.WakeQueue()
+	return nil
+}
 
 // Ioctl forwards a device-private ioctl to the driver (a synchronous
 // operation: under SUD this is the blocking-upcall path).
@@ -225,6 +345,12 @@ func (ifc *Iface) WakeQueue() {
 func (ifc *Iface) WakeQueueQ(q int) { ifc.wakeQueue(ifc.clampQ(q)) }
 
 func (ifc *Iface) wakeQueue(q int) {
+	if ifc.recovering {
+		// Wakes between driver incarnations must not release TX into a
+		// driver that no longer exists; CompleteRecovery wakes every
+		// queue once the restarted driver is in place.
+		return
+	}
 	ifc.queues[q].txStopped = false
 	if h := ifc.queues[q].OnWake; h != nil {
 		h()

@@ -1,0 +1,150 @@
+// Package shadow is the kernel's shadow-driver recovery layer — the
+// mechanism that makes the death of an untrusted driver process invisible to
+// applications. The paper points at exactly this extension (§2: "SUD's
+// architecture could also use shadow drivers to gracefully restart untrusted
+// device drivers"; §5.2: "It is also relatively simple to restart a crashed
+// device driver"); this package supplies the state it needs.
+//
+// A shadow object passively mirrors, via hooks on the existing upcall paths,
+// everything the kernel would have to re-establish if the driver process
+// were killed this instant:
+//
+//   - Block devices (Block): the namespace geometry mirrored at registration
+//     and a per-queue in-flight request log keyed by the kernel-allocated
+//     tag. Every request the block core dispatches to the driver is recorded
+//     (write payloads copied, since the driver may die holding the only
+//     reference) and erased when its completion is delivered. After a kill,
+//     the log IS the set of requests the dead incarnation swallowed — the
+//     recovery path replays it, in per-queue submission order and under the
+//     original tags, against the restarted process.
+//
+//   - Network interfaces (Net): the static configuration snapshot — MAC,
+//     IP address, admin up state, carrier, and the armed queue count (which
+//     under RSS also determines the RETA programming the restarted driver
+//     re-derives at open). Unlike block requests, transmitted frames are
+//     fire-and-forget (the transport above retransmits), so the NIC shadow
+//     records configuration, not payloads; a TX replay log is a recorded
+//     follow-on.
+//
+// The shadow is recording only: it never talks to a driver. The recovery
+// protocol around it lives in the device cores (internal/kernel/blockdev,
+// internal/kernel/netstack — parking, adoption, replay, and the per-device
+// epoch that lets proxies reject completions from a dead incarnation) and in
+// the supervisor (internal/sudml), which detects death, respawns the
+// process, and drives replay.
+package shadow
+
+import (
+	"sud/internal/drivers/api"
+)
+
+// PendingBlock is one logged in-flight block request: the queue it was
+// dispatched on, the request itself (tag included), and its submission
+// sequence number, which fixes the per-queue replay order.
+type PendingBlock struct {
+	Q   int
+	Req api.BlockRequest
+	Seq uint64
+}
+
+// Block is the shadow of one block device: geometry plus the in-flight
+// request log.
+type Block struct {
+	// Geom is the namespace geometry mirrored at registration — the static
+	// state (§3.3) a restarted driver must agree on before adoption.
+	Geom api.BlockGeometry
+
+	seq uint64
+	log map[uint64]*PendingBlock // tag → pending request
+
+	// Replayed counts requests re-submitted across all recoveries.
+	Replayed uint64
+}
+
+// NewBlock returns an empty block shadow for a device with the given
+// geometry.
+func NewBlock(geom api.BlockGeometry) *Block {
+	return &Block{Geom: geom, log: make(map[uint64]*PendingBlock)}
+}
+
+// RecordSubmit logs one request handed to the driver on queue q. The write
+// payload is copied: the block core's buffer is released on completion, but
+// the log entry must outlive a driver that dies without completing.
+func (s *Block) RecordSubmit(q int, req api.BlockRequest) {
+	if req.Data != nil {
+		req.Data = append([]byte(nil), req.Data...)
+	}
+	s.log[req.Tag] = &PendingBlock{Q: q, Req: req, Seq: s.seq}
+	s.seq++
+}
+
+// RecordComplete erases tag's log entry: its completion was delivered, so a
+// future recovery must not replay it (a write replayed after completing
+// would be harmlessly idempotent, but a read would complete twice).
+func (s *Block) RecordComplete(tag uint64) {
+	delete(s.log, tag)
+}
+
+// Pending reports the logged in-flight request count.
+func (s *Block) Pending() int { return len(s.log) }
+
+// PendingByQueue returns the log split per queue (clamped to nq queues),
+// each queue's requests in original submission order — the replay schedule.
+// The log itself is untouched: entries leave it only through RecordComplete,
+// so a second kill during replay rebuilds the schedule from what is still
+// genuinely unfinished.
+func (s *Block) PendingByQueue(nq int) [][]PendingBlock {
+	if nq < 1 {
+		nq = 1
+	}
+	out := make([][]PendingBlock, nq)
+	for _, p := range s.log {
+		q := p.Q
+		if q < 0 || q >= nq {
+			q = 0
+		}
+		out[q] = append(out[q], *p)
+	}
+	for q := range out {
+		sortBySeq(out[q])
+	}
+	return out
+}
+
+// Reset drops the log (device unregistered while recovering: the parked
+// requests were failed, so there is nothing left to replay).
+func (s *Block) Reset() {
+	s.log = make(map[uint64]*PendingBlock)
+}
+
+// sortBySeq orders a replay slice by submission sequence (insertion sort:
+// replay slices are bounded by the per-queue hardware depth).
+func sortBySeq(ps []PendingBlock) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Seq < ps[j-1].Seq; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Net is the shadow of one network interface: the configuration snapshot
+// captured at each driver death (the netstack's BeginRecovery hook). The
+// replay path consumes IP and Up — the admin state CompleteRecovery
+// restores before re-opening the driver. The remaining fields are the
+// recorded mirror of what the restart must reproduce by other means, kept
+// so recovery can be *verified* rather than trusted: MAC is the adoption
+// identity (the live interface carries the same value the stack matches
+// on), Carrier must reappear through the restarted driver's own mirroring
+// downcall, and Queues is the ring fan-out the restarted driver must
+// re-arm (under RSS, the range its RETA programming round-robins over) —
+// the recovery tests and the DriverRevive matrix row check all three.
+type Net struct {
+	MAC     [6]byte
+	IP      [4]byte
+	Up      bool
+	Carrier bool
+	Queues  int
+
+	// Snapshots counts BeginRecovery captures (one per death).
+	Snapshots uint64
+}

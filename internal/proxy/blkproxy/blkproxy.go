@@ -14,6 +14,12 @@
 // so the guard is a plain copy), and batched completion framing is decoded
 // defensively — malformed batches are dropped and counted, never
 // dispatched.
+//
+// The proxy also enforces the temporal member of that guard family: it
+// records the device's incarnation epoch at bind time, and once the block
+// core begins shadow recovery (driver death, §2/§5.2) every downcall from
+// this — now dead — incarnation is rejected wholesale, so a late or forged
+// completion cannot match a tag that replay has made live again.
 package blkproxy
 
 import (
@@ -78,11 +84,17 @@ type Proxy struct {
 	QueueComps   []uint64
 	QueueBatches []uint64
 
+	// epoch is the device incarnation this proxy bound at; once the block
+	// core bumps it (driver death → recovery) every downcall still signed
+	// by this proxy is stale and is rejected wholesale.
+	epoch uint64
+
 	// Security / robustness counters.
 	CompInvalidRef  uint64 // payload references outside the driver's memory
 	CompBadLength   uint64
 	CompBadTag      uint64 // completions for tags never issued
 	CompBadBatch    uint64 // malformed batch framing from the driver
+	CompStaleEpoch  uint64 // downcalls from a dead driver incarnation
 	SubmitDropsHung uint64
 	UpcallErrors    uint64
 }
@@ -128,6 +140,7 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	}
 	ki.DevName = dev.Name
 	p.Dev = dev
+	p.epoch = dev.Epoch()
 	return p, nil
 }
 
@@ -239,6 +252,16 @@ func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
 // arrived on — the queue whose counters it charges and whose slots its
 // completions release.
 func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
+	if p.Dev.Epoch() != p.epoch {
+		// This proxy belongs to a dead driver incarnation: the device was
+		// (or is being) recovered onto a restarted process. A completion,
+		// wake or batch arriving now is the replay-vs-stale-completion
+		// cousin of the §3.1.2 TOCTOU — the same tags are live again in
+		// the new incarnation — so everything from the old one is dropped
+		// and counted, never matched.
+		p.CompStaleEpoch++
+		return
+	}
 	if q < 0 || q >= len(p.free) {
 		q = 0
 	}

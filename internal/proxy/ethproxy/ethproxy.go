@@ -9,7 +9,10 @@
 // reference arriving from the driver is validated against the driver's own
 // DMA allocations before the kernel touches it. Received packet payloads are
 // guard-copied out of shared memory in the same pass that verifies their
-// checksum (§3.1.2), closing the TOCTOU window.
+// checksum (§3.1.2), closing the TOCTOU window. The proxy records its
+// interface's incarnation epoch at bind time; once the netstack begins
+// shadow recovery (driver death, §2/§5.2) every downcall from the dead
+// incarnation — frames, TX credits, wakes — is rejected and counted.
 package ethproxy
 
 import (
@@ -95,10 +98,16 @@ type Proxy struct {
 	RxQueueFrames  []uint64
 	RxQueueBatches []uint64
 
+	// epoch is the interface incarnation this proxy bound at; once the
+	// netstack bumps it (driver death → recovery) every downcall still
+	// signed by this proxy is stale and is rejected wholesale.
+	epoch uint64
+
 	// Security / robustness counters.
 	RxInvalidRef  uint64 // shared-buffer references outside the driver's memory
 	RxBadLength   uint64
 	RxBadBatch    uint64 // malformed batch framing from the driver
+	RxStaleEpoch  uint64 // downcalls from a dead driver incarnation
 	TxDropsHung   uint64
 	UpcallErrors  uint64
 	MirrorUpdates uint64 // shared-state synchronisation messages (§3.3)
@@ -142,6 +151,7 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	}
 	ki.IfaceNm = ifc.Name
 	p.Ifc = ifc
+	p.epoch = ifc.Epoch()
 	return p, nil
 }
 
@@ -276,6 +286,15 @@ func (d *proxyDev) DoIoctl(cmd uint32, arg []byte) ([]byte, error) {
 // arrived on — the RX partition it delivers into and the TX queue its
 // completions credit.
 func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
+	if p.Ifc.Epoch() != p.epoch {
+		// This proxy belongs to a dead driver incarnation: the interface
+		// was (or is being) recovered onto a restarted process. Frames,
+		// TX credits and wakes from the old incarnation are dropped and
+		// counted — its shared buffers are gone and its slot indices now
+		// name the new incarnation's pool.
+		p.RxStaleEpoch++
+		return
+	}
 	if q < 0 || q >= len(p.free) {
 		q = 0
 	}

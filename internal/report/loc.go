@@ -32,6 +32,9 @@ func Fig5Components() []Fig5Component {
 		// storage drivers); the paper column is 0 by construction.
 		{Name: "Block proxy driver", Dirs: []string{"internal/proxy/blkproxy"}, PaperLoC: 0},
 		{Name: "Block core (kernel side)", Dirs: []string{"internal/kernel/blockdev"}, PaperLoC: 0},
+		// Shadow-driver recovery is the restart extension the paper
+		// sketches (§2, §5.2) but did not build; paper column 0.
+		{Name: "Shadow recovery layer", Dirs: []string{"internal/kernel/shadow"}, PaperLoC: 0},
 		{Name: "SUD-UML runtime", Dirs: []string{"internal/sudml", "internal/uchan"}, PaperLoC: 5000},
 	}
 }

@@ -5,28 +5,33 @@ import (
 
 	"sud/internal/drivers/api"
 	"sud/internal/kernel"
-	"sud/internal/kernel/netstack"
+	"sud/internal/kernel/shadow"
 	"sud/internal/pci"
 	"sud/internal/sim"
 )
 
-// Supervisor implements the shadow-driver-style recovery the paper points
-// at (§2: "SUD's architecture could also use shadow drivers to gracefully
+// Supervisor implements the shadow-driver recovery the paper points at
+// (§2: "SUD's architecture could also use shadow drivers to gracefully
 // restart untrusted device drivers"; §5.2: "It is also relatively simple to
 // restart a crashed device driver"). It watches one driver process, detects
-// unresponsiveness, and transparently kills and restarts it, replaying the
-// mirrored interface state (the shadow state) so applications see a brief
-// stall instead of a dead device.
+// death or unresponsiveness, and transparently restarts it against the same
+// device model: the kernel-side device object (netstack.Iface or
+// blockdev.Dev) survives in the recovering state, the restarted process
+// adopts it at registration, bring-up is replayed, and — for block devices —
+// the shadow's in-flight request log is re-submitted under the original
+// tags. Applications see a latency blip, never an error.
 //
-// Detection uses two signals a malicious driver cannot suppress: an upcall
-// ring that stays backed up across consecutive checks, and a failed
-// synchronous probe (the interruptible MII ioctl).
+// Death detection is immediate (the process's OnDeath hook — SIGCHLD, in
+// effect). Hang detection uses two signals a malicious driver cannot
+// suppress: an upcall ring that stays backed up across consecutive checks,
+// and a failed synchronous probe (the interruptible MII ioctl).
 type Supervisor struct {
 	K      *kernel.Kernel
 	Dev    pci.Device
 	Driver api.Driver
 	Name   string
 	UID    int
+	Queues int
 
 	// CheckEvery is the health-check period.
 	CheckEvery sim.Duration
@@ -40,33 +45,79 @@ type Supervisor struct {
 	// OnRestart, if set, runs after each successful recovery.
 	OnRestart func(generation int)
 
-	proc     *Process
-	stopped  bool
-	lastBad  bool
-	Restarts int
+	proc       *Process
+	stopped    bool
+	lastBad    bool
+	lastServed uint64 // driver-produced messages at the previous check
+	recovering bool
+	Restarts   int
 
-	// shadow state for netdev-class drivers: whether the interface was
-	// up and with which address.
-	ifName string
-	wasUp  bool
-	addr   netstack.IP
+	// ifName / blkName select the device class under supervision (either
+	// or both may be set); they name the kernel object to recover.
+	ifName  string
+	blkName string
+
+	// NetShadow / BlkShadow are the recovery-state mirrors attached to the
+	// supervised kernel objects (internal/kernel/shadow).
+	NetShadow *shadow.Net
+	BlkShadow *shadow.Block
+
+	// LastReplayed is the number of logged block requests re-submitted by
+	// the most recent recovery; LastRecoveryAt is when it finished.
+	LastReplayed   int
+	LastRecoveryAt sim.Time
 }
 
-// Supervise starts a driver process under supervision. For netdev drivers,
-// pass the interface name so its up/address state can be replayed.
+// Supervise starts a netdev-class driver process under supervision,
+// single-queue. Pass the interface name so its configuration can be
+// shadowed and replayed.
 func Supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName string, uid int) (*Supervisor, error) {
+	return supervise(k, dev, drv, name, ifName, "", uid, 1)
+}
+
+// SuperviseBlock starts a block-class driver process under supervision with
+// `queues` uchan ring pairs. blkName is the block device the driver
+// registers (e.g. "nvme0"); its geometry and in-flight request log are
+// shadowed so a kill is invisible to ReadAt/WriteAt callers.
+func SuperviseBlock(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, blkName string, uid, queues int) (*Supervisor, error) {
+	return supervise(k, dev, drv, name, "", blkName, uid, queues)
+}
+
+func supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName, blkName string, uid, queues int) (*Supervisor, error) {
+	if queues < 1 {
+		queues = 1
+	}
 	s := &Supervisor{
-		K: k, Dev: dev, Driver: drv, Name: name, UID: uid,
+		K: k, Dev: dev, Driver: drv, Name: name, UID: uid, Queues: queues,
 		CheckEvery:   5 * sim.Millisecond,
 		BacklogLimit: 64,
 		MaxRestarts:  8,
 		ifName:       ifName,
+		blkName:      blkName,
 	}
 	if err := s.start(0); err != nil {
 		return nil, err
 	}
+	s.attachShadows()
 	s.schedule()
 	return s, nil
+}
+
+// attachShadows arms recovery recording on the supervised kernel objects.
+// The kernel objects survive restarts (adoption), so this runs once.
+func (s *Supervisor) attachShadows() {
+	if s.ifName != "" {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
+			s.NetShadow = &shadow.Net{}
+			ifc.Shadow = s.NetShadow
+		}
+	}
+	if s.blkName != "" {
+		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
+			s.BlkShadow = shadow.NewBlock(d.Geom)
+			d.AttachShadow(s.BlkShadow)
+		}
+	}
 }
 
 func (s *Supervisor) start(gen int) error {
@@ -74,11 +125,15 @@ func (s *Supervisor) start(gen int) error {
 	if gen > 0 {
 		name = fmt.Sprintf("%s-r%d", s.Name, gen)
 	}
-	proc, err := Start(s.K, s.Dev, s.Driver, name, s.UID)
+	proc, err := StartQ(s.K, s.Dev, s.Driver, name, s.UID, s.Queues)
 	if err != nil {
 		return err
 	}
+	proc.Recoverable = true
+	proc.OnDeath = s.onDeath
 	s.proc = proc
+	s.lastBad = false
+	s.lastServed = 0
 	return nil
 }
 
@@ -92,9 +147,31 @@ func (s *Supervisor) schedule() {
 	s.K.M.Loop.After(s.CheckEvery, s.check)
 }
 
+// onDeath is the immediate kill notification: the supervised process died
+// (kill -9, confinement kill, or crash). Recovery runs from a fresh loop
+// event — the death may have been signalled mid-upcall.
+func (s *Supervisor) onDeath() {
+	if s.stopped || s.recovering {
+		return
+	}
+	s.K.M.Loop.After(0, func() {
+		if s.stopped || s.recovering || s.proc == nil || !s.proc.Killed() {
+			return
+		}
+		s.recover()
+	})
+}
+
 // check is the periodic health probe, run in kernel context.
 func (s *Supervisor) check() {
 	if s.stopped || s.proc == nil {
+		return
+	}
+	if s.proc.Killed() {
+		// Death is normally handled by onDeath; this is the fallback for
+		// a process that died without the hook firing.
+		s.recover()
+		s.schedule()
 		return
 	}
 	bad := s.unhealthy()
@@ -108,18 +185,20 @@ func (s *Supervisor) check() {
 }
 
 func (s *Supervisor) unhealthy() bool {
-	if s.proc.Killed() {
-		return true
-	}
-	if s.proc.Chan.Pending() >= s.BacklogLimit {
+	// A backed-up upcall ring flags the driver only when it also served
+	// nothing since the last check: saturation with progress is healthy
+	// backpressure, a deep ring with zero driver-produced messages
+	// (downcalls, doorbells) is a wedge.
+	st := s.proc.Chan.Stats()
+	served := st.Downcalls + st.Doorbells
+	stalled := s.proc.Chan.Pending() >= s.BacklogLimit && served == s.lastServed
+	s.lastServed = served
+	if stalled {
 		return true
 	}
 	// Active probe for netdev drivers: the interruptible sync ioctl.
 	if s.ifName != "" {
-		if ifc, err := s.K.Net.Iface(s.ifName); err == nil && ifc.IsUp() {
-			// Record shadow state while healthy.
-			s.wasUp = true
-			s.addr = ifc.IP
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil && ifc.IsUp() && !ifc.Recovering() {
 			if _, err := ifc.Ioctl(api.IoctlGetMIIStatus, nil); err != nil {
 				return true
 			}
@@ -128,31 +207,74 @@ func (s *Supervisor) unhealthy() bool {
 	return false
 }
 
-// recover kills the wedged process and brings up a fresh one, replaying the
-// recorded shadow state.
+// recover kills the wedged (or buries the dead) process and brings up a
+// fresh one against the same device model. The kill routes the supervised
+// devices into shadow recovery (Recoverable), the fresh probe adopts them,
+// and CompleteRecovery replays bring-up and the pending request log.
 func (s *Supervisor) recover() {
+	if s.stopped || s.proc == nil || s.recovering {
+		return
+	}
 	if s.Restarts >= s.MaxRestarts {
 		s.K.Logf("supervisor: %s crash-looping; giving up after %d restarts", s.Name, s.Restarts)
 		s.stopped = true
+		s.abortRecovery()
 		return
 	}
+	s.recovering = true
+	defer func() { s.recovering = false }()
 	s.Restarts++
-	s.K.Logf("supervisor: %s unresponsive; restarting (generation %d)", s.Name, s.Restarts)
-	s.proc.Kill()
+	s.K.Logf("supervisor: %s down; restarting (generation %d)", s.Name, s.Restarts)
+	s.proc.Kill() // no-op if already dead; devices enter recovery either way
 	if err := s.start(s.Restarts); err != nil {
 		s.K.Logf("supervisor: restart of %s failed: %v", s.Name, err)
 		s.stopped = true
+		s.abortRecovery()
 		return
 	}
-	// Shadow-state replay: re-open the interface as it was configured.
-	if s.ifName != "" && s.wasUp {
+	// Replay: bring-up, then the block request log; parked work drains
+	// behind it. A failure here means the new incarnation is broken too —
+	// kill it, which re-enters recovery bounded by MaxRestarts.
+	s.LastReplayed = 0
+	if s.blkName != "" {
+		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
+			n, rerr := d.CompleteRecovery()
+			if rerr != nil {
+				s.K.Logf("supervisor: block recovery of %s failed: %v", s.blkName, rerr)
+				s.proc.Kill()
+				return
+			}
+			s.LastReplayed += n
+		}
+	}
+	if s.ifName != "" {
 		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
-			if err := ifc.Up(s.addr); err != nil {
-				s.K.Logf("supervisor: re-up %s: %v", s.ifName, err)
+			if rerr := ifc.CompleteRecovery(); rerr != nil {
+				s.K.Logf("supervisor: net recovery of %s failed: %v", s.ifName, rerr)
+				s.proc.Kill()
+				return
 			}
 		}
 	}
+	s.LastRecoveryAt = s.K.M.Now()
 	if s.OnRestart != nil {
 		s.OnRestart(s.Restarts)
+	}
+}
+
+// abortRecovery runs when supervision gives up with a device still parked
+// mid-recovery: the device is unregistered so every parked and logged
+// request fails with ErrDown instead of waiting forever for a restart that
+// will never come.
+func (s *Supervisor) abortRecovery() {
+	if s.blkName != "" {
+		if d, err := s.K.Blk.Dev(s.blkName); err == nil && d.Recovering() {
+			s.K.Blk.Unregister(s.blkName)
+		}
+	}
+	if s.ifName != "" {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil && ifc.Recovering() {
+			s.K.Net.Unregister(s.ifName)
+		}
 	}
 }

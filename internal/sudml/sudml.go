@@ -16,7 +16,11 @@
 //
 // A Process models one driver process: it has its own CPU account, Unix
 // UID, resource limits, and can be killed and restarted without kernel harm
-// (§4.1).
+// (§4.1). The Supervisor (shadow.go) takes that last property the rest of
+// the way — the shadow-driver restart the paper sketches in §2 and §5.2:
+// a supervised process that dies is respawned against the same device, the
+// restarted driver adopts the surviving kernel objects, and the logged
+// in-flight work is replayed so applications never see the kill.
 package sudml
 
 import (
@@ -114,6 +118,15 @@ type Process struct {
 	BlkBatches            uint64
 	XmitRingDrops         uint64
 
+	// Recoverable marks the process as supervised: on death its devices
+	// enter shadow recovery (parked, adoptable) instead of being
+	// unregistered. Set by the supervisor before traffic flows.
+	Recoverable bool
+
+	// OnDeath, if set, runs once at the end of Kill — the supervisor's
+	// immediate death notification (SIGCHLD, in effect).
+	OnDeath func()
+
 	killed bool
 }
 
@@ -176,6 +189,12 @@ func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, 
 // file tears down DMA mappings and interrupts, and the network interface
 // disappears. The kernel and other processes are unaffected — the device
 // can still attempt DMA, which now faults in the IOMMU.
+//
+// A supervised (Recoverable) process dies differently at the kernel edge:
+// its netdev and block devices enter shadow recovery — parked and awaiting
+// adoption by the restarted process — instead of being unregistered, so
+// applications holding them see a stall, not an error. Wifi and audio
+// devices have no recovery path yet and unregister either way.
 func (p *Process) Kill() {
 	if p.killed {
 		return
@@ -184,7 +203,11 @@ func (p *Process) Kill() {
 	p.Chan.Kill()
 	p.DF.Close()
 	if p.ki != nil && p.ki.IfaceNm != "" {
-		p.K.Net.Unregister(p.ki.IfaceNm)
+		if p.Recoverable {
+			_, _ = p.K.Net.BeginRecovery(p.ki.IfaceNm)
+		} else {
+			p.K.Net.Unregister(p.ki.IfaceNm)
+		}
 	}
 	if p.Wifi != nil {
 		p.K.Wifi.Unregister(p.Wifi.Ifc.Name)
@@ -193,9 +216,17 @@ func (p *Process) Kill() {
 		p.K.Audio.Unregister(p.Audio.PCM.Name)
 	}
 	if p.Blk != nil {
-		p.K.Blk.Unregister(p.Blk.Dev.Name)
+		if p.Recoverable {
+			_, _ = p.K.Blk.BeginRecovery(p.Blk.Dev.Name)
+		} else {
+			p.K.Blk.Unregister(p.Blk.Dev.Name)
+		}
 	}
 	p.K.Logf("sudml: driver process %s (uid %d) killed", p.Name, p.UID)
+	if h := p.OnDeath; h != nil {
+		p.OnDeath = nil
+		h()
+	}
 }
 
 // Killed reports process death.

@@ -15,6 +15,14 @@
 //   - Downcalls queued during a drain are batched: one doorbell flushes
 //     them all (§3.1.2 "batch asynchronous downcalls").
 //
+// MultiChan (multi.go) generalises the channel beyond the paper to N ring
+// pairs per driver process — one per simulated CPU/queue, each with its own
+// doorbell coalescing and service-thread CPU account — plus a shared urgent
+// lane for interrupt-class messages; a single-queue MultiChan is bit-for-bit
+// the paper's transport. Rings die with their process (Kill), which is the
+// transport half of the kill -9 story (§4.1): the kernel side sees clean
+// errors, never a hang.
+//
 // The package is transport only; operation codes and marshalling belong to
 // the proxy driver classes in internal/proxy.
 package uchan
