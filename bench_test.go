@@ -164,6 +164,33 @@ func BenchmarkBlockIOPSQ1(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 
 func BenchmarkBlockIOPSQ2(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 2) }
 func BenchmarkBlockIOPSQ4(b *testing.B)     { runBlockIOPS(b, diskperf.ModeSUD, 4) }
 
+// BenchmarkBlockWriteIOPS* run the durability-bounded write workload
+// against a controller with a 64-block volatile write cache: Fsync0 never
+// flushes (cache-speed writes), FsyncN issues a Flush barrier every N
+// acked writes per job — fio's fsync=N — so the flush drain time and the
+// barrier's submission parking bound the achievable rate.
+func runBlockWriteIOPS(b *testing.B, queues, fsyncEvery int) {
+	b.Helper()
+	var last diskperf.Result
+	for i := 0; i < b.N; i++ {
+		tb, err := diskperf.NewTestbedWC(diskperf.ModeSUD, queues, 64, hw.DefaultPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := diskperf.BlockIOPSWrite(tb, 8, 4, fsyncEvery, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ReadKIOPS, "Kiops")
+	b.ReportMetric(last.CPU*100, "cpu%")
+	b.ReportMetric(float64(last.Flushes), "flushes")
+}
+
+func BenchmarkBlockWriteIOPSQ4Fsync0(b *testing.B)  { runBlockWriteIOPS(b, 4, 0) }
+func BenchmarkBlockWriteIOPSQ4Fsync32(b *testing.B) { runBlockWriteIOPS(b, 4, 32) }
+
 // --- Figure 5 / Figure 9 -------------------------------------------------------
 
 func BenchmarkFig5LoC(b *testing.B) {
@@ -233,6 +260,7 @@ func BenchmarkAttackIRQFloodSUD(b *testing.B)      { runAttack(b, attack.DeviceI
 func BenchmarkAttackRingFloodSUD(b *testing.B)     { runAttack(b, attack.RingFlood, sudCfg(), false) }
 func BenchmarkAttackRSSSteerSUD(b *testing.B)      { runAttack(b, attack.RSSSteer, sudCfg(), false) }
 func BenchmarkAttackBlkRedirectSUD(b *testing.B)   { runAttack(b, attack.BlkRedirect, sudCfg(), false) }
+func BenchmarkAttackFlushLieSUD(b *testing.B)      { runAttack(b, attack.FlushLie, sudCfg(), false) }
 func BenchmarkAttackMSIStormPaperHW(b *testing.B)  { runAttack(b, attack.MSIForgeStorm, sudCfg(), true) }
 func BenchmarkAttackMSIStormRemapHW(b *testing.B) {
 	runAttack(b, attack.MSIForgeStorm,

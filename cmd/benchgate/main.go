@@ -1,0 +1,266 @@
+// Command benchgate is the CI perf-regression and recovery-SLO gate: it
+// compares the BENCH_*.json files a CI run emitted against the checked-in
+// baselines under bench/baselines/ and fails (exit 1) when a headline
+// metric leaves the tolerance band or the recovery SLO is violated.
+//
+//	benchgate -baselines bench/baselines BENCH_rx.json BENCH_blk.json \
+//	          BENCH_recovery.json BENCH_flush.json
+//
+// Every measurement runs in deterministic virtual time, so a drift of any
+// size is a real behavioural change — the band (default ±15%) exists only
+// to absorb deliberate, reviewed perf movement; moving a baseline is a
+// diff in bench/baselines/, reviewed like code. Rules per file kind
+// (derived from the file name, BENCH_<kind>.json or <kind>.json):
+//
+//	rx        []netperf.MultiFlowResult   AggregateKpps per (Q,direction,flows) row
+//	blk       []diskperf.Result           ReadKIOPS per (mode,Q,J,D) row
+//	flush     []diskperf.Result           write IOPS per (mode,Q,J,D,fsync) row
+//	recovery  []diskperf.RecoveryResult   zero errors, replay ran, drain p99
+//	                                      under -recovery-slo-us, latency in band
+//
+// With -append FILE, one JSON line per checked metric is appended to FILE
+// (sha, kind, key, metric, value, baseline) — the perf-trajectory record
+// CI uploads so the run history accumulates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sud/internal/diskperf"
+	"sud/internal/netperf"
+)
+
+type gate struct {
+	tolerance  float64
+	sloUS      float64
+	sha        string
+	violations int
+	trajectory []trajLine
+}
+
+type trajLine struct {
+	SHA      string  `json:"sha,omitempty"`
+	Kind     string  `json:"kind"`
+	Key      string  `json:"key"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline,omitempty"`
+}
+
+func main() {
+	baselines := flag.String("baselines", "bench/baselines", "directory holding the checked-in baseline JSON files")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative deviation from the baseline (0.15 = ±15%)")
+	sloUS := flag.Float64("recovery-slo-us", 1000, "kill-to-drained p99 budget in virtual microseconds")
+	appendPath := flag.String("append", "", "append one JSON line per checked metric to this trajectory file")
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit identifier recorded in the trajectory")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no BENCH_*.json files given")
+		os.Exit(2)
+	}
+	g := &gate{tolerance: *tolerance, sloUS: *sloUS, sha: *sha}
+	for _, path := range flag.Args() {
+		kind := kindOf(path)
+		base := filepath.Join(*baselines, kind+".json")
+		if err := g.check(kind, path, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+	}
+	if *appendPath != "" {
+		f, err := os.OpenFile(*appendPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		for _, l := range g.trajectory {
+			blob, _ := json.Marshal(l)
+			fmt.Fprintf(f, "%s\n", blob)
+		}
+		f.Close()
+	}
+	if g.violations > 0 {
+		fmt.Printf("benchgate: %d violation(s)\n", g.violations)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within ±%.0f%% of baseline, recovery p99 under %.0fµs\n",
+		len(g.trajectory), g.tolerance*100, g.sloUS)
+}
+
+// kindOf maps BENCH_rx.json / rx.json → "rx".
+func kindOf(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(name, "BENCH_")
+}
+
+func (g *gate) check(kind, curPath, basePath string) error {
+	switch kind {
+	case "rx":
+		var cur, base []netperf.MultiFlowResult
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("Q=%d dir=%s flows=%d", r.Queues, r.Direction, r.Flows)
+			b, ok := findRx(base, r)
+			if !ok {
+				return key, nil
+			}
+			return key, []metric{{"AggregateKpps", r.AggregateKpps, b.AggregateKpps, true}}
+		})
+	case "blk", "flush":
+		var cur, base []diskperf.Result
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("%s Q=%d J=%d D=%d", r.Mode, r.Queues, r.Jobs, r.Depth)
+			if r.Write {
+				key += fmt.Sprintf(" fsync=%d", r.FsyncEvery)
+			}
+			b, ok := findBlk(base, r)
+			if !ok {
+				return key, nil
+			}
+			return key, []metric{{"KIOPS", r.ReadKIOPS, b.ReadKIOPS, true}}
+		})
+	case "recovery":
+		var cur, base []diskperf.RecoveryResult
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("Q=%d J=%d D=%d", r.Queues, r.Jobs, r.Depth)
+			if r.Errors != 0 {
+				g.violate(kind, key, "recovery surfaced %d application-visible errors", r.Errors)
+			}
+			if r.Replayed == 0 {
+				g.violate(kind, key, "recovery replayed nothing — the kill did not exercise the shadow path")
+			}
+			// The SLO: kill-to-drained p99 under the budget. The budget is
+			// absolute (an application-visible stall), not baseline-relative.
+			if r.DrainP99US > g.sloUS {
+				g.violate(kind, key, "drain p99 %.1fµs exceeds the %.0fµs SLO", r.DrainP99US, g.sloUS)
+			}
+			b, ok := findRecovery(base, r)
+			if !ok {
+				// Same rule as rx/blk: a row with no baseline counterpart
+				// is a violation, not a silent skip.
+				return key, nil
+			}
+			return key, []metric{
+				{"DrainP99US", r.DrainP99US, 0, false},
+				{"RecoveryLatencyUS", r.RecoveryLatencyUS, b.RecoveryLatencyUS, true},
+				{"Replayed", float64(r.Replayed), float64(b.Replayed), true},
+			}
+		})
+	default:
+		return fmt.Errorf("unknown bench kind %q", kind)
+	}
+}
+
+// metric is one gated value: current, baseline, and whether the tolerance
+// band applies (SLO-only metrics are recorded but banded elsewhere).
+type metric struct {
+	name   string
+	cur    float64
+	base   float64
+	banded bool
+}
+
+// checkRows walks the current rows, resolves each to (key, metrics), and
+// applies the band. A row present in only one of the files is itself a
+// violation — silently dropping a benchmark row must not pass the gate.
+func (g *gate) checkRows(kind string, nCur, nBase int, rowFn func(int) (string, []metric)) error {
+	if nCur == 0 {
+		return fmt.Errorf("no result rows")
+	}
+	if nCur != nBase {
+		g.violate(kind, "*", "row count %d differs from baseline %d", nCur, nBase)
+	}
+	for i := 0; i < nCur; i++ {
+		key, ms := rowFn(i)
+		if ms == nil {
+			g.violate(kind, key, "row has no baseline counterpart")
+			continue
+		}
+		for _, m := range ms {
+			g.trajectory = append(g.trajectory, trajLine{
+				SHA: g.sha, Kind: kind, Key: key, Metric: m.name, Value: m.cur, Baseline: m.base,
+			})
+			if !m.banded {
+				continue
+			}
+			if m.base == 0 {
+				if m.cur != 0 {
+					g.violate(kind, key, "%s: baseline 0, current %.2f", m.name, m.cur)
+				}
+				continue
+			}
+			if dev := (m.cur - m.base) / m.base; dev < -g.tolerance || dev > g.tolerance {
+				g.violate(kind, key, "%s: %.2f vs baseline %.2f (%+.1f%%, band ±%.0f%%)",
+					m.name, m.cur, m.base, dev*100, g.tolerance*100)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gate) violate(kind, key, format string, args ...any) {
+	g.violations++
+	fmt.Printf("FAIL [%s] %s: %s\n", kind, key, fmt.Sprintf(format, args...))
+}
+
+func load(path string, out any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, out)
+}
+
+func findRx(base []netperf.MultiFlowResult, r netperf.MultiFlowResult) (netperf.MultiFlowResult, bool) {
+	for _, b := range base {
+		if b.Queues == r.Queues && b.Direction == r.Direction && b.Flows == r.Flows {
+			return b, true
+		}
+	}
+	return netperf.MultiFlowResult{}, false
+}
+
+func findBlk(base []diskperf.Result, r diskperf.Result) (diskperf.Result, bool) {
+	for _, b := range base {
+		if b.Mode == r.Mode && b.Queues == r.Queues && b.Jobs == r.Jobs &&
+			b.Depth == r.Depth && b.Write == r.Write && b.FsyncEvery == r.FsyncEvery {
+			return b, true
+		}
+	}
+	return diskperf.Result{}, false
+}
+
+func findRecovery(base []diskperf.RecoveryResult, r diskperf.RecoveryResult) (diskperf.RecoveryResult, bool) {
+	for _, b := range base {
+		if b.Queues == r.Queues && b.Jobs == r.Jobs && b.Depth == r.Depth {
+			return b, true
+		}
+	}
+	return diskperf.RecoveryResult{}, false
+}

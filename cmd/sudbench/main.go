@@ -46,6 +46,9 @@ func main() {
 	direction := flag.String("direction", "tx", "multiflow: tx | rx | bidi")
 	jobs := flag.Int("jobs", 16, "blk: concurrent I/O jobs")
 	depth := flag.Int("depth", 6, "blk: outstanding reads per job")
+	fsyncEvery := flag.Int("fsync-every", 0,
+		"blk: run the WRITE workload against a volatile-write-cache device, issuing a flush barrier every N acked writes per job (fio fsync=N); also records a never-flushing reference row")
+	cacheBlocks := flag.Int("cache-blocks", 64, "blk: volatile write cache capacity for --fsync-every runs")
 	killAfter := flag.Duration("kill-after", 0,
 		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
 	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
@@ -169,6 +172,36 @@ func main() {
 			}
 			if *jsonPath != "" {
 				blob, err := json.MarshalIndent([]diskperf.RecoveryResult{res}, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
+		}
+		if *fsyncEvery > 0 {
+			// Flush-bounded write IOPS (BENCH_flush.json): the same SUD
+			// testbed with a volatile write cache, once at cache speed
+			// (never flushing) and once fsync-bounded — the gap is the
+			// price of durability through the whole untrusted path.
+			var results []diskperf.Result
+			for _, fs := range []int{0, *fsyncEvery} {
+				tb, err := diskperf.NewTestbedWC(diskperf.ModeSUD, target, *cacheBlocks, hw.DefaultPlatform())
+				if err != nil {
+					return err
+				}
+				res, err := diskperf.BlockIOPSWrite(tb, *jobs, *depth, fs, opt)
+				if err != nil {
+					return err
+				}
+				fmt.Print(res)
+				results = append(results, res)
+			}
+			if *jsonPath != "" {
+				blob, err := json.MarshalIndent(results, "", "  ")
 				if err != nil {
 					return err
 				}

@@ -170,7 +170,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 12*len(Configs()) {
+	if len(out) != 13*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be
@@ -204,5 +204,19 @@ func TestTOCTOUGuardCopy(t *testing.T) {
 	}
 	if !o.Compromised {
 		t.Fatalf("insecure zero-copy variant not compromised: %s", o.Detail)
+	}
+}
+
+func TestFlushLieAttack(t *testing.T) {
+	// Trusted driver: a durability lie is silent corruption with kernel
+	// privileges. Under SUD (every platform flavour) the forged barrier
+	// completions are rejected and the lie is attributed to the driver by
+	// the issued-vs-executed accounting.
+	run(t, FlushLie, cfgKernel(), true)
+	for _, cfg := range []Config{cfgSUD(), cfgSUDRemap(), cfgSUDAMD(), cfgSUDNoACS()} {
+		o := run(t, FlushLie, cfg, false)
+		if o.Detail == "" {
+			t.Fatal("no attribution detail")
+		}
 	}
 }

@@ -1,0 +1,268 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+
+	"sud/internal/mem"
+	"sud/internal/sim"
+)
+
+// submitIOF is submitIO with the I/O flags byte (FUA).
+func (r *rig) submitIOF(t *testing.T, qid int, slot int, sqBase mem.Addr, op byte, cid uint16, prp1 mem.Addr, lba uint64, flags byte) {
+	t.Helper()
+	sqe := make([]byte, SQESize)
+	sqe[0] = op
+	putLE16(sqe[2:4], cid)
+	putLE64(sqe[24:32], uint64(prp1))
+	putLE64(sqe[40:48], lba)
+	sqe[sqeFlags] = flags
+	r.m.Mem.MustWrite(sqBase+mem.Addr(slot*SQESize), sqe)
+	r.c.MMIOWrite(0, SQDoorbell(qid), 4, uint64(slot+1))
+}
+
+// cacheRig boots a controller with a volatile write cache of cap blocks
+// and one live I/O queue pair.
+func cacheRig(t *testing.T, cap int) (*rig, mem.Addr, mem.Addr) {
+	t.Helper()
+	p := CachedParams(1, cap)
+	r := newRig(t, p)
+	alloc := func() mem.Addr {
+		a, ok := r.m.Alloc.AllocPages(1)
+		if !ok {
+			t.Fatal("oom")
+		}
+		return a
+	}
+	sqb, cqb := alloc(), alloc()
+	r.createPair(t, 1, sqb, cqb, 16)
+	return r, sqb, alloc()
+}
+
+func fillPage(b byte) []byte { return bytes.Repeat([]byte{b}, BlockSize) }
+
+func TestWriteLandsInCacheAndFlushDrains(t *testing.T) {
+	r, sqb, buf := cacheRig(t, 8)
+	r.m.Mem.MustWrite(buf, fillPage(0x5A))
+	r.submitIO(t, 1, 0, sqb, CmdWrite, 1, buf, 3)
+	r.m.Loop.RunFor(sim.Millisecond)
+
+	// The write was acked but is volatile: media untouched, one dirty
+	// block, and a read is served from the cache (newest copy).
+	if bytes.Equal(r.c.PeekMedia(3), fillPage(0x5A)) {
+		t.Fatal("cached write reached media before any flush")
+	}
+	if r.c.DirtyBlocks() != 1 {
+		t.Fatalf("dirty = %d, want 1", r.c.DirtyBlocks())
+	}
+	scratch, _ := r.m.Alloc.AllocPages(1)
+	r.submitIO(t, 1, 1, sqb, CmdRead, 2, scratch, 3)
+	r.m.Loop.RunFor(sim.Millisecond)
+	got := make([]byte, BlockSize)
+	if err := r.m.Mem.Read(scratch, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fillPage(0x5A)) {
+		t.Fatal("read did not observe the cached write")
+	}
+	if r.c.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", r.c.CacheHits)
+	}
+
+	// CmdFlush drains the cache to media.
+	r.submitIO(t, 1, 2, sqb, CmdFlush, 3, 0, 0)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if !bytes.Equal(r.c.PeekMedia(3), fillPage(0x5A)) {
+		t.Fatal("flush did not drain the cache to media")
+	}
+	if r.c.DirtyBlocks() != 0 || r.c.Flushes != 1 || r.c.FlushedBlocks != 1 {
+		t.Fatalf("post-flush: dirty=%d flushes=%d drained=%d",
+			r.c.DirtyBlocks(), r.c.Flushes, r.c.FlushedBlocks)
+	}
+}
+
+func TestFlushCostsDrainTime(t *testing.T) {
+	// A flush over a dirty cache must take longer than one over a clean
+	// cache: drain time is real (one media write per dirty block), not a
+	// fixed-cost ack.
+	timeFlush := func(dirty int) sim.Duration {
+		r, sqb, buf := cacheRig(t, 16)
+		for i := 0; i < dirty; i++ {
+			r.m.Mem.MustWrite(buf, fillPage(byte(i)))
+			r.submitIO(t, 1, i, sqb, CmdWrite, uint16(i+1), buf, uint64(i))
+			r.m.Loop.RunFor(sim.Millisecond)
+		}
+		start := r.m.Now()
+		r.submitIO(t, 1, dirty, sqb, CmdFlush, 99, 0, 0)
+		r.m.Loop.RunFor(5 * sim.Millisecond)
+		if r.c.Flushes != 1 || r.c.DirtyBlocks() != 0 {
+			t.Fatalf("flush did not run (flushes=%d dirty=%d)", r.c.Flushes, r.c.DirtyBlocks())
+		}
+		if r.c.FlushedBlocks != uint64(dirty) {
+			t.Fatalf("drained %d blocks, want %d", r.c.FlushedBlocks, dirty)
+		}
+		// The engine's busy horizon records when the flush finished.
+		return sim.Duration(r.c.engineBusyUntil[1] - start)
+	}
+	costDirty := timeFlush(6)
+	costClean := timeFlush(0)
+	perBlock := sim.Duration(DefaultParams().MediaPerByte * BlockSize)
+	if costDirty < costClean+6*perBlock {
+		t.Fatalf("dirty flush %v vs clean %v: drain time not charged (per block %v)",
+			costDirty, costClean, perBlock)
+	}
+}
+
+func TestFUABypassesCache(t *testing.T) {
+	r, sqb, buf := cacheRig(t, 8)
+	r.m.Mem.MustWrite(buf, fillPage(0xC4))
+	r.submitIOF(t, 1, 0, sqb, CmdWrite, 1, buf, 5, SqeFlagFUA)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if !bytes.Equal(r.c.PeekMedia(5), fillPage(0xC4)) {
+		t.Fatal("FUA write not durable on completion")
+	}
+	if r.c.DirtyBlocks() != 0 || r.c.FUAWrites != 1 {
+		t.Fatalf("dirty=%d fua=%d", r.c.DirtyBlocks(), r.c.FUAWrites)
+	}
+
+	// A FUA write over an LBA with an older dirty copy supersedes it: the
+	// stale cache entry must never drain over the durable bytes.
+	r.m.Mem.MustWrite(buf, fillPage(0x01))
+	r.submitIO(t, 1, 1, sqb, CmdWrite, 2, buf, 6)
+	r.m.Loop.RunFor(sim.Millisecond)
+	r.m.Mem.MustWrite(buf, fillPage(0x02))
+	r.submitIOF(t, 1, 2, sqb, CmdWrite, 3, buf, 6, SqeFlagFUA)
+	r.m.Loop.RunFor(sim.Millisecond)
+	r.submitIO(t, 1, 3, sqb, CmdFlush, 4, 0, 0)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if !bytes.Equal(r.c.PeekMedia(6), fillPage(0x02)) {
+		t.Fatal("stale cache entry drained over the FUA write")
+	}
+}
+
+func TestCacheEvictsFIFOAtCapacity(t *testing.T) {
+	r, sqb, buf := cacheRig(t, 2)
+	for i := 0; i < 3; i++ {
+		r.m.Mem.MustWrite(buf, fillPage(byte(0x10+i)))
+		r.submitIO(t, 1, i, sqb, CmdWrite, uint16(i+1), buf, uint64(i))
+		r.m.Loop.RunFor(sim.Millisecond)
+	}
+	// The oldest write (LBA 0) was evicted to media; 1 and 2 are dirty.
+	if !bytes.Equal(r.c.PeekMedia(0), fillPage(0x10)) {
+		t.Fatal("capacity eviction did not drain the oldest block")
+	}
+	if r.c.DirtyBlocks() != 2 || r.c.CacheEvictions != 1 {
+		t.Fatalf("dirty=%d evictions=%d", r.c.DirtyBlocks(), r.c.CacheEvictions)
+	}
+	// Rewriting a dirty LBA overwrites in place: no eviction.
+	r.m.Mem.MustWrite(buf, fillPage(0x77))
+	r.submitIO(t, 1, 3, sqb, CmdWrite, 4, buf, 2)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if r.c.CacheEvictions != 1 || r.c.DirtyBlocks() != 2 {
+		t.Fatalf("in-place rewrite evicted (evictions=%d dirty=%d)",
+			r.c.CacheEvictions, r.c.DirtyBlocks())
+	}
+}
+
+func TestPowerFailDiscardsUnflushed(t *testing.T) {
+	r, sqb, buf := cacheRig(t, 8)
+	r.m.Mem.MustWrite(buf, fillPage(0xAA))
+	r.submitIO(t, 1, 0, sqb, CmdWrite, 1, buf, 1)
+	r.m.Loop.RunFor(sim.Millisecond)
+	r.submitIO(t, 1, 1, sqb, CmdFlush, 2, 0, 0)
+	r.m.Loop.RunFor(sim.Millisecond)
+	r.m.Mem.MustWrite(buf, fillPage(0xBB))
+	r.submitIO(t, 1, 2, sqb, CmdWrite, 3, buf, 2)
+	r.m.Loop.RunFor(sim.Millisecond)
+
+	r.c.PowerFail()
+	if !bytes.Equal(r.c.PeekMedia(1), fillPage(0xAA)) {
+		t.Fatal("flushed block lost across power failure")
+	}
+	if bytes.Equal(r.c.PeekMedia(2), fillPage(0xBB)) {
+		t.Fatal("un-flushed block survived power failure")
+	}
+	if r.c.PowerFails != 1 || r.c.LostBlocks != 1 || r.c.DirtyBlocks() != 0 {
+		t.Fatalf("powerfails=%d lost=%d dirty=%d",
+			r.c.PowerFails, r.c.LostBlocks, r.c.DirtyBlocks())
+	}
+	if r.c.MMIORead(0, RegCSTS, 4)&CstsReady != 0 {
+		t.Fatal("controller still ready after power failure")
+	}
+}
+
+func TestCacheSurvivesControllerReset(t *testing.T) {
+	// The cache is device RAM: a driver restart (controller reset) must
+	// not lose acked writes — only PowerFail may.
+	r, sqb, buf := cacheRig(t, 8)
+	r.m.Mem.MustWrite(buf, fillPage(0xD1))
+	r.submitIO(t, 1, 0, sqb, CmdWrite, 1, buf, 4)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if r.c.DirtyBlocks() != 1 {
+		t.Fatalf("dirty = %d", r.c.DirtyBlocks())
+	}
+	r.c.MMIOWrite(0, RegCC, 4, 0) // reset, as a restarted driver does
+	if r.c.DirtyBlocks() != 1 {
+		t.Fatal("controller reset discarded the volatile cache")
+	}
+}
+
+func TestVWCRegisterDecode(t *testing.T) {
+	r, sqb, buf := cacheRig(t, 4)
+	if v := r.c.MMIORead(0, RegVWC, 4); v&VwcEnable == 0 || v>>16 != 0 {
+		t.Fatalf("RegVWC = %#x, want enabled and clean", v)
+	}
+	r.m.Mem.MustWrite(buf, fillPage(1))
+	r.submitIO(t, 1, 0, sqb, CmdWrite, 1, buf, 0)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if v := r.c.MMIORead(0, RegVWC, 4); v>>16 != 1 {
+		t.Fatalf("RegVWC occupancy = %d, want 1", v>>16)
+	}
+	// Only the enable bit is writable; scribbles do not corrupt state.
+	r.c.MMIOWrite(0, RegVWC, 4, 0xFFFF0000)
+	if v := r.c.MMIORead(0, RegVWC, 4); v&VwcEnable != 0 {
+		t.Fatalf("RegVWC = %#x after disable write", v)
+	}
+	// Disabled: writes go straight to media.
+	r.m.Mem.MustWrite(buf, fillPage(2))
+	r.submitIO(t, 1, 1, sqb, CmdWrite, 2, buf, 7)
+	r.m.Loop.RunFor(sim.Millisecond)
+	if !bytes.Equal(r.c.PeekMedia(7), fillPage(2)) {
+		t.Fatal("write with cache disabled did not reach media")
+	}
+
+	// A cacheless part ignores RegVWC writes entirely.
+	plain := newRig(t, DefaultParams())
+	plain.c.MMIOWrite(0, RegVWC, 4, VwcEnable)
+	if v := plain.c.MMIORead(0, RegVWC, 4); v != 0 {
+		t.Fatalf("cacheless RegVWC = %#x", v)
+	}
+}
+
+func TestIdentifyReportsWriteCache(t *testing.T) {
+	for _, tc := range []struct {
+		cap  int
+		want byte
+	}{{0, 0}, {8, 1}} {
+		p := MultiQueueParams(1)
+		p.CacheBlocks = tc.cap
+		r := newRig(t, p)
+		page, ok := r.m.Alloc.AllocPages(1)
+		if !ok {
+			t.Fatal("oom")
+		}
+		sqe := make([]byte, SQESize)
+		sqe[0] = AdminIdentify
+		putLE64(sqe[24:32], uint64(page))
+		if st := r.admin(t, sqe); st != StatusOK {
+			t.Fatalf("identify: status %d", st)
+		}
+		out := make([]byte, IdentifyLen)
+		if err := r.m.Mem.Read(page, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[idVWC] != tc.want {
+			t.Fatalf("cap %d: identify VWC = %d, want %d", tc.cap, out[idVWC], tc.want)
+		}
+	}
+}

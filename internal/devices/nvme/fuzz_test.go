@@ -10,13 +10,15 @@ import (
 )
 
 // FuzzNVMeRegBank hammers the register and doorbell surface an untrusted
-// driver controls: arbitrary writes over the configuration registers and
-// the whole doorbell array, interleaved with arbitrary admin submission
-// entries fetched from memory the fuzzer also controls. The controller
-// must never panic, never run an engine against a queue that was not
-// created, keep every doorbell value clamped inside its live ring, and
+// driver controls: arbitrary writes over the configuration registers —
+// including the write-cache control register — and the whole doorbell
+// array, interleaved with arbitrary admin submission entries fetched from
+// memory the fuzzer also controls. The controller must never panic, never
+// run an engine against a queue that was not created, keep every doorbell
+// value clamped inside its live ring, keep the volatile cache inside its
+// modelled capacity with RegVWC reading back only its decoded bits, and
 // reject out-of-range queue-management commands — the invariants the
-// BlkRedirect attack row relies on.
+// BlkRedirect and FlushLie attack rows rely on.
 func FuzzNVMeRegBank(f *testing.F) {
 	f.Add([]byte{}, []byte{})
 	f.Add(
@@ -29,9 +31,14 @@ func FuzzNVMeRegBank(f *testing.F) {
 		[]byte{0x08, 0x10, 0x05, 0x00, 0x00, 0x00, 0x24, 0x10, 0x80, 0x00, 0x00, 0x00},
 		[]byte{AdminCreateIOCQ, 0, 2, 0, 0xFF, 0xFF},
 	)
+	f.Add(
+		// Scribbles over the write-cache control register, then a flush.
+		[]byte{0x3C, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x3C, 0x00, 0x00, 0x00, 0x00, 0x00},
+		[]byte{CmdFlush, 0, 1, 0},
+	)
 	f.Fuzz(func(t *testing.T, writes, sqes []byte) {
 		m := hw.NewMachine(hw.DefaultPlatform())
-		c := New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, MultiQueueParams(MaxIOQueues))
+		c := New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, CachedParams(MaxIOQueues, 8))
 		c.Config().Write(pci.CfgCommand, 2, pci.CmdMemSpace|pci.CmdBusMaster)
 		m.AttachDevice(c)
 		dom := m.IOMMU.NewDomain()
@@ -84,6 +91,15 @@ func FuzzNVMeRegBank(f *testing.F) {
 			if q > 0 && c.engineActive[q] && !c.sq[q].created {
 				t.Fatalf("engine %d active without a created queue", q)
 			}
+		}
+		// The volatile cache never exceeds its modelled capacity, and
+		// RegVWC reads back only decoded bits: the enable flag plus the
+		// (clamped-by-construction) occupancy.
+		if c.DirtyBlocks() > c.CacheCapacity() {
+			t.Fatalf("cache holds %d blocks, capacity %d", c.DirtyBlocks(), c.CacheCapacity())
+		}
+		if v := c.MMIORead(0, RegVWC, 4); v&^uint64(VwcEnable) != uint64(c.DirtyBlocks())<<16 {
+			t.Fatalf("RegVWC reads %#x with %d dirty blocks", v, c.DirtyBlocks())
 		}
 	})
 }

@@ -66,6 +66,13 @@ const (
 	// at most one completion MSI per interval, further completions
 	// riding the deferred message. 0 disables coalescing.
 	RegINTCOAL = 0x0038
+	// RegVWC is the volatile-write-cache control register (the register
+	// stand-in for NVMe's Set Features / Volatile Write Cache): bit 0
+	// enables the cache. Writes on a part without a cache are ignored;
+	// reads report the enable bit plus the current dirty-block count in
+	// bits [16:32) — always clamped to the modelled capacity, whatever
+	// the driver scribbles here.
+	RegVWC = 0x003C
 
 	// DoorbellBase is the start of the doorbell array: queue q's SQ tail
 	// doorbell lives at DoorbellBase + (2q)·DoorbellStride and its CQ
@@ -84,6 +91,9 @@ const (
 	CstsReady = 1 << 0
 )
 
+// VwcEnable is RegVWC bit 0: volatile write cache enabled.
+const VwcEnable = 1 << 0
+
 // Queue entry sizes, as on real NVMe.
 const (
 	SQESize = 64
@@ -100,6 +110,9 @@ const (
 //	[40:48)  SLBA (I/O) or queue-management dword: qid [40:42),
 //	         qsize-1 [42:44), cqid [44:46) (admin create/delete)
 //	[48:50)  NLB, 0's based (I/O commands)
+//	[50]     I/O flags: bit 0 = FUA (force unit access — the write
+//	         bypasses the volatile cache straight to media, NVMe's
+//	         CDW12 FUA bit condensed to a byte)
 const (
 	sqeOpcode = 0
 	sqeCID    = 2
@@ -110,7 +123,11 @@ const (
 	sqeQSize  = 42
 	sqeCQID   = 44
 	sqeNLB    = 48
+	sqeFlags  = 50
 )
+
+// SqeFlagFUA is the FUA bit in the SQE's I/O flags byte.
+const SqeFlagFUA = 1 << 0
 
 // Admin opcodes (NVMe values).
 const (
@@ -144,10 +161,12 @@ const (
 //	[0:8)   capacity in logical blocks
 //	[8:12)  logical block size in bytes
 //	[12:14) I/O queue pairs available
+//	[14]    volatile write cache present (NVMe's Identify VWC bit)
 const (
 	idBlocks   = 0
 	idBlkSize  = 8
 	idIOQueues = 12
+	idVWC      = 14
 	// IdentifyLen is how many bytes the Identify command writes.
 	IdentifyLen = 16
 )
@@ -177,6 +196,13 @@ type Params struct {
 	// Blocks is the media capacity in logical blocks (0 picks 4096,
 	// a 16 MiB device).
 	Blocks uint64
+	// CacheBlocks is the volatile write cache capacity in logical
+	// blocks. 0 models the always-durable part every earlier PR
+	// measured (writes land on media, CmdFlush is a fixed-cost no-op).
+	// With a cache, non-FUA writes land in volatile RAM and become
+	// durable only on eviction, CmdFlush, or FUA — and PowerFail
+	// discards whatever was not yet drained.
+	CacheBlocks int
 }
 
 // DefaultParams models a single-queue NVMe-lite part: ~2.5 µs command
@@ -193,6 +219,14 @@ func DefaultParams() Params {
 func MultiQueueParams(queues int) Params {
 	p := DefaultParams()
 	p.IOQueues = queues
+	return p
+}
+
+// CachedParams is MultiQueueParams with a volatile write cache of
+// cacheBlocks logical blocks.
+func CachedParams(queues, cacheBlocks int) Params {
+	p := MultiQueueParams(queues)
+	p.CacheBlocks = cacheBlocks
 	return p
 }
 
@@ -227,6 +261,13 @@ type Ctrl struct {
 	media  []byte
 	blocks uint64
 
+	// Volatile write cache: dirty blocks not yet on media, plus their
+	// arrival order (FIFO eviction). The cache is device RAM — it
+	// survives a controller reset and a driver kill, and is lost only
+	// on PowerFail. cacheOrder never holds an LBA twice.
+	cache      map[uint64][]byte
+	cacheOrder []uint64
+
 	// Queue 0 is the admin pair; 1..MaxIOQueues are I/O pairs.
 	sq [1 + MaxIOQueues]sqState
 	cq [1 + MaxIOQueues]cqState
@@ -253,6 +294,17 @@ type Ctrl struct {
 	CQOverruns             uint64
 	InterruptsRaised       uint64
 	InterruptsSuppressedBy uint64
+
+	// Durability counters — the ground truth the FlushLie attack row and
+	// the crash-consistency harness attribute lies against: what the
+	// driver told the kernel versus what actually reached the device.
+	Flushes        uint64 // CmdFlush commands executed
+	FlushedBlocks  uint64 // dirty blocks drained by CmdFlush
+	FUAWrites      uint64 // writes carrying the FUA flag
+	CacheEvictions uint64 // dirty blocks drained by capacity eviction
+	CacheHits      uint64 // reads served from the dirty cache
+	PowerFails     uint64 // PowerFail invocations
+	LostBlocks     uint64 // dirty blocks discarded by the last PowerFail
 }
 
 // New creates an NVMe-lite controller with the given identity and BAR0
@@ -267,6 +319,7 @@ func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, p Params) *Ctrl {
 		regs:   make(map[uint64]uint32),
 		blocks: p.Blocks,
 		media:  make([]byte, int(p.Blocks)*BlockSize),
+		cache:  make(map[uint64][]byte),
 	}
 	cfg := pci.NewConfigSpace(VendorID, DeviceID, 0x01) // class = mass storage
 	cfg.SetBAR(0, barBase, BARSize, false)
@@ -313,6 +366,74 @@ func (c *Ctrl) reset() {
 		c.sq[i] = sqState{}
 		c.cq[i] = cqState{}
 	}
+	// The write cache is device RAM: a controller reset (and thus a
+	// driver restart) does not lose it — only PowerFail does. The enable
+	// bit returns to its power-on default.
+	if c.params.CacheBlocks > 0 {
+		c.regs[RegVWC] = VwcEnable
+	}
+}
+
+// cacheOn reports whether writes currently land in the volatile cache.
+func (c *Ctrl) cacheOn() bool {
+	return c.params.CacheBlocks > 0 && c.regs[RegVWC]&VwcEnable != 0
+}
+
+// DirtyBlocks reports the volatile-cache occupancy: acked writes that
+// would be lost by a power failure right now.
+func (c *Ctrl) DirtyBlocks() int { return len(c.cache) }
+
+// CacheCapacity reports the modelled cache size in blocks.
+func (c *Ctrl) CacheCapacity() int { return c.params.CacheBlocks }
+
+// PowerFail models power loss: every un-flushed cache block is discarded
+// and the controller resets. Media contents persist. The crash-consistency
+// harness calls this between kill -9 and the verifying restart; LostBlocks
+// records how much acked-but-volatile data the failure destroyed.
+func (c *Ctrl) PowerFail() {
+	c.PowerFails++
+	c.LostBlocks = uint64(len(c.cache))
+	c.cache = make(map[uint64][]byte)
+	c.cacheOrder = c.cacheOrder[:0]
+	cc := c.regs[RegCC]
+	c.reset()
+	c.regs[RegCC] = cc &^ CcEnable
+}
+
+// drainOne writes the oldest dirty cache block to media and returns its
+// size in bytes (0 when the cache is clean).
+func (c *Ctrl) drainOne() int {
+	if len(c.cacheOrder) == 0 {
+		return 0
+	}
+	lba := c.cacheOrder[0]
+	c.cacheOrder = c.cacheOrder[1:]
+	data, ok := c.cache[lba]
+	if !ok {
+		return 0
+	}
+	delete(c.cache, lba)
+	copy(c.media[int(lba)*BlockSize:], data)
+	return len(data)
+}
+
+// cacheInsert stages one block in the volatile cache, evicting the oldest
+// entry to media when the capacity is reached. It returns the extra media
+// bytes the eviction moved (charged to the triggering command's engine).
+func (c *Ctrl) cacheInsert(lba uint64, data []byte) (evicted int) {
+	if _, dirty := c.cache[lba]; dirty {
+		c.cache[lba] = data // overwrite in place, order unchanged
+		return 0
+	}
+	if len(c.cache) >= c.params.CacheBlocks {
+		evicted = c.drainOne()
+		if evicted > 0 {
+			c.CacheEvictions++
+		}
+	}
+	c.cache[lba] = data
+	c.cacheOrder = append(c.cacheOrder, lba)
+	return evicted
 }
 
 func (c *Ctrl) ioQueues() int {
@@ -350,6 +471,11 @@ func (c *Ctrl) MMIORead(bar int, off uint64, size int) uint64 {
 		return 0
 	case RegINTMS, RegINTMC:
 		return uint64(c.regs[RegINTMS])
+	case RegVWC:
+		// Enable bit plus occupancy; the count is clamped by construction
+		// (the cache never exceeds CacheBlocks), so a driver reading this
+		// register cannot observe an impossible state.
+		return uint64(c.regs[RegVWC]&VwcEnable) | uint64(len(c.cache))<<16
 	default:
 		return uint64(c.regs[off])
 	}
@@ -379,6 +505,13 @@ func (c *Ctrl) MMIOWrite(bar int, off uint64, size int, v uint64) {
 		c.maybeInterrupt()
 	case RegAQA, RegASQL, RegASQH, RegACQL, RegACQH:
 		c.regs[off] = val
+	case RegVWC:
+		// Only the enable bit is writable, and only on a part that has a
+		// cache — everything else a driver scribbles here is dropped at
+		// the decode, like the doorbell clamp.
+		if c.params.CacheBlocks > 0 {
+			c.regs[RegVWC] = val & VwcEnable
+		}
 	default:
 		if qid, isCQ, ok := doorbellFor(off); ok {
 			c.doorbell(qid, isCQ, val)
@@ -567,6 +700,9 @@ func (c *Ctrl) adminStep() {
 		putLE64(page[idBlocks:idBlocks+8], c.blocks)
 		putLE32(page[idBlkSize:idBlkSize+4], BlockSize)
 		putLE16(page[idIOQueues:idIOQueues+2], uint16(c.ioQueues()))
+		if c.params.CacheBlocks > 0 {
+			page[idVWC] = 1
+		}
 		if err := c.DMAWrite(mem.Addr(le64(sqe[sqePRP1:sqePRP1+8])), page[:]); err != nil {
 			c.DMAFaults++
 			status = StatusInvalidField
@@ -711,8 +847,20 @@ func (c *Ctrl) ioStep(qid int) {
 
 	switch op {
 	case CmdFlush:
-		// Media is modelled as always durable; flush is a fixed-cost
-		// barrier.
+		// Drain the volatile cache to media with real drain time: one
+		// media write per dirty block. On an always-durable part (or a
+		// clean cache) this degenerates to the fixed-cost barrier every
+		// earlier PR measured.
+		drained := 0
+		for len(c.cacheOrder) > 0 {
+			n := c.drainOne()
+			engine += sim.Duration(c.params.MediaPerByte * float64(n))
+			if n > 0 {
+				drained++
+			}
+		}
+		c.Flushes++
+		c.FlushedBlocks += uint64(drained)
 	case CmdRead, CmdWrite:
 		status = c.execRW(sqe, op == CmdWrite, &engine)
 	default:
@@ -739,6 +887,12 @@ func (c *Ctrl) ioStep(qid int) {
 // before any DMA (an out-of-range LBA is rejected with media untouched),
 // and the data moves through PRP1/PRP2 — crossing into the PRP2 page when
 // the buffer is not page-aligned, as NVMe PRPs do for 4 KiB transfers.
+//
+// With the volatile cache enabled, a non-FUA write lands in cache RAM (no
+// media time; a capacity eviction drains the oldest block and charges its
+// media time to this command) and a read is served from the cache when the
+// dirty copy is newer than media. A FUA write — or any write with the
+// cache absent or disabled — pays full media time and lands durable.
 func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 	if nlb := le16(sqe[sqeNLB : sqeNLB+2]); nlb != 0 {
 		// NVMe-lite: exactly one logical block per command.
@@ -758,35 +912,65 @@ func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 	}
 	rest := BlockSize - first
 
-	*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
 	mediaOff := int(lba) * BlockSize
 	if write {
-		buf, err := c.DMARead(prp1, first)
+		fua := sqe[sqeFlags]&SqeFlagFUA != 0
+		cached := c.cacheOn() && !fua
+		// Cached writes stage in a private buffer (the cache owns it);
+		// direct writes — FUA, or no cache — land straight in media, so
+		// the default configuration pays no staging copy.
+		dst := c.media[mediaOff : mediaOff+BlockSize]
+		if cached {
+			dst = make([]byte, BlockSize)
+		}
+		chunk, err := c.DMARead(prp1, first)
 		*engine += sim.DMA(first)
 		if err != nil {
 			c.DMAFaults++
+			*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
 			return StatusInvalidField
 		}
-		copy(c.media[mediaOff:], buf)
+		copy(dst, chunk)
 		if rest > 0 {
-			buf, err = c.DMARead(prp2, rest)
+			chunk, err = c.DMARead(prp2, rest)
 			*engine += sim.DMA(rest)
 			if err != nil {
 				c.DMAFaults++
+				*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
 				return StatusInvalidField
 			}
-			copy(c.media[mediaOff+first:], buf)
+			copy(dst[first:], chunk)
+		}
+		if fua {
+			c.FUAWrites++
+		}
+		if cached {
+			evicted := c.cacheInsert(lba, dst)
+			*engine += sim.Duration(c.params.MediaPerByte * float64(evicted))
+		} else {
+			*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
+			// A direct media write supersedes any older dirty copy: the
+			// stale cache entry must not drain over it later.
+			c.cacheDrop(lba)
 		}
 		c.WriteBlocks++
 		return StatusOK
 	}
-	if err := c.DMAWrite(prp1, c.media[mediaOff:mediaOff+first]); err != nil {
+	src := c.media[mediaOff : mediaOff+BlockSize]
+	if dirty, ok := c.cache[lba]; ok {
+		// The cache holds the newest copy; serving it costs no media time.
+		src = dirty
+		c.CacheHits++
+	} else {
+		*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
+	}
+	if err := c.DMAWrite(prp1, src[:first]); err != nil {
 		c.DMAFaults++
 		return StatusInvalidField
 	}
 	*engine += sim.DMA(first)
 	if rest > 0 {
-		if err := c.DMAWrite(prp2, c.media[mediaOff+first:mediaOff+BlockSize]); err != nil {
+		if err := c.DMAWrite(prp2, src[first:BlockSize]); err != nil {
 			c.DMAFaults++
 			return StatusInvalidField
 		}
@@ -794,6 +978,20 @@ func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 	}
 	c.ReadBlocks++
 	return StatusOK
+}
+
+// cacheDrop removes lba's dirty entry (superseded by a direct media write).
+func (c *Ctrl) cacheDrop(lba uint64) {
+	if _, ok := c.cache[lba]; !ok {
+		return
+	}
+	delete(c.cache, lba)
+	for i, l := range c.cacheOrder {
+		if l == lba {
+			c.cacheOrder = append(c.cacheOrder[:i], c.cacheOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 func (c *Ctrl) finishIO(qid int, engine sim.Duration) {

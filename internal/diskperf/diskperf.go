@@ -45,6 +45,21 @@ func (m Mode) String() string {
 // MarshalJSON records the mode by name.
 func (m Mode) MarshalJSON() ([]byte, error) { return []byte(`"` + m.String() + `"`), nil }
 
+// UnmarshalJSON parses the recorded name (the benchgate regression gate
+// reads trajectory files back). An unknown name is an error — a corrupted
+// baseline must fail the load, not silently band against the wrong row.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"kernel"`:
+		*m = ModeKernel
+	case `"sud"`:
+		*m = ModeSUD
+	default:
+		return fmt.Errorf("diskperf: unknown mode %s", b)
+	}
+	return nil
+}
+
 // Application-side costs per I/O (submission syscall, completion wake).
 const (
 	costAppSubmit sim.Duration = 700
@@ -73,6 +88,13 @@ type Testbed struct {
 // in the given mode, with `queues` I/O queue pairs end to end (device
 // engines, driver queue pairs, and — under SUD — uchan ring pairs).
 func NewTestbed(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
+	return NewTestbedWC(mode, queues, 0, plat)
+}
+
+// NewTestbedWC is NewTestbed with a volatile write cache of cacheBlocks
+// logical blocks on the controller (0 keeps the always-durable seed part —
+// the Figure 8 / block-IOPS reference configuration, bit for bit).
+func NewTestbedWC(mode Mode, queues, cacheBlocks int, plat hw.Platform) (*Testbed, error) {
 	if queues < 1 {
 		queues = 1
 	}
@@ -84,7 +106,9 @@ func NewTestbed(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
 	}
 	m := hw.NewMachine(plat)
 	k := kernel.New(m)
-	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(queues))
+	params := nvme.MultiQueueParams(queues)
+	params.CacheBlocks = cacheBlocks
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, params)
 	m.AttachDevice(ctrl)
 
 	tb := &Testbed{Mode: mode, Queues: queues, M: m, K: k, Ctrl: ctrl}
@@ -112,11 +136,18 @@ func NewTestbed(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
 	return tb, nil
 }
 
-// Result aggregates one block-IOPS measurement.
+// Result aggregates one block-IOPS measurement. ReadKIOPS carries the
+// aggregate rate of whichever direction the workload ran (reads for
+// BlockIOPS, writes for BlockIOPSWrite — the field name is kept for the
+// recorded-trajectory schema); Write and FsyncEvery identify the write
+// workload, and Flushes counts the barriers it completed.
 type Result struct {
 	Mode             Mode
 	Queues, Jobs     int
 	Depth            int
+	Write            bool   `json:",omitempty"`
+	FsyncEvery       int    `json:",omitempty"`
+	Flushes          uint64 `json:",omitempty"`
 	ReadKIOPS        float64
 	MBps             float64
 	CPU              float64
@@ -130,8 +161,19 @@ type Result struct {
 
 func (r Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "BLOCK_IOPS %s Q=%d J=%d D=%d %9.1f Kiops (%.1f MB/s) %5.1f%% CPU, %d wakes",
-		r.Mode, r.Queues, r.Jobs, r.Depth, r.ReadKIOPS, r.MBps, r.CPU*100, r.Wakeups)
+	label := "BLOCK_IOPS"
+	if r.Write {
+		label = "BLOCK_WIOPS"
+	}
+	fmt.Fprintf(&b, "%s %s Q=%d J=%d D=%d", label, r.Mode, r.Queues, r.Jobs, r.Depth)
+	if r.Write {
+		fmt.Fprintf(&b, " fsync=%d", r.FsyncEvery)
+	}
+	fmt.Fprintf(&b, " %9.1f Kiops (%.1f MB/s) %5.1f%% CPU, %d wakes",
+		r.ReadKIOPS, r.MBps, r.CPU*100, r.Wakeups)
+	if r.Write {
+		fmt.Fprintf(&b, ", %d flushes", r.Flushes)
+	}
 	if r.Mode == ModeSUD {
 		fmt.Fprintf(&b, ", %.1f comps/doorbell (max batch %d)", r.CompsPerDoorbell, r.MaxDownBatch)
 	}
@@ -183,9 +225,89 @@ func BlockIOPS(tb *Testbed, jobs, depth int, opt netperf.Options) (Result, error
 	}
 	defer func() { stopped = true }()
 
+	res := measureWindows(tb, opt, &completed)
+	res.Jobs, res.Depth = jobs, depth
+	return res, nil
+}
+
+// BlockIOPSWrite runs the write-side workload: jobs concurrent writers,
+// each keeping depth single-block writes outstanding; with fsyncEvery > 0
+// each pipeline issues a Flush barrier after every fsyncEvery acked writes
+// and waits for it before continuing — fio's fsync=N behaviour, which is
+// what bounds IOPS on a volatile-write-cache device. fsyncEvery = 0 never
+// flushes (cache-speed writes).
+func BlockIOPSWrite(tb *Testbed, jobs, depth, fsyncEvery int, opt netperf.Options) (Result, error) {
+	if jobs < 1 || depth < 1 {
+		return Result{}, fmt.Errorf("diskperf: need at least one job and depth 1")
+	}
+	stopped := false
+	var completed uint64
+	payload := make([]byte, tb.Dev.Geom.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// acked[j] counts job j's completed writes since its last flush; all
+	// of job j's pipelines share the fsync cadence, as one fsyncing
+	// process would.
+	acked := make([]int, jobs)
+
+	var issue func(j int, seq uint64)
+	issue = func(j int, seq uint64) {
+		if stopped {
+			return
+		}
+		lba := (uint64(j)*977 + seq*13) % tb.Dev.Geom.Blocks
+		tb.K.Acct.Charge(costAppSubmit)
+		err := tb.Dev.WriteAt(lba, payload, func(err error) {
+			if stopped {
+				return
+			}
+			completed++
+			tb.K.Acct.Charge(costAppReap)
+			acked[j]++
+			if fsyncEvery > 0 && acked[j] >= fsyncEvery {
+				acked[j] = 0
+				tb.K.Acct.Charge(costAppSubmit)
+				if ferr := tb.Dev.Flush(func(error) {
+					if stopped {
+						return
+					}
+					tb.K.Acct.Charge(costAppReap)
+					tb.M.Loop.After(costAppReap, func() { issue(j, seq+1) })
+				}); ferr != nil {
+					tb.M.Loop.After(10*sim.Microsecond, func() { issue(j, seq+1) })
+				}
+				return
+			}
+			tb.M.Loop.After(costAppReap, func() { issue(j, seq+1) })
+		})
+		if err != nil {
+			tb.M.Loop.After(10*sim.Microsecond, func() { issue(j, seq) })
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		for d := 0; d < depth; d++ {
+			issue(j, uint64(d*100))
+		}
+	}
+	defer func() { stopped = true }()
+
+	flushBase := tb.Dev.Flushes
+	res := measureWindows(tb, opt, &completed)
+	res.Jobs, res.Depth = jobs, depth
+	res.Write, res.FsyncEvery = true, fsyncEvery
+	res.Flushes = tb.Dev.Flushes - flushBase
+	return res, nil
+}
+
+// measureWindows runs the shared sampling loop: warmup, then fixed windows
+// until the 99% confidence half-width tightens (or MaxWindows), recording
+// the rate of *completed, the CPU, and — under SUD — the per-queue
+// transport stats.
+func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result {
 	tb.M.Loop.RunFor(opt.Warmup)
 
-	base := completed
+	base := *completed
 	var qBase []netperf.QueueReport
 	var wakeBase uint64
 	if tb.Proc != nil {
@@ -202,9 +324,9 @@ func BlockIOPS(tb *Testbed, jobs, depth int, opt netperf.Options) (Result, error
 	for len(vals) < opt.MaxWindows {
 		start := tb.M.Now()
 		tb.M.CPU.Reset(start)
-		before := completed
+		before := *completed
 		tb.M.Loop.RunFor(opt.Window)
-		vals = append(vals, float64(completed-before)/opt.Window.Seconds()/1e3)
+		vals = append(vals, float64(*completed-before)/opt.Window.Seconds()/1e3)
 		cpus = append(cpus, tb.M.CPU.Utilization(tb.M.Now()))
 		if len(vals) >= opt.MinWindows {
 			m, hw99 := meanCI(vals)
@@ -218,7 +340,7 @@ func BlockIOPS(tb *Testbed, jobs, depth int, opt netperf.Options) (Result, error
 	mean, hw99 := meanCI(vals)
 	cpu, _ := meanCI(cpus)
 	res := Result{
-		Mode: tb.Mode, Queues: tb.Queues, Jobs: jobs, Depth: depth,
+		Mode: tb.Mode, Queues: tb.Queues,
 		ReadKIOPS: mean,
 		MBps:      mean * 1e3 * float64(tb.Dev.Geom.BlockSize) / 1e6,
 		CPU:       cpu,
@@ -245,11 +367,11 @@ func BlockIOPS(tb *Testbed, jobs, depth int, opt netperf.Options) (Result, error
 			res.PerQueue = append(res.PerQueue, r)
 			doorbells += r.Doorbells
 		}
-		if ios := completed - base; ios > 0 && doorbells > 0 {
+		if ios := *completed - base; ios > 0 && doorbells > 0 {
 			res.CompsPerDoorbell = float64(ios) / float64(doorbells)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // meanCI returns the sample mean and the 99% confidence half-width

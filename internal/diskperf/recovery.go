@@ -2,6 +2,7 @@ package diskperf
 
 import (
 	"fmt"
+	"sort"
 
 	"sud/internal/devices/nvme"
 	"sud/internal/drivers/nvmed"
@@ -62,6 +63,12 @@ type RecoveryResult struct {
 	// RecoveryLatencyUS is the application-visible gap: virtual µs from
 	// the kill until every request outstanding at kill time had completed.
 	RecoveryLatencyUS float64
+	// DrainP50US/DrainP99US are percentiles over the per-request drain
+	// latencies (kill → that request's completion) of the requests
+	// outstanding at kill time — the distribution behind the
+	// kill-to-drained figure, which the CI recovery SLO gates on p99.
+	DrainP50US float64
+	DrainP99US float64
 	// Completed counts requests finished over the whole run; Errors counts
 	// completions that surfaced an error or wrong data to the caller —
 	// the acceptance criterion is zero.
@@ -71,9 +78,25 @@ type RecoveryResult struct {
 
 func (r RecoveryResult) String() string {
 	return fmt.Sprintf(
-		"BLOCK_RECOVERY Q=%d J=%d D=%d kill@%.0fµs: %d restart(s), %d replayed, recovered in %.1fµs, %d completed, %d errors\n",
+		"BLOCK_RECOVERY Q=%d J=%d D=%d kill@%.0fµs: %d restart(s), %d replayed, recovered in %.1fµs (drain p50 %.1fµs p99 %.1fµs), %d completed, %d errors\n",
 		r.Queues, r.Jobs, r.Depth, r.KillAfterUS, r.Restarts, r.Replayed,
-		r.RecoveryLatencyUS, r.Completed, r.Errors)
+		r.RecoveryLatencyUS, r.DrainP50US, r.DrainP99US, r.Completed, r.Errors)
+}
+
+// percentile returns the p-quantile (0..1) of sorted vals by
+// nearest-rank, 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // KillRecovery drives the fio-style workload against a supervised testbed,
@@ -106,6 +129,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 	preKill := 0 // requests outstanding at kill time, not yet completed
 	outstanding := 0
 	var recoveredAt sim.Time
+	var drainUS []float64 // per-request kill→completion latencies
 
 	var issue func(j int, seq uint64)
 	issue = func(j int, seq uint64) {
@@ -134,6 +158,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 			}
 			if killedAt != 0 && issuedAt <= killedAt {
 				preKill--
+				drainUS = append(drainUS, float64(tb.M.Now()-killedAt)/float64(sim.Microsecond))
 				if preKill == 0 && recoveredAt == 0 {
 					recoveredAt = tb.M.Now()
 				}
@@ -169,5 +194,8 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 	} else if preKill > 0 {
 		return res, fmt.Errorf("diskperf: %d pre-kill requests never completed", preKill)
 	}
+	sort.Float64s(drainUS)
+	res.DrainP50US = percentile(drainUS, 0.50)
+	res.DrainP99US = percentile(drainUS, 0.99)
 	return res, nil
 }

@@ -9,11 +9,14 @@ package api
 // contexts (and, under SUD, onto the uchan ring pairs).
 
 // BlockGeometry describes a block device's media: Blocks logical blocks of
-// BlockSize bytes each. It is static state mirrored into the kernel at
-// registration (§3.3), never fetched by upcall.
+// BlockSize bytes each, plus whether the device holds acked writes in a
+// volatile write cache (in which case Flush/FUA are what make them
+// durable). It is static state mirrored into the kernel at registration
+// (§3.3), never fetched by upcall.
 type BlockGeometry struct {
-	BlockSize int
-	Blocks    uint64
+	BlockSize  int
+	Blocks     uint64
+	WriteCache bool
 }
 
 // Bytes returns the media capacity in bytes.
@@ -34,6 +37,13 @@ type BlockRequest struct {
 	Data []byte
 	// Tag is the host's completion cookie, echoed in Complete.
 	Tag uint64
+	// Flush marks a cache-flush barrier (REQ_OP_FLUSH): no LBA or Data;
+	// the driver must issue the device's flush command and complete the
+	// request only once every previously acked write is durable.
+	Flush bool
+	// FUA marks a force-unit-access write (REQ_FUA): the payload must be
+	// durable — past any volatile cache — before the completion.
+	FUA bool
 }
 
 // BlockDevice is the driver's half of the block contract — a condensed

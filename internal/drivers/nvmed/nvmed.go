@@ -181,8 +181,9 @@ func (c *ctrl) probe() error {
 		return err
 	}
 	c.geom = api.BlockGeometry{
-		Blocks:    le64(page[0:8]),
-		BlockSize: int(le32(page[8:12])),
+		Blocks:     le64(page[0:8]),
+		BlockSize:  int(le32(page[8:12])),
+		WriteCache: page[14] != 0,
 	}
 
 	bk, err := eb.RegisterBlockDev("nvme0", c.geom, c)
@@ -383,20 +384,30 @@ func (c *ctrl) Submit(q int, req api.BlockRequest) error {
 		}
 	}
 	var sqe [nvme.SQESize]byte
-	if req.Write {
+	switch {
+	case req.Flush:
+		// A flush barrier: no payload, no LBA — the controller drains its
+		// volatile cache before completing (REQ_OP_FLUSH → CmdFlush).
+		sqe[0] = nvme.CmdFlush
+	case req.Write:
 		sqe[0] = nvme.CmdWrite
-	} else {
+	default:
 		sqe[0] = nvme.CmdRead
 	}
 	putLE16(sqe[2:4], uint16(cid))
-	putLE64(sqe[24:32], uint64(ioq.bufs.BusAddr())+uint64(bufOff))
-	putLE64(sqe[40:48], req.LBA)
+	if !req.Flush {
+		putLE64(sqe[24:32], uint64(ioq.bufs.BusAddr())+uint64(bufOff))
+		putLE64(sqe[40:48], req.LBA)
+		if req.FUA {
+			sqe[50] |= nvme.SqeFlagFUA
+		}
+	}
 	if err := writeRing(ioq.sq, ioq.tail, nvme.SQESize, sqe[:]); err != nil {
 		return err
 	}
 	ioq.used[cid] = true
 	ioq.tags[cid] = req.Tag
-	ioq.wrote[cid] = req.Write
+	ioq.wrote[cid] = req.Write || req.Flush
 	ioq.inFlight++
 	ioq.tail = (ioq.tail + 1) % QDepth
 	c.mmio.Write32(nvme.SQDoorbell(q+1), uint32(ioq.tail))

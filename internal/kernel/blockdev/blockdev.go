@@ -119,6 +119,16 @@ func (m *Manager) Unregister(name string) {
 	if d.shadow != nil {
 		d.shadow.Reset()
 	}
+	// Barriers fail like requests: a dispatched flush fails through its
+	// in-flight entry below; an undispatched or queued one fails here.
+	if b := d.barrier; b != nil && !b.dispatched {
+		d.barrier = nil
+		b.cb(ErrDown)
+	}
+	for _, b := range d.flushQ {
+		b.cb(ErrDown)
+	}
+	d.flushQ = nil
 	for tag, r := range d.inflight {
 		delete(d.inflight, tag)
 		r.cb(nil, ErrDown)
@@ -229,7 +239,16 @@ type queued struct {
 type request struct {
 	q     int
 	write bool
+	flush bool
 	cb    func([]byte, error)
+}
+
+// flushOp is one Flush() barrier moving through the device: queued, then
+// active (new submissions park), then dispatched (the driver holds the
+// flush; every request dispatched before it has already completed).
+type flushOp struct {
+	cb         func(error)
+	dispatched bool
 }
 
 // Dev is one registered block device. It implements api.BlockKernel — it is
@@ -256,9 +275,23 @@ type Dev struct {
 	inflight map[uint64]*request
 	nextTag  uint64
 
+	// Barrier state: one flush barrier is active at a time; later Flush()
+	// calls queue behind it. While a barrier is active every new
+	// submission parks in its queue's software queue, and the flush
+	// itself is dispatched only once the in-flight table drains — so a
+	// flush completion means every write acked before it is durable, in
+	// every queue (the §3.1.2 guard family's durability member).
+	barrier *flushOp
+	flushQ  []*flushOp
+
 	// OnWake, if set, runs when the driver wakes a queue with no
 	// queue-level hook (backpressure release for the benchmark loop).
 	OnWake func()
+
+	// Flushes counts completed flush barriers; FUAWrites counts
+	// force-unit-access writes dispatched to the driver.
+	Flushes   uint64
+	FUAWrites uint64
 
 	// BadCompletions counts driver completions with unknown or reused
 	// tags — a confused or malicious driver, dropped and counted.
@@ -346,13 +379,31 @@ func (d *Dev) ReadAtQ(lba uint64, q int, cb func([]byte, error)) error {
 }
 
 // WriteAt writes one block (exactly BlockSize bytes) at lba, steering by
-// LBA hash; cb receives nil or an error on completion.
+// LBA hash; cb receives nil or an error on completion. On a device with a
+// volatile write cache the completion means accepted, not durable — call
+// Flush (or use WriteAtFUA) for durability.
 func (d *Dev) WriteAt(lba uint64, data []byte, cb func(error)) error {
-	return d.WriteAtQ(lba, QueueForLBA(lba, len(d.queues)), data, cb)
+	return d.writeAtQ(lba, QueueForLBA(lba, len(d.queues)), data, false, cb)
 }
 
 // WriteAtQ writes one block at lba on an explicit queue.
 func (d *Dev) WriteAtQ(lba uint64, q int, data []byte, cb func(error)) error {
+	return d.writeAtQ(lba, q, data, false, cb)
+}
+
+// WriteAtFUA writes one block with force-unit-access semantics: the
+// completion is delivered only once the payload is durable, past any
+// volatile device cache (REQ_FUA).
+func (d *Dev) WriteAtFUA(lba uint64, data []byte, cb func(error)) error {
+	return d.writeAtQ(lba, QueueForLBA(lba, len(d.queues)), data, true, cb)
+}
+
+// WriteAtFUAQ is WriteAtFUA on an explicit queue.
+func (d *Dev) WriteAtFUAQ(lba uint64, q int, data []byte, cb func(error)) error {
+	return d.writeAtQ(lba, q, data, true, cb)
+}
+
+func (d *Dev) writeAtQ(lba uint64, q int, data []byte, fua bool, cb func(error)) error {
 	if len(data) != d.Geom.BlockSize {
 		return ErrBadSize
 	}
@@ -361,13 +412,80 @@ func (d *Dev) WriteAtQ(lba uint64, q int, data []byte, cb func(error)) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	d.mgr.Acct.Charge(sim.Copy(len(data)))
-	return d.submit(q, api.BlockRequest{Write: true, LBA: lba, Data: buf},
+	return d.submit(q, api.BlockRequest{Write: true, LBA: lba, Data: buf, FUA: fua},
 		func(_ []byte, err error) { cb(err) })
 }
 
+// Flush issues a write barrier (REQ_OP_FLUSH): cb runs once every write
+// acked before this call is durable on media. Ordering is strict — new
+// submissions park behind the barrier, and the flush command reaches the
+// driver only after every previously dispatched request (on every queue)
+// has completed, so a driver cannot be handed a flush while writes it has
+// not acked are still in flight. Flushes issued while one is active queue
+// behind it in order.
+func (d *Dev) Flush(cb func(error)) error {
+	if !d.up {
+		return ErrDown
+	}
+	d.mgr.Acct.Charge(CostSubmitPath)
+	d.flushQ = append(d.flushQ, &flushOp{cb: cb})
+	d.pumpBarrier()
+	return nil
+}
+
+// FlushPending reports whether a barrier is active or queued (tests).
+func (d *Dev) FlushPending() bool { return d.barrier != nil || len(d.flushQ) > 0 }
+
+// pumpBarrier advances the barrier state machine: activate the next queued
+// flush, and once the in-flight table is drained hand the flush itself to
+// the driver on queue 0 under its own tag (logged in the shadow like any
+// request, so a driver death mid-barrier replays it in order).
+func (d *Dev) pumpBarrier() {
+	if d.recovering {
+		return
+	}
+	if d.barrier == nil {
+		if len(d.flushQ) == 0 {
+			return
+		}
+		d.barrier = d.flushQ[0]
+		d.flushQ = d.flushQ[1:]
+	}
+	b := d.barrier
+	if b.dispatched || len(d.inflight) != 0 {
+		return
+	}
+	b.dispatched = true
+	if !d.dispatch(0, api.BlockRequest{Flush: true},
+		func(_ []byte, err error) { d.finishBarrier(b, err) }) {
+		// The driver refused the flush (queue full): retried on the next
+		// wake.
+		b.dispatched = false
+	}
+}
+
+// finishBarrier completes one barrier: deliver the verdict, release the
+// parked queues, then start any queued successor.
+func (d *Dev) finishBarrier(b *flushOp, err error) {
+	if d.barrier == b {
+		d.barrier = nil
+	}
+	if err == nil {
+		d.Flushes++
+	}
+	b.cb(err)
+	if !d.up || d.recovering {
+		return
+	}
+	for q := range d.queues {
+		d.WakeQueueQ(q)
+	}
+	d.pumpBarrier()
+}
+
 // submit validates, tags and dispatches one request; a stalled or full
-// hardware queue — or a device whose driver is being restarted — parks it
-// in that queue's software queue.
+// hardware queue — a device whose driver is being restarted, or one with a
+// flush barrier in flight — parks it in that queue's software queue.
 func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error {
 	if !d.up {
 		return ErrDown
@@ -378,7 +496,7 @@ func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error 
 	q = d.clampQ(q)
 	qc := &d.queues[q]
 	d.mgr.Acct.Charge(CostSubmitPath)
-	if qc.stalled || d.recovering {
+	if qc.stalled || d.recovering || d.barrier != nil {
 		if len(qc.waiting) >= MaxQueuedPerQueue {
 			return ErrCongested
 		}
@@ -398,7 +516,7 @@ func (d *Dev) dispatch(q int, req api.BlockRequest, cb func([]byte, error)) bool
 	qc := &d.queues[q]
 	req.Tag = d.nextTag
 	d.nextTag++
-	d.inflight[req.Tag] = &request{q: q, write: req.Write, cb: cb}
+	d.inflight[req.Tag] = &request{q: q, write: req.Write, flush: req.Flush, cb: cb}
 	if err := d.drv.Submit(q, req); err != nil {
 		delete(d.inflight, req.Tag)
 		return false
@@ -406,9 +524,15 @@ func (d *Dev) dispatch(q int, req api.BlockRequest, cb func([]byte, error)) bool
 	if d.shadow != nil {
 		d.shadow.RecordSubmit(q, req)
 	}
-	if req.Write {
+	switch {
+	case req.Flush:
+		// Barriers are counted on completion (d.Flushes), not per queue.
+	case req.Write:
 		qc.Writes++
-	} else {
+		if req.FUA {
+			d.FUAWrites++
+		}
+	default:
 		qc.Reads++
 	}
 	return true
@@ -433,15 +557,20 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 	qc := &d.queues[d.clampQ(q)]
 	qc.Completions++
 	d.mgr.Acct.Charge(CostCompletePath)
-	if err == nil && !r.write && len(data) != d.Geom.BlockSize {
+	if err == nil && !r.write && !r.flush && len(data) != d.Geom.BlockSize {
 		err = fmt.Errorf("blockdev: short read (%d bytes)", len(data))
 	}
 	if err != nil {
 		qc.Errors++
 		r.cb(nil, err)
-		return
+	} else {
+		r.cb(data, nil)
 	}
-	r.cb(data, nil)
+	// The in-flight table draining may be what an active barrier is
+	// waiting for.
+	if d.barrier != nil && !d.barrier.dispatched {
+		d.pumpBarrier()
+	}
 }
 
 // WakeQueueQ implements api.BlockKernel: queue q's hardware queue regained
@@ -459,6 +588,12 @@ func (d *Dev) WakeQueueQ(q int) {
 	}
 	if !d.drainReplay(qc.ID) {
 		qc.stalled = true
+		return
+	}
+	if d.barrier != nil {
+		// Parked submissions stay parked behind the in-flight barrier;
+		// the wake may be the headroom a refused flush dispatch needed.
+		d.pumpBarrier()
 		return
 	}
 	qc.stalled = false
@@ -529,5 +664,10 @@ func (d *Dev) CompleteRecovery() (int, error) {
 	for q := range d.queues {
 		d.WakeQueueQ(q)
 	}
+	// A barrier that was active (or queued) when the driver died resumes:
+	// replayed requests are back in flight, and the flush dispatches once
+	// they drain — kill -9 plus respawn cannot reorder acked-durable
+	// writes around the barrier.
+	d.pumpBarrier()
 	return n, nil
 }

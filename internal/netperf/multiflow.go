@@ -145,6 +145,23 @@ func (d Direction) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + d.String() + `"`), nil
 }
 
+// UnmarshalJSON parses the recorded name (the benchgate regression gate
+// reads trajectory files back). An unknown name is an error — a corrupted
+// baseline must fail the load, not silently band against the wrong row.
+func (d *Direction) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"tx"`:
+		*d = DirTX
+	case `"rx"`:
+		*d = DirRX
+	case `"bidi"`:
+		*d = DirBidi
+	default:
+		return fmt.Errorf("netperf: unknown direction %s", b)
+	}
+	return nil
+}
+
 // RX flood parameters: per-flow offered rate (the aggregate is far above
 // both the wire and the DUT's receive capacity, so the DUT path is the
 // bottleneck under test) and the flows' source-port base (distinct ports =

@@ -40,7 +40,11 @@ import (
 const (
 	OpOpen   = protocol.BlockBase + iota // sync
 	OpStop                               // sync
-	OpSubmit                             // async; Args: [0]=write flag, [1]=LBA, [2]=payload IOVA, [3]=length, [4]=slot, [5]=tag
+	OpSubmit                             // async; Args: [0]=flags (bit 0 write, bit 1 FUA), [1]=LBA, [2]=payload IOVA, [3]=length, [4]=slot, [5]=tag
+	// OpFlush issues a write barrier; Data carries one flushop.go frame
+	// (barrier sequence, epoch, tag). The driver must drain the device's
+	// volatile cache and echo the frame back as OpFlushDone.
+	OpFlush
 )
 
 // Downcall operations (driver → kernel).
@@ -55,6 +59,15 @@ const (
 	OpCompleteBatch
 	// OpWakeQueue re-enables a stopped submission queue; Args: [0]=queue.
 	OpWakeQueue
+	// OpFlushDone completes a flush barrier; Data carries the flushop.go
+	// frame, validated against the proxy's own barrier accounting.
+	OpFlushDone
+)
+
+// OpSubmit flag bits.
+const (
+	SubmitWrite = 1 << 0
+	SubmitFUA   = 1 << 1
 )
 
 // SlotsPerQueue is each queue's shared-slot partition: one slot per
@@ -89,14 +102,39 @@ type Proxy struct {
 	// by this proxy is stale and is rejected wholesale.
 	epoch uint64
 
+	// Barrier accounting (per device epoch): barrierSeq numbers every
+	// flush upcall this incarnation issued, and inFlightFlush is the one
+	// barrier the driver currently holds. A FlushDone that does not name
+	// exactly that barrier — or that arrives while requests dispatched
+	// before it are still outstanding — is a flush lie, rejected before
+	// the block core hears "durable".
+	barrierSeq    uint64
+	inFlightFlush *flushState
+
+	// Durability counters: what this proxy told the driver versus what
+	// the driver acked — the kernel-side half of flush-lie attribution
+	// (the device's own Flushes/FUAWrites counters are the other half).
+	FlushesIssued uint64
+	FlushesAcked  uint64
+	FUAIssued     uint64
+
 	// Security / robustness counters.
-	CompInvalidRef  uint64 // payload references outside the driver's memory
-	CompBadLength   uint64
-	CompBadTag      uint64 // completions for tags never issued
-	CompBadBatch    uint64 // malformed batch framing from the driver
-	CompStaleEpoch  uint64 // downcalls from a dead driver incarnation
-	SubmitDropsHung uint64
-	UpcallErrors    uint64
+	CompInvalidRef    uint64 // payload references outside the driver's memory
+	CompBadLength     uint64
+	CompBadTag        uint64 // completions for tags never issued
+	CompBadBatch      uint64 // malformed batch framing from the driver
+	CompBadFlushFrame uint64 // malformed flush framing from the driver
+	CompBadBarrier    uint64 // flush completions naming no in-flight barrier
+	CompBarrierEarly  uint64 // barriers acked with prior requests outstanding
+	CompStaleEpoch    uint64 // downcalls from a dead driver incarnation
+	SubmitDropsHung   uint64
+	UpcallErrors      uint64
+}
+
+// flushState is the one barrier the driver currently holds.
+type flushState struct {
+	barrier uint64
+	tag     uint64
 }
 
 // KernelIface is the slice of kernel services the proxy needs.
@@ -214,6 +252,9 @@ func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
 	if q < 0 || q >= len(p.free) {
 		q = 0
 	}
+	if req.Flush {
+		return p.submitFlush(q, req)
+	}
 	if len(p.free[q]) == 0 {
 		p.stalled[q] = true
 		return fmt.Errorf("blkproxy: no free slots on queue %d", q)
@@ -224,7 +265,10 @@ func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
 		if len(req.Data) != p.Dev.Geom.BlockSize {
 			return fmt.Errorf("blkproxy: payload is %d bytes, want %d", len(req.Data), p.Dev.Geom.BlockSize)
 		}
-		flags = 1
+		flags = SubmitWrite
+		if req.FUA {
+			flags |= SubmitFUA
+		}
 		off := mem.Addr(slot * p.Dev.Geom.BlockSize)
 		iova = uint64(p.pools[q].IOVA + off)
 		n = uint64(len(req.Data))
@@ -242,8 +286,32 @@ func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
 		p.stalled[q] = true
 		return fmt.Errorf("blkproxy: submit upcall: %w", err)
 	}
+	if req.FUA {
+		p.FUAIssued++
+	}
 	p.free[q] = p.free[q][:len(p.free[q])-1]
 	p.tagSlot[req.Tag] = q*SlotsPerQueue + slot
+	return nil
+}
+
+// submitFlush issues one write barrier as an OpFlush upcall carrying the
+// flushop.go frame. Barriers need no shared slot (no payload); the
+// accounting — sequence, epoch, tag — is what the completion must echo.
+func (p *Proxy) submitFlush(q int, req api.BlockRequest) error {
+	if p.inFlightFlush != nil {
+		// The block core dispatches one barrier at a time; a second one
+		// here means a confused caller, not a confused driver.
+		return fmt.Errorf("blkproxy: barrier %d already in flight", p.inFlightFlush.barrier)
+	}
+	p.barrierSeq++
+	frame := EncodeFlushOp(FlushOp{Barrier: p.barrierSeq, Epoch: p.epoch, Tag: req.Tag})
+	if err := p.C.ASend(q, uchan.Msg{Op: OpFlush, Data: frame}); err != nil {
+		p.SubmitDropsHung++
+		p.stalled[q] = true
+		return fmt.Errorf("blkproxy: flush upcall: %w", err)
+	}
+	p.FlushesIssued++
+	p.inFlightFlush = &flushState{barrier: p.barrierSeq, tag: req.Tag}
 	return nil
 }
 
@@ -286,6 +354,8 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		for _, c := range comps {
 			p.complete(q, c)
 		}
+	case OpFlushDone:
+		p.handleFlushDone(q, m)
 	case OpWakeQueue:
 		wq := int(m.Args[0])
 		if wq < 0 || wq >= len(p.free) {
@@ -297,6 +367,44 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		// trusted (§3.1.1).
 		p.UpcallErrors++
 	}
+}
+
+// handleFlushDone validates one barrier completion against the proxy's own
+// accounting. The frame is hostile input: it must decode exactly, name the
+// one barrier in flight, carry this proxy's epoch, and echo the flush's
+// tag — and it must not arrive while requests dispatched before the
+// barrier are still outstanding. Anything else is a flush lie: the driver
+// completing a barrier it was never given (or early, or twice, or across
+// an incarnation), counted and — for the early case — surfaced as a
+// driver-attributed flush failure rather than a false durability claim.
+func (p *Proxy) handleFlushDone(q int, m uchan.Msg) {
+	fo, err := DecodeFlushOp(m.Data)
+	if err != nil {
+		p.CompBadFlushFrame++
+		return
+	}
+	fs := p.inFlightFlush
+	if fs == nil || fo.Barrier != fs.barrier || fo.Epoch != p.epoch || fo.Tag != fs.tag {
+		p.CompBadBarrier++
+		return
+	}
+	if outstanding := len(p.tagSlot); outstanding > 0 {
+		p.inFlightFlush = nil
+		p.CompBarrierEarly++
+		p.QueueComps[q]++
+		p.Dev.Complete(q, fs.tag, fmt.Errorf(
+			"blkproxy: driver completed barrier %d early (%d prior requests outstanding)",
+			fo.Barrier, outstanding), nil)
+		return
+	}
+	p.inFlightFlush = nil
+	p.QueueComps[q]++
+	if fo.Status != 0 {
+		p.Dev.Complete(q, fs.tag, fmt.Errorf("blkproxy: device flush status %d", fo.Status), nil)
+		return
+	}
+	p.FlushesAcked++
+	p.Dev.Complete(q, fs.tag, nil, nil)
 }
 
 // complete validates one completion reference and delivers it. The payload

@@ -1,0 +1,66 @@
+package blkproxy
+
+import "errors"
+
+// Flush-barrier framing — the durability cousin of the completion batch.
+//
+// A flush crosses the channel as an OpFlush upcall whose Data carries one
+// encoded FlushOp, and comes back as an OpFlushDone downcall carrying the
+// same structure with the status filled in. The downcall bytes are written
+// by the untrusted driver process, so the kernel-side decoder treats them
+// as hostile input (never panics, exact length, no slack) and the proxy
+// validates every echoed field against its own barrier accounting before
+// the block core hears that anything became durable: the barrier sequence
+// must be the one in flight, the epoch must be the proxy's own bind epoch
+// (a dead incarnation cannot complete a barrier its successor issued), and
+// the tag must match the flush request. DecodeFlushOp is fuzzed for
+// exactly that reason.
+//
+// Layout (little-endian):
+//
+//	[0:8)   barrier sequence number (per device epoch)
+//	[8:16)  device incarnation epoch the barrier was issued under
+//	[16:24) kernel request tag of the flush
+//	[24:26) completion status (0 in the upcall direction)
+const flushOpLen = 26
+
+// FlushOp is one flush barrier on the wire.
+type FlushOp struct {
+	Barrier uint64
+	Epoch   uint64
+	Tag     uint64
+	Status  uint16
+}
+
+// Flush framing decode errors.
+var ErrFlushOpLen = errors.New("blkproxy: flush op is not exactly one frame")
+
+// EncodeFlushOp marshals one flush barrier frame.
+func EncodeFlushOp(f FlushOp) []byte {
+	buf := make([]byte, flushOpLen)
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(f.Barrier >> (8 * b))
+		buf[8+b] = byte(f.Epoch >> (8 * b))
+		buf[16+b] = byte(f.Tag >> (8 * b))
+	}
+	buf[24] = byte(f.Status)
+	buf[25] = byte(f.Status >> 8)
+	return buf
+}
+
+// DecodeFlushOp unmarshals one flush barrier frame written by the
+// (untrusted) driver process. It never panics on arbitrary input; anything
+// that is not exactly one frame returns an error.
+func DecodeFlushOp(buf []byte) (FlushOp, error) {
+	if len(buf) != flushOpLen {
+		return FlushOp{}, ErrFlushOpLen
+	}
+	var f FlushOp
+	for b := 7; b >= 0; b-- {
+		f.Barrier = f.Barrier<<8 | uint64(buf[b])
+		f.Epoch = f.Epoch<<8 | uint64(buf[8+b])
+		f.Tag = f.Tag<<8 | uint64(buf[16+b])
+	}
+	f.Status = uint16(buf[24]) | uint16(buf[25])<<8
+	return f, nil
+}

@@ -75,3 +75,42 @@ func TestBlkBatchRejectsMalformed(t *testing.T) {
 		t.Fatalf("bound truncation: %d, %v", len(got), err)
 	}
 }
+
+// FuzzDecodeFlushOp feeds arbitrary bytes to the flush-barrier decoder.
+// The OpFlushDone frame is written by the untrusted driver process — it is
+// the message that tells the kernel "your data is durable" — so the
+// decoder must never panic and must reject anything that is not exactly
+// one frame; whatever does decode must round-trip to identical bytes (no
+// redundancy for an attacker to hide in).
+func FuzzDecodeFlushOp(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, flushOpLen-1))
+	f.Add(make([]byte, flushOpLen+1))
+	f.Add(EncodeFlushOp(FlushOp{Barrier: 1, Epoch: 2, Tag: 3}))
+	f.Add(EncodeFlushOp(FlushOp{Barrier: ^uint64(0), Epoch: ^uint64(0), Tag: ^uint64(0), Status: ^uint16(0)}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fo, err := DecodeFlushOp(buf)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeFlushOp(fo), buf) {
+			t.Fatalf("decode/encode mismatch")
+		}
+	})
+}
+
+func TestFlushOpRoundTrip(t *testing.T) {
+	in := FlushOp{Barrier: 7, Epoch: 3, Tag: 1 << 40, Status: 2}
+	out, err := DecodeFlushOp(EncodeFlushOp(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatalf("%+v != %+v", in, out)
+	}
+	for _, bad := range [][]byte{nil, {1}, make([]byte, flushOpLen+1)} {
+		if _, err := DecodeFlushOp(bad); err == nil {
+			t.Fatalf("accepted %d bytes", len(bad))
+		}
+	}
+}

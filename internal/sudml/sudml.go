@@ -98,6 +98,11 @@ type Process struct {
 	// channels bypass batching, keeping one message per completion.
 	blkComp [][]blkproxy.CompRef
 
+	// flushMeta maps an in-flight flush barrier's kernel tag to the
+	// framing the OpFlush upcall carried; the completion echoes it back
+	// as OpFlushDone so the proxy's barrier accounting can verify it.
+	flushMeta map[uint64]blkproxy.FlushOp
+
 	// rxBatch accumulates, per queue, received-frame references awaiting
 	// the batched OpNetifRxBatch downcall: up to ethproxy.MaxRxBatch
 	// frames ride one ring slot. Batches flush when full and at the end
@@ -117,6 +122,7 @@ type Process struct {
 	RxBatches             uint64
 	BlkBatches            uint64
 	XmitRingDrops         uint64
+	BadFlushFrames        uint64
 
 	// Recoverable marks the process as supervised: on death its devices
 	// enter shadow recovery (parked, adoptable) instead of being
@@ -166,6 +172,7 @@ func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, 
 		pendingBlk:    make([][]uchan.Msg, len(accts)),
 		blkRetryTimer: make([]bool, len(accts)),
 		blkComp:       make([][]blkproxy.CompRef, len(accts)),
+		flushMeta:     make(map[uint64]blkproxy.FlushOp),
 	}
 	ch.SetDriverHandler(p.dispatch)
 	ch.SetKernelHandler(p.routeDowncall)
@@ -429,7 +436,10 @@ func (p *Process) dispatchBlock(q int, m uchan.Msg) *uchan.Msg {
 	case blkproxy.OpStop:
 		p.Acct.Charge(sim.CostWorkerDispatch)
 		return replyErr(m, p.blockdev.Stop())
-	case blkproxy.OpSubmit:
+	case blkproxy.OpSubmit, blkproxy.OpFlush:
+		// Flush barriers ride the same hold-queue machinery as
+		// submissions, so a full hardware queue delays — never drops —
+		// a barrier, and held work stays in order.
 		p.handleBlkSubmit(q, m)
 		return &uchan.Msg{Seq: m.Seq}
 	default:
@@ -616,12 +626,31 @@ func (p *Process) drainPendingBlkQ(q int) {
 	}
 }
 
-// tryBlkSubmit attempts one submission on hardware queue q; it reports
-// false if the queue was full (the message should be held). Invalid write
-// references complete immediately as errors.
+// tryBlkSubmit attempts one submission (or flush barrier) on hardware
+// queue q; it reports false if the queue was full (the message should be
+// held). Invalid write references complete immediately as errors.
 func (p *Process) tryBlkSubmit(q int, m uchan.Msg) bool {
+	if m.Op == blkproxy.OpFlush {
+		fo, err := blkproxy.DecodeFlushOp(m.Data)
+		if err != nil {
+			// The frame is kernel-written, so this cannot happen today —
+			// but a dropped barrier wedges the device (the kernel-side
+			// barrier waits forever), so the drop is counted and logged,
+			// never silent.
+			p.BadFlushFrames++
+			p.K.Logf("sudml: %s dropped undecodable flush frame (%v)", p.Name, err)
+			return true
+		}
+		p.flushMeta[fo.Tag] = fo
+		if err := p.blockdev.Submit(q, api.BlockRequest{Flush: true, Tag: fo.Tag}); err != nil {
+			delete(p.flushMeta, fo.Tag)
+			return false
+		}
+		return true
+	}
 	req := api.BlockRequest{
-		Write: m.Args[0]&1 != 0,
+		Write: m.Args[0]&blkproxy.SubmitWrite != 0,
+		FUA:   m.Args[0]&blkproxy.SubmitFUA != 0,
 		LBA:   m.Args[1],
 		Tag:   m.Args[5],
 	}
@@ -901,6 +930,18 @@ func (bk *umlBlockKernel) Complete(q int, tag uint64, err error, data []byte) {
 		q = 0
 	}
 	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	if fo, ok := p.flushMeta[tag]; ok {
+		// A flush barrier: deliver every completion gathered before the
+		// barrier ack, then echo the OpFlush frame back with the status —
+		// the proxy's barrier accounting verifies the echo.
+		delete(p.flushMeta, tag)
+		p.flushBlkComps()
+		if err != nil {
+			fo.Status = 1
+		}
+		_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpFlushDone, Data: blkproxy.EncodeFlushOp(fo)})
+		return
+	}
 	comp := p.completionRef(tag, err, data)
 	if comp.IOVA == 0 && len(data) > 0 && err == nil {
 		// Slice identity lost (the payload is not a registered DMA
