@@ -17,6 +17,11 @@
 //	flush     []diskperf.Result           write IOPS per (mode,Q,J,D,fsync) row
 //	recovery  []diskperf.RecoveryResult   zero errors, replay ran, drain p99
 //	                                      under -recovery-slo-us, latency in band
+//	failover  []diskperf.RecoveryResult   recovery rules, plus the kill must
+//	                                      have been served by hot-standby
+//	                                      promotion (Failovers ≥ 1) and drain
+//	                                      p99 under -failover-slo-us — the
+//	                                      tighter budget failover exists for
 //
 // With -append FILE, one JSON line per checked metric is appended to FILE
 // (sha, kind, key, metric, value, baseline) — the perf-trajectory record
@@ -38,6 +43,7 @@ import (
 type gate struct {
 	tolerance  float64
 	sloUS      float64
+	failSloUS  float64
 	sha        string
 	violations int
 	trajectory []trajLine
@@ -56,6 +62,7 @@ func main() {
 	baselines := flag.String("baselines", "bench/baselines", "directory holding the checked-in baseline JSON files")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed relative deviation from the baseline (0.15 = ±15%)")
 	sloUS := flag.Float64("recovery-slo-us", 1000, "kill-to-drained p99 budget in virtual microseconds")
+	failSloUS := flag.Float64("failover-slo-us", 150, "kill-to-drained p99 budget for hot-standby failover runs — tighter than the cold-respawn SLO because the respawn cost is pre-paid")
 	appendPath := flag.String("append", "", "append one JSON line per checked metric to this trajectory file")
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit identifier recorded in the trajectory")
 	flag.Parse()
@@ -64,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no BENCH_*.json files given")
 		os.Exit(2)
 	}
-	g := &gate{tolerance: *tolerance, sloUS: *sloUS, sha: *sha}
+	g := &gate{tolerance: *tolerance, sloUS: *sloUS, failSloUS: *failSloUS, sha: *sha}
 	for _, path := range flag.Args() {
 		kind := kindOf(path)
 		base := filepath.Join(*baselines, kind+".json")
@@ -138,13 +145,17 @@ func (g *gate) check(kind, curPath, basePath string) error {
 			}
 			return key, []metric{{"KIOPS", r.ReadKIOPS, b.ReadKIOPS, true}}
 		})
-	case "recovery":
+	case "recovery", "failover":
 		var cur, base []diskperf.RecoveryResult
 		if err := load(curPath, &cur); err != nil {
 			return err
 		}
 		if err := load(basePath, &base); err != nil {
 			return err
+		}
+		slo := g.sloUS
+		if kind == "failover" {
+			slo = g.failSloUS
 		}
 		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
 			r := cur[i]
@@ -155,10 +166,13 @@ func (g *gate) check(kind, curPath, basePath string) error {
 			if r.Replayed == 0 {
 				g.violate(kind, key, "recovery replayed nothing — the kill did not exercise the shadow path")
 			}
+			if kind == "failover" && r.Failovers == 0 {
+				g.violate(kind, key, "kill was recovered by cold respawn, not standby promotion")
+			}
 			// The SLO: kill-to-drained p99 under the budget. The budget is
 			// absolute (an application-visible stall), not baseline-relative.
-			if r.DrainP99US > g.sloUS {
-				g.violate(kind, key, "drain p99 %.1fµs exceeds the %.0fµs SLO", r.DrainP99US, g.sloUS)
+			if r.DrainP99US > slo {
+				g.violate(kind, key, "drain p99 %.1fµs exceeds the %.0fµs SLO", r.DrainP99US, slo)
 			}
 			b, ok := findRecovery(base, r)
 			if !ok {

@@ -51,6 +51,8 @@ func main() {
 	cacheBlocks := flag.Int("cache-blocks", 64, "blk: volatile write cache capacity for --fsync-every runs")
 	killAfter := flag.Duration("kill-after", 0,
 		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
+	failover := flag.Bool("failover", false,
+		"blk: with -kill-after, arm a hot standby before the run so the kill is recovered by standby promotion instead of a cold respawn (BENCH_failover.json)")
 	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
 	flag.Parse()
 
@@ -157,7 +159,15 @@ func main() {
 		if *killAfter > 0 {
 			// Recovery smoke: kill the supervised driver mid-run; record
 			// replayed requests and recovery latency (BENCH_recovery.json).
-			tb, err := diskperf.NewSupervisedTestbed(target, hw.DefaultPlatform())
+			// With -failover a hot standby is armed first, so the kill is
+			// served by promotion (BENCH_failover.json).
+			var tb *diskperf.Testbed
+			var err error
+			if *failover {
+				tb, err = diskperf.NewFailoverTestbed(target, hw.DefaultPlatform())
+			} else {
+				tb, err = diskperf.NewSupervisedTestbed(target, hw.DefaultPlatform())
+			}
 			if err != nil {
 				return err
 			}
@@ -169,6 +179,9 @@ func main() {
 			fmt.Print(res)
 			if res.Errors != 0 {
 				return fmt.Errorf("recovery surfaced %d application-visible errors", res.Errors)
+			}
+			if *failover && res.Failovers == 0 {
+				return fmt.Errorf("standby was armed but the kill was recovered by cold respawn")
 			}
 			if *jsonPath != "" {
 				blob, err := json.MarshalIndent([]diskperf.RecoveryResult{res}, "", "  ")

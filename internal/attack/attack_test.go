@@ -162,6 +162,25 @@ func TestDriverReviveTransparentUnderEverySUDConfig(t *testing.T) {
 	run(t, DriverRevive, cfgSUDNoACS(), false)
 }
 
+func TestFlappingLiarConfinedUnderEverySUDConfig(t *testing.T) {
+	// A crash-looping driver betting on unbounded restarts (or on a
+	// lifetime counter poisoned by old isolated faults), and a flush liar
+	// betting on counter laundering across incarnations: the trusted
+	// baseline is a reboot loop by construction; under SUD the sliding
+	// restart window, the backoff ladder and the evidence observer
+	// converge on quarantine — the device survives down, parked work
+	// fails with ErrDown, and the sibling driver's throughput stays in
+	// band — on every platform flavour.
+	run(t, FlappingLiar, cfgKernel(), true)
+	o := run(t, FlappingLiar, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, FlappingLiar, cfgSUDRemap(), false)
+	run(t, FlappingLiar, cfgSUDAMD(), false)
+	run(t, FlappingLiar, cfgSUDNoACS(), false)
+}
+
 func TestRunMatrixCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix is slow")
@@ -170,7 +189,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 13*len(Configs()) {
+	if len(out) != 14*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be

@@ -253,7 +253,7 @@ func RunMatrix() ([]Outcome, error) {
 	attacks := []func(Config) (Outcome, error){
 		DMAWrite, DMARead, P2PDMA, MSIForgeStorm, DeviceIRQFlood,
 		ConfigEscape, Exhaustion, TOCTOUAttack, RingFlood, RSSSteer,
-		BlkRedirect, DriverRevive, FlushLie,
+		BlkRedirect, DriverRevive, FlushLie, FlappingLiar,
 	}
 	var out []Outcome
 	for _, a := range attacks {

@@ -1,0 +1,241 @@
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/devices/nvme"
+	"sud/internal/drivers/e1000e"
+	"sud/internal/drivers/nvmed"
+	"sud/internal/ethlink"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+	"sud/internal/sudml/policy"
+)
+
+// FlappingLiar is the supervisor-policy row of the matrix: a driver that
+// tries to turn the recovery machinery itself into the attack surface, two
+// ways.
+//
+// The FLAPPER crash-loops: it dies the instant each recovery completes,
+// betting that the supervisor either restarts it forever (pinning the
+// device in a park/replay churn and burning kernel CPU) or — under the old
+// lifetime counter — that isolated faults from weeks past have already
+// eaten the budget and one crash kills supervision. The policy plane
+// defeats both readings: restarts are counted in a sliding window, the
+// backoff ladder paces the churn, and when the window budget is exhausted
+// the verdict is quarantine — the device survives registered-but-down,
+// parked work fails cleanly with ErrDown, and a sibling driver's traffic on
+// the same machine stays inside its normal band throughout.
+//
+// The LIAR acks flush barriers without executing them, and crash-loops so
+// each fresh incarnation's proxy counters start at zero (laundering the
+// evidence). The supervisor's evidence observer compares the proxy's
+// acked-flush count against the device's own ground truth each health
+// check, so the very first lie that survives to a check convicts the
+// driver outright — quarantine, not another restart for the flapping to
+// launder.
+//
+// A trusted in-kernel driver has no such story: a crash loop is a reboot
+// loop, and a flush lie is silent data loss.
+func FlappingLiar(cfg Config) (Outcome, error) {
+	o := Outcome{Attack: "crash-loop flapper + flush-lie launderer", Config: cfg.Name}
+	if cfg.Mode == InKernel {
+		o.Compromised = true
+		o.Detail = "trusted driver: a crash loop is a kernel reboot loop; no budget, backoff or quarantine exists"
+		return o, nil
+	}
+	flapDetail, err := flapperConfined(cfg, &o)
+	if err != nil || o.Compromised {
+		return o, err
+	}
+	liarDetail, err := liarConvicted(cfg, &o)
+	if err != nil || o.Compromised {
+		return o, err
+	}
+	o.Detail = flapDetail + "; " + liarDetail
+	return o, nil
+}
+
+// flapWorld runs the sibling workload — a supervised e1000e transmitting a
+// closed-loop UDP stream — for runFor, alongside a supervised nvmed that
+// either serves honestly (reference) or crash-loops (attack). It returns
+// the sibling's delivered frame count and the block supervisor.
+func flapWorld(cfg Config, flap bool, runFor sim.Duration) (frames int, sup *sudml.Supervisor, ctrl *nvme.Ctrl, k *kernel.Kernel, err error) {
+	m := hw.NewMachine(cfg.Platform)
+	k = kernel.New(m)
+
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000,
+		[6]byte{2, 0, 0, 0, 0, 1}, e1000.DefaultParams())
+	m.AttachDevice(nic)
+	link := ethlink.NewGigabit(m.Loop, 300)
+	peer := &wirePeer{loop: m.Loop, link: link}
+	link.Connect(nic, peer)
+	nic.AttachLink(link, 0)
+
+	ctrl = nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(2))
+	m.AttachDevice(ctrl)
+
+	netSup, err := sudml.Supervise(k, nic, e1000e.New(), "e1000e", "eth0", 1001)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	_ = netSup
+	sup, err = sudml.SuperviseBlock(k, ctrl, nvmed.NewQ(2), "nvmed", "nvme0", 1339, 2)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	ifc, err := k.Net.Iface("eth0")
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	if err := ifc.Up(netstack.IP{10, 0, 0, 1}); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	if err := dev.Up(); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	m.Loop.RunFor(100 * sim.Microsecond)
+
+	payload := bytes.Repeat([]byte("SIBLING"), 24)
+	stopped := false
+	var send func()
+	send = func() {
+		if stopped {
+			return
+		}
+		_ = k.Net.UDPSendTo(ifc, netstack.MAC{2, 0, 0, 0, 0, 2},
+			netstack.IP{10, 0, 0, 2}, 5000, 7, payload)
+		m.Loop.After(20*sim.Microsecond, send)
+	}
+	send()
+
+	if flap {
+		sup.OnRestart = func(int) { sup.Proc().Kill() }
+		sup.Proc().Kill()
+	}
+	m.Loop.RunFor(runFor)
+	stopped = true
+	return len(peer.captured), sup, ctrl, k, nil
+}
+
+// flapperConfined runs the crash-loop half: reference sibling throughput
+// without the flapper, then the same machine with nvmed flapping.
+func flapperConfined(cfg Config, o *Outcome) (string, error) {
+	const window = 400 * sim.Millisecond
+	refFrames, _, _, _, err := flapWorld(cfg, false, window)
+	if err != nil {
+		return "", err
+	}
+	frames, sup, ctrl, k, err := flapWorld(cfg, true, window)
+	if err != nil {
+		return "", err
+	}
+
+	// Parked work and fresh I/O against the quarantined device must fail
+	// cleanly rather than hang.
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		o.Compromised = true
+		o.Detail = "flapper took the device object down with it: " + err.Error()
+		return "", nil
+	}
+	failed, done := 0, false
+	if serr := dev.ReadAt(0, func(_ []byte, rerr error) {
+		done = true
+		if rerr != nil {
+			failed++
+		}
+	}); serr != nil {
+		failed, done = 1, true
+	}
+	k.M.Loop.RunFor(2 * sim.Millisecond)
+
+	mediaIntact := ctrl.PeekMedia(0) != nil // device model still sane
+
+	if refFrames == 0 {
+		o.Compromised = true
+		o.Detail = "sibling reference run delivered no frames"
+		return "", nil
+	}
+	band := 0.15
+	devFrac := float64(frames-refFrames) / float64(refFrames)
+	switch {
+	case !sup.Quarantined || sup.LastVerdict != policy.Quarantine:
+		o.Compromised = true
+		o.Detail = fmt.Sprintf("flapper not quarantined after %d restarts — unbounded recovery churn", sup.Restarts)
+	case sup.Restarts > sup.MaxRestarts:
+		o.Compromised = true
+		o.Detail = fmt.Sprintf("flapper extracted %d restarts from a budget of %d", sup.Restarts, sup.MaxRestarts)
+	case dev.IsUp():
+		o.Compromised = true
+		o.Detail = "quarantined device still reports up"
+	case !done || failed == 0:
+		o.Compromised = true
+		o.Detail = "I/O against the quarantined device hung instead of failing with ErrDown"
+	case !mediaIntact:
+		o.Compromised = true
+		o.Detail = "media lost across the crash loop"
+	case devFrac < -band || devFrac > band:
+		o.Compromised = true
+		o.Detail = fmt.Sprintf("sibling throughput moved %.1f%% under the flapper (band ±%.0f%%, %d vs %d frames)",
+			devFrac*100, band*100, frames, refFrames)
+	}
+	return fmt.Sprintf("flapper: quarantined after %d restarts, sibling %d vs %d frames (%+.1f%%)",
+		sup.Restarts, frames, refFrames, devFrac*100), nil
+}
+
+// liarConvicted runs the flush-lie half: a supervised driver that acks
+// barriers it never executed is convicted by the evidence observer at the
+// first health check — the crash-loop laundering never gets a chance.
+func liarConvicted(cfg Config, o *Outcome) (string, error) {
+	m := hw.NewMachine(cfg.Platform)
+	k := kernel.New(m)
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.CachedParams(1, 16))
+	m.AttachDevice(ctrl)
+	sup, err := sudml.SuperviseBlock(k, ctrl, NewEvilFlush(), "evil-nvmed", "nvme0", 1339, 1)
+	if err != nil {
+		return "", err
+	}
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		return "", err
+	}
+	if err := dev.Up(); err != nil {
+		return "", err
+	}
+	m.Loop.RunFor(100 * sim.Microsecond)
+
+	// The application does everything right: a write, then fsync.
+	buf := bytes.Repeat([]byte{0x5D}, nvme.BlockSize)
+	_ = dev.WriteAt(1, buf, func(error) {})
+	m.Loop.RunFor(200 * sim.Microsecond)
+	flushAcked := false
+	_ = dev.Flush(func(err error) { flushAcked = err == nil })
+
+	// Two health-check periods: the observer compares the proxy's acked
+	// flushes against the device's ground truth and convicts.
+	m.Loop.RunFor(15 * sim.Millisecond)
+
+	switch {
+	case !flushAcked:
+		o.Compromised = true
+		o.Detail = "liar setup failed: the flush was never acked, nothing to convict"
+	case !sup.Quarantined:
+		o.Compromised = true
+		o.Detail = fmt.Sprintf("flush lie not convicted (restarts=%d): acked barriers with zero device flushes went unnoticed", sup.Restarts)
+	case sup.Restarts != 0:
+		o.Compromised = true
+		o.Detail = fmt.Sprintf("liar was restarted %d times instead of convicted — counter laundering works", sup.Restarts)
+	}
+	return fmt.Sprintf("liar: convicted at first check (%s)", sup.Policy.Reason()), nil
+}

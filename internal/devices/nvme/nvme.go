@@ -337,6 +337,13 @@ func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, p Params) *Ctrl {
 // Geometry reports the modelled media shape.
 func (c *Ctrl) Geometry() (blockSize int, blocks uint64) { return BlockSize, c.blocks }
 
+// FlushGroundTruth reports the device-side halves of flush-lie
+// attribution: CmdFlush commands actually executed and writes that carried
+// the FUA flag. The supervisor's policy plane compares these against the
+// proxy's issued/acked counters; a driver that acked more barriers than
+// the device executed has lied about durability.
+func (c *Ctrl) FlushGroundTruth() (flushes, fuaWrites uint64) { return c.Flushes, c.FUAWrites }
+
 // SeedMedia fills block lba with data (test/harness backdoor standing in
 // for a factory image; real traffic goes through the queues).
 func (c *Ctrl) SeedMedia(lba uint64, data []byte) {

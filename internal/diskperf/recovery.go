@@ -49,6 +49,21 @@ func NewSupervisedTestbed(queues int, plat hw.Platform) (*Testbed, error) {
 	return tb, nil
 }
 
+// NewFailoverTestbed boots the supervised block testbed and arms a hot
+// standby before returning: a kill of the driver process is graded to
+// failover (standby promotion) instead of a cold respawn, so the
+// kill-to-drained path pays only probe + bring-up + replay.
+func NewFailoverTestbed(queues int, plat hw.Platform) (*Testbed, error) {
+	tb, err := NewSupervisedTestbed(queues, plat)
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Sup.ArmStandby(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
 // RecoveryResult is one kill-during-saturation measurement: how invisibly
 // the block path survived a kill -9 of its driver process.
 type RecoveryResult struct {
@@ -57,6 +72,9 @@ type RecoveryResult struct {
 	KillAfterUS float64
 	// Restarts is the supervised restart count (1 for a single kill).
 	Restarts int
+	// Failovers counts recoveries served by hot-standby promotion (1 when
+	// the testbed was armed with NewFailoverTestbed, 0 for cold respawn).
+	Failovers int
 	// Replayed is the number of logged in-flight requests re-submitted to
 	// the restarted process.
 	Replayed int
@@ -77,9 +95,13 @@ type RecoveryResult struct {
 }
 
 func (r RecoveryResult) String() string {
+	kind := "restart(s)"
+	if r.Failovers > 0 {
+		kind = "failover(s)"
+	}
 	return fmt.Sprintf(
-		"BLOCK_RECOVERY Q=%d J=%d D=%d kill@%.0fµs: %d restart(s), %d replayed, recovered in %.1fµs (drain p50 %.1fµs p99 %.1fµs), %d completed, %d errors\n",
-		r.Queues, r.Jobs, r.Depth, r.KillAfterUS, r.Restarts, r.Replayed,
+		"BLOCK_RECOVERY Q=%d J=%d D=%d kill@%.0fµs: %d %s, %d replayed, recovered in %.1fµs (drain p50 %.1fµs p99 %.1fµs), %d completed, %d errors\n",
+		r.Queues, r.Jobs, r.Depth, r.KillAfterUS, r.Restarts, kind, r.Replayed,
 		r.RecoveryLatencyUS, r.DrainP50US, r.DrainP99US, r.Completed, r.Errors)
 }
 
@@ -188,6 +210,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 	stopped = true
 
 	res.Restarts = tb.Sup.Restarts
+	res.Failovers = tb.Sup.Failovers
 	res.Replayed = tb.Sup.LastReplayed
 	if recoveredAt != 0 {
 		res.RecoveryLatencyUS = float64(recoveredAt-killedAt) / float64(sim.Microsecond)

@@ -64,12 +64,19 @@ type Manager struct {
 	// adopting holds devices whose driver died under supervision: they are
 	// waiting for the restarted driver's registration to adopt them.
 	adopting map[string]*Dev
+
+	// standbys holds hot-standby drivers pre-registered for a live device:
+	// the failover half of adoption. The geometry check that Register's
+	// adopt path performs at restart time runs here at arm time instead,
+	// so promotion after a kill is a table move, not a probe.
+	standbys map[string]api.BlockDevice
 }
 
 // New returns an empty block core charging CPU to acct.
 func New(loop *sim.Loop, acct *sim.CPUAccount) *Manager {
 	return &Manager{Loop: loop, Acct: acct,
-		devs: make(map[string]*Dev), adopting: make(map[string]*Dev)}
+		devs: make(map[string]*Dev), adopting: make(map[string]*Dev),
+		standbys: make(map[string]api.BlockDevice)}
 }
 
 // Register adds a block device for a driver. Names must be unique (proxy
@@ -113,6 +120,7 @@ func (m *Manager) Unregister(name string) {
 	}
 	delete(m.devs, name)
 	delete(m.adopting, name)
+	delete(m.standbys, name)
 	d.up = false
 	d.recovering = false
 	d.replay = nil
@@ -184,6 +192,100 @@ func (m *Manager) adopt(name string, geom api.BlockGeometry) *Dev {
 	}
 	delete(m.adopting, name)
 	return d
+}
+
+// RegisterStandby pre-registers a hot-standby driver for the named live
+// device — before any kill. The identity check that protects adoption runs
+// now: the standby must mirror the device's exact geometry, so a failover
+// can never hand one device's request log to a driver for different media.
+// One standby may be armed per device at a time.
+func (m *Manager) RegisterStandby(name string, geom api.BlockGeometry, drv api.BlockDevice) error {
+	d, ok := m.devs[name]
+	if !ok {
+		return fmt.Errorf("blockdev: no device %q to stand by for", name)
+	}
+	if d.Geom != geom {
+		return fmt.Errorf("blockdev: standby geometry %+v does not match %s's %+v",
+			geom, name, d.Geom)
+	}
+	if _, dup := m.standbys[name]; dup {
+		return fmt.Errorf("blockdev: device %q already has a standby", name)
+	}
+	m.standbys[name] = drv
+	return nil
+}
+
+// UnregisterStandby disarms a pre-registered standby.
+func (m *Manager) UnregisterStandby(name string) { delete(m.standbys, name) }
+
+// HasStandby reports whether a hot standby is armed for name.
+func (m *Manager) HasStandby(name string) bool {
+	_, ok := m.standbys[name]
+	return ok
+}
+
+// PromoteStandby binds the pre-registered standby driver to name's
+// recovering device: the failover half of adoption. The device must be
+// awaiting adoption (its driver died under supervision); the standby's
+// identity was verified when it registered, before the kill.
+func (m *Manager) PromoteStandby(name string) (*Dev, error) {
+	drv, ok := m.standbys[name]
+	if !ok {
+		return nil, fmt.Errorf("blockdev: no standby armed for %q", name)
+	}
+	d, ok := m.adopting[name]
+	if !ok {
+		return nil, fmt.Errorf("blockdev: device %q is not awaiting adoption", name)
+	}
+	delete(m.standbys, name)
+	delete(m.adopting, name)
+	d.drv = drv
+	return d, nil
+}
+
+// Quarantine bars name's driver while letting the device object survive:
+// supervision convicted (or gave up on) the driver, so every parked,
+// in-flight and logged request fails with ErrDown instead of waiting for a
+// restart that will never come, the shadow log is dropped, and no later
+// registration can adopt the device. Unlike Unregister the device stays
+// visible — down, driverless, for the admin — and its epoch is bumped once
+// more so nothing the barred incarnation still holds can reach it.
+func (m *Manager) Quarantine(name string) {
+	d, ok := m.devs[name]
+	if !ok {
+		return
+	}
+	delete(m.adopting, name)
+	delete(m.standbys, name)
+	d.up = false
+	d.recovering = false
+	d.epoch++
+	d.replay = nil
+	if d.shadow != nil {
+		d.shadow.Reset()
+	}
+	// A dispatched flush fails through its in-flight entry below; an
+	// undispatched or queued one fails here (same discipline as Unregister).
+	if b := d.barrier; b != nil && !b.dispatched {
+		d.barrier = nil
+		b.cb(ErrDown)
+	}
+	for _, b := range d.flushQ {
+		b.cb(ErrDown)
+	}
+	d.flushQ = nil
+	for tag, r := range d.inflight {
+		delete(d.inflight, tag)
+		r.cb(nil, ErrDown)
+	}
+	d.barrier = nil
+	for q := range d.queues {
+		qc := &d.queues[q]
+		for _, w := range qc.waiting {
+			w.cb(nil, ErrDown)
+		}
+		qc.waiting = nil
+	}
 }
 
 // Dev looks up a device by name.

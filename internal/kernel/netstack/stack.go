@@ -34,6 +34,11 @@ type Stack struct {
 	// awaiting adoption by the restarted driver's registration.
 	adopting map[string]*Iface
 
+	// standbys holds hot-standby drivers pre-registered for a live
+	// interface (the failover half of adoption): the MAC identity check
+	// adoption performs at restart time runs at arm time instead.
+	standbys map[string]api.NetDevice
+
 	// Firewall, if set, inspects every received frame; returning false
 	// drops it. It runs before payload delivery, like a netfilter hook.
 	Firewall func(frame []byte) bool
@@ -53,6 +58,7 @@ func New(loop *sim.Loop, acct *sim.CPUAccount) *Stack {
 		udp:      make(map[uint16]*UDPSock),
 		tcp:      make(map[uint16]*TCPReceiver),
 		adopting: make(map[string]*Iface),
+		standbys: make(map[string]api.NetDevice),
 	}
 }
 
@@ -168,6 +174,7 @@ func (s *Stack) Unregister(name string) {
 	}
 	delete(s.ifaces, name)
 	delete(s.adopting, name)
+	delete(s.standbys, name)
 }
 
 // BeginRecovery marks name's interface as recovering: its driver process
@@ -218,6 +225,76 @@ func (s *Stack) adopt(name string, macAddr [6]byte) *Iface {
 	}
 	delete(s.adopting, name)
 	return ifc
+}
+
+// RegisterStandby pre-registers a hot-standby driver for the named live
+// interface — before any kill. The MAC identity check that protects
+// adoption runs now: a standby claiming a different hardware address is
+// not a driver for this interface.
+func (s *Stack) RegisterStandby(name string, macAddr [6]byte, dev api.NetDevice) error {
+	ifc, ok := s.ifaces[name]
+	if !ok {
+		return fmt.Errorf("netstack: no interface %q to stand by for", name)
+	}
+	if ifc.MAC != MAC(macAddr) {
+		return fmt.Errorf("netstack: standby MAC does not match %s", name)
+	}
+	if _, dup := s.standbys[name]; dup {
+		return fmt.Errorf("netstack: interface %q already has a standby", name)
+	}
+	s.standbys[name] = dev
+	return nil
+}
+
+// UnregisterStandby disarms a pre-registered standby.
+func (s *Stack) UnregisterStandby(name string) { delete(s.standbys, name) }
+
+// HasStandby reports whether a hot standby is armed for name.
+func (s *Stack) HasStandby(name string) bool {
+	_, ok := s.standbys[name]
+	return ok
+}
+
+// PromoteStandby binds the pre-registered standby driver to name's
+// recovering interface: the failover half of adoption. The interface must
+// be awaiting adoption (its driver died under supervision).
+func (s *Stack) PromoteStandby(name string) (*Iface, error) {
+	dev, ok := s.standbys[name]
+	if !ok {
+		return nil, fmt.Errorf("netstack: no standby armed for %q", name)
+	}
+	ifc, ok := s.adopting[name]
+	if !ok {
+		return nil, fmt.Errorf("netstack: interface %q is not awaiting adoption", name)
+	}
+	delete(s.standbys, name)
+	delete(s.adopting, name)
+	ifc.dev = dev
+	ifc.mqdev = nil
+	if mq, ok := dev.(api.MultiQueueNetDevice); ok {
+		ifc.mqdev = mq
+	}
+	return ifc, nil
+}
+
+// Quarantine bars name's driver while letting the interface survive:
+// recovery ends, the epoch is bumped once more, TX stays stopped and the
+// interface is left down and driverless for the admin. Unlike Unregister,
+// sockets and handles keep resolving the name.
+func (s *Stack) Quarantine(name string) {
+	ifc, ok := s.ifaces[name]
+	if !ok {
+		return
+	}
+	delete(s.adopting, name)
+	delete(s.standbys, name)
+	ifc.recovering = false
+	ifc.up = false
+	ifc.carrier = false
+	ifc.epoch++
+	for q := range ifc.queues {
+		ifc.queues[q].txStopped = true
+	}
 }
 
 // Iface looks up an interface by name.

@@ -182,6 +182,56 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	return p, nil
 }
 
+// NewStandby builds a proxy for a hot-standby driver process and
+// pre-registers it with the block core for the named LIVE device — before
+// any kill. The shared-slot pools are allocated (and their IOMMU mappings
+// established) now, at arm time; what is deferred to promotion is only the
+// binding to the device object, because the device's epoch at failover
+// does not exist yet. The geometry identity check runs here, inside
+// RegisterStandby.
+func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, geom api.BlockGeometry) (*Proxy, error) {
+	q := c.NumQueues()
+	p := &Proxy{
+		K: ki, DF: df, C: c,
+		pools:        make([]*pciaccess.Alloc, q),
+		free:         make([][]int, q),
+		stalled:      make([]bool, q),
+		tagSlot:      make(map[uint64]int),
+		QueueComps:   make([]uint64, q),
+		QueueBatches: make([]uint64, q),
+	}
+	for i := 0; i < q; i++ {
+		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
+			fmt.Sprintf("blk q%d slot pool", i), false)
+		if err != nil {
+			return nil, fmt.Errorf("blkproxy: allocating standby queue %d pool: %w", i, err)
+		}
+		p.pools[i] = pool
+		for s := 0; s < SlotsPerQueue; s++ {
+			p.free[i] = append(p.free[i], s)
+		}
+	}
+	if err := ki.Blk.RegisterStandby(name, geom, (*proxyDev)(p)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Bind attaches a promoted standby proxy to the device it now backs. It
+// must run after the block core's PromoteStandby — the device's epoch has
+// already been bumped by the primary's death, so the standby binds to the
+// NEW incarnation and the dead primary's proxy stays stale.
+func (p *Proxy) Bind(dev *blockdev.Dev) {
+	p.Dev = dev
+	p.epoch = dev.Epoch()
+	p.K.DevName = dev.Name
+}
+
+// BarrierViolations is the policy plane's flush-lie evidence: completions
+// the barrier accounting rejected, either for naming no in-flight barrier
+// or for acking one while requests dispatched before it were outstanding.
+func (p *Proxy) BarrierViolations() uint64 { return p.CompBadBarrier + p.CompBarrierEarly }
+
 // registerUnique registers the device under the requested name; on a name
 // collision it substitutes into the name's own template (trailing digits
 // stripped, like "nvme%d") until a free slot is found.

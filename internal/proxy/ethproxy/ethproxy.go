@@ -155,6 +155,51 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	return p, nil
 }
 
+// NewStandby builds a proxy for a hot-standby driver process and
+// pre-registers it with the netstack for the named LIVE interface — before
+// any kill. The TX shared pool is allocated at arm time; only the binding
+// to the interface object (whose failover epoch does not exist yet) is
+// deferred to promotion. The MAC identity check runs here, inside
+// RegisterStandby.
+func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, mac [6]byte) (*Proxy, error) {
+	pool, err := df.AllocDMA(TxSlots*TxSlotSize, "TX shared pool", false)
+	if err != nil {
+		return nil, fmt.Errorf("ethproxy: allocating standby TX pool: %w", err)
+	}
+	q := c.NumQueues()
+	p := &Proxy{
+		K: ki, DF: df, C: c, pool: pool,
+		perQueue:       TxSlots / q,
+		free:           make([][]int, q),
+		stalled:        make([]bool, q),
+		RxQueueFrames:  make([]uint64, q),
+		RxQueueBatches: make([]uint64, q),
+	}
+	for i := 0; i < p.perQueue*q; i++ {
+		qi := i / p.perQueue
+		p.free[qi] = append(p.free[qi], i)
+	}
+	if err := ki.Net.RegisterStandby(name, mac, (*proxyDev)(p)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Bind attaches a promoted standby proxy to the interface it now backs. It
+// must run after the netstack's PromoteStandby — the interface epoch has
+// already been bumped by the primary's death, so the standby binds to the
+// NEW incarnation and the dead primary's proxy stays stale.
+func (p *Proxy) Bind(ifc *netstack.Iface) {
+	p.Ifc = ifc
+	p.epoch = ifc.Epoch()
+	p.K.IfaceNm = ifc.Name
+}
+
+// StaleEpochDowncalls is the policy plane's zombie-incarnation evidence:
+// downcalls this proxy rejected because the interface moved on to a newer
+// driver incarnation.
+func (p *Proxy) StaleEpochDowncalls() uint64 { return p.RxStaleEpoch }
+
 // registerUnique registers the netdev under the requested name; on a name
 // collision it substitutes into the name's own template (trailing digits
 // stripped, like the kernel's "eth%d") until a free slot is found. Any

@@ -66,6 +66,7 @@ type DeviceFile struct {
 	ackPending         bool
 	maskedWhilePending bool
 	stormed            bool
+	attached           bool
 
 	// Counters for the security evaluation.
 	FilteredConfigWrites uint64
@@ -80,6 +81,18 @@ type DeviceFile struct {
 // to acct. A fresh, empty IOMMU domain is attached: from this instant the
 // device can DMA nowhere until the driver allocates buffers.
 func Open(k *kernel.Kernel, dev pci.Device, uid int, acct *sim.CPUAccount) *DeviceFile {
+	df := OpenDetached(k, dev, uid, acct)
+	df.AttachDevice()
+	return df
+}
+
+// OpenDetached creates the device files and the process's IOMMU domain but
+// leaves the device attached to whatever domain it already has. This is the
+// hot-standby path: the standby builds its DMA mappings (slot pools, ring
+// buffers) in its own domain while the live primary still owns the device's
+// bus identity; AttachDevice completes the switch at promotion, after the
+// primary is dead and detached.
+func OpenDetached(k *kernel.Kernel, dev pci.Device, uid int, acct *sim.CPUAccount) *DeviceFile {
 	df := &DeviceFile{
 		K:        k,
 		Dev:      dev,
@@ -97,8 +110,17 @@ func Open(k *kernel.Kernel, dev pci.Device, uid int, acct *sim.CPUAccount) *Devi
 			panic(err) // fresh domain; cannot collide
 		}
 	}
-	k.M.IOMMU.Attach(dev.BDF(), df.Dom)
 	return df
+}
+
+// AttachDevice points the device's bus identity at this process's IOMMU
+// domain. Idempotent; no-op after Close.
+func (df *DeviceFile) AttachDevice() {
+	if df.closed || df.attached {
+		return
+	}
+	df.K.M.IOMMU.Attach(df.Dev.BDF(), df.Dom)
+	df.attached = true
 }
 
 func (df *DeviceFile) syscall(extra sim.Duration) {
@@ -520,7 +542,13 @@ func (df *DeviceFile) Close() {
 	}
 	df.allocs = nil
 	df.usedPages = 0
-	df.K.M.IOMMU.Attach(df.Dev.BDF(), nil)
+	if df.attached {
+		// Only the domain owner detaches the bus identity: a never-promoted
+		// standby closing must not rip the attachment out from under the
+		// live primary.
+		df.K.M.IOMMU.Attach(df.Dev.BDF(), nil)
+		df.attached = false
+	}
 	df.K.M.IOMMU.InvalidateDevice(df.Dev.BDF())
 }
 

@@ -1,0 +1,281 @@
+package sudml_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sud/internal/proxy/blkproxy"
+	"sud/internal/sim"
+	"sud/internal/sudml/policy"
+	"sud/internal/uchan"
+)
+
+// TestFailoverBlockInvisible: with a hot standby armed before the kill, a
+// kill -9 mid-saturation is graded to failover — the standby adopts the
+// device through its pre-registered identity, replay completes everything
+// exactly once, and a fresh standby is re-armed for the next fault.
+func TestFailoverBlockInvisible(t *testing.T) {
+	for _, queues := range []int{1, 4} {
+		w := newSupBlkWorld(t, queues)
+		if err := w.sup.ArmStandby(); err != nil {
+			t.Fatalf("Q=%d: arm standby: %v", queues, err)
+		}
+		if w.sup.StandbyProc() == nil || !w.sup.StandbyProc().Standby() {
+			t.Fatalf("Q=%d: standby not armed", queues)
+		}
+		const span = 40
+		for lba := uint64(0); lba < span; lba++ {
+			w.ctrl.SeedMedia(lba, block(byte(lba)))
+		}
+		st := &satStats{}
+		saturate(w, span, 120, st)
+		w.m.Loop.RunFor(2 * sim.Millisecond)
+		if w.dev.InFlight() == 0 {
+			t.Fatalf("Q=%d: no requests in flight at kill time", queues)
+		}
+		primary := w.sup.Proc()
+		w.sup.Proc().Kill()
+		w.m.Loop.RunFor(30 * sim.Millisecond)
+		st.stopped = true
+
+		if w.sup.Failovers != 1 {
+			t.Fatalf("Q=%d: failovers = %d, want 1", queues, w.sup.Failovers)
+		}
+		if w.sup.LastVerdict != policy.Failover {
+			t.Fatalf("Q=%d: last verdict = %v, want failover", queues, w.sup.LastVerdict)
+		}
+		if w.sup.Proc() == primary {
+			t.Fatalf("Q=%d: supervisor did not swap to the standby process", queues)
+		}
+		if w.sup.LastReplayed == 0 {
+			t.Fatalf("Q=%d: nothing replayed across the failover", queues)
+		}
+		if st.readErrs != 0 || st.writeErrs != 0 {
+			t.Fatalf("Q=%d: %d read / %d write errors surfaced to callers",
+				queues, st.readErrs, st.writeErrs)
+		}
+		if st.corrupt != 0 {
+			t.Fatalf("Q=%d: %d reads returned another block's data", queues, st.corrupt)
+		}
+		if st.reads < 500 {
+			t.Fatalf("Q=%d: only %d reads completed (failover did not resume traffic)",
+				queues, st.reads)
+		}
+		for lba := uint64(0); lba < span; lba++ {
+			if !bytes.Equal(w.ctrl.PeekMedia(lba), block(byte(lba))) {
+				t.Fatalf("Q=%d: media corrupted at LBA %d after failover", queues, lba)
+			}
+		}
+		// A fresh standby is re-armed for the next fault.
+		if w.sup.StandbyProc() == nil {
+			t.Fatalf("Q=%d: no standby re-armed after failover", queues)
+		}
+		w.sup.Stop()
+	}
+}
+
+// TestStandbyAdoptionRejectsStaleDowncall: a completion signed by the dead
+// primary's proxy arriving after the standby has adopted the device must be
+// dropped by the epoch check — never matched against the standby's live
+// tags.
+func TestStandbyAdoptionRejectsStaleDowncall(t *testing.T) {
+	w := newSupBlkWorld(t, 2)
+	if err := w.sup.ArmStandby(); err != nil {
+		t.Fatal(err)
+	}
+	w.ctrl.SeedMedia(5, block(0xAB))
+
+	completions := 0
+	var got []byte
+	if err := w.dev.ReadAtQ(5, 0, func(data []byte, err error) {
+		completions++
+		if err == nil {
+			got = append([]byte(nil), data...)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.m.Loop.RunFor(50 * sim.Microsecond) // the submit reaches the primary
+	oldProxy := w.sup.Proc().Blk
+	w.sup.Proc().Kill()
+	w.m.Loop.RunFor(20 * sim.Millisecond) // failover + replay complete
+
+	if w.sup.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", w.sup.Failovers)
+	}
+	// The dead primary tries to complete tag 0 — replayed and live again in
+	// the standby incarnation — with a bogus payload.
+	oldProxy.HandleDowncall(0, uchan.Msg{Op: blkproxy.OpComplete,
+		Data: block(0xEE), Args: [6]uint64{0, 0}})
+	if oldProxy.CompStaleEpoch == 0 {
+		t.Fatal("stale-epoch completion not counted")
+	}
+	if completions != 1 {
+		t.Fatalf("request completed %d times", completions)
+	}
+	if !bytes.Equal(got, block(0xAB)) {
+		t.Fatal("read did not return the media's data after failover")
+	}
+	// The promoted standby's proxy is a different incarnation and serves.
+	if w.sup.Proc().Blk == oldProxy {
+		t.Fatal("failover did not produce a fresh proxy")
+	}
+	ok := false
+	if err := w.dev.ReadAt(5, func(_ []byte, err error) { ok = err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	w.m.Loop.RunFor(5 * sim.Millisecond)
+	if !ok {
+		t.Fatal("device wedged after stale completion")
+	}
+	w.sup.Stop()
+}
+
+// TestManyIsolatedKillsSurviveSupervision is the regression test for the
+// lifetime-restart-counter bug: ten kill -9s spread over a long healthy run
+// must each be recovered — isolated faults age out of the sliding restart
+// window and never exhaust the budget, so supervision survives far past
+// MaxRestarts total restarts.
+func TestManyIsolatedKillsSurviveSupervision(t *testing.T) {
+	w := newSupBlkWorld(t, 2)
+	const kills = 10
+	if kills <= w.sup.MaxRestarts {
+		t.Fatalf("test must exceed the window budget (%d kills vs budget %d)",
+			kills, w.sup.MaxRestarts)
+	}
+	w.ctrl.SeedMedia(3, block(0x5A))
+	for i := 0; i < kills; i++ {
+		w.sup.Proc().Kill()
+		// 100ms of healthy service between faults — well past the
+		// 500ms/8 window density and the HealthyAfter threshold.
+		w.m.Loop.RunFor(100 * sim.Millisecond)
+		if w.sup.Quarantined {
+			t.Fatalf("quarantined after %d isolated kills (budget %d): %s",
+				i+1, w.sup.MaxRestarts, w.sup.Policy.Reason())
+		}
+		ok := false
+		if err := w.dev.ReadAt(3, func(data []byte, err error) {
+			ok = err == nil && bytes.Equal(data, block(0x5A))
+		}); err != nil {
+			t.Fatalf("kill %d: submit failed: %v", i+1, err)
+		}
+		w.m.Loop.RunFor(2 * sim.Millisecond)
+		if !ok {
+			t.Fatalf("kill %d: device not serving after recovery", i+1)
+		}
+	}
+	if w.sup.Restarts != kills {
+		t.Fatalf("restarts = %d, want %d", w.sup.Restarts, kills)
+	}
+	if w.sup.Quarantined {
+		t.Fatal("supervision gave up on isolated faults")
+	}
+	w.sup.Stop()
+}
+
+// TestSingleQueueWedgeDetected: a driver serving three of four queues at
+// full rate while one service thread is wedged must still be flagged — the
+// per-queue watermarks see queue 2's backlog persist with zero served
+// progress even though the aggregate counters race ahead.
+func TestSingleQueueWedgeDetected(t *testing.T) {
+	w := newSupBlkWorld(t, 4)
+	const span = 16
+	for lba := uint64(0); lba < span; lba++ {
+		w.ctrl.SeedMedia(lba, block(byte(lba)))
+	}
+	// Wedge queue 2's service thread only.
+	w.sup.Proc().HangQueue(2)
+
+	// Pile work onto the wedged queue (it parks behind the hang) and keep
+	// the siblings busy with closed-loop traffic so the aggregate counters
+	// keep moving.
+	wedgedDone, wedgedErrs := 0, 0
+	for i := 0; i < 32; i++ {
+		lba := uint64(i) % span
+		if err := w.dev.ReadAtQ(lba, 2, func(_ []byte, err error) {
+			if err != nil {
+				wedgedErrs++
+			} else {
+				wedgedDone++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	siblingReads := 0
+	var pump func(q int, seq uint64)
+	pump = func(q int, seq uint64) {
+		lba := seq % span
+		if err := w.dev.ReadAtQ(lba, q, func(_ []byte, err error) {
+			if err == nil {
+				siblingReads++
+			}
+			w.m.Loop.After(200, func() { pump(q, seq+1) })
+		}); err != nil {
+			w.m.Loop.After(10*sim.Microsecond, func() { pump(q, seq) })
+		}
+	}
+	for _, q := range []int{0, 1, 3} {
+		for j := 0; j < 8; j++ {
+			pump(q, uint64(j))
+		}
+	}
+
+	// Two health-check periods (5ms each) plus slack: the wedge must be
+	// detected and recovered within this budget.
+	w.m.Loop.RunFor(20 * sim.Millisecond)
+	if w.sup.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (single-queue wedge undetected)", w.sup.Restarts)
+	}
+	if siblingReads == 0 {
+		t.Fatal("sibling queues made no progress (hang was not queue-local)")
+	}
+	// The parked reads on the wedged queue were replayed into the fresh
+	// incarnation and complete without error.
+	w.m.Loop.RunFor(10 * sim.Millisecond)
+	if wedgedErrs != 0 {
+		t.Fatalf("%d wedged-queue reads surfaced errors", wedgedErrs)
+	}
+	if wedgedDone != 32 {
+		t.Fatalf("wedged-queue reads completed %d/32 after recovery", wedgedDone)
+	}
+	w.sup.Stop()
+}
+
+// TestCrashLoopWalksBackoffLadderToQuarantine: a driver that dies the
+// instant it comes up walks restart → backoff (doubling) → quarantine, with
+// the device surviving quarantine registered but down.
+func TestCrashLoopWalksBackoffLadderToQuarantine(t *testing.T) {
+	w := newSupBlkWorld(t, 1)
+	sawBackoff := false
+	w.sup.OnRestart = func(int) {
+		if w.sup.LastVerdict == policy.RestartBackoff {
+			sawBackoff = true
+		}
+		w.sup.Proc().Kill() // flap: die the instant recovery completes
+	}
+	w.sup.Proc().Kill()
+	w.m.Loop.RunFor(600 * sim.Millisecond)
+
+	if !w.sup.Quarantined {
+		t.Fatalf("crash-looping driver not quarantined (restarts = %d)", w.sup.Restarts)
+	}
+	if !sawBackoff {
+		t.Fatal("crash loop never graded to restart-with-backoff")
+	}
+	if w.sup.Restarts != w.sup.MaxRestarts {
+		t.Fatalf("restarts = %d, want the window budget %d",
+			w.sup.Restarts, w.sup.MaxRestarts)
+	}
+	// Quarantine leaves the device present, down, and cleanly failing.
+	d, err := w.k.Blk.Dev("nvme0")
+	if err != nil {
+		t.Fatalf("quarantined device must survive registered: %v", err)
+	}
+	if d.IsUp() {
+		t.Fatal("quarantined device must be down")
+	}
+	// Stop() after quarantine is an idempotent no-op.
+	w.sup.Stop()
+	w.sup.Stop()
+}

@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"sud/internal/sim"
+)
+
+func cfg() Config {
+	return Config{
+		WindowBudget:  3,
+		RestartWindow: 100 * sim.Millisecond,
+		BackoffBase:   1 * sim.Millisecond,
+		BackoffMax:    8 * sim.Millisecond,
+		HealthyAfter:  10 * sim.Millisecond,
+		StormLimit:    3,
+		StaleLimit:    16,
+	}
+}
+
+// TestVerdictTransitions replays the canonical crash-loop sequence in
+// deterministic virtual time: the first death restarts immediately, each
+// consecutive crash-loop death doubles the backoff, and exhausting the
+// window budget converges on quarantine.
+func TestVerdictTransitions(t *testing.T) {
+	e := NewEngine(cfg())
+	now := sim.Time(0)
+
+	d := e.OnDeath(now, false, "died")
+	if d.Verdict != Restart || d.Delay != 0 {
+		t.Fatalf("first death: %v delay %v, want immediate restart", d.Verdict, d.Delay)
+	}
+	e.RecordRestart(now)
+
+	// Death 1 ms after the restart: crash loop, ladder starts at base.
+	now += 1 * sim.Millisecond
+	d = e.OnDeath(now, false, "died")
+	if d.Verdict != RestartBackoff || d.Delay != 1*sim.Millisecond {
+		t.Fatalf("crash-loop death: %v delay %v, want backoff 1ms", d.Verdict, d.Delay)
+	}
+	e.RecordRestart(now + d.Delay)
+
+	// Immediate death again: the ladder doubles.
+	now += d.Delay
+	d = e.OnDeath(now, false, "died")
+	if d.Verdict != RestartBackoff || d.Delay != 2*sim.Millisecond {
+		t.Fatalf("second crash-loop death: %v delay %v, want backoff 2ms", d.Verdict, d.Delay)
+	}
+	e.RecordRestart(now + d.Delay)
+
+	// Third restart is in the window: the budget (3) is exhausted.
+	now += d.Delay
+	d = e.OnDeath(now, false, "died")
+	if d.Verdict != Quarantine {
+		t.Fatalf("budget-exhausted death: %v, want quarantine", d.Verdict)
+	}
+	if !e.Quarantined() || !strings.Contains(e.Reason(), "crash loop") {
+		t.Fatalf("engine not quarantined (reason %q)", e.Reason())
+	}
+	// Quarantine is terminal.
+	if d := e.OnDeath(now+sim.Second, true, "died"); d.Verdict != Quarantine {
+		t.Fatalf("post-quarantine death: %v, want quarantine", d.Verdict)
+	}
+}
+
+// TestBackoffCapsAndResets: the ladder saturates at BackoffMax and resets
+// after sustained health.
+func TestBackoffCapsAndResets(t *testing.T) {
+	c := cfg()
+	c.WindowBudget = 100 // keep the budget out of the way
+	e := NewEngine(c)
+	now := sim.Time(0)
+	e.RecordRestart(now)
+	var last sim.Duration
+	for i := 0; i < 6; i++ {
+		now += 1 * sim.Millisecond
+		d := e.OnDeath(now, false, "died")
+		if d.Verdict != RestartBackoff {
+			t.Fatalf("death %d: %v, want backoff", i, d.Verdict)
+		}
+		last = d.Delay
+		e.RecordRestart(now + d.Delay)
+		now += d.Delay
+	}
+	if last != c.BackoffMax {
+		t.Fatalf("ladder topped out at %v, want cap %v", last, c.BackoffMax)
+	}
+	// Sustained health: the next death is a fresh fault again.
+	now += 2 * c.HealthyAfter
+	if d := e.OnDeath(now, false, "died"); d.Verdict != Restart {
+		t.Fatalf("death after sustained health: %v, want immediate restart", d.Verdict)
+	}
+}
+
+// TestSlidingWindowForgetsOldRestarts: kills separated by healthy service
+// never exhaust the budget, no matter how many accumulate over a lifetime.
+func TestSlidingWindowForgetsOldRestarts(t *testing.T) {
+	e := NewEngine(cfg()) // budget 3 within 100 ms
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		d := e.OnDeath(now, false, "died")
+		if d.Verdict != Restart {
+			t.Fatalf("kill %d at %v: %v, want restart (in window: %d)",
+				i, now, d.Verdict, e.InWindow(now))
+		}
+		e.RecordRestart(now)
+		now += 60 * sim.Millisecond // at most 2 restarts ever share a window
+	}
+	if e.Quarantined() {
+		t.Fatal("isolated kills exhausted the lifetime budget")
+	}
+}
+
+// TestFailoverPreferredWhenArmed: a fresh fault uses the hot standby; a
+// crash loop does not consume it.
+func TestFailoverPreferredWhenArmed(t *testing.T) {
+	e := NewEngine(cfg())
+	if d := e.OnDeath(0, true, "died"); d.Verdict != Failover {
+		t.Fatalf("fresh death with standby: %v, want failover", d.Verdict)
+	}
+	e.RecordRestart(0)
+	if d := e.OnDeath(1*sim.Millisecond, true, "died"); d.Verdict != RestartBackoff {
+		t.Fatalf("crash-loop death with standby: %v, want backoff (spare the standby)", d.Verdict)
+	}
+}
+
+// TestEvidenceConviction: flush lies, storm trips and stale-epoch floods
+// convict directly, and conviction turns every later verdict into
+// quarantine.
+func TestEvidenceConviction(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Evidence
+		want string
+	}{
+		{"barrier violations", Evidence{BarrierViolations: 1}, "flush lie"},
+		{"acked > executed", Evidence{FlushesAcked: 5, FlushesExecuted: 3}, "flush lie"},
+		{"storm trips", Evidence{StormTrips: 3}, "interrupt storm"},
+		{"stale flood", Evidence{StaleEpoch: 16}, "stale-epoch flood"},
+	}
+	for _, tc := range cases {
+		e := NewEngine(cfg())
+		if !e.Observe(tc.ev) {
+			t.Fatalf("%s: evidence did not convict", tc.name)
+		}
+		if !strings.Contains(e.Reason(), tc.want) {
+			t.Fatalf("%s: reason %q does not name %q", tc.name, e.Reason(), tc.want)
+		}
+		if d := e.OnDeath(0, true, "died"); d.Verdict != Quarantine {
+			t.Fatalf("%s: post-conviction verdict %v, want quarantine", tc.name, d.Verdict)
+		}
+	}
+	// Healthy counters never convict.
+	e := NewEngine(cfg())
+	if e.Observe(Evidence{FlushesAcked: 7, FlushesExecuted: 7, StormTrips: 2, StaleEpoch: 2}) {
+		t.Fatal("healthy evidence convicted the driver")
+	}
+}

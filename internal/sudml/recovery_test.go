@@ -13,6 +13,7 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
+	"sud/internal/sudml/policy"
 	"sud/internal/uchan"
 )
 
@@ -257,10 +258,12 @@ func TestBlockDoubleKillDuringReplay(t *testing.T) {
 	}
 }
 
-// TestBlockUnregisterWhileRecoveringFailsParked: when supervision gives up
-// mid-recovery (crash loop), the parked requests must fail with ErrDown
-// rather than wait forever, and the device must be gone.
-func TestBlockUnregisterWhileRecoveringFailsParked(t *testing.T) {
+// TestBlockQuarantineFailsParked: when supervision gives up (crash loop,
+// restart budget exhausted), the parked requests must fail with ErrDown
+// rather than wait forever — and under quarantine the device *survives*,
+// registered but down and driverless, so the admin can inspect it and a
+// fixed driver can later reclaim it.
+func TestBlockQuarantineFailsParked(t *testing.T) {
 	w := newSupBlkWorld(t, 2)
 	w.sup.MaxRestarts = 0 // first death exhausts the restart budget
 	errs := 0
@@ -281,7 +284,28 @@ func TestBlockUnregisterWhileRecoveringFailsParked(t *testing.T) {
 	if errs != pending {
 		t.Fatalf("%d/%d parked requests failed after give-up", errs, pending)
 	}
-	if _, err := w.k.Blk.Dev("nvme0"); err == nil {
-		t.Fatal("device still registered after supervision gave up")
+	if !w.sup.Quarantined {
+		t.Fatal("supervisor not quarantined after budget exhaustion")
+	}
+	if w.sup.LastVerdict != policy.Quarantine {
+		t.Fatalf("last verdict = %v, want quarantine", w.sup.LastVerdict)
+	}
+	d, err := w.k.Blk.Dev("nvme0")
+	if err != nil {
+		t.Fatalf("quarantined device must survive registered: %v", err)
+	}
+	if d.IsUp() {
+		t.Fatal("quarantined device must be down")
+	}
+	// New I/O against the quarantined device fails immediately.
+	if err := w.dev.ReadAt(0, func(_ []byte, err error) {
+		if err != nil {
+			errs++
+		}
+	}); err == nil {
+		w.m.Loop.RunFor(1 * sim.Millisecond)
+		if errs != pending+1 {
+			t.Fatal("post-quarantine I/O neither rejected nor failed")
+		}
 	}
 }

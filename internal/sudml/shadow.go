@@ -8,23 +8,40 @@ import (
 	"sud/internal/kernel/shadow"
 	"sud/internal/pci"
 	"sud/internal/sim"
+	"sud/internal/sudml/policy"
 )
 
 // Supervisor implements the shadow-driver recovery the paper points at
 // (§2: "SUD's architecture could also use shadow drivers to gracefully
 // restart untrusted device drivers"; §5.2: "It is also relatively simple to
 // restart a crashed device driver"). It watches one driver process, detects
-// death or unresponsiveness, and transparently restarts it against the same
-// device model: the kernel-side device object (netstack.Iface or
-// blockdev.Dev) survives in the recovering state, the restarted process
-// adopts it at registration, bring-up is replayed, and — for block devices —
-// the shadow's in-flight request log is re-submitted under the original
-// tags. Applications see a latency blip, never an error.
+// death or unresponsiveness, and recovers transparently: the kernel-side
+// device object (netstack.Iface or blockdev.Dev) survives in the recovering
+// state, the next incarnation adopts it, bring-up is replayed, and — for
+// block devices — the shadow's in-flight request log is re-submitted under
+// the original tags. Applications see a latency blip, never an error.
+//
+// What the supervisor does about a death is no longer hardwired: every
+// detection is graded by the policy engine (internal/sudml/policy) into one
+// of four verdicts —
+//
+//   - restart: respawn immediately (an isolated fault);
+//   - restart with exponential backoff: the driver is crash-looping, pace
+//     the respawns so a probe-time crasher cannot burn the whole budget
+//     inside one health-check period;
+//   - failover: promote the pre-spawned hot standby (ArmStandby), paying
+//     probe + bring-up + replay instead of the full respawn path;
+//   - quarantine: the sliding-window restart budget is exhausted, or the
+//     evidence (flush lies, interrupt storms, stale-epoch floods) convicts
+//     the driver outright — bar it, fail the parked work cleanly, and
+//     leave the device down for the admin.
 //
 // Death detection is immediate (the process's OnDeath hook — SIGCHLD, in
-// effect). Hang detection uses two signals a malicious driver cannot
-// suppress: an upcall ring that stays backed up across consecutive checks,
-// and a failed synchronous probe (the interruptible MII ioctl).
+// effect). Hang detection uses per-queue progress watermarks a malicious
+// driver cannot suppress — a ring whose backlog persists while its served
+// counter stands still is wedged, even when sibling queues are making
+// progress — plus a failed synchronous probe (the interruptible MII ioctl)
+// for netdev drivers.
 type Supervisor struct {
 	K      *kernel.Kernel
 	Dev    pci.Device
@@ -35,22 +52,42 @@ type Supervisor struct {
 
 	// CheckEvery is the health-check period.
 	CheckEvery sim.Duration
-	// BacklogLimit flags the driver when the upcall ring holds at least
-	// this many messages on two consecutive checks.
+	// BacklogLimit flags the driver when one queue's upcall ring holds at
+	// least a proportional share (BacklogLimit / queues, at minimum 8) of
+	// this many messages across consecutive checks with no served
+	// progress on that queue.
 	BacklogLimit int
-	// MaxRestarts stops supervision after this many recoveries
-	// (a crash-looping driver should be left dead for the admin).
+	// MaxRestarts is the sliding-window restart budget: one more death
+	// with this many restarts inside Policy.Cfg.RestartWindow is a crash
+	// loop and quarantines the driver. Isolated kills separated by
+	// healthy service age out of the window and never exhaust it.
 	MaxRestarts int
+
+	// Policy grades every detection into a verdict; its config is the
+	// supervisor's knob surface for backoff and conviction thresholds.
+	Policy *policy.Engine
 
 	// OnRestart, if set, runs after each successful recovery.
 	OnRestart func(generation int)
 
-	proc       *Process
-	stopped    bool
-	lastBad    bool
-	lastServed uint64 // driver-produced messages at the previous check
-	recovering bool
-	Restarts   int
+	proc        *Process
+	standby     *Process // pre-spawned hot-standby shell (nil = disarmed)
+	stopped     bool
+	lastBad     bool
+	lastServedQ []uint64 // per-queue driver-produced messages at the previous check
+	recovering  bool
+	backingOff  bool // a paced restart is scheduled; don't grade this death again
+	Restarts    int
+	// Failovers counts recoveries served by standby promotion; Quarantined
+	// latches when supervision ends with the driver barred. LastVerdict is
+	// the most recent grading.
+	Failovers   int
+	Quarantined bool
+	LastVerdict policy.Verdict
+
+	// staleHarvest accumulates stale-epoch downcall counts from dead
+	// incarnations' proxies (evidence for the policy plane).
+	staleHarvest uint64
 
 	// ifName / blkName select the device class under supervision (either
 	// or both may be set); they name the kernel object to recover.
@@ -92,6 +129,7 @@ func supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName, b
 		CheckEvery:   5 * sim.Millisecond,
 		BacklogLimit: 64,
 		MaxRestarts:  8,
+		Policy:       policy.NewEngine(policy.DefaultConfig()),
 		ifName:       ifName,
 		blkName:      blkName,
 	}
@@ -133,67 +171,215 @@ func (s *Supervisor) start(gen int) error {
 	proc.OnDeath = s.onDeath
 	s.proc = proc
 	s.lastBad = false
-	s.lastServed = 0
+	s.lastServedQ = nil
 	return nil
 }
 
 // Proc returns the currently supervised process.
 func (s *Supervisor) Proc() *Process { return s.proc }
 
-// Stop ends supervision (the process keeps running).
-func (s *Supervisor) Stop() { s.stopped = true }
+// StandbyProc returns the armed hot-standby shell (nil when disarmed).
+func (s *Supervisor) StandbyProc() *Process { return s.standby }
+
+// ArmStandby pre-spawns a hot-standby driver process for the supervised
+// device and pre-registers it with the kernel — before any kill — so a
+// later death is graded to failover: the standby adopts the device through
+// the same name+geometry/MAC identity checks a restarted driver would pass,
+// but with the respawn cost already sunk. After each failover a fresh
+// standby is re-armed automatically (best effort).
+func (s *Supervisor) ArmStandby() error {
+	if s.stopped {
+		return fmt.Errorf("sudml: supervision of %s has ended", s.Name)
+	}
+	if s.standby != nil {
+		return nil
+	}
+	name := fmt.Sprintf("%s-sb%d", s.Name, s.Restarts)
+	sb, err := StartStandbyQ(s.K, s.Dev, s.Driver, name, s.UID, s.Queues)
+	if err != nil {
+		return err
+	}
+	if s.blkName != "" {
+		d, err := s.K.Blk.Dev(s.blkName)
+		if err != nil {
+			sb.Kill()
+			return err
+		}
+		if err := sb.ArmBlockStandby(s.blkName, d.Geom); err != nil {
+			sb.Kill()
+			return err
+		}
+	}
+	if s.ifName != "" {
+		ifc, err := s.K.Net.Iface(s.ifName)
+		if err != nil {
+			s.disarmKernelStandby()
+			sb.Kill()
+			return err
+		}
+		if err := sb.ArmNetStandby(s.ifName, ifc.MAC); err != nil {
+			s.disarmKernelStandby()
+			sb.Kill()
+			return err
+		}
+	}
+	s.standby = sb
+	return nil
+}
+
+// DisarmStandby kills the armed standby shell and removes its kernel
+// registrations.
+func (s *Supervisor) DisarmStandby() {
+	if s.standby == nil {
+		return
+	}
+	s.disarmKernelStandby()
+	s.standby.Kill()
+	s.standby = nil
+}
+
+// disarmKernelStandby clears the kernel-side standby tables for the
+// supervised objects (safe when nothing is registered).
+func (s *Supervisor) disarmKernelStandby() {
+	if s.blkName != "" {
+		s.K.Blk.UnregisterStandby(s.blkName)
+	}
+	if s.ifName != "" {
+		s.K.Net.UnregisterStandby(s.ifName)
+	}
+}
+
+// Stop ends supervision (the process keeps running; an armed standby shell
+// is torn down). It is idempotent, and an onDeath or health-check event
+// already in flight when it runs becomes a no-op.
+func (s *Supervisor) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.DisarmStandby()
+}
 
 func (s *Supervisor) schedule() {
 	s.K.M.Loop.After(s.CheckEvery, s.check)
 }
 
 // onDeath is the immediate kill notification: the supervised process died
-// (kill -9, confinement kill, or crash). Recovery runs from a fresh loop
+// (kill -9, confinement kill, or crash). Grading runs from a fresh loop
 // event — the death may have been signalled mid-upcall.
 func (s *Supervisor) onDeath() {
 	if s.stopped || s.recovering {
 		return
 	}
 	s.K.M.Loop.After(0, func() {
-		if s.stopped || s.recovering || s.proc == nil || !s.proc.Killed() {
+		if s.stopped || s.recovering || s.backingOff || s.proc == nil || !s.proc.Killed() {
 			return
 		}
-		s.recover()
+		s.decide("died")
 	})
 }
 
-// check is the periodic health probe, run in kernel context.
+// check is the periodic health probe, run in kernel context. Once the
+// supervisor has stopped — including a quarantine verdict issued by a
+// recovery this check triggered — no further check is scheduled: the give-up
+// path must not leave a stray timer behind.
 func (s *Supervisor) check() {
 	if s.stopped || s.proc == nil {
 		return
 	}
 	if s.proc.Killed() {
-		// Death is normally handled by onDeath; this is the fallback for
-		// a process that died without the hook firing.
-		s.recover()
+		// Death is normally handled by onDeath; this is the fallback for a
+		// process that died without the hook firing (and the path that
+		// re-grades a death during backoff pacing — decide() dedups).
+		s.decide("died")
+		if s.stopped {
+			return
+		}
+		s.schedule()
+		return
+	}
+	if s.observeEvidence() {
+		// The evidence convicted the driver outright: kill it and let the
+		// grading (now latched at quarantine) run the give-up path.
+		s.K.Logf("supervisor: %s convicted: %s", s.Name, s.Policy.Reason())
+		s.decide("convicted")
+		if s.stopped {
+			return
+		}
 		s.schedule()
 		return
 	}
 	bad := s.unhealthy()
 	if bad && s.lastBad {
-		s.recover()
 		s.lastBad = false
+		s.decide("wedged")
+		if s.stopped {
+			return
+		}
 	} else {
 		s.lastBad = bad
 	}
 	s.schedule()
 }
 
+// observeEvidence assembles the misbehaviour counters from the proxies,
+// the confinement layer and the device ground truth into one policy
+// snapshot. It reports whether the snapshot convicted the driver.
+func (s *Supervisor) observeEvidence() bool {
+	ev := policy.Evidence{StaleEpoch: s.staleHarvest}
+	if p := s.proc; p != nil {
+		if p.Blk != nil {
+			ev.BarrierViolations = p.Blk.BarrierViolations()
+			ev.FlushesAcked = p.Blk.FlushesAcked
+			ev.StaleEpoch += p.Blk.CompStaleEpoch
+		}
+		if p.Eth != nil {
+			ev.StaleEpoch += p.Eth.StaleEpochDowncalls()
+		}
+		if p.DF != nil {
+			ev.StormTrips = p.DF.StormResponses
+		}
+	}
+	// Device ground truth, when the supervised device exports it: barriers
+	// the proxy saw acked versus flushes the device says it executed.
+	if gt, ok := s.Dev.(interface{ FlushGroundTruth() (uint64, uint64) }); ok {
+		flushes, _ := gt.FlushGroundTruth()
+		ev.FlushesExecuted = flushes
+	} else {
+		ev.FlushesExecuted = ev.FlushesAcked // no ground truth — no lie to find
+	}
+	return s.Policy.Observe(ev)
+}
+
+// unhealthy applies the per-queue progress watermarks: queue q is wedged
+// when its own upcall ring holds a backlog while its own served counter
+// (downcalls + doorbells produced by that queue's service thread) has not
+// moved since the previous check. Saturation with progress is healthy
+// backpressure; a deep ring with zero progress is a wedge — and tracking
+// it per queue means one hung service thread is visible even while
+// siblings serve at full rate.
 func (s *Supervisor) unhealthy() bool {
-	// A backed-up upcall ring flags the driver only when it also served
-	// nothing since the last check: saturation with progress is healthy
-	// backpressure, a deep ring with zero driver-produced messages
-	// (downcalls, doorbells) is a wedge.
-	st := s.proc.Chan.Stats()
-	served := st.Downcalls + st.Doorbells
-	stalled := s.proc.Chan.Pending() >= s.BacklogLimit && served == s.lastServed
-	s.lastServed = served
-	if stalled {
+	nq := s.proc.Chan.NumQueues()
+	if len(s.lastServedQ) != nq {
+		s.lastServedQ = make([]uint64, nq)
+		for q := 0; q < nq; q++ {
+			s.lastServedQ[q] = s.proc.Chan.QueueStats(q).Served()
+		}
+		return false
+	}
+	limit := s.BacklogLimit / nq
+	if limit < 8 {
+		limit = 8
+	}
+	wedged := false
+	for q := 0; q < nq; q++ {
+		served := s.proc.Chan.QueueStats(q).Served()
+		if s.proc.Chan.QueuePending(q) >= limit && served == s.lastServedQ[q] {
+			wedged = true
+		}
+		s.lastServedQ[q] = served
+	}
+	if wedged {
 		return true
 	}
 	// Active probe for netdev drivers: the interruptible sync ioctl.
@@ -207,34 +393,149 @@ func (s *Supervisor) unhealthy() bool {
 	return false
 }
 
+// decide grades one detection through the policy engine and executes the
+// verdict. cause is the detector's trail for the log.
+func (s *Supervisor) decide(cause string) {
+	if s.stopped || s.proc == nil || s.recovering || s.backingOff {
+		return
+	}
+	now := s.K.M.Now()
+	s.Policy.Cfg.WindowBudget = s.MaxRestarts
+	d := s.Policy.OnDeath(now, s.standby != nil && !s.standby.Killed(), cause)
+	s.LastVerdict = d.Verdict
+	switch d.Verdict {
+	case policy.Quarantine:
+		s.quarantine(d.Reason)
+	case policy.Failover:
+		if !s.failover() {
+			s.recover()
+		}
+	case policy.RestartBackoff:
+		s.K.Logf("supervisor: %s %s; restarting in %v (generation %d)",
+			s.Name, d.Reason, d.Delay, s.Restarts+1)
+		// Kill now — the device parks under recovery for the whole wait —
+		// and respawn when the pacing delay expires.
+		s.proc.Kill()
+		s.backingOff = true
+		s.K.M.Loop.After(d.Delay, func() {
+			s.backingOff = false
+			if s.stopped {
+				return
+			}
+			s.recover()
+		})
+	default:
+		s.recover()
+	}
+}
+
 // recover kills the wedged (or buries the dead) process and brings up a
-// fresh one against the same device model. The kill routes the supervised
+// fresh one against the same device model: the kill routes the supervised
 // devices into shadow recovery (Recoverable), the fresh probe adopts them,
-// and CompleteRecovery replays bring-up and the pending request log.
+// and CompleteRecovery replays bring-up and the pending request log. The
+// respawn takes startupCost of wall-clock time — booting the UML
+// environment is real work — during which the devices stay parked; this is
+// exactly the window a hot standby (ArmStandby) pre-pays.
 func (s *Supervisor) recover() {
 	if s.stopped || s.proc == nil || s.recovering {
 		return
 	}
-	if s.Restarts >= s.MaxRestarts {
-		s.K.Logf("supervisor: %s crash-looping; giving up after %d restarts", s.Name, s.Restarts)
-		s.stopped = true
-		s.abortRecovery()
-		return
+	s.recovering = true
+	s.Restarts++
+	s.Policy.RecordRestart(s.K.M.Now())
+	s.K.Logf("supervisor: %s down; restarting (generation %d)", s.Name, s.Restarts)
+	s.harvestStale(s.proc)
+	s.proc.Kill() // no-op if already dead; devices enter recovery either way
+	gen := s.Restarts
+	s.K.M.Loop.After(startupCost, func() {
+		defer func() { s.recovering = false }()
+		if s.stopped {
+			return
+		}
+		if err := s.start(gen); err != nil {
+			s.K.Logf("supervisor: restart of %s failed: %v", s.Name, err)
+			s.quarantine(fmt.Sprintf("respawn failed: %v", err))
+			return
+		}
+		s.completeRecovery()
+	})
+}
+
+// failover promotes the armed hot standby instead of respawning: the
+// device object moves to the standby's pre-registered proxy, the standby
+// probes the (now orphaned) hardware, and replay proceeds as in any
+// recovery — but the respawn cost was paid before the kill. It reports
+// false if no promotion was possible (the caller falls back to a cold
+// restart); activation failures after promotion are handled internally by
+// killing the standby, which re-parks the device for the next grading.
+func (s *Supervisor) failover() bool {
+	sb := s.standby
+	if sb == nil || sb.Killed() {
+		s.standby = nil
+		return false
+	}
+	if s.stopped || s.proc == nil || s.recovering {
+		return false
 	}
 	s.recovering = true
 	defer func() { s.recovering = false }()
-	s.Restarts++
-	s.K.Logf("supervisor: %s down; restarting (generation %d)", s.Name, s.Restarts)
-	s.proc.Kill() // no-op if already dead; devices enter recovery either way
-	if err := s.start(s.Restarts); err != nil {
-		s.K.Logf("supervisor: restart of %s failed: %v", s.Name, err)
-		s.stopped = true
-		s.abortRecovery()
-		return
+	s.harvestStale(s.proc)
+	s.proc.Kill() // no-op if already dead; parks the devices, bumps the epoch
+	promoted := false
+	if s.blkName != "" {
+		d, err := s.K.Blk.PromoteStandby(s.blkName)
+		if err != nil {
+			s.K.Logf("supervisor: block failover of %s failed: %v", s.blkName, err)
+		} else {
+			sb.Blk.Bind(d)
+			promoted = true
+		}
 	}
-	// Replay: bring-up, then the block request log; parked work drains
-	// behind it. A failure here means the new incarnation is broken too —
-	// kill it, which re-enters recovery bounded by MaxRestarts.
+	if s.ifName != "" {
+		ifc, err := s.K.Net.PromoteStandby(s.ifName)
+		if err != nil {
+			s.K.Logf("supervisor: net failover of %s failed: %v", s.ifName, err)
+		} else {
+			sb.Eth.Bind(ifc)
+			promoted = true
+		}
+	}
+	if !promoted {
+		return false
+	}
+	s.Restarts++
+	s.Failovers++
+	s.Policy.RecordRestart(s.K.M.Now())
+	s.K.Logf("supervisor: %s down; promoting hot standby %s (generation %d)",
+		s.Name, sb.Name, s.Restarts)
+	s.standby = nil
+	s.proc = sb
+	s.lastBad = false
+	s.lastServedQ = nil
+	sb.Recoverable = true
+	sb.OnDeath = s.onDeath
+	if err := sb.ActivateDriver(); err != nil {
+		// The standby could not bring up the orphaned hardware: kill it,
+		// which re-parks the device (BeginRecovery) and routes the next
+		// grading through the cold-restart path.
+		s.K.Logf("supervisor: standby activation of %s failed: %v", sb.Name, err)
+		sb.Kill()
+		return true
+	}
+	s.completeRecovery()
+	// Re-arm for the next fault (best effort — a failed re-arm just means
+	// the next death takes the cold path).
+	if err := s.ArmStandby(); err != nil {
+		s.K.Logf("supervisor: re-arming standby for %s failed: %v", s.Name, err)
+	}
+	return true
+}
+
+// completeRecovery replays bring-up and the block request log into the
+// adopted (or promoted) incarnation; parked work drains behind it. A
+// failure means the new incarnation is broken too — kill it, which
+// re-enters recovery bounded by the policy window.
+func (s *Supervisor) completeRecovery() {
 	s.LastReplayed = 0
 	if s.blkName != "" {
 		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
@@ -262,19 +563,40 @@ func (s *Supervisor) recover() {
 	}
 }
 
-// abortRecovery runs when supervision gives up with a device still parked
-// mid-recovery: the device is unregistered so every parked and logged
-// request fails with ErrDown instead of waiting forever for a restart that
-// will never come.
-func (s *Supervisor) abortRecovery() {
+// harvestStale folds a dying incarnation's stale-epoch counters into the
+// supervisor's running total before its proxies are replaced (evidence for
+// the policy plane: a flood means a zombie replaying traffic).
+func (s *Supervisor) harvestStale(p *Process) {
+	if p == nil {
+		return
+	}
+	if p.Blk != nil {
+		s.staleHarvest += p.Blk.CompStaleEpoch
+	}
+	if p.Eth != nil {
+		s.staleHarvest += p.Eth.StaleEpochDowncalls()
+	}
+}
+
+// quarantine executes the give-up verdict: supervision ends, the driver is
+// barred (killed if still alive, its standby torn down), and the supervised
+// devices are quarantined — they survive, down and driverless, with every
+// parked and logged request failed cleanly with ErrDown rather than left
+// waiting for a restart that will never come.
+func (s *Supervisor) quarantine(reason string) {
+	s.K.Logf("supervisor: %s quarantined: %s", s.Name, reason)
+	s.stopped = true
+	s.Quarantined = true
+	s.LastVerdict = policy.Quarantine
+	s.Policy.Convict(reason)
+	s.DisarmStandby()
+	if s.proc != nil && !s.proc.Killed() {
+		s.proc.Kill()
+	}
 	if s.blkName != "" {
-		if d, err := s.K.Blk.Dev(s.blkName); err == nil && d.Recovering() {
-			s.K.Blk.Unregister(s.blkName)
-		}
+		s.K.Blk.Quarantine(s.blkName)
 	}
 	if s.ifName != "" {
-		if ifc, err := s.K.Net.Iface(s.ifName); err == nil && ifc.Recovering() {
-			s.K.Net.Unregister(s.ifName)
-		}
+		s.K.Net.Quarantine(s.ifName)
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"sud/internal/drivers/api"
 	"sud/internal/kernel"
+	"sud/internal/kernel/netstack"
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/proxy/audioproxy"
@@ -133,8 +134,16 @@ type Process struct {
 	// immediate death notification (SIGCHLD, in effect).
 	OnDeath func()
 
+	// standby marks a hot-standby shell: spawned and (possibly) armed, but
+	// with the driver probe deferred to promotion. Cleared by
+	// ActivateDriver.
+	standby bool
+
 	killed bool
 }
+
+// Standby reports whether the process is an unactivated hot-standby shell.
+func (p *Process) Standby() bool { return p.standby }
 
 // Start launches a single-queue driver process for dev running drv under
 // the given UID. It models the §4.1 flow: SUD-UML finds the device in sysfs,
@@ -148,13 +157,51 @@ func Start(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid in
 // service thread (and CPU account) per simulated CPU/queue, plus the shared
 // urgent lane for forwarded interrupts. queues=1 is exactly Start.
 func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, queues int) (*Process, error) {
+	p, err := newShellQ(k, dev, drv, name, uid, queues, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.probeDriver(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// StartStandbyQ spawns a driver process SHELL in hot-standby mode: the
+// process exists — device file open, uchan rings and service threads up,
+// the startup cost paid — but the driver is deliberately NOT probed, since
+// bringing up hardware the live primary still owns would wreck it (an NVMe
+// probe resets the controller). The supervisor arms the standby's proxy
+// against the live kernel object (ArmBlockStandby / ArmNetStandby) and
+// calls ActivateDriver at promotion, when the hardware is orphaned — so at
+// failover time the respawn cost is already sunk and only probe + bring-up
+// + replay remain on the kill-to-drained path.
+func StartStandbyQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, queues int) (*Process, error) {
+	p, err := newShellQ(k, dev, drv, name, uid, queues, true)
+	if err != nil {
+		return nil, err
+	}
+	p.standby = true
+	return p, nil
+}
+
+// newShellQ builds the process shell — everything in the §4.1 flow up to
+// (but excluding) the driver probe. A standby shell opens the device file
+// detached: its DMA mappings build up in its own IOMMU domain, but the
+// device's bus identity stays with the live primary until promotion.
+func newShellQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, queues int, standby bool) (*Process, error) {
 	cfg := dev.Config()
 	if !drv.Match(cfg.VendorID(), cfg.DeviceID()) {
 		return nil, fmt.Errorf("sudml: driver %s does not match device %s", drv.Name(), dev.BDF())
 	}
 	accts := k.M.CPU.QueueAccounts("driver:"+name, queues)
 	acct := accts[0]
-	df := pciaccess.Open(k, dev, uid, acct)
+	var df *pciaccess.DeviceFile
+	if standby {
+		df = pciaccess.OpenDetached(k, dev, uid, acct)
+	} else {
+		df = pciaccess.Open(k, dev, uid, acct)
+	}
 	ch := uchan.NewMulti(k.M.Loop, k.Acct, accts)
 	p := &Process{
 		Name:          name,
@@ -177,19 +224,81 @@ func StartQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, uid, 
 	ch.SetDriverHandler(p.dispatch)
 	ch.SetKernelHandler(p.routeDowncall)
 	acct.Charge(startupCost)
+	return p, nil
+}
 
-	inst, err := drv.Probe(&env{p: p})
+// probeDriver runs the driver's probe inside the process. For a normal
+// start this happens at spawn; for a hot standby it is deferred to
+// promotion (ActivateDriver).
+func (p *Process) probeDriver() error {
+	inst, err := p.driver.Probe(&env{p: p})
 	if err != nil {
-		df.Close()
-		ch.Kill()
-		return nil, fmt.Errorf("sudml: probe %s: %w", drv.Name(), err)
+		p.DF.Close()
+		p.Chan.Kill()
+		return fmt.Errorf("sudml: probe %s: %w", p.driver.Name(), err)
 	}
 	p.inst = inst
 	if h, ok := inst.(api.CtlHandler); ok {
 		p.ctl = h
 	}
-	ch.Flush() // deliver any downcalls queued during probe
-	return p, nil
+	p.Chan.Flush() // deliver any downcalls queued during probe
+	return nil
+}
+
+// ActivateDriver probes the driver inside a promoted standby shell. The
+// primary is dead and its kernel object already rebound to this process's
+// proxy, so the probe's RegisterNetDev/RegisterBlockDev binds the driver
+// instance to the pre-armed proxy instead of registering anew.
+func (p *Process) ActivateDriver() error {
+	if !p.standby {
+		return fmt.Errorf("sudml: %s is not a standby shell", p.Name)
+	}
+	if p.killed {
+		return fmt.Errorf("sudml: standby %s is dead", p.Name)
+	}
+	p.standby = false
+	// The dead primary has detached; the device's bus identity now points
+	// at this process's domain, making its pre-built DMA mappings live.
+	p.DF.AttachDevice()
+	return p.probeDriver()
+}
+
+// ArmBlockStandby pre-registers this standby shell with the block core for
+// the named live device: the proxy (and its IOMMU-mapped slot pools) is
+// created now, the geometry identity check runs now, and only the device
+// binding waits for promotion.
+func (p *Process) ArmBlockStandby(name string, geom api.BlockGeometry) error {
+	if !p.standby {
+		return fmt.Errorf("sudml: %s is not a standby shell", p.Name)
+	}
+	if p.Blk != nil {
+		return fmt.Errorf("sudml: standby %s already armed", p.Name)
+	}
+	ki := &blkproxy.KernelIface{Acct: p.K.Acct, Mem: p.K.M.Mem, Blk: p.K.Blk}
+	proxy, err := blkproxy.NewStandby(ki, p.DF, p.Chan, name, geom)
+	if err != nil {
+		return err
+	}
+	p.Blk = proxy
+	return nil
+}
+
+// ArmNetStandby pre-registers this standby shell with the netstack for the
+// named live interface; the MAC identity check runs now.
+func (p *Process) ArmNetStandby(name string, mac [6]byte) error {
+	if !p.standby {
+		return fmt.Errorf("sudml: %s is not a standby shell", p.Name)
+	}
+	if p.Eth != nil {
+		return fmt.Errorf("sudml: standby %s already armed", p.Name)
+	}
+	p.ki = &ethproxy.KernelIface{Acct: p.K.Acct, Mem: p.K.M.Mem, Net: p.K.Net}
+	proxy, err := ethproxy.NewStandby(p.ki, p.DF, p.Chan, name, mac)
+	if err != nil {
+		return err
+	}
+	p.Eth = proxy
+	return nil
 }
 
 // Kill terminates the driver process (kill -9): the uchan dies, the device
@@ -222,7 +331,10 @@ func (p *Process) Kill() {
 	if p.Audio != nil {
 		p.K.Audio.Unregister(p.Audio.PCM.Name)
 	}
-	if p.Blk != nil {
+	if p.Blk != nil && p.Blk.Dev != nil {
+		// A standby proxy that was never bound to a device (armed, then
+		// disarmed or superseded) has nothing at the kernel edge to
+		// recover or unregister.
 		if p.Recoverable {
 			_, _ = p.K.Blk.BeginRecovery(p.Blk.Dev.Name)
 		} else {
@@ -815,6 +927,18 @@ func (e *env) IRQAck() {
 func (e *env) RegisterNetDev(name string, macAddr [6]byte, dev api.NetDevice) (api.NetKernel, error) {
 	e.uml()
 	p := e.p
+	if p.Eth != nil && p.netdev == nil && p.Eth.Ifc != nil {
+		// Promoted hot standby: the proxy pre-registered (and was identity
+		// checked) before the kill and is already bound to the adopted
+		// interface; the probing driver binds to it instead of registering
+		// anew. The MAC the driver read back from the hardware must still
+		// match — same EEPROM, same interface.
+		if p.Eth.Ifc.MAC != netstack.MAC(macAddr) {
+			return nil, fmt.Errorf("sudml: standby driver MAC does not match %s", p.Eth.Ifc.Name)
+		}
+		p.netdev = dev
+		return &umlNetKernel{p: p}, nil
+	}
 	if p.Eth != nil {
 		return nil, fmt.Errorf("sudml: netdev already registered")
 	}
@@ -893,6 +1017,19 @@ func (e *env) RegisterSoundDev(name string, dev api.AudioDevice) (api.AudioKerne
 func (e *env) RegisterBlockDev(name string, geom api.BlockGeometry, dev api.BlockDevice) (api.BlockKernel, error) {
 	e.uml()
 	p := e.p
+	if p.Blk != nil && p.blockdev == nil && p.Blk.Dev != nil {
+		// Promoted hot standby: the proxy pre-registered (and was geometry
+		// checked) before the kill and is already bound to the adopted
+		// device; the probing driver binds to it instead of registering
+		// anew. The geometry the driver read back from the controller must
+		// still match — same media, same device.
+		if p.Blk.Dev.Geom != geom {
+			return nil, fmt.Errorf("sudml: standby driver geometry %+v does not match %s's %+v",
+				geom, p.Blk.Dev.Name, p.Blk.Dev.Geom)
+		}
+		p.blockdev = dev
+		return &umlBlockKernel{p: p}, nil
+	}
 	if p.Blk != nil {
 		return nil, fmt.Errorf("sudml: block device already registered")
 	}

@@ -206,6 +206,11 @@ func (mc *MultiChan) Pending() int {
 	return n
 }
 
+// QueuePending returns queued upcalls on queue q's ring alone — the
+// per-queue backlog half of the supervisor's progress watermarks (a single
+// wedged ring must be visible while siblings drain theirs).
+func (mc *MultiChan) QueuePending(q int) int { return mc.queues[mc.clamp(q)].Pending() }
+
 // SetHung simulates the whole driver process wedging (§3.1.1): every ring
 // stops being serviced.
 func (mc *MultiChan) SetHung(hung bool) {

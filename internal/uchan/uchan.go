@@ -120,6 +120,12 @@ type Stats struct {
 	MaxDownBatch uint64
 }
 
+// Served is the driver-produced message count (downcalls plus doorbells):
+// the progress watermark hang detection compares across health checks. A
+// ring whose backlog grows while Served stands still is wedged; one whose
+// Served advances is merely saturated.
+func (s Stats) Served() uint64 { return s.Downcalls + s.Doorbells }
+
 // Driver process service states.
 const (
 	stateRunning = iota
