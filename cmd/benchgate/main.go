@@ -13,7 +13,11 @@
 // (derived from the file name, BENCH_<kind>.json or <kind>.json):
 //
 //	rx        []netperf.MultiFlowResult   AggregateKpps per (Q,direction,flows) row
+//	rxflip    rx rules, plus each page-flip row must actually have flipped
+//	          pages and stay near-zero-copy (GuardBytesPerFrame bounded)
 //	blk       []diskperf.Result           ReadKIOPS per (mode,Q,J,D) row
+//	blkflip   blk rules with the staged SQ-doorbell rate banded too, plus
+//	          each page-flip row must stay zero-copy (GuardBytesPerIO bounded)
 //	flush     []diskperf.Result           write IOPS per (mode,Q,J,D,fsync) row
 //	recovery  []diskperf.RecoveryResult   zero errors, replay ran, drain p99
 //	                                      under -recovery-slo-us, latency in band
@@ -38,6 +42,15 @@ import (
 
 	"sud/internal/diskperf"
 	"sud/internal/netperf"
+)
+
+// Absolute zero-copy bounds for page-flip rows. The flip fast path may
+// legitimately fall back to the guard copy for the rare frame that straddles
+// an RX slot boundary; anything past these bounds means the copy path came
+// back wholesale.
+const (
+	maxFlipGuardBytesPerFrame = 200
+	maxFlipGuardBytesPerIO    = 64
 )
 
 type gate struct {
@@ -108,7 +121,7 @@ func kindOf(path string) string {
 
 func (g *gate) check(kind, curPath, basePath string) error {
 	switch kind {
-	case "rx":
+	case "rx", "rxflip":
 		var cur, base []netperf.MultiFlowResult
 		if err := load(curPath, &cur); err != nil {
 			return err
@@ -119,13 +132,36 @@ func (g *gate) check(kind, curPath, basePath string) error {
 		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
 			r := cur[i]
 			key := fmt.Sprintf("Q=%d dir=%s flows=%d", r.Queues, r.Direction, r.Flows)
+			if r.Flip {
+				key += " flip"
+			}
+			// Zero-copy is the point of the flip path: the guard copy may
+			// survive only for slot-straddling edge frames. These bounds are
+			// absolute, not baseline-relative — a copy creeping back in is a
+			// regression even if it is "stable". They apply only where the
+			// fast path can engage: the Q=1 reference row keeps the paper's
+			// one-message-per-frame transport, whose lone references can
+			// never tile a page, so it is guard-copied by design.
+			if r.Flip && r.Queues > 1 {
+				if r.PagesFlipped == 0 {
+					g.violate(kind, key, "page-flip row flipped no pages — the fast path did not engage")
+				}
+				if r.GuardBytesPerFrame > maxFlipGuardBytesPerFrame {
+					g.violate(kind, key, "guard copied %.1f B/frame on the page-flip path (bound %d)",
+						r.GuardBytesPerFrame, maxFlipGuardBytesPerFrame)
+				}
+			}
 			b, ok := findRx(base, r)
 			if !ok {
 				return key, nil
 			}
-			return key, []metric{{"AggregateKpps", r.AggregateKpps, b.AggregateKpps, true}}
+			ms := []metric{{"AggregateKpps", r.AggregateKpps, b.AggregateKpps, true}}
+			if r.Flip {
+				ms = append(ms, metric{"GuardBytesPerFrame", r.GuardBytesPerFrame, 0, false})
+			}
+			return key, ms
 		})
-	case "blk", "flush":
+	case "blk", "flush", "blkflip":
 		var cur, base []diskperf.Result
 		if err := load(curPath, &cur); err != nil {
 			return err
@@ -139,11 +175,25 @@ func (g *gate) check(kind, curPath, basePath string) error {
 			if r.Write {
 				key += fmt.Sprintf(" fsync=%d", r.FsyncEvery)
 			}
+			if r.Flip {
+				key += " flip"
+				if r.GuardBytesPerIO > maxFlipGuardBytesPerIO {
+					g.violate(kind, key, "guard copied %.1f B/io on the page-flip path (bound %d)",
+						r.GuardBytesPerIO, maxFlipGuardBytesPerIO)
+				}
+			}
 			b, ok := findBlk(base, r)
 			if !ok {
 				return key, nil
 			}
-			return key, []metric{{"KIOPS", r.ReadKIOPS, b.ReadKIOPS, true}}
+			ms := []metric{{"KIOPS", r.ReadKIOPS, b.ReadKIOPS, true}}
+			if r.Flip {
+				// The staged-doorbell rate is banded like a throughput
+				// metric: a doubling means the submit-side coalescing
+				// quietly stopped amortising.
+				ms = append(ms, metric{"SQDoorbellsPerIO", r.SQDoorbellsPerIO, b.SQDoorbellsPerIO, true})
+			}
+			return key, ms
 		})
 	case "recovery", "failover":
 		var cur, base []diskperf.RecoveryResult
@@ -253,7 +303,8 @@ func load(path string, out any) error {
 
 func findRx(base []netperf.MultiFlowResult, r netperf.MultiFlowResult) (netperf.MultiFlowResult, bool) {
 	for _, b := range base {
-		if b.Queues == r.Queues && b.Direction == r.Direction && b.Flows == r.Flows {
+		if b.Queues == r.Queues && b.Direction == r.Direction && b.Flows == r.Flows &&
+			b.Flip == r.Flip {
 			return b, true
 		}
 	}
@@ -263,7 +314,8 @@ func findRx(base []netperf.MultiFlowResult, r netperf.MultiFlowResult) (netperf.
 func findBlk(base []diskperf.Result, r diskperf.Result) (diskperf.Result, bool) {
 	for _, b := range base {
 		if b.Mode == r.Mode && b.Queues == r.Queues && b.Jobs == r.Jobs &&
-			b.Depth == r.Depth && b.Write == r.Write && b.FsyncEvery == r.FsyncEvery {
+			b.Depth == r.Depth && b.Write == r.Write && b.FsyncEvery == r.FsyncEvery &&
+			b.Flip == r.Flip {
 			return b, true
 		}
 	}

@@ -21,6 +21,14 @@
 //
 //	sudbench -experiment blk --queues 4 --jobs 16 --depth 6 --json BENCH_blk.json
 //
+// Both scale experiments take --guard to ablate the §3.1.2 TOCTOU guard:
+// "fused" (the default checksum-fused copy; plain copy on the block path),
+// "separate" (copy then checksum, the strategy the paper rejects) or
+// "pageflip" (the zero-copy fast path: page ownership transfer with
+// batch-amortised revocation and staged device doorbells):
+//
+//	sudbench -experiment blk --guard pageflip --queues 4 --json BENCH_blkflip.json
+//
 // Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
 package main
@@ -34,6 +42,7 @@ import (
 	"sud/internal/diskperf"
 	"sud/internal/hw"
 	"sud/internal/netperf"
+	"sud/internal/proxy/ethproxy"
 	"sud/internal/report"
 	"sud/internal/sim"
 )
@@ -53,6 +62,8 @@ func main() {
 		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
 	failover := flag.Bool("failover", false,
 		"blk: with -kill-after, arm a hot standby before the run so the kill is recovered by standby promotion instead of a cold respawn (BENCH_failover.json)")
+	guardMode := flag.String("guard", "fused",
+		"multiflow/blk: TOCTOU-guard ablation — fused | separate | pageflip")
 	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
 	flag.Parse()
 
@@ -125,7 +136,21 @@ func main() {
 		}
 		var results []netperf.MultiFlowResult
 		for _, q := range rows {
-			tb, err := netperf.NewMultiFlowTestbed(q, hw.DefaultPlatform())
+			var tb *netperf.MultiFlowTestbed
+			var err error
+			switch *guardMode {
+			case "fused":
+				tb, err = netperf.NewMultiFlowTestbed(q, hw.DefaultPlatform())
+			case "separate":
+				tb, err = netperf.NewMultiFlowTestbed(q, hw.DefaultPlatform())
+				if err == nil {
+					tb.EthProc.Eth.GuardMode = ethproxy.GuardSeparate
+				}
+			case "pageflip":
+				tb, err = netperf.NewMultiFlowTestbedFlip(q, hw.DefaultPlatform())
+			default:
+				return fmt.Errorf("unknown --guard %q (fused | separate | pageflip)", *guardMode)
+			}
 			if err != nil {
 				return err
 			}
@@ -237,7 +262,23 @@ func main() {
 		}
 		var results []diskperf.Result
 		for _, r := range rows {
-			tb, err := diskperf.NewTestbed(r.mode, r.q, hw.DefaultPlatform())
+			var tb *diskperf.Testbed
+			var err error
+			switch *guardMode {
+			case "fused", "separate":
+				// The block path has no checksum to fuse with: both copy
+				// strategies are the same plain guard copy.
+				tb, err = diskperf.NewTestbed(r.mode, r.q, hw.DefaultPlatform())
+			case "pageflip":
+				if r.mode == diskperf.ModeSUD {
+					tb, err = diskperf.NewTestbedFlip(r.mode, r.q, hw.DefaultPlatform())
+				} else {
+					// The trusted baseline has no guard to flip away.
+					tb, err = diskperf.NewTestbed(r.mode, r.q, hw.DefaultPlatform())
+				}
+			default:
+				return fmt.Errorf("unknown --guard %q (fused | separate | pageflip)", *guardMode)
+			}
 			if err != nil {
 				return err
 			}

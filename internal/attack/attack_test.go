@@ -189,7 +189,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 14*len(Configs()) {
+	if len(out) != 15*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be
@@ -204,6 +204,40 @@ func TestRunMatrixCompletes(t *testing.T) {
 		if o.String() == "" {
 			t.Error("empty outcome string")
 		}
+	}
+}
+
+func TestPageSquatConfinedUnderEverySUDConfig(t *testing.T) {
+	// A malicious driver abusing the page-flip ownership protocol:
+	// dribbling partial coverage to drain the pool, storing through stale
+	// mappings of flipped pages, and re-doorbelling references into pages
+	// the kernel owns. The trusted baseline is compromised by construction
+	// (ownership never transfers); under SUD every squat leaves evidence
+	// instead of effect and the sibling queue's throughput stays within
+	// ±15% of an unattacked run — on every platform flavour.
+	run(t, PageSquat, cfgKernel(), true)
+	o := run(t, PageSquat, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, PageSquat, cfgSUDRemap(), false)
+	run(t, PageSquat, cfgSUDAMD(), false)
+	run(t, PageSquat, cfgSUDNoACS(), false)
+}
+
+func TestTOCTOUPageFlip(t *testing.T) {
+	// The §3.1.2 race against the zero-copy path: the rewrite attempt goes
+	// through the driver's legal access path and must fault on the revoked
+	// page, with zero bytes guard-copied for the flipped page.
+	o, err := TOCTOUPageFlip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Compromised {
+		t.Fatalf("page flip failed to confine the rewrite: %s", o.Detail)
+	}
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
 	}
 }
 

@@ -253,7 +253,7 @@ func RunMatrix() ([]Outcome, error) {
 	attacks := []func(Config) (Outcome, error){
 		DMAWrite, DMARead, P2PDMA, MSIForgeStorm, DeviceIRQFlood,
 		ConfigEscape, Exhaustion, TOCTOUAttack, RingFlood, RSSSteer,
-		BlkRedirect, DriverRevive, FlushLie, FlappingLiar,
+		BlkRedirect, DriverRevive, FlushLie, FlappingLiar, PageSquat,
 	}
 	var out []Outcome
 	for _, a := range attacks {

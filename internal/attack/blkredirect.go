@@ -261,6 +261,39 @@ func BlkRedirect(cfg Config) (Outcome, error) {
 	m.Loop.RunFor(sim.Millisecond)
 	secretLeaked := completed && gotErr == nil && bytes.Contains(got, secretPattern)
 
+	// Phase 1b — the same forgery against the zero-copy fast path. Under
+	// GuardPageFlip a page-aligned, exactly-one-block completion is
+	// delivered by reference after the page is revoked from the driver's
+	// domain — so a forged page-aligned reference at the kernel secret is
+	// the flip-specific leak attempt: if the proxy revoked-and-delivered
+	// it, kernel memory would become "disk data" with zero copies. The
+	// reference must die at ValidateRange (revocation only ever applies
+	// to the driver's own pages), failing the read instead.
+	proc.Blk.GuardMode = blkproxy.GuardPageFlip
+	invalidBefore := proc.Blk.CompInvalidRef
+	var gotFlip []byte
+	gotFlipErr := error(nil)
+	flipCompleted := false
+	if err := dev.ReadAtQ(blkMediaLBA, 0, func(b []byte, err error) {
+		gotFlip, gotFlipErr, flipCompleted = b, err, true
+	}); err != nil {
+		return Outcome{}, err
+	}
+	m.Loop.RunFor(sim.Millisecond)
+	if len(inst.Tags) < 2 {
+		return Outcome{}, fmt.Errorf("attack: kernel never submitted the flip-leg read")
+	}
+	_ = proc.Chan.DownQ(0, uchan.Msg{Op: blkproxy.OpComplete,
+		Args: [6]uint64{inst.Tags[len(inst.Tags)-1], 0, uint64(secret), uint64(nvme.BlockSize)}})
+	proc.Chan.Flush()
+	m.Loop.RunFor(sim.Millisecond)
+	flipLeaked := flipCompleted && gotFlipErr == nil && bytes.Contains(gotFlip, secretPattern)
+	flipRejected := proc.Blk.CompInvalidRef > invalidBefore
+	if !flipLeaked && !flipRejected {
+		return Outcome{}, fmt.Errorf("attack: flip-leg forgery was never decoded (invalid refs unchanged at %d)",
+			proc.Blk.CompInvalidRef)
+	}
+
 	// Phase 2 — device-level redirection: an out-of-range LBA write, and
 	// a read DMA-targeted at the kernel canary page.
 	lbaRejectsBefore := ctrl.LBARejects
@@ -311,6 +344,9 @@ func BlkRedirect(cfg Config) (Outcome, error) {
 	case secretLeaked:
 		o.Compromised = true
 		o.Detail = "kernel secret delivered as disk data through a forged completion"
+	case flipLeaked:
+		o.Compromised = true
+		o.Detail = "kernel secret flipped into a disk buffer through a forged page-flip completion"
 	case !canaryIntact:
 		o.Compromised = true
 		o.Detail = "device DMA reached the kernel canary page"
@@ -321,7 +357,7 @@ func BlkRedirect(cfg Config) (Outcome, error) {
 		o.Compromised = true
 		o.Detail = "data read back after restart was attacker-substituted"
 	default:
-		o.Detail = fmt.Sprintf("forgeries rejected (%d invalid refs, %d bad tags, %d bad batches), LBA clamped, IOMMU faults: %d, media intact",
+		o.Detail = fmt.Sprintf("forgeries rejected (%d invalid refs incl. the page-flip leg, %d bad tags, %d bad batches), LBA clamped, IOMMU faults: %d, media intact",
 			proc.Blk.CompInvalidRef, proc.Blk.CompBadTag, proc.Blk.CompBadBatch, len(m.IOMMU.Faults()))
 	}
 	return o, nil

@@ -200,6 +200,9 @@ type NIC struct {
 	DMAFaults              uint64
 	InterruptsRaised       uint64
 	InterruptsSuppressedBy uint64 // suppressed by masked/disabled MSI
+	// TDTWrites/RDTWrites count tail doorbell MMIO arrivals — the ground
+	// truth the submit-side doorbell-coalescing metric divides by.
+	TDTWrites, RDTWrites uint64
 }
 
 // New creates an e1000 NIC with the given identity, MAC and BAR0 base. It
@@ -318,6 +321,7 @@ func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
 		if q, rel, ok := rxQReg(off); ok && q < n.rxQueues() {
 			switch rel {
 			case RegRDT:
+				n.RDTWrites++
 				n.regs[off] = val % n.rxRingLen(q)
 				n.kickRx(q)
 			case RegRDH:
@@ -330,6 +334,7 @@ func (n *NIC) MMIOWrite(bar int, off uint64, size int, v uint64) {
 		if q, rel, ok := txQReg(off); ok && q < n.txQueues() {
 			switch rel {
 			case RegTDT:
+				n.TDTWrites++
 				n.regs[off] = val % n.txRingLen(q)
 				n.kickTx(q)
 			case RegTDH:

@@ -291,6 +291,7 @@ type Ctrl struct {
 	LBARejects             uint64
 	BadCommands            uint64 // malformed/out-of-range SQEs rejected
 	BadDoorbells           uint64 // doorbell writes outside any live queue
+	SQDoorbellWrites       uint64 // I/O SQ tail MMIO arrivals (coalescing metric)
 	CQOverruns             uint64
 	InterruptsRaised       uint64
 	InterruptsSuppressedBy uint64
@@ -574,6 +575,11 @@ func (c *Ctrl) doorbell(qid int, isCQ bool, val uint32) {
 	if !sq.created {
 		c.BadDoorbells++
 		return
+	}
+	if qid != 0 {
+		// Ground truth for the submit-side doorbell-coalescing metric:
+		// I/O SQ tail MMIO arrivals (admin is control plane).
+		c.SQDoorbellWrites++
 	}
 	c.regs[SQDoorbell(qid)] = val % sq.size
 	if qid == 0 {

@@ -21,6 +21,7 @@ import (
 	"sud/internal/kernel/blockdev"
 	"sud/internal/netperf"
 	"sud/internal/pci"
+	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
 )
@@ -75,6 +76,7 @@ const ScaleCores = 16
 type Testbed struct {
 	Mode   Mode
 	Queues int
+	Flip   bool // zero-copy read path: page-aware nvmed + GuardPageFlip proxy
 
 	M    *hw.Machine
 	K    *kernel.Kernel
@@ -91,10 +93,23 @@ func NewTestbed(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
 	return NewTestbedWC(mode, queues, 0, plat)
 }
 
+// NewTestbedFlip is NewTestbed with the zero-copy read fast path enabled:
+// the nvmed is built page-aware (slot lending, staged SQ doorbells,
+// submit-path CQ polling) and the block proxy guards read completions by
+// page-flip instead of copy. Only meaningful under ModeSUD — the trusted
+// in-kernel baseline has no guard to amortise, so the flag is ignored there.
+func NewTestbedFlip(mode Mode, queues int, plat hw.Platform) (*Testbed, error) {
+	return newTestbed(mode, queues, 0, true, plat)
+}
+
 // NewTestbedWC is NewTestbed with a volatile write cache of cacheBlocks
 // logical blocks on the controller (0 keeps the always-durable seed part —
 // the Figure 8 / block-IOPS reference configuration, bit for bit).
 func NewTestbedWC(mode Mode, queues, cacheBlocks int, plat hw.Platform) (*Testbed, error) {
+	return newTestbed(mode, queues, cacheBlocks, false, plat)
+}
+
+func newTestbed(mode Mode, queues, cacheBlocks int, flip bool, plat hw.Platform) (*Testbed, error) {
 	if queues < 1 {
 		queues = 1
 	}
@@ -111,18 +126,28 @@ func NewTestbedWC(mode Mode, queues, cacheBlocks int, plat hw.Platform) (*Testbe
 	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, params)
 	m.AttachDevice(ctrl)
 
-	tb := &Testbed{Mode: mode, Queues: queues, M: m, K: k, Ctrl: ctrl}
+	tb := &Testbed{Mode: mode, Queues: queues, Flip: flip && mode == ModeSUD, M: m, K: k, Ctrl: ctrl}
 	switch mode {
 	case ModeKernel:
 		if _, err := k.BindInKernel(nvmed.NewQ(queues), ctrl); err != nil {
 			return nil, err
 		}
 	case ModeSUD:
-		proc, err := sudml.StartQ(k, ctrl, nvmed.NewQ(queues), "nvmed", 1003, queues)
+		drv := nvmed.NewQ(queues)
+		if tb.Flip {
+			drv = nvmed.NewFlipQ(queues)
+		}
+		proc, err := sudml.StartQ(k, ctrl, drv, "nvmed", 1003, queues)
 		if err != nil {
 			return nil, err
 		}
 		tb.Proc = proc
+		if tb.Flip {
+			// Strictly paired with NewFlipQ: the page-aware driver defers
+			// slot reuse to the proxy's recycle lane, and the proxy only
+			// runs it under GuardPageFlip.
+			proc.Blk.GuardMode = blkproxy.GuardPageFlip
+		}
 	}
 	dev, err := k.Blk.Dev("nvme0")
 	if err != nil {
@@ -148,15 +173,27 @@ type Result struct {
 	Write            bool   `json:",omitempty"`
 	FsyncEvery       int    `json:",omitempty"`
 	Flushes          uint64 `json:",omitempty"`
+	Flip             bool   `json:",omitempty"`
 	ReadKIOPS        float64
 	MBps             float64
 	CPU              float64
 	Wakeups          uint64
 	CompsPerDoorbell float64
 	MaxDownBatch     uint64
-	PerQueue         []netperf.QueueReport
-	Windows          int
-	CIRel            float64
+
+	// GuardBytesPerIO is how many completion-payload bytes the proxy
+	// guard-copied per completed I/O (4096 under the copy guard, ~0 under
+	// GuardPageFlip); SQDoorbellsPerIO is how many I/O SQ tail MMIO
+	// writes reached the controller per completed I/O (the submit-side
+	// coalescing metric — 1.0 uncoalesced, below it when staged doorbells
+	// flush once per upcall batch). Both are measured at the ground
+	// truth: the proxy's copy accounting and the device's register file.
+	GuardBytesPerIO  float64 `json:",omitempty"`
+	SQDoorbellsPerIO float64 `json:",omitempty"`
+
+	PerQueue []netperf.QueueReport
+	Windows  int
+	CIRel    float64
 }
 
 func (r Result) String() string {
@@ -176,6 +213,9 @@ func (r Result) String() string {
 	}
 	if r.Mode == ModeSUD {
 		fmt.Fprintf(&b, ", %.1f comps/doorbell (max batch %d)", r.CompsPerDoorbell, r.MaxDownBatch)
+	}
+	if r.Flip {
+		fmt.Fprintf(&b, ", flip: %.0f guard B/io, %.2f sq-doorbells/io", r.GuardBytesPerIO, r.SQDoorbellsPerIO)
 	}
 	b.WriteString("\n")
 	for _, q := range r.PerQueue {
@@ -308,9 +348,11 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 	tb.M.Loop.RunFor(opt.Warmup)
 
 	base := *completed
+	sqdbBase := tb.Ctrl.SQDoorbellWrites
 	var qBase []netperf.QueueReport
-	var wakeBase uint64
+	var wakeBase, guardBase uint64
 	if tb.Proc != nil {
+		guardBase = tb.Proc.Blk.GuardCopiedBytes
 		qBase = make([]netperf.QueueReport, tb.Queues)
 		for q := range qBase {
 			s := tb.Proc.Chan.QueueStats(q)
@@ -340,7 +382,7 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 	mean, hw99 := meanCI(vals)
 	cpu, _ := meanCI(cpus)
 	res := Result{
-		Mode: tb.Mode, Queues: tb.Queues,
+		Mode: tb.Mode, Queues: tb.Queues, Flip: tb.Flip,
 		ReadKIOPS: mean,
 		MBps:      mean * 1e3 * float64(tb.Dev.Geom.BlockSize) / 1e6,
 		CPU:       cpu,
@@ -369,6 +411,12 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 		}
 		if ios := *completed - base; ios > 0 && doorbells > 0 {
 			res.CompsPerDoorbell = float64(ios) / float64(doorbells)
+		}
+	}
+	if ios := *completed - base; ios > 0 {
+		res.SQDoorbellsPerIO = float64(tb.Ctrl.SQDoorbellWrites-sqdbBase) / float64(ios)
+		if tb.Proc != nil {
+			res.GuardBytesPerIO = float64(tb.Proc.Blk.GuardCopiedBytes-guardBase) / float64(ios)
 		}
 	}
 	return res

@@ -1,0 +1,136 @@
+package diskperf
+
+import (
+	"bytes"
+	"testing"
+
+	"sud/internal/hw"
+	"sud/internal/sim"
+)
+
+func runIOPSFlip(t *testing.T, queues int) Result {
+	t.Helper()
+	tb, err := NewTestbedFlip(ModeSUD, queues, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BlockIOPS(tb, 16, 6, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBlockFlipZeroCopyReads is the block half of the zero-copy claim: under
+// GuardPageFlip every benign 4-KiB read completion flips its page instead of
+// guard-copying it, so the copied bytes per I/O collapse from a full block
+// to ~0 while the delivered rate does not regress — and the page-aware
+// driver's staged SQ doorbells land measurably below one MMIO write per
+// command.
+func TestBlockFlipZeroCopyReads(t *testing.T) {
+	copyGuard := runIOPS(t, ModeSUD, 4)
+	flip := runIOPSFlip(t, 4)
+
+	if copyGuard.GuardBytesPerIO < 4000 {
+		t.Fatalf("copy guard only copied %.0f B/io, want ~4096", copyGuard.GuardBytesPerIO)
+	}
+	if flip.GuardBytesPerIO > 64 {
+		t.Fatalf("page flip still copying %.0f B/io, want ~0", flip.GuardBytesPerIO)
+	}
+	if flip.ReadKIOPS < copyGuard.ReadKIOPS {
+		t.Fatalf("flip %.1f Kiops below copy guard %.1f", flip.ReadKIOPS, copyGuard.ReadKIOPS)
+	}
+	if flip.SQDoorbellsPerIO >= copyGuard.SQDoorbellsPerIO {
+		t.Fatalf("staged SQ doorbells not coalesced: flip %.2f/io vs copy %.2f/io",
+			flip.SQDoorbellsPerIO, copyGuard.SQDoorbellsPerIO)
+	}
+	for _, q := range flip.PerQueue {
+		if q.Upcalls == 0 {
+			t.Fatalf("queue %d idle under flip", q.Queue)
+		}
+	}
+}
+
+// TestBlockFlipDataIntact verifies the reference-delivered payload is the
+// block's actual content: a pattern written through the flip testbed reads
+// back bit-for-bit, through many rounds so recycled pages are reused.
+func TestBlockFlipDataIntact(t *testing.T) {
+	tb, err := NewTestbedFlip(ModeSUD, 2, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := int(tb.Dev.Geom.BlockSize)
+	const blocks = 64
+	want := make([][]byte, blocks)
+	pending := 0
+	for i := 0; i < blocks; i++ {
+		want[i] = make([]byte, bs)
+		for j := range want[i] {
+			want[i][j] = byte(i*31 + j)
+		}
+		pending++
+		if err := tb.Dev.WriteAt(uint64(i), want[i], func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+			pending--
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.M.Loop.RunFor(20 * sim.Millisecond)
+	if pending != 0 {
+		t.Fatalf("%d writes never completed", pending)
+	}
+	// Three read rounds: the first flips fresh pages, later rounds land in
+	// recycled ones.
+	for round := 0; round < 3; round++ {
+		verified := 0
+		for i := 0; i < blocks; i++ {
+			i := i
+			if err := tb.Dev.ReadAt(uint64(i), func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("round %d read %d: %v", round, i, err)
+					return
+				}
+				if !bytes.Equal(data, want[i]) {
+					t.Errorf("round %d block %d corrupt", round, i)
+				}
+				verified++
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tb.M.Loop.RunFor(20 * sim.Millisecond)
+		if verified != blocks {
+			t.Fatalf("round %d: verified %d/%d blocks", round, verified, blocks)
+		}
+	}
+	if tb.Proc.Blk.PagesFlipped == 0 {
+		t.Fatal("no pages flipped: the fast path never engaged")
+	}
+	if tb.Proc.Blk.RecycleAcks == 0 {
+		t.Fatal("recycle lane never acked")
+	}
+	if tb.Proc.BadRecycleFrames != 0 {
+		t.Fatalf("%d malformed recycle frames", tb.Proc.BadRecycleFrames)
+	}
+}
+
+// TestBlockFlipOffBitForBit pins the ablation identity: a flip-disabled
+// testbed must measure exactly what NewTestbed measures — same construction,
+// same transport, same rate — so the Figure 8 / block-IOPS reference rows
+// cannot drift when the fast path is merely compiled in.
+func TestBlockFlipOffBitForBit(t *testing.T) {
+	plain := runIOPS(t, ModeSUD, 1)
+	again := runIOPS(t, ModeSUD, 1)
+	if plain.ReadKIOPS != again.ReadKIOPS {
+		t.Fatalf("baseline not deterministic: %.3f vs %.3f", plain.ReadKIOPS, again.ReadKIOPS)
+	}
+	if plain.Flip {
+		t.Fatal("plain testbed reports Flip")
+	}
+	if plain.GuardBytesPerIO < 4000 {
+		t.Fatalf("plain SUD guard copies %.0f B/io, want full blocks", plain.GuardBytesPerIO)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sud/internal/hw"
 	"sud/internal/kernel"
 	"sud/internal/pci"
+	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
 )
@@ -18,6 +19,19 @@ import (
 // of the driver process triggers transparent restart, adoption and replay
 // instead of failing in-flight requests.
 func NewSupervisedTestbed(queues int, plat hw.Platform) (*Testbed, error) {
+	return newSupervisedTestbed(queues, false, plat)
+}
+
+// NewSupervisedTestbedFlip is NewSupervisedTestbed with the page-flip fast
+// path enabled: the page-aware nvmed driver paired with a GuardPageFlip
+// proxy, on every incarnation — the supervisor re-applies the guard mode to
+// respawned and promoted processes, so a kill -9 mid-flip recovers onto the
+// same zero-copy contract.
+func NewSupervisedTestbedFlip(queues int, plat hw.Platform) (*Testbed, error) {
+	return newSupervisedTestbed(queues, true, plat)
+}
+
+func newSupervisedTestbed(queues int, flip bool, plat hw.Platform) (*Testbed, error) {
 	if queues < 1 {
 		queues = 1
 	}
@@ -31,11 +45,21 @@ func NewSupervisedTestbed(queues int, plat hw.Platform) (*Testbed, error) {
 	k := kernel.New(m)
 	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(queues))
 	m.AttachDevice(ctrl)
-	sup, err := sudml.SuperviseBlock(k, ctrl, nvmed.NewQ(queues), "nvmed", "nvme0", 1003, queues)
+	drv := nvmed.NewQ(queues)
+	if flip {
+		drv = nvmed.NewFlipQ(queues)
+	}
+	sup, err := sudml.SuperviseBlock(k, ctrl, drv, "nvmed", "nvme0", 1003, queues)
 	if err != nil {
 		return nil, err
 	}
-	tb := &Testbed{Mode: ModeSUD, Queues: queues, M: m, K: k, Ctrl: ctrl,
+	if flip {
+		// Generation 0 was probed before this knob existed on the
+		// supervisor; later incarnations inherit it from BlkGuard.
+		sup.BlkGuard = blkproxy.GuardPageFlip
+		sup.Proc().Blk.GuardMode = blkproxy.GuardPageFlip
+	}
+	tb := &Testbed{Mode: ModeSUD, Queues: queues, Flip: flip, M: m, K: k, Ctrl: ctrl,
 		Proc: sup.Proc(), Sup: sup}
 	dev, err := k.Blk.Dev("nvme0")
 	if err != nil {

@@ -80,6 +80,27 @@ type MultiQueueNetDevice interface {
 	StartXmitQ(frame []byte, queue int) error
 }
 
+// PageRecycler is implemented by page-aware drivers participating in the
+// page-flip fast path: the host delivers whole buffer pages to the kernel by
+// ownership flip, and returns them here — already remapped — once the kernel
+// is done. The driver re-arms descriptors (or frees slots) over the returned
+// pages; until then it must not reuse them.
+type PageRecycler interface {
+	// RecyclePages returns flipped buffer pages (page-aligned bus
+	// addresses) on queue q to the driver's pool.
+	RecyclePages(q int, pages []mem.Addr)
+}
+
+// BatchKicker is implemented by drivers that stage device doorbell writes
+// (TX tail, SQ tail) while a batch of host calls is serviced and flush them
+// in one MMIO write when the batch ends — opportunistic submit-side doorbell
+// coalescing. Hosts call KickPending at the end of every upcall drain; a
+// driver must also flush internally wherever a staged doorbell could
+// otherwise deadlock the device.
+type BatchKicker interface {
+	KickPending()
+}
+
 // Well-known ioctl commands.
 const (
 	// IoctlGetMIIStatus returns MII media status, the paper's

@@ -16,6 +16,7 @@ import (
 
 	"sud/internal/devices/e1000"
 	"sud/internal/drivers/api"
+	"sud/internal/mem"
 )
 
 // Ring and buffer geometry, as the Linux driver configures it (§4.2 notes
@@ -38,7 +39,8 @@ const (
 
 // Driver is the module object.
 type Driver struct {
-	queues int
+	queues   int
+	pageFlip bool
 }
 
 // New returns the driver module (single TX queue, the Figure 8 baseline).
@@ -58,6 +60,18 @@ func NewQ(n int) api.Driver {
 	return Driver{queues: n}
 }
 
+// NewFlipQ returns the driver configured for the page-flip fast path: RX
+// descriptors over delivered buffer pages are re-armed only when the host
+// recycles the page (api.PageRecycler), and TX tail doorbells are staged and
+// flushed once per host-call batch (api.BatchKicker). Only hosts that run the
+// GuardPageFlip proxy mode and call KickPending at drain end may use it; the
+// stock constructors keep the Figure 8 behaviour bit for bit.
+func NewFlipQ(n int) api.Driver {
+	d := NewQ(n).(Driver)
+	d.pageFlip = true
+	return d
+}
+
 // Name implements api.Driver.
 func (Driver) Name() string { return "e1000e" }
 
@@ -72,7 +86,7 @@ func (d Driver) Probe(env api.Env) (api.Instance, error) {
 	if q < 1 {
 		q = 1
 	}
-	n := &nic{env: env, queues: q, rxQueues: q}
+	n := &nic{env: env, queues: q, rxQueues: q, pageAware: d.pageFlip, coalesceTx: d.pageFlip}
 	if err := n.probe(); err != nil {
 		return nil, err
 	}
@@ -89,6 +103,7 @@ type txq struct {
 	reclaim  int // next descriptor to reclaim
 	inFlight int
 	stopped  bool
+	kick     bool // staged tail doorbell (coalesceTx)
 }
 
 // rxq is one receive queue: a descriptor ring, its buffer pool, and the
@@ -98,6 +113,11 @@ type rxq struct {
 	bufs api.DMABuf
 
 	next int // next descriptor to poll
+
+	// deferred holds consumed descriptor indices not yet re-armed, in ring
+	// order (pageAware: the host owns their buffer pages until it recycles
+	// them back).
+	deferred []int
 }
 
 type nic struct {
@@ -116,6 +136,11 @@ type nic struct {
 	removed bool
 	carrier bool
 
+	// Page-flip fast-path knobs (NewFlipQ): defer RX re-arm until the host
+	// recycles buffer pages; stage TX tail doorbells until KickPending.
+	pageAware  bool
+	coalesceTx bool
+
 	// Dynamic ITR state.
 	itrCur    uint32
 	lowStreak int
@@ -123,6 +148,9 @@ type nic struct {
 	// Counters (visible to tests and the stats ioctl).
 	TxPkts, RxPkts, TxDrops uint64
 	Interrupts              uint64
+	// TxDoorbells counts TDT MMIO writes (doorbells-per-packet is the
+	// submit-side coalescing metric); RxDoorbells counts RDT writes.
+	TxDoorbells, RxDoorbells uint64
 }
 
 var _ api.NetDevice = (*nic)(nil)
@@ -318,8 +346,10 @@ func (n *nic) StartXmitQ(frame []byte, q int) error {
 	}
 	t := &n.tx[q]
 	if t.inFlight >= RingSize-1 {
-		// Ring full: reclaim completed descriptors inline, then give up
+		// Ring full: flush any staged doorbell so the device can make
+		// progress, reclaim completed descriptors inline, then give up
 		// and stop the queue (the stack retries after WakeQueue).
+		n.kickTxQ(q)
 		n.reclaimTx()
 		if t.inFlight >= RingSize-1 {
 			t.stopped = true
@@ -345,9 +375,39 @@ func (n *nic) StartXmitQ(frame []byte, q int) error {
 	}
 	t.tail = (t.tail + 1) % RingSize
 	t.inFlight++
-	n.mmio.Write32(e1000.TxQOff(q, e1000.RegTDT), uint32(t.tail))
+	if n.coalesceTx {
+		// Stage the tail doorbell; KickPending flushes it once for the
+		// whole batch of transmits the host delivered in this drain.
+		t.kick = true
+	} else {
+		n.mmio.Write32(e1000.TxQOff(q, e1000.RegTDT), uint32(t.tail))
+		n.TxDoorbells++
+	}
 	n.TxPkts++
 	return nil
+}
+
+// kickTxQ flushes queue q's staged tail doorbell, if any.
+func (n *nic) kickTxQ(q int) {
+	t := &n.tx[q]
+	if !t.kick {
+		return
+	}
+	t.kick = false
+	n.mmio.Write32(e1000.TxQOff(q, e1000.RegTDT), uint32(t.tail))
+	n.TxDoorbells++
+}
+
+// KickPending implements api.BatchKicker: flush every staged TX tail doorbell
+// in one pass — one MMIO write per queue that transmitted since the last
+// kick, however many frames the batch carried.
+func (n *nic) KickPending() {
+	if !n.opened {
+		return
+	}
+	for q := range n.tx {
+		n.kickTxQ(q)
+	}
 }
 
 // DoIoctl implements ndo_do_ioctl; SIOCGMIIREG reports link status, the
@@ -468,8 +528,16 @@ func (n *nic) pollRx(q int) int {
 				n.net.NetifRx(frame)
 			}
 		}
-		n.armRxDesc(q, r.next)
-		n.mmio.Write32(e1000.RxQOff(q, e1000.RegRDT), uint32(r.next))
+		if n.pageAware {
+			// The host may flip this buffer's page to the kernel; the
+			// descriptor is re-armed when the page comes back through
+			// RecyclePages.
+			r.deferred = append(r.deferred, r.next)
+		} else {
+			n.armRxDesc(q, r.next)
+			n.mmio.Write32(e1000.RxQOff(q, e1000.RegRDT), uint32(r.next))
+			n.RxDoorbells++
+		}
 		r.next = (r.next + 1) % RingSize
 		processed++
 		if processed >= RingSize {
@@ -477,6 +545,38 @@ func (n *nic) pollRx(q int) int {
 		}
 	}
 	return processed
+}
+
+// RecyclePages implements api.PageRecycler: the host returns buffer pages it
+// took from RX ring q — flipped to the kernel and since remapped, or merely
+// borrowed for a guard copy. Pages come back in consumption order, so each
+// one re-arms the matching prefix of deferred descriptors; one tail doorbell
+// then returns the whole batch to the hardware.
+func (n *nic) RecyclePages(q int, pages []mem.Addr) {
+	if !n.opened || q < 0 || q >= len(n.rx) {
+		return
+	}
+	r := &n.rx[q]
+	base := r.bufs.BusAddr()
+	last := -1
+	for _, page := range pages {
+		if page < base || page >= base+mem.Addr(RingSize*BufSize) {
+			continue // not this ring's pool
+		}
+		for len(r.deferred) > 0 {
+			d := r.deferred[0]
+			if mem.PageAlign(base+mem.Addr(d*BufSize)) != page {
+				break
+			}
+			n.armRxDesc(q, d)
+			r.deferred = r.deferred[1:]
+			last = d
+		}
+	}
+	if last >= 0 {
+		n.mmio.Write32(e1000.RxQOff(q, e1000.RegRDT), uint32(last))
+		n.RxDoorbells++
+	}
 }
 
 // armRxDesc points ring q's descriptor i at its buffer with a cleared
@@ -497,6 +597,9 @@ func (n *nic) watchdog() {
 		return
 	}
 	n.checkLink()
+	// Flush any tail doorbell a host without drain-end kicks left staged,
+	// so a misconfigured pairing degrades to slow instead of wedged.
+	n.KickPending()
 	n.env.Timer(watchdogJiffies, n.watchdog)
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"sud/internal/devices/nvme"
 	"sud/internal/drivers/api"
+	"sud/internal/mem"
 )
 
 // Queue geometry: entries per I/O SQ/CQ pair and per-queue data pool slots.
@@ -41,7 +42,8 @@ const (
 
 // Driver is the module object.
 type Driver struct {
-	queues int
+	queues   int
+	pageFlip bool
 }
 
 // New returns the driver module (single I/O queue pair).
@@ -60,6 +62,20 @@ func NewQ(n int) api.Driver {
 	return Driver{queues: n}
 }
 
+// NewFlipQ returns the driver configured for the page-flip fast path: a read
+// completion lends its pool slot to the kernel until the host recycles the
+// page back (api.PageRecycler), SQ tail doorbells are staged and flushed once
+// per host-call batch (api.BatchKicker), and submission opportunistically
+// polls the completion queue so completions ride the submit stream instead of
+// waiting out the interrupt-coalescing window. Only hosts that run the
+// GuardPageFlip proxy mode and call KickPending at drain end may use it; the
+// stock constructors keep the baseline behaviour bit for bit.
+func NewFlipQ(n int) api.Driver {
+	d := NewQ(n).(Driver)
+	d.pageFlip = true
+	return d
+}
+
 // Name implements api.Driver.
 func (Driver) Name() string { return "nvmed" }
 
@@ -74,7 +90,7 @@ func (d Driver) Probe(env api.Env) (api.Instance, error) {
 	if q < 1 {
 		q = 1
 	}
-	c := &ctrl{env: env, queues: q}
+	c := &ctrl{env: env, queues: q, pageAware: d.pageFlip, fastPath: d.pageFlip, coalesceSQ: d.pageFlip}
 	if err := c.probe(); err != nil {
 		return nil, err
 	}
@@ -93,10 +109,15 @@ type ioq struct {
 	phase    bool // expected phase tag
 	inFlight int
 	stopped  bool
+	kick     bool // staged SQ tail doorbell (coalesceSQ)
 
 	used  [QDepth]bool   // CID → slot in use
 	tags  [QDepth]uint64 // CID → kernel tag
 	wrote [QDepth]bool   // CID → request direction
+	// lent marks slots whose buffer page a read completion handed to the
+	// kernel (pageAware): the proxy flips the page out of our domain, so
+	// the slot stays unusable until RecyclePages returns it.
+	lent [QDepth]bool
 }
 
 type ctrl struct {
@@ -120,9 +141,17 @@ type ctrl struct {
 	opened  bool
 	removed bool
 
+	// Page-flip fast-path knobs (NewFlipQ).
+	pageAware  bool
+	fastPath   bool
+	coalesceSQ bool
+
 	// Counters (visible to tests).
 	Submitted, Completed, Errors uint64
 	Interrupts                   uint64
+	// SQDoorbells counts I/O SQ tail MMIO writes (doorbells-per-command is
+	// the submit-side coalescing metric).
+	SQDoorbells uint64
 }
 
 var _ api.BlockDevice = (*ctrl)(nil)
@@ -358,12 +387,20 @@ func (c *ctrl) Submit(q int, req api.BlockRequest) error {
 	}
 	ioq := &c.io[q]
 	if ioq.inFlight >= QDepth-1 {
-		ioq.stopped = true
-		return fmt.Errorf("nvmed: queue %d full", q)
+		if c.fastPath {
+			// Reap posted completions inline before giving up — the
+			// doorbell may be staged, so flush it first.
+			c.kickSQ(q)
+			c.pollCQ(q)
+		}
+		if ioq.inFlight >= QDepth-1 {
+			ioq.stopped = true
+			return fmt.Errorf("nvmed: queue %d full", q)
+		}
 	}
 	cid := -1
 	for i := 0; i < QDepth; i++ {
-		if !ioq.used[i] {
+		if !ioq.used[i] && !ioq.lent[i] {
 			cid = i
 			break
 		}
@@ -410,9 +447,77 @@ func (c *ctrl) Submit(q int, req api.BlockRequest) error {
 	ioq.wrote[cid] = req.Write || req.Flush
 	ioq.inFlight++
 	ioq.tail = (ioq.tail + 1) % QDepth
-	c.mmio.Write32(nvme.SQDoorbell(q+1), uint32(ioq.tail))
+	if c.coalesceSQ {
+		// Stage the tail doorbell; KickPending flushes it once for the
+		// whole batch of submissions the host delivered in this drain.
+		ioq.kick = true
+	} else {
+		c.mmio.Write32(nvme.SQDoorbell(q+1), uint32(ioq.tail))
+		c.SQDoorbells++
+	}
 	c.Submitted++
+	if c.fastPath {
+		// Opportunistic completion reap on the submit path: under load,
+		// completions ride the submission stream instead of waiting out
+		// the interrupt-coalescing window.
+		c.pollCQ(q)
+	}
 	return nil
+}
+
+// kickSQ flushes queue q's staged SQ tail doorbell, if any.
+func (c *ctrl) kickSQ(q int) {
+	ioq := &c.io[q]
+	if !ioq.kick {
+		return
+	}
+	ioq.kick = false
+	c.mmio.Write32(nvme.SQDoorbell(q+1), uint32(ioq.tail))
+	c.SQDoorbells++
+}
+
+// KickPending implements api.BatchKicker: flush every staged SQ tail doorbell
+// — one MMIO write per queue that submitted since the last kick, however many
+// commands the batch carried — then, on the fast path, reap any completions
+// the flush made available.
+func (c *ctrl) KickPending() {
+	if !c.opened {
+		return
+	}
+	for q := range c.io {
+		c.kickSQ(q)
+	}
+	if c.fastPath {
+		for q := range c.io {
+			c.pollCQ(q)
+		}
+	}
+}
+
+// RecyclePages implements api.PageRecycler: the host returns buffer pages
+// whose read payloads it delivered by page flip; each page is one command
+// slot (BlockSize == page size), which becomes allocatable again.
+func (c *ctrl) RecyclePages(q int, pages []mem.Addr) {
+	if !c.opened || q < 0 || q >= len(c.io) {
+		return
+	}
+	ioq := &c.io[q]
+	base := ioq.bufs.BusAddr()
+	freed := 0
+	for _, page := range pages {
+		if page < base || page >= base+mem.Addr(QDepth*nvme.BlockSize) {
+			continue // not this queue's pool
+		}
+		slot := int(page-base) / nvme.BlockSize
+		if ioq.lent[slot] {
+			ioq.lent[slot] = false
+			freed++
+		}
+	}
+	if freed > 0 && ioq.stopped && ioq.inFlight < QDepth-1 {
+		ioq.stopped = false
+		c.blk.WakeQueueQ(q)
+	}
 }
 
 // --- interrupt path -----------------------------------------------------------
@@ -470,6 +575,11 @@ func (c *ctrl) pollCQ(q int) int {
 		bufOff := cid * nvme.BlockSize
 		if view, ok := ioq.bufs.Slice(bufOff, nvme.BlockSize); ok {
 			data = view // zero-copy reference into the stack, like a bio
+			if c.pageAware {
+				// The host will flip this buffer's page to the kernel;
+				// the slot comes back through RecyclePages.
+				ioq.lent[cid] = true
+			}
 		} else {
 			data = make([]byte, nvme.BlockSize)
 			if err := ioq.bufs.Read(bufOff, data); err != nil {

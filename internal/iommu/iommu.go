@@ -197,6 +197,25 @@ func (d *Domain) Unmap(iova mem.Addr) bool {
 	return true
 }
 
+// RevokePage atomically strips the translation for the page at iova in a
+// single walk, returning the physical page it mapped. This is the page-flip
+// ownership transfer (§3.1.2 amortised guard): after RevokePage (plus an
+// IOTLB shootdown) the driver's device can no longer DMA to the page and the
+// driver process loses its window onto it, so the kernel may read the
+// contents by reference without a guard copy. The caller charges
+// sim.CostPageFlipRevoke. Returns ok=false if the page was not mapped.
+func (d *Domain) RevokePage(iova mem.Addr) (phys mem.Addr, ok bool) {
+	top, idx := split(iova)
+	lt := d.leaves[top]
+	if lt == nil || !lt.entries[idx].present {
+		return 0, false
+	}
+	phys = lt.entries[idx].phys
+	lt.entries[idx] = pte{}
+	d.pages--
+	return phys, true
+}
+
 // UnmapRange unmaps size bytes starting at iova.
 func (d *Domain) UnmapRange(iova mem.Addr, size uint64) {
 	for off := uint64(0); off < size; off += mem.PageSize {

@@ -142,6 +142,24 @@ func (u *Unit) Invalidate(bdf pci.BDF, iova mem.Addr) {
 	u.tlb = out
 }
 
+// RevokePage strips the page at iova from the device's domain (single walk)
+// and drops any cached IOTLB translation for it, returning the physical page
+// the mapping named. The walk cost (sim.CostPageFlipRevoke) and the
+// batch-amortised shootdown (sim.CostIOTLBShootdown) are charged by the
+// caller, which knows how many pages share one shootdown.
+func (u *Unit) RevokePage(bdf pci.BDF, iova mem.Addr) (mem.Addr, bool) {
+	dom, ok := u.domains[bdf]
+	if !ok {
+		return 0, false
+	}
+	phys, ok := dom.RevokePage(mem.PageAlign(iova))
+	if !ok {
+		return 0, false
+	}
+	u.Invalidate(bdf, iova)
+	return phys, true
+}
+
 // InvalidateDevice drops all cached translations for a device (domain
 // switch, driver restart).
 func (u *Unit) InvalidateDevice(bdf pci.BDF) {

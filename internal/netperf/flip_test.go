@@ -1,0 +1,93 @@
+package netperf
+
+import (
+	"testing"
+
+	"sud/internal/hw"
+)
+
+func multiFlowRunFlip(t *testing.T, queues, flows int, dir Direction) MultiFlowResult {
+	t.Helper()
+	tb, err := NewMultiFlowTestbedFlip(queues, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiFlowDir(tb, flows, dir, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMultiFlowRXFlipZeroCopy is the receive half of the zero-copy claim:
+// under GuardPageFlip a wire-bound Q=4 flood delivers almost every frame by
+// page ownership transfer — the guard-copied bytes per frame collapse from
+// a full frame to near zero (only batch-boundary partial pages fall back to
+// the fused copy) while the delivered rate stays at the copy-guard level.
+func TestMultiFlowRXFlipZeroCopy(t *testing.T) {
+	copyGuard := multiFlowRunDir(t, 4, 6, DirRX, nil)
+	flip := multiFlowRunFlip(t, 4, 6, DirRX)
+
+	if copyGuard.GuardBytesPerFrame < 80 {
+		t.Fatalf("copy guard only copied %.1f B/frame, want full frames", copyGuard.GuardBytesPerFrame)
+	}
+	if flip.GuardBytesPerFrame > 0.1*copyGuard.GuardBytesPerFrame {
+		t.Fatalf("page flip still copying %.1f B/frame (copy guard %.1f)",
+			flip.GuardBytesPerFrame, copyGuard.GuardBytesPerFrame)
+	}
+	if flip.PagesFlipped == 0 {
+		t.Fatal("no pages flipped: the fast path never engaged")
+	}
+	if flip.RxKpps < 0.95*copyGuard.RxKpps {
+		t.Fatalf("flip RX %.1f Kpkt/s regressed vs copy guard %.1f", flip.RxKpps, copyGuard.RxKpps)
+	}
+}
+
+// TestMultiFlowTXFlipCoalescesDoorbells is the submit-side claim: with TDT
+// writes staged to the end of each upcall drain, a Q=4 transmit load rings
+// well under one device doorbell per packet, and the delivered rate does not
+// regress.
+func TestMultiFlowTXFlipCoalescesDoorbells(t *testing.T) {
+	copyGuard := multiFlowRunDir(t, 4, 6, DirTX, nil)
+	flip := multiFlowRunFlip(t, 4, 6, DirTX)
+
+	if copyGuard.TxDoorbellsPerPkt < 0.8 {
+		t.Fatalf("uncoalesced path already at %.2f doorbells/pkt", copyGuard.TxDoorbellsPerPkt)
+	}
+	if flip.TxDoorbellsPerPkt > 0.7*copyGuard.TxDoorbellsPerPkt {
+		t.Fatalf("staged TDT not coalescing: %.2f vs %.2f doorbells/pkt",
+			flip.TxDoorbellsPerPkt, copyGuard.TxDoorbellsPerPkt)
+	}
+	if flip.EthKpps < 0.95*copyGuard.EthKpps {
+		t.Fatalf("flip TX %.1f Kpkt/s regressed vs %.1f", flip.EthKpps, copyGuard.EthKpps)
+	}
+}
+
+// TestMultiFlowFlipRecycleKeepsRingFed runs the RX flood long enough that
+// every ring page must have been flipped and recycled many times over: if
+// the recycle lane ever wedged, the 128-page ring would drain and delivery
+// would collapse well below the copy-guard rate.
+func TestMultiFlowFlipRecycleKeepsRingFed(t *testing.T) {
+	tb, err := NewMultiFlowTestbedFlip(2, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiFlowDir(tb, 4, DirRX, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := tb.EthProc.Eth
+	if eth.RecycleUpcalls == 0 || eth.RecycleAcks == 0 {
+		t.Fatalf("recycle lane dead: %d upcalls, %d acks", eth.RecycleUpcalls, eth.RecycleAcks)
+	}
+	if eth.RecycleBadAck != 0 || eth.RecycleStaleAck != 0 {
+		t.Fatalf("recycle acks rejected: %d bad, %d stale", eth.RecycleBadAck, eth.RecycleStaleAck)
+	}
+	// Far more pages flipped than the ring holds = sustained reuse.
+	if eth.PagesFlipped < 1000 {
+		t.Fatalf("only %d pages flipped over the run", eth.PagesFlipped)
+	}
+	if res.RxKpps < 100 {
+		t.Fatalf("RX collapsed to %.1f Kpkt/s: ring starving", res.RxKpps)
+	}
+}

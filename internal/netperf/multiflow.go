@@ -14,6 +14,7 @@ import (
 	"sud/internal/kernel"
 	"sud/internal/kernel/netstack"
 	"sud/internal/pci"
+	"sud/internal/proxy/ethproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
 )
@@ -38,9 +39,12 @@ var (
 // MultiFlowTestbed is the two-NIC, two-driver-process DUT.
 type MultiFlowTestbed struct {
 	Queues int
+	Flip   bool // zero-copy RX path: page-aware e1000e + GuardPageFlip proxy
 
 	M *hw.Machine
 	K *kernel.Kernel
+
+	Nic *e1000.NIC // the fast NIC (doorbell ground truth)
 
 	EthProc  *sudml.Process // multi-queue e1000e
 	Ne2kProc *sudml.Process // single-queue legacy PIO driver
@@ -59,6 +63,19 @@ const ScaleCores = 16
 // processes; the e1000e uses `queues` TX queues end to end (device engines,
 // driver rings, uchan ring pairs, proxy slot partitions).
 func NewMultiFlowTestbed(queues int, plat hw.Platform) (*MultiFlowTestbed, error) {
+	return newMultiFlowTestbed(queues, false, plat)
+}
+
+// NewMultiFlowTestbedFlip is NewMultiFlowTestbed with the zero-copy RX fast
+// path on the e1000e: the driver is built page-aware (descriptor re-arm
+// deferred to the recycle lane, TDT staged to drain end) and its proxy
+// guards received frames by page-flip instead of the fused copy. The ne2k
+// segment is untouched — a legacy PIO driver has no pages to flip.
+func NewMultiFlowTestbedFlip(queues int, plat hw.Platform) (*MultiFlowTestbed, error) {
+	return newMultiFlowTestbed(queues, true, plat)
+}
+
+func newMultiFlowTestbed(queues int, flip bool, plat hw.Platform) (*MultiFlowTestbed, error) {
 	if queues < 1 {
 		queues = 1
 	}
@@ -88,12 +105,22 @@ func NewMultiFlowTestbed(queues int, plat hw.Platform) (*MultiFlowTestbed, error
 	card.AttachLink(link2, 0)
 
 	tb := &MultiFlowTestbed{
-		Queues: queues, M: m, K: k,
+		Queues: queues, Flip: flip, M: m, K: k, Nic: nic,
 		EthRemote: remote, Ne2kRemote: remote2,
 	}
+	drv := e1000e.NewQ(queues)
+	if flip {
+		drv = e1000e.NewFlipQ(queues)
+	}
 	var err error
-	if tb.EthProc, err = sudml.StartQ(k, nic, e1000e.NewQ(queues), "e1000e", 1001, queues); err != nil {
+	if tb.EthProc, err = sudml.StartQ(k, nic, drv, "e1000e", 1001, queues); err != nil {
 		return nil, err
+	}
+	if flip {
+		// Strictly paired with NewFlipQ: the page-aware driver re-arms RX
+		// descriptors only on recycle, which only the GuardPageFlip proxy
+		// drives.
+		tb.EthProc.Eth.GuardMode = ethproxy.GuardPageFlip
 	}
 	if tb.Ne2kProc, err = sudml.Start(k, card, ne2kpci.New(), "ne2k-pci", 1002); err != nil {
 		return nil, err
@@ -205,6 +232,20 @@ type MultiFlowResult struct {
 	// MaxDownBatch is the deepest downcall batch one doorbell flushed.
 	MaxDownBatch uint64
 
+	// Zero-copy fast-path metrics (Flip testbeds; zero otherwise).
+	// GuardBytesPerFrame is how many payload bytes the proxy guard-copied
+	// per frame delivered to the application — the full frame under the
+	// fused guard, ~0 under GuardPageFlip where only batch-boundary
+	// partial pages fall back to the copy. TxDoorbellsPerPkt is TDT MMIO
+	// arrivals at the device per packet delivered on the eth segment (the
+	// submit-side coalescing metric — ~1 uncoalesced, below it when
+	// staged tails flush once per upcall batch). PagesFlipped counts RX
+	// pages whose ownership transferred in the measured span.
+	Flip               bool    `json:",omitempty"`
+	GuardBytesPerFrame float64 `json:",omitempty"`
+	TxDoorbellsPerPkt  float64 `json:",omitempty"`
+	PagesFlipped       uint64  `json:",omitempty"`
+
 	PerQueue []QueueReport
 	Windows  int
 	CIRel    float64
@@ -216,6 +257,10 @@ func (r MultiFlowResult) String() string {
 		r.Direction, r.Queues, r.Flows, r.AggregateKpps, r.EthKpps, r.Ne2kKpps, r.RxKpps, r.CPU*100, r.Wakeups)
 	if r.Direction != DirTX {
 		fmt.Fprintf(&b, ", %.1f rx frames/doorbell (max batch %d)", r.RxFramesPerDoorbell, r.MaxDownBatch)
+	}
+	if r.Flip {
+		fmt.Fprintf(&b, ", flip: %.1f guard B/frame, %.2f tdt/pkt, %d pages flipped",
+			r.GuardBytesPerFrame, r.TxDoorbellsPerPkt, r.PagesFlipped)
 	}
 	b.WriteString("\n")
 	for _, q := range r.PerQueue {
@@ -340,6 +385,9 @@ func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (
 	if rxSock != nil {
 		rxBase = rxSock.RxDatagrams
 	}
+	guardBase := tb.EthProc.Eth.GuardCopiedBytes
+	flippedBase := tb.EthProc.Eth.PagesFlipped
+	tdtBase := tb.Nic.TDTWrites
 	qBase := make([]QueueReport, tb.Queues)
 	for q := range qBase {
 		s := tb.EthProc.Chan.QueueStats(q)
@@ -408,6 +456,14 @@ func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (
 	}
 	if rxFrames := rxDelivered() - rxBase; rxFrames > 0 && doorbells > 0 {
 		res.RxFramesPerDoorbell = float64(rxFrames) / float64(doorbells)
+	}
+	res.Flip = tb.Flip
+	res.PagesFlipped = tb.EthProc.Eth.PagesFlipped - flippedBase
+	if rxFrames := rxDelivered() - rxBase; rxFrames > 0 {
+		res.GuardBytesPerFrame = float64(tb.EthProc.Eth.GuardCopiedBytes-guardBase) / float64(rxFrames)
+	}
+	if ethPkts := tb.EthRemote.SinkPkts - ethBase; ethPkts > 0 {
+		res.TxDoorbellsPerPkt = float64(tb.Nic.TDTWrites-tdtBase) / float64(ethPkts)
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"sud/internal/kernel/audio"
+	"sud/internal/proxy/guard"
 	"sud/internal/proxy/pciaccess"
 	"sud/internal/proxy/protocol"
 	"sud/internal/sim"
@@ -39,6 +40,10 @@ type Proxy struct {
 	DF   *pciaccess.DeviceFile
 	C    *uchan.Chan
 	PCM  *audio.PCM
+
+	// Guard is the shared guard-copy accounting (internal/proxy/guard):
+	// audio transfers take the plain inline leg.
+	Guard guard.Stats
 
 	// Counters.
 	PeriodDowncalls uint64
@@ -97,9 +102,7 @@ func (d *proxyDev) PrepareStream(rateHz, periodBytes, periods int) error {
 // the point).
 func (d *proxyDev) WritePeriod(idx int, samples []byte) error {
 	p := d.p()
-	p.Acct.Charge(sim.Copy(len(samples)))
-	buf := make([]byte, len(samples))
-	copy(buf, samples)
+	buf := guard.CopyIn(p.Acct, &p.Guard, samples)
 	return p.C.ASend(uchan.Msg{Op: OpWritePeriod, Args: [6]uint64{uint64(idx)}, Data: buf})
 }
 

@@ -45,6 +45,11 @@ const (
 	// (barrier sequence, epoch, tag). The driver must drain the device's
 	// volatile cache and echo the frame back as OpFlushDone.
 	OpFlush
+	// OpPageRecycle returns flipped read-buffer pages to the driver
+	// (async); Data carries the protocol recycle framing (epoch + page
+	// IOVAs). The pages have been remapped before the upcall is sent, so
+	// the driver may reuse the slots they back immediately.
+	OpPageRecycle
 )
 
 // Downcall operations (driver → kernel).
@@ -62,6 +67,21 @@ const (
 	// OpFlushDone completes a flush barrier; Data carries the flushop.go
 	// frame, validated against the proxy's own barrier accounting.
 	OpFlushDone
+	// OpRecycleAck echoes an OpPageRecycle frame back once the driver has
+	// returned the pages to its free pool. Defensively decoded; an ack
+	// carrying a dead incarnation's epoch is stale and rejected.
+	OpRecycleAck
+)
+
+// Guard strategies for read-completion payloads. Block data carries no
+// checksum to fuse with, so the baseline guard is a plain copy; GuardPageFlip
+// amortises it to page granularity exactly as ethproxy does — a read
+// completion that is one whole page-aligned page is revoked from the
+// driver's IOMMU domain (one walk, batch-amortised shootdown), delivered by
+// reference, and returned on the lazy recycle lane.
+const (
+	GuardCopy = iota
+	GuardPageFlip
 )
 
 // OpSubmit flag bits.
@@ -92,6 +112,13 @@ type Proxy struct {
 	// tagSlot maps an in-flight tag to its (queue, slot) so completion
 	// releases the right pool entry.
 	tagSlot map[uint64]int // packed q*SlotsPerQueue + slot
+
+	// GuardMode selects the read-payload TOCTOU-guard strategy.
+	GuardMode int
+
+	// pendingRecycle holds flipped pages (by IOVA) per queue awaiting the
+	// lazy recycle flush back to the driver.
+	pendingRecycle [][]uint64
 
 	// Per-queue completion counters.
 	QueueComps   []uint64
@@ -127,8 +154,18 @@ type Proxy struct {
 	CompBadBarrier    uint64 // flush completions naming no in-flight barrier
 	CompBarrierEarly  uint64 // barriers acked with prior requests outstanding
 	CompStaleEpoch    uint64 // downcalls from a dead driver incarnation
+	CompRevokedRef    uint64 // references naming a page the kernel already owns
 	SubmitDropsHung   uint64
 	UpcallErrors      uint64
+
+	// Page-flip accounting (the bench metrics).
+	GuardCopiedBytes uint64 // bytes that went through a guard copy
+	PagesFlipped     uint64
+	Shootdowns       uint64 // batch-amortised IOTLB shootdowns
+	RecycleUpcalls   uint64
+	RecycleAcks      uint64
+	RecycleBadAck    uint64 // malformed ack framing from the driver
+	RecycleStaleAck  uint64 // acks carrying a dead incarnation's epoch
 }
 
 // flushState is the one barrier the driver currently holds.
@@ -154,12 +191,13 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	q := c.NumQueues()
 	p := &Proxy{
 		K: ki, DF: df, C: c,
-		pools:        make([]*pciaccess.Alloc, q),
-		free:         make([][]int, q),
-		stalled:      make([]bool, q),
-		tagSlot:      make(map[uint64]int),
-		QueueComps:   make([]uint64, q),
-		QueueBatches: make([]uint64, q),
+		pools:          make([]*pciaccess.Alloc, q),
+		free:           make([][]int, q),
+		stalled:        make([]bool, q),
+		tagSlot:        make(map[uint64]int),
+		QueueComps:     make([]uint64, q),
+		QueueBatches:   make([]uint64, q),
+		pendingRecycle: make([][]uint64, q),
 	}
 	for i := 0; i < q; i++ {
 		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
@@ -193,12 +231,13 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 	q := c.NumQueues()
 	p := &Proxy{
 		K: ki, DF: df, C: c,
-		pools:        make([]*pciaccess.Alloc, q),
-		free:         make([][]int, q),
-		stalled:      make([]bool, q),
-		tagSlot:      make(map[uint64]int),
-		QueueComps:   make([]uint64, q),
-		QueueBatches: make([]uint64, q),
+		pools:          make([]*pciaccess.Alloc, q),
+		free:           make([][]int, q),
+		stalled:        make([]bool, q),
+		tagSlot:        make(map[uint64]int),
+		QueueComps:     make([]uint64, q),
+		QueueBatches:   make([]uint64, q),
+		pendingRecycle: make([][]uint64, q),
 	}
 	for i := 0; i < q; i++ {
 		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
@@ -391,7 +430,11 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			p.finish(q, m.Args[0], uint16(m.Args[1]), m.Data)
 			return
 		}
-		p.complete(q, CompRef{Tag: m.Args[0], Status: uint16(m.Args[1]), IOVA: m.Args[2], Len: uint32(m.Args[3])})
+		if p.complete(q, CompRef{Tag: m.Args[0], Status: uint16(m.Args[1]), IOVA: m.Args[2], Len: uint32(m.Args[3])}) {
+			p.K.Acct.Charge(sim.CostIOTLBShootdown)
+			p.Shootdowns++
+			p.maybeFlushRecycle(q)
+		}
 	case OpCompleteBatch:
 		comps, err := DecodeBlkBatch(m.Data)
 		if err != nil {
@@ -401,9 +444,31 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			return
 		}
 		p.QueueBatches[q]++
+		flipped := 0
 		for _, c := range comps {
-			p.complete(q, c)
+			if p.complete(q, c) {
+				flipped++
+			}
 		}
+		if flipped > 0 {
+			// One shootdown covers every page this batch revoked.
+			p.K.Acct.Charge(sim.CostIOTLBShootdown)
+			p.Shootdowns++
+			p.maybeFlushRecycle(q)
+		}
+	case OpRecycleAck:
+		epoch, pages, err := protocol.DecodeRecycle(m.Data)
+		if err != nil {
+			p.RecycleBadAck++
+			return
+		}
+		if epoch != uint32(p.epoch) {
+			// A frame minted for a dead incarnation (replayed across a
+			// recovery, or forged): rejected, never matched.
+			p.RecycleStaleAck++
+			return
+		}
+		p.RecycleAcks += uint64(len(pages))
 	case OpFlushDone:
 		p.handleFlushDone(q, m)
 	case OpWakeQueue:
@@ -459,54 +524,158 @@ func (p *Proxy) handleFlushDone(q int, m uchan.Msg) {
 
 // complete validates one completion reference and delivers it. The payload
 // reference must lie inside the driver's own DMA allocations and be exactly
-// one block; the kernel's private copy is taken before any consumer sees
-// the bytes, so later modification of the shared buffer by a malicious
-// driver is harmless — and a foreign reference fails the request instead of
-// leaking whatever it pointed at.
-func (p *Proxy) complete(q int, c CompRef) {
+// one block; under GuardCopy the kernel's private copy is taken before any
+// consumer sees the bytes, so later modification of the shared buffer by a
+// malicious driver is harmless — and a foreign reference fails the request
+// instead of leaking whatever it pointed at. Under GuardPageFlip a
+// page-aligned whole-page payload is instead revoked from the driver's
+// domain and delivered by reference: the driver can no longer reach the
+// bytes, so the TOCTOU property holds with zero copied bytes. Reports
+// whether a page was flipped so the caller can amortise one IOTLB shootdown
+// over the batch.
+func (p *Proxy) complete(q int, c CompRef) bool {
 	// Tag validation comes first: a completion for a tag never issued is
 	// dropped before the kernel spends a block-sized guard copy on it —
 	// forged completions must not buy CPU with invalid handles.
 	if _, ok := p.tagSlot[c.Tag]; !ok {
 		p.CompBadTag++
-		return
+		return false
 	}
 	if c.Status != 0 {
 		p.finish(q, c.Tag, c.Status, nil)
-		return
+		return false
 	}
 	if c.IOVA == 0 && c.Len == 0 {
 		// Write completion: no payload.
 		p.finish(q, c.Tag, 0, nil)
-		return
+		return false
 	}
 	n := int(c.Len)
 	if n != p.Dev.Geom.BlockSize {
 		p.CompBadLength++
 		p.failRead(q, c.Tag, "bad completion length")
-		return
+		return false
 	}
 	if !p.DF.ValidateRange(mem.Addr(c.IOVA), n) {
-		p.CompInvalidRef++
+		// Distinguish a reference into a page the kernel already owns
+		// (ValidateRange has recorded the fault as driver evidence) from
+		// one outside the driver's memory entirely.
+		if p.DF.PageRevoked(mem.Addr(c.IOVA)) {
+			p.CompRevokedRef++
+		} else {
+			p.CompInvalidRef++
+		}
 		p.failRead(q, c.Tag, "completion reference outside driver memory")
-		return
+		return false
+	}
+	if p.GuardMode == GuardPageFlip && n == mem.PageSize && c.IOVA%mem.PageSize == 0 {
+		phys, err := p.DF.RevokePage(mem.Addr(c.IOVA))
+		if err == nil {
+			p.K.Acct.Charge(sim.CostPageFlipRevoke)
+			p.PagesFlipped++
+			p.pendingRecycle[q] = append(p.pendingRecycle[q], c.IOVA)
+			view, ok := p.K.Mem.Slice(phys, n)
+			if ok {
+				// The driver's window onto the page is gone, so the
+				// view is stable — delivered by reference, zero
+				// copied bytes.
+				p.finish(q, c.Tag, 0, view)
+				return true
+			}
+			// An unreachable physical page: fail the read; the page
+			// still recycles so the pool cannot leak.
+			p.CompInvalidRef++
+			p.failRead(q, c.Tag, "completion reference unreadable")
+			return true
+		}
+		// Lost revoke race: fall through to the guard copy.
 	}
 	phys, ok := p.DF.PhysFor(mem.Addr(c.IOVA))
 	if !ok {
 		p.CompInvalidRef++
 		p.failRead(q, c.Tag, "completion reference unmapped")
-		return
+		return false
 	}
 	// Guard copy (§3.1.2): block payloads carry no checksum to fuse with,
 	// so the TOCTOU guard is a plain copy into kernel-owned memory.
 	buf := make([]byte, n)
 	p.K.Acct.Charge(sim.Copy(n))
+	p.GuardCopiedBytes += uint64(n)
 	if err := p.K.Mem.Read(phys, buf); err != nil {
 		p.CompInvalidRef++
 		p.failRead(q, c.Tag, "completion reference unreadable")
-		return
+		return false
 	}
 	p.finish(q, c.Tag, 0, buf)
+	return false
+}
+
+// recycleThreshold is how many flipped pages accumulate on a queue before
+// the proxy remaps them and sends one recycle upcall — small against the
+// driver's per-queue pool (QDepth slots = 64 pages) so reads never starve.
+const recycleThreshold = 16
+
+func (p *Proxy) maybeFlushRecycle(q int) {
+	if len(p.pendingRecycle[q]) >= recycleThreshold {
+		p.flushRecycleQ(q)
+	}
+}
+
+// flushRecycleQ remaps queue q's pending flipped pages back into the
+// driver's domain and returns them in one recycle upcall.
+func (p *Proxy) flushRecycleQ(q int) {
+	pending := p.pendingRecycle[q]
+	if len(pending) == 0 {
+		return
+	}
+	p.pendingRecycle[q] = p.pendingRecycle[q][:0]
+	for start := 0; start < len(pending); start += protocol.MaxRecyclePages {
+		end := start + protocol.MaxRecyclePages
+		if end > len(pending) {
+			end = len(pending)
+		}
+		var returned []uint64
+		for _, page := range pending[start:end] {
+			// RecyclePage fails only if the page is no longer flipped —
+			// the driver died and teardown reclaimed it.
+			if err := p.DF.RecyclePage(mem.Addr(page)); err == nil {
+				p.K.Acct.Charge(sim.CostPageRecycleMap)
+				returned = append(returned, page)
+			}
+		}
+		if len(returned) == 0 {
+			continue
+		}
+		err := p.C.ASend(q, uchan.Msg{
+			Op:   OpPageRecycle,
+			Data: protocol.EncodeRecycle(uint32(p.epoch), returned),
+		})
+		if err != nil {
+			// The pages are back in the driver's domain either way; a
+			// hung ring just means the driver never reuses them.
+			p.UpcallErrors++
+			continue
+		}
+		p.RecycleUpcalls++
+	}
+}
+
+// FlushRecycle forces every queue's pending flipped pages back to the driver
+// regardless of threshold (tests, teardown).
+func (p *Proxy) FlushRecycle() {
+	for q := range p.pendingRecycle {
+		p.flushRecycleQ(q)
+	}
+}
+
+// PendingRecyclePages reports pages flipped but not yet recycled, summed
+// across queues.
+func (p *Proxy) PendingRecyclePages() int {
+	n := 0
+	for _, pr := range p.pendingRecycle {
+		n += len(pr)
+	}
+	return n
 }
 
 // failRead completes a request as an I/O error after a rejected reference;

@@ -19,6 +19,11 @@ func FuzzDecodeBlkBatch(f *testing.F) {
 		{Tag: 7, Status: 3},
 		{Tag: ^uint64(0), IOVA: ^uint64(0), Len: ^uint32(0)},
 	}))
+	// Page-flip shapes: a page-aligned full-block read (the flip fast
+	// path) and a deliberately misaligned one (must fall back to the
+	// guard copy).
+	f.Add(EncodeBlkBatch([]CompRef{{Tag: 2, IOVA: 0x43000000, Len: 4096}}))
+	f.Add(EncodeBlkBatch([]CompRef{{Tag: 3, IOVA: 0x43000200, Len: 4096}}))
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		comps, err := DecodeBlkBatch(buf)
 		if err != nil {

@@ -34,6 +34,11 @@ const (
 	OpStop                            // sync
 	OpXmit                            // async; Args: [0]=buffer IOVA, [1]=length, [2]=slot index, [3]=TX queue
 	OpIoctl                           // sync; Args: [0]=cmd; Data: argument bytes
+	// OpPageRecycle returns flipped buffer pages to the driver (async);
+	// Data carries the protocol recycle framing (epoch + page IOVAs). The
+	// pages have been remapped before the upcall is sent, so the driver
+	// may re-arm descriptors over them immediately.
+	OpPageRecycle
 )
 
 // Downcall operations (driver → kernel).
@@ -47,6 +52,11 @@ const (
 	// in one message; Data carries the rxbatch.go framing. The queue is
 	// the ring the message arrived on.
 	OpNetifRxBatch
+	// OpRecycleAck echoes an OpPageRecycle frame back once the driver has
+	// re-armed descriptors over the returned pages. Defensively decoded;
+	// an ack whose embedded epoch does not match the live incarnation is
+	// stale (a dead driver's leftovers) and is rejected.
+	OpRecycleAck
 )
 
 // TX shared-pool geometry: SUD preallocates shared buffers and passes
@@ -69,7 +79,23 @@ const (
 	// insecure zero-copy variant, kept to demonstrate the §3.1.2 TOCTOU
 	// attack the guard copy exists to stop.
 	GuardNone
+	// GuardPageFlip amortises the guard to page granularity: for a batch
+	// whose references fully tile a 4-KiB buffer page, the proxy revokes
+	// the driver's IOMMU mapping for the whole page (one walk per page,
+	// one IOTLB shootdown per batch), delivers every frame on it by
+	// reference — the driver can no longer touch the bytes, so the TOCTOU
+	// property holds without a copy — and returns the page on the lazy
+	// recycle lane. Frames on partially-covered pages fall back to the
+	// fused guard copy.
+	GuardPageFlip
 )
+
+// RxSlotSize is the page-flip eligibility contract with page-aware drivers:
+// RX buffers are packed two per 4-KiB page at this stride, and a reference
+// only counts toward a page's coverage if it starts on a slot boundary. (It
+// matches the e1000e buffer size; a driver using different packing simply
+// never flips and pays the per-frame guard instead.)
+const RxSlotSize = 2048
 
 // Proxy is one Ethernet proxy driver instance. Both fast paths are
 // multi-queue aware. Transmit: the shared buffer pool is partitioned across
@@ -103,14 +129,30 @@ type Proxy struct {
 	// signed by this proxy is stale and is rejected wholesale.
 	epoch uint64
 
+	// pendingRecycle holds consumed buffer pages (by IOVA) per queue
+	// awaiting the lazy recycle flush back to the driver; lent dedups them,
+	// so a page whose slots straddle two batches is returned exactly once.
+	pendingRecycle [][]uint64
+	lent           []map[uint64]bool
+
 	// Security / robustness counters.
 	RxInvalidRef  uint64 // shared-buffer references outside the driver's memory
 	RxBadLength   uint64
 	RxBadBatch    uint64 // malformed batch framing from the driver
 	RxStaleEpoch  uint64 // downcalls from a dead driver incarnation
+	RxRevokedRef  uint64 // references naming a page the kernel already owns
 	TxDropsHung   uint64
 	UpcallErrors  uint64
 	MirrorUpdates uint64 // shared-state synchronisation messages (§3.3)
+
+	// Page-flip accounting (the bench metrics).
+	GuardCopiedBytes uint64 // bytes that went through a guard copy
+	PagesFlipped     uint64
+	Shootdowns       uint64 // batch-amortised IOTLB shootdowns
+	RecycleUpcalls   uint64
+	RecycleAcks      uint64
+	RecycleBadAck    uint64 // malformed ack framing from the driver
+	RecycleStaleAck  uint64 // acks carrying a dead incarnation's epoch
 }
 
 // KernelIface is the slice of kernel services the proxy needs (breaking a
@@ -140,6 +182,11 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 		stalled:        make([]bool, q),
 		RxQueueFrames:  make([]uint64, q),
 		RxQueueBatches: make([]uint64, q),
+		pendingRecycle: make([][]uint64, q),
+		lent:           make([]map[uint64]bool, q),
+	}
+	for i := range p.lent {
+		p.lent[i] = make(map[uint64]bool)
 	}
 	for i := 0; i < p.perQueue*q; i++ {
 		qi := i / p.perQueue
@@ -174,6 +221,11 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 		stalled:        make([]bool, q),
 		RxQueueFrames:  make([]uint64, q),
 		RxQueueBatches: make([]uint64, q),
+		pendingRecycle: make([][]uint64, q),
+		lent:           make([]map[uint64]bool, q),
+	}
+	for i := range p.lent {
+		p.lent[i] = make(map[uint64]bool)
 	}
 	for i := 0; i < p.perQueue*q; i++ {
 		qi := i / p.perQueue
@@ -353,6 +405,16 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			p.Ifc.NetifRxVerifiedQ(m.Data, q)
 			return
 		}
+		if p.GuardMode == GuardPageFlip {
+			// Single-frame transport (Q=1 keeps the paper's exact
+			// one-message-per-frame path): a lone ref can never tile a
+			// page, so it takes the guard-copy fallback — but it must
+			// still flow through the page bookkeeping, because a
+			// page-aware driver re-arms its descriptor only when the
+			// recycle lane returns the page.
+			p.netifRxBatchFlip(q, []RxRef{{IOVA: m.Args[0], Len: uint32(m.Args[1])}})
+			return
+		}
 		p.netifRx(q, mem.Addr(m.Args[0]), int(m.Args[1]))
 	case OpNetifRxBatch:
 		refs, err := DecodeRxBatch(m.Data)
@@ -363,9 +425,27 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			return
 		}
 		p.RxQueueBatches[q]++
+		if p.GuardMode == GuardPageFlip {
+			p.netifRxBatchFlip(q, refs)
+			return
+		}
 		for _, r := range refs {
 			p.netifRx(q, mem.Addr(r.IOVA), int(r.Len))
 		}
+	case OpRecycleAck:
+		epoch, pages, err := protocol.DecodeRecycle(m.Data)
+		if err != nil {
+			p.RecycleBadAck++
+			return
+		}
+		if epoch != uint32(p.epoch) {
+			// A frame minted for a dead incarnation (replayed across a
+			// recovery, or forged): the pages it names belong to the new
+			// incarnation's pool now.
+			p.RecycleStaleAck++
+			return
+		}
+		p.RecycleAcks += uint64(len(pages))
 	case OpXmitDone:
 		slot := int(m.Args[0])
 		if slot >= 0 && slot < p.perQueue*len(p.free) {
@@ -425,7 +505,14 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 		return
 	}
 	if !p.DF.ValidateRange(iova, n) {
-		p.RxInvalidRef++
+		// Distinguish a reference into a page the kernel already owns
+		// (page-flip squatting — ValidateRange has recorded the fault as
+		// driver evidence) from one outside the driver's memory entirely.
+		if p.DF.PageRevoked(iova) {
+			p.RxRevokedRef++
+		} else {
+			p.RxInvalidRef++
+		}
 		return
 	}
 	phys, ok := p.DF.PhysFor(iova)
@@ -448,13 +535,16 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 	case GuardSeparate:
 		// Naive: copy pass, then an independent checksum pass.
 		p.K.Acct.Charge(sim.Copy(n) + sim.Checksum(n))
+		p.GuardCopiedBytes += uint64(n)
 	case GuardReadonlyIOTLB:
 		// Mark the page read-only instead of copying: requires an
 		// IOTLB invalidation per buffer turnaround.
 		p.K.Acct.Charge(sim.Checksum(n) + sim.CostIOTLBInvalidate)
 	default:
-		// Fused guard copy + checksum, the paper's design.
+		// Fused guard copy + checksum, the paper's design — also the
+		// fallback for page-flip frames on partially-covered pages.
 		p.K.Acct.Charge(sim.ChecksumCopy(n))
+		p.GuardCopiedBytes += uint64(n)
 	}
 	if err := p.K.Mem.Read(phys, frame); err != nil {
 		p.RxInvalidRef++

@@ -75,6 +75,16 @@ func FuzzDecodeRxBatch(f *testing.F) {
 	f.Add(EncodeRxBatch([]RxRef{{IOVA: 0x2000, Len: 1514}}))
 	f.Add(EncodeRxBatch(make([]RxRef, MaxRxBatch)))
 	f.Add([]byte{0xFF, 0x00, 1, 2, 3})
+	// Page-flip shapes: slot-packed refs fully tiling one page (the flip
+	// fast path), a duplicate slot (must fall back to the per-frame
+	// guard), and a ref straddling a slot boundary.
+	f.Add(EncodeRxBatch([]RxRef{
+		{IOVA: 0x4000, Len: 1514}, {IOVA: 0x4000 + RxSlotSize, Len: 60},
+	}))
+	f.Add(EncodeRxBatch([]RxRef{
+		{IOVA: 0x4000, Len: 64}, {IOVA: 0x4000, Len: 64},
+	}))
+	f.Add(EncodeRxBatch([]RxRef{{IOVA: 0x4000 + RxSlotSize/2, Len: 1514}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		refs, err := DecodeRxBatch(data)
 		if err != nil {

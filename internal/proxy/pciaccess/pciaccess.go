@@ -59,6 +59,13 @@ type DeviceFile struct {
 	allocs    []*Alloc
 	usedPages int
 
+	// revoked tracks pages the kernel has flipped to itself (page-flip
+	// guard, §3.1.2 amortised): pageIOVA -> phys. While a page is here the
+	// device cannot DMA to it (the PTE is gone) and the driver process's
+	// window onto it is closed — ValidateRange/PhysFor refuse references
+	// into it and driver-side stores through the UML DMA API fault.
+	revoked map[mem.Addr]mem.Addr
+
 	vector       irq.Vector
 	irqRequested bool
 	upcall       func() // interrupt upcall into the driver process
@@ -73,6 +80,11 @@ type DeviceFile struct {
 	InterruptUpcalls     uint64
 	MasksWhilePending    uint64
 	StormResponses       uint64
+	// RevokedFaults counts driver-side touches (loads, stores, shared-
+	// buffer references, DMA retargets) of pages the kernel has revoked —
+	// the page-flip equivalent of an IOMMU fault, attributed to this
+	// driver as evidence for the policy plane.
+	RevokedFaults uint64
 
 	closed bool
 }
@@ -183,7 +195,9 @@ func (df *DeviceFile) Allocs() []*Alloc { return df.allocs }
 
 // ValidateRange reports whether [iova, iova+n) lies entirely inside one of
 // the driver's DMA allocations. Proxy drivers use it to reject shared-buffer
-// references a malicious driver points at memory it does not own.
+// references a malicious driver points at memory it does not own. A range
+// overlapping a revoked page is rejected too — the driver no longer owns
+// that page — and the attempt is recorded as revoked-page evidence.
 func (df *DeviceFile) ValidateRange(iova mem.Addr, n int) bool {
 	if n <= 0 {
 		return false
@@ -191,14 +205,23 @@ func (df *DeviceFile) ValidateRange(iova mem.Addr, n int) bool {
 	for _, a := range df.allocs {
 		end := a.IOVA + mem.Addr(a.Pages)*mem.PageSize
 		if iova >= a.IOVA && iova+mem.Addr(n) <= end {
+			if df.rangeRevoked(iova, n) {
+				df.RevokedFaults++
+				return false
+			}
 			return true
 		}
 	}
 	return false
 }
 
-// PhysFor translates a validated IOVA to its physical address.
+// PhysFor translates a validated IOVA to its physical address. Revoked pages
+// do not translate: the driver's claim to them ended at the flip.
 func (df *DeviceFile) PhysFor(iova mem.Addr) (mem.Addr, bool) {
+	if df.PageRevoked(iova) {
+		df.RevokedFaults++
+		return 0, false
+	}
 	for _, a := range df.allocs {
 		end := a.IOVA + mem.Addr(a.Pages)*mem.PageSize
 		if iova >= a.IOVA && iova < end {
@@ -206,6 +229,117 @@ func (df *DeviceFile) PhysFor(iova mem.Addr) (mem.Addr, bool) {
 		}
 	}
 	return 0, false
+}
+
+// --- page-flip ownership transfer (§3.1.2 amortised guard) -------------------
+
+// RevokePage flips ownership of the 4-KiB page containing iova from the
+// driver to the kernel: the PTE is cleared in a single walk and the IOTLB
+// entry dropped, so the device faults on any further DMA to it and the driver
+// process's accesses through the DMA API fault as evidence. The physical page
+// is returned so the proxy can deliver its contents by reference. The caller
+// charges sim.CostPageFlipRevoke per page and amortises one
+// sim.CostIOTLBShootdown over the batch.
+func (df *DeviceFile) RevokePage(iova mem.Addr) (mem.Addr, error) {
+	if df.closed {
+		return 0, fmt.Errorf("pciaccess: device file closed")
+	}
+	page := mem.PageAlign(iova)
+	if df.revoked != nil {
+		if _, dup := df.revoked[page]; dup {
+			return 0, fmt.Errorf("pciaccess: page %#x already revoked", uint64(page))
+		}
+	}
+	owned := false
+	for _, a := range df.allocs {
+		end := a.IOVA + mem.Addr(a.Pages)*mem.PageSize
+		if page >= a.IOVA && page < end {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		return 0, fmt.Errorf("pciaccess: page %#x not in any DMA allocation", uint64(page))
+	}
+	phys, ok := df.K.M.IOMMU.RevokePage(df.Dev.BDF(), page)
+	if !ok {
+		// Detached or already-stripped domain (e.g. recovery tore the
+		// mapping down first): nothing to flip.
+		return 0, fmt.Errorf("pciaccess: page %#x not mapped", uint64(page))
+	}
+	if df.revoked == nil {
+		df.revoked = make(map[mem.Addr]mem.Addr)
+	}
+	df.revoked[page] = phys
+	return phys, nil
+}
+
+// RecyclePage reverses a RevokePage: the PTE is re-installed (walk + entry
+// write; no invalidation — absent to present) and the driver may fill the
+// page again. The caller charges sim.CostPageRecycleMap.
+func (df *DeviceFile) RecyclePage(iova mem.Addr) error {
+	if df.closed {
+		return fmt.Errorf("pciaccess: device file closed")
+	}
+	page := mem.PageAlign(iova)
+	phys, ok := df.revoked[page]
+	if !ok {
+		return fmt.Errorf("pciaccess: page %#x is not revoked", uint64(page))
+	}
+	if err := df.Dom.Map(page, phys, iommu.PermRW); err != nil {
+		return err
+	}
+	delete(df.revoked, page)
+	return nil
+}
+
+// PageRevoked reports whether the page containing iova is currently flipped
+// to the kernel.
+func (df *DeviceFile) PageRevoked(iova mem.Addr) bool {
+	if len(df.revoked) == 0 {
+		return false
+	}
+	_, ok := df.revoked[mem.PageAlign(iova)]
+	return ok
+}
+
+// RevokedPages returns the number of pages currently flipped to the kernel.
+func (df *DeviceFile) RevokedPages() int { return len(df.revoked) }
+
+func (df *DeviceFile) rangeRevoked(iova mem.Addr, n int) bool {
+	if len(df.revoked) == 0 {
+		return false
+	}
+	for p := mem.PageAlign(iova); p < iova+mem.Addr(n); p += mem.PageSize {
+		if _, ok := df.revoked[p]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// DriverTouch models the untrusted driver process loading or storing through
+// its shared DMA window at iova. On a live page it translates and succeeds;
+// on a revoked page the process's mapping is gone, so the access faults and
+// is recorded as evidence. Attack harnesses and the UML DMA shims route
+// driver-side accesses here so the page-flip confinement is honest.
+func (df *DeviceFile) DriverTouch(iova mem.Addr, n int, write bool) (mem.Addr, error) {
+	if df.closed {
+		return 0, fmt.Errorf("pciaccess: device file closed")
+	}
+	if df.rangeRevoked(iova, n) {
+		df.RevokedFaults++
+		op := "load from"
+		if write {
+			op = "store to"
+		}
+		return 0, fmt.Errorf("pciaccess: driver %s revoked page %#x", op, uint64(mem.PageAlign(iova)))
+	}
+	phys, ok := df.PhysFor(iova)
+	if !ok {
+		return 0, fmt.Errorf("pciaccess: %#x not mapped", uint64(iova))
+	}
+	return phys, nil
 }
 
 // --- MMIO and IO ports ------------------------------------------------------
@@ -537,11 +671,16 @@ func (df *DeviceFile) Close() {
 	df.closed = true
 	df.teardownIRQ()
 	for _, a := range df.allocs {
+		// UnmapRange tolerates pages already absent from the page table,
+		// so allocations with in-flight revoked (flipped) pages tear down
+		// cleanly; every physical page — flipped or not — is reclaimed
+		// here, which is what makes kill -9 mid page-flip leak-free.
 		df.Dom.UnmapRange(a.IOVA, uint64(a.Pages)*mem.PageSize)
 		df.K.M.Alloc.FreePages(a.Phys, a.Pages)
 	}
 	df.allocs = nil
 	df.usedPages = 0
+	df.revoked = nil
 	if df.attached {
 		// Only the domain owner detaches the bus identity: a never-promoted
 		// standby closing must not rip the attachment out from under the

@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecycleRoundTrip pins the recycle-ring framing: epoch and every page
+// IOVA survive encode→decode at the boundaries of the count range.
+func TestRecycleRoundTrip(t *testing.T) {
+	cases := []struct {
+		epoch uint32
+		pages []uint64
+	}{
+		{0, []uint64{0x1000}},
+		{^uint32(0), []uint64{0, ^uint64(0), 0xFEED0000}},
+		{7, make([]uint64, MaxRecyclePages)},
+	}
+	for _, c := range cases {
+		epoch, pages, err := DecodeRecycle(EncodeRecycle(c.epoch, c.pages))
+		if err != nil {
+			t.Fatalf("decode(%d pages): %v", len(c.pages), err)
+		}
+		if epoch != c.epoch {
+			t.Fatalf("epoch %d -> %d", c.epoch, epoch)
+		}
+		if len(pages) != len(c.pages) {
+			t.Fatalf("round trip %d -> %d pages", len(c.pages), len(pages))
+		}
+		for i := range pages {
+			if pages[i] != c.pages[i] {
+				t.Fatalf("page %d mangled: %#x -> %#x", i, c.pages[i], pages[i])
+			}
+		}
+	}
+}
+
+// TestRecycleRejectsMalformed covers the defensive paths either untrusted
+// direction (upcall or echoed ack) can hit.
+func TestRecycleRejectsMalformed(t *testing.T) {
+	good := EncodeRecycle(1, []uint64{0x1000, 0x2000})
+	cases := map[string]struct {
+		buf  []byte
+		want error
+	}{
+		"nil":       {nil, ErrRecycleShort},
+		"short":     {good[:recycleHdrSize-1], ErrRecycleShort},
+		"zero":      {[]byte{0, 0, 1, 0, 0, 0}, ErrRecycleCount},
+		"overcount": {[]byte{0xFF, 0xFF, 0, 0, 0, 0}, ErrRecycleCount},
+		"truncated": {good[:len(good)-1], ErrRecycleTrunc},
+		"slack":     {append(append([]byte{}, good...), 0xEE), ErrRecycleSlack},
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeRecycle(c.buf); err != c.want {
+			t.Errorf("%s: got %v, want %v", name, err, c.want)
+		}
+	}
+	// Senders own their batch size: out-of-range encodes are programming
+	// errors, not attacker input, and panic.
+	for _, pages := range [][]uint64{nil, make([]uint64, MaxRecyclePages+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("encode of %d pages did not panic", len(pages))
+				}
+			}()
+			EncodeRecycle(0, pages)
+		}()
+	}
+}
+
+// FuzzDecodeRecycleRing hammers the recycle-frame decoder with arbitrary
+// bytes. Both directions of the lane cross the untrusted shared-memory ring
+// — the upcall handing pages back to the driver and the ack the driver
+// echoes — so the decoder must never panic, anything it accepts must respect
+// the page bound, and accepted frames must re-encode to identical bytes (no
+// parser ambiguity for a smuggled payload).
+func FuzzDecodeRecycleRing(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add(EncodeRecycle(1, []uint64{0x42431000}))
+	f.Add(EncodeRecycle(^uint32(0), make([]uint64, MaxRecyclePages)))
+	f.Add([]byte{0xFF, 0xFF, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		epoch, pages, err := DecodeRecycle(buf)
+		if err != nil {
+			return
+		}
+		if len(pages) == 0 || len(pages) > MaxRecyclePages {
+			t.Fatalf("accepted %d pages", len(pages))
+		}
+		if !bytes.Equal(EncodeRecycle(epoch, pages), buf) {
+			t.Fatal("decode/encode mismatch")
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"sud/internal/drivers/api"
 	"sud/internal/kernel/wifistack"
+	"sud/internal/proxy/guard"
 	"sud/internal/proxy/pciaccess"
 	"sud/internal/proxy/protocol"
 	"sud/internal/sim"
@@ -46,6 +47,10 @@ type Proxy struct {
 	DF   *pciaccess.DeviceFile
 	C    *uchan.Chan
 	Ifc  *wifistack.Iface
+
+	// Guard is the shared guard-copy accounting (internal/proxy/guard):
+	// wireless transfers take the plain inline leg.
+	Guard guard.Stats
 
 	// Counters.
 	MirrorUpdates uint64
@@ -90,7 +95,7 @@ func (p *Proxy) HandleDowncall(m uchan.Msg) {
 		}
 		// Inline data was copied through the ring; verify-checksum cost
 		// only (the guard copy is inherent to inline transfer).
-		p.Acct.Charge(sim.Checksum(len(m.Data)))
+		guard.VerifyInline(p.Acct, &p.Guard, len(m.Data))
 		p.Ifc.NetifRx(m.Data)
 	default:
 		p.BadDowncalls++
@@ -141,9 +146,7 @@ func (d *proxyDev) StartXmit(frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("wifiproxy: frame too large")
 	}
-	d.p().Acct.Charge(sim.Copy(len(frame)))
-	buf := make([]byte, len(frame))
-	copy(buf, frame)
+	buf := guard.CopyIn(d.p().Acct, &d.p().Guard, frame)
 	return d.p().C.ASend(uchan.Msg{Op: OpXmit, Data: buf})
 }
 

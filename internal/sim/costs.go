@@ -71,6 +71,24 @@ const (
 	// guard copy is benchmarked as an ablation.
 	CostIOTLBInvalidate Duration = 2000
 
+	// CostPageFlipRevoke is clearing one present PTE in the IO page table
+	// (a single two-level walk plus the entry write) when the kernel takes
+	// page-granularity ownership of a shared buffer page. The IOTLB
+	// shootdown that makes the revocation globally visible is charged
+	// separately (CostIOTLBShootdown) and amortised over a batch.
+	CostPageFlipRevoke Duration = 300
+
+	// CostIOTLBShootdown is one invalidation command covering every page a
+	// batch revoked — the batch-amortised form of CostIOTLBInvalidate. The
+	// paper found *per-buffer* invalidation prohibitive (§3.1.2); one
+	// shootdown per ~16-page batch is what makes the page-flip guard pay.
+	CostIOTLBShootdown Duration = 2000
+
+	// CostPageRecycleMap is re-installing the PTE when a flipped page is
+	// returned to the driver on the recycle ring (walk + entry write; no
+	// invalidation needed — the entry goes from absent to present).
+	CostPageRecycleMap Duration = 120
+
 	// CostIRTEUpdate is rewriting an interrupt remapping table entry and
 	// flushing the interrupt entry cache. Paper §3.2.2: "changing an
 	// interrupt remapping table is more expensive than using MSI

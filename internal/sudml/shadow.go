@@ -70,6 +70,13 @@ type Supervisor struct {
 	// OnRestart, if set, runs after each successful recovery.
 	OnRestart func(generation int)
 
+	// BlkGuard is the guard mode (blkproxy.GuardCopy / GuardPageFlip)
+	// applied to every incarnation's block proxy — including respawns and
+	// armed standbys. A page-aware driver (nvmed.NewFlipQ) must always
+	// face a GuardPageFlip proxy, or the restarted incarnation would defer
+	// descriptor re-arm to a recycle lane that never runs.
+	BlkGuard int
+
 	proc        *Process
 	standby     *Process // pre-spawned hot-standby shell (nil = disarmed)
 	stopped     bool
@@ -167,6 +174,9 @@ func (s *Supervisor) start(gen int) error {
 	if err != nil {
 		return err
 	}
+	if proc.Blk != nil {
+		proc.Blk.GuardMode = s.BlkGuard
+	}
 	proc.Recoverable = true
 	proc.OnDeath = s.onDeath
 	s.proc = proc
@@ -208,6 +218,9 @@ func (s *Supervisor) ArmStandby() error {
 		if err := sb.ArmBlockStandby(s.blkName, d.Geom); err != nil {
 			sb.Kill()
 			return err
+		}
+		if sb.Blk != nil {
+			sb.Blk.GuardMode = s.BlkGuard
 		}
 	}
 	if s.ifName != "" {

@@ -118,12 +118,20 @@ type Process struct {
 	// per frame.
 	NoRxBatch bool
 
+	// kicker is the probed driver's staged-doorbell flush hook
+	// (api.BatchKicker), discovered once at probe. When set, a drain-end
+	// hook flushes the driver's staged doorbells — and the completions or
+	// frames the flush produced — on the same drain that serviced the
+	// batch. Nil for stock drivers: the transport is untouched.
+	kicker api.BatchKicker
+
 	// Counters.
 	ZeroCopyRx, BouncedRx uint64
 	RxBatches             uint64
 	BlkBatches            uint64
 	XmitRingDrops         uint64
 	BadFlushFrames        uint64
+	BadRecycleFrames      uint64
 
 	// Recoverable marks the process as supervised: on death its devices
 	// enter shadow recovery (parked, adoptable) instead of being
@@ -241,8 +249,45 @@ func (p *Process) probeDriver() error {
 	if h, ok := inst.(api.CtlHandler); ok {
 		p.ctl = h
 	}
+	p.wireFastPath()
 	p.Chan.Flush() // deliver any downcalls queued during probe
 	return nil
+}
+
+// wireFastPath installs the drain-end hook when the probed driver stages
+// doorbells (api.BatchKicker). KickPending runs first — flushing staged TX
+// tails / SQ tails may complete commands or surface frames — and the batches
+// those produced flush right after, so everything rides the drain that
+// serviced the upcalls. Stock drivers install nothing.
+func (p *Process) wireFastPath() {
+	var k api.BatchKicker
+	if kk, ok := p.netdev.(api.BatchKicker); ok {
+		k = kk
+	} else if kk, ok := p.blockdev.(api.BatchKicker); ok {
+		k = kk
+	} else if kk, ok := p.inst.(api.BatchKicker); ok {
+		k = kk
+	}
+	if k == nil {
+		return
+	}
+	p.kicker = k
+	p.Chan.SetOnDrainEnd(func() {
+		if p.killed {
+			return
+		}
+		k.KickPending()
+		p.flushRxBatches()
+		p.flushBlkComps()
+	})
+}
+
+// kickPending flushes the driver's staged doorbells from paths that run
+// outside an upcall drain (retry timers, driver timers).
+func (p *Process) kickPending() {
+	if p.kicker != nil && !p.killed {
+		p.kicker.KickPending()
+	}
 }
 
 // ActivateDriver probes the driver inside a promoted standby shell. The
@@ -449,6 +494,9 @@ func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 	case ethproxy.OpXmit:
 		p.handleXmit(q, m)
 		return &uchan.Msg{Seq: m.Seq}
+	case ethproxy.OpPageRecycle:
+		p.handleRecycle(q, m, ethproxy.OpRecycleAck)
+		return &uchan.Msg{Seq: m.Seq}
 	case protocol.OpInterrupt:
 		if p.irqHandler != nil {
 			p.irqHandler()
@@ -554,8 +602,41 @@ func (p *Process) dispatchBlock(q int, m uchan.Msg) *uchan.Msg {
 		// a barrier, and held work stays in order.
 		p.handleBlkSubmit(q, m)
 		return &uchan.Msg{Seq: m.Seq}
+	case blkproxy.OpPageRecycle:
+		p.handleRecycle(q, m, blkproxy.OpRecycleAck)
+		return &uchan.Msg{Seq: m.Seq}
 	default:
 		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
+	}
+}
+
+// handleRecycle services an OpPageRecycle upcall (either class): the frame
+// names buffer pages the kernel has finished with, remapped back into this
+// process's domain. They go to the page-aware driver's pool, and the frame is
+// echoed back verbatim as the class's recycle ack so the proxy's epoch check
+// can reject credits addressed to a dead incarnation.
+func (p *Process) handleRecycle(q int, m uchan.Msg, ackOp uint32) {
+	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	_, pages, err := protocol.DecodeRecycle(m.Data)
+	if err != nil {
+		p.BadRecycleFrames++
+		return
+	}
+	var rec api.PageRecycler
+	if r, ok := p.netdev.(api.PageRecycler); ok {
+		rec = r
+	} else if r, ok := p.blockdev.(api.PageRecycler); ok {
+		rec = r
+	}
+	if rec != nil {
+		addrs := make([]mem.Addr, len(pages))
+		for i, pg := range pages {
+			addrs[i] = mem.Addr(pg)
+		}
+		rec.RecyclePages(q, addrs)
+	}
+	if err := p.Chan.DownQ(q, uchan.Msg{Op: ackOp, Data: m.Data}); err != nil {
+		p.BadRecycleFrames++
 	}
 }
 
@@ -611,6 +692,7 @@ func (p *Process) retryPendingTx(q int) {
 	}
 	p.QueueAccts[q].Charge(sim.CostUMLCall)
 	p.drainPendingTxQ(q)
+	p.kickPending()
 	p.Chan.Flush()
 	if len(p.pendingTx[q]) > 0 && !p.retryTimer[q] {
 		p.retryTimer[q] = true
@@ -713,6 +795,7 @@ func (p *Process) retryPendingBlk(q int) {
 	p.flushBlkComps()
 	p.Chan.Flush()
 	p.drainPendingBlkQ(q)
+	p.kickPending()
 	p.flushBlkComps()
 	p.Chan.Flush()
 	if len(p.pendingBlk[q]) > 0 && !p.blkRetryTimer[q] {
@@ -966,6 +1049,7 @@ func (e *env) Timer(delayJiffies uint64, fn func()) {
 		}
 		p.Acct.Charge(sim.CostUMLCall)
 		fn()
+		p.kickPending()
 		p.flushRxBatches()
 		p.flushBlkComps()
 		p.Chan.Flush()
@@ -1232,9 +1316,24 @@ type umlDMA struct {
 func (b *umlDMA) BusAddr() mem.Addr { return b.a.IOVA }
 func (b *umlDMA) Size() int         { return b.size }
 
+// touch routes a driver-side access through the safe PCI module's page-flip
+// bookkeeping: on a revoked page the process's mapping is gone, so the access
+// faults (recorded as evidence) instead of reading kernel-owned bytes. Gated
+// on RevokedPages so a process that never flips pays nothing.
+func (b *umlDMA) touch(off, n int, write bool) error {
+	if b.p.DF.RevokedPages() == 0 {
+		return nil
+	}
+	_, err := b.p.DF.DriverTouch(b.a.IOVA+mem.Addr(off), n, write)
+	return err
+}
+
 func (b *umlDMA) Read(off int, p []byte) error {
 	if off < 0 || off+len(p) > b.size {
 		return fmt.Errorf("sudml: DMA read out of bounds")
+	}
+	if err := b.touch(off, len(p), false); err != nil {
+		return err
 	}
 	b.p.Acct.Charge(sim.Copy(len(p)))
 	return b.p.K.M.Mem.Read(b.a.Phys+mem.Addr(off), p)
@@ -1244,12 +1343,18 @@ func (b *umlDMA) Write(off int, p []byte) error {
 	if off < 0 || off+len(p) > b.size {
 		return fmt.Errorf("sudml: DMA write out of bounds")
 	}
+	if err := b.touch(off, len(p), true); err != nil {
+		return err
+	}
 	b.p.Acct.Charge(sim.Copy(len(p)))
 	return b.p.K.M.Mem.Write(b.a.Phys+mem.Addr(off), p)
 }
 
 func (b *umlDMA) Slice(off, n int) ([]byte, bool) {
 	if off < 0 || n <= 0 || off+n > b.size {
+		return nil, false
+	}
+	if b.touch(off, n, true) != nil {
 		return nil, false
 	}
 	view, ok := b.p.K.M.Mem.Slice(b.a.Phys+mem.Addr(off), n)

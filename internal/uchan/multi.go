@@ -103,6 +103,19 @@ func (mc *MultiChan) SetDriverHandler(h func(q int, m Msg) *Msg) {
 	}
 }
 
+// SetOnDrainEnd installs the per-drain hook on every ring (including the
+// urgent lane): it runs in driver-process context after each batch of
+// upcalls is serviced, before the downcall flush. SUD-UML uses it to flush
+// device doorbell writes staged during the batch (submit-side coalescing).
+func (mc *MultiChan) SetOnDrainEnd(f func()) {
+	for _, c := range mc.queues {
+		c.OnDrainEnd = f
+	}
+	if mc.urgent != mc.queues[0] {
+		mc.urgent.OnDrainEnd = f
+	}
+}
+
 // opEncodedSlot marks a ring entry whose payload is codec.go slot bytes
 // written by the driver process; the kernel side must decode it defensively
 // before dispatch. Reserved from the proxy-class op space.

@@ -146,6 +146,12 @@ type Chan struct {
 	// KernelHandler services one downcall in kernel context. Set by the
 	// proxy driver.
 	KernelHandler func(Msg)
+	// OnDrainEnd, if set, runs in driver-process context after each batch
+	// of upcalls is serviced, before the downcall flush. SUD-UML uses it
+	// for opportunistic submit-side coalescing: device doorbell writes
+	// (TX tail, SQ tail) staged while individual upcalls were handled are
+	// flushed here, once per drain, instead of one MMIO write per op.
+	OnDrainEnd func()
 
 	k2u []Msg
 	u2k []Msg
@@ -303,6 +309,9 @@ func (c *Chan) Send(m Msg) (*Msg, error) {
 	if reply == nil {
 		return nil, ErrHung
 	}
+	if c.OnDrainEnd != nil {
+		c.OnDrainEnd()
+	}
 	c.flushDown()
 	// Async messages may have queued while the driver serviced the sync
 	// call; make sure they get drained.
@@ -397,6 +406,9 @@ func (c *Chan) drain() {
 			if c.DriverHandler != nil {
 				c.DriverHandler(m)
 			}
+		}
+		if c.OnDrainEnd != nil {
+			c.OnDrainEnd()
 		}
 		c.flushDown()
 		// Downcall handling in the kernel may have queued fresh upcalls
