@@ -26,6 +26,9 @@
 //	                                      promotion (Failovers ≥ 1) and drain
 //	                                      p99 under -failover-slo-us — the
 //	                                      tighter budget failover exists for
+//	latency   []report.LatencyRow         end-to-end p50/p99 per (kind,Q) row,
+//	                                      merged and per queue — the latency
+//	                                      face of the rx and blk scale runs
 //
 // With -append FILE, one JSON line per checked metric is appended to FILE
 // (sha, kind, key, metric, value, baseline) — the perf-trajectory record
@@ -42,6 +45,7 @@ import (
 
 	"sud/internal/diskperf"
 	"sud/internal/netperf"
+	"sud/internal/report"
 )
 
 // Absolute zero-copy bounds for page-flip rows. The flip fast path may
@@ -236,6 +240,43 @@ func (g *gate) check(kind, curPath, basePath string) error {
 				{"Replayed", float64(r.Replayed), float64(b.Replayed), true},
 			}
 		})
+	case "latency":
+		var cur, base []report.LatencyRow
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("%s Q=%d", r.Kind, r.Queues)
+			if r.P99US <= 0 {
+				g.violate(kind, key, "row recorded no latency samples")
+			}
+			b, ok := findLatency(base, r)
+			if !ok {
+				return key, nil
+			}
+			ms := []metric{
+				{"P50US", r.P50US, b.P50US, true},
+				{"P99US", r.P99US, b.P99US, true},
+			}
+			// Per-queue splits are banded too: a single queue going slow
+			// while the merge stays flat is exactly the regression a
+			// per-queue artifact exists to catch.
+			for qi, q := range r.PerQueue {
+				if qi >= len(b.PerQueue) {
+					g.violate(kind, key, "queue %d has no baseline counterpart", q.Queue)
+					continue
+				}
+				bq := b.PerQueue[qi]
+				ms = append(ms,
+					metric{fmt.Sprintf("q%d.P50US", q.Queue), q.P50US, bq.P50US, true},
+					metric{fmt.Sprintf("q%d.P99US", q.Queue), q.P99US, bq.P99US, true})
+			}
+			return key, ms
+		})
 	default:
 		return fmt.Errorf("unknown bench kind %q", kind)
 	}
@@ -320,6 +361,15 @@ func findBlk(base []diskperf.Result, r diskperf.Result) (diskperf.Result, bool) 
 		}
 	}
 	return diskperf.Result{}, false
+}
+
+func findLatency(base []report.LatencyRow, r report.LatencyRow) (report.LatencyRow, bool) {
+	for _, b := range base {
+		if b.Kind == r.Kind && b.Queues == r.Queues {
+			return b, true
+		}
+	}
+	return report.LatencyRow{}, false
 }
 
 func findRecovery(base []diskperf.RecoveryResult, r diskperf.RecoveryResult) (diskperf.RecoveryResult, bool) {

@@ -6,7 +6,22 @@
 //	sudbench -experiment security  # §5.2 attack matrix
 //	sudbench -experiment multiflow # multi-queue scale scenario (beyond paper)
 //	sudbench -experiment blk       # block IOPS scale scenario (beyond paper)
+//	sudbench -experiment latency   # per-queue p50/p99 latency artifact
 //	sudbench -experiment all       # everything
+//
+// --trace FILE enables the span recorder for the multiflow and blk
+// experiments and writes every recorded hop as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto, or summarize with sudtrace).
+// Tracing runs in virtual time, so two same-seed runs produce
+// byte-identical trace files:
+//
+//	sudbench -experiment blk --trace trace.json && sudtrace trace.json
+//
+// The latency experiment reruns the SUD rx and blk scale scenarios and
+// emits the per-queue end-to-end latency percentiles (BENCH_latency.json,
+// gated by benchgate like the throughput artifacts):
+//
+//	sudbench -experiment latency --json BENCH_latency.json
 //
 // The multiflow experiment takes --queues (uchan ring pairs / e1000e TX+RX
 // queues), --flows (concurrent UDP flows, spread over the e1000e and
@@ -45,10 +60,11 @@ import (
 	"sud/internal/proxy/ethproxy"
 	"sud/internal/report"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | blk | all")
+	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | blk | latency | all")
 	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
 	queues := flag.Int("queues", 4, "multiflow/blk: uchan ring pairs / hardware queues")
 	flows := flag.Int("flows", 6, "multiflow: concurrent UDP flows")
@@ -64,8 +80,35 @@ func main() {
 		"blk: with -kill-after, arm a hot standby before the run so the kill is recovered by standby promotion instead of a cold respawn (BENCH_failover.json)")
 	guardMode := flag.String("guard", "fused",
 		"multiflow/blk: TOCTOU-guard ablation — fused | separate | pageflip")
-	jsonPath := flag.String("json", "", "multiflow/blk: also write result rows as JSON to this file")
+	jsonPath := flag.String("json", "", "multiflow/blk/latency: also write result rows as JSON to this file")
+	tracePath := flag.String("trace", "",
+		"multiflow/blk: enable the span recorder and write the hops as Chrome trace-event JSON to this file")
 	flag.Parse()
+
+	// Span collection for --trace: each traced testbed's machine records
+	// into its own ring; the runs execute sequentially, so appending in run
+	// order keeps the file deterministic. Each machine gets its own run id
+	// (Chrome pid) — tags and virtual times recur across machines, so
+	// merging without it would splice unrelated spans together.
+	var spans []trace.Event
+	var spansDropped uint64
+	runID := 0
+	traceOn := func(m *hw.Machine) {
+		if *tracePath != "" {
+			m.Trace.Enable()
+		}
+	}
+	traceOff := func(m *hw.Machine) {
+		if *tracePath != "" {
+			for _, ev := range m.Trace.Events() {
+				ev.Run = runID
+				spans = append(spans, ev)
+			}
+			spansDropped += m.Trace.Dropped()
+			m.Trace.Disable()
+			runID++
+		}
+	}
 
 	run := func(name string, f func() error) {
 		switch *exp {
@@ -154,7 +197,9 @@ func main() {
 			if err != nil {
 				return err
 			}
+			traceOn(tb.M)
 			res, err := netperf.MultiFlowDir(tb, *flows, dir, opt)
+			traceOff(tb.M)
 			if err != nil {
 				return err
 			}
@@ -282,7 +327,9 @@ func main() {
 			if err != nil {
 				return err
 			}
+			traceOn(tb.M)
 			res, err := diskperf.BlockIOPS(tb, *jobs, *depth, opt)
+			traceOff(tb.M)
 			if err != nil {
 				return err
 			}
@@ -291,6 +338,29 @@ func main() {
 		}
 		if *jsonPath != "" {
 			blob, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("latency", func() error {
+		opt := netperf.DefaultOptions()
+		opt.Window = sim.Duration(*window) * sim.Millisecond
+		rows, err := report.RunLatency(hw.DefaultPlatform(), *queues, *flows, *queues, *jobs, *depth, opt)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Print(r)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
 			if err != nil {
 				return err
 			}
@@ -312,4 +382,16 @@ func main() {
 		fmt.Print(report.SecuritySummary(outcomes))
 		return nil
 	})
+
+	if *tracePath != "" {
+		if len(spans) == 0 {
+			fmt.Fprintf(os.Stderr, "sudbench: --trace recorded no spans (only multiflow and blk are traced)\n")
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tracePath, trace.ChromeJSON(spans, spansDropped), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sudbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d span events)\n", *tracePath, len(spans))
+	}
 }

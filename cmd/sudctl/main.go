@@ -4,13 +4,23 @@
 // kills and restarts it — the kill -9 / restart workflow the paper
 // describes — and shows the system surviving a hung driver. A second
 // section does the same for the storage class: the untrusted nvmed process,
-// its per-queue IOMMU-domain allocations, and block traffic through k.Blk.
+// its per-queue IOMMU-domain allocations, and block traffic through k.Blk,
+// with the span recorder enabled so the round trip prints as a per-hop
+// latency breakdown. The final section puts the nvmed process under
+// shadow-driver supervision, kills it mid-traffic, and dumps the
+// supervisor's flight recorder — the kill → park → detect → verdict →
+// respawn → adopt → replay → drain timeline an administrator reads after
+// the fact.
+//
+// Everything runs in deterministic virtual time, so the output is stable
+// byte for byte; a golden test pins it.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sud/internal/diskperf"
@@ -21,102 +31,118 @@ import (
 	"sud/internal/netperf"
 	"sud/internal/sim"
 	"sud/internal/sudml"
+	"sud/internal/trace"
 )
 
 func main() {
 	flag.Parse()
-
-	tb, err := netperf.NewTestbed(netperf.ModeSUD, hw.DefaultPlatform())
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Println("== driver process ==")
-	fmt.Printf("name: %s  uid: %d  runtime memory: %d MB\n",
+func run(w io.Writer) error {
+	if err := netSection(w); err != nil {
+		return err
+	}
+	if err := blockSection(w); err != nil {
+		return err
+	}
+	return flightSection(w)
+}
+
+// netSection is the paper's administrator tour: inspect, hang, kill -9,
+// restart.
+func netSection(w io.Writer) error {
+	tb, err := netperf.NewTestbed(netperf.ModeSUD, hw.DefaultPlatform())
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== driver process ==")
+	fmt.Fprintf(w, "name: %s  uid: %d  runtime memory: %d MB\n",
 		tb.Proc.Name, tb.Proc.UID, sudml.RuntimeMemoryBytes>>20)
-	fmt.Printf("interrupt vector: %#x\n", tb.Proc.DF.Vector())
+	fmt.Fprintf(w, "interrupt vector: %#x\n", tb.Proc.DF.Vector())
 
-	fmt.Println("\n== IOMMU domain (the device can DMA here and nowhere else) ==")
+	fmt.Fprintln(w, "\n== IOMMU domain (the device can DMA here and nowhere else) ==")
 	for _, a := range tb.Proc.DF.Allocs() {
-		fmt.Printf("  %-22s iova %#x  %4d pages\n", a.Label, uint64(a.IOVA), a.Pages)
+		fmt.Fprintf(w, "  %-22s iova %#x  %4d pages\n", a.Label, uint64(a.IOVA), a.Pages)
 	}
 
 	// netserver-style echo application for the traffic checks.
-	echo := func(ifc *netstack.Iface) {
+	echo := func(ifc *netstack.Iface) error {
 		tb.K.Net.UDPClose(netperf.PortRR)
-		if _, err := tb.K.Net.UDPBind(netperf.PortRR, func(p []byte, srcIP netstack.IP, srcPort uint16) {
+		_, err := tb.K.Net.UDPBind(netperf.PortRR, func(p []byte, srcIP netstack.IP, srcPort uint16) {
 			_ = tb.K.Net.UDPSendTo(ifc, netperf.RemoteMAC, srcIP, netperf.PortRR, srcPort, p)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
-			os.Exit(1)
-		}
+		})
+		return err
 	}
-	echo(tb.Ifc)
+	if err := echo(tb.Ifc); err != nil {
+		return err
+	}
 
-	fmt.Println("\n== traffic check ==")
+	fmt.Fprintln(w, "\n== traffic check ==")
 	tb.Remote.StartRR(64)
 	tb.M.Loop.RunFor(50 * sim.Millisecond)
 	tb.Remote.StopRR()
-	fmt.Printf("  %d request/response transactions completed\n", tb.Remote.RRCount)
+	fmt.Fprintf(w, "  %d request/response transactions completed\n", tb.Remote.RRCount)
 	st := tb.Proc.Chan.Stats()
-	fmt.Printf("  uchan: %d upcalls, %d downcalls, %d wakeups, %d spin pickups\n",
+	fmt.Fprintf(w, "  uchan: %d upcalls, %d downcalls, %d wakeups, %d spin pickups\n",
 		st.Upcalls, st.Downcalls, st.Wakeups, st.SpinPickups)
 
-	fmt.Println("\n== hang the driver (infinite loop) ==")
+	fmt.Fprintln(w, "\n== hang the driver (infinite loop) ==")
 	tb.Proc.Hang()
 	if _, err := tb.Ifc.Ioctl(api.IoctlGetMIIStatus, nil); err != nil {
-		fmt.Printf("  ioctl interrupted cleanly: %v\n", err)
+		fmt.Fprintf(w, "  ioctl interrupted cleanly: %v\n", err)
 	}
-	fmt.Println("  kernel still responsive; administrator decides to kill -9")
+	fmt.Fprintln(w, "  kernel still responsive; administrator decides to kill -9")
 	tb.Proc.Kill()
 
-	fmt.Println("\n== restart (a fresh process binds the same device) ==")
+	fmt.Fprintln(w, "\n== restart (a fresh process binds the same device) ==")
 	proc2, err := sudml.Start(tb.K, tb.NIC, e1000e.New(), "e1000e", 1002)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: restart: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("restart: %v", err)
 	}
 	ifc, err := tb.K.Net.Iface("eth0")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if err := ifc.Up(netperf.DUTIP); err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	echo(ifc)
+	if err := echo(ifc); err != nil {
+		return err
+	}
 	tb.Remote.StartRR(64)
 	before := tb.Remote.RRCount
 	tb.M.Loop.RunFor(50 * sim.Millisecond)
 	tb.Remote.StopRR()
-	fmt.Printf("  new process %q (uid %d) serving traffic: %d transactions after restart\n",
+	fmt.Fprintf(w, "  new process %q (uid %d) serving traffic: %d transactions after restart\n",
 		proc2.Name, proc2.UID, tb.Remote.RRCount-before)
-	fmt.Println("\nkernel log tail:")
+	fmt.Fprintln(w, "\nkernel log tail:")
 	log := tb.K.Log()
 	for i := max(0, len(log)-6); i < len(log); i++ {
-		fmt.Printf("  %s\n", log[i])
+		fmt.Fprintf(w, "  %s\n", log[i])
 	}
-
-	blockSection()
+	return nil
 }
 
 // blockSection is the storage half of the tour: an untrusted nvmed process
 // with two I/O queue pairs, its per-queue IOMMU-domain allocations (queue
 // rings, per-queue data pools, per-queue proxy slot pools), and a block
-// round trip through k.Blk.
-func blockSection() {
+// round trip through k.Blk — traced, so the round trip prints as a per-hop
+// latency breakdown.
+func blockSection(w io.Writer) error {
 	btb, err := diskperf.NewTestbed(diskperf.ModeSUD, 2, hw.DefaultPlatform())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: block: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("block: %v", err)
 	}
-	fmt.Println("\n== block driver process (NVMe-lite) ==")
-	fmt.Printf("name: %s  uid: %d  device: %s (%d blocks × %d B)\n",
+	fmt.Fprintln(w, "\n== block driver process (NVMe-lite) ==")
+	fmt.Fprintf(w, "name: %s  uid: %d  device: %s (%d blocks × %d B)\n",
 		btb.Proc.Name, btb.Proc.UID, btb.Dev.Name, btb.Dev.Geom.Blocks, btb.Dev.Geom.BlockSize)
 
-	fmt.Println("\n== IOMMU domain (note the per-queue pools: queue-scoped allocations) ==")
+	fmt.Fprintln(w, "\n== IOMMU domain (note the per-queue pools: queue-scoped allocations) ==")
 	// Label the driver's allocations by their order and kind, as nvmed
 	// makes them (the Figure 9 methodology applied to storage): admin
 	// rings and identify page, then per queue pair its SQ/CQ rings and
@@ -137,30 +163,56 @@ func blockSection() {
 		if n := names[label]; n != "" {
 			label = n
 		}
-		fmt.Printf("  %-22s iova %#x  %4d pages\n", label, uint64(a.IOVA), a.Pages)
+		fmt.Fprintf(w, "  %-22s iova %#x  %4d pages\n", label, uint64(a.IOVA), a.Pages)
 	}
 
-	fmt.Println("\n== block traffic check ==")
+	fmt.Fprintln(w, "\n== block traffic check (span recorder on) ==")
+	btb.M.Trace.Enable()
 	pattern := bytes.Repeat([]byte{0xDB}, btb.Dev.Geom.BlockSize)
-	if err := btb.Dev.WriteAt(42, pattern, func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sudctl: write: %v\n", err)
-		}
-	}); err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
-		os.Exit(1)
+	var writeErr error
+	if err := btb.Dev.WriteAt(42, pattern, func(err error) { writeErr = err }); err != nil {
+		return err
 	}
 	okRead := false
 	if err := btb.Dev.ReadAt(42, func(data []byte, err error) {
 		okRead = err == nil && bytes.Equal(data, pattern)
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "sudctl: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	btb.M.Loop.RunFor(5 * sim.Millisecond)
-	fmt.Printf("  block 42 written and read back intact: %v\n", okRead)
+	btb.M.Trace.Disable()
+	if writeErr != nil {
+		return fmt.Errorf("write: %v", writeErr)
+	}
+	fmt.Fprintf(w, "  block 42 written and read back intact: %v\n", okRead)
 	st := btb.Proc.Chan.Stats()
-	fmt.Printf("  uchan: %d upcalls, %d downcalls, %d wakeups\n", st.Upcalls, st.Downcalls, st.Wakeups)
+	fmt.Fprintf(w, "  uchan: %d upcalls, %d downcalls, %d wakeups\n", st.Upcalls, st.Downcalls, st.Wakeups)
+
+	fmt.Fprintln(w, "\n== span summary (where the round trip spent its time) ==")
+	trace.FormatSummary(w, trace.Summarize(btb.M.Trace.Events()))
+	return nil
+}
+
+// flightSection puts nvmed under shadow-driver supervision, kills it with
+// reads in flight, and dumps the supervisor's flight recorder — the
+// post-incident timeline an administrator reads to see what the policy
+// plane saw and did.
+func flightSection(w io.Writer) error {
+	tb, err := diskperf.NewSupervisedTestbed(2, hw.DefaultPlatform())
+	if err != nil {
+		return fmt.Errorf("flight: %v", err)
+	}
+	fmt.Fprintln(w, "\n== supervised driver: kill -9 with I/O in flight ==")
+	res, err := diskperf.KillRecovery(tb, 4, 4, 2*sim.Millisecond, 40*sim.Millisecond)
+	if err != nil {
+		return fmt.Errorf("flight: %v", err)
+	}
+	fmt.Fprintf(w, "  %d restart(s), %d replayed, %d completed, %d errors\n",
+		res.Restarts, res.Replayed, res.Completed, res.Errors)
+
+	fmt.Fprintln(w, "\n== flight recorder (last 12 events) ==")
+	trace.FormatFlight(w, tb.Sup.Flight.Events(), 12)
+	return nil
 }
 
 func max(a, b int) int {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from this run's output")
+
+// TestGoldenOutput pins sudctl's entire output byte for byte. Everything it
+// prints derives from deterministic virtual time, so any diff is a real
+// change to the administrator-facing format (IOMMU layout, uchan counters,
+// span summary table, flight-recorder timeline) and must be reviewed — the
+// trace and flight sections in particular are the stable surface the ISSUE
+// promises.
+func TestGoldenOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden := filepath.Join("testdata", "sudctl.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s (run with -update and review the diff)\n--- got ---\n%s",
+			golden, diffHint(want, buf.Bytes()))
+	}
+}
+
+// diffHint returns the first differing line pair, so the failure message
+// points at the change without dumping both full transcripts.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return "line " + itoa(i+1) + ":\n want: " + string(wl[i]) + "\n  got: " + string(gl[i])
+		}
+	}
+	return "line count differs: want " + itoa(len(wl)) + ", got " + itoa(len(gl))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,40 @@
+// Command sudtrace summarizes a span trace captured by sudbench --trace:
+//
+//	sudbench -experiment blk --trace trace.json
+//	sudtrace trace.json
+//
+// The input is Chrome trace-event JSON (load the same file in
+// chrome://tracing or Perfetto for the visual timeline). sudtrace groups
+// the instant events into spans by (class, queue, tag), orders each span's
+// hops by virtual time, and prints the latency distribution of every
+// adjacent hop pair — where a request's time went, stage by stage, across
+// the kernel stub, the uchan ring, the untrusted driver process and the
+// device engine.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sud/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sudtrace <trace.json>")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sudtrace: %v\n", err)
+		os.Exit(1)
+	}
+	events, err := trace.ParseChromeJSON(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sudtrace: %v\n", err)
+		os.Exit(1)
+	}
+	stats := trace.Summarize(events)
+	fmt.Printf("%s: %d span events\n", os.Args[1], len(events))
+	trace.FormatSummary(os.Stdout, stats)
+}

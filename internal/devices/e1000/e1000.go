@@ -12,6 +12,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // Register offsets in BAR0 (subset of the 8254x map).
@@ -179,6 +180,7 @@ type NIC struct {
 	eeprom [64]uint16
 
 	regs map[uint64]uint32
+	tr   *trace.Tracer
 
 	// TX engine state, one engine per hardware queue.
 	txActive    [MaxTxQueues]bool
@@ -234,6 +236,12 @@ func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, macAddr [6]byte, p Params)
 	n.reset()
 	return n
 }
+
+// SetTracer hands the NIC the machine's tracing plane (called by
+// Machine.AttachDevice). The receive engine stamps each frame's buffer IOVA
+// at DMA-writeback time; the SUD proxy pops the stamp at stack delivery,
+// closing the device→kernel end-to-end receive latency.
+func (n *NIC) SetTracer(tr *trace.Tracer) { n.tr = tr }
 
 // AttachLink connects the NIC's PHY to side `side` of link.
 func (n *NIC) AttachLink(link *ethlink.Link, side int) {
@@ -664,6 +672,8 @@ func (n *NIC) rxStep(q int) {
 		return
 	}
 	engine += sim.DMA(len(frame))
+	n.tr.Mark(trace.ClassNetRx, q, uint64(bufAddr))
+	n.tr.Event(trace.ClassNetRx, q, uint64(bufAddr), trace.HopDevComplete)
 
 	// Write back length + DD|EOP status.
 	putLE16(desc[8:10], uint16(len(frame)))

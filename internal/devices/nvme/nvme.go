@@ -27,6 +27,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // PCI identity: the QEMU NVMe controller ID, class = mass storage.
@@ -257,6 +258,7 @@ type Ctrl struct {
 
 	regs  map[uint64]uint32
 	ready bool
+	tr    *trace.Tracer
 
 	media  []byte
 	blocks uint64
@@ -334,6 +336,11 @@ func New(loop *sim.Loop, bdf pci.BDF, barBase uint64, p Params) *Ctrl {
 	c.reset()
 	return c
 }
+
+// SetTracer hands the controller the machine's tracing plane (called by
+// Machine.AttachDevice); engine start/complete span events are keyed by
+// (I/O queue, CID).
+func (c *Ctrl) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // Geometry reports the modelled media shape.
 func (c *Ctrl) Geometry() (blockSize int, blocks uint64) { return BlockSize, c.blocks }
@@ -856,6 +863,7 @@ func (c *Ctrl) ioStep(qid int) {
 	c.Commands++
 	op := sqe[sqeOpcode]
 	cid := le16(sqe[sqeCID : sqeCID+2])
+	c.tr.Event(trace.ClassDev, qid, uint64(cid), trace.HopDevStart)
 	status := uint16(StatusOK)
 
 	switch op {
@@ -893,6 +901,7 @@ func (c *Ctrl) ioStep(qid int) {
 		c.engineBusyUntil[qid] += engine
 		return
 	}
+	c.tr.Event(trace.ClassDev, qid, uint64(cid), trace.HopDevComplete)
 	c.finishIO(qid, engine)
 }
 

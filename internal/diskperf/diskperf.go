@@ -24,6 +24,7 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
+	"sud/internal/trace"
 )
 
 // Mode selects the hosting configuration under test.
@@ -191,6 +192,12 @@ type Result struct {
 	GuardBytesPerIO  float64 `json:",omitempty"`
 	SQDoorbellsPerIO float64 `json:",omitempty"`
 
+	// LatP50US / LatP99US are end-to-end request latency percentiles
+	// (block-core dispatch → completion delivery) over the measured span,
+	// merged across queues; PerQueue carries the per-queue split.
+	LatP50US float64 `json:",omitempty"`
+	LatP99US float64 `json:",omitempty"`
+
 	PerQueue []netperf.QueueReport
 	Windows  int
 	CIRel    float64
@@ -217,10 +224,17 @@ func (r Result) String() string {
 	if r.Flip {
 		fmt.Fprintf(&b, ", flip: %.0f guard B/io, %.2f sq-doorbells/io", r.GuardBytesPerIO, r.SQDoorbellsPerIO)
 	}
+	if r.LatP99US > 0 {
+		fmt.Fprintf(&b, ", lat p50 %.1fµs p99 %.1fµs", r.LatP50US, r.LatP99US)
+	}
 	b.WriteString("\n")
 	for _, q := range r.PerQueue {
-		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups\n",
+		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups",
 			q.Queue, q.Upcalls, q.Downcalls, q.Doorbells, q.DoorbellsPerSec, q.Wakeups, q.SpinPickups)
+		if q.P99US > 0 {
+			fmt.Fprintf(&b, " lat p50 %.1fµs p99 %.1fµs", q.P50US, q.P99US)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -349,6 +363,10 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 
 	base := *completed
 	sqdbBase := tb.Ctrl.SQDoorbellWrites
+	latBase := make([]trace.Hist, tb.Queues)
+	for q := range latBase {
+		latBase[q] = *tb.Dev.QueueLatency(q)
+	}
 	var qBase []netperf.QueueReport
 	var wakeBase, guardBase uint64
 	if tb.Proc != nil {
@@ -391,6 +409,16 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 	if mean > 0 {
 		res.CIRel = hw99 / mean
 	}
+	qLat := make([]trace.Hist, tb.Queues)
+	var allLat trace.Hist
+	for q := range qLat {
+		qLat[q] = tb.Dev.QueueLatency(q).Sub(&latBase[q])
+		allLat.Merge(&qLat[q])
+	}
+	if allLat.Count() > 0 {
+		res.LatP50US = allLat.PercentileUS(0.50)
+		res.LatP99US = allLat.PercentileUS(0.99)
+	}
 	if tb.Proc != nil {
 		res.Wakeups = tb.Proc.Chan.Stats().Wakeups - wakeBase
 		res.MaxDownBatch = tb.Proc.Chan.Stats().MaxDownBatch
@@ -406,6 +434,9 @@ func measureWindows(tb *Testbed, opt netperf.Options, completed *uint64) Result 
 				SpinPickups: s.SpinPickups - qBase[q].SpinPickups,
 			}
 			r.DoorbellsPerSec = float64(r.Doorbells) / span.Seconds()
+			if qLat[q].Count() > 0 {
+				r.P50US, r.P99US = qLat[q].PercentileUS(0.50), qLat[q].PercentileUS(0.99)
+			}
 			res.PerQueue = append(res.PerQueue, r)
 			doorbells += r.Doorbells
 		}

@@ -2,7 +2,6 @@ package diskperf
 
 import (
 	"fmt"
-	"sort"
 
 	"sud/internal/devices/nvme"
 	"sud/internal/drivers/nvmed"
@@ -12,6 +11,7 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
+	"sud/internal/trace"
 )
 
 // NewSupervisedTestbed boots the SUD block testbed with the nvmed process
@@ -129,22 +129,6 @@ func (r RecoveryResult) String() string {
 		r.RecoveryLatencyUS, r.DrainP50US, r.DrainP99US, r.Completed, r.Errors)
 }
 
-// percentile returns the p-quantile (0..1) of sorted vals by
-// nearest-rank, 0 when empty.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
-
 // KillRecovery drives the fio-style workload against a supervised testbed,
 // kills the driver process killAfter into the run, and measures the
 // recovery: replayed requests, the kill-to-drained latency, and — the
@@ -175,7 +159,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 	preKill := 0 // requests outstanding at kill time, not yet completed
 	outstanding := 0
 	var recoveredAt sim.Time
-	var drainUS []float64 // per-request kill→completion latencies
+	var drain trace.Hist // per-request kill→completion latencies
 
 	var issue func(j int, seq uint64)
 	issue = func(j int, seq uint64) {
@@ -204,7 +188,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 			}
 			if killedAt != 0 && issuedAt <= killedAt {
 				preKill--
-				drainUS = append(drainUS, float64(tb.M.Now()-killedAt)/float64(sim.Microsecond))
+				drain.Record(tb.M.Now() - killedAt)
 				if preKill == 0 && recoveredAt == 0 {
 					recoveredAt = tb.M.Now()
 				}
@@ -241,8 +225,7 @@ func KillRecovery(tb *Testbed, jobs, depth int, killAfter, runFor sim.Duration) 
 	} else if preKill > 0 {
 		return res, fmt.Errorf("diskperf: %d pre-kill requests never completed", preKill)
 	}
-	sort.Float64s(drainUS)
-	res.DrainP50US = percentile(drainUS, 0.50)
-	res.DrainP99US = percentile(drainUS, 0.99)
+	res.DrainP50US = drain.PercentileUS(0.50)
+	res.DrainP99US = drain.PercentileUS(0.99)
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // DRAM layout of the modelled machine.
@@ -76,6 +77,10 @@ type Machine struct {
 	Vec   *irq.VectorAllocator
 	Alloc *mem.Allocator
 	Rand  *sim.Rand
+	// Trace is the machine's observability plane: always-on latency
+	// stamps plus the opt-in span recorder (trace.Tracer doc has the cost
+	// discipline). Devices receive it at attach via SetTracer.
+	Trace *trace.Tracer
 
 	Platform Platform
 
@@ -99,6 +104,7 @@ func NewMachine(p Platform) *Machine {
 		Rand:     sim.NewRand(p.Seed),
 		Platform: p,
 	}
+	m.Trace = trace.New(loop, m.CPU)
 	m.Mem.AddRAMRange(DRAMBase, DRAMSize)
 	m.Alloc = mem.NewAllocator(m.Mem, DRAMBase, DRAMSize)
 	m.IOMMU = iommu.New(p.IOMMU, &loop.Clock)
@@ -117,8 +123,15 @@ func NewMachine(p Platform) *Machine {
 // Now returns the machine's virtual time.
 func (m *Machine) Now() sim.Time { return m.Loop.Now() }
 
-// AttachDevice plugs a device into the root switch.
-func (m *Machine) AttachDevice(d pci.Device) { m.Sw.AttachDevice(d) }
+// AttachDevice plugs a device into the root switch. Device models that
+// implement SetTracer receive the machine's observability plane so their
+// engines can stamp RX births and record dev.start/dev.complete hops.
+func (m *Machine) AttachDevice(d pci.Device) {
+	m.Sw.AttachDevice(d)
+	if ts, ok := d.(interface{ SetTracer(*trace.Tracer) }); ok {
+		ts.SetTracer(m.Trace)
+	}
+}
 
 // HandleUpstream implements pci.UpstreamHandler: every TLP that reaches the
 // root complex is translated by the IOMMU and then delivered to DRAM, the

@@ -28,6 +28,7 @@ import (
 	"sud/internal/drivers/api"
 	"sud/internal/kernel/shadow"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // Path costs of the block core itself, per request (see
@@ -58,6 +59,10 @@ var (
 type Manager struct {
 	Loop *sim.Loop
 	Acct *sim.CPUAccount // the kernel CPU account
+
+	// Trace is the machine's span plane (kernel.New threads it from
+	// hw.Machine); nil-safe, and free unless spans are enabled.
+	Trace *trace.Tracer
 
 	devs map[string]*Dev
 
@@ -104,6 +109,7 @@ func (m *Manager) Register(name string, geom api.BlockGeometry, drv api.BlockDev
 	for q := range d.queues {
 		d.queues[q].ID = q
 	}
+	d.lat = make([]trace.Hist, nq)
 	m.devs[name] = d
 	return d, nil
 }
@@ -174,6 +180,12 @@ func (m *Manager) BeginRecovery(name string) (*Dev, error) {
 		d.queues[q].stalled = true
 	}
 	m.adopting[name] = d
+	waiting := 0
+	for q := range d.queues {
+		waiting += len(d.queues[q].waiting)
+	}
+	d.Flight.Recordf(trace.FPark, "%s epoch %d: %d in flight, %d queued parked",
+		name, d.epoch, len(d.inflight), waiting)
 	return d, nil
 }
 
@@ -191,6 +203,7 @@ func (m *Manager) adopt(name string, geom api.BlockGeometry) *Dev {
 		return nil
 	}
 	delete(m.adopting, name)
+	d.Flight.Recordf(trace.FAdopt, "%s epoch %d adopted by restarted driver", name, d.epoch)
 	return d
 }
 
@@ -240,6 +253,7 @@ func (m *Manager) PromoteStandby(name string) (*Dev, error) {
 	delete(m.standbys, name)
 	delete(m.adopting, name)
 	d.drv = drv
+	d.Flight.Recordf(trace.FAdopt, "%s epoch %d adopted by promoted standby", name, d.epoch)
 	return d, nil
 }
 
@@ -342,7 +356,10 @@ type request struct {
 	q     int
 	write bool
 	flush bool
-	cb    func([]byte, error)
+	// at is the dispatch stamp; Complete turns it into the per-queue
+	// end-to-end latency sample (always-on metrics plane, zero cost).
+	at sim.Time
+	cb func([]byte, error)
 }
 
 // flushOp is one Flush() barrier moving through the device: queued, then
@@ -398,6 +415,21 @@ type Dev struct {
 	// BadCompletions counts driver completions with unknown or reused
 	// tags — a confused or malicious driver, dropped and counted.
 	BadCompletions uint64
+
+	// lat holds per-queue end-to-end latency histograms (dispatch →
+	// completion delivery), always on.
+	lat []trace.Hist
+
+	// Flight is the device's flight recorder (shared with its supervisor
+	// when supervised, nil otherwise). The block core records the
+	// park/adopt/replay/drain legs of a recovery into it.
+	Flight *trace.Flight
+
+	// drainBelow/drainLeft track the drain leg of a recovery: requests
+	// with tags below drainBelow were dispatched to the incarnation that
+	// died; when the last of them completes, the recovery has drained.
+	drainBelow uint64
+	drainLeft  int
 }
 
 var _ api.BlockKernel = (*Dev)(nil)
@@ -423,6 +455,10 @@ func (d *Dev) Recovering() bool { return d.recovering }
 
 // Queue returns queue q's context (clamped), for per-queue hooks and stats.
 func (d *Dev) Queue(q int) *QueueCtx { return &d.queues[d.clampQ(q)] }
+
+// QueueLatency returns queue q's end-to-end latency histogram (dispatch →
+// completion delivery). Snapshot by value for windowed measurements.
+func (d *Dev) QueueLatency(q int) *trace.Hist { return &d.lat[d.clampQ(q)] }
 
 func (d *Dev) clampQ(q int) int {
 	if q < 0 || q >= len(d.queues) {
@@ -618,7 +654,9 @@ func (d *Dev) dispatch(q int, req api.BlockRequest, cb func([]byte, error)) bool
 	qc := &d.queues[q]
 	req.Tag = d.nextTag
 	d.nextTag++
-	d.inflight[req.Tag] = &request{q: q, write: req.Write, flush: req.Flush, cb: cb}
+	d.inflight[req.Tag] = &request{q: q, write: req.Write, flush: req.Flush,
+		at: d.mgr.Loop.Now(), cb: cb}
+	d.mgr.Trace.Event(trace.ClassBlk, q, req.Tag, trace.HopSubmit)
 	if err := d.drv.Submit(q, req); err != nil {
 		delete(d.inflight, req.Tag)
 		return false
@@ -659,6 +697,15 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 	qc := &d.queues[d.clampQ(q)]
 	qc.Completions++
 	d.mgr.Acct.Charge(CostCompletePath)
+	d.lat[d.clampQ(q)].Record(d.mgr.Loop.Now() - r.at)
+	d.mgr.Trace.Event(trace.ClassBlk, q, tag, trace.HopComplete)
+	if d.drainLeft > 0 && tag < d.drainBelow {
+		d.drainLeft--
+		if d.drainLeft == 0 {
+			d.Flight.Recordf(trace.FDrain, "%s epoch %d: all pre-death requests completed",
+				d.Name, d.epoch)
+		}
+	}
 	if err == nil && !r.write && !r.flush && len(data) != d.Geom.BlockSize {
 		err = fmt.Errorf("blockdev: short read (%d bytes)", len(data))
 	}
@@ -761,6 +808,17 @@ func (d *Dev) CompleteRecovery() (int, error) {
 		for q := range d.replay {
 			n += len(d.replay[q])
 		}
+	}
+	// Everything tabled right now was dispatched to the incarnation that
+	// died; when the last of them completes (replayed or raced), the
+	// recovery has drained.
+	d.drainBelow = d.nextTag
+	d.drainLeft = len(d.inflight)
+	d.Flight.Recordf(trace.FReplay, "%s epoch %d: %d logged requests scheduled for replay",
+		d.Name, d.epoch, n)
+	if d.drainLeft == 0 {
+		d.Flight.Recordf(trace.FDrain, "%s epoch %d: nothing was in flight at death",
+			d.Name, d.epoch)
 	}
 	d.recovering = false
 	for q := range d.queues {

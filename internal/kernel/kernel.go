@@ -20,6 +20,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/pci"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // HZ is the kernel tick rate; Jiffies advance every 1/HZ seconds.
@@ -61,6 +62,8 @@ func New(m *hw.Machine) *Kernel {
 		bound:         make(map[pci.BDF]api.Instance),
 		stormHandlers: make(map[irq.Vector]func(rate int)),
 	}
+	k.Blk.Trace = m.Trace
+	k.Net.Trace = m.Trace
 	m.IRQ.OnStorm = func(v irq.Vector, rate int) {
 		if h := k.stormHandlers[v]; h != nil {
 			h(rate)
@@ -123,6 +126,9 @@ func (k *Kernel) BindInKernel(drv api.Driver, dev pci.Device) (api.Instance, err
 		return nil, fmt.Errorf("kernel: probe %s on %s: %w", drv.Name(), dev.BDF(), err)
 	}
 	k.bound[dev.BDF()] = inst
+	if ts, ok := inst.(interface{ SetTracer(*trace.Tracer) }); ok {
+		ts.SetTracer(k.M.Trace)
+	}
 	k.Logf("%s: bound to %s", drv.Name(), dev.BDF())
 	return inst, nil
 }

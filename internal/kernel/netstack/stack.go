@@ -6,6 +6,7 @@ import (
 	"sud/internal/drivers/api"
 	"sud/internal/kernel/shadow"
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // Path costs of the stack itself, per packet, excluding per-byte checksum
@@ -25,6 +26,11 @@ const (
 type Stack struct {
 	Loop *sim.Loop
 	Acct *sim.CPUAccount // the kernel CPU account
+
+	// Trace is the machine's tracing plane (nil-safe; span events cost
+	// nothing unless enabled). Net proxies reach it through here, the way
+	// block proxies reach it through blockdev.Manager.
+	Trace *trace.Tracer
 
 	ifaces map[string]*Iface
 	udp    map[uint16]*UDPSock
@@ -75,6 +81,15 @@ type IfaceQueue struct {
 	// RxFrames / TxFrames count per-queue traffic through this context.
 	RxFrames, TxFrames uint64
 
+	// RxLat is the per-queue end-to-end receive latency histogram: device
+	// DMA of the frame → stack delivery. The device model stamps the
+	// frame's birth (trace.Mark keyed by buffer IOVA) and the SUD proxy
+	// records the delta here at delivery; always on, zero virtual cost.
+	RxLat trace.Hist
+	// TxLat is the per-queue transmit latency histogram: StartXmitQ →
+	// the driver's xmit-done credit returning the slot.
+	TxLat trace.Hist
+
 	// OnWake, if set, runs when this queue is woken; when unset the
 	// interface-level OnWake hook fires instead.
 	OnWake func()
@@ -105,6 +120,11 @@ type Iface struct {
 	Shadow     *shadow.Net
 	recovering bool
 	epoch      uint64
+
+	// Flight is the per-device flight recorder the supervisor shares with
+	// this interface (nil-safe): park/adopt transitions land here, between
+	// the supervisor's kill/detect/verdict events.
+	Flight *trace.Flight
 
 	// OnWake, if set, runs when the driver wakes a queue with no
 	// queue-level hook (backpressure release for the TX benchmark loop).
@@ -204,6 +224,7 @@ func (s *Stack) BeginRecovery(name string) (*Iface, error) {
 		sh.Snapshots++
 	}
 	s.adopting[name] = ifc
+	ifc.Flight.Recordf(trace.FPark, "%s epoch %d: TX stopped on %d queues", name, ifc.epoch, len(ifc.queues))
 	return ifc, nil
 }
 
@@ -224,6 +245,7 @@ func (s *Stack) adopt(name string, macAddr [6]byte) *Iface {
 		return nil
 	}
 	delete(s.adopting, name)
+	ifc.Flight.Recordf(trace.FAdopt, "%s adopted by restarted driver", name)
 	return ifc
 }
 
@@ -274,6 +296,7 @@ func (s *Stack) PromoteStandby(name string) (*Iface, error) {
 	if mq, ok := dev.(api.MultiQueueNetDevice); ok {
 		ifc.mqdev = mq
 	}
+	ifc.Flight.Recordf(trace.FAdopt, "%s adopted by promoted standby", name)
 	return ifc, nil
 }
 
@@ -365,6 +388,7 @@ func (ifc *Iface) CompleteRecovery() error {
 		ifc.up = true
 	}
 	ifc.recovering = false
+	ifc.Flight.Recordf(trace.FReplay, "%s bring-up replayed, TX released", ifc.Name)
 	ifc.WakeQueue()
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"sud/internal/pci"
 	"sud/internal/proxy/ethproxy"
 	"sud/internal/sim"
+	"sud/internal/trace"
 	"sud/internal/sudml"
 )
 
@@ -204,6 +205,14 @@ type QueueReport struct {
 	Queue                                               int
 	Upcalls, Downcalls, Doorbells, Wakeups, SpinPickups uint64
 	DoorbellsPerSec                                     float64
+
+	// P50US / P99US are end-to-end latency percentiles for this queue
+	// over the measured span, from the always-on histograms: device DMA →
+	// stack delivery for received frames (merged with transmit
+	// submit → credit), or block dispatch → completion for block I/O.
+	// Zero when the queue carried no measured traffic.
+	P50US float64 `json:",omitempty"`
+	P99US float64 `json:",omitempty"`
 }
 
 // MultiFlowResult aggregates the scenario's measurements.
@@ -246,6 +255,12 @@ type MultiFlowResult struct {
 	TxDoorbellsPerPkt  float64 `json:",omitempty"`
 	PagesFlipped       uint64  `json:",omitempty"`
 
+	// LatP50US / LatP99US are the per-queue latency distributions merged
+	// across all queues — the headline end-to-end numbers BENCH_latency.json
+	// carries. Populated only under SUD (the proxies record the histograms).
+	LatP50US float64 `json:",omitempty"`
+	LatP99US float64 `json:",omitempty"`
+
 	PerQueue []QueueReport
 	Windows  int
 	CIRel    float64
@@ -264,8 +279,12 @@ func (r MultiFlowResult) String() string {
 	}
 	b.WriteString("\n")
 	for _, q := range r.PerQueue {
-		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups\n",
+		fmt.Fprintf(&b, "  queue %d: %8d upcalls %8d downcalls %7d doorbells (%8.0f/s) %6d wakes %6d spin pickups",
 			q.Queue, q.Upcalls, q.Downcalls, q.Doorbells, q.DoorbellsPerSec, q.Wakeups, q.SpinPickups)
+		if q.P99US > 0 {
+			fmt.Fprintf(&b, " lat p50 %.1fµs p99 %.1fµs", q.P50US, q.P99US)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -389,10 +408,14 @@ func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (
 	flippedBase := tb.EthProc.Eth.PagesFlipped
 	tdtBase := tb.Nic.TDTWrites
 	qBase := make([]QueueReport, tb.Queues)
+	rxLatBase := make([]trace.Hist, tb.Queues)
+	txLatBase := make([]trace.Hist, tb.Queues)
 	for q := range qBase {
 		s := tb.EthProc.Chan.QueueStats(q)
 		qBase[q] = QueueReport{Queue: q, Upcalls: s.Upcalls, Downcalls: s.Downcalls,
 			Doorbells: s.Doorbells, Wakeups: s.Wakeups, SpinPickups: s.SpinPickups}
+		iq := tb.EthIfc.Queue(q)
+		rxLatBase[q], txLatBase[q] = iq.RxLat, iq.TxLat
 	}
 	wakeBase := tb.EthProc.Chan.Stats().Wakeups + tb.Ne2kProc.Chan.Stats().Wakeups
 
@@ -440,6 +463,7 @@ func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (
 		res.CIRel = hw99 / mean
 	}
 	var doorbells uint64
+	var allLat trace.Hist
 	for q := range qBase {
 		s := tb.EthProc.Chan.QueueStats(q)
 		r := QueueReport{
@@ -451,11 +475,23 @@ func MultiFlowDir(tb *MultiFlowTestbed, flows int, dir Direction, opt Options) (
 			SpinPickups: s.SpinPickups - qBase[q].SpinPickups,
 		}
 		r.DoorbellsPerSec = float64(r.Doorbells) / span.Seconds()
+		iq := tb.EthIfc.Queue(q)
+		lat := iq.RxLat.Sub(&rxLatBase[q])
+		txl := iq.TxLat.Sub(&txLatBase[q])
+		lat.Merge(&txl)
+		if lat.Count() > 0 {
+			r.P50US, r.P99US = lat.PercentileUS(0.50), lat.PercentileUS(0.99)
+		}
+		allLat.Merge(&lat)
 		res.PerQueue = append(res.PerQueue, r)
 		doorbells += r.Doorbells
 	}
 	if rxFrames := rxDelivered() - rxBase; rxFrames > 0 && doorbells > 0 {
 		res.RxFramesPerDoorbell = float64(rxFrames) / float64(doorbells)
+	}
+	if allLat.Count() > 0 {
+		res.LatP50US = allLat.PercentileUS(0.50)
+		res.LatP99US = allLat.PercentileUS(0.99)
 	}
 	res.Flip = tb.Flip
 	res.PagesFlipped = tb.EthProc.Eth.PagesFlipped - flippedBase

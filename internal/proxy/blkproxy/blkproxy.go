@@ -33,6 +33,7 @@ import (
 	"sud/internal/proxy/pciaccess"
 	"sud/internal/proxy/protocol"
 	"sud/internal/sim"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 
@@ -375,6 +376,7 @@ func (d *proxyDev) Submit(q int, req api.BlockRequest) error {
 		p.stalled[q] = true
 		return fmt.Errorf("blkproxy: submit upcall: %w", err)
 	}
+	p.K.Blk.Trace.Event(trace.ClassBlk, q, req.Tag, trace.HopUchanEnq)
 	if req.FUA {
 		p.FUAIssued++
 	}
@@ -571,6 +573,7 @@ func (p *Proxy) complete(q int, c CompRef) bool {
 	if p.GuardMode == GuardPageFlip && n == mem.PageSize && c.IOVA%mem.PageSize == 0 {
 		phys, err := p.DF.RevokePage(mem.Addr(c.IOVA))
 		if err == nil {
+			p.K.Blk.Trace.Event(trace.ClassBlk, q, c.Tag, trace.HopFlip)
 			p.K.Acct.Charge(sim.CostPageFlipRevoke)
 			p.PagesFlipped++
 			p.pendingRecycle[q] = append(p.pendingRecycle[q], c.IOVA)
@@ -598,6 +601,7 @@ func (p *Proxy) complete(q int, c CompRef) bool {
 	}
 	// Guard copy (§3.1.2): block payloads carry no checksum to fuse with,
 	// so the TOCTOU guard is a plain copy into kernel-owned memory.
+	p.K.Blk.Trace.Event(trace.ClassBlk, q, c.Tag, trace.HopGuard)
 	buf := make([]byte, n)
 	p.K.Acct.Charge(sim.Copy(n))
 	p.GuardCopiedBytes += uint64(n)

@@ -25,6 +25,7 @@ import (
 	"sud/internal/proxy/pciaccess"
 	"sud/internal/proxy/protocol"
 	"sud/internal/sim"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 
@@ -352,6 +353,8 @@ func (d *proxyDev) StartXmitQ(frame []byte, q int) error {
 		return fmt.Errorf("ethproxy: xmit upcall: %w", err)
 	}
 	p.free[q] = p.free[q][:len(p.free[q])-1]
+	p.K.Net.Trace.Mark(trace.ClassNetTx, q, uint64(slot))
+	p.K.Net.Trace.Event(trace.ClassNetTx, q, uint64(slot), trace.HopUchanEnq)
 	return nil
 }
 
@@ -450,6 +453,10 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		slot := int(m.Args[0])
 		if slot >= 0 && slot < p.perQueue*len(p.free) {
 			sq := slot / p.perQueue
+			if d, ok := p.K.Net.Trace.TakeLat(trace.ClassNetTx, sq, uint64(slot)); ok {
+				p.Ifc.Queue(sq).TxLat.Record(d)
+			}
+			p.K.Net.Trace.Event(trace.ClassNetTx, sq, uint64(slot), trace.HopComplete)
 			p.free[sq] = append(p.free[sq], slot)
 			p.maybeWakeQueue(sq)
 		}
@@ -527,9 +534,11 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 		p.K.Acct.Charge(sim.Checksum(n))
 		if view, ok := p.K.Mem.Slice(phys, n); ok {
 			p.Ifc.NetifRxVerifiedQ(view, q)
+			p.rxDelivered(q, uint64(iova))
 		}
 		return
 	}
+	p.K.Net.Trace.Event(trace.ClassNetRx, q, uint64(iova), trace.HopGuard)
 	frame := make([]byte, n)
 	switch p.GuardMode {
 	case GuardSeparate:
@@ -551,6 +560,19 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 		return
 	}
 	p.Ifc.NetifRxVerifiedQ(frame, q)
+	p.rxDelivered(q, uint64(iova))
+}
+
+// rxDelivered closes out the receive span for the frame the device wrote at
+// iova: it pops the DMA-time stamp the device model placed (recording the
+// device→stack end-to-end latency into the queue's histogram) and emits the
+// delivery hop. Bounced frames carry no reference and are not recorded.
+func (p *Proxy) rxDelivered(q int, iova uint64) {
+	tr := p.K.Net.Trace
+	if d, ok := tr.TakeLat(trace.ClassNetRx, q, iova); ok {
+		p.Ifc.Queue(q).RxLat.Record(d)
+	}
+	tr.Event(trace.ClassNetRx, q, iova, trace.HopDeliver)
 }
 
 // FreeTxSlots reports the pool headroom across all queues (tests and pacing

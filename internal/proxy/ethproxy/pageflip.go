@@ -19,6 +19,7 @@ import (
 	"sud/internal/mem"
 	"sud/internal/proxy/protocol"
 	"sud/internal/sim"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 
@@ -94,8 +95,10 @@ func (p *Proxy) netifRxBatchFlip(q int, refs []RxRef) {
 					// the view is stable: checksum verification is
 					// the whole guard. Zero copied bytes.
 					p.K.Acct.Charge(sim.Checksum(n))
+					p.K.Net.Trace.Event(trace.ClassNetRx, q, r.IOVA, trace.HopFlip)
 					p.RxQueueFrames[q]++
 					p.Ifc.NetifRxVerifiedQ(view, q)
+					p.rxDelivered(q, r.IOVA)
 				}
 			}
 		}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sud/internal/diskperf"
+	"sud/internal/hw"
+	"sud/internal/netperf"
+)
+
+// QueueLatency is one queue's end-to-end latency percentiles in virtual µs.
+type QueueLatency struct {
+	Queue int
+	P50US float64
+	P99US float64
+}
+
+// LatencyRow is one BENCH_latency.json entry: the end-to-end latency
+// percentiles for one benchmark configuration, merged across queues and
+// split per queue. Kind "rx" rows cover device DMA writeback → stack
+// delivery plus transmit submit → completion credit on the SUD net path;
+// kind "blk" rows cover block-core dispatch → completion delivery.
+// benchgate bands P50US/P99US and the per-queue splits against the
+// checked-in baseline.
+type LatencyRow struct {
+	Kind     string // "rx" | "blk"
+	Queues   int
+	P50US    float64
+	P99US    float64
+	PerQueue []QueueLatency
+}
+
+func (r LatencyRow) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LATENCY %-3s Q=%d p50 %8.1fµs p99 %8.1fµs\n", r.Kind, r.Queues, r.P50US, r.P99US)
+	for _, q := range r.PerQueue {
+		fmt.Fprintf(&b, "  queue %d: p50 %8.1fµs p99 %8.1fµs\n", q.Queue, q.P50US, q.P99US)
+	}
+	return b.String()
+}
+
+// RunLatency measures the per-queue latency artifact: the SUD receive path
+// at 1 and netQueues uchan rings, and the SUD block path at 1 and blkQueues
+// NVMe I/O queues. Both reuse the standard scale testbeds, so the numbers
+// are the latency face of the same runs BENCH_rx.json and BENCH_blk.json
+// report throughput for.
+func RunLatency(plat hw.Platform, netQueues, flows, blkQueues, jobs, depth int, opt netperf.Options) ([]LatencyRow, error) {
+	var rows []LatencyRow
+	for _, q := range queueSweep(netQueues) {
+		tb, err := netperf.NewMultiFlowTestbed(q, plat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := netperf.MultiFlowDir(tb, flows, netperf.DirRX, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, latencyRow("rx", q, res.LatP50US, res.LatP99US, res.PerQueue))
+	}
+	for _, q := range queueSweep(blkQueues) {
+		tb, err := diskperf.NewTestbed(diskperf.ModeSUD, q, plat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := diskperf.BlockIOPS(tb, jobs, depth, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, latencyRow("blk", q, res.LatP50US, res.LatP99US, res.PerQueue))
+	}
+	return rows, nil
+}
+
+func queueSweep(target int) []int {
+	if target <= 1 {
+		return []int{1}
+	}
+	return []int{1, target}
+}
+
+func latencyRow(kind string, queues int, p50, p99 float64, perQueue []netperf.QueueReport) LatencyRow {
+	row := LatencyRow{Kind: kind, Queues: queues, P50US: p50, P99US: p99}
+	for _, q := range perQueue {
+		row.PerQueue = append(row.PerQueue, QueueLatency{Queue: q.Queue, P50US: q.P50US, P99US: q.P99US})
+	}
+	return row
+}

@@ -1,0 +1,135 @@
+package report_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sud/internal/diskperf"
+	"sud/internal/hw"
+	"sud/internal/netperf"
+	"sud/internal/report"
+	"sud/internal/sim"
+	"sud/internal/trace"
+)
+
+// The trace plane's zero-cost contract: with the span recorder compiled in
+// but disabled (the default), the headline benchmark numbers are
+// bit-for-bit the ones the repo produced before the plane existed. The
+// always-on pieces (latency stamps, histograms, flight ring) never charge
+// CPU and never schedule events, so they are invisible to virtual time by
+// construction — these tests pin that construction against regression.
+
+// TestFig8BitForBitWithTracePlaneOff pins the full Figure 8 table to one
+// decimal, kernel and SUD rows. Any drift means the trace plane (or
+// anything else) perturbed the deterministic schedule.
+func TestFig8BitForBitWithTracePlaneOff(t *testing.T) {
+	rows, err := report.RunFig8(hw.DefaultPlatform(), netperf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"TCP_STREAM/Kernel driver":       "948.9",
+		"TCP_STREAM/Untrusted driver":    "948.9",
+		"UDP_STREAM TX/Kernel driver":    "319.8",
+		"UDP_STREAM TX/Untrusted driver": "319.8",
+		"UDP_STREAM RX/Kernel driver":    "254.7",
+		"UDP_STREAM RX/Untrusted driver": "254.7",
+		"UDP_RR/Kernel driver":           "9598.3",
+		"UDP_RR/Untrusted driver":        "9488.3",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		key := fmt.Sprintf("%s/%s", row.Benchmark, row.Mode)
+		got := fmt.Sprintf("%.1f", row.Value)
+		if got != want[key] {
+			t.Errorf("%s: %s %s, want %s", key, got, row.Unit, want[key])
+		}
+	}
+}
+
+// TestBlockIOPSBitForBitWithTracePlaneOff pins the block scale run at the
+// queue counts the acceptance criteria name.
+func TestBlockIOPSBitForBitWithTracePlaneOff(t *testing.T) {
+	want := map[int]string{1: "186.3", 2: "371.8", 4: "646.9"}
+	for _, q := range []int{1, 2, 4} {
+		tb, err := diskperf.NewTestbed(diskperf.ModeSUD, q, hw.DefaultPlatform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := diskperf.BlockIOPS(tb, 16, 6, netperf.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%.1f", res.ReadKIOPS); got != want[q] {
+			t.Errorf("Q=%d: %s Kiops, want %s", q, got, want[q])
+		}
+	}
+}
+
+// TestTraceEnabledLeavesThroughputUnchanged runs the same block workload
+// with the span recorder off and on. Throughput must be identical — span
+// events charge a dedicated trace CPU account, never the accounts the
+// workload schedule runs on — while the enabled run shows its measured
+// overhead only in the CPU column.
+func TestTraceEnabledLeavesThroughputUnchanged(t *testing.T) {
+	run := func(enable bool) diskperf.Result {
+		tb, err := diskperf.NewTestbed(diskperf.ModeSUD, 2, hw.DefaultPlatform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			tb.M.Trace.Enable()
+		}
+		res, err := diskperf.BlockIOPS(tb, 8, 4, netperf.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if off.ReadKIOPS != on.ReadKIOPS {
+		t.Errorf("throughput moved with tracing on: %.3f vs %.3f Kiops", off.ReadKIOPS, on.ReadKIOPS)
+	}
+	if off.LatP50US != on.LatP50US || off.LatP99US != on.LatP99US {
+		t.Errorf("latency moved with tracing on: p50 %.3f/%.3f p99 %.3f/%.3f",
+			off.LatP50US, on.LatP50US, off.LatP99US, on.LatP99US)
+	}
+	if on.CPU < off.CPU {
+		t.Errorf("tracing on reported less CPU (%.4f) than off (%.4f)", on.CPU, off.CPU)
+	}
+	t.Logf("trace overhead: CPU %.2f%% off vs %.2f%% on (+%.2f points)",
+		off.CPU*100, on.CPU*100, (on.CPU-off.CPU)*100)
+}
+
+// TestTraceExportDeterministic: two same-seed traced runs must produce
+// byte-identical Chrome trace files — the determinism guarantee sudbench
+// --trace inherits from virtual time.
+func TestTraceExportDeterministic(t *testing.T) {
+	export := func() []byte {
+		tb, err := diskperf.NewTestbed(diskperf.ModeSUD, 2, hw.DefaultPlatform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.M.Trace.Enable()
+		opt := netperf.DefaultOptions()
+		opt.Window = 20 * sim.Millisecond
+		if _, err := diskperf.BlockIOPS(tb, 4, 4, opt); err != nil {
+			t.Fatal(err)
+		}
+		return trace.ChromeJSON(tb.M.Trace.Events(), tb.M.Trace.Dropped())
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace files differ across same-seed runs (%d vs %d bytes)", len(a), len(b))
+	}
+	evs, err := trace.ParseChromeJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("traced run exported no span events")
+	}
+}

@@ -126,6 +126,14 @@ const (
 	// CostWorkerDispatch is handing an upcall from the UML idle thread to
 	// a pooled worker thread, for callbacks that may block (§4.2).
 	CostWorkerDispatch Duration = 700
+
+	// CostTraceEvent is one span-plane hop record when tracing is enabled:
+	// a clock read plus an append to a preallocated per-CPU buffer (~55
+	// cycles at 1.4 GHz). Charged to the dedicated "trace" CPU account so
+	// enabled-tracing overhead is visible in utilisation; with tracing
+	// disabled no site charges it, which is what keeps the Figure 8
+	// baselines bit-for-bit.
+	CostTraceEvent Duration = 40
 )
 
 // Copy returns the CPU cost of copying n bytes.

@@ -7,6 +7,7 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml/policy"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 
@@ -70,6 +71,11 @@ func TestFailoverBlockInvisible(t *testing.T) {
 		if w.sup.StandbyProc() == nil {
 			t.Fatalf("Q=%d: no standby re-armed after failover", queues)
 		}
+		// Failover timeline: the standby is promoted instead of a cold
+		// respawn, otherwise the same recovery choreography.
+		assertFlightOrder(t, w.sup.Flight.Kinds(),
+			trace.FKill, trace.FPark, trace.FDetect, trace.FVerdict,
+			trace.FPromote, trace.FAdopt, trace.FReplay, trace.FDrain)
 		w.sup.Stop()
 	}
 }

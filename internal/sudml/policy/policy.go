@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // Verdict is one graded supervisor response.
@@ -139,6 +140,11 @@ type Evidence struct {
 type Engine struct {
 	Cfg Config
 
+	// Flight, when set by the supervisor, receives every conviction and
+	// graded verdict (nil-safe): the policy plane's entries in the
+	// per-device flight recorder.
+	Flight *trace.Flight
+
 	restarts    []sim.Time // restart times still inside the window
 	backoff     sim.Duration
 	lastRestart sim.Time
@@ -184,6 +190,7 @@ func (e *Engine) Convict(reason string) {
 	}
 	e.quarantined = true
 	e.reason = reason
+	e.Flight.Recordf(trace.FEvidence, "convicted: %s", reason)
 }
 
 // Observe folds one health-check evidence snapshot into the conviction
@@ -221,21 +228,21 @@ func (e *Engine) Observe(ev Evidence) bool {
 // immediate restart.
 func (e *Engine) OnDeath(now sim.Time, standbyArmed bool, cause string) Decision {
 	if e.quarantined {
-		return Decision{Verdict: Quarantine, Reason: e.reason}
+		return e.graded(Decision{Verdict: Quarantine, Reason: e.reason})
 	}
 	e.prune(now)
 	if len(e.restarts) >= e.Cfg.WindowBudget {
 		e.Convict(fmt.Sprintf("crash loop: %d restarts within %v (%s)",
 			len(e.restarts), e.Cfg.RestartWindow, cause))
-		return Decision{Verdict: Quarantine, Reason: e.reason}
+		return e.graded(Decision{Verdict: Quarantine, Reason: e.reason})
 	}
 	crashLoop := e.restarted && now-e.lastRestart < e.Cfg.HealthyAfter
 	if !crashLoop {
 		e.backoff = 0 // sustained health resets the ladder
 		if standbyArmed {
-			return Decision{Verdict: Failover, Reason: cause}
+			return e.graded(Decision{Verdict: Failover, Reason: cause})
 		}
-		return Decision{Verdict: Restart, Reason: cause}
+		return e.graded(Decision{Verdict: Restart, Reason: cause})
 	}
 	if e.backoff == 0 {
 		e.backoff = e.Cfg.BackoffBase
@@ -245,8 +252,14 @@ func (e *Engine) OnDeath(now sim.Time, standbyArmed bool, cause string) Decision
 			e.backoff = e.Cfg.BackoffMax
 		}
 	}
-	return Decision{Verdict: RestartBackoff, Delay: e.backoff,
-		Reason: fmt.Sprintf("crash loop (%s): backing off %v", cause, e.backoff)}
+	return e.graded(Decision{Verdict: RestartBackoff, Delay: e.backoff,
+		Reason: fmt.Sprintf("crash loop (%s): backing off %v", cause, e.backoff)})
+}
+
+// graded records the decision in the flight recorder on its way out.
+func (e *Engine) graded(d Decision) Decision {
+	e.Flight.Recordf(trace.FVerdict, "%s: %s", d.Verdict, d.Reason)
+	return d
 }
 
 // RecordRestart logs a completed restart (or failover) into the window.

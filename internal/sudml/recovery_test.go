@@ -13,6 +13,7 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
+	"sud/internal/trace"
 	"sud/internal/sudml/policy"
 	"sud/internal/uchan"
 )
@@ -158,6 +159,28 @@ func TestBlockKillMidSaturationIsInvisible(t *testing.T) {
 				t.Fatalf("Q=%d: media corrupted at LBA %d after recovery", queues, lba)
 			}
 		}
+		// The flight recorder captured the whole recovery as one ordered
+		// timeline: kill → park → detect → verdict → respawn → adopt →
+		// replay → drain.
+		assertFlightOrder(t, w.sup.Flight.Kinds(),
+			trace.FKill, trace.FPark, trace.FDetect, trace.FVerdict,
+			trace.FRespawn, trace.FAdopt, trace.FReplay, trace.FDrain)
+	}
+}
+
+// assertFlightOrder checks that want appears as an ordered subsequence of
+// the recorded flight-event kinds (other events may be interleaved).
+func assertFlightOrder(t *testing.T, kinds []string, want ...string) {
+	t.Helper()
+	i := 0
+	for _, k := range kinds {
+		if i < len(want) && k == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("flight timeline missing %q in order\nwant subsequence: %v\ngot: %v",
+			want[i], want, kinds)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sud/internal/pci"
 	"sud/internal/sim"
 	"sud/internal/sudml/policy"
+	"sud/internal/trace"
 )
 
 // Supervisor implements the shadow-driver recovery the paper points at
@@ -66,6 +67,13 @@ type Supervisor struct {
 	// Policy grades every detection into a verdict; its config is the
 	// supervisor's knob surface for backoff and conviction thresholds.
 	Policy *policy.Engine
+
+	// Flight is the per-device flight recorder: a bounded ring holding the
+	// last detection/evidence/verdict/recovery transitions. One ring is
+	// shared by the supervisor, the policy engine, every process
+	// incarnation (kill events) and the supervised kernel objects
+	// (park/adopt/replay/drain), so a dump reads as one ordered timeline.
+	Flight *trace.Flight
 
 	// OnRestart, if set, runs after each successful recovery.
 	OnRestart func(generation int)
@@ -139,7 +147,9 @@ func supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName, b
 		Policy:       policy.NewEngine(policy.DefaultConfig()),
 		ifName:       ifName,
 		blkName:      blkName,
+		Flight:       trace.NewFlight(k.M.Loop, trace.FlightSize),
 	}
+	s.Policy.Flight = s.Flight
 	if err := s.start(0); err != nil {
 		return nil, err
 	}
@@ -155,12 +165,14 @@ func (s *Supervisor) attachShadows() {
 		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
 			s.NetShadow = &shadow.Net{}
 			ifc.Shadow = s.NetShadow
+			ifc.Flight = s.Flight
 		}
 	}
 	if s.blkName != "" {
 		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
 			s.BlkShadow = shadow.NewBlock(d.Geom)
 			d.AttachShadow(s.BlkShadow)
+			d.Flight = s.Flight
 		}
 	}
 }
@@ -177,6 +189,7 @@ func (s *Supervisor) start(gen int) error {
 	if proc.Blk != nil {
 		proc.Blk.GuardMode = s.BlkGuard
 	}
+	proc.Flight = s.Flight
 	proc.Recoverable = true
 	proc.OnDeath = s.onDeath
 	s.proc = proc
@@ -209,6 +222,7 @@ func (s *Supervisor) ArmStandby() error {
 	if err != nil {
 		return err
 	}
+	sb.Flight = s.Flight
 	if s.blkName != "" {
 		d, err := s.K.Blk.Dev(s.blkName)
 		if err != nil {
@@ -412,6 +426,7 @@ func (s *Supervisor) decide(cause string) {
 	if s.stopped || s.proc == nil || s.recovering || s.backingOff {
 		return
 	}
+	s.Flight.Recordf(trace.FDetect, "%s: %s", s.Name, cause)
 	now := s.K.M.Now()
 	s.Policy.Cfg.WindowBudget = s.MaxRestarts
 	d := s.Policy.OnDeath(now, s.standby != nil && !s.standby.Killed(), cause)
@@ -429,6 +444,7 @@ func (s *Supervisor) decide(cause string) {
 		// Kill now — the device parks under recovery for the whole wait —
 		// and respawn when the pacing delay expires.
 		s.proc.Kill()
+		s.Flight.Recordf(trace.FBackoff, "pacing restart by %v (generation %d)", d.Delay, s.Restarts+1)
 		s.backingOff = true
 		s.K.M.Loop.After(d.Delay, func() {
 			s.backingOff = false
@@ -465,6 +481,7 @@ func (s *Supervisor) recover() {
 		if s.stopped {
 			return
 		}
+		s.Flight.Recordf(trace.FRespawn, "generation %d spawning", gen)
 		if err := s.start(gen); err != nil {
 			s.K.Logf("supervisor: restart of %s failed: %v", s.Name, err)
 			s.quarantine(fmt.Sprintf("respawn failed: %v", err))
@@ -494,6 +511,7 @@ func (s *Supervisor) failover() bool {
 	defer func() { s.recovering = false }()
 	s.harvestStale(s.proc)
 	s.proc.Kill() // no-op if already dead; parks the devices, bumps the epoch
+	s.Flight.Recordf(trace.FPromote, "promoting hot standby %s", sb.Name)
 	promoted := false
 	if s.blkName != "" {
 		d, err := s.K.Blk.PromoteStandby(s.blkName)
@@ -598,6 +616,7 @@ func (s *Supervisor) harvestStale(p *Process) {
 // waiting for a restart that will never come.
 func (s *Supervisor) quarantine(reason string) {
 	s.K.Logf("supervisor: %s quarantined: %s", s.Name, reason)
+	s.Flight.Recordf(trace.FQuarantine, "%s: %s", s.Name, reason)
 	s.stopped = true
 	s.Quarantined = true
 	s.LastVerdict = policy.Quarantine

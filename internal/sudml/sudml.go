@@ -38,6 +38,7 @@ import (
 	"sud/internal/proxy/protocol"
 	"sud/internal/proxy/wifiproxy"
 	"sud/internal/sim"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 
@@ -141,6 +142,11 @@ type Process struct {
 	// OnDeath, if set, runs once at the end of Kill — the supervisor's
 	// immediate death notification (SIGCHLD, in effect).
 	OnDeath func()
+
+	// Flight is the supervisor's per-device flight recorder (nil when
+	// unsupervised; records are nil-safe). Kill logs here first, so the
+	// timeline reads kill → park → detect → verdict → ...
+	Flight *trace.Flight
 
 	// standby marks a hot-standby shell: spawned and (possibly) armed, but
 	// with the driver probe deferred to promotion. Cleared by
@@ -361,6 +367,7 @@ func (p *Process) Kill() {
 		return
 	}
 	p.killed = true
+	p.Flight.Recordf(trace.FKill, "%s (uid %d) killed", p.Name, p.UID)
 	p.Chan.Kill()
 	p.DF.Close()
 	if p.ki != nil && p.ki.IfaceNm != "" {
@@ -663,6 +670,7 @@ const maxPendingTx = uchan.RingSlots
 // doomed work. Hold queues and retry timers are per queue: one saturated
 // hardware queue never stalls a sibling's transmit path.
 func (p *Process) handleXmit(q int, m uchan.Msg) {
+	p.K.M.Trace.Event(trace.ClassNetTx, q, m.Args[2], trace.HopUchanDeq)
 	if len(p.pendingTx[q]) > 0 {
 		p.holdXmit(q, m)
 		return
@@ -745,11 +753,13 @@ func (p *Process) tryXmit(q int, m uchan.Msg) bool {
 	if err != nil {
 		return false
 	}
+	p.K.M.Trace.Event(trace.ClassNetTx, q, m.Args[2], trace.HopDoorbell)
 	p.xmitDone(q, m.Args[2])
 	return true
 }
 
 func (p *Process) xmitDone(q int, slot uint64) {
+	p.K.M.Trace.Event(trace.ClassNetTx, q, slot, trace.HopDrvComplete)
 	if err := p.Chan.DownQ(q, uchan.Msg{Op: ethproxy.OpXmitDone, Args: [6]uint64{slot}}); err != nil {
 		p.XmitRingDrops++
 	}
@@ -761,6 +771,9 @@ func (p *Process) xmitDone(q int, slot uint64) {
 // handleXmit, with per-queue hold queues so one saturated hardware queue
 // never stalls a sibling's submissions.
 func (p *Process) handleBlkSubmit(q int, m uchan.Msg) {
+	if m.Op != blkproxy.OpFlush {
+		p.K.M.Trace.Event(trace.ClassBlk, q, m.Args[5], trace.HopUchanDeq)
+	}
 	if len(p.pendingBlk[q]) > 0 {
 		p.holdBlkSubmit(q, m)
 		return
@@ -867,6 +880,7 @@ func (p *Process) tryBlkSubmit(q int, m uchan.Msg) bool {
 	if err := p.blockdev.Submit(q, req); err != nil {
 		return false
 	}
+	p.K.M.Trace.Event(trace.ClassBlk, q, req.Tag, trace.HopDoorbell)
 	return true
 }
 
@@ -1151,6 +1165,7 @@ func (bk *umlBlockKernel) Complete(q int, tag uint64, err error, data []byte) {
 		q = 0
 	}
 	p.QueueAccts[q].Charge(sim.CostUMLCall)
+	p.K.M.Trace.Event(trace.ClassBlk, q, tag, trace.HopDrvComplete)
 	if fo, ok := p.flushMeta[tag]; ok {
 		// A flush barrier: deliver every completion gathered before the
 		// barrier ack, then echo the OpFlush frame back with the status —
@@ -1403,6 +1418,7 @@ func (nk *umlNetKernel) NetifRxQ(frame []byte, q int) {
 	p.QueueAccts[q].Charge(sim.CostUMLCall)
 	if iova, ok := p.sliceAddrs[&frame[0]]; ok {
 		p.ZeroCopyRx++
+		p.K.M.Trace.Event(trace.ClassNetRx, q, uint64(iova), trace.HopUchanEnq)
 		if multi {
 			p.rxBatch[q] = append(p.rxBatch[q], ethproxy.RxRef{IOVA: uint64(iova), Len: uint32(len(frame))})
 			if len(p.rxBatch[q]) >= ethproxy.MaxRxBatch {

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sud/internal/sim"
+)
+
+// Chrome trace-event JSON (the chrome://tracing / Perfetto "traceEvents"
+// array format). Export is hand-built in event-record order with integer
+// microsecond math, so two same-seed runs produce byte-identical files —
+// the determinism guarantee the trace plane inherits from sim.Time.
+
+// ChromeJSON renders span events as a Chrome trace-event file. Each hop is
+// an instant event: name = hop, cat = class, ts = virtual µs, pid = run + 1
+// (one traced machine per pid), tid = queue, args carry the span tag.
+func ChromeJSON(events []Event, dropped uint64) []byte {
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[")
+	for i, ev := range events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		ns := int64(ev.At)
+		fmt.Fprintf(&b,
+			"\n{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d.%03d,\"pid\":%d,\"tid\":%d,\"args\":{\"tag\":%d}}",
+			ev.Hop, ev.Class, ns/1000, ns%1000, ev.Run+1, ev.Queue, ev.Tag)
+	}
+	fmt.Fprintf(&b, "\n],\"otherData\":{\"clock\":\"sim\",\"droppedEvents\":%d}}\n", dropped)
+	return b.Bytes()
+}
+
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	TS   float64 `json:"ts"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args struct {
+		Tag uint64 `json:"tag"`
+	} `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+const maxChromeEvents = 4 * MaxEvents
+
+// ParseChromeJSON decodes a ChromeJSON file back into span events
+// (sudtrace's input path). Defensive like DecodeFlight: malformed input
+// yields an error, oversized input is rejected, and string fields are
+// sanitized by the formatting layer, never trusted.
+func ParseChromeJSON(data []byte) ([]Event, error) {
+	var f chromeFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: bad chrome trace JSON: %v", err)
+	}
+	if len(f.TraceEvents) > maxChromeEvents {
+		return nil, fmt.Errorf("trace: chrome trace has %d events (max %d)", len(f.TraceEvents), maxChromeEvents)
+	}
+	evs := make([]Event, 0, len(f.TraceEvents))
+	for _, ce := range f.TraceEvents {
+		evs = append(evs, Event{
+			At:    sim.Time(ce.TS * float64(sim.Microsecond)),
+			Class: ce.Cat,
+			Hop:   ce.Name,
+			Queue: ce.TID,
+			Tag:   ce.Args.Tag,
+			Run:   ce.PID - 1,
+		})
+	}
+	return evs, nil
+}
+
+// HopStat is one hop-pair latency aggregate from Summarize.
+type HopStat struct {
+	Class    string
+	From, To string
+	Spans    uint64
+	Hist     Hist
+}
+
+type spanKey struct {
+	run   int
+	class string
+	queue int
+	tag   uint64
+}
+
+// spanStart names the hop that begins a fresh request in each class. Tags
+// are recycled (block tags, TX slots, RX ring IOVAs), so one (class, queue,
+// tag) key carries many requests back to back — Summarize cuts the span at
+// each start hop instead of pairing the old request's last hop with the new
+// request's first.
+var spanStart = map[string]string{
+	ClassBlk:   HopSubmit,
+	ClassNetRx: HopDevComplete,
+	ClassNetTx: HopUchanEnq,
+	ClassDev:   HopDevStart,
+}
+
+// Summarize groups span events by (class, queue, tag), orders each span's
+// hops by time, and aggregates the latency of every adjacent hop pair —
+// the per-hop breakdown sudtrace and sudctl print. Output order is
+// deterministic: by class, then by first-hop name pair.
+func Summarize(events []Event) []HopStat {
+	spans := make(map[spanKey][]Event)
+	var order []spanKey
+	for _, ev := range events {
+		k := spanKey{ev.Run, ev.Class, ev.Queue, ev.Tag}
+		if _, ok := spans[k]; !ok {
+			order = append(order, k)
+		}
+		spans[k] = append(spans[k], ev)
+	}
+	stats := make(map[[3]string]*HopStat)
+	var statOrder [][3]string
+	for _, k := range order {
+		evs := spans[k]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Hop == spanStart[k.class] {
+				continue
+			}
+			sk := [3]string{k.class, evs[i-1].Hop, evs[i].Hop}
+			st, ok := stats[sk]
+			if !ok {
+				st = &HopStat{Class: k.class, From: evs[i-1].Hop, To: evs[i].Hop}
+				stats[sk] = st
+				statOrder = append(statOrder, sk)
+			}
+			st.Spans++
+			st.Hist.Record(sim.Duration(evs[i].At - evs[i-1].At))
+		}
+	}
+	sort.Slice(statOrder, func(i, j int) bool {
+		a, b := statOrder[i], statOrder[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	out := make([]HopStat, 0, len(statOrder))
+	for _, sk := range statOrder {
+		out = append(out, *stats[sk])
+	}
+	return out
+}
+
+// FormatSummary writes Summarize output as a fixed-width table. Stable
+// format, pinned by sudctl's golden test.
+func FormatSummary(w io.Writer, stats []HopStat) {
+	if len(stats) == 0 {
+		fmt.Fprintf(w, "  (no spans)\n")
+		return
+	}
+	fmt.Fprintf(w, "  %-7s %-12s -> %-12s %8s %10s %10s %10s\n",
+		"class", "from", "to", "spans", "p50us", "p99us", "meanus")
+	for _, st := range stats {
+		fmt.Fprintf(w, "  %-7s %-12s -> %-12s %8d %10.3f %10.3f %10.3f\n",
+			sanitize(st.Class), sanitize(st.From), sanitize(st.To), st.Spans,
+			st.Hist.PercentileUS(0.50), st.Hist.PercentileUS(0.99),
+			float64(st.Hist.Mean())/float64(sim.Microsecond))
+	}
+}

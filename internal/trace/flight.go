@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"sud/internal/sim"
+)
+
+// Flight-recorder event kinds, roughly in the order a recovery emits them.
+// The supervisor, the policy engine, and blockdev all record into one
+// shared per-device ring, so a dump reads as a single causal timeline:
+// kill → park → detect → evidence → verdict → respawn → adopt → replay →
+// drain (or evidence → verdict → quarantine).
+const (
+	FKill       = "kill"       // driver process died or was killed
+	FPark       = "park"       // kernel parked queues pending recovery
+	FDetect     = "detect"     // supervisor noticed (death, wedge, conviction)
+	FEvidence   = "evidence"   // non-trivial evidence observation
+	FVerdict    = "verdict"    // policy engine graded the failure
+	FBackoff    = "backoff"    // restart delayed by the backoff ladder
+	FRespawn    = "respawn"    // fresh incarnation spawned and probing
+	FPromote    = "promote"    // hot standby promoted in place of a respawn
+	FAdopt      = "adopt"      // new incarnation adopted the live device
+	FReplay     = "replay"     // parked in-flight requests re-submitted
+	FDrain      = "drain"      // every pre-kill request has completed
+	FQuarantine = "quarantine" // device fenced, driver given up on
+)
+
+// FlightEvent is one flight-recorder entry.
+type FlightEvent struct {
+	At     sim.Time
+	Kind   string
+	Detail string
+}
+
+// FlightSize is the default ring capacity: enough for several full
+// recovery sequences plus the evidence chatter around them.
+const FlightSize = 128
+
+// Flight is a bounded ring of FlightEvents. Recording charges nothing and
+// schedules nothing — like the histograms it is always on and invisible in
+// virtual time. Nil-receiver safe.
+type Flight struct {
+	loop  *sim.Loop
+	size  int
+	evs   []FlightEvent
+	start int    // index of oldest event
+	total uint64 // lifetime count, including evicted
+}
+
+// NewFlight creates a flight recorder keeping the last size events.
+func NewFlight(loop *sim.Loop, size int) *Flight {
+	if size < 1 {
+		size = FlightSize
+	}
+	return &Flight{loop: loop, size: size}
+}
+
+// Record appends one event, evicting the oldest past capacity.
+func (f *Flight) Record(kind, detail string) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{At: f.loop.Now(), Kind: kind, Detail: detail}
+	if len(f.evs) < f.size {
+		f.evs = append(f.evs, ev)
+	} else {
+		f.evs[f.start] = ev
+		f.start = (f.start + 1) % f.size
+	}
+	f.total++
+}
+
+// Recordf is Record with a formatted detail.
+func (f *Flight) Recordf(kind, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	f.Record(kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events oldest-first.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.evs))
+	out = append(out, f.evs[f.start:]...)
+	out = append(out, f.evs[:f.start]...)
+	return out
+}
+
+// Total returns the lifetime event count including evicted ones.
+func (f *Flight) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.total
+}
+
+// Kinds returns just the event kinds oldest-first — what timeline tests
+// assert sequences against.
+func (f *Flight) Kinds() []string {
+	evs := f.Events()
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+// Wire format for dumped rings: "SUDFR1" magic, varint count, then per
+// event varint(At) varint(len(kind)) kind varint(len(detail)) detail.
+// DecodeFlight is defensive — sudctl dumps rings harvested from untrusted
+// driver shells, so malformed bytes must produce an error, never a panic
+// or an absurd allocation.
+const flightMagic = "SUDFR1"
+
+const (
+	maxFlightEvents = 1 << 16
+	maxFlightKind   = 64
+	maxFlightDetail = 4096
+)
+
+// EncodeFlight serialises events in order.
+func EncodeFlight(evs []FlightEvent) []byte {
+	buf := []byte(flightMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, ev := range evs {
+		buf = binary.AppendUvarint(buf, uint64(ev.At))
+		buf = binary.AppendUvarint(buf, uint64(len(ev.Kind)))
+		buf = append(buf, ev.Kind...)
+		buf = binary.AppendUvarint(buf, uint64(len(ev.Detail)))
+		buf = append(buf, ev.Detail...)
+	}
+	return buf
+}
+
+// DecodeFlight parses an EncodeFlight buffer, rejecting malformed input
+// with an error (bounded counts and lengths, no panics).
+func DecodeFlight(buf []byte) ([]FlightEvent, error) {
+	if len(buf) < len(flightMagic) || string(buf[:len(flightMagic)]) != flightMagic {
+		return nil, fmt.Errorf("trace: bad flight-recorder magic")
+	}
+	buf = buf[len(flightMagic):]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 || count > maxFlightEvents {
+		return nil, fmt.Errorf("trace: bad flight-recorder event count")
+	}
+	buf = buf[n:]
+	readStr := func(max uint64) (string, error) {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || l > max || uint64(len(buf)-n) < l {
+			return "", fmt.Errorf("trace: truncated flight-recorder string")
+		}
+		s := string(buf[n : n+int(l)])
+		buf = buf[n+int(l):]
+		return s, nil
+	}
+	evs := make([]FlightEvent, 0, min(count, 256))
+	for i := uint64(0); i < count; i++ {
+		at, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("trace: truncated flight-recorder event")
+		}
+		buf = buf[n:]
+		kind, err := readStr(maxFlightKind)
+		if err != nil {
+			return nil, err
+		}
+		detail, err := readStr(maxFlightDetail)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, FlightEvent{At: sim.Time(at), Kind: kind, Detail: detail})
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("trace: trailing bytes after flight-recorder events")
+	}
+	return evs, nil
+}
+
+// sanitize keeps dumper output terminal-safe whatever bytes a hostile ring
+// held: non-printable runes are replaced.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f || r == 0xFFFD {
+			return '.'
+		}
+		return r
+	}, s)
+}
+
+// FormatFlight writes the last n events (all if n <= 0) as a fixed-width
+// timeline. The format is stable — sudctl's golden test pins it.
+func FormatFlight(w io.Writer, evs []FlightEvent, n int) {
+	if n > 0 && len(evs) > n {
+		fmt.Fprintf(w, "  ... %d earlier events elided\n", len(evs)-n)
+		evs = evs[len(evs)-n:]
+	}
+	if len(evs) == 0 {
+		fmt.Fprintf(w, "  (empty)\n")
+		return
+	}
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  %12.3fus  %-10s %s\n",
+			float64(ev.At)/float64(sim.Microsecond), sanitize(ev.Kind), sanitize(ev.Detail))
+	}
+}

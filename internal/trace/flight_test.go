@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sud/internal/sim"
+)
+
+func TestFlightRingEviction(t *testing.T) {
+	loop := sim.NewLoop()
+	f := NewFlight(loop, 4)
+	for i := 0; i < 6; i++ {
+		f.Recordf(FEvidence, "ev%d", i)
+		loop.RunFor(sim.Microsecond)
+	}
+	evs := f.Events()
+	if len(evs) != 4 || f.Total() != 6 {
+		t.Fatalf("ring kept %d (total %d), want 4 (total 6)", len(evs), f.Total())
+	}
+	if evs[0].Detail != "ev2" || evs[3].Detail != "ev5" {
+		t.Fatalf("eviction order wrong: %+v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not time-ordered: %+v", evs)
+		}
+	}
+	var nilF *Flight
+	nilF.Record(FKill, "x") // must not panic
+	if nilF.Total() != 0 || nilF.Events() != nil || len(nilF.Kinds()) != 0 {
+		t.Fatalf("nil flight should be inert")
+	}
+}
+
+func TestFlightEncodeDecodeRoundTrip(t *testing.T) {
+	evs := []FlightEvent{
+		{At: 0, Kind: FKill, Detail: "nvmed pid 7"},
+		{At: 12345, Kind: FPark, Detail: "q0: 3 inflight, 2 waiting"},
+		{At: 99999999, Kind: FDrain, Detail: ""},
+	}
+	got, err := DecodeFlight(EncodeFlight(evs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, evs)
+	}
+	if _, err := DecodeFlight([]byte("not a flight ring")); err == nil {
+		t.Fatalf("bad magic should error")
+	}
+	enc := EncodeFlight(evs)
+	if _, err := DecodeFlight(enc[:len(enc)-3]); err == nil {
+		t.Fatalf("truncated buffer should error")
+	}
+	if _, err := DecodeFlight(append(enc, 0xff)); err == nil {
+		t.Fatalf("trailing bytes should error")
+	}
+}
+
+func TestFormatFlightStable(t *testing.T) {
+	evs := []FlightEvent{
+		{At: 50_000_000, Kind: FKill, Detail: "nvmed"},
+		{At: 50_001_500, Kind: FPark, Detail: "q1: 4 parked"},
+		{At: 50_250_000, Kind: "bad\x01kind", Detail: "ctl\x1bchars"},
+	}
+	var b bytes.Buffer
+	FormatFlight(&b, evs, 0)
+	want := "" +
+		"     50000.000us  kill       nvmed\n" +
+		"     50001.500us  park       q1: 4 parked\n" +
+		"     50250.000us  bad.kind   ctl.chars\n"
+	if b.String() != want {
+		t.Fatalf("format drifted:\n%s\nwant:\n%s", b.String(), want)
+	}
+	b.Reset()
+	FormatFlight(&b, evs, 2)
+	if !strings.Contains(b.String(), "1 earlier events elided") {
+		t.Fatalf("lastN elision missing: %s", b.String())
+	}
+	b.Reset()
+	FormatFlight(&b, nil, 0)
+	if b.String() != "  (empty)\n" {
+		t.Fatalf("empty format drifted: %q", b.String())
+	}
+}
+
+// FuzzDecodeFlight: the dumper path (decode + format) must never panic on
+// malformed ring contents, whatever bytes a hostile driver shell left.
+func FuzzDecodeFlight(f *testing.F) {
+	f.Add([]byte("SUDFR1"))
+	f.Add(EncodeFlight([]FlightEvent{{At: 1, Kind: FKill, Detail: "x"}}))
+	f.Add(EncodeFlight(nil))
+	f.Add([]byte("SUDFR1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeFlight(data)
+		if err != nil {
+			return
+		}
+		var b bytes.Buffer
+		FormatFlight(&b, evs, 16)
+		// What decoded must re-encode and decode to the same events.
+		again, err := DecodeFlight(EncodeFlight(evs))
+		if err != nil {
+			t.Fatalf("re-decode of valid events failed: %v", err)
+		}
+		if len(again) != len(evs) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(again), len(evs))
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"math/bits"
+
+	"sud/internal/sim"
+)
+
+// Log-linear bucketing: exact for durations under 2^histSubBits ns, then 64
+// sub-buckets per octave up to ~17 s, everything larger clamped into the
+// last bucket. Worst-case relative quantization error is 1/64 ≈ 1.6%, well
+// inside the ±15% benchgate bands and the recovery/failover SLO margins.
+const (
+	histSubBits = 6
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histMaxExp  = 34               // top octave: ~2^34 ns ≈ 17 s
+	// histBuckets = linear region + one histSub-wide band per shift step.
+	histBuckets = histSub + (histMaxExp-histSubBits)*histSub
+)
+
+// Hist is a fixed-bucket log-linear latency histogram over sim.Duration.
+// It is a value type: snapshot with plain assignment, window with Sub.
+// Recording charges nothing and schedules nothing, so always-on histograms
+// are invisible in virtual time.
+type Hist struct {
+	counts [histBuckets + 1]uint64
+	n      uint64
+	sum    sim.Duration
+}
+
+func histIndex(d sim.Duration) int {
+	if d < histSub {
+		if d < 0 {
+			return 0
+		}
+		return int(d)
+	}
+	shift := bits.Len64(uint64(d)) - 1 - histSubBits
+	idx := histSub*shift + int(uint64(d)>>uint(shift))
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// histValue returns the upper bound of bucket idx — the value reported for
+// percentiles landing in it (conservative: never under-reports latency).
+func histValue(idx int) sim.Duration {
+	if idx < histSub {
+		return sim.Duration(idx)
+	}
+	shift := (idx - histSub) / histSub
+	mant := histSub + (idx-histSub)%histSub
+	return sim.Duration(mant+1)<<uint(shift) - 1
+}
+
+// Record adds one latency sample.
+func (h *Hist) Record(d sim.Duration) {
+	h.counts[histIndex(d)]++
+	h.n++
+	h.sum += d
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of recorded samples (sum is kept unbucketed).
+func (h *Hist) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.n)
+}
+
+// Percentile returns the p-quantile (0..1) by nearest rank over buckets,
+// 0 when empty. Matches the rank convention of the sort-based percentile
+// it replaced: rank = round(p*n) clamped to [1, n].
+func (h *Hist) Percentile(p float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p*float64(h.n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return histValue(i)
+		}
+	}
+	return histValue(histBuckets)
+}
+
+// PercentileUS returns Percentile in microseconds.
+func (h *Hist) PercentileUS(p float64) float64 {
+	return float64(h.Percentile(p)) / float64(sim.Microsecond)
+}
+
+// Sub returns the window delta h − prev (for prev an earlier snapshot of
+// the same histogram).
+func (h *Hist) Sub(prev *Hist) Hist {
+	var d Hist
+	for i := range h.counts {
+		d.counts[i] = h.counts[i] - prev.counts[i]
+	}
+	d.n = h.n - prev.n
+	d.sum = h.sum - prev.sum
+	return d
+}
+
+// Merge adds o's samples into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Reset clears the histogram.
+func (h *Hist) Reset() { *h = Hist{} }

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sud/internal/sim"
+)
+
+func TestHistIndexValueMonotone(t *testing.T) {
+	last := -1
+	for _, d := range []sim.Duration{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20, 1 << 30, 1 << 34, 1 << 40} {
+		idx := histIndex(d)
+		if idx < last {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", d, idx, last)
+		}
+		last = idx
+		if d <= sim.Duration(1)<<histMaxExp {
+			ub := histValue(idx)
+			if ub < d {
+				t.Fatalf("bucket upper bound %d below sample %d", ub, d)
+			}
+		}
+	}
+	if histIndex(-5) != 0 {
+		t.Fatalf("negative duration should clamp to bucket 0")
+	}
+}
+
+func TestHistPercentileError(t *testing.T) {
+	// Compare against an exact sort over a deterministic pseudo-random set.
+	var h Hist
+	var vals []float64
+	x := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		d := sim.Duration(x % 2_000_000) // 0..2ms in ns
+		h.Record(d)
+		vals = append(vals, float64(d))
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		i := int(p*float64(len(vals))+0.5) - 1
+		exact := vals[i]
+		got := float64(h.Percentile(p))
+		if exact > 0 && math.Abs(got-exact)/exact > 0.02 {
+			t.Fatalf("p%.0f: hist %v vs exact %v (>2%% off)", p*100, got, exact)
+		}
+		if got < exact {
+			t.Fatalf("p%.0f: hist %v under-reports exact %v", p*100, got, exact)
+		}
+	}
+}
+
+func TestHistSubMerge(t *testing.T) {
+	var a, b Hist
+	for i := 1; i <= 100; i++ {
+		a.Record(sim.Duration(i * 1000))
+	}
+	snap := a
+	for i := 1; i <= 100; i++ {
+		a.Record(sim.Duration(i * 2000))
+	}
+	win := a.Sub(&snap)
+	if win.Count() != 100 {
+		t.Fatalf("window count = %d, want 100", win.Count())
+	}
+	b.Merge(&snap)
+	b.Merge(&win)
+	if b.Count() != a.Count() || b.Percentile(0.99) != a.Percentile(0.99) {
+		t.Fatalf("merge of snapshot+window != full hist")
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Mean() != 0 {
+		t.Fatalf("reset left samples behind")
+	}
+}

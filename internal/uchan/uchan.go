@@ -31,6 +31,7 @@ import (
 	"errors"
 
 	"sud/internal/sim"
+	"sud/internal/trace"
 )
 
 // Msg is one message in either ring.
@@ -48,6 +49,9 @@ type Msg struct {
 
 	// urgent marks interrupt-class messages (set by ASendUrgent).
 	urgent bool
+	// enqAt stamps when the message entered its ring; the dequeue side
+	// turns it into a ring-residency sample (trace metrics plane).
+	enqAt sim.Time
 }
 
 // Tunables of the transport model.
@@ -191,6 +195,14 @@ type Chan struct {
 
 	nextSeq uint32
 	stats   Stats
+
+	// upRes / downRes are always-on ring-residency histograms: how long
+	// each message sat in its ring from enqueue to dequeue (upcall ring
+	// residency includes the wake latency a sleeping driver adds — the
+	// paper's 4 µs wakeup is directly visible here). Recording charges
+	// nothing; the transport stays bit-for-bit with the seed.
+	upRes   trace.Hist
+	downRes trace.Hist
 }
 
 // New creates a channel between the kernel account and a driver account.
@@ -200,6 +212,10 @@ func New(loop *sim.Loop, kern, drv *sim.CPUAccount) *Chan {
 
 // Stats returns transport counters.
 func (c *Chan) Stats() Stats { return c.stats }
+
+// Residency returns snapshots of the upcall- and downcall-ring residency
+// histograms (enqueue→dequeue latency per message).
+func (c *Chan) Residency() (up, down trace.Hist) { return c.upRes, c.downRes }
 
 // Pending returns the number of queued upcalls (tests, hang detection).
 func (c *Chan) Pending() int { return len(c.k2u) }
@@ -251,6 +267,7 @@ func (c *Chan) asend(m Msg, urgent bool) error {
 		return ErrRingFull
 	}
 	c.kern.Charge(sim.CostUchanEnqueue)
+	m.enqAt = c.loop.Now()
 	c.k2u = append(c.k2u, m)
 	c.stats.Upcalls++
 	if c.Hung {
@@ -399,6 +416,7 @@ func (c *Chan) drain() {
 		for len(c.k2u) > 0 && !c.Hung {
 			m := c.k2u[0]
 			c.k2u = c.k2u[1:]
+			c.upRes.Record(c.loop.Now() - m.enqAt)
 			c.drv.Charge(sim.CostUchanDequeue)
 			if m.urgent {
 				sawUrgent = true
@@ -455,6 +473,7 @@ func (c *Chan) Down(m Msg) error {
 		return ErrRingFull
 	}
 	c.drv.Charge(sim.CostUchanEnqueue)
+	m.enqAt = c.loop.Now()
 	c.u2k = append(c.u2k, m)
 	c.stats.Downcalls++
 	if c.NoBatch {
@@ -479,6 +498,7 @@ func (c *Chan) flushDown() {
 		c.stats.MaxDownBatch = uint64(len(batch))
 	}
 	for _, m := range batch {
+		c.downRes.Record(c.loop.Now() - m.enqAt)
 		c.kern.Charge(sim.CostUchanDequeue)
 		if c.KernelHandler != nil {
 			c.KernelHandler(m)
