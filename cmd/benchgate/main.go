@@ -26,6 +26,12 @@
 //	                                      promotion (Failovers ≥ 1) and drain
 //	                                      p99 under -failover-slo-us — the
 //	                                      tighter budget failover exists for
+//	qrecovery []diskperf.QueueRecoveryResult
+//	                                      zero errors, a surgical (not
+//	                                      process-restart) recovery ran, replay
+//	                                      ran, and sibling throughput in band —
+//	                                      against both the run's own pre-breach
+//	                                      rate and the baseline
 //	latency   []report.LatencyRow         end-to-end p50/p99 per (kind,Q) row,
 //	                                      merged and per queue — the latency
 //	                                      face of the rx and blk scale runs
@@ -240,6 +246,48 @@ func (g *gate) check(kind, curPath, basePath string) error {
 				{"Replayed", float64(r.Replayed), float64(b.Replayed), true},
 			}
 		})
+	case "qrecovery":
+		var cur, base []diskperf.QueueRecoveryResult
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("Q=%d J=%d D=%d", r.Queues, r.Jobs, r.Depth)
+			if r.Errors != 0 {
+				g.violate(kind, key, "surgical recovery surfaced %d application-visible errors", r.Errors)
+			}
+			if r.QueueRecoveries == 0 {
+				g.violate(kind, key, "breach was never answered by a surgical recovery")
+			}
+			if r.Restarts != 0 {
+				g.violate(kind, key, "surgical recovery escalated to %d process restarts", r.Restarts)
+			}
+			if r.Replayed == 0 {
+				g.violate(kind, key, "surgical recovery replayed nothing — the breach did not exercise the per-queue shadow path")
+			}
+			// The point of queue granularity: siblings must stay in band
+			// through the episode, judged against the same run's pre-breach
+			// rate as well as the checked-in baseline.
+			if r.PreSiblingKIOPS > 0 {
+				if dev := (r.SiblingKIOPS - r.PreSiblingKIOPS) / r.PreSiblingKIOPS; dev < -g.tolerance || dev > g.tolerance {
+					g.violate(kind, key, "sibling throughput %.1f KIOPS left the ±%.0f%% band around the pre-breach %.1f KIOPS",
+						r.SiblingKIOPS, g.tolerance*100, r.PreSiblingKIOPS)
+				}
+			}
+			b, ok := findQRecovery(base, r)
+			if !ok {
+				return key, nil
+			}
+			return key, []metric{
+				{"SiblingKIOPS", r.SiblingKIOPS, b.SiblingKIOPS, true},
+				{"BreachedKIOPS", r.BreachedKIOPS, b.BreachedKIOPS, true},
+				{"Replayed", float64(r.Replayed), float64(b.Replayed), true},
+			}
+		})
 	case "latency":
 		var cur, base []report.LatencyRow
 		if err := load(curPath, &cur); err != nil {
@@ -370,6 +418,15 @@ func findLatency(base []report.LatencyRow, r report.LatencyRow) (report.LatencyR
 		}
 	}
 	return report.LatencyRow{}, false
+}
+
+func findQRecovery(base []diskperf.QueueRecoveryResult, r diskperf.QueueRecoveryResult) (diskperf.QueueRecoveryResult, bool) {
+	for _, b := range base {
+		if b.Queues == r.Queues && b.Jobs == r.Jobs && b.Depth == r.Depth {
+			return b, true
+		}
+	}
+	return diskperf.QueueRecoveryResult{}, false
 }
 
 func findRecovery(base []diskperf.RecoveryResult, r diskperf.RecoveryResult) (diskperf.RecoveryResult, bool) {

@@ -78,6 +78,8 @@ func main() {
 		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
 	failover := flag.Bool("failover", false,
 		"blk: with -kill-after, arm a hot standby before the run so the kill is recovered by standby promotion instead of a cold respawn (BENCH_failover.json)")
+	breachAfter := flag.Duration("breach-after", 0,
+		"blk: make one queue's DMA sub-domain fault this far into the run and measure the surgical single-queue recovery — sibling throughput must stay in band (BENCH_qrecovery.json)")
 	guardMode := flag.String("guard", "fused",
 		"multiflow/blk: TOCTOU-guard ablation — fused | separate | pageflip")
 	jsonPath := flag.String("json", "", "multiflow/blk/latency: also write result rows as JSON to this file")
@@ -225,6 +227,41 @@ func main() {
 		target := *queues
 		if target < 1 {
 			target = 1
+		}
+		if *breachAfter > 0 {
+			// Surgical-recovery smoke: one queue's sub-domain faults mid-run;
+			// the supervisor quarantines, re-arms and replays exactly that
+			// queue. Siblings must not notice (BENCH_qrecovery.json).
+			tb, err := diskperf.NewSupervisedTestbed(target, hw.DefaultPlatform())
+			if err != nil {
+				return err
+			}
+			breach := sim.Duration((*breachAfter).Nanoseconds())
+			res, err := diskperf.QueueBreachRecovery(tb, *jobs, *depth, breach, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			if res.Errors != 0 {
+				return fmt.Errorf("surgical recovery surfaced %d application-visible errors", res.Errors)
+			}
+			if res.QueueRecoveries == 0 {
+				return fmt.Errorf("breach was never answered by a surgical recovery")
+			}
+			if res.Restarts != 0 {
+				return fmt.Errorf("surgical recovery escalated to %d process restarts", res.Restarts)
+			}
+			if *jsonPath != "" {
+				blob, err := json.MarshalIndent([]diskperf.QueueRecoveryResult{res}, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
 		}
 		if *killAfter > 0 {
 			// Recovery smoke: kill the supervised driver mid-run; record

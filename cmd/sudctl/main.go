@@ -10,7 +10,10 @@
 // shadow-driver supervision, kills it mid-traffic, and dumps the
 // supervisor's flight recorder — the kill → park → detect → verdict →
 // respawn → adopt → replay → drain timeline an administrator reads after
-// the fact.
+// the fact. A last section breaches one queue's per-queue DMA sub-domain
+// mid-traffic and shows the surgical single-queue recovery: only that
+// queue is revoked, parked, graded and replayed while its sibling keeps
+// serving.
 //
 // Everything runs in deterministic virtual time, so the output is stable
 // byte for byte; a golden test pins it.
@@ -49,7 +52,10 @@ func run(w io.Writer) error {
 	if err := blockSection(w); err != nil {
 		return err
 	}
-	return flightSection(w)
+	if err := flightSection(w); err != nil {
+		return err
+	}
+	return surgicalSection(w)
 }
 
 // netSection is the paper's administrator tour: inspect, hang, kill -9,
@@ -148,15 +154,15 @@ func blockSection(w io.Writer) error {
 	// rings and identify page, then per queue pair its SQ/CQ rings and
 	// data pool; the "blk qN slot pool" entries are the proxy's.
 	names := map[string]string{
-		"coherent #0": "admin SQ ring",
-		"coherent #1": "admin CQ ring",
-		"coherent #2": "identify page",
-		"coherent #5": "q0 I/O SQ ring",
-		"coherent #6": "q0 I/O CQ ring",
-		"caching #7":  "q0 data pool",
-		"coherent #8": "q1 I/O SQ ring",
-		"coherent #9": "q1 I/O CQ ring",
-		"caching #10": "q1 data pool",
+		"coherent #0":    "admin SQ ring",
+		"coherent #1":    "admin CQ ring",
+		"coherent #2":    "identify page",
+		"coherent q1 #5": "q0 I/O SQ ring",
+		"coherent q1 #6": "q0 I/O CQ ring",
+		"caching q1 #7":  "q0 data pool",
+		"coherent q2 #8": "q1 I/O SQ ring",
+		"coherent q2 #9": "q1 I/O CQ ring",
+		"caching q2 #10": "q1 data pool",
 	}
 	for _, a := range btb.Proc.DF.Allocs() {
 		label := a.Label
@@ -165,6 +171,18 @@ func blockSection(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  %-22s iova %#x  %4d pages\n", label, uint64(a.IOVA), a.Pages)
 	}
+
+	fmt.Fprintln(w, "\n== per-queue DMA sub-domains (queue-granular confinement) ==")
+	for _, s := range btb.Proc.DF.QueueStreams() {
+		state := "armed"
+		if btb.Proc.DF.QueueQuarantined(s) {
+			state = "quarantined"
+		}
+		fmt.Fprintf(w, "  stream %d -> queue %d: %s, epoch %d\n",
+			s, s-1, state, btb.Dev.QueueEpoch(s-1))
+	}
+	fmt.Fprintf(w, "  %d sub-domains attached; a descriptor naming a sibling queue's IOVA faults at the walk\n",
+		btb.M.IOMMU.QueueDomains(btb.Ctrl.BDF()))
 
 	fmt.Fprintln(w, "\n== block traffic check (span recorder on) ==")
 	btb.M.Trace.Enable()
@@ -212,6 +230,38 @@ func flightSection(w io.Writer) error {
 
 	fmt.Fprintln(w, "\n== flight recorder (last 12 events) ==")
 	trace.FormatFlight(w, tb.Sup.Flight.Events(), 12)
+	return nil
+}
+
+// surgicalSection breaches one queue's DMA sub-domain mid-traffic and shows
+// the surgical single-queue recovery: the supervisor revokes, parks, grades,
+// re-arms and replays exactly that queue — the process and its sibling queue
+// never stop — and the flight recorder reads kill → park → verdict →
+// replay → drain for queue 1 alone.
+func surgicalSection(w io.Writer) error {
+	tb, err := diskperf.NewSupervisedTestbed(2, hw.DefaultPlatform())
+	if err != nil {
+		return fmt.Errorf("surgical: %v", err)
+	}
+	fmt.Fprintln(w, "\n== surgical recovery: queue 1's sub-domain faults mid-traffic ==")
+	res, err := diskperf.QueueBreachRecovery(tb, 4, 4, 20*sim.Millisecond, 0)
+	if err != nil {
+		return fmt.Errorf("surgical: %v", err)
+	}
+	fmt.Fprintf(w, "  %d surgical recover(ies), %d process restart(s), %d replayed, %d completed, %d errors\n",
+		res.QueueRecoveries, res.Restarts, res.Replayed, res.Completed, res.Errors)
+	fmt.Fprintf(w, "  sibling queue throughput: %.1f KIOPS before, %.1f KIOPS through the episode\n",
+		res.PreSiblingKIOPS, res.SiblingKIOPS)
+	for q := 0; q < 2; q++ {
+		state := "armed"
+		if tb.Proc.DF.QueueQuarantined(q + 1) {
+			state = "quarantined"
+		}
+		fmt.Fprintf(w, "  queue %d: epoch %d, %s\n", q, tb.Dev.QueueEpoch(q), state)
+	}
+
+	fmt.Fprintln(w, "\n== flight recorder (the per-queue timeline) ==")
+	trace.FormatFlight(w, tb.Sup.Flight.Events(), 8)
 	return nil
 }
 

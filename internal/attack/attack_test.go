@@ -189,7 +189,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 15*len(Configs()) {
+	if len(out) != 16*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be
@@ -223,6 +223,24 @@ func TestPageSquatConfinedUnderEverySUDConfig(t *testing.T) {
 	run(t, PageSquat, cfgSUDRemap(), false)
 	run(t, PageSquat, cfgSUDAMD(), false)
 	run(t, PageSquat, cfgSUDNoACS(), false)
+}
+
+func TestQueueBreachConfinedUnderEverySUDConfig(t *testing.T) {
+	// A compromised queue naming a sibling queue's buffer and the kernel
+	// secret in its descriptors: the trusted baseline shares one address
+	// space across every queue (compromised by construction); under SUD
+	// each queue's DMA engine walks only its own (BDF, stream) sub-domain,
+	// so both references fault at the walk, the queue's own control write
+	// still lands, and a surgical RevokeQueueDMA leaves the queue unable
+	// to fetch even its own descriptors — on every platform flavour.
+	run(t, QueueBreach, cfgKernel(), true)
+	o := run(t, QueueBreach, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, QueueBreach, cfgSUDRemap(), false)
+	run(t, QueueBreach, cfgSUDAMD(), false)
+	run(t, QueueBreach, cfgSUDNoACS(), false)
 }
 
 func TestTOCTOUPageFlip(t *testing.T) {

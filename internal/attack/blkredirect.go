@@ -74,11 +74,23 @@ func (d *EvilBlkDriver) Probe(env api.Env) (api.Instance, error) {
 		}
 		return b
 	}
+	// The injected I/O pair is tagged with its queue's stream (qid 1) —
+	// the compromised queue's own engine stamps that tag on the SQE fetch,
+	// so the ring must live in the queue's sub-domain for commands to be
+	// decoded at all. The malicious PRPs the commands carry still name
+	// memory outside that sub-domain and fault at the walk.
+	allocQ := func(size, stream int) api.DMABuf {
+		b, err := api.AllocCoherentQ(env, size, stream)
+		if err != nil {
+			errBuf = err
+		}
+		return b
+	}
 	inst.asq = alloc(16 * nvme.SQESize)
 	inst.acq = alloc(16 * nvme.CQESize)
-	inst.isq = alloc(16 * nvme.SQESize)
-	inst.icq = alloc(16 * nvme.CQESize)
-	inst.buf = alloc(nvme.BlockSize)
+	inst.isq = allocQ(16*nvme.SQESize, 1)
+	inst.icq = allocQ(16*nvme.CQESize, 1)
+	inst.buf = allocQ(nvme.BlockSize, 1)
 	if errBuf != nil {
 		return nil, errBuf
 	}

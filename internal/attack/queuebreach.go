@@ -1,0 +1,180 @@
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"sud/internal/devices/nvme"
+	"sud/internal/drivers/api"
+	"sud/internal/drivers/nvmed"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/mem"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+// LBAs the breach aims at; each is seeded with blkMediaPattern so any DMA
+// that lands is visible as a media change.
+const (
+	qbSiblingLBA = 7  // write sourced from a sibling queue's buffer
+	qbSecretLBA  = 8  // write sourced from the kernel secret page
+	qbOwnLBA     = 9  // control: write sourced from the queue's own buffer
+	qbRevokedLBA = 10 // control: own-buffer write after surgical revoke
+)
+
+func qbOwnPattern() []byte {
+	return bytes.Repeat([]byte{0xA5, 0x5A, 0xC3, 0x3C}, nvme.BlockSize/4)
+}
+
+func qbSiblingPattern() []byte {
+	return bytes.Repeat([]byte{0x51, 0xB1, 0x1B, 0x15}, nvme.BlockSize/4)
+}
+
+// QueueBreach is the cross-queue DMA attack on the per-queue sub-domains: a
+// compromised queue submits descriptors whose PRPs name (1) a sibling
+// queue's buffer — mapped, but in the sibling's sub-domain — and (2) the
+// kernel secret's physical address, trying to exfiltrate both onto the
+// media as "disk data". Queue-granular confinement means the breached
+// queue's own DMA engine walks only its own (BDF, stream) tables: both
+// references must fault at the walk, under every SUD configuration, while
+// a control write sourced from the queue's own buffer goes through. The
+// surgical leg then revokes exactly that queue's sub-domain and shows even
+// the queue's own descriptors die at the SQE fetch — the device-side half
+// of single-queue quarantine. A trusted in-kernel driver has no such
+// boundary: every queue of every device shares the one kernel address
+// space.
+func QueueBreach(cfg Config) (Outcome, error) {
+	if cfg.Mode == InKernel {
+		return Outcome{
+			Attack:      "cross-queue DMA breach",
+			Config:      cfg.Name,
+			Compromised: true,
+			Detail:      "trusted driver: all queues walk the one kernel address space",
+		}, nil
+	}
+
+	m := hw.NewMachine(cfg.Platform)
+	k := kernel.New(m)
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(2))
+	m.AttachDevice(ctrl)
+	for _, lba := range []uint64{qbSiblingLBA, qbSecretLBA, qbOwnLBA, qbRevokedLBA} {
+		ctrl.SeedMedia(lba, blkMediaPattern())
+	}
+
+	secret, ok := m.Alloc.AllocPages(1)
+	if !ok {
+		return Outcome{}, fmt.Errorf("attack: out of memory")
+	}
+	m.Mem.MustWrite(secret, secretPattern)
+
+	evil := NewEvilBlk()
+	proc, err := sudml.StartQ(k, ctrl, evil, "evil-nvmed", 1337, 2)
+	if err != nil {
+		return Outcome{}, err
+	}
+	inst := evil.Instance()
+	m.Loop.RunFor(sim.Millisecond)
+
+	// A sibling queue's buffer: mapped and DMA-able — but only through
+	// stream 2's sub-domain. The breached queue's engine is stream 1.
+	sib, err := api.AllocCoherentQ(inst.env, nvme.BlockSize, 2)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := sib.Write(0, qbSiblingPattern()); err != nil {
+		return Outcome{}, err
+	}
+	if err := inst.buf.Write(0, qbOwnPattern()); err != nil {
+		return Outcome{}, err
+	}
+
+	bdf := ctrl.BDF()
+	faultsBefore := m.IOMMU.StreamFaults(bdf, 1)
+
+	// Control first: a write sourced from the queue's own buffer must land
+	// (the queue works; later faults are attributable to the references).
+	inst.injectIO(nvme.CmdWrite, inst.buf.BusAddr(), qbOwnLBA)
+	// The breach: descriptors naming the sibling's IOVA and the kernel
+	// secret's physical address.
+	inst.injectIO(nvme.CmdWrite, sib.BusAddr(), qbSiblingLBA)
+	inst.injectIO(nvme.CmdWrite, mem.Addr(secret), qbSecretLBA)
+	m.Loop.RunFor(sim.Millisecond)
+	breachFaults := m.IOMMU.StreamFaults(bdf, 1) - faultsBefore
+
+	// Surgical leg: revoke exactly the breached queue's sub-domain — the
+	// device-side half of single-queue quarantine — and show even its own
+	// descriptors now die at the SQE fetch.
+	if err := proc.DF.RevokeQueueDMA(1); err != nil {
+		return Outcome{}, err
+	}
+	inst.injectIO(nvme.CmdWrite, inst.buf.BusAddr(), qbRevokedLBA)
+	m.Loop.RunFor(sim.Millisecond)
+
+	// Ground truth: kill the attacker, bring up the honest driver, read the
+	// four blocks back.
+	proc.Kill()
+	proc2, err := sudml.StartQ(k, ctrl, nvmed.NewQ(2), "nvmed", 1338, 2)
+	if err != nil {
+		return Outcome{}, err
+	}
+	_ = proc2
+	dev, err := k.Blk.Dev("nvme0")
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := dev.Up(); err != nil {
+		return Outcome{}, err
+	}
+	readBack := func(lba uint64) ([]byte, error) {
+		var got []byte
+		if err := dev.ReadAtQ(lba, 0, func(b []byte, err error) {
+			if err == nil {
+				got = append([]byte(nil), b...)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		m.Loop.RunFor(5 * sim.Millisecond)
+		return got, nil
+	}
+	sibBlock, err := readBack(qbSiblingLBA)
+	if err != nil {
+		return Outcome{}, err
+	}
+	secretBlock, err := readBack(qbSecretLBA)
+	if err != nil {
+		return Outcome{}, err
+	}
+	ownBlock, err := readBack(qbOwnLBA)
+	if err != nil {
+		return Outcome{}, err
+	}
+	revokedBlock, err := readBack(qbRevokedLBA)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !bytes.Equal(ownBlock, qbOwnPattern()) {
+		return Outcome{}, fmt.Errorf("attack: control write from the queue's own buffer never landed")
+	}
+
+	o := Outcome{Attack: "cross-queue DMA breach", Config: cfg.Name}
+	switch {
+	case bytes.Contains(sibBlock, qbSiblingPattern()):
+		o.Compromised = true
+		o.Detail = "sibling queue's buffer exfiltrated onto the media"
+	case bytes.Contains(secretBlock, secretPattern):
+		o.Compromised = true
+		o.Detail = "kernel secret exfiltrated onto the media"
+	case !bytes.Equal(revokedBlock, blkMediaPattern()):
+		o.Compromised = true
+		o.Detail = "revoked queue still reached the media"
+	case breachFaults == 0:
+		o.Compromised = true
+		o.Detail = "cross-queue references walked without faulting"
+	default:
+		o.Detail = fmt.Sprintf("sibling+secret PRPs faulted at the walk (%d q1 sub-domain faults), own write landed, revoked queue dead", breachFaults)
+	}
+	return o, nil
+}

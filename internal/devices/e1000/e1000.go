@@ -507,7 +507,9 @@ func (n *NIC) kickTx(q int) {
 
 // txStep processes one TX descriptor on queue q, then reschedules itself
 // after the engine's per-packet time. Queues step independently: engine time
-// serialises within a queue only.
+// serialises within a queue only. All DMA carries stream q+1, so with
+// per-queue sub-domains attached a descriptor naming a sibling queue's
+// buffer faults at the walk.
 func (n *NIC) txStep(q int) {
 	n.txActive[q] = false
 	head := n.regs[TxQOff(q, RegTDH)]
@@ -517,7 +519,7 @@ func (n *NIC) txStep(q int) {
 	descAddr := n.txBase(q) + mem.Addr(head*DescSize)
 	engine := n.params.TxPerPacket
 
-	desc, err := n.DMARead(descAddr, DescSize)
+	desc, err := n.DMAReadQ(q+1, descAddr, DescSize)
 	engine += sim.DMA(DescSize)
 	if err != nil {
 		n.DMAFaults++
@@ -529,7 +531,7 @@ func (n *NIC) txStep(q int) {
 	cmd := desc[11]
 
 	if length > 0 && length <= ethlink.MaxFrame {
-		payload, err := n.DMARead(bufAddr, length)
+		payload, err := n.DMAReadQ(q+1, bufAddr, length)
 		engine += sim.DMA(length)
 		if err != nil {
 			n.DMAFaults++
@@ -544,7 +546,7 @@ func (n *NIC) txStep(q int) {
 	// Status writeback if requested.
 	if cmd&TxCmdRS != 0 {
 		desc[12] |= TxStaDD
-		if err := n.DMAWrite(descAddr, desc); err != nil {
+		if err := n.DMAWriteQ(q+1, descAddr, desc); err != nil {
 			n.DMAFaults++
 		}
 		engine += sim.DMA(DescSize)
@@ -636,7 +638,8 @@ func (n *NIC) kickRx(q int) {
 
 // rxStep processes one received frame on ring q, then reschedules itself
 // after the engine's per-packet time. Rings step independently: engine time
-// serialises within a ring only.
+// serialises within a ring only. All DMA carries stream q+1 (the receive
+// mirror of txStep's tagging).
 func (n *NIC) rxStep(q int) {
 	n.rxActive[q] = false
 	if len(n.rxQueue[q]) == 0 {
@@ -658,7 +661,7 @@ func (n *NIC) rxStep(q int) {
 
 	engine := n.params.RxPerPacket
 	descAddr := n.rxBase(q) + mem.Addr(head*DescSize)
-	desc, err := n.DMARead(descAddr, DescSize)
+	desc, err := n.DMAReadQ(q+1, descAddr, DescSize)
 	engine += sim.DMA(DescSize)
 	if err != nil {
 		n.DMAFaults++
@@ -666,7 +669,7 @@ func (n *NIC) rxStep(q int) {
 		return
 	}
 	bufAddr := mem.Addr(le64(desc[0:8]))
-	if err := n.DMAWrite(bufAddr, frame); err != nil {
+	if err := n.DMAWriteQ(q+1, bufAddr, frame); err != nil {
 		n.DMAFaults++
 		n.finishRx(q, engine)
 		return
@@ -678,7 +681,7 @@ func (n *NIC) rxStep(q int) {
 	// Write back length + DD|EOP status.
 	putLE16(desc[8:10], uint16(len(frame)))
 	desc[12] = RxStaDD | RxStaEOP
-	if err := n.DMAWrite(descAddr, desc); err != nil {
+	if err := n.DMAWriteQ(q+1, descAddr, desc); err != nil {
 		n.DMAFaults++
 		n.finishRx(q, engine)
 		return

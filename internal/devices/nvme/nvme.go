@@ -628,7 +628,9 @@ func (c *Ctrl) enable() {
 }
 
 // postCQE writes one completion entry to CQ cqid and latches its interrupt
-// cause. It reports false when the CQ is full (the engine must stall).
+// cause. It reports false when the CQ is full (the engine must stall). The
+// writeback TLP is stamped with the CQ's stream tag — the ring belongs to
+// that queue's sub-domain; the admin CQ (cqid 0) writes untagged.
 func (c *Ctrl) postCQE(cqid int, sqid int, cid uint16, result uint32, status uint16) bool {
 	cq := &c.cq[cqid]
 	if !cq.created {
@@ -649,7 +651,7 @@ func (c *Ctrl) postCQE(cqid int, sqid int, cid uint16, result uint32, status uin
 		st |= 1
 	}
 	putLE16(e[14:16], st)
-	if err := c.DMAWrite(cq.base+mem.Addr(cq.tail*CQESize), e[:]); err != nil {
+	if err := c.DMAWriteQ(cqid, cq.base+mem.Addr(cq.tail*CQESize), e[:]); err != nil {
 		c.DMAFaults++
 		return true
 	}
@@ -852,7 +854,7 @@ func (c *Ctrl) ioStep(qid int) {
 	if !sq.created || sq.head == c.regs[SQDoorbell(qid)] {
 		return
 	}
-	sqe, err := c.DMARead(sq.base+mem.Addr(sq.head*SQESize), SQESize)
+	sqe, err := c.DMAReadQ(qid, sq.base+mem.Addr(sq.head*SQESize), SQESize)
 	engine := c.params.CmdOverhead + sim.DMA(SQESize)
 	if err != nil {
 		c.DMAFaults++
@@ -883,7 +885,7 @@ func (c *Ctrl) ioStep(qid int) {
 		c.Flushes++
 		c.FlushedBlocks += uint64(drained)
 	case CmdRead, CmdWrite:
-		status = c.execRW(sqe, op == CmdWrite, &engine)
+		status = c.execRW(qid, sqe, op == CmdWrite, &engine)
 	default:
 		c.BadCommands++
 		status = StatusInvalidOpcode
@@ -915,7 +917,11 @@ func (c *Ctrl) ioStep(qid int) {
 // media time to this command) and a read is served from the cache when the
 // dirty copy is newer than media. A FUA write — or any write with the
 // cache absent or disabled — pays full media time and lands durable.
-func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
+//
+// All payload DMA carries qid as its stream tag: the PRPs a queue's SQE
+// names are walked in that queue's IOMMU sub-domain, so a descriptor naming
+// a sibling queue's buffer faults instead of reading it.
+func (c *Ctrl) execRW(qid int, sqe []byte, write bool, engine *sim.Duration) uint16 {
 	if nlb := le16(sqe[sqeNLB : sqeNLB+2]); nlb != 0 {
 		// NVMe-lite: exactly one logical block per command.
 		c.BadCommands++
@@ -945,7 +951,7 @@ func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 		if cached {
 			dst = make([]byte, BlockSize)
 		}
-		chunk, err := c.DMARead(prp1, first)
+		chunk, err := c.DMAReadQ(qid, prp1, first)
 		*engine += sim.DMA(first)
 		if err != nil {
 			c.DMAFaults++
@@ -954,7 +960,7 @@ func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 		}
 		copy(dst, chunk)
 		if rest > 0 {
-			chunk, err = c.DMARead(prp2, rest)
+			chunk, err = c.DMAReadQ(qid, prp2, rest)
 			*engine += sim.DMA(rest)
 			if err != nil {
 				c.DMAFaults++
@@ -986,13 +992,13 @@ func (c *Ctrl) execRW(sqe []byte, write bool, engine *sim.Duration) uint16 {
 	} else {
 		*engine += sim.Duration(c.params.MediaPerByte * BlockSize)
 	}
-	if err := c.DMAWrite(prp1, src[:first]); err != nil {
+	if err := c.DMAWriteQ(qid, prp1, src[:first]); err != nil {
 		c.DMAFaults++
 		return StatusInvalidField
 	}
 	*engine += sim.DMA(first)
 	if rest > 0 {
-		if err := c.DMAWrite(prp2, src[first:BlockSize]); err != nil {
+		if err := c.DMAWriteQ(qid, prp2, src[first:BlockSize]); err != nil {
 			c.DMAFaults++
 			return StatusInvalidField
 		}

@@ -1,0 +1,57 @@
+package diskperf
+
+import (
+	"testing"
+
+	"sud/internal/hw"
+	"sud/internal/sim"
+)
+
+// TestSurgicalRecoveryMidFlipReclaimsPages: the surgical single-queue
+// recovery lands while the page-flip fast path has the breached queue's
+// pages lent out by reference and its recycle lane active. The quarantined
+// queue's flip pages must be reclaimed leak-free — physical memory in use
+// returns exactly to the pre-run level once the episode drains — with no
+// process restart, no application-visible error, and the fast path still
+// engaged on every queue afterwards.
+func TestSurgicalRecoveryMidFlipReclaimsPages(t *testing.T) {
+	tb, err := NewSupervisedTestbedFlip(4, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inUse0 := tb.K.M.Alloc.InUse()
+
+	res, err := QueueBreachRecovery(tb, 8, 4, 20*sim.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Errors != 0 {
+		t.Fatalf("%d app-visible errors across the surgical recovery", res.Errors)
+	}
+	if res.QueueRecoveries == 0 {
+		t.Fatal("breach was never answered by a surgical recovery")
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("surgical recovery cost %d process restarts", res.Restarts)
+	}
+	if tb.Proc.Blk.PagesFlipped == 0 {
+		t.Fatal("no page ever flipped — the breach did not exercise the fast path")
+	}
+
+	// Let the last deliveries and the recycle lane drain, then hold the
+	// allocator to account: every page the quarantined queue had in flight
+	// (flipped out, parked in the recycle lane, or reclaimed by the re-arm)
+	// is back where it started.
+	tb.M.Loop.RunFor(10 * sim.Millisecond)
+	if got := tb.K.M.Alloc.InUse(); got != inUse0 {
+		t.Fatalf("physical memory in use %d after the episode, want %d (flip-lane page leak across the queue quarantine)",
+			got, inUse0)
+	}
+	if tb.Proc.BadRecycleFrames != 0 {
+		t.Fatalf("%d malformed recycle frames", tb.Proc.BadRecycleFrames)
+	}
+	if tb.Proc.BadQStateFrames != 0 {
+		t.Fatalf("%d malformed queue-epoch frames", tb.Proc.BadQStateFrames)
+	}
+}

@@ -193,6 +193,38 @@ type Env interface {
 	Logf(format string, args ...any)
 }
 
+// QueueDMAAllocator is implemented by hosts whose safe PCI access module
+// splits DMA translation per hardware queue: an allocation tagged with a
+// queue's stream (the PASID-like tag that queue's engine stamps on its DMA)
+// is mapped only into that queue's IOMMU sub-domain, so a descriptor on a
+// sibling queue naming it faults at the walk. Hosts without the split — the
+// trusted in-kernel host runs the device in passthrough — simply do not
+// implement this, and drivers fall back to shared allocations.
+type QueueDMAAllocator interface {
+	// AllocCoherentQ is AllocCoherent owned by the queue stamping stream.
+	AllocCoherentQ(size, stream int) (DMABuf, error)
+	// AllocCachingQ is AllocCaching owned by the queue stamping stream.
+	AllocCachingQ(size, stream int) (DMABuf, error)
+}
+
+// AllocCoherentQ allocates ring memory owned by one hardware queue when the
+// host supports the per-queue DMA split, and a shared allocation otherwise.
+// Drivers call this helper so the same source runs unmodified in both hosts.
+func AllocCoherentQ(env Env, size, stream int) (DMABuf, error) {
+	if q, ok := env.(QueueDMAAllocator); ok && stream > 0 {
+		return q.AllocCoherentQ(size, stream)
+	}
+	return env.AllocCoherent(size)
+}
+
+// AllocCachingQ is the buffer-pool counterpart of AllocCoherentQ.
+func AllocCachingQ(env Env, size, stream int) (DMABuf, error) {
+	if q, ok := env.(QueueDMAAllocator); ok && stream > 0 {
+		return q.AllocCachingQ(size, stream)
+	}
+	return env.AllocCaching(size)
+}
+
 // Driver is a device driver module: identity, match rule, probe entry point.
 type Driver interface {
 	// Name is the module name ("e1000e", "ne2k-pci", ...).

@@ -232,10 +232,13 @@ func (n *nic) Open() error {
 	n.tx = make([]txq, n.queues)
 	for q := range n.tx {
 		t := &n.tx[q]
-		if t.ring, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+		// The TX engine for queue q stamps stream q+1 on its DMA; tagging
+		// the ring and buffers confines them to that queue's sub-domain on
+		// hosts with the per-queue split.
+		if t.ring, err = api.AllocCoherentQ(env, RingSize*e1000.DescSize, q+1); err != nil {
 			return err
 		}
-		if t.bufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+		if t.bufs, err = api.AllocCachingQ(env, RingSize*BufSize, q+1); err != nil {
 			return err
 		}
 		m.Write32(e1000.TxQOff(q, e1000.RegTDBAL), uint32(t.ring.BusAddr()))
@@ -247,10 +250,10 @@ func (n *nic) Open() error {
 	n.rx = make([]rxq, n.rxQueues)
 	for q := range n.rx {
 		r := &n.rx[q]
-		if r.ring, err = env.AllocCoherent(RingSize * e1000.DescSize); err != nil {
+		if r.ring, err = api.AllocCoherentQ(env, RingSize*e1000.DescSize, q+1); err != nil {
 			return err
 		}
-		if r.bufs, err = env.AllocCaching(RingSize * BufSize); err != nil {
+		if r.bufs, err = api.AllocCachingQ(env, RingSize*BufSize, q+1); err != nil {
 			return err
 		}
 		m.Write32(e1000.RxQOff(q, e1000.RegRDBAL), uint32(r.ring.BusAddr()))

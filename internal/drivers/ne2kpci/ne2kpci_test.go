@@ -151,15 +151,20 @@ func TestRingWrapsManyPackets(t *testing.T) {
 
 func TestNoDriverDMAMappingsUnderSUD(t *testing.T) {
 	// The NE2000 never masters the bus and its driver allocates no DMA
-	// memory; the only mapping in its domain is the proxy's uchan TX
-	// pool. Pure IOPB confinement otherwise (§3.2.1).
+	// memory; the only mapping in its translation state is the proxy's
+	// uchan TX slot pool, held in queue 0's sub-domain. Pure IOPB
+	// confinement otherwise (§3.2.1).
 	w := boot(t, true)
 	allocs := w.proc.DF.Allocs()
-	if len(allocs) != 1 || allocs[0].Label != "TX shared pool" {
+	if len(allocs) != 1 || allocs[0].Label != "TX q0 slot pool" {
 		t.Fatalf("unexpected DMA allocations: %+v", allocs)
 	}
-	if n := w.proc.DF.Dom.Pages(); n != allocs[0].Pages {
-		t.Fatalf("domain has %d pages, want only the %d-page shared pool", n, allocs[0].Pages)
+	mapped := 0
+	for _, mp := range w.proc.DF.Mappings() {
+		mapped += int(mp.End - mp.IOVA)
+	}
+	if mapped != allocs[0].Pages*4096 {
+		t.Fatalf("walk shows %d mapped bytes, want only the %d-page slot pool", mapped, allocs[0].Pages)
 	}
 	// And the device genuinely cannot DMA.
 	if err := w.card.DMAWrite(hw.DRAMBase, []byte{1}); err == nil {

@@ -307,15 +307,18 @@ func (c *ctrl) Open() error {
 		ioq := &c.io[q]
 		qid := q + 1
 		var err error
-		if ioq.sq, err = env.AllocCoherent(QDepth * nvme.SQESize); err != nil {
+		// Rings and data pool are owned by the queue whose engine DMAs
+		// them: stream = I/O qid, so a host with the per-queue DMA split
+		// maps them only into that queue's sub-domain.
+		if ioq.sq, err = api.AllocCoherentQ(env, QDepth*nvme.SQESize, qid); err != nil {
 			return err
 		}
-		if ioq.cq, err = env.AllocCoherent(QDepth * nvme.CQESize); err != nil {
+		if ioq.cq, err = api.AllocCoherentQ(env, QDepth*nvme.CQESize, qid); err != nil {
 			return err
 		}
 		// Per-queue data pool: one device-file allocation per queue, so
 		// each queue's buffers are a distinct IOMMU-visible object.
-		if ioq.bufs, err = env.AllocCaching(QDepth * nvme.BlockSize); err != nil {
+		if ioq.bufs, err = api.AllocCachingQ(env, QDepth*nvme.BlockSize, qid); err != nil {
 			return err
 		}
 		ioq.phase = true

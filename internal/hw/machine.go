@@ -139,7 +139,7 @@ func (m *Machine) AttachDevice(d pci.Device) {
 // BAR.
 func (m *Machine) HandleUpstream(tlp pci.TLP) pci.Completion {
 	write := tlp.Type == pci.MemWrite
-	phys, _, err := m.IOMMU.Translate(tlp.Requester, tlp.Addr, write)
+	phys, _, err := m.IOMMU.TranslateQ(tlp.Requester, tlp.Stream, tlp.Addr, write)
 	if err != nil {
 		m.DMAErrors++
 		return pci.Completion{Err: err}

@@ -78,10 +78,14 @@ type Config struct {
 	InterruptRemapping bool
 }
 
-// Fault is one rejected DMA translation.
+// Fault is one rejected DMA translation. Stream is the PASID-like queue tag
+// the TLP carried (0 = untagged): with per-queue sub-domains attached it
+// names the hardware queue whose descriptor caused the fault, which is what
+// lets the supervisor quarantine a single queue instead of the process.
 type Fault struct {
 	When   sim.Time
 	BDF    pci.BDF
+	Stream int
 	Addr   mem.Addr
 	Write  bool
 	Reason string
@@ -91,6 +95,10 @@ func (f Fault) Error() string {
 	op := "read"
 	if f.Write {
 		op = "write"
+	}
+	if f.Stream != 0 {
+		return fmt.Sprintf("iommu: DMA %s fault: device %s stream %d, IO virtual address %#x: %s",
+			op, f.BDF, f.Stream, uint64(f.Addr), f.Reason)
 	}
 	return fmt.Sprintf("iommu: DMA %s fault: device %s, IO virtual address %#x: %s",
 		op, f.BDF, uint64(f.Addr), f.Reason)

@@ -6,24 +6,43 @@ import (
 	"sud/internal/sim"
 )
 
-// iotlbEntry caches one translation.
+// iotlbEntry caches one translation. Entries are keyed by the issuing
+// stream as well as the device, as PASID-tagged IOTLBs are: two streams of
+// one device never alias each other's cached translations.
 type iotlbEntry struct {
-	bdf  pci.BDF
-	iova mem.Addr
-	pte  pte
+	bdf    pci.BDF
+	stream int
+	iova   mem.Addr
+	pte    pte
 }
 
 // iotlbSize is the modelled IOTLB capacity in 4-KiB translations; evicted
 // FIFO. Real VT-d IOTLBs are of this order.
 const iotlbSize = 64
 
+// queueKey addresses one per-queue sub-domain: the device plus the stream
+// tag its hardware queue stamps on DMA (a PASID in real silicon).
+type queueKey struct {
+	bdf    pci.BDF
+	stream int
+}
+
 // Unit is the DMA-remapping hardware unit at the root complex. All upstream
 // TLPs pass through Translate before touching DRAM or the MSI window.
+//
+// Besides the per-device domain table, the unit holds per-(device, stream)
+// sub-domains: when a TLP carries a non-zero stream tag and a sub-domain is
+// attached for it, the walk uses ONLY that sub-domain — a descriptor naming
+// a sibling queue's IOVA faults at the walk, which is the queue-granular
+// confinement the per-queue recovery plane builds on. Streams without a
+// sub-domain fall back to the device domain, so trusted in-kernel drivers
+// (passthrough) and drivers predating the split behave exactly as before.
 type Unit struct {
 	Cfg   Config
 	clock *sim.Clock
 
 	domains map[pci.BDF]*Domain
+	qdoms   map[queueKey]*Domain
 	nextID  int
 
 	tlb     []iotlbEntry
@@ -42,7 +61,12 @@ type Unit struct {
 // rejected (the safe default SUD needs; the trusted kernel attaches a
 // pass-through domain for devices it drives itself).
 func New(cfg Config, clock *sim.Clock) *Unit {
-	return &Unit{Cfg: cfg, clock: clock, domains: make(map[pci.BDF]*Domain)}
+	return &Unit{
+		Cfg:     cfg,
+		clock:   clock,
+		domains: make(map[pci.BDF]*Domain),
+		qdoms:   make(map[queueKey]*Domain),
+	}
 }
 
 // NewDomain allocates a fresh, empty domain.
@@ -65,18 +89,62 @@ func (u *Unit) Attach(bdf pci.BDF, dom *Domain) {
 // Domain returns the domain currently attached to bdf, or nil.
 func (u *Unit) Domain(bdf pci.BDF) *Domain { return u.domains[bdf] }
 
-// Translate maps (bdf, iova) to a physical address, enforcing permissions.
-// The returned latency is device-side DMA engine time (IOTLB miss walk), not
-// CPU time. A rejected translation is logged and reported to OnFault.
+// AttachQueue routes DMA stamped with stream from bdf through dom — the
+// per-queue sub-domain attach. Passing nil detaches the sub-domain, after
+// which the stream falls back to the device domain. Stream 0 (untagged DMA)
+// cannot carry a sub-domain.
+func (u *Unit) AttachQueue(bdf pci.BDF, stream int, dom *Domain) {
+	if stream == 0 {
+		return
+	}
+	k := queueKey{bdf: bdf, stream: stream}
+	if dom == nil {
+		delete(u.qdoms, k)
+	} else {
+		u.qdoms[k] = dom
+	}
+	u.InvalidateStream(bdf, stream)
+}
+
+// QueueDomain returns the sub-domain attached for (bdf, stream), or nil.
+func (u *Unit) QueueDomain(bdf pci.BDF, stream int) *Domain {
+	return u.qdoms[queueKey{bdf: bdf, stream: stream}]
+}
+
+// QueueDomains reports how many per-queue sub-domains bdf has attached.
+func (u *Unit) QueueDomains(bdf pci.BDF) int {
+	n := 0
+	for k := range u.qdoms {
+		if k.bdf == bdf {
+			n++
+		}
+	}
+	return n
+}
+
+// Translate maps (bdf, iova) to a physical address for untagged DMA.
 func (u *Unit) Translate(bdf pci.BDF, iova mem.Addr, write bool) (mem.Addr, sim.Duration, error) {
+	return u.TranslateQ(bdf, 0, iova, write)
+}
+
+// TranslateQ maps (bdf, stream, iova) to a physical address, enforcing
+// permissions. A non-zero stream with an attached sub-domain walks that
+// sub-domain exclusively; otherwise the device domain applies. The returned
+// latency is device-side DMA engine time (IOTLB miss walk), not CPU time. A
+// rejected translation is logged and reported to OnFault.
+func (u *Unit) TranslateQ(bdf pci.BDF, stream int, iova mem.Addr, write bool) (mem.Addr, sim.Duration, error) {
 	dom, ok := u.domains[bdf]
 	if !ok {
-		return 0, 0, u.fault(bdf, iova, write, "no domain attached")
+		return 0, 0, u.faultQ(bdf, stream, iova, write, "no domain attached")
+	}
+	if qd, qok := u.qdoms[queueKey{bdf: bdf, stream: stream}]; qok {
+		dom = qd
 	}
 
 	// Intel VT-d: implicit identity mapping for the MSI window in every
 	// page table — it is "not possible to prevent this type of attack"
-	// on hardware without interrupt remapping (§5.2).
+	// on hardware without interrupt remapping (§5.2). Per-queue
+	// sub-domains inherit it: the window is in every page table.
 	if u.Cfg.Vendor == VendorIntel && InMSIWindow(iova) {
 		return iova, 0, nil
 	}
@@ -84,10 +152,10 @@ func (u *Unit) Translate(bdf pci.BDF, iova mem.Addr, write bool) (mem.Addr, sim.
 	pageIOVA := mem.PageAlign(iova)
 	// IOTLB lookup.
 	for _, e := range u.tlb {
-		if e.bdf == bdf && e.iova == pageIOVA {
+		if e.bdf == bdf && e.stream == stream && e.iova == pageIOVA {
 			u.tlbHit++
 			if err := checkPerm(e.pte.perm, write); err != "" {
-				return 0, 0, u.fault(bdf, iova, write, err)
+				return 0, 0, u.faultQ(bdf, stream, iova, write, err)
 			}
 			return e.pte.phys + mem.Addr(mem.PageOffset(iova)), 0, nil
 		}
@@ -96,16 +164,16 @@ func (u *Unit) Translate(bdf pci.BDF, iova mem.Addr, write bool) (mem.Addr, sim.
 	u.walks++
 	entry, present := dom.walk(iova)
 	if !present {
-		return 0, sim.CostIOMMUWalk, u.fault(bdf, iova, write, "not present in IO page table")
+		return 0, sim.CostIOMMUWalk, u.faultQ(bdf, stream, iova, write, "not present in IO page table")
 	}
 	if err := checkPerm(entry.perm, write); err != "" {
-		return 0, sim.CostIOMMUWalk, u.fault(bdf, iova, write, err)
+		return 0, sim.CostIOMMUWalk, u.faultQ(bdf, stream, iova, write, err)
 	}
 	// Insert into the IOTLB, FIFO eviction.
 	if len(u.tlb) >= iotlbSize {
 		u.tlb = u.tlb[1:]
 	}
-	u.tlb = append(u.tlb, iotlbEntry{bdf: bdf, iova: pageIOVA, pte: entry})
+	u.tlb = append(u.tlb, iotlbEntry{bdf: bdf, stream: stream, iova: pageIOVA, pte: entry})
 	return entry.phys + mem.Addr(mem.PageOffset(iova)), sim.CostIOMMUWalk, nil
 }
 
@@ -119,8 +187,8 @@ func checkPerm(p Perm, write bool) string {
 	return ""
 }
 
-func (u *Unit) fault(bdf pci.BDF, iova mem.Addr, write bool, reason string) error {
-	f := Fault{When: u.clock.Now(), BDF: bdf, Addr: iova, Write: write, Reason: reason}
+func (u *Unit) faultQ(bdf pci.BDF, stream int, iova mem.Addr, write bool, reason string) error {
+	f := Fault{When: u.clock.Now(), BDF: bdf, Stream: stream, Addr: iova, Write: write, Reason: reason}
 	u.faults = append(u.faults, f)
 	if u.OnFault != nil {
 		u.OnFault(f)
@@ -142,9 +210,10 @@ func (u *Unit) Invalidate(bdf pci.BDF, iova mem.Addr) {
 	u.tlb = out
 }
 
-// RevokePage strips the page at iova from the device's domain (single walk)
-// and drops any cached IOTLB translation for it, returning the physical page
-// the mapping named. The walk cost (sim.CostPageFlipRevoke) and the
+// RevokePage strips the page at iova from the device's domain — and from
+// any per-queue sub-domain that maps it — in a single walk each, and drops
+// every cached IOTLB translation for it, returning the physical page the
+// mapping named. The walk cost (sim.CostPageFlipRevoke) and the
 // batch-amortised shootdown (sim.CostIOTLBShootdown) are charged by the
 // caller, which knows how many pages share one shootdown.
 func (u *Unit) RevokePage(bdf pci.BDF, iova mem.Addr) (mem.Addr, bool) {
@@ -152,7 +221,15 @@ func (u *Unit) RevokePage(bdf pci.BDF, iova mem.Addr) (mem.Addr, bool) {
 	if !ok {
 		return 0, false
 	}
-	phys, ok := dom.RevokePage(mem.PageAlign(iova))
+	page := mem.PageAlign(iova)
+	phys, ok := dom.RevokePage(page)
+	for k, qd := range u.qdoms {
+		if k.bdf == bdf {
+			if p, qok := qd.RevokePage(page); qok && !ok {
+				phys, ok = p, true
+			}
+		}
+	}
 	if !ok {
 		return 0, false
 	}
@@ -160,8 +237,8 @@ func (u *Unit) RevokePage(bdf pci.BDF, iova mem.Addr) (mem.Addr, bool) {
 	return phys, true
 }
 
-// InvalidateDevice drops all cached translations for a device (domain
-// switch, driver restart).
+// InvalidateDevice drops all cached translations for a device, every stream
+// included (domain switch, driver restart).
 func (u *Unit) InvalidateDevice(bdf pci.BDF) {
 	out := u.tlb[:0]
 	for _, e := range u.tlb {
@@ -170,6 +247,30 @@ func (u *Unit) InvalidateDevice(bdf pci.BDF) {
 		}
 	}
 	u.tlb = out
+}
+
+// InvalidateStream drops all cached translations one stream of a device
+// holds (sub-domain attach/revoke, queue quarantine).
+func (u *Unit) InvalidateStream(bdf pci.BDF, stream int) {
+	out := u.tlb[:0]
+	for _, e := range u.tlb {
+		if !(e.bdf == bdf && e.stream == stream) {
+			out = append(out, e)
+		}
+	}
+	u.tlb = out
+}
+
+// StreamFaults counts logged faults for one stream of a device — the
+// per-queue breach evidence the supervisor's policy plane grades.
+func (u *Unit) StreamFaults(bdf pci.BDF, stream int) uint64 {
+	var n uint64
+	for _, f := range u.faults {
+		if f.BDF == bdf && f.Stream == stream {
+			n++
+		}
+	}
+	return n
 }
 
 // Faults returns the fault log.

@@ -149,6 +149,8 @@ func (m *Manager) Unregister(name string) {
 	}
 	for q := range d.queues {
 		qc := &d.queues[q]
+		qc.recovering = false
+		qc.drainLeft = 0
 		for _, w := range qc.waiting {
 			w.cb(nil, ErrDown)
 		}
@@ -177,7 +179,11 @@ func (m *Manager) BeginRecovery(name string) (*Dev, error) {
 	d.recovering = true
 	d.epoch++
 	for q := range d.queues {
+		// A device-wide recovery subsumes any surgical one in progress:
+		// the full replay owns every queue's drain leg.
 		d.queues[q].stalled = true
+		d.queues[q].recovering = false
+		d.queues[q].drainLeft = 0
 	}
 	m.adopting[name] = d
 	waiting := 0
@@ -295,6 +301,8 @@ func (m *Manager) Quarantine(name string) {
 	d.barrier = nil
 	for q := range d.queues {
 		qc := &d.queues[q]
+		qc.recovering = false
+		qc.drainLeft = 0
 		for _, w := range qc.waiting {
 			w.cb(nil, ErrDown)
 		}
@@ -330,6 +338,17 @@ type QueueCtx struct {
 	stalled bool
 	waiting []queued
 
+	// Surgical recovery state: the supervisor quarantined this one queue
+	// (its DMA sub-domain revoked) while siblings keep flowing. Epoch is
+	// the queue's own incarnation counter — completions the proxy stamps
+	// with a dead incarnation's epoch are rejected without touching the
+	// device-wide epoch. recovering parks this queue's submissions only;
+	// drainBelow/drainLeft track the queue's own drain leg.
+	Epoch      uint64
+	recovering bool
+	drainBelow uint64
+	drainLeft  int
+
 	// Per-queue traffic counters. Replays counts requests re-submitted to
 	// a restarted driver by shadow recovery.
 	Reads, Writes, Completions, Errors, Replays uint64
@@ -341,6 +360,10 @@ type QueueCtx struct {
 
 // Stalled reports the queue's backpressure state (tests and pacing logic).
 func (qc *QueueCtx) Stalled() bool { return qc.stalled }
+
+// Recovering reports whether this one queue is parked by a surgical
+// recovery while its siblings keep flowing.
+func (qc *QueueCtx) Recovering() bool { return qc.recovering }
 
 // Waiting reports the software queue depth.
 func (qc *QueueCtx) Waiting() int { return len(qc.waiting) }
@@ -452,6 +475,16 @@ func (d *Dev) Epoch() uint64 { return d.epoch }
 
 // Recovering reports whether the device is between driver incarnations.
 func (d *Dev) Recovering() bool { return d.recovering }
+
+// QueueEpoch reports queue q's own incarnation epoch; it increments on
+// every BeginQueueRecovery. The proxy mirrors it and stamps it on the
+// completions it forwards, so a surgically quarantined queue's stale
+// completions are told apart from its re-armed incarnation's.
+func (d *Dev) QueueEpoch(q int) uint64 { return d.queues[d.clampQ(q)].Epoch }
+
+// QueueRecovering reports whether queue q alone is parked by a surgical
+// recovery.
+func (d *Dev) QueueRecovering(q int) bool { return d.queues[d.clampQ(q)].recovering }
 
 // Queue returns queue q's context (clamped), for per-queue hooks and stats.
 func (d *Dev) Queue(q int) *QueueCtx { return &d.queues[d.clampQ(q)] }
@@ -634,7 +667,7 @@ func (d *Dev) submit(q int, req api.BlockRequest, cb func([]byte, error)) error 
 	q = d.clampQ(q)
 	qc := &d.queues[q]
 	d.mgr.Acct.Charge(CostSubmitPath)
-	if qc.stalled || d.recovering || d.barrier != nil {
+	if qc.stalled || qc.recovering || d.recovering || d.barrier != nil {
 		if len(qc.waiting) >= MaxQueuedPerQueue {
 			return ErrCongested
 		}
@@ -706,6 +739,15 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 				d.Name, d.epoch)
 		}
 	}
+	// Surgical recoveries drain per queue: the owning queue's context, not
+	// the one the driver claims to complete on, tracks its own leg.
+	if rqc := &d.queues[r.q]; rqc.drainLeft > 0 && tag < rqc.drainBelow {
+		rqc.drainLeft--
+		if rqc.drainLeft == 0 {
+			d.Flight.Recordf(trace.FDrain, "%s q%d epoch %d: all pre-quarantine requests completed",
+				d.Name, r.q, rqc.Epoch)
+		}
+	}
 	if err == nil && !r.write && !r.flush && len(data) != d.Geom.BlockSize {
 		err = fmt.Errorf("blockdev: short read (%d bytes)", len(data))
 	}
@@ -729,10 +771,11 @@ func (d *Dev) Complete(q int, tag uint64, err error, data []byte) {
 // them.
 func (d *Dev) WakeQueueQ(q int) {
 	qc := &d.queues[d.clampQ(q)]
-	if d.recovering {
+	if d.recovering || qc.recovering {
 		// A wake between driver incarnations (a stale proxy, or a death
 		// racing the doorbell) must not release parked requests into a
-		// driver that no longer exists.
+		// driver that no longer exists — nor into a surgically quarantined
+		// queue whose DMA sub-domain is revoked.
 		return
 	}
 	if !d.drainReplay(qc.ID) {
@@ -828,6 +871,72 @@ func (d *Dev) CompleteRecovery() (int, error) {
 	// replayed requests are back in flight, and the flush dispatches once
 	// they drain — kill -9 plus respawn cannot reorder acked-durable
 	// writes around the barrier.
+	d.pumpBarrier()
+	return n, nil
+}
+
+// BeginQueueRecovery parks exactly one queue: the supervisor detected DMA
+// faults attributable to queue q and revoked that queue's sub-domain, while
+// the driver process — and every sibling queue — stays up. The queue's own
+// epoch is bumped so completions the proxy still stamps with the dead
+// incarnation are rejected, its in-flight requests stay tabled awaiting
+// replay, and new submissions steered onto it park in its software queue.
+// Idempotent: a second quarantine of an already-parked queue changes
+// nothing, and a device-wide recovery in progress subsumes the surgical one.
+func (d *Dev) BeginQueueRecovery(q int) {
+	if d.recovering {
+		return
+	}
+	qc := &d.queues[d.clampQ(q)]
+	if qc.recovering {
+		return
+	}
+	qc.recovering = true
+	qc.stalled = true
+	qc.Epoch++
+	qc.drainBelow = d.nextTag
+	qc.drainLeft = 0
+	for _, r := range d.inflight {
+		if r.q == qc.ID {
+			qc.drainLeft++
+		}
+	}
+	d.Flight.Recordf(trace.FPark, "%s q%d epoch %d: %d in flight, %d queued parked",
+		d.Name, qc.ID, qc.Epoch, qc.drainLeft, len(qc.waiting))
+}
+
+// CompleteQueueRecovery finishes a surgical recovery: the supervisor
+// re-armed queue q's DMA sub-domain and resynced the proxy at the queue's
+// new epoch, so the shadow's unfinished requests for this one queue become
+// its replay schedule — original submission order, original tags, their
+// callbacks still tabled — and the queue is released. Siblings never
+// noticed. It returns the number of requests scheduled for replay; it is an
+// error while a device-wide recovery is in progress (the full replay owns
+// every queue).
+func (d *Dev) CompleteQueueRecovery(q int) (int, error) {
+	if d.recovering {
+		return 0, fmt.Errorf("blockdev: %s is in device-wide recovery", d.Name)
+	}
+	qc := &d.queues[d.clampQ(q)]
+	if !qc.recovering {
+		return 0, nil
+	}
+	n := 0
+	if d.shadow != nil {
+		if d.replay == nil {
+			d.replay = make([][]shadow.PendingBlock, len(d.queues))
+		}
+		d.replay[qc.ID] = d.shadow.PendingForQueue(qc.ID, len(d.queues))
+		n = len(d.replay[qc.ID])
+	}
+	d.Flight.Recordf(trace.FReplay, "%s q%d epoch %d: %d logged requests scheduled for replay",
+		d.Name, qc.ID, qc.Epoch, n)
+	if qc.drainLeft == 0 {
+		d.Flight.Recordf(trace.FDrain, "%s q%d epoch %d: nothing was in flight at quarantine",
+			d.Name, qc.ID, qc.Epoch)
+	}
+	qc.recovering = false
+	d.WakeQueueQ(qc.ID)
 	d.pumpBarrier()
 	return n, nil
 }

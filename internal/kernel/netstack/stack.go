@@ -78,6 +78,16 @@ type IfaceQueue struct {
 
 	txStopped bool
 
+	// Surgical recovery state: the supervisor quarantined this one queue
+	// pair (its DMA sub-domain revoked) while siblings keep flowing.
+	// Epoch is the queue's own incarnation counter; recovering stops TX
+	// on this queue and drops its RX deliveries (packets are
+	// fire-and-forget — there is nothing to replay). ParkedRxDrops
+	// counts frames dropped while parked.
+	Epoch         uint64
+	recovering    bool
+	ParkedRxDrops uint64
+
 	// RxFrames / TxFrames count per-queue traffic through this context.
 	RxFrames, TxFrames uint64
 
@@ -213,7 +223,9 @@ func (s *Stack) BeginRecovery(name string) (*Iface, error) {
 	ifc.recovering = true
 	ifc.epoch++
 	for q := range ifc.queues {
+		// A device-wide recovery subsumes any surgical one in progress.
 		ifc.queues[q].txStopped = true
+		ifc.queues[q].recovering = false
 	}
 	if sh := ifc.Shadow; sh != nil {
 		sh.MAC = ifc.MAC
@@ -317,6 +329,7 @@ func (s *Stack) Quarantine(name string) {
 	ifc.epoch++
 	for q := range ifc.queues {
 		ifc.queues[q].txStopped = true
+		ifc.queues[q].recovering = false
 	}
 }
 
@@ -365,6 +378,54 @@ func (ifc *Iface) Epoch() uint64 { return ifc.epoch }
 // Recovering reports whether the interface is between driver incarnations.
 func (ifc *Iface) Recovering() bool { return ifc.recovering }
 
+// QueueEpoch reports queue q's own incarnation epoch; it increments on
+// every BeginQueueRecovery.
+func (ifc *Iface) QueueEpoch(q int) uint64 { return ifc.queues[ifc.clampQ(q)].Epoch }
+
+// QueueRecovering reports whether queue q alone is parked by a surgical
+// recovery.
+func (ifc *Iface) QueueRecovering(q int) bool { return ifc.queues[ifc.clampQ(q)].recovering }
+
+// BeginQueueRecovery parks exactly one queue pair: the supervisor detected
+// DMA faults attributable to queue q and revoked that queue's sub-domain,
+// while the driver process — and every sibling queue — stays up. TX holds
+// stopped on this queue, its RX deliveries are dropped (there is no packet
+// replay: network loss is the transport's problem), and the queue's own
+// epoch is bumped. Idempotent; a device-wide recovery subsumes it.
+func (ifc *Iface) BeginQueueRecovery(q int) {
+	if ifc.recovering {
+		return
+	}
+	qc := &ifc.queues[ifc.clampQ(q)]
+	if qc.recovering {
+		return
+	}
+	qc.recovering = true
+	qc.txStopped = true
+	qc.Epoch++
+	ifc.Flight.Recordf(trace.FPark, "%s q%d epoch %d: TX stopped, RX dropped",
+		ifc.Name, qc.ID, qc.Epoch)
+}
+
+// CompleteQueueRecovery releases a surgically parked queue after its DMA
+// sub-domain is re-armed: TX wakes on this one queue and RX flows again.
+// Siblings never noticed. It is an error while a device-wide recovery is in
+// progress.
+func (ifc *Iface) CompleteQueueRecovery(q int) error {
+	if ifc.recovering {
+		return fmt.Errorf("netstack: %s is in device-wide recovery", ifc.Name)
+	}
+	qc := &ifc.queues[ifc.clampQ(q)]
+	if !qc.recovering {
+		return nil
+	}
+	qc.recovering = false
+	ifc.Flight.Recordf(trace.FReplay, "%s q%d epoch %d: queue re-armed, TX released",
+		ifc.Name, qc.ID, qc.Epoch)
+	ifc.wakeQueue(qc.ID)
+	return nil
+}
+
 // CompleteRecovery finishes a shadow recovery after the restarted driver has
 // adopted the interface: the recorded bring-up is replayed (the driver's
 // Open re-arms its RX rings and, under RSS, reprograms the redirection
@@ -410,7 +471,15 @@ func (ifc *Iface) NetifRx(frame []byte) {
 // NetifRxQ implements api.MultiQueueNetKernel: packet input tagged with the
 // RX queue it arrived on; delivery is accounted to that queue's context.
 func (ifc *Iface) NetifRxQ(frame []byte, q int) {
-	ifc.queues[ifc.clampQ(q)].RxFrames++
+	qc := &ifc.queues[ifc.clampQ(q)]
+	if qc.recovering {
+		// A surgically quarantined queue delivers nothing: frames from
+		// its dead incarnation are dropped, not trusted (the transport
+		// retransmits).
+		qc.ParkedRxDrops++
+		return
+	}
+	qc.RxFrames++
 	ifc.stack.deliver(ifc, frame, false)
 }
 
@@ -423,7 +492,12 @@ func (ifc *Iface) NetifRxVerified(frame []byte) {
 
 // NetifRxVerifiedQ is the verified input path tagged with its RX queue.
 func (ifc *Iface) NetifRxVerifiedQ(frame []byte, q int) {
-	ifc.queues[ifc.clampQ(q)].RxFrames++
+	qc := &ifc.queues[ifc.clampQ(q)]
+	if qc.recovering {
+		qc.ParkedRxDrops++
+		return
+	}
+	qc.RxFrames++
 	ifc.stack.deliver(ifc, frame, true)
 }
 
@@ -446,10 +520,11 @@ func (ifc *Iface) WakeQueue() {
 func (ifc *Iface) WakeQueueQ(q int) { ifc.wakeQueue(ifc.clampQ(q)) }
 
 func (ifc *Iface) wakeQueue(q int) {
-	if ifc.recovering {
+	if ifc.recovering || ifc.queues[q].recovering {
 		// Wakes between driver incarnations must not release TX into a
 		// driver that no longer exists; CompleteRecovery wakes every
-		// queue once the restarted driver is in place.
+		// queue once the restarted driver is in place. A surgically
+		// quarantined queue stays parked until its own re-arm.
 		return
 	}
 	ifc.queues[q].txStopped = false

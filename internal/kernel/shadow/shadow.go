@@ -111,6 +111,30 @@ func (s *Block) PendingByQueue(nq int) [][]PendingBlock {
 	return out
 }
 
+// PendingForQueue returns only queue q's unfinished requests in original
+// submission order — the replay schedule for a surgical single-queue
+// recovery. Queue indices are clamped the same way PendingByQueue clamps
+// them, so an entry logged against an out-of-range queue replays on queue 0.
+// Like PendingByQueue this is non-consuming: entries leave the log only
+// through RecordComplete.
+func (s *Block) PendingForQueue(q, nq int) []PendingBlock {
+	if nq < 1 {
+		nq = 1
+	}
+	var out []PendingBlock
+	for _, p := range s.log {
+		pq := p.Q
+		if pq < 0 || pq >= nq {
+			pq = 0
+		}
+		if pq == q {
+			out = append(out, *p)
+		}
+	}
+	sortBySeq(out)
+	return out
+}
+
 // Reset drops the log (device unregistered while recovering: the parked
 // requests were failed, so there is nothing left to replay).
 func (s *Block) Reset() {

@@ -53,35 +53,47 @@ func (f *FuncBase) Attach(port Port) { f.port = port }
 // Attached reports whether the device has an upstream port.
 func (f *FuncBase) Attached() bool { return f.port != nil }
 
-// DMARead issues a memory read TLP for n bytes at bus address addr. It fails
-// if bus mastering is disabled (the command register gates DMA on real
-// hardware too).
+// DMARead issues an untagged memory read TLP for n bytes at bus address
+// addr. It fails if bus mastering is disabled (the command register gates
+// DMA on real hardware too).
 func (f *FuncBase) DMARead(addr mem.Addr, n int) ([]byte, error) {
+	return f.DMAReadQ(0, addr, n)
+}
+
+// DMAReadQ is DMARead with the issuing hardware queue's stream tag stamped
+// on the TLP (the trusted device silicon stamps it, like the requester BDF),
+// so a per-queue IOMMU sub-domain can confine the access.
+func (f *FuncBase) DMAReadQ(stream int, addr mem.Addr, n int) ([]byte, error) {
 	if f.port == nil {
 		return nil, &RouteError{Reason: "device not attached"}
 	}
 	if !f.cfg.BusMasterEnabled() {
 		return nil, &RouteError{
-			TLP:    TLP{Type: MemRead, Requester: f.bdf, Addr: addr, Len: n},
+			TLP:    TLP{Type: MemRead, Requester: f.bdf, Stream: stream, Addr: addr, Len: n},
 			Reason: "bus mastering disabled",
 		}
 	}
-	c := f.port.Upstream(TLP{Type: MemRead, Requester: f.bdf, Addr: addr, Len: n})
+	c := f.port.Upstream(TLP{Type: MemRead, Requester: f.bdf, Stream: stream, Addr: addr, Len: n})
 	return c.Data, c.Err
 }
 
-// DMAWrite issues a memory write TLP.
+// DMAWrite issues an untagged memory write TLP.
 func (f *FuncBase) DMAWrite(addr mem.Addr, data []byte) error {
+	return f.DMAWriteQ(0, addr, data)
+}
+
+// DMAWriteQ is DMAWrite with the issuing hardware queue's stream tag.
+func (f *FuncBase) DMAWriteQ(stream int, addr mem.Addr, data []byte) error {
 	if f.port == nil {
 		return &RouteError{Reason: "device not attached"}
 	}
 	if !f.cfg.BusMasterEnabled() {
 		return &RouteError{
-			TLP:    TLP{Type: MemWrite, Requester: f.bdf, Addr: addr, Data: data},
+			TLP:    TLP{Type: MemWrite, Requester: f.bdf, Stream: stream, Addr: addr, Data: data},
 			Reason: "bus mastering disabled",
 		}
 	}
-	c := f.port.Upstream(TLP{Type: MemWrite, Requester: f.bdf, Addr: addr, Data: data})
+	c := f.port.Upstream(TLP{Type: MemWrite, Requester: f.bdf, Stream: stream, Addr: addr, Data: data})
 	return c.Err
 }
 

@@ -33,6 +33,7 @@ func (t TLPType) String() string {
 type TLP struct {
 	Type      TLPType
 	Requester BDF      // stamped by the (trusted) device hardware
+	Stream    int      // PASID-like queue tag, stamped by the issuing hardware queue engine; 0 = untagged
 	Addr      mem.Addr // bus address (IO-virtual once an IOMMU is active)
 	Data      []byte   // payload for MemWrite
 	Len       int      // requested length for MemRead

@@ -51,6 +51,12 @@ const (
 	// IOVAs). The pages have been remapped before the upcall is sent, so
 	// the driver may reuse the slots they back immediately.
 	OpPageRecycle
+	// OpQueueEpoch announces a per-queue epoch transition (async); Data
+	// carries the protocol qstate framing. A parked frame tells the
+	// driver runtime one queue is quarantined; an armed frame re-syncs
+	// the runtime at the queue's new epoch, which it must stamp on every
+	// completion it sends for that queue from then on.
+	OpQueueEpoch
 )
 
 // Downcall operations (driver → kernel).
@@ -130,6 +136,14 @@ type Proxy struct {
 	// by this proxy is stale and is rejected wholesale.
 	epoch uint64
 
+	// qepoch mirrors each queue's own incarnation epoch as of the last
+	// RearmQueue — the queue-granular sibling of epoch. Between a surgical
+	// quarantine (the block core bumps QueueEpoch) and the re-arm (this
+	// mirror resyncs), the mismatch rejects the queue's completions while
+	// siblings flow; after the re-arm, completions stamped with the dead
+	// incarnation's epoch are rejected by the stamp check.
+	qepoch []uint64
+
 	// Barrier accounting (per device epoch): barrierSeq numbers every
 	// flush upcall this incarnation issued, and inFlightFlush is the one
 	// barrier the driver currently holds. A FlushDone that does not name
@@ -155,9 +169,13 @@ type Proxy struct {
 	CompBadBarrier    uint64 // flush completions naming no in-flight barrier
 	CompBarrierEarly  uint64 // barriers acked with prior requests outstanding
 	CompStaleEpoch    uint64 // downcalls from a dead driver incarnation
-	CompRevokedRef    uint64 // references naming a page the kernel already owns
-	SubmitDropsHung   uint64
-	UpcallErrors      uint64
+	// CompStaleQueueEpoch counts completions rejected by the per-queue
+	// epoch discipline: the queue is quarantined and not yet re-armed, or
+	// the stamp names a dead incarnation of the queue.
+	CompStaleQueueEpoch uint64
+	CompRevokedRef      uint64 // references naming a page the kernel already owns
+	SubmitDropsHung     uint64
+	UpcallErrors        uint64
 
 	// Page-flip accounting (the bench metrics).
 	GuardCopiedBytes uint64 // bytes that went through a guard copy
@@ -201,8 +219,13 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 		pendingRecycle: make([][]uint64, q),
 	}
 	for i := 0; i < q; i++ {
-		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
-			fmt.Sprintf("blk q%d slot pool", i), false)
+		// Queue i's slots belong to device I/O queue i+1: tagging the
+		// allocation with that stream confines it to the queue's own IOMMU
+		// sub-domain, so a compromised sibling queue's descriptor naming a
+		// slot here faults at the walk. The kernel tags its pools itself —
+		// queue-granular confinement never depends on driver cooperation.
+		pool, err := df.AllocDMAQ(SlotsPerQueue*geom.BlockSize,
+			fmt.Sprintf("blk q%d slot pool", i), false, i+1)
 		if err != nil {
 			return nil, fmt.Errorf("blkproxy: allocating queue %d pool: %w", i, err)
 		}
@@ -218,6 +241,10 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	ki.DevName = dev.Name
 	p.Dev = dev
 	p.epoch = dev.Epoch()
+	p.qepoch = make([]uint64, q)
+	for i := range p.qepoch {
+		p.qepoch[i] = dev.QueueEpoch(i)
+	}
 	return p, nil
 }
 
@@ -241,8 +268,8 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 		pendingRecycle: make([][]uint64, q),
 	}
 	for i := 0; i < q; i++ {
-		pool, err := df.AllocDMA(SlotsPerQueue*geom.BlockSize,
-			fmt.Sprintf("blk q%d slot pool", i), false)
+		pool, err := df.AllocDMAQ(SlotsPerQueue*geom.BlockSize,
+			fmt.Sprintf("blk q%d slot pool", i), false, i+1)
 		if err != nil {
 			return nil, fmt.Errorf("blkproxy: allocating standby queue %d pool: %w", i, err)
 		}
@@ -251,6 +278,7 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 			p.free[i] = append(p.free[i], s)
 		}
 	}
+	p.qepoch = make([]uint64, q)
 	if err := ki.Blk.RegisterStandby(name, geom, (*proxyDev)(p)); err != nil {
 		return nil, err
 	}
@@ -264,6 +292,9 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 func (p *Proxy) Bind(dev *blockdev.Dev) {
 	p.Dev = dev
 	p.epoch = dev.Epoch()
+	for i := range p.qepoch {
+		p.qepoch[i] = dev.QueueEpoch(i)
+	}
 	p.K.DevName = dev.Name
 }
 
@@ -426,6 +457,11 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 	}
 	switch m.Op {
 	case OpComplete:
+		// Args[4] is the queue-epoch stamp the driver runtime put on the
+		// completion (queue-granular sibling of the wholesale check above).
+		if p.queueStale(q, m.Args[4]) {
+			return
+		}
 		if m.Data != nil {
 			// Bounced inline payload: the bytes were copied through the
 			// ring, so the kernel already owns them.
@@ -438,6 +474,12 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			p.maybeFlushRecycle(q)
 		}
 	case OpCompleteBatch:
+		// Args[0] stamps the whole batch (the framing has no per-entry
+		// epoch; a batch crosses no quarantine because the ring is the
+		// queue).
+		if p.queueStale(q, m.Args[0]) {
+			return
+		}
 		comps, err := DecodeBlkBatch(m.Data)
 		if err != nil {
 			// Malformed framing from the untrusted driver: dropped and
@@ -484,6 +526,81 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		// trusted (§3.1.1).
 		p.UpcallErrors++
 	}
+}
+
+// queueStale applies the queue-granular epoch discipline to one completion
+// message on ring q. A completion is stale when its queue is quarantined and
+// not yet re-armed (the block core's QueueEpoch moved past this proxy's
+// mirror), or when its stamp names a dead incarnation of the queue (a
+// pre-quarantine completion arriving late, or a forgery). Either way it is
+// dropped and counted — the tag it names is (or will be) live again in the
+// re-armed incarnation, and must only be matched by that incarnation.
+func (p *Proxy) queueStale(q int, stamp uint64) bool {
+	if p.Dev.QueueEpoch(q) != p.qepoch[q] || stamp != p.qepoch[q] {
+		p.CompStaleQueueEpoch++
+		return true
+	}
+	return false
+}
+
+// ParkQueue tells the driver runtime queue q is quarantined: an OpQueueEpoch
+// parked frame carrying the epoch the runtime currently holds. Purely
+// advisory — the kernel-side epoch checks enforce the quarantine whether or
+// not the driver listens.
+func (p *Proxy) ParkQueue(q int) {
+	if q < 0 || q >= len(p.qepoch) {
+		return
+	}
+	err := p.C.ASend(q, uchan.Msg{Op: OpQueueEpoch,
+		Data: protocol.EncodeQState(protocol.QState{Queue: q, Epoch: uint32(p.qepoch[q]), Flags: protocol.QStateParked})})
+	if err != nil {
+		p.UpcallErrors++
+	}
+}
+
+// RearmQueue re-syncs this proxy with queue q's new incarnation after a
+// surgical quarantine, before the block core replays the queue. Slots still
+// held by the queue's in-flight tags are reclaimed without completing —
+// replay re-submits those tags and claims fresh slots, so leaving the old
+// entries would leak the pool. Flipped pages parked on the queue's recycle
+// lane are flushed back to the driver (its sub-domain is re-armed by now),
+// the epoch mirror adopts the queue's new epoch, and an OpQueueEpoch armed
+// frame tells the runtime to stamp it — and to drop work held for the dead
+// incarnation.
+func (p *Proxy) RearmQueue(q int) {
+	if q < 0 || q >= len(p.qepoch) {
+		return
+	}
+	for tag, packed := range p.tagSlot {
+		if packed/SlotsPerQueue != q {
+			continue
+		}
+		delete(p.tagSlot, tag)
+		p.free[q] = append(p.free[q], packed%SlotsPerQueue)
+	}
+	p.stalled[q] = false
+	if q == 0 && p.inFlightFlush != nil {
+		// A barrier the dead incarnation held is gone with it; replay
+		// re-issues the flush under a fresh barrier sequence, and a late
+		// FlushDone for the old one fails the barrier match.
+		p.inFlightFlush = nil
+	}
+	p.flushRecycleQ(q)
+	p.qepoch[q] = p.Dev.QueueEpoch(q)
+	err := p.C.ASend(q, uchan.Msg{Op: OpQueueEpoch,
+		Data: protocol.EncodeQState(protocol.QState{Queue: q, Epoch: uint32(p.qepoch[q]), Flags: protocol.QStateArmed})})
+	if err != nil {
+		p.UpcallErrors++
+	}
+}
+
+// QueueEpochMirror reports the queue epoch this proxy last re-armed at
+// (tests, sudctl).
+func (p *Proxy) QueueEpochMirror(q int) uint64 {
+	if q < 0 || q >= len(p.qepoch) {
+		return 0
+	}
+	return p.qepoch[q]
 }
 
 // handleFlushDone validates one barrier completion against the proxy's own

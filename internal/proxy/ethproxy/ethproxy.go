@@ -40,6 +40,11 @@ const (
 	// pages have been remapped before the upcall is sent, so the driver
 	// may re-arm descriptors over them immediately.
 	OpPageRecycle
+	// OpQueueEpoch announces a per-queue epoch transition (async); Data
+	// carries the protocol qstate framing. A parked frame tells the
+	// driver runtime one queue pair is quarantined; an armed frame
+	// re-syncs the runtime at the queue's new epoch.
+	OpQueueEpoch
 )
 
 // Downcall operations (driver → kernel).
@@ -113,10 +118,10 @@ type Proxy struct {
 	C   *uchan.MultiChan
 	Ifc *netstack.Iface
 
-	pool     *pciaccess.Alloc
-	perQueue int     // TX slots per queue (pool partition size)
-	free     [][]int // per-queue free slot lists (global slot indices)
-	stalled  []bool  // per-queue: out of slots or ring space
+	pools    []*pciaccess.Alloc // per-queue TX slot pools (stream-tagged)
+	perQueue int                // TX slots per queue (pool partition size)
+	free     [][]int            // per-queue free slot lists (global slot indices)
+	stalled  []bool             // per-queue: out of slots or ring space
 
 	// GuardMode selects the §3.1.2 TOCTOU-guard strategy (ablations).
 	GuardMode int
@@ -130,6 +135,12 @@ type Proxy struct {
 	// signed by this proxy is stale and is rejected wholesale.
 	epoch uint64
 
+	// qepoch mirrors each queue's own incarnation epoch as of the last
+	// RearmQueue — the queue-granular sibling of epoch. Between a
+	// surgical quarantine and the re-arm, the mismatch rejects the
+	// queue's RX deliveries at the proxy while siblings flow.
+	qepoch []uint64
+
 	// pendingRecycle holds consumed buffer pages (by IOVA) per queue
 	// awaiting the lazy recycle flush back to the driver; lent dedups them,
 	// so a page whose slots straddle two batches is returned exactly once.
@@ -137,14 +148,17 @@ type Proxy struct {
 	lent           []map[uint64]bool
 
 	// Security / robustness counters.
-	RxInvalidRef  uint64 // shared-buffer references outside the driver's memory
-	RxBadLength   uint64
-	RxBadBatch    uint64 // malformed batch framing from the driver
-	RxStaleEpoch  uint64 // downcalls from a dead driver incarnation
-	RxRevokedRef  uint64 // references naming a page the kernel already owns
-	TxDropsHung   uint64
-	UpcallErrors  uint64
-	MirrorUpdates uint64 // shared-state synchronisation messages (§3.3)
+	RxInvalidRef uint64 // shared-buffer references outside the driver's memory
+	RxBadLength  uint64
+	RxBadBatch   uint64 // malformed batch framing from the driver
+	RxStaleEpoch uint64 // downcalls from a dead driver incarnation
+	// RxStaleQueueEpoch counts deliveries rejected by the per-queue epoch
+	// discipline: the queue is quarantined and not yet re-armed.
+	RxStaleQueueEpoch uint64
+	RxRevokedRef      uint64 // references naming a page the kernel already owns
+	TxDropsHung       uint64
+	UpcallErrors      uint64
+	MirrorUpdates     uint64 // shared-state synchronisation messages (§3.3)
 
 	// Page-flip accounting (the bench metrics).
 	GuardCopiedBytes uint64 // bytes that went through a guard copy
@@ -171,13 +185,13 @@ type KernelIface struct {
 // requested interface name is taken, the next free ethN is allocated, as
 // the kernel's netdev core does — so several NIC driver processes coexist.
 func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, mac [6]byte) (*Proxy, error) {
-	pool, err := df.AllocDMA(TxSlots*TxSlotSize, "TX shared pool", false)
+	q := c.NumQueues()
+	pools, err := allocTxPools(df, q)
 	if err != nil {
 		return nil, fmt.Errorf("ethproxy: allocating TX pool: %w", err)
 	}
-	q := c.NumQueues()
 	p := &Proxy{
-		K: ki, DF: df, C: c, pool: pool,
+		K: ki, DF: df, C: c, pools: pools,
 		perQueue:       TxSlots / q,
 		free:           make([][]int, q),
 		stalled:        make([]bool, q),
@@ -200,6 +214,10 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 	ki.IfaceNm = ifc.Name
 	p.Ifc = ifc
 	p.epoch = ifc.Epoch()
+	p.qepoch = make([]uint64, q)
+	for i := range p.qepoch {
+		p.qepoch[i] = ifc.QueueEpoch(i)
+	}
 	return p, nil
 }
 
@@ -210,13 +228,13 @@ func New(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name str
 // deferred to promotion. The MAC identity check runs here, inside
 // RegisterStandby.
 func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, name string, mac [6]byte) (*Proxy, error) {
-	pool, err := df.AllocDMA(TxSlots*TxSlotSize, "TX shared pool", false)
+	q := c.NumQueues()
+	pools, err := allocTxPools(df, q)
 	if err != nil {
 		return nil, fmt.Errorf("ethproxy: allocating standby TX pool: %w", err)
 	}
-	q := c.NumQueues()
 	p := &Proxy{
-		K: ki, DF: df, C: c, pool: pool,
+		K: ki, DF: df, C: c, pools: pools,
 		perQueue:       TxSlots / q,
 		free:           make([][]int, q),
 		stalled:        make([]bool, q),
@@ -232,6 +250,7 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 		qi := i / p.perQueue
 		p.free[qi] = append(p.free[qi], i)
 	}
+	p.qepoch = make([]uint64, q)
 	if err := ki.Net.RegisterStandby(name, mac, (*proxyDev)(p)); err != nil {
 		return nil, err
 	}
@@ -245,6 +264,9 @@ func NewStandby(ki *KernelIface, df *pciaccess.DeviceFile, c *uchan.MultiChan, n
 func (p *Proxy) Bind(ifc *netstack.Iface) {
 	p.Ifc = ifc
 	p.epoch = ifc.Epoch()
+	for i := range p.qepoch {
+		p.qepoch[i] = ifc.QueueEpoch(i)
+	}
 	p.K.IfaceNm = ifc.Name
 }
 
@@ -252,6 +274,26 @@ func (p *Proxy) Bind(ifc *netstack.Iface) {
 // downcalls this proxy rejected because the interface moved on to a newer
 // driver incarnation.
 func (p *Proxy) StaleEpochDowncalls() uint64 { return p.RxStaleEpoch }
+
+// allocTxPools builds the per-queue TX slot pools: one device-file
+// allocation per queue, tagged with the queue's stream (the NIC TX engine
+// for queue i stamps i+1), so each queue's slots live in that queue's own
+// IOMMU sub-domain. The kernel tags its pools itself — a sibling queue's
+// descriptor naming a slot here faults at the walk whether or not the
+// driver cooperates. The partitions are allocated back to back, so the
+// IOVA layout is identical to the former single shared pool.
+func allocTxPools(df *pciaccess.DeviceFile, q int) ([]*pciaccess.Alloc, error) {
+	per := TxSlots / q
+	pools := make([]*pciaccess.Alloc, q)
+	for i := range pools {
+		pool, err := df.AllocDMAQ(per*TxSlotSize, fmt.Sprintf("TX q%d slot pool", i), false, i+1)
+		if err != nil {
+			return nil, err
+		}
+		pools[i] = pool
+	}
+	return pools, nil
+}
 
 // registerUnique registers the netdev under the requested name; on a name
 // collision it substitutes into the name's own template (trailing digits
@@ -337,8 +379,9 @@ func (d *proxyDev) StartXmitQ(frame []byte, q int) error {
 		return fmt.Errorf("ethproxy: no free TX slots on queue %d", q)
 	}
 	slot := p.free[q][len(p.free[q])-1]
-	iova := p.pool.IOVA + mem.Addr(slot*TxSlotSize)
-	phys := p.pool.Phys + mem.Addr(slot*TxSlotSize)
+	local := slot % p.perQueue
+	iova := p.pools[q].IOVA + mem.Addr(local*TxSlotSize)
+	phys := p.pools[q].Phys + mem.Addr(local*TxSlotSize)
 	p.K.Acct.Charge(sim.Copy(len(frame)))
 	if err := p.K.Mem.Write(phys, frame); err != nil {
 		return fmt.Errorf("ethproxy: shared pool write: %w", err)
@@ -400,6 +443,9 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 	}
 	switch m.Op {
 	case OpNetifRx:
+		if p.queueStale(q) {
+			return
+		}
 		if m.Data != nil {
 			// Inline (bounced) frame: the bytes were copied through
 			// the ring, so only checksum verification remains.
@@ -420,6 +466,9 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		}
 		p.netifRx(q, mem.Addr(m.Args[0]), int(m.Args[1]))
 	case OpNetifRxBatch:
+		if p.queueStale(q) {
+			return
+		}
 		refs, err := DecodeRxBatch(m.Data)
 		if err != nil {
 			// Malformed framing from the untrusted driver: dropped
@@ -453,6 +502,17 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		slot := int(m.Args[0])
 		if slot >= 0 && slot < p.perQueue*len(p.free) {
 			sq := slot / p.perQueue
+			for _, f := range p.free[sq] {
+				if f == slot {
+					// A credit for a slot already free: a confused or
+					// malicious driver, or a late credit from a queue
+					// incarnation whose slots RearmQueue reclaimed.
+					// Crediting it again would hand one slot to two
+					// frames.
+					p.UpcallErrors++
+					return
+				}
+			}
 			if d, ok := p.K.Net.Trace.TakeLat(trace.ClassNetTx, sq, uint64(slot)); ok {
 				p.Ifc.Queue(sq).TxLat.Record(d)
 			}
@@ -477,6 +537,68 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 		// trusted (§3.1.1).
 		p.UpcallErrors++
 	}
+}
+
+// queueStale applies the queue-granular epoch discipline to RX deliveries
+// on ring q: while the netstack's QueueEpoch is ahead of this proxy's mirror
+// the queue is quarantined and not yet re-armed, so everything it delivers
+// is dropped and counted — its buffers sit in a revoked sub-domain and its
+// sibling queues must not be touched by the cleanup.
+func (p *Proxy) queueStale(q int) bool {
+	if p.Ifc.QueueEpoch(q) != p.qepoch[q] {
+		p.RxStaleQueueEpoch++
+		return true
+	}
+	return false
+}
+
+// ParkQueue tells the driver runtime queue q is quarantined: an OpQueueEpoch
+// parked frame carrying the epoch the runtime currently holds. Advisory —
+// the kernel-side checks enforce the quarantine regardless.
+func (p *Proxy) ParkQueue(q int) {
+	if q < 0 || q >= len(p.qepoch) {
+		return
+	}
+	err := p.C.ASend(q, uchan.Msg{Op: OpQueueEpoch,
+		Data: protocol.EncodeQState(protocol.QState{Queue: q, Epoch: uint32(p.qepoch[q]), Flags: protocol.QStateParked})})
+	if err != nil {
+		p.UpcallErrors++
+	}
+}
+
+// RearmQueue re-syncs this proxy with queue q's new incarnation after a
+// surgical quarantine. TX slots the dead incarnation still held are
+// reclaimed (frames are fire-and-forget; losing them is a transport
+// problem, leaking the slots is not), flipped pages parked on the queue's
+// recycle lane are flushed back to the driver (its sub-domain is re-armed
+// by now), the epoch mirror adopts the queue's new epoch, and an
+// OpQueueEpoch armed frame tells the runtime to drop work held for the dead
+// incarnation.
+func (p *Proxy) RearmQueue(q int) {
+	if q < 0 || q >= len(p.qepoch) {
+		return
+	}
+	p.free[q] = p.free[q][:0]
+	for i := q * p.perQueue; i < (q+1)*p.perQueue; i++ {
+		p.free[q] = append(p.free[q], i)
+	}
+	p.stalled[q] = false
+	p.flushRecycleQ(q)
+	p.qepoch[q] = p.Ifc.QueueEpoch(q)
+	err := p.C.ASend(q, uchan.Msg{Op: OpQueueEpoch,
+		Data: protocol.EncodeQState(protocol.QState{Queue: q, Epoch: uint32(p.qepoch[q]), Flags: protocol.QStateArmed})})
+	if err != nil {
+		p.UpcallErrors++
+	}
+}
+
+// QueueEpochMirror reports the queue epoch this proxy last re-armed at
+// (tests, sudctl).
+func (p *Proxy) QueueEpochMirror(q int) uint64 {
+	if q < 0 || q >= len(p.qepoch) {
+		return 0
+	}
+	return p.qepoch[q]
 }
 
 // wakeThreshold is how many of a queue's slots must be free before a

@@ -65,7 +65,7 @@ func TestRegistrationCreatesIfaceAndPool(t *testing.T) {
 	if r.p.FreeTxSlots() != TxSlots {
 		t.Fatalf("pool = %d", r.p.FreeTxSlots())
 	}
-	if len(r.df.Allocs()) != 1 || r.df.Allocs()[0].Label != "TX shared pool" {
+	if len(r.df.Allocs()) != 1 || r.df.Allocs()[0].Label != "TX q0 slot pool" {
 		t.Fatal("pool not allocated through the device file")
 	}
 	// A second proxy asking for the same name gets the next free ethN,

@@ -35,12 +35,18 @@ const IOVABase mem.Addr = 0x42430000
 var ErrFiltered = fmt.Errorf("pciaccess: access to protected register denied")
 
 // Alloc describes one DMA allocation visible in the device's IO page table.
+// Stream names the hardware queue that owns the allocation (the tag that
+// queue's engine stamps on its DMA): a non-zero stream maps the pages ONLY
+// into that queue's sub-domain, so a sibling queue's descriptor naming them
+// faults at the walk. Stream 0 is a shared allocation in the device domain,
+// reachable by untagged DMA and by streams without a sub-domain.
 type Alloc struct {
 	Label    string
 	IOVA     mem.Addr
 	Phys     mem.Addr
 	Pages    int
 	Coherent bool
+	Stream   int
 }
 
 // DeviceFile is the per-device, per-driver-process handle.
@@ -58,6 +64,14 @@ type DeviceFile struct {
 	nextIOVA  mem.Addr
 	allocs    []*Alloc
 	usedPages int
+
+	// Per-stream sub-domains: the queue-granular half of the DMA split.
+	// qdoms holds the translation table each tagged queue walks;
+	// quarantined marks streams whose sub-domain has been revoked (an
+	// empty blocked domain is attached in its place, so the breached
+	// queue's DMA faults instead of falling back to the device domain).
+	qdoms       map[int]*iommu.Domain
+	quarantined map[int]bool
 
 	// revoked tracks pages the kernel has flipped to itself (page-flip
 	// guard, §3.1.2 amortised): pageIOVA -> phys. While a page is here the
@@ -85,6 +99,10 @@ type DeviceFile struct {
 	// the page-flip equivalent of an IOMMU fault, attributed to this
 	// driver as evidence for the policy plane.
 	RevokedFaults uint64
+	// QueueRevokes/QueueRearms count per-queue DMA quarantine transitions
+	// (surgical recovery evidence for sudctl and the supervisor).
+	QueueRevokes uint64
+	QueueRearms  uint64
 
 	closed bool
 }
@@ -126,13 +144,18 @@ func OpenDetached(k *kernel.Kernel, dev pci.Device, uid int, acct *sim.CPUAccoun
 }
 
 // AttachDevice points the device's bus identity at this process's IOMMU
-// domain. Idempotent; no-op after Close.
+// domain — and every per-queue sub-domain built so far (the detached-standby
+// path allocates queue-tagged rings before promotion). Idempotent; no-op
+// after Close.
 func (df *DeviceFile) AttachDevice() {
 	if df.closed || df.attached {
 		return
 	}
 	df.K.M.IOMMU.Attach(df.Dev.BDF(), df.Dom)
 	df.attached = true
+	for stream, dom := range df.qdoms {
+		df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, dom)
+	}
 }
 
 func (df *DeviceFile) syscall(extra sim.Duration) {
@@ -145,12 +168,25 @@ func (df *DeviceFile) syscall(extra sim.Duration) {
 // IO virtual address in the device's domain, and returns the allocation.
 // Under SUD the driver's virtual address equals the IOVA (§4.1).
 func (df *DeviceFile) AllocDMA(size int, label string, coherent bool) (*Alloc, error) {
+	return df.AllocDMAQ(size, label, coherent, 0)
+}
+
+// AllocDMAQ is AllocDMA scoped to one hardware queue: stream is the tag the
+// queue's engine stamps on its DMA, and the pages are mapped ONLY into that
+// stream's sub-domain (lazily created and attached). IOVAs still come from
+// the device file's single address space, so the driver-side window and
+// range validation are queue-agnostic — only the device-side walk is split.
+// stream 0 degrades to a shared device-domain allocation.
+func (df *DeviceFile) AllocDMAQ(size int, label string, coherent bool, stream int) (*Alloc, error) {
 	df.syscall(0)
 	if df.closed {
 		return nil, fmt.Errorf("pciaccess: device file closed")
 	}
 	if size <= 0 {
 		return nil, fmt.Errorf("pciaccess: bad DMA size %d", size)
+	}
+	if stream < 0 {
+		return nil, fmt.Errorf("pciaccess: bad stream %d", stream)
 	}
 	pages := (size + mem.PageSize - 1) / mem.PageSize
 	if df.MaxDMAPages > 0 && df.usedPages+pages > df.MaxDMAPages {
@@ -161,8 +197,8 @@ func (df *DeviceFile) AllocDMA(size int, label string, coherent bool) (*Alloc, e
 	if !ok {
 		return nil, fmt.Errorf("pciaccess: out of physical memory")
 	}
-	a := &Alloc{Label: label, IOVA: df.nextIOVA, Phys: phys, Pages: pages, Coherent: coherent}
-	if err := df.Dom.MapRange(a.IOVA, a.Phys, uint64(pages)*mem.PageSize, iommu.PermRW); err != nil {
+	a := &Alloc{Label: label, IOVA: df.nextIOVA, Phys: phys, Pages: pages, Coherent: coherent, Stream: stream}
+	if err := df.queueDom(stream).MapRange(a.IOVA, a.Phys, uint64(pages)*mem.PageSize, iommu.PermRW); err != nil {
 		df.K.M.Alloc.FreePages(phys, pages)
 		return nil, err
 	}
@@ -172,13 +208,54 @@ func (df *DeviceFile) AllocDMA(size int, label string, coherent bool) (*Alloc, e
 	return a, nil
 }
 
+// queueDom returns the translation table stream's allocations map into,
+// creating and attaching the sub-domain on first use. Stream 0 is the
+// device domain.
+func (df *DeviceFile) queueDom(stream int) *iommu.Domain {
+	if stream == 0 {
+		return df.Dom
+	}
+	if dom, ok := df.qdoms[stream]; ok {
+		return dom
+	}
+	dom := df.K.M.IOMMU.NewDomain()
+	// Same vendor asymmetry as the device domain: AMD needs an explicit
+	// MSI-window mapping for the queue's completion interrupts.
+	if df.K.M.IOMMU.Cfg.Vendor == iommu.VendorAMD {
+		if err := dom.MapRange(iommu.MSIBase, iommu.MSIBase,
+			uint64(iommu.MSILimit-iommu.MSIBase), iommu.PermWrite); err != nil {
+			panic(err) // fresh domain; cannot collide
+		}
+	}
+	if df.qdoms == nil {
+		df.qdoms = make(map[int]*iommu.Domain)
+	}
+	df.qdoms[stream] = dom
+	// A detached standby defers the attach to promotion — the live
+	// primary still owns the device's bus identity.
+	if df.attached && !df.quarantined[stream] {
+		df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, dom)
+	}
+	return dom
+}
+
+// domFor returns the translation table holding a's pages.
+func (df *DeviceFile) domFor(a *Alloc) *iommu.Domain {
+	if a.Stream != 0 {
+		if dom, ok := df.qdoms[a.Stream]; ok {
+			return dom
+		}
+	}
+	return df.Dom
+}
+
 // FreeDMA unmaps and releases an allocation, invalidating stale IOTLB
 // entries (charged at the documented cost, §3.1.2).
 func (df *DeviceFile) FreeDMA(a *Alloc) error {
 	df.syscall(sim.CostIOTLBInvalidate)
 	for i, cur := range df.allocs {
 		if cur == a {
-			df.Dom.UnmapRange(a.IOVA, uint64(a.Pages)*mem.PageSize)
+			df.domFor(a).UnmapRange(a.IOVA, uint64(a.Pages)*mem.PageSize)
 			df.K.M.IOMMU.InvalidateDevice(df.Dev.BDF())
 			df.K.M.Alloc.FreePages(a.Phys, a.Pages)
 			df.usedPages -= a.Pages
@@ -189,9 +266,99 @@ func (df *DeviceFile) FreeDMA(a *Alloc) error {
 	return fmt.Errorf("pciaccess: unknown DMA allocation")
 }
 
+// --- per-queue DMA quarantine (surgical recovery) ----------------------------
+
+// RevokeQueueDMA kills one queue's DMA: an empty blocked domain replaces the
+// stream's sub-domain at the IOMMU (attach + stream shootdown), so every
+// further access the breached queue's engine issues faults at the walk —
+// including to shared stream-0 pages it could otherwise still reach —
+// while sibling queues' sub-domains stay armed and serving. The sub-domain's
+// mappings are kept; RearmQueueDMA re-attaches them after replay.
+func (df *DeviceFile) RevokeQueueDMA(stream int) error {
+	df.K.Acct.Charge(sim.CostIOTLBInvalidate)
+	if df.closed {
+		return fmt.Errorf("pciaccess: device file closed")
+	}
+	if stream <= 0 {
+		return fmt.Errorf("pciaccess: bad stream %d", stream)
+	}
+	if df.quarantined[stream] {
+		return nil // idempotent: double-quarantine is a no-op
+	}
+	if df.quarantined == nil {
+		df.quarantined = make(map[int]bool)
+	}
+	df.quarantined[stream] = true
+	df.QueueRevokes++
+	if df.attached {
+		df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, df.K.M.IOMMU.NewDomain())
+	}
+	return nil
+}
+
+// RearmQueueDMA reverses RevokeQueueDMA: the stream's real sub-domain (with
+// its mappings intact) is re-attached and its IOTLB footprint shot down, so
+// the recovered queue incarnation resumes with exactly the translations its
+// allocations installed.
+func (df *DeviceFile) RearmQueueDMA(stream int) error {
+	df.K.Acct.Charge(sim.CostIOTLBInvalidate)
+	if df.closed {
+		return fmt.Errorf("pciaccess: device file closed")
+	}
+	if !df.quarantined[stream] {
+		return fmt.Errorf("pciaccess: stream %d is not quarantined", stream)
+	}
+	delete(df.quarantined, stream)
+	df.QueueRearms++
+	if df.attached {
+		dom := df.qdoms[stream]
+		if dom == nil {
+			df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, nil)
+		} else {
+			df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, dom)
+		}
+	}
+	return nil
+}
+
+// QueueQuarantined reports whether stream's DMA is currently revoked.
+func (df *DeviceFile) QueueQuarantined(stream int) bool { return df.quarantined[stream] }
+
+// QueueStreams returns the streams with a per-queue sub-domain, ascending
+// (sudctl introspection).
+func (df *DeviceFile) QueueStreams() []int {
+	var out []int
+	for s := range df.qdoms {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // Allocs returns the live allocations (the Figure 9 walk labels mappings
 // with these).
 func (df *DeviceFile) Allocs() []*Alloc { return df.allocs }
+
+// Mappings walks the device's full translation state — the shared device
+// domain plus every per-queue sub-domain — and returns the merged list
+// sorted by IOVA. This is the Figure 9 page-directory walk: with the
+// per-queue split, a single domain no longer tells the whole story.
+func (df *DeviceFile) Mappings() []iommu.Mapping {
+	out := df.Dom.Mappings()
+	for _, s := range df.QueueStreams() {
+		out = append(out, df.qdoms[s].Mappings()...)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].IOVA < out[j-1].IOVA; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
 
 // ValidateRange reports whether [iova, iova+n) lies entirely inside one of
 // the driver's DMA allocations. Proxy drivers use it to reject shared-buffer
@@ -276,7 +443,9 @@ func (df *DeviceFile) RevokePage(iova mem.Addr) (mem.Addr, error) {
 
 // RecyclePage reverses a RevokePage: the PTE is re-installed (walk + entry
 // write; no invalidation — absent to present) and the driver may fill the
-// page again. The caller charges sim.CostPageRecycleMap.
+// page again. The mapping returns to the page's home translation table —
+// the owning queue's sub-domain for a queue-tagged allocation, the device
+// domain otherwise. The caller charges sim.CostPageRecycleMap.
 func (df *DeviceFile) RecyclePage(iova mem.Addr) error {
 	if df.closed {
 		return fmt.Errorf("pciaccess: device file closed")
@@ -286,7 +455,15 @@ func (df *DeviceFile) RecyclePage(iova mem.Addr) error {
 	if !ok {
 		return fmt.Errorf("pciaccess: page %#x is not revoked", uint64(page))
 	}
-	if err := df.Dom.Map(page, phys, iommu.PermRW); err != nil {
+	dom := df.Dom
+	for _, a := range df.allocs {
+		end := a.IOVA + mem.Addr(a.Pages)*mem.PageSize
+		if page >= a.IOVA && page < end {
+			dom = df.domFor(a)
+			break
+		}
+	}
+	if err := dom.Map(page, phys, iommu.PermRW); err != nil {
 		return err
 	}
 	delete(df.revoked, page)
@@ -675,7 +852,7 @@ func (df *DeviceFile) Close() {
 		// so allocations with in-flight revoked (flipped) pages tear down
 		// cleanly; every physical page — flipped or not — is reclaimed
 		// here, which is what makes kill -9 mid page-flip leak-free.
-		df.Dom.UnmapRange(a.IOVA, uint64(a.Pages)*mem.PageSize)
+		df.domFor(a).UnmapRange(a.IOVA, uint64(a.Pages)*mem.PageSize)
 		df.K.M.Alloc.FreePages(a.Phys, a.Pages)
 	}
 	df.allocs = nil
@@ -684,10 +861,19 @@ func (df *DeviceFile) Close() {
 	if df.attached {
 		// Only the domain owner detaches the bus identity: a never-promoted
 		// standby closing must not rip the attachment out from under the
-		// live primary.
+		// live primary. Sub-domains (quarantine placeholders included) go
+		// with it.
+		for stream := range df.qdoms {
+			df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, nil)
+		}
+		for stream := range df.quarantined {
+			df.K.M.IOMMU.AttachQueue(df.Dev.BDF(), stream, nil)
+		}
 		df.K.M.IOMMU.Attach(df.Dev.BDF(), nil)
 		df.attached = false
 	}
+	df.qdoms = nil
+	df.quarantined = nil
 	df.K.M.IOMMU.InvalidateDevice(df.Dev.BDF())
 }
 

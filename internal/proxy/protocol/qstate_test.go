@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestQStateRoundTrip pins the per-queue epoch framing: queue, epoch and
+// flags survive encode→decode at the boundaries of each field.
+func TestQStateRoundTrip(t *testing.T) {
+	cases := []QState{
+		{Queue: 0, Epoch: 0, Flags: QStateParked},
+		{Queue: 3, Epoch: 7, Flags: QStateArmed},
+		{Queue: MaxQStateQueue, Epoch: ^uint32(0), Flags: QStateArmed},
+	}
+	for _, c := range cases {
+		got, err := DecodeQState(EncodeQState(c))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", c, err)
+		}
+		if got != c {
+			t.Fatalf("round trip %+v -> %+v", c, got)
+		}
+		if got.Parked() != (c.Flags == QStateParked) || got.Armed() != (c.Flags == QStateArmed) {
+			t.Fatalf("flag accessors disagree for %+v", got)
+		}
+	}
+}
+
+// TestQStateRejectsMalformed covers the defensive decode paths a hostile or
+// corrupted ring peer can hit.
+func TestQStateRejectsMalformed(t *testing.T) {
+	good := EncodeQState(QState{Queue: 1, Epoch: 2, Flags: QStateArmed})
+	cases := map[string]struct {
+		buf  []byte
+		want error
+	}{
+		"nil":       {nil, ErrQStateSize},
+		"short":     {good[:qstateSize-1], ErrQStateSize},
+		"slack":     {append(append([]byte{}, good...), 0xEE), ErrQStateSize},
+		"noflags":   {[]byte{1, 0, 0, 0, 0, 0, 0}, ErrQStateFlags},
+		"bothflags": {[]byte{1, 0, 0, 0, 0, 0, QStateParked | QStateArmed}, ErrQStateFlags},
+		"unknown":   {[]byte{1, 0, 0, 0, 0, 0, 1 << 5}, ErrQStateFlags},
+	}
+	for name, c := range cases {
+		if _, err := DecodeQState(c.buf); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", name, err, c.want)
+		}
+	}
+	// Senders own their frames: out-of-range encodes are programming
+	// errors, not attacker input, and panic.
+	for _, bad := range []QState{
+		{Queue: -1, Flags: QStateArmed},
+		{Queue: MaxQStateQueue + 1, Flags: QStateArmed},
+		{Queue: 0, Flags: 0},
+		{Queue: 0, Flags: QStateParked | QStateArmed},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("encode(%+v) did not panic", bad)
+				}
+			}()
+			EncodeQState(bad)
+		}()
+	}
+}
+
+// FuzzDecodeQState drives the defensive decoder with arbitrary ring bytes:
+// it must never panic, and every accepted frame must re-encode to the exact
+// input (the codec is canonical).
+func FuzzDecodeQState(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeQState(QState{Queue: 0, Epoch: 0, Flags: QStateParked}))
+	f.Add(EncodeQState(QState{Queue: MaxQStateQueue, Epoch: ^uint32(0), Flags: QStateArmed}))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, QStateParked | QStateArmed})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		s, err := DecodeQState(buf)
+		if err != nil {
+			return
+		}
+		out := EncodeQState(s)
+		if len(out) != len(buf) {
+			t.Fatalf("canonical length %d != input %d", len(out), len(buf))
+		}
+		for i := range out {
+			if out[i] != buf[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -30,11 +30,11 @@ func RunFig9(plat hw.Platform) ([]Fig9Entry, error) {
 	// them: per-queue TX ring then TX buffers (one queue here), RX ring,
 	// RX buffers, then the proxy's shared pool.
 	names := map[string]string{
-		"TX shared pool": "TX shared pool (uchan)",
-		"coherent #1":    "TX ring descriptor",
-		"caching #2":     "TX buffers",
-		"coherent #3":    "RX ring descriptor",
-		"caching #4":     "RX buffers",
+		"TX q0 slot pool": "TX shared pool (uchan)",
+		"coherent q1 #1":  "TX ring descriptor",
+		"caching q1 #2":   "TX buffers",
+		"coherent q1 #3":  "RX ring descriptor",
+		"caching q1 #4":   "RX buffers",
 	}
 	var out []Fig9Entry
 	for _, a := range tb.Proc.DF.Allocs() {
@@ -48,11 +48,12 @@ func RunFig9(plat hw.Platform) ([]Fig9Entry, error) {
 			End:   uint64(a.IOVA) + uint64(a.Pages)*4096,
 		})
 	}
-	// Cross-check against the page-directory walk: every labelled byte
-	// must be mapped, and nothing else may be — except the explicit MSI
-	// window the kernel maps on AMD IOMMUs (§6).
+	// Cross-check against the page-directory walk — the device domain
+	// plus every per-queue sub-domain: every labelled byte must be
+	// mapped, and nothing else may be — except the explicit MSI window
+	// the kernel maps on AMD IOMMUs (§6).
 	mapped := 0
-	for _, m := range tb.Proc.DF.Dom.Mappings() {
+	for _, m := range tb.Proc.DF.Mappings() {
 		if m.IOVA >= iommu.MSIBase && m.End <= iommu.MSILimit {
 			continue
 		}

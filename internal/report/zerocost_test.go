@@ -51,13 +51,19 @@ func TestFig8BitForBitWithTracePlaneOff(t *testing.T) {
 }
 
 // TestBlockIOPSBitForBitWithTracePlaneOff pins the block scale run at the
-// queue counts the acceptance criteria name.
+// queue counts the acceptance criteria name — and asserts the pinned
+// numbers are achieved WITH queue-granular DMA confinement active: every
+// SUD row runs with per-queue IOMMU sub-domains attached, so the pins
+// double as the zero-cost proof for the confinement plane.
 func TestBlockIOPSBitForBitWithTracePlaneOff(t *testing.T) {
 	want := map[int]string{1: "186.3", 2: "371.8", 4: "646.9"}
 	for _, q := range []int{1, 2, 4} {
 		tb, err := diskperf.NewTestbed(diskperf.ModeSUD, q, hw.DefaultPlatform())
 		if err != nil {
 			t.Fatal(err)
+		}
+		if n := tb.M.IOMMU.QueueDomains(tb.Ctrl.BDF()); n == 0 {
+			t.Fatalf("Q=%d: no per-queue sub-domains attached — the pin would not cover the confinement plane", q)
 		}
 		res, err := diskperf.BlockIOPS(tb, 16, 6, netperf.DefaultOptions())
 		if err != nil {
@@ -66,6 +72,21 @@ func TestBlockIOPSBitForBitWithTracePlaneOff(t *testing.T) {
 		if got := fmt.Sprintf("%.1f", res.ReadKIOPS); got != want[q] {
 			t.Errorf("Q=%d: %s Kiops, want %s", q, got, want[q])
 		}
+	}
+}
+
+// TestFig8RunsWithQueueDomainsAttached: the Figure 8 pins above run on the
+// same SUD testbed construction as this one, which must carry per-queue
+// sub-domains even at Q=1 — the kernel force-tags the per-queue slot pools
+// regardless of fan-out, so the bit-for-bit Fig8 numbers are measured with
+// queue-granular confinement on.
+func TestFig8RunsWithQueueDomainsAttached(t *testing.T) {
+	tb, err := netperf.NewTestbed(netperf.ModeSUD, hw.DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.M.IOMMU.QueueDomains(tb.NIC.BDF()); n == 0 {
+		t.Fatal("SUD net testbed has no per-queue sub-domains attached")
 	}
 }
 

@@ -45,6 +45,11 @@ const (
 	// Quarantine bars the driver: no further restarts, parked work is
 	// failed cleanly, the device survives (down) for the admin.
 	Quarantine
+	// QuarantineQueue surgically quarantines one queue: its DMA
+	// sub-domain stays revoked until the supervisor re-arms it and
+	// replays the queue's log, while sibling queues — and the driver
+	// process — keep running. Decision.Queue names the queue.
+	QuarantineQueue
 )
 
 func (v Verdict) String() string {
@@ -57,6 +62,8 @@ func (v Verdict) String() string {
 		return "failover"
 	case Quarantine:
 		return "quarantine"
+	case QuarantineQueue:
+		return "quarantine-queue"
 	}
 	return fmt.Sprintf("verdict(%d)", int(v))
 }
@@ -66,6 +73,8 @@ type Decision struct {
 	Verdict Verdict
 	// Delay is how long to wait before the restart (RestartBackoff only).
 	Delay sim.Duration
+	// Queue names the afflicted queue (QuarantineQueue only).
+	Queue int
 	// Reason is the one-line evidence trail for the kernel log.
 	Reason string
 }
@@ -99,18 +108,25 @@ type Config struct {
 	// produced this many stale-epoch downcalls: a handful is the normal
 	// wake-vs-death race, a flood is a zombie replaying traffic.
 	StaleLimit uint64
+	// QueueOffenseLimit is the per-queue fault tolerance: the first
+	// offenses on a queue earn surgical QuarantineQueue verdicts (park,
+	// re-arm, replay — siblings untouched); reaching the limit escalates
+	// to a full process quarantine, because a queue that keeps faulting
+	// after fresh sub-domains is a compromised driver, not a glitch.
+	QueueOffenseLimit int
 }
 
 // DefaultConfig returns the supervisor defaults (virtual time).
 func DefaultConfig() Config {
 	return Config{
-		WindowBudget:  8,
-		RestartWindow: 500 * sim.Millisecond,
-		BackoffBase:   1 * sim.Millisecond,
-		BackoffMax:    50 * sim.Millisecond,
-		HealthyAfter:  25 * sim.Millisecond,
-		StormLimit:    3,
-		StaleLimit:    256,
+		WindowBudget:      8,
+		RestartWindow:     500 * sim.Millisecond,
+		BackoffBase:       1 * sim.Millisecond,
+		BackoffMax:        50 * sim.Millisecond,
+		HealthyAfter:      25 * sim.Millisecond,
+		StormLimit:        3,
+		StaleLimit:        256,
+		QueueOffenseLimit: 3,
 	}
 }
 
@@ -152,6 +168,10 @@ type Engine struct {
 
 	quarantined bool
 	reason      string
+
+	// qconvictions counts surgical quarantines per queue; reaching
+	// Cfg.QueueOffenseLimit escalates to a full conviction.
+	qconvictions map[int]int
 }
 
 // NewEngine returns an engine with the given knobs.
@@ -255,6 +275,32 @@ func (e *Engine) OnDeath(now sim.Time, standbyArmed bool, cause string) Decision
 	return e.graded(Decision{Verdict: RestartBackoff, Delay: e.backoff,
 		Reason: fmt.Sprintf("crash loop (%s): backing off %v", cause, e.backoff)})
 }
+
+// OnQueueFault grades the response to DMA faults attributable to exactly one
+// queue — descriptors naming memory outside the queue's own sub-domain. The
+// first offenses earn a surgical QuarantineQueue: park and re-arm that queue
+// alone, siblings untouched. A queue that keeps offending after fresh
+// sub-domains (QueueOffenseLimit reached) is evidence of a compromised
+// driver, not a transient glitch, and escalates to a full Quarantine via
+// conviction.
+func (e *Engine) OnQueueFault(now sim.Time, q int, cause string) Decision {
+	if e.quarantined {
+		return e.graded(Decision{Verdict: Quarantine, Queue: q, Reason: e.reason})
+	}
+	if e.qconvictions == nil {
+		e.qconvictions = make(map[int]int)
+	}
+	e.qconvictions[q]++
+	if e.Cfg.QueueOffenseLimit > 0 && e.qconvictions[q] >= e.Cfg.QueueOffenseLimit {
+		e.Convict(fmt.Sprintf("queue %d: %d surgical quarantines (%s)", q, e.qconvictions[q], cause))
+		return e.graded(Decision{Verdict: Quarantine, Queue: q, Reason: e.reason})
+	}
+	return e.graded(Decision{Verdict: QuarantineQueue, Queue: q,
+		Reason: fmt.Sprintf("queue %d offense %d/%d: %s", q, e.qconvictions[q], e.Cfg.QueueOffenseLimit, cause)})
+}
+
+// QueueOffenses reports how many surgical quarantines queue q has earned.
+func (e *Engine) QueueOffenses(q int) int { return e.qconvictions[q] }
 
 // graded records the decision in the flight recorder on its way out.
 func (e *Engine) graded(d Decision) Decision {

@@ -13,8 +13,8 @@ import (
 	"sud/internal/proxy/blkproxy"
 	"sud/internal/sim"
 	"sud/internal/sudml"
-	"sud/internal/trace"
 	"sud/internal/sudml/policy"
+	"sud/internal/trace"
 	"sud/internal/uchan"
 )
 

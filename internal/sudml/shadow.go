@@ -100,6 +100,15 @@ type Supervisor struct {
 	Quarantined bool
 	LastVerdict policy.Verdict
 
+	// QueueRecoveries counts surgical single-queue recoveries: sub-domain
+	// faults attributable to one queue, answered by revoking that queue's
+	// DMA and replaying only its work while siblings keep serving.
+	QueueRecoveries int
+	// lastStreamFaults is the per-queue IOMMU sub-domain fault watermark
+	// (stream q+1) at the previous health check; a delta is the detection
+	// signal for surgical recovery.
+	lastStreamFaults []uint64
+
 	// staleHarvest accumulates stale-epoch downcall counts from dead
 	// incarnations' proxies (evidence for the policy plane).
 	staleHarvest uint64
@@ -158,6 +167,16 @@ func supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName, b
 	return s, nil
 }
 
+// baselineQueueFaults snapshots the per-queue sub-domain fault counters so
+// only faults raised under supervision trigger surgical recovery.
+func (s *Supervisor) baselineQueueFaults() {
+	bdf := s.Dev.BDF()
+	s.lastStreamFaults = make([]uint64, s.Queues)
+	for q := 0; q < s.Queues; q++ {
+		s.lastStreamFaults[q] = s.K.M.IOMMU.StreamFaults(bdf, q+1)
+	}
+}
+
 // attachShadows arms recovery recording on the supervised kernel objects.
 // The kernel objects survive restarts (adoption), so this runs once.
 func (s *Supervisor) attachShadows() {
@@ -195,6 +214,10 @@ func (s *Supervisor) start(gen int) error {
 	s.proc = proc
 	s.lastBad = false
 	s.lastServedQ = nil
+	// Faults raised while the previous incarnation was dying (in-flight DMA
+	// after the kill) belong to that incarnation; rebase the surgical
+	// watermarks so they are not charged to the fresh process.
+	s.baselineQueueFaults()
 	return nil
 }
 
@@ -336,6 +359,14 @@ func (s *Supervisor) check() {
 		s.schedule()
 		return
 	}
+	if s.checkQueueFaults() {
+		// A surgical recovery ran (or escalated to quarantine) this check.
+		if s.stopped {
+			return
+		}
+		s.schedule()
+		return
+	}
 	bad := s.unhealthy()
 	if bad && s.lastBad {
 		s.lastBad = false
@@ -418,6 +449,113 @@ func (s *Supervisor) unhealthy() bool {
 		}
 	}
 	return false
+}
+
+// checkQueueFaults scans the per-queue IOMMU sub-domain fault counters
+// (stream q+1 for driver queue q) for deltas since the previous check and
+// answers each afflicted queue with a surgical recovery. It reports whether
+// any queue was recovered (or the recovery escalated to full quarantine),
+// so the caller can skip the wedge heuristics for this period.
+func (s *Supervisor) checkQueueFaults() bool {
+	if s.recovering || s.backingOff || s.proc == nil || s.proc.DF == nil {
+		return false
+	}
+	bdf := s.Dev.BDF()
+	if len(s.lastStreamFaults) != s.Queues {
+		s.baselineQueueFaults()
+		return false
+	}
+	acted := false
+	for q := 0; q < s.Queues; q++ {
+		n := s.K.M.IOMMU.StreamFaults(bdf, q+1)
+		if n > s.lastStreamFaults[q] {
+			delta := n - s.lastStreamFaults[q]
+			s.lastStreamFaults[q] = n
+			s.surgical(q, delta)
+			acted = true
+			if s.stopped {
+				return true
+			}
+			continue
+		}
+		s.lastStreamFaults[q] = n
+	}
+	return acted
+}
+
+// surgical is the single-queue recovery path: queue q raised sub-domain
+// faults, so exactly that queue is killed (its DMA sub-domain revoked),
+// parked, graded, re-armed and replayed — the driver process and every
+// sibling queue keep running throughout. The flight ring reads the ISSUE
+// timeline in order: kill -> park -> verdict -> replay -> drain. A queue
+// that re-offends past Policy.Cfg.QueueOffenseLimit escalates to the full
+// quarantine verdict.
+func (s *Supervisor) surgical(q int, faults uint64) {
+	cause := fmt.Sprintf("%d sub-domain faults", faults)
+	// Kill: the queue's DMA dies first, before any grading — a faulting
+	// queue must not get another descriptor fetch in.
+	s.Flight.Recordf(trace.FKill, "%s q%d: DMA revoked (%s)", s.Name, q, cause)
+	if err := s.proc.DF.RevokeQueueDMA(q + 1); err != nil {
+		s.K.Logf("supervisor: %s q%d DMA revoke failed: %v", s.Name, q, err)
+	}
+	// Park: proxy first (advisory epoch frame to the runtime), then the
+	// kernel object (epoch bump + drain watermark, records FPark).
+	if s.proc.Blk != nil {
+		s.proc.Blk.ParkQueue(q)
+	}
+	if s.proc.Eth != nil {
+		s.proc.Eth.ParkQueue(q)
+	}
+	if s.blkName != "" {
+		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
+			d.BeginQueueRecovery(q)
+		}
+	}
+	if s.ifName != "" {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
+			ifc.BeginQueueRecovery(q)
+		}
+	}
+	// Verdict: grade the offense. Repeat offenders escalate to the
+	// device-wide quarantine path.
+	d := s.Policy.OnQueueFault(s.K.M.Now(), q, cause)
+	s.LastVerdict = d.Verdict
+	if d.Verdict == policy.Quarantine {
+		s.quarantine(d.Reason)
+		return
+	}
+	s.K.Logf("supervisor: %s q%d surgically recovered: %s", s.Name, q, d.Reason)
+	// Replay: re-arm the sub-domain (mappings survived the revoke), bump
+	// the queue epoch through the proxy (stale-completion fence), and
+	// release the kernel queue — its shadow log replays under original
+	// tags, then the drain leg closes the timeline.
+	if err := s.proc.DF.RearmQueueDMA(q + 1); err != nil {
+		s.K.Logf("supervisor: %s q%d DMA re-arm failed: %v", s.Name, q, err)
+	}
+	if s.proc.Blk != nil {
+		s.proc.Blk.RearmQueue(q)
+	}
+	if s.proc.Eth != nil {
+		s.proc.Eth.RearmQueue(q)
+	}
+	if s.blkName != "" {
+		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
+			if n, rerr := d.CompleteQueueRecovery(q); rerr != nil {
+				s.K.Logf("supervisor: %s q%d block recovery failed: %v", s.Name, q, rerr)
+			} else {
+				s.LastReplayed = n
+			}
+		}
+	}
+	if s.ifName != "" {
+		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
+			if rerr := ifc.CompleteQueueRecovery(q); rerr != nil {
+				s.K.Logf("supervisor: %s q%d net recovery failed: %v", s.Name, q, rerr)
+			}
+		}
+	}
+	s.QueueRecoveries++
+	s.LastRecoveryAt = s.K.M.Now()
 }
 
 // decide grades one detection through the policy engine and executes the
@@ -543,6 +681,7 @@ func (s *Supervisor) failover() bool {
 	s.proc = sb
 	s.lastBad = false
 	s.lastServedQ = nil
+	s.baselineQueueFaults()
 	sb.Recoverable = true
 	sb.OnDeath = s.onDeath
 	if err := sb.ActivateDriver(); err != nil {

@@ -105,6 +105,15 @@ type Process struct {
 	// as OpFlushDone so the proxy's barrier accounting can verify it.
 	flushMeta map[uint64]blkproxy.FlushOp
 
+	// qep mirrors, per queue, the epoch the kernel last armed the queue
+	// at (OpQueueEpoch frames from a surgical quarantine); the runtime
+	// stamps it on every completion it sends for that queue, so the
+	// proxy can reject completions minted for a dead incarnation of one
+	// queue without touching its siblings. qparked marks queues the
+	// kernel has told the runtime are quarantined (advisory).
+	qep     []uint64
+	qparked []bool
+
 	// rxBatch accumulates, per queue, received-frame references awaiting
 	// the batched OpNetifRxBatch downcall: up to ethproxy.MaxRxBatch
 	// frames ride one ring slot. Batches flush when full and at the end
@@ -133,6 +142,7 @@ type Process struct {
 	XmitRingDrops         uint64
 	BadFlushFrames        uint64
 	BadRecycleFrames      uint64
+	BadQStateFrames       uint64
 
 	// Recoverable marks the process as supervised: on death its devices
 	// enter shadow recovery (parked, adoptable) instead of being
@@ -234,6 +244,8 @@ func newShellQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name string, ui
 		blkRetryTimer: make([]bool, len(accts)),
 		blkComp:       make([][]blkproxy.CompRef, len(accts)),
 		flushMeta:     make(map[uint64]blkproxy.FlushOp),
+		qep:           make([]uint64, len(accts)),
+		qparked:       make([]bool, len(accts)),
 	}
 	ch.SetDriverHandler(p.dispatch)
 	ch.SetKernelHandler(p.routeDowncall)
@@ -504,6 +516,9 @@ func (p *Process) dispatch(q int, m uchan.Msg) *uchan.Msg {
 	case ethproxy.OpPageRecycle:
 		p.handleRecycle(q, m, ethproxy.OpRecycleAck)
 		return &uchan.Msg{Seq: m.Seq}
+	case ethproxy.OpQueueEpoch:
+		p.handleQueueEpoch(m)
+		return &uchan.Msg{Seq: m.Seq}
 	case protocol.OpInterrupt:
 		if p.irqHandler != nil {
 			p.irqHandler()
@@ -612,9 +627,37 @@ func (p *Process) dispatchBlock(q int, m uchan.Msg) *uchan.Msg {
 	case blkproxy.OpPageRecycle:
 		p.handleRecycle(q, m, blkproxy.OpRecycleAck)
 		return &uchan.Msg{Seq: m.Seq}
+	case blkproxy.OpQueueEpoch:
+		p.handleQueueEpoch(m)
+		return &uchan.Msg{Seq: m.Seq}
 	default:
 		return &uchan.Msg{Seq: m.Seq, Args: [6]uint64{1}}
 	}
+}
+
+// handleQueueEpoch services an OpQueueEpoch upcall (either class): one
+// queue's epoch transition from a surgical quarantine. A parked frame just
+// marks the queue so the runtime stops burning CPU on it; an armed frame
+// adopts the queue's new epoch for completion stamping and drops work held
+// for the dead incarnation — the kernel replays its own request log, so
+// re-submitting held upcalls (or flushing completions gathered before the
+// quarantine) would double-deliver those tags.
+func (p *Process) handleQueueEpoch(m uchan.Msg) {
+	p.Acct.Charge(sim.CostUMLCall)
+	s, err := protocol.DecodeQState(m.Data)
+	if err != nil || s.Queue >= len(p.qep) {
+		p.BadQStateFrames++
+		return
+	}
+	if s.Parked() {
+		p.qparked[s.Queue] = true
+		return
+	}
+	p.qep[s.Queue] = uint64(s.Epoch)
+	p.qparked[s.Queue] = false
+	p.pendingBlk[s.Queue] = nil
+	p.pendingTx[s.Queue] = nil
+	p.blkComp[s.Queue] = p.blkComp[s.Queue][:0]
 }
 
 // handleRecycle services an OpPageRecycle upcall (either class): the frame
@@ -887,7 +930,8 @@ func (p *Process) tryBlkSubmit(q int, m uchan.Msg) bool {
 // blkCompDone reports a request finished with a bare status (no payload) —
 // used for kernel-side drops so the proxy releases the request's slot.
 func (p *Process) blkCompDone(q int, tag uint64, status uint16) {
-	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete, Args: [6]uint64{tag, uint64(status)}})
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete,
+		Args: [6]uint64{tag, uint64(status), 0, 0, p.qep[q]}})
 }
 
 // --- api.Env implementation ---------------------------------------------------
@@ -978,6 +1022,28 @@ func (e *env) AllocCoherent(size int) (api.DMABuf, error) {
 func (e *env) AllocCaching(size int) (api.DMABuf, error) {
 	e.uml()
 	a, err := e.p.DF.AllocDMA(size, fmt.Sprintf("caching #%d", len(e.p.DF.Allocs())), false)
+	if err != nil {
+		return nil, err
+	}
+	return &umlDMA{p: e.p, a: a, size: size}, nil
+}
+
+// AllocCoherentQ/AllocCachingQ implement api.QueueDMAAllocator: the
+// allocation is mapped only into the stream's per-queue IOMMU sub-domain,
+// the device-side half of queue-granular DMA confinement. The driver-side
+// window is unchanged — the process sees one DMA address space either way.
+func (e *env) AllocCoherentQ(size, stream int) (api.DMABuf, error) {
+	e.uml()
+	a, err := e.p.DF.AllocDMAQ(size, fmt.Sprintf("coherent q%d #%d", stream, len(e.p.DF.Allocs())), true, stream)
+	if err != nil {
+		return nil, err
+	}
+	return &umlDMA{p: e.p, a: a, size: size}, nil
+}
+
+func (e *env) AllocCachingQ(size, stream int) (api.DMABuf, error) {
+	e.uml()
+	a, err := e.p.DF.AllocDMAQ(size, fmt.Sprintf("caching q%d #%d", stream, len(e.p.DF.Allocs())), false, stream)
 	if err != nil {
 		return nil, err
 	}
@@ -1189,7 +1255,7 @@ func (bk *umlBlockKernel) Complete(q int, tag uint64, err error, data []byte) {
 		buf := make([]byte, len(data))
 		copy(buf, data)
 		_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete, Data: buf,
-			Args: [6]uint64{comp.Tag, uint64(comp.Status)}})
+			Args: [6]uint64{comp.Tag, uint64(comp.Status), 0, 0, p.qep[q]}})
 		return
 	}
 	if p.Chan.NumQueues() > 1 {
@@ -1200,7 +1266,7 @@ func (bk *umlBlockKernel) Complete(q int, tag uint64, err error, data []byte) {
 		return
 	}
 	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpComplete,
-		Args: [6]uint64{comp.Tag, uint64(comp.Status), comp.IOVA, uint64(comp.Len)}})
+		Args: [6]uint64{comp.Tag, uint64(comp.Status), comp.IOVA, uint64(comp.Len), p.qep[q]}})
 }
 
 // completionRef builds the wire form of one completion: successful reads
@@ -1245,7 +1311,8 @@ func (p *Process) flushBlkCompQ(q int) {
 	p.blkComp[q] = p.blkComp[q][:0]
 	p.QueueAccts[q].Charge(sim.Copy(len(data)))
 	p.BlkBatches++
-	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpCompleteBatch, Data: data})
+	_ = p.Chan.DownQ(q, uchan.Msg{Op: blkproxy.OpCompleteBatch, Data: data,
+		Args: [6]uint64{p.qep[q]}})
 }
 
 // flushBlkComps emits every queue's partial completion batch; called at the

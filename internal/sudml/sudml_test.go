@@ -107,9 +107,11 @@ func TestStartProbesUnmodifiedDriver(t *testing.T) {
 
 func TestDriverDMAConfinedToOwnBuffers(t *testing.T) {
 	w := boot(t, hw.DefaultPlatform())
-	// The IOMMU domain contains exactly the driver's allocations: rings,
-	// buffer pools, TX shared pool — and nothing else (Figure 9).
-	maps := w.proc.DF.Dom.Mappings()
+	// The device's translation state — device domain plus per-queue
+	// sub-domains — contains exactly the driver's allocations: rings,
+	// buffer pools, the proxy's TX slot pools — and nothing else
+	// (Figure 9).
+	maps := w.proc.DF.Mappings()
 	if len(maps) == 0 {
 		t.Fatal("no IOMMU mappings after open")
 	}

@@ -1,0 +1,272 @@
+package sudml_test
+
+import (
+	"testing"
+
+	"sud/internal/mem"
+	"sud/internal/sim"
+	"sud/internal/sudml/policy"
+	"sud/internal/trace"
+)
+
+// breach makes queue q's DMA engine walk an IOVA nothing mapped into its
+// sub-domain — the signal a corrupted descriptor produces under
+// queue-granular confinement, attributed to (BDF, stream q+1).
+func breach(w *supBlkWorld, q int) {
+	for i := 0; i < 2; i++ {
+		_, _, _ = w.m.IOMMU.TranslateQ(w.ctrl.BDF(), q+1, mem.Addr(0xDEAD0000+i*0x1000), true)
+	}
+}
+
+// qSatStats tracks a per-queue-pinned closed loop: per-queue completions,
+// plus the invariants (no error, no foreign data, no duplicate completion).
+type qSatStats struct {
+	completed []int
+	errs      int
+	corrupt   int
+	dups      int
+	stopped   bool
+}
+
+// saturateQ pins `outstanding` closed-loop readers to each queue.
+func saturateQ(w *supBlkWorld, queues int, span uint64, outstanding int, st *qSatStats) {
+	st.completed = make([]int, queues)
+	var issue func(q int, seq uint64)
+	issue = func(q int, seq uint64) {
+		if st.stopped {
+			return
+		}
+		lba := (uint64(q)*977 + seq*13) % span
+		done := false
+		err := w.dev.ReadAtQ(lba, q, func(data []byte, err error) {
+			if st.stopped {
+				return
+			}
+			if done {
+				st.dups++
+				return
+			}
+			done = true
+			st.completed[q]++
+			if err != nil {
+				st.errs++
+			} else if len(data) == 0 || data[0] != byte(lba) {
+				st.corrupt++
+			}
+			w.m.Loop.After(200, func() { issue(q, seq+1) })
+		})
+		if err != nil {
+			w.m.Loop.After(10*sim.Microsecond, func() { issue(q, seq) })
+		}
+	}
+	for q := 0; q < queues; q++ {
+		for d := 0; d < outstanding; d++ {
+			issue(q, uint64(d*100))
+		}
+	}
+}
+
+// TestSurgicalQueueRecoveryExactlyOnce: queue 2 of a Q=4 supervised testbed
+// raises sub-domain faults with requests in flight on every queue. The
+// supervisor must answer with a surgical recovery of exactly that queue —
+// no process restart — replaying its logged requests exactly once under the
+// original tags while sibling queues keep completing, and the flight ring
+// must read kill → park → verdict → replay → drain.
+func TestSurgicalQueueRecoveryExactlyOnce(t *testing.T) {
+	const queues, breachQ = 4, 2
+	w := newSupBlkWorld(t, queues)
+	const span = 40
+	for lba := uint64(0); lba < span; lba++ {
+		w.ctrl.SeedMedia(lba, block(byte(lba)))
+	}
+	st := &qSatStats{}
+	saturateQ(w, queues, span, 24, st)
+	w.m.Loop.RunFor(2 * sim.Millisecond)
+	if w.dev.InFlight() == 0 {
+		t.Fatal("no requests in flight at breach time")
+	}
+	breach(w, breachQ)
+	w.m.Loop.RunFor(15 * sim.Millisecond)
+	st.stopped = true
+
+	if w.sup.QueueRecoveries != 1 {
+		t.Fatalf("surgical recoveries = %d, want 1", w.sup.QueueRecoveries)
+	}
+	if w.sup.Restarts != 0 {
+		t.Fatalf("surgical recovery cost %d process restarts", w.sup.Restarts)
+	}
+	if w.sup.Quarantined {
+		t.Fatal("first offense escalated to full quarantine")
+	}
+	if w.sup.LastVerdict != policy.QuarantineQueue {
+		t.Fatalf("last verdict = %v, want quarantine-queue", w.sup.LastVerdict)
+	}
+	if got := w.sup.Policy.QueueOffenses(breachQ); got != 1 {
+		t.Fatalf("queue offenses = %d, want 1", got)
+	}
+	if w.sup.LastReplayed == 0 {
+		t.Fatal("nothing replayed — the breach missed the in-flight window")
+	}
+	if st.errs != 0 || st.corrupt != 0 || st.dups != 0 {
+		t.Fatalf("%d errors, %d corrupt reads, %d duplicate completions", st.errs, st.corrupt, st.dups)
+	}
+	// Surgical means q only: the afflicted queue's epoch bumped, siblings'
+	// stayed put — and every queue (including the recovered one) kept
+	// completing work.
+	for q := 0; q < queues; q++ {
+		wantEpoch := uint64(0)
+		if q == breachQ {
+			wantEpoch = 1
+		}
+		if got := w.dev.QueueEpoch(q); got != wantEpoch {
+			t.Fatalf("queue %d epoch = %d, want %d", q, got, wantEpoch)
+		}
+		if st.completed[q] < 100 {
+			t.Fatalf("queue %d completed only %d reads", q, st.completed[q])
+		}
+		if w.dev.QueueRecovering(q) {
+			t.Fatalf("queue %d still parked after recovery", q)
+		}
+	}
+	if got := w.sup.Proc().Blk.QueueEpochMirror(breachQ); got != 1 {
+		t.Fatalf("proxy epoch mirror = %d, want 1", got)
+	}
+	// The per-queue timeline, in order, on the shared flight ring.
+	assertFlightOrder(t, w.sup.Flight.Kinds(),
+		trace.FKill, trace.FPark, trace.FVerdict, trace.FReplay, trace.FDrain)
+}
+
+// TestSurgicalRepeatOffenderEscalates: each surgical quarantine of the same
+// queue is an offense; at Policy.Cfg.QueueOffenseLimit the policy engine
+// stops trusting the sub-domain boundary to hold a persistently faulting
+// driver and escalates to the full device quarantine.
+func TestSurgicalRepeatOffenderEscalates(t *testing.T) {
+	const queues, badQ = 2, 1
+	w := newSupBlkWorld(t, queues)
+	limit := w.sup.Policy.Cfg.QueueOffenseLimit
+	if limit < 2 {
+		t.Fatalf("default QueueOffenseLimit = %d, want >= 2", limit)
+	}
+	for i := 1; i < limit; i++ {
+		breach(w, badQ)
+		w.m.Loop.RunFor(10 * sim.Millisecond)
+		if w.sup.QueueRecoveries != i {
+			t.Fatalf("after offense %d: surgical recoveries = %d", i, w.sup.QueueRecoveries)
+		}
+		if w.sup.Quarantined {
+			t.Fatalf("offense %d/%d escalated early", i, limit)
+		}
+	}
+	breach(w, badQ)
+	w.m.Loop.RunFor(10 * sim.Millisecond)
+	if !w.sup.Quarantined {
+		t.Fatalf("offense %d did not escalate to full quarantine", limit)
+	}
+	if w.sup.LastVerdict != policy.Quarantine {
+		t.Fatalf("last verdict = %v, want quarantine", w.sup.LastVerdict)
+	}
+	if w.sup.Restarts != 0 {
+		t.Fatalf("escalation took %d restarts, want direct quarantine", w.sup.Restarts)
+	}
+	if w.dev.IsUp() {
+		t.Fatal("device still up after escalated quarantine")
+	}
+}
+
+// TestSurgicalDoubleQuarantineIdempotent: quarantining an already-
+// quarantined queue is a no-op at every layer — one epoch bump, one
+// revocation, and the completion path stays an error-free single release.
+func TestSurgicalDoubleQuarantineIdempotent(t *testing.T) {
+	w := newSupBlkWorld(t, 2)
+	df := w.sup.Proc().DF
+
+	w.dev.BeginQueueRecovery(1)
+	w.dev.BeginQueueRecovery(1) // second park: no second epoch bump
+	if got := w.dev.QueueEpoch(1); got != 1 {
+		t.Fatalf("epoch after double park = %d, want 1", got)
+	}
+	if err := df.RevokeQueueDMA(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.RevokeQueueDMA(2); err != nil {
+		t.Fatalf("second revoke of a quarantined stream: %v", err)
+	}
+	if !df.QueueQuarantined(2) {
+		t.Fatal("stream not quarantined")
+	}
+	if err := df.RearmQueueDMA(2); err != nil {
+		t.Fatal(err)
+	}
+	w.sup.Proc().Blk.RearmQueue(1) // resync the proxy's epoch mirror
+	if _, err := w.dev.CompleteQueueRecovery(1); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing a queue that is not parked is a clean no-op.
+	if n, err := w.dev.CompleteQueueRecovery(1); err != nil || n != 0 {
+		t.Fatalf("second release: n=%d err=%v, want 0, nil", n, err)
+	}
+	// Re-arming a stream that is not quarantined is the layer's one error.
+	if err := df.RearmQueueDMA(2); err == nil {
+		t.Fatal("re-arming an armed stream did not error")
+	}
+	// The queue still serves.
+	w.ctrl.SeedMedia(3, block(0x3C))
+	ok := false
+	if err := w.dev.ReadAtQ(3, 1, func(data []byte, err error) {
+		ok = err == nil && len(data) > 0 && data[0] == 0x3C
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.m.Loop.RunFor(5 * sim.Millisecond)
+	if !ok {
+		t.Fatal("queue dead after double quarantine cycle")
+	}
+}
+
+// TestSurgicalQuarantineThenProcessKill: the whole driver process dies while
+// one queue sits surgically parked mid-recovery. The device-wide recovery
+// must subsume the queue-level state — every queue (including the parked
+// one) is adopted, replayed and released by the full path, exactly once.
+func TestSurgicalQuarantineThenProcessKill(t *testing.T) {
+	const queues, parkedQ = 4, 2
+	w := newSupBlkWorld(t, queues)
+	const span = 40
+	for lba := uint64(0); lba < span; lba++ {
+		w.ctrl.SeedMedia(lba, block(byte(lba)))
+	}
+	st := &qSatStats{}
+	saturateQ(w, queues, span, 12, st)
+	w.m.Loop.RunFor(2 * sim.Millisecond)
+
+	// Freeze the surgical path mid-flight: DMA revoked, queue parked, but
+	// no re-arm yet — then kill the whole process.
+	if err := w.sup.Proc().DF.RevokeQueueDMA(parkedQ + 1); err != nil {
+		t.Fatal(err)
+	}
+	w.sup.Proc().Blk.ParkQueue(parkedQ)
+	w.dev.BeginQueueRecovery(parkedQ)
+	if !w.dev.QueueRecovering(parkedQ) {
+		t.Fatal("queue not parked")
+	}
+	w.sup.Proc().Kill()
+	w.m.Loop.RunFor(30 * sim.Millisecond)
+	st.stopped = true
+
+	if w.sup.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", w.sup.Restarts)
+	}
+	if w.sup.Quarantined {
+		t.Fatal("kill during surgical recovery escalated to quarantine")
+	}
+	if w.dev.QueueRecovering(parkedQ) {
+		t.Fatal("device-wide recovery left the surgically parked queue parked")
+	}
+	if st.errs != 0 || st.corrupt != 0 || st.dups != 0 {
+		t.Fatalf("%d errors, %d corrupt reads, %d duplicate completions", st.errs, st.corrupt, st.dups)
+	}
+	for q := 0; q < queues; q++ {
+		if st.completed[q] < 100 {
+			t.Fatalf("queue %d completed only %d reads after the combined recovery", q, st.completed[q])
+		}
+	}
+}
