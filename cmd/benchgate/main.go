@@ -35,6 +35,12 @@
 //	latency   []report.LatencyRow         end-to-end p50/p99 per (kind,Q) row,
 //	                                      merged and per queue — the latency
 //	                                      face of the rx and blk scale runs
+//	tenant    []tenantperf.Result         per-tenant p50/p99/goodput and the
+//	                                      aggregate rate banded per
+//	                                      (mode,T,conns,Q) row; the SUD row
+//	                                      must carry the NoisyNeighbor legs,
+//	                                      every leg convicted with the victim
+//	                                      p99 drift inside the band
 //
 // With -append FILE, one JSON line per checked metric is appended to FILE
 // (sha, kind, key, metric, value, baseline) — the perf-trajectory record
@@ -52,6 +58,7 @@ import (
 	"sud/internal/diskperf"
 	"sud/internal/netperf"
 	"sud/internal/report"
+	"sud/internal/tenantperf"
 )
 
 // Absolute zero-copy bounds for page-flip rows. The flip fast path may
@@ -325,6 +332,54 @@ func (g *gate) check(kind, curPath, basePath string) error {
 			}
 			return key, ms
 		})
+	case "tenant":
+		var cur, base []tenantperf.Result
+		if err := load(curPath, &cur); err != nil {
+			return err
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		return g.checkRows(kind, len(cur), len(base), func(i int) (string, []metric) {
+			r := cur[i]
+			key := fmt.Sprintf("%s T=%d conns=%d Q=%d", r.Mode, r.Tenants, r.Conns, r.Queues)
+			// The isolation claims are absolute, not baseline-relative: the
+			// SUD row must have run the noisy legs, every leg must have
+			// convicted its hostile queue, and the sibling tenants' p99 must
+			// have stayed inside the band while it happened.
+			if r.Mode == "sud" && len(r.Noisy) == 0 {
+				g.violate(kind, key, "SUD row carries no NoisyNeighbor legs — isolation was not exercised")
+			}
+			for _, n := range r.Noisy {
+				if !n.Convicted {
+					g.violate(kind, key, "noisy leg %s unconvicted: %s", n.Leg, n.Detail)
+				}
+				if n.MaxDriftFrac > g.tolerance {
+					g.violate(kind, key, "noisy leg %s: victim p99 drifted %.1f%% (band ±%.0f%%)",
+						n.Leg, n.MaxDriftFrac*100, g.tolerance*100)
+				}
+			}
+			b, ok := findTenant(base, r)
+			if !ok {
+				return key, nil
+			}
+			ms := []metric{{"TotalRPS", r.TotalRPS, b.TotalRPS, true}}
+			// Per-tenant splits are banded too: one tenant's queue going
+			// slow while the aggregate stays flat is exactly the regression
+			// a per-tenant artifact exists to catch.
+			for ti, tr := range r.PerTenant {
+				if ti >= len(b.PerTenant) {
+					g.violate(kind, key, "tenant %d has no baseline counterpart", tr.Tenant)
+					continue
+				}
+				bt := b.PerTenant[ti]
+				ms = append(ms,
+					metric{fmt.Sprintf("t%d.GoodputRPS", tr.Tenant), tr.GoodputRPS, bt.GoodputRPS, true},
+					metric{fmt.Sprintf("t%d.P50US", tr.Tenant), tr.P50US, bt.P50US, true},
+					metric{fmt.Sprintf("t%d.P99US", tr.Tenant), tr.P99US, bt.P99US, true})
+			}
+			return key, ms
+		})
 	default:
 		return fmt.Errorf("unknown bench kind %q", kind)
 	}
@@ -427,6 +482,16 @@ func findQRecovery(base []diskperf.QueueRecoveryResult, r diskperf.QueueRecovery
 		}
 	}
 	return diskperf.QueueRecoveryResult{}, false
+}
+
+func findTenant(base []tenantperf.Result, r tenantperf.Result) (tenantperf.Result, bool) {
+	for _, b := range base {
+		if b.Mode == r.Mode && b.Tenants == r.Tenants && b.Conns == r.Conns &&
+			b.Queues == r.Queues {
+			return b, true
+		}
+	}
+	return tenantperf.Result{}, false
 }
 
 func findRecovery(base []diskperf.RecoveryResult, r diskperf.RecoveryResult) (diskperf.RecoveryResult, bool) {

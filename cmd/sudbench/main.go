@@ -44,6 +44,16 @@
 //
 //	sudbench -experiment blk --guard pageflip --queues 4 --json BENCH_blkflip.json
 //
+// The tenant experiment runs the sharded KV service over the unified
+// queue-aware kernel API: --tenants simulated tenants × --conns closed-loop
+// connections each, one tenant per driver queue end to end, measured under
+// the trusted baseline and under SUD, then the three in-run NoisyNeighbor
+// legs (wedged ring, breached sub-domain, durability lie). The JSON rows
+// carry per-tenant p50/p99/goodput plus the noisy-leg verdicts, and
+// benchgate enforces both the bands and the convictions (BENCH_tenant.json):
+//
+//	sudbench -experiment tenant --tenants 4 --conns 4 --json BENCH_tenant.json
+//
 // Measurements run in deterministic virtual time; see EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
 package main
@@ -54,17 +64,19 @@ import (
 	"fmt"
 	"os"
 
+	"sud/internal/attack"
 	"sud/internal/diskperf"
 	"sud/internal/hw"
 	"sud/internal/netperf"
 	"sud/internal/proxy/ethproxy"
 	"sud/internal/report"
 	"sud/internal/sim"
+	"sud/internal/tenantperf"
 	"sud/internal/trace"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | blk | latency | all")
+	exp := flag.String("experiment", "all", "fig5 | fig8 | fig9 | security | multiflow | blk | latency | tenant | all")
 	window := flag.Int("window-ms", 200, "measurement window (virtual milliseconds)")
 	queues := flag.Int("queues", 4, "multiflow/blk: uchan ring pairs / hardware queues")
 	flows := flag.Int("flows", 6, "multiflow: concurrent UDP flows")
@@ -74,6 +86,8 @@ func main() {
 	fsyncEvery := flag.Int("fsync-every", 0,
 		"blk: run the WRITE workload against a volatile-write-cache device, issuing a flush barrier every N acked writes per job (fio fsync=N); also records a never-flushing reference row")
 	cacheBlocks := flag.Int("cache-blocks", 64, "blk: volatile write cache capacity for --fsync-every runs")
+	tenants := flag.Int("tenants", 4, "tenant: simulated tenants (one per driver queue)")
+	conns := flag.Int("conns", 4, "tenant: closed-loop connections per tenant")
 	killAfter := flag.Duration("kill-after", 0,
 		"blk: kill the supervised nvmed process this far into the run and measure shadow recovery (e.g. 50ms)")
 	failover := flag.Bool("failover", false,
@@ -398,6 +412,44 @@ func main() {
 		}
 		if *jsonPath != "" {
 			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("tenant", func() error {
+		// Kernel baseline first, then SUD; the NoisyNeighbor legs run
+		// against fresh SUD testbeds and ride on the SUD row.
+		var results []tenantperf.Result
+		for _, mode := range []tenantperf.Mode{tenantperf.ModeKernel, tenantperf.ModeSUD} {
+			tb, err := tenantperf.NewTestbed(tenantperf.Config{
+				Mode: mode, Tenants: *tenants, Conns: *conns, Queues: *queues,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := tenantperf.Run(tb, tenantperf.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			if mode == tenantperf.ModeSUD {
+				legs, err := attack.RunNoisyLegs(hw.DefaultPlatform())
+				if err != nil {
+					return err
+				}
+				res.Noisy = legs
+			}
+			fmt.Print(res)
+			results = append(results, res)
+		}
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(results, "", "  ")
 			if err != nil {
 				return err
 			}

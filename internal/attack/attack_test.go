@@ -189,7 +189,7 @@ func TestRunMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 16*len(Configs()) {
+	if len(out) != 17*len(Configs()) {
 		t.Fatalf("matrix has %d outcomes", len(out))
 	}
 	// Every outcome under the trusted-driver baseline must be
@@ -241,6 +241,26 @@ func TestQueueBreachConfinedUnderEverySUDConfig(t *testing.T) {
 	run(t, QueueBreach, cfgSUDRemap(), false)
 	run(t, QueueBreach, cfgSUDAMD(), false)
 	run(t, QueueBreach, cfgSUDNoACS(), false)
+}
+
+func TestNoisyNeighborConfinedUnderEverySUDConfig(t *testing.T) {
+	// The matrix re-run through the tenant plane: four KV tenants, one per
+	// driver queue, and tenant 1's queue turns hostile three ways (wedged
+	// ring, breached sub-domain, durability lie). The trusted baseline is
+	// compromised by construction — one bad queue is every tenant's outage.
+	// Under SUD every leg must convict the fault while the sibling tenants'
+	// p99 stays inside the ±15% band — on every platform flavour.
+	if testing.Short() {
+		t.Skip("three testbeds per config is slow")
+	}
+	run(t, NoisyNeighbor, cfgKernel(), true)
+	o := run(t, NoisyNeighbor, cfgSUD(), false)
+	if o.Detail == "" {
+		t.Fatal("no detail recorded")
+	}
+	run(t, NoisyNeighbor, cfgSUDRemap(), false)
+	run(t, NoisyNeighbor, cfgSUDAMD(), false)
+	run(t, NoisyNeighbor, cfgSUDNoACS(), false)
 }
 
 func TestTOCTOUPageFlip(t *testing.T) {

@@ -254,7 +254,7 @@ func RunMatrix() ([]Outcome, error) {
 		DMAWrite, DMARead, P2PDMA, MSIForgeStorm, DeviceIRQFlood,
 		ConfigEscape, Exhaustion, TOCTOUAttack, RingFlood, RSSSteer,
 		BlkRedirect, DriverRevive, FlushLie, FlappingLiar, PageSquat,
-		QueueBreach,
+		QueueBreach, NoisyNeighbor,
 	}
 	var out []Outcome
 	for _, a := range attacks {

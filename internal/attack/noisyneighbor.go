@@ -1,0 +1,231 @@
+package attack
+
+import (
+	"fmt"
+
+	"sud/internal/drivers/api"
+	"sud/internal/hw"
+	"sud/internal/sim"
+	"sud/internal/sudml/policy"
+	"sud/internal/tenantperf"
+	"sud/internal/uchan"
+)
+
+// The noisy-neighbour scenario runs the attack matrix *through* the tenant
+// plane: four tenants drive the sharded KV service, each pinned to one
+// driver queue end to end, and tenant 1's queue turns hostile three ways —
+// its NIC ring service thread wedges under kernel-offered load (the
+// RingFlood leg), its block sub-domain raises DMA faults (the QueueBreach
+// leg), and its storage driver lies about durability (the FlushLie leg).
+// The claim under test is the tenant-isolation restatement of §3/§6: the
+// fault is convicted (load shed + wedge verdict, surgical queue recovery,
+// or durability-lie quarantine) while the sibling tenants' p99 latency
+// stays inside the SLO band.
+const (
+	noisyTenants  = 4
+	noisyConns    = 4
+	noisyQueues   = 4
+	noisyAttacker = 1 // tenant 1 <-> NIC queue 1 <-> block queue 1 <-> stream 2
+
+	// VictimBand is the sibling-tenant p99 drift tolerance while the
+	// attacker's queue is being convicted.
+	VictimBand = 0.15
+)
+
+// Leg measurement windows. The during window for the ring-flood leg stays
+// under the supervisor's 5ms check period so the wedge verdict (a full
+// process restart) lands in the conviction phase, after the victim SLOs are
+// measured under the live wedge.
+const (
+	noisyWarmup  = 10 * sim.Millisecond
+	noisyPre     = 6 * sim.Millisecond
+	noisyDuring  = 6 * sim.Millisecond
+	noisyHangWin = 4 * sim.Millisecond
+	noisyConvict = 25 * sim.Millisecond
+)
+
+func noisyTestbed(plat hw.Platform, blkDrv api.Driver, blkQueues int) (*tenantperf.Testbed, error) {
+	return tenantperf.NewTestbed(tenantperf.Config{
+		Mode:        tenantperf.ModeSUD,
+		Tenants:     noisyTenants,
+		Conns:       noisyConns,
+		Queues:      noisyQueues,
+		Platform:    plat,
+		BlockDriver: blkDrv,
+		BlockQueues: blkQueues,
+	})
+}
+
+// NoisyLegRingFlood wedges the attacker tenant's NIC queue service thread
+// while the kernel keeps offering that ring traffic. Confinement: the ring
+// sheds load with a bounded error, the attacker tenant alone goes dark, and
+// the supervisor's per-queue progress watermark convicts the wedge.
+func NoisyLegRingFlood(plat hw.Platform) (tenantperf.NoisyResult, error) {
+	res := tenantperf.NoisyResult{Leg: "ringflood", Attacker: noisyAttacker}
+	tb, err := noisyTestbed(plat, nil, 0)
+	if err != nil {
+		return res, err
+	}
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(noisyWarmup)
+	pre := tb.MeasureWindow(noisyPre)
+
+	proc := tb.NetSup.Proc()
+	proc.HangQueue(noisyAttacker)
+	overflowed := false
+	for i := 0; i < 2*uchan.RingSlots; i++ {
+		if err := proc.Chan.ASend(noisyAttacker, uchan.Msg{Op: 0xDEAD}); err == uchan.ErrRingFull {
+			overflowed = true
+			break
+		}
+	}
+	during := tb.MeasureWindow(noisyHangWin)
+	// Conviction phase — the victim SLOs above were measured under the
+	// live wedge. While load flows, the attacker's own retransmits keep
+	// producing RX upcalls on the hung ring, which the per-queue watermark
+	// rightly reads as progress; once the load stops, the ring sits with a
+	// full backlog and a frozen served counter, and two consecutive
+	// zero-progress checks grade the wedge and restart the driver.
+	tb.Client.Stop()
+	tb.M.Loop.RunFor(noisyConvict)
+
+	res.VictimPreP99US, res.VictimP99US, res.MaxDriftFrac = tenantperf.VictimDrift(pre, during, noisyAttacker)
+	convictedByRestart := tb.NetSup.Restarts >= 1 || tb.NetSup.Quarantined
+	attackerDark := during[noisyAttacker].Replies == 0
+	res.Convicted = overflowed && attackerDark && convictedByRestart
+	res.Detail = fmt.Sprintf("ring shed load=%v, attacker replies %d->%d, restarts %d, drops %d",
+		overflowed, pre[noisyAttacker].Replies, during[noisyAttacker].Replies,
+		tb.NetSup.Restarts, proc.Chan.QueueStats(noisyAttacker).DroppedFull)
+	return res, nil
+}
+
+// NoisyLegQueueBreach raises DMA faults on the attacker tenant's block
+// sub-domain (stream q+1); the supervisor answers with a surgical
+// single-queue recovery. The attacker's in-flight writes drain and replay on
+// its own queue; siblings never park.
+func NoisyLegQueueBreach(plat hw.Platform) (tenantperf.NoisyResult, error) {
+	res := tenantperf.NoisyResult{Leg: "queuebreach", Attacker: noisyAttacker}
+	tb, err := noisyTestbed(plat, nil, 0)
+	if err != nil {
+		return res, err
+	}
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(noisyWarmup)
+	pre := tb.MeasureWindow(noisyPre)
+
+	// The breached queue's DMA engine walks garbage: sub-domain faults on
+	// the attacker's stream of the storage controller.
+	bdf := tb.Ctrl.BDF()
+	for i := 0; i < 4; i++ {
+		_, _, _ = tb.M.IOMMU.TranslateQ(bdf, noisyAttacker+1, 0xDEAD0000, true)
+	}
+	during := tb.MeasureWindow(noisyDuring)
+	tb.M.Loop.RunFor(noisyConvict)
+
+	res.VictimPreP99US, res.VictimP99US, res.MaxDriftFrac = tenantperf.VictimDrift(pre, during, noisyAttacker)
+	res.Convicted = tb.BlkSup.QueueRecoveries >= 1
+	res.Detail = fmt.Sprintf("surgical queue recoveries %d, verdict %v, attacker persist errs %d",
+		tb.BlkSup.QueueRecoveries, tb.BlkSup.LastVerdict, tb.Srv.Tenant(noisyAttacker).PersistErrs)
+	return res, nil
+}
+
+// NoisyLegFlushLie serves the tenants' persistence through the
+// durability-lying block driver. An fsync burst exposes the lie (barriers
+// acked, zero device flushes); the policy engine quarantines the driver; and
+// the service degrades to memory-only — acknowledged, counted, and inside
+// the victim band — instead of going down.
+func NoisyLegFlushLie(plat hw.Platform) (tenantperf.NoisyResult, error) {
+	res := tenantperf.NoisyResult{Leg: "flushlie", Attacker: noisyAttacker}
+	tb, err := noisyTestbed(plat, NewEvilFlush(), 1)
+	if err != nil {
+		return res, err
+	}
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(noisyWarmup)
+	pre := tb.MeasureWindow(noisyPre)
+
+	// fsync-style barriers: the liar acks them instantly, the device
+	// executes none — the discrepancy is the evidence. The during window
+	// opens before any check can fire, so it brackets the conviction
+	// itself: service under the lie, the quarantine verdict landing, and
+	// the first degraded (memory-only) replies afterwards.
+	for i := 0; i < 3; i++ {
+		if err := tb.Dev.Flush(func(error) {}); err != nil {
+			return res, err
+		}
+	}
+	during := tb.MeasureWindow(noisyDuring)
+	tb.M.Loop.RunFor(noisyConvict) // settle: restart blip drains, counters final
+
+	res.VictimPreP99US, res.VictimP99US, res.MaxDriftFrac = tenantperf.VictimDrift(pre, during, noisyAttacker)
+	degraded := tb.Srv.Tenant(0).PersistErrs+tb.Srv.Tenant(noisyAttacker).PersistErrs > 0
+	res.Convicted = tb.BlkSup.Quarantined && tb.BlkSup.LastVerdict == policy.Quarantine && degraded
+	res.Detail = fmt.Sprintf("quarantined=%v verdict %v, served-from-memory errs %d",
+		tb.BlkSup.Quarantined, tb.BlkSup.LastVerdict, totalPersistErrs(tb))
+	return res, nil
+}
+
+func totalPersistErrs(tb *tenantperf.Testbed) uint64 {
+	var n uint64
+	for t := 0; t < tb.Srv.Tenants(); t++ {
+		n += tb.Srv.Tenant(t).PersistErrs
+	}
+	return n
+}
+
+// RunNoisyLegs runs all three legs on one platform and returns their rows —
+// the BENCH_tenant.json noisy section.
+func RunNoisyLegs(plat hw.Platform) ([]tenantperf.NoisyResult, error) {
+	var out []tenantperf.NoisyResult
+	for _, leg := range []func(hw.Platform) (tenantperf.NoisyResult, error){
+		NoisyLegRingFlood, NoisyLegQueueBreach, NoisyLegFlushLie,
+	} {
+		r, err := leg(plat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// NoisyNeighbor is matrix row 17: the attack matrix re-run through the
+// tenant-facing service. Under SUD every leg must convict the hostile queue
+// with every sibling tenant's p99 inside the ±15% band. A trusted in-kernel
+// driver has no queue boundary to convict: a wedged service thread or lying
+// storage driver is every tenant's outage.
+func NoisyNeighbor(cfg Config) (Outcome, error) {
+	o := Outcome{Attack: "noisy neighbour (KV tenants)", Config: cfg.Name}
+	if cfg.Mode == InKernel {
+		o.Compromised = true
+		o.Detail = "trusted driver: one wedged or lying queue is every tenant's outage; nothing convicts it"
+		return o, nil
+	}
+	legs, err := RunNoisyLegs(cfg.Platform)
+	if err != nil {
+		return Outcome{}, err
+	}
+	worst := 0.0
+	for _, l := range legs {
+		if l.MaxDriftFrac > worst {
+			worst = l.MaxDriftFrac
+		}
+		switch {
+		case !l.Convicted:
+			o.Compromised = true
+			o.Detail = fmt.Sprintf("%s leg unconvicted: %s", l.Leg, l.Detail)
+			return o, nil
+		case l.MaxDriftFrac > VictimBand:
+			o.Compromised = true
+			o.Detail = fmt.Sprintf("%s leg broke the victim SLO: p99 %.1fµs -> %.1fµs (%.0f%% > %.0f%%)",
+				l.Leg, l.VictimPreP99US, l.VictimP99US, l.MaxDriftFrac*100, VictimBand*100)
+			return o, nil
+		}
+	}
+	o.Detail = fmt.Sprintf("3 legs convicted, worst victim p99 drift %.1f%% (band %.0f%%)",
+		worst*100, VictimBand*100)
+	return o, nil
+}

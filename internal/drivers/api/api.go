@@ -109,31 +109,21 @@ const (
 )
 
 // NetKernel is the kernel's half of the netdev contract: the calls a driver
-// makes into the network core.
+// makes into the network core. The contract is queue-aware end to end — a
+// single-queue driver is simply one that only ever names queue 0; there is
+// no separate single-queue interface. Hosts keep per-queue state, so one
+// backpressured queue never stalls its siblings.
 type NetKernel interface {
-	// NetifRx submits a received frame to the kernel's network stack.
-	// The callee owns the slice.
-	NetifRx(frame []byte)
+	// NetifRx submits a received frame to the kernel's network stack,
+	// tagged with the RX ring it arrived on. The callee owns the slice.
+	NetifRx(frame []byte, queue int)
 	// CarrierOn/CarrierOff report link state changes (the shared-memory
 	// state the SUD proxy mirrors, §3.3).
 	CarrierOn()
 	CarrierOff()
-	// WakeQueue re-enables transmission after the driver stopped the
-	// queue (ring full).
-	WakeQueue()
-}
-
-// MultiQueueNetKernel is the kernel half of the contract for hosts that keep
-// per-queue network state. A multi-queue driver tags received frames with
-// the RX ring they arrived on and wakes individual TX queues, so one
-// backpressured queue never stalls its siblings. Hosts that do not implement
-// it degrade to the single-queue NetKernel calls.
-type MultiQueueNetKernel interface {
-	NetKernel
-	// NetifRxQ submits a received frame tagged with its RX queue.
-	NetifRxQ(frame []byte, queue int)
-	// WakeQueueQ re-enables transmission on one stopped TX queue.
-	WakeQueueQ(queue int)
+	// WakeQueue re-enables transmission on one stopped TX queue after the
+	// driver stopped it (ring full).
+	WakeQueue(queue int)
 }
 
 // Env is the kernel environment a driver instance runs in: one bound PCI

@@ -124,7 +124,6 @@ type nic struct {
 	env      api.Env
 	mmio     api.MMIO
 	net      api.NetKernel
-	mqnet    api.MultiQueueNetKernel // non-nil when the host keeps per-queue state
 	mac      [6]byte
 	queues   int
 	rxQueues int
@@ -202,9 +201,6 @@ func (n *nic) probe() error {
 		return err
 	}
 	n.net = nk
-	if mq, ok := nk.(api.MultiQueueNetKernel); ok {
-		n.mqnet = mq
-	}
 	env.Logf("e1000e: probed, MAC %02x:%02x:%02x:%02x:%02x:%02x",
 		n.mac[0], n.mac[1], n.mac[2], n.mac[3], n.mac[4], n.mac[5])
 	return nil
@@ -490,11 +486,7 @@ func (n *nic) reclaimTx() int {
 		}
 		if qFreed > 0 && t.stopped {
 			t.stopped = false
-			if n.mqnet != nil {
-				n.mqnet.WakeQueueQ(q)
-			} else {
-				n.net.WakeQueue()
-			}
+			n.net.WakeQueue(q)
 		}
 		freed += qFreed
 	}
@@ -525,11 +517,7 @@ func (n *nic) pollRx(q int) int {
 				}
 			}
 			n.RxPkts++
-			if n.mqnet != nil {
-				n.mqnet.NetifRxQ(frame, q)
-			} else {
-				n.net.NetifRx(frame)
-			}
+			n.net.NetifRx(frame, q)
 		}
 		if n.pageAware {
 			// The host may flip this buffer's page to the kernel; the

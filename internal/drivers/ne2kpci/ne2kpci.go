@@ -190,7 +190,7 @@ func (n *card) irq() {
 	if isr&ne2k.IsrPTX != 0 && n.txBusy {
 		// Transmit complete: the single TX buffer is free again.
 		n.txBusy = false
-		n.net.WakeQueue()
+		n.net.WakeQueue(0)
 	}
 	n.io.Out8(ne2k.PortISR, isr) // acknowledge causes
 	n.env.IRQAck()
@@ -226,7 +226,7 @@ func (n *card) pollRing() {
 		frame := make([]byte, length)
 		n.readWrapped(addr+4, frame)
 		n.RxPkts++
-		n.net.NetifRx(frame)
+		n.net.NetifRx(frame, 0)
 		n.next = next
 		io.Out8(ne2k.PortBNRY, bnryFor(n.next))
 	}

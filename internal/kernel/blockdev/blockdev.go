@@ -456,6 +456,7 @@ type Dev struct {
 }
 
 var _ api.BlockKernel = (*Dev)(nil)
+var _ api.RecoverableDevice = (*Dev)(nil)
 
 // NumQueues reports the device's queue-context count.
 func (d *Dev) NumQueues() int { return len(d.queues) }

@@ -146,7 +146,7 @@ func TestUDPSocketDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	frame := BuildUDPFrame(macB, macA, ipB, ipA, 777, 9000, []byte("hi"))
-	ifc.NetifRx(frame)
+	ifc.NetifRx(frame, 0)
 	if string(got) != "hi" || from != ipB {
 		t.Fatalf("got %q from %v", got, from)
 	}
@@ -157,7 +157,7 @@ func TestUDPSocketDelivery(t *testing.T) {
 
 func TestUDPUnboundPortDrops(t *testing.T) {
 	s, ifc, _ := newStack(t)
-	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 777, 9999, []byte("x")))
+	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 777, 9999, []byte("x")), 0)
 	if s.RxDrops != 1 {
 		t.Fatal("datagram to unbound port not dropped")
 	}
@@ -213,7 +213,7 @@ func TestXmitBackpressure(t *testing.T) {
 	}
 	var woken bool
 	ifc.OnWake = func() { woken = true }
-	ifc.WakeQueue()
+	ifc.WakeQueue(0)
 	if !woken {
 		t.Fatal("OnWake not invoked")
 	}
@@ -294,11 +294,11 @@ func TestPerQueueTxStopIsolation(t *testing.T) {
 	var wokeQ0, wokeIfc int
 	ifc.Queue(0).OnWake = func() { wokeQ0++ }
 	ifc.OnWake = func() { wokeIfc++ }
-	ifc.WakeQueueQ(1) // waking a sibling must not release queue 0
+	ifc.WakeQueue(1) // waking a sibling must not release queue 0
 	if err := s.UDPSendTo(ifc, macB, ipB, sport0, 7, []byte("q0")); err == nil {
 		t.Fatal("sibling wake released queue 0")
 	}
-	ifc.WakeQueueQ(0)
+	ifc.WakeQueue(0)
 	if wokeQ0 != 1 || wokeIfc != 1 {
 		t.Fatalf("wake hooks: q0=%d ifc=%d (sibling wake should hit the iface hook)", wokeQ0, wokeIfc)
 	}
@@ -309,7 +309,7 @@ func TestPerQueueTxStopIsolation(t *testing.T) {
 		t.Fatalf("per-queue tx counters: q0=%d q1=%d", ifc.Queue(0).TxFrames, ifc.Queue(1).TxFrames)
 	}
 	// Per-queue RX contexts count tagged deliveries.
-	ifc.NetifRxQ(BuildUDPFrame(macB, macA, ipB, ipA, 1, 9999, []byte("x")), 1)
+	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 1, 9999, []byte("x")), 1)
 	if ifc.Queue(1).RxFrames != 1 {
 		t.Fatal("tagged RX not counted on its queue context")
 	}
@@ -341,8 +341,8 @@ func TestFirewallDropsAndTOCTOUSurface(t *testing.T) {
 	if _, err := s.UDPBind(7777, func([]byte, IP, uint16) { delivered++ }); err != nil {
 		t.Fatal(err)
 	}
-	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 1, 6666, []byte("evil")))
-	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 1, 7777, []byte("ok")))
+	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 1, 6666, []byte("evil")), 0)
+	ifc.NetifRx(BuildUDPFrame(macB, macA, ipB, ipA, 1, 7777, []byte("ok")), 0)
 	if delivered != 1 || s.FirewallDrops != 1 || inspected != 2 {
 		t.Fatalf("delivered=%d drops=%d inspected=%d", delivered, s.FirewallDrops, inspected)
 	}
@@ -356,19 +356,19 @@ func TestTCPReceiverStream(t *testing.T) {
 	}
 	// SYN.
 	syn := BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 40000, DstPort: 5201, Seq: 99, Flags: TCPSyn}, nil)
-	ifc.NetifRx(syn)
+	ifc.NetifRx(syn, 0)
 	if len(dev.tx) != 1 {
 		t.Fatal("no SYN ack")
 	}
 	// Two in-order segments: delayed ACK fires on the second.
 	seq := uint32(100)
 	seg1 := BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 40000, DstPort: 5201, Seq: seq, Flags: TCPAck}, bytes.Repeat([]byte{1}, 1000))
-	ifc.NetifRx(seg1)
+	ifc.NetifRx(seg1, 0)
 	if len(dev.tx) != 1 {
 		t.Fatal("premature ACK before delayed-ack threshold")
 	}
 	seg2 := BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 40000, DstPort: 5201, Seq: seq + 1000, Flags: TCPAck}, bytes.Repeat([]byte{2}, 1000))
-	ifc.NetifRx(seg2)
+	ifc.NetifRx(seg2, 0)
 	if len(dev.tx) != 2 {
 		t.Fatalf("expected delayed ACK after 2 segments, tx=%d", len(dev.tx))
 	}
@@ -390,9 +390,9 @@ func TestTCPOutOfOrderReAcks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ifc.NetifRx(BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 1, DstPort: 5201, Seq: 0, Flags: TCPSyn}, nil))
+	ifc.NetifRx(BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 1, DstPort: 5201, Seq: 0, Flags: TCPSyn}, nil), 0)
 	// Skip ahead: out of order.
-	ifc.NetifRx(BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 1, DstPort: 5201, Seq: 5000, Flags: TCPAck}, []byte{1}))
+	ifc.NetifRx(BuildTCPFrame(macB, macA, ipB, ipA, TCPHeader{SrcPort: 1, DstPort: 5201, Seq: 5000, Flags: TCPAck}, []byte{1}), 0)
 	if r.OutOfOrder != 1 {
 		t.Fatal("out-of-order segment not detected")
 	}

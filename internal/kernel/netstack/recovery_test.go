@@ -38,7 +38,7 @@ func TestRecoveryHoldsTxAndAdopts(t *testing.T) {
 		t.Fatal("frame reached the dead driver")
 	}
 	// A stale wake from the dead incarnation must not release TX early.
-	ifc.WakeQueue()
+	ifc.WakeQueue(0)
 	if err := s.UDPSendTo(ifc, macB, ipB, 1000, 2000, []byte("x")); err == nil {
 		t.Fatal("stale wake released TX mid-recovery")
 	}
@@ -52,7 +52,7 @@ func TestRecoveryHoldsTxAndAdopts(t *testing.T) {
 	if ifc2 != ifc {
 		t.Fatal("registration did not adopt the recovering interface")
 	}
-	if err := ifc.CompleteRecovery(); err != nil {
+	if _, err := ifc.CompleteRecovery(); err != nil {
 		t.Fatal(err)
 	}
 	if !dev2.opened {
@@ -66,6 +66,81 @@ func TestRecoveryHoldsTxAndAdopts(t *testing.T) {
 	}
 	if len(dev2.tx) != 1 {
 		t.Fatal("frame did not reach the restarted driver")
+	}
+}
+
+// TestTxShadowReplay: frames handed to a supervised driver are logged until
+// their xmit-done credit confirms them; a kill replays exactly the
+// unconfirmed tail through the restarted driver, which re-logs them as its
+// own in-flight frames.
+func TestTxShadowReplay(t *testing.T) {
+	s, ifc, dev := newStack(t)
+	ifc.Shadow = &shadow.Net{}
+
+	for i := 0; i < 3; i++ {
+		if err := s.UDPSendTo(ifc, macB, ipB, 1000, 2000, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ifc.Shadow.PendingTx(0); got != 3 {
+		t.Fatalf("pending TX = %d, want 3", got)
+	}
+	// The first frame's credit returns: it left the wire, so it must not
+	// replay.
+	ifc.TxConfirm(0)
+	if got := ifc.Shadow.PendingTx(0); got != 2 || ifc.Shadow.TxConfirmed != 1 {
+		t.Fatalf("pending=%d confirmed=%d after credit", got, ifc.Shadow.TxConfirmed)
+	}
+
+	if _, err := s.BeginRecovery("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	dev2 := &loopDev{}
+	if _, err := s.Register("eth0", [6]byte(macA), dev2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ifc.CompleteRecovery()
+	if err != nil || n != 2 {
+		t.Fatalf("replayed %d frames (err %v), want 2", n, err)
+	}
+	if len(dev2.tx) != 2 {
+		t.Fatalf("restarted driver got %d frames, want 2", len(dev2.tx))
+	}
+	// The replayed frames are byte-identical to the swallowed originals
+	// (frames 1 and 2; frame 0 was confirmed).
+	for i, f := range dev2.tx {
+		if want := dev.tx[i+1]; string(f) != string(want) {
+			t.Fatalf("replayed frame %d differs from original", i)
+		}
+	}
+	// Replay re-enters the log: the frames are in flight in the new
+	// incarnation and will be confirmed by its own credits.
+	if got := ifc.Shadow.PendingTx(0); got != 2 || ifc.Shadow.TxReplayed != 2 {
+		t.Fatalf("pending=%d replayed=%d after recovery", got, ifc.Shadow.TxReplayed)
+	}
+	ifc.TxConfirm(0)
+	ifc.TxConfirm(0)
+	if got := ifc.Shadow.PendingTx(0); got != 0 {
+		t.Fatalf("pending=%d after all credits, want 0", got)
+	}
+}
+
+// TestTxShadowLogBound: the per-queue log is bounded at TxLogCap; a driver
+// withholding credits evicts oldest-first instead of growing without bound.
+func TestTxShadowLogBound(t *testing.T) {
+	sh := &shadow.Net{}
+	for i := 0; i < shadow.TxLogCap+5; i++ {
+		sh.RecordXmit(0, []byte{byte(i)})
+	}
+	if got := sh.PendingTx(0); got != shadow.TxLogCap {
+		t.Fatalf("pending = %d, want cap %d", got, shadow.TxLogCap)
+	}
+	if sh.TxOverflow != 5 {
+		t.Fatalf("overflow = %d, want 5", sh.TxOverflow)
+	}
+	// Oldest entries were the ones evicted.
+	if frames := sh.TakePendingTx(0); frames[0][0] != 5 {
+		t.Fatalf("oldest surviving frame = %d, want 5", frames[0][0])
 	}
 }
 
@@ -107,7 +182,7 @@ func TestDeathAfterAdoptionBeforeRecoveryCompletes(t *testing.T) {
 	if err != nil || ifc3 != ifc {
 		t.Fatalf("interface not re-adoptable: %v (same=%v)", err, ifc3 == ifc)
 	}
-	if err := ifc.CompleteRecovery(); err != nil || !dev3.opened {
+	if _, err := ifc.CompleteRecovery(); err != nil || !dev3.opened {
 		t.Fatalf("second recovery did not complete: %v opened=%v", err, dev3.opened)
 	}
 }

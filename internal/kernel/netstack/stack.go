@@ -105,10 +105,10 @@ type IfaceQueue struct {
 	OnWake func()
 }
 
-// Iface is one registered network interface. It implements api.NetKernel
-// (and api.MultiQueueNetKernel) — it is what RegisterNetDev hands back to
-// the driver. Its TX and RX state is split into per-queue contexts, one per
-// hardware queue the bound device exposes.
+// Iface is one registered network interface. It implements api.NetKernel —
+// it is what RegisterNetDev hands back to the driver. Its TX and RX state is
+// split into per-queue contexts, one per hardware queue the bound device
+// exposes; single-queue devices simply have one context, queue 0.
 type Iface struct {
 	Name string
 	MAC  MAC
@@ -142,7 +142,7 @@ type Iface struct {
 }
 
 var _ api.NetKernel = (*Iface)(nil)
-var _ api.MultiQueueNetKernel = (*Iface)(nil)
+var _ api.RecoverableDevice = (*Iface)(nil)
 
 // ErrNameTaken reports an interface-name collision at registration.
 var ErrNameTaken = fmt.Errorf("netstack: interface name already registered")
@@ -408,34 +408,40 @@ func (ifc *Iface) BeginQueueRecovery(q int) {
 }
 
 // CompleteQueueRecovery releases a surgically parked queue after its DMA
-// sub-domain is re-armed: TX wakes on this one queue and RX flows again.
-// Siblings never noticed. It is an error while a device-wide recovery is in
+// sub-domain is re-armed: TX wakes on this one queue, its shadow TX log
+// replays through the live driver (frames the quarantined queue incarnation
+// swallowed), and RX flows again. Siblings never noticed. It returns the
+// replayed frame count, and an error while a device-wide recovery is in
 // progress.
-func (ifc *Iface) CompleteQueueRecovery(q int) error {
+func (ifc *Iface) CompleteQueueRecovery(q int) (int, error) {
 	if ifc.recovering {
-		return fmt.Errorf("netstack: %s is in device-wide recovery", ifc.Name)
+		return 0, fmt.Errorf("netstack: %s is in device-wide recovery", ifc.Name)
 	}
 	qc := &ifc.queues[ifc.clampQ(q)]
 	if !qc.recovering {
-		return nil
+		return 0, nil
 	}
 	qc.recovering = false
 	ifc.Flight.Recordf(trace.FReplay, "%s q%d epoch %d: queue re-armed, TX released",
 		ifc.Name, qc.ID, qc.Epoch)
 	ifc.wakeQueue(qc.ID)
-	return nil
+	return ifc.replayTx(qc.ID), nil
 }
 
 // CompleteRecovery finishes a shadow recovery after the restarted driver has
 // adopted the interface: the recorded bring-up is replayed (the driver's
 // Open re-arms its RX rings and, under RSS, reprograms the redirection
-// table over the same queue count) and every queue's TX is released. The
-// IP address and admin state are restored from the shadow snapshot when one
-// is attached, else from the surviving interface object itself. On an Open
-// failure the interface stays recovering, so a second restart can retry.
-func (ifc *Iface) CompleteRecovery() error {
+// table over the same queue count), every queue's TX is released, and the
+// shadow TX log — frames the dead incarnation swallowed without an
+// xmit-done credit — is re-submitted through the new driver, so the kill is
+// invisible at the packet level. The IP address and admin state are
+// restored from the shadow snapshot when one is attached, else from the
+// surviving interface object itself. It returns the replayed frame count;
+// on an Open failure the interface stays recovering, so a second restart
+// can retry.
+func (ifc *Iface) CompleteRecovery() (int, error) {
 	if !ifc.recovering {
-		return nil
+		return 0, nil
 	}
 	up := ifc.up
 	if sh := ifc.Shadow; sh != nil {
@@ -444,14 +450,58 @@ func (ifc *Iface) CompleteRecovery() error {
 	}
 	if up {
 		if err := ifc.dev.Open(); err != nil {
-			return fmt.Errorf("netstack: recovery open %s: %w", ifc.Name, err)
+			return 0, fmt.Errorf("netstack: recovery open %s: %w", ifc.Name, err)
 		}
 		ifc.up = true
 	}
 	ifc.recovering = false
 	ifc.Flight.Recordf(trace.FReplay, "%s bring-up replayed, TX released", ifc.Name)
-	ifc.WakeQueue()
-	return nil
+	replayed := 0
+	for q := range ifc.queues {
+		ifc.wakeQueue(q)
+	}
+	for q := range ifc.queues {
+		replayed += ifc.replayTx(q)
+	}
+	return replayed, nil
+}
+
+// replayTx re-submits queue q's unconfirmed shadow TX log through the live
+// driver, in original submission order. Re-submission runs the normal xmit
+// path, so each replayed frame re-enters the log — it is in flight in the
+// new incarnation now, and its xmit-done credit will confirm it. A frame
+// the new driver refuses (ring already full) is dropped: at that point the
+// transport's retransmit owns it.
+func (ifc *Iface) replayTx(q int) int {
+	sh := ifc.Shadow
+	if sh == nil {
+		return 0
+	}
+	replayed := 0
+	// Replay on the queue the frame was logged under, not the flow hash:
+	// frames pinned by xmitQ must come back on their pinned queue.
+	for _, frame := range sh.TakePendingTx(q) {
+		if err := ifc.stack.xmitQ(ifc, frame, q); err == nil {
+			replayed++
+		}
+	}
+	sh.TxReplayed += uint64(replayed)
+	if replayed > 0 {
+		ifc.Flight.Recordf(trace.FReplay, "%s q%d: %d logged TX frames replayed",
+			ifc.Name, q, replayed)
+	}
+	return replayed
+}
+
+// TxConfirm reports the driver's xmit-done credit for queue q's oldest
+// in-flight frame (TX rings are reclaimed in order, so credits are FIFO per
+// queue): the frame left the device, and the shadow log must not replay it.
+// Proxies call it from their validated credit path; without an attached
+// shadow it is a no-op.
+func (ifc *Iface) TxConfirm(q int) {
+	if sh := ifc.Shadow; sh != nil {
+		sh.ConfirmXmit(ifc.clampQ(q))
+	}
 }
 
 // Ioctl forwards a device-private ioctl to the driver (a synchronous
@@ -462,15 +512,11 @@ func (ifc *Iface) Ioctl(cmd uint32, arg []byte) ([]byte, error) {
 
 // --- api.NetKernel (driver → kernel) ---------------------------------------
 
-// NetifRx is the trusted-path packet input: the in-kernel driver hands a
-// frame it fully owns; the stack verifies transport checksums itself.
-func (ifc *Iface) NetifRx(frame []byte) {
-	ifc.NetifRxQ(frame, 0)
-}
-
-// NetifRxQ implements api.MultiQueueNetKernel: packet input tagged with the
-// RX queue it arrived on; delivery is accounted to that queue's context.
-func (ifc *Iface) NetifRxQ(frame []byte, q int) {
+// NetifRx implements api.NetKernel: the trusted-path packet input, tagged
+// with the RX queue the frame arrived on. The in-kernel driver hands a frame
+// it fully owns; the stack verifies transport checksums itself, and delivery
+// is accounted to the queue's context.
+func (ifc *Iface) NetifRx(frame []byte, q int) {
 	qc := &ifc.queues[ifc.clampQ(q)]
 	if qc.recovering {
 		// A surgically quarantined queue delivers nothing: frames from
@@ -483,15 +529,11 @@ func (ifc *Iface) NetifRxQ(frame []byte, q int) {
 	ifc.stack.deliver(ifc, frame, false)
 }
 
-// NetifRxVerified is the proxy-driver input path: the frame was already
-// guard-copied out of shared memory with its checksum verified in the same
-// pass (§3.1.2), so the stack must not checksum it again.
-func (ifc *Iface) NetifRxVerified(frame []byte) {
-	ifc.NetifRxVerifiedQ(frame, 0)
-}
-
-// NetifRxVerifiedQ is the verified input path tagged with its RX queue.
-func (ifc *Iface) NetifRxVerifiedQ(frame []byte, q int) {
+// NetifRxVerified is the proxy-driver input path, tagged with its RX queue:
+// the frame was already guard-copied out of shared memory with its checksum
+// verified in the same pass (§3.1.2), so the stack must not checksum it
+// again.
+func (ifc *Iface) NetifRxVerified(frame []byte, q int) {
 	qc := &ifc.queues[ifc.clampQ(q)]
 	if qc.recovering {
 		qc.ParkedRxDrops++
@@ -507,17 +549,10 @@ func (ifc *Iface) CarrierOn() { ifc.carrier = true }
 // CarrierOff implements api.NetKernel.
 func (ifc *Iface) CarrierOff() { ifc.carrier = false }
 
-// WakeQueue implements api.NetKernel: wake every stopped queue (the
-// single-queue driver's "my ring has space again").
-func (ifc *Iface) WakeQueue() {
-	for q := range ifc.queues {
-		ifc.wakeQueue(q)
-	}
-}
-
-// WakeQueueQ implements api.MultiQueueNetKernel: wake one queue, leaving
-// siblings' stop state untouched.
-func (ifc *Iface) WakeQueueQ(q int) { ifc.wakeQueue(ifc.clampQ(q)) }
+// WakeQueue implements api.NetKernel: wake one stopped queue, leaving
+// siblings' stop state untouched (a single-queue driver's "my ring has
+// space again" names queue 0).
+func (ifc *Iface) WakeQueue(q int) { ifc.wakeQueue(ifc.clampQ(q)) }
 
 func (ifc *Iface) wakeQueue(q int) {
 	if ifc.recovering || ifc.queues[q].recovering {
@@ -635,16 +670,30 @@ func TxQueueForFrame(frame []byte, nq int) int {
 // frame is steered to a queue context by flow hash; backpressure from the
 // driver stops that queue only.
 func (s *Stack) xmit(ifc *Iface, frame []byte) error {
+	return s.xmitQ(ifc, frame, TxQueueForFrame(frame, len(ifc.queues)))
+}
+
+// xmitQ is xmit with the TX queue named by the caller instead of derived from
+// the flow hash — the mechanism under both default steering and the tenant
+// plane's explicit tenant↔queue pinning.
+func (s *Stack) xmitQ(ifc *Iface, frame []byte, q int) error {
 	if !ifc.up {
 		return fmt.Errorf("netstack: %s is down", ifc.Name)
 	}
-	q := TxQueueForFrame(frame, len(ifc.queues))
+	q = ifc.clampQ(q)
 	qc := &ifc.queues[q]
 	if qc.txStopped {
 		s.TxErrors++
 		return ErrQueueStopped
 	}
 	s.Acct.Charge(CostTxPath)
+	// Shadow the frame before the driver takes ownership of the slice: a
+	// supervised driver may die holding it, and the log entry is what the
+	// recovery replays. Committed only if the driver accepts the frame.
+	var logged []byte
+	if ifc.Shadow != nil {
+		logged = append([]byte(nil), frame...)
+	}
 	var err error
 	if ifc.mqdev != nil {
 		err = ifc.mqdev.StartXmitQ(frame, q)
@@ -653,10 +702,13 @@ func (s *Stack) xmit(ifc *Iface, frame []byte) error {
 	}
 	if err != nil {
 		// Driver signals ring-full backpressure by error; this queue
-		// stays stopped until WakeQueueQ — siblings keep transmitting.
+		// stays stopped until WakeQueue — siblings keep transmitting.
 		qc.txStopped = true
 		s.TxErrors++
 		return fmt.Errorf("%w: %v", ErrQueueStopped, err)
+	}
+	if ifc.Shadow != nil {
+		ifc.Shadow.RecordXmit(q, logged)
 	}
 	qc.TxFrames++
 	s.TxFrames++
@@ -670,4 +722,16 @@ func (s *Stack) UDPSendTo(ifc *Iface, dstMAC MAC, dstIP IP, sport, dport uint16,
 	s.Acct.Charge(sim.ChecksumCopy(len(payload)))
 	frame := BuildUDPFrame(ifc.MAC, dstMAC, ifc.IP, dstIP, sport, dport, payload)
 	return s.xmit(ifc, frame)
+}
+
+// UDPSendToQ is UDPSendTo with the TX queue pinned by the caller rather than
+// flow-hashed — the netstack half of the unified queue-aware kernel API,
+// mirroring blockdev's ReadAtQ/WriteAtQ. The tenant plane uses it to keep a
+// tenant's replies on the tenant's own driver queue even when the reply
+// flow's hash would land elsewhere, so per-queue confinement stays a tenant
+// isolation boundary in both directions.
+func (s *Stack) UDPSendToQ(ifc *Iface, dstMAC MAC, dstIP IP, sport, dport uint16, payload []byte, q int) error {
+	s.Acct.Charge(sim.ChecksumCopy(len(payload)))
+	frame := BuildUDPFrame(ifc.MAC, dstMAC, ifc.IP, dstIP, sport, dport, payload)
+	return s.xmitQ(ifc, frame, q)
 }

@@ -21,10 +21,13 @@
 //   - Network interfaces (Net): the static configuration snapshot — MAC,
 //     IP address, admin up state, carrier, and the armed queue count (which
 //     under RSS also determines the RETA programming the restarted driver
-//     re-derives at open). Unlike block requests, transmitted frames are
-//     fire-and-forget (the transport above retransmits), so the NIC shadow
-//     records configuration, not payloads; a TX replay log is a recorded
-//     follow-on.
+//     re-derives at open) — plus a bounded per-queue TX log of frames handed
+//     to the driver but not yet confirmed transmitted (the xmit-done credit
+//     is the confirmation). After a kill the log is the set of frames the
+//     dead incarnation swallowed; recovery replays them through the
+//     restarted driver, so a kill is invisible at the packet level too. A
+//     frame that was transmitted but whose credit died with the process
+//     replays as a duplicate — at-least-once, like a replayed block write.
 //
 // The shadow is recording only: it never talks to a driver. The recovery
 // protocol around it lives in the device cores (internal/kernel/blockdev,
@@ -171,4 +174,78 @@ type Net struct {
 
 	// Snapshots counts BeginRecovery captures (one per death).
 	Snapshots uint64
+
+	// txLog is the per-queue FIFO of unconfirmed transmitted frames. Entries
+	// are appended by RecordXmit when the netstack hands a frame to the
+	// driver and removed — oldest first, matching the driver's in-order ring
+	// reclaim — by ConfirmXmit when the xmit-done credit returns.
+	txLog [][][]byte
+
+	// TxLogged / TxConfirmed / TxReplayed / TxOverflow count log appends,
+	// credit-confirmed removals, frames re-submitted by recoveries, and
+	// oldest-entry evictions at TxLogCap.
+	TxLogged, TxConfirmed, TxReplayed, TxOverflow uint64
+}
+
+// TxLogCap bounds each queue's unconfirmed-frame log. It matches the TX
+// slot-pool depth — a queue can never have more frames genuinely in flight —
+// so eviction only fires when confirmations are being withheld.
+const TxLogCap = 256
+
+func (s *Net) queueLog(q int) int {
+	if q < 0 {
+		q = 0
+	}
+	for len(s.txLog) <= q {
+		s.txLog = append(s.txLog, nil)
+	}
+	return q
+}
+
+// RecordXmit logs one frame handed to the driver on queue q. The log takes
+// ownership of the slice: callers pass a private copy taken before the
+// driver (which owns the original after StartXmit) could touch it, so the
+// entry outlives a driver that dies holding the frame.
+func (s *Net) RecordXmit(q int, frame []byte) {
+	q = s.queueLog(q)
+	if len(s.txLog[q]) >= TxLogCap {
+		s.txLog[q] = s.txLog[q][1:]
+		s.TxOverflow++
+	}
+	s.txLog[q] = append(s.txLog[q], frame)
+	s.TxLogged++
+}
+
+// ConfirmXmit erases queue q's oldest unconfirmed frame: its xmit-done
+// credit arrived, so the frame left the device and must not be replayed.
+func (s *Net) ConfirmXmit(q int) {
+	q = s.queueLog(q)
+	if len(s.txLog[q]) == 0 {
+		return
+	}
+	s.txLog[q] = s.txLog[q][1:]
+	s.TxConfirmed++
+}
+
+// PendingTx reports queue q's unconfirmed-frame count.
+func (s *Net) PendingTx(q int) int {
+	return len(s.txLog[s.queueLog(q)])
+}
+
+// TakePendingTx consumes and returns queue q's unconfirmed frames in
+// original submission order — the replay schedule. Unlike the block log
+// (keyed by tag, erased on completion), replayed frames re-enter the log
+// through the normal RecordXmit path as the recovery re-submits them, so
+// the entries must leave it first.
+func (s *Net) TakePendingTx(q int) [][]byte {
+	q = s.queueLog(q)
+	out := s.txLog[q]
+	s.txLog[q] = nil
+	return out
+}
+
+// ResetTx drops the whole TX log (interface unregistered while recovering:
+// nothing is left to replay).
+func (s *Net) ResetTx() {
+	s.txLog = nil
 }

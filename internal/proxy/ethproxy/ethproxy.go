@@ -451,7 +451,7 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 			// the ring, so only checksum verification remains.
 			p.K.Acct.Charge(sim.Checksum(len(m.Data)))
 			p.RxQueueFrames[q]++
-			p.Ifc.NetifRxVerifiedQ(m.Data, q)
+			p.Ifc.NetifRxVerified(m.Data, q)
 			return
 		}
 		if p.GuardMode == GuardPageFlip {
@@ -517,6 +517,7 @@ func (p *Proxy) HandleDowncall(q int, m uchan.Msg) {
 				p.Ifc.Queue(sq).TxLat.Record(d)
 			}
 			p.K.Net.Trace.Event(trace.ClassNetTx, sq, uint64(slot), trace.HopComplete)
+			p.Ifc.TxConfirm(sq)
 			p.free[sq] = append(p.free[sq], slot)
 			p.maybeWakeQueue(sq)
 		}
@@ -621,7 +622,7 @@ func (p *Proxy) maybeWakeQueue(q int) {
 		return
 	}
 	p.stalled[q] = false
-	p.Ifc.WakeQueueQ(q)
+	p.Ifc.WakeQueue(q)
 }
 
 // netifRx validates the driver's shared-buffer reference and performs the
@@ -655,7 +656,7 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 		// shared memory the driver can still modify.
 		p.K.Acct.Charge(sim.Checksum(n))
 		if view, ok := p.K.Mem.Slice(phys, n); ok {
-			p.Ifc.NetifRxVerifiedQ(view, q)
+			p.Ifc.NetifRxVerified(view, q)
 			p.rxDelivered(q, uint64(iova))
 		}
 		return
@@ -681,7 +682,7 @@ func (p *Proxy) netifRx(q int, iova mem.Addr, n int) {
 		p.RxInvalidRef++
 		return
 	}
-	p.Ifc.NetifRxVerifiedQ(frame, q)
+	p.Ifc.NetifRxVerified(frame, q)
 	p.rxDelivered(q, uint64(iova))
 }
 

@@ -97,7 +97,7 @@ func (p *Proxy) netifRxBatchFlip(q int, refs []RxRef) {
 					p.K.Acct.Charge(sim.Checksum(n))
 					p.K.Net.Trace.Event(trace.ClassNetRx, q, r.IOVA, trace.HopFlip)
 					p.RxQueueFrames[q]++
-					p.Ifc.NetifRxVerifiedQ(view, q)
+					p.Ifc.NetifRxVerified(view, q)
 					p.rxDelivered(q, r.IOVA)
 				}
 			}

@@ -136,6 +136,14 @@ func Supervise(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName st
 	return supervise(k, dev, drv, name, ifName, "", uid, 1)
 }
 
+// SuperviseNetQ starts a netdev-class driver process under supervision with
+// `queues` uchan ring pairs — the multi-queue net analogue of SuperviseBlock.
+// The tenant plane uses it so the NIC queue carrying one tenant's flows can
+// be revoked, parked and surgically recovered without touching siblings.
+func SuperviseNetQ(k *kernel.Kernel, dev pci.Device, drv api.Driver, name, ifName string, uid, queues int) (*Supervisor, error) {
+	return supervise(k, dev, drv, name, ifName, "", uid, queues)
+}
+
 // SuperviseBlock starts a block-class driver process under supervision with
 // `queues` uchan ring pairs. blkName is the block device the driver
 // registers (e.g. "nvme0"); its geometry and in-flight request log are
@@ -506,15 +514,8 @@ func (s *Supervisor) surgical(q int, faults uint64) {
 	if s.proc.Eth != nil {
 		s.proc.Eth.ParkQueue(q)
 	}
-	if s.blkName != "" {
-		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
-			d.BeginQueueRecovery(q)
-		}
-	}
-	if s.ifName != "" {
-		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
-			ifc.BeginQueueRecovery(q)
-		}
+	for _, rd := range s.recoverables() {
+		rd.BeginQueueRecovery(q)
 	}
 	// Verdict: grade the offense. Repeat offenders escalate to the
 	// device-wide quarantine path.
@@ -538,24 +539,37 @@ func (s *Supervisor) surgical(q int, faults uint64) {
 	if s.proc.Eth != nil {
 		s.proc.Eth.RearmQueue(q)
 	}
+	replayed := 0
+	for _, rd := range s.recoverables() {
+		if n, rerr := rd.CompleteQueueRecovery(q); rerr != nil {
+			s.K.Logf("supervisor: %s q%d recovery failed: %v", s.Name, q, rerr)
+		} else {
+			replayed += n
+		}
+	}
+	s.LastReplayed = replayed
+	s.QueueRecoveries++
+	s.LastRecoveryAt = s.K.M.Now()
+}
+
+// recoverables returns the supervised kernel-side device objects behind the
+// unified api.RecoverableDevice contract — whichever of the block device and
+// the network interface this supervisor watches. The class-specific legs
+// (proxy park/re-arm, adoption binding, quarantine) stay per class; the
+// epoch/park/replay protocol itself is driven through this one surface.
+func (s *Supervisor) recoverables() []api.RecoverableDevice {
+	var out []api.RecoverableDevice
 	if s.blkName != "" {
 		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
-			if n, rerr := d.CompleteQueueRecovery(q); rerr != nil {
-				s.K.Logf("supervisor: %s q%d block recovery failed: %v", s.Name, q, rerr)
-			} else {
-				s.LastReplayed = n
-			}
+			out = append(out, d)
 		}
 	}
 	if s.ifName != "" {
 		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
-			if rerr := ifc.CompleteQueueRecovery(q); rerr != nil {
-				s.K.Logf("supervisor: %s q%d net recovery failed: %v", s.Name, q, rerr)
-			}
+			out = append(out, ifc)
 		}
 	}
-	s.QueueRecoveries++
-	s.LastRecoveryAt = s.K.M.Now()
+	return out
 }
 
 // decide grades one detection through the policy engine and executes the
@@ -707,25 +721,14 @@ func (s *Supervisor) failover() bool {
 // re-enters recovery bounded by the policy window.
 func (s *Supervisor) completeRecovery() {
 	s.LastReplayed = 0
-	if s.blkName != "" {
-		if d, err := s.K.Blk.Dev(s.blkName); err == nil {
-			n, rerr := d.CompleteRecovery()
-			if rerr != nil {
-				s.K.Logf("supervisor: block recovery of %s failed: %v", s.blkName, rerr)
-				s.proc.Kill()
-				return
-			}
-			s.LastReplayed += n
+	for _, rd := range s.recoverables() {
+		n, rerr := rd.CompleteRecovery()
+		if rerr != nil {
+			s.K.Logf("supervisor: recovery of %s failed: %v", s.Name, rerr)
+			s.proc.Kill()
+			return
 		}
-	}
-	if s.ifName != "" {
-		if ifc, err := s.K.Net.Iface(s.ifName); err == nil {
-			if rerr := ifc.CompleteRecovery(); rerr != nil {
-				s.K.Logf("supervisor: net recovery of %s failed: %v", s.ifName, rerr)
-				s.proc.Kill()
-				return
-			}
-		}
+		s.LastReplayed += n
 	}
 	s.LastRecoveryAt = s.K.M.Now()
 	if s.OnRestart != nil {

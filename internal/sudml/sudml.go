@@ -1459,21 +1459,18 @@ type umlNetKernel struct {
 }
 
 var _ api.NetKernel = (*umlNetKernel)(nil)
-var _ api.MultiQueueNetKernel = (*umlNetKernel)(nil)
 
-// NetifRx forwards a received frame to the real kernel. If the frame is a
-// view of the driver's DMA memory (it is, for ring-based drivers), only the
-// buffer reference crosses the channel — the zero-copy path of §3.1.2; the
-// kernel-side guard copy happens in the proxy, fused with checksumming.
-func (nk *umlNetKernel) NetifRx(frame []byte) { nk.NetifRxQ(frame, 0) }
-
-// NetifRxQ implements api.MultiQueueNetKernel: the frame arrived on RX ring
-// q and is delivered on queue q's uchan ring, charged to queue q's service
-// account. On multi-queue channels zero-copy references accumulate into a
-// per-queue batch (up to ethproxy.MaxRxBatch per message) instead of paying
-// one downcall per frame; a single-queue channel keeps the paper's exact
+// NetifRx forwards a received frame to the real kernel: the frame arrived
+// on RX ring q and is delivered on queue q's uchan ring, charged to queue
+// q's service account. If the frame is a view of the driver's DMA memory
+// (it is, for ring-based drivers), only the buffer reference crosses the
+// channel — the zero-copy path of §3.1.2; the kernel-side guard copy
+// happens in the proxy, fused with checksumming. On multi-queue channels
+// zero-copy references accumulate into a per-queue batch (up to
+// ethproxy.MaxRxBatch per message) instead of paying one downcall per
+// frame; a single-queue channel keeps the paper's exact
 // one-message-per-frame transport.
-func (nk *umlNetKernel) NetifRxQ(frame []byte, q int) {
+func (nk *umlNetKernel) NetifRx(frame []byte, q int) {
 	p := nk.p
 	if len(frame) == 0 || p.killed {
 		return
@@ -1538,13 +1535,10 @@ func (nk *umlNetKernel) CarrierOff() {
 	_ = nk.p.Chan.Down(uchan.Msg{Op: ethproxy.OpCarrierOff})
 }
 
-// WakeQueue mirrors TX queue state to the kernel.
-func (nk *umlNetKernel) WakeQueue() { nk.WakeQueueQ(0) }
-
-// WakeQueueQ implements api.MultiQueueNetKernel: queue q's device ring
+// WakeQueue mirrors TX queue state to the kernel: queue q's device ring
 // regained space; the wake downcall rides queue q's own ring and names the
 // queue, so the proxy releases only that queue's netstack context.
-func (nk *umlNetKernel) WakeQueueQ(q int) {
+func (nk *umlNetKernel) WakeQueue(q int) {
 	p := nk.p
 	if q < 0 || q >= len(p.QueueAccts) {
 		q = 0

@@ -1,0 +1,208 @@
+// Package tenantperf measures the tenant plane: K simulated tenants driving
+// a sharded KV service (internal/kernel/kvserve) over the unified
+// queue-aware kernel API, with one tenant pinned to one driver queue end to
+// end — RSS RX ring, uchan ring pair, TX queue, block submission queue and
+// IOMMU sub-domain. It reports per-tenant p50/p99 latency and goodput
+// (BENCH_tenant.json), and hosts the measurement half of the NoisyNeighbor
+// attack row: while one tenant's queue misbehaves, the sibling tenants' SLOs
+// must hold.
+package tenantperf
+
+import (
+	"fmt"
+
+	"sud/internal/devices/e1000"
+	"sud/internal/devices/nvme"
+	"sud/internal/drivers/api"
+	"sud/internal/drivers/e1000e"
+	"sud/internal/drivers/nvmed"
+	"sud/internal/ethlink"
+	"sud/internal/hw"
+	"sud/internal/kernel"
+	"sud/internal/kernel/blockdev"
+	"sud/internal/kernel/kvserve"
+	"sud/internal/kernel/netstack"
+	"sud/internal/pci"
+	"sud/internal/sim"
+	"sud/internal/sudml"
+)
+
+// Mode selects the trust boundary the drivers run behind.
+type Mode int
+
+const (
+	// ModeKernel: trusted in-kernel drivers (the baseline with no tenant
+	// isolation boundary beneath the service).
+	ModeKernel Mode = iota
+	// ModeSUD: both drivers in supervised untrusted processes with
+	// per-queue IOMMU sub-domains.
+	ModeSUD
+)
+
+func (m Mode) String() string {
+	if m == ModeSUD {
+		return "sud"
+	}
+	return "kernel"
+}
+
+// Service endpoint addressing.
+var (
+	SrvMAC = netstack.MAC{0x00, 0x1B, 0x21, 0x11, 0x22, 0x33}
+	CliMAC = netstack.MAC{0x00, 0x1B, 0x21, 0x44, 0x55, 0x66}
+	SrvIP  = netstack.IP{10, 0, 0, 1}
+	CliIP  = netstack.IP{10, 0, 0, 2}
+)
+
+// PortBase is tenant 0's UDP port; tenant t serves PortBase+t.
+const PortBase = 8000
+
+// Cores is the tenant DUT's core count (server-class, like the netperf
+// scale scenario).
+const Cores = 16
+
+// Config shapes a tenant testbed.
+type Config struct {
+	Mode    Mode
+	Tenants int
+	// Conns is the closed-loop connection count per tenant.
+	Conns int
+	// Queues is the end-to-end queue fan-out (NIC rings, uchan pairs, NVMe
+	// submission queues, IOMMU streams). Clamped to the device maxima.
+	Queues   int
+	Platform hw.Platform // zero value picks hw.DefaultPlatform()
+
+	// BlockDriver overrides the honest nvmed (the FlushLie leg passes the
+	// lying driver here); BlockQueues is its ring-pair count when the
+	// override speaks fewer queues than the NIC side.
+	BlockDriver api.Driver
+	BlockQueues int
+
+	// Turnaround is per-request client think time; RTO the retransmit
+	// timeout for lost requests or replies. Zeroes pick defaults.
+	Turnaround sim.Duration
+	RTO        sim.Duration
+}
+
+// Testbed is the booted tenant-plane DUT plus its wire-level client.
+type Testbed struct {
+	Cfg Config
+
+	M *hw.Machine
+	K *kernel.Kernel
+
+	Nic  *e1000.NIC
+	Ctrl *nvme.Ctrl
+
+	// Supervisors (ModeSUD only).
+	NetSup *sudml.Supervisor
+	BlkSup *sudml.Supervisor
+
+	Ifc    *netstack.Iface
+	Dev    *blockdev.Dev
+	Srv    *kvserve.Server
+	Client *Client
+}
+
+// NewTestbed boots the machine: multi-queue e1000 NIC plus NVMe controller,
+// drivers per Mode, the KV service sharded across the tenants, and the
+// client attached at wire level.
+func NewTestbed(cfg Config) (*Testbed, error) {
+	if cfg.Tenants < 1 || cfg.Conns < 1 {
+		return nil, fmt.Errorf("tenantperf: need at least one tenant and one connection")
+	}
+	if cfg.Queues < 1 {
+		cfg.Queues = 1
+	}
+	if cfg.Queues > e1000.MaxTxQueues {
+		cfg.Queues = e1000.MaxTxQueues
+	}
+	if cfg.Queues > nvme.MaxIOQueues {
+		cfg.Queues = nvme.MaxIOQueues
+	}
+	if cfg.Platform.Cores == 0 {
+		cfg.Platform = hw.DefaultPlatform()
+	}
+	cfg.Platform.Cores = Cores
+	if cfg.Turnaround == 0 {
+		cfg.Turnaround = 200 * sim.Microsecond
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = 4 * sim.Millisecond
+	}
+	if cfg.BlockQueues == 0 {
+		cfg.BlockQueues = cfg.Queues
+	}
+
+	m := hw.NewMachine(cfg.Platform)
+	k := kernel.New(m)
+
+	nic := e1000.New(m.Loop, pci.MakeBDF(1, 0, 0), 0xFEB00000, [6]byte(SrvMAC),
+		e1000.MultiQueueParams(cfg.Queues))
+	m.AttachDevice(nic)
+	link := ethlink.NewGigabit(m.Loop, 300)
+	client := NewClient(m.Loop, link, 1, cfg)
+	link.Connect(nic, client)
+	nic.AttachLink(link, 0)
+
+	ctrl := nvme.New(m.Loop, pci.MakeBDF(2, 0, 0), 0xFEC00000, nvme.MultiQueueParams(cfg.Queues))
+	m.AttachDevice(ctrl)
+
+	tb := &Testbed{Cfg: cfg, M: m, K: k, Nic: nic, Ctrl: ctrl, Client: client}
+	blkDrv := cfg.BlockDriver
+	if blkDrv == nil {
+		blkDrv = nvmed.NewQ(cfg.Queues)
+	}
+	var err error
+	switch cfg.Mode {
+	case ModeKernel:
+		if _, err = k.BindInKernel(e1000e.NewQ(cfg.Queues), nic); err != nil {
+			return nil, err
+		}
+		if _, err = k.BindInKernel(blkDrv, ctrl); err != nil {
+			return nil, err
+		}
+	case ModeSUD:
+		if tb.NetSup, err = sudml.SuperviseNetQ(k, nic, e1000e.NewQ(cfg.Queues), "e1000e", "eth0", 1001, cfg.Queues); err != nil {
+			return nil, err
+		}
+		if tb.BlkSup, err = sudml.SuperviseBlock(k, ctrl, blkDrv, "nvmed", "nvme0", 1003, cfg.BlockQueues); err != nil {
+			return nil, err
+		}
+	}
+	if tb.Ifc, err = k.Net.Iface("eth0"); err != nil {
+		return nil, err
+	}
+	if err = tb.Ifc.Up(SrvIP); err != nil {
+		return nil, err
+	}
+	if tb.Dev, err = k.Blk.Dev("nvme0"); err != nil {
+		return nil, err
+	}
+	if err = tb.Dev.Up(); err != nil {
+		return nil, err
+	}
+
+	// Shard the media across the tenants; each tenant's working set lives
+	// in its own LBA region so QueueForLBA-style spreading never crosses a
+	// tenant boundary.
+	bpt := tb.Dev.Geom.Blocks / uint64(cfg.Tenants)
+	if bpt > 256 {
+		bpt = 256
+	}
+	if bpt == 0 {
+		return nil, fmt.Errorf("tenantperf: media too small for %d tenants", cfg.Tenants)
+	}
+	if tb.Srv, err = kvserve.New(k.Net, tb.Ifc, kvserve.Config{
+		Tenants:         cfg.Tenants,
+		PortBase:        PortBase,
+		ClientMAC:       CliMAC,
+		Store:           tb.Dev,
+		LBABase:         0,
+		BlocksPerTenant: bpt,
+	}); err != nil {
+		return nil, err
+	}
+	m.Loop.RunFor(100 * sim.Microsecond)
+	return tb, nil
+}

@@ -1,0 +1,124 @@
+package tenantperf
+
+import (
+	"testing"
+
+	"sud/internal/sim"
+)
+
+func newSUDTestbed(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := NewTestbed(Config{Mode: ModeSUD, Tenants: 4, Conns: 4, Queues: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// checkAccounting asserts the SLO bookkeeping invariant: every accepted
+// reply is recorded in its tenant's histogram exactly once — duplicates
+// (replayed TX after a recovery) and retransmissions never inflate it.
+func checkAccounting(t *testing.T, tb *Testbed) {
+	t.Helper()
+	for _, tl := range tb.Client.Tenants {
+		if tl.Lat.Count() != tl.Replies {
+			t.Errorf("tenant %d: histogram holds %d samples, %d accepted replies",
+				tl.ID, tl.Lat.Count(), tl.Replies)
+		}
+		if tl.Replies == 0 {
+			t.Errorf("tenant %d: no replies — load never ran", tl.ID)
+		}
+		if tl.Replies > tl.Sent {
+			t.Errorf("tenant %d: %d replies for %d requests — a duplicate was accepted",
+				tl.ID, tl.Replies, tl.Sent)
+		}
+	}
+}
+
+func TestTenantAccountingSteadyState(t *testing.T) {
+	tb := newSUDTestbed(t)
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(30 * sim.Millisecond)
+	checkAccounting(t, tb)
+}
+
+// TestTenantAccountingAcrossKill9 kill -9s both driver processes mid-load.
+// The supervisor restarts them, the net side replays its TX shadow log
+// (duplicate replies reach the client), and the block side re-issues parked
+// writes — none of which may double-count a reply in any tenant's histogram.
+func TestTenantAccountingAcrossKill9(t *testing.T) {
+	tb := newSUDTestbed(t)
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(15 * sim.Millisecond)
+
+	tb.NetSup.Proc().Kill()
+	tb.BlkSup.Proc().Kill()
+	tb.M.Loop.RunFor(30 * sim.Millisecond)
+
+	if tb.NetSup.Restarts == 0 || tb.BlkSup.Restarts == 0 {
+		t.Fatalf("drivers not restarted after kill -9: net %d, blk %d",
+			tb.NetSup.Restarts, tb.BlkSup.Restarts)
+	}
+	checkAccounting(t, tb)
+	// The load must have survived the restart: replies after the blip.
+	before := totalReplies(tb)
+	tb.M.Loop.RunFor(10 * sim.Millisecond)
+	if totalReplies(tb) == before {
+		t.Fatal("no replies after driver restarts — service never recovered")
+	}
+}
+
+// TestTenantAccountingAcrossQueueRecovery breaches one tenant's block
+// sub-domain so the supervisor runs a surgical single-queue recovery, and
+// checks the histogram invariant across the drain-replay cycle.
+func TestTenantAccountingAcrossQueueRecovery(t *testing.T) {
+	tb := newSUDTestbed(t)
+	tb.Client.Start()
+	defer tb.Client.Stop()
+	tb.M.Loop.RunFor(15 * sim.Millisecond)
+
+	const attacker = 1
+	bdf := tb.Ctrl.BDF()
+	for i := 0; i < 4; i++ {
+		_, _, _ = tb.M.IOMMU.TranslateQ(bdf, attacker+1, 0xDEAD0000, true)
+	}
+	tb.M.Loop.RunFor(30 * sim.Millisecond)
+
+	if tb.BlkSup.QueueRecoveries == 0 {
+		t.Fatal("sub-domain faults did not trigger a surgical queue recovery")
+	}
+	if tb.BlkSup.Restarts != 0 {
+		t.Fatalf("surgical recovery escalated to %d full restarts", tb.BlkSup.Restarts)
+	}
+	checkAccounting(t, tb)
+}
+
+// TestTenantRunsDeterministic runs the same configuration twice and demands
+// bit-identical per-tenant totals — the property every BENCH_tenant.json
+// band and noisy-leg verdict rests on.
+func TestTenantRunsDeterministic(t *testing.T) {
+	type row struct {
+		sent, replies, retrans, dups uint64
+		p50, p99                     float64
+	}
+	runOnce := func() []row {
+		tb := newSUDTestbed(t)
+		tb.Client.Start()
+		tb.M.Loop.RunFor(25 * sim.Millisecond)
+		tb.Client.Stop()
+		var out []row
+		for _, tl := range tb.Client.Tenants {
+			out = append(out, row{tl.Sent, tl.Replies, tl.Retrans, tl.Duplicates,
+				tl.Lat.PercentileUS(0.50), tl.Lat.PercentileUS(0.99)})
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("tenant %d diverged across identical runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
